@@ -1,0 +1,35 @@
+//! End-to-end adaptation benchmarks: the full SMT pipeline per objective,
+//! plus the baselines, on a fixed random circuit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qca_adapt::{adapt, AdaptOptions, Objective};
+use qca_baselines::{direct_translation, template_optimization, TemplateObjective};
+use qca_hw::{spin_qubit_model, GateTimes};
+use qca_workloads::{random_template_circuit, DEFAULT_TEMPLATE_GATES};
+
+fn bench_adaptation(c: &mut Criterion) {
+    let circuit = random_template_circuit(3, 12, 3, &DEFAULT_TEMPLATE_GATES, true);
+    let hw = spin_qubit_model(GateTimes::D0);
+    let mut group = c.benchmark_group("adaptation_3q_d12");
+    group.sample_size(10);
+    group.bench_function("baseline_direct", |b| {
+        b.iter(|| direct_translation(&circuit))
+    });
+    group.bench_function("template_fidelity", |b| {
+        b.iter(|| template_optimization(&circuit, &hw, TemplateObjective::Fidelity).unwrap())
+    });
+    group.bench_function("sat_fidelity", |b| {
+        b.iter(|| {
+            adapt(&circuit, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).unwrap()
+        })
+    });
+    group.bench_function("sat_combined", |b| {
+        b.iter(|| {
+            adapt(&circuit, &hw, &AdaptOptions::with_objective(Objective::Combined)).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_adaptation);
+criterion_main!(benches);

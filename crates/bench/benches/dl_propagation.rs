@@ -1,0 +1,52 @@
+//! Ablation bench (DESIGN.md #2): incremental difference-logic repair
+//! versus batch recomputation of ASAP schedules.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qca_smt::diff::{DiffGraph, IncrementalDiff};
+use rand::Rng;
+use rand::SeedableRng;
+
+fn random_dag_edges(n: usize, m: usize, seed: u64) -> Vec<(usize, usize, i64)> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| {
+            let a = rng.gen_range(0..n - 1);
+            let b = rng.gen_range(a + 1..n);
+            (a, b, rng.gen_range(1..200))
+        })
+        .collect()
+}
+
+fn bench_dl(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dl_propagation");
+    for n in [50usize, 200] {
+        let edges = random_dag_edges(n, n * 3, 13);
+        // Incremental: one repair per pushed constraint.
+        group.bench_with_input(BenchmarkId::new("incremental", n), &edges, |b, edges| {
+            b.iter(|| {
+                let mut inc = IncrementalDiff::new(n);
+                for &(f, t, w) in edges {
+                    inc.push(f, t, w).unwrap();
+                }
+                inc.assignment()[n - 1]
+            })
+        });
+        // Batch: full Bellman-Ford after every insertion (what a
+        // non-incremental theory solver would pay).
+        group.bench_with_input(BenchmarkId::new("batch_per_edge", n), &edges, |b, edges| {
+            b.iter(|| {
+                let mut g = DiffGraph::new(n);
+                let mut last = 0;
+                for &(f, t, w) in edges {
+                    g.add_constraint(f, t, w);
+                    last = g.asap_schedule().unwrap()[n - 1];
+                }
+                last
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dl);
+criterion_main!(benches);

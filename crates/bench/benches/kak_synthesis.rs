@@ -1,0 +1,34 @@
+//! Microbenchmarks of two-qubit synthesis: KAK decomposition and circuit
+//! emission on Haar-random unitaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qca_num::random::haar_unitary;
+use qca_num::CMat;
+use qca_synth::kak::kak_decompose;
+use rand::SeedableRng;
+
+fn bench_kak(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let unitaries: Vec<CMat> = (0..32).map(|_| haar_unitary(&mut rng, 4)).collect();
+    let mut group = c.benchmark_group("kak");
+    group.bench_function("decompose_haar_su4", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let u = &unitaries[i % unitaries.len()];
+            i += 1;
+            kak_decompose(u)
+        })
+    });
+    group.bench_function("decompose_and_emit_cz", |b| {
+        let mut i = 0;
+        b.iter(|| {
+            let u = &unitaries[i % unitaries.len()];
+            i += 1;
+            kak_decompose(u).to_circuit_cz()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kak);
+criterion_main!(benches);

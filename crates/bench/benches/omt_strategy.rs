@@ -1,0 +1,51 @@
+//! Ablation bench (DESIGN.md #1): OMT binary-search vs. linear-search
+//! solution improvement on selection problems shaped like the adaptation
+//! model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qca_smt::{omt, SmtSolver};
+use rand::Rng;
+use rand::SeedableRng;
+
+fn build_problem(n: usize, seed: u64) -> (SmtSolver, qca_smt::IntExpr) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut smt = SmtSolver::new();
+    let xs: Vec<_> = (0..n).map(|_| smt.new_bool()).collect();
+    // Conflicts resembling overlapping substitutions.
+    for _ in 0..n / 2 {
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a != b {
+            smt.add_clause(&[!xs[a], !xs[b]]);
+        }
+    }
+    let terms: Vec<(i64, qca_sat::Lit)> = xs
+        .iter()
+        .map(|&x| (rng.gen_range(-500..500), x))
+        .collect();
+    let obj = smt.pb_sum(0, &terms);
+    (smt, obj)
+}
+
+fn bench_omt(c: &mut Criterion) {
+    let mut group = c.benchmark_group("omt_strategy");
+    group.sample_size(10);
+    for n in [16usize, 32, 48] {
+        group.bench_with_input(BenchmarkId::new("binary", n), &n, |b, &n| {
+            b.iter(|| {
+                let (mut smt, obj) = build_problem(n, 9);
+                omt::maximize(&mut smt, &obj, omt::Strategy::BinarySearch).unwrap()
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, &n| {
+            b.iter(|| {
+                let (mut smt, obj) = build_problem(n, 9);
+                omt::maximize(&mut smt, &obj, omt::Strategy::LinearSearch).unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_omt);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Microbenchmarks of the CDCL SAT core: random 3-SAT near/below threshold
+//! and pigeonhole UNSAT proofs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qca_sat::{Lit, Solver, Var};
+use rand::Rng;
+use rand::SeedableRng;
+
+fn random_3sat(n: usize, m: usize, seed: u64) -> Vec<Vec<i32>> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    (0..m)
+        .map(|_| {
+            let mut clause = Vec::new();
+            while clause.len() < 3 {
+                let v = rng.gen_range(1..=n as i32);
+                let lit = if rng.gen() { v } else { -v };
+                if !clause.iter().any(|&l: &i32| l.abs() == v) {
+                    clause.push(lit);
+                }
+            }
+            clause
+        })
+        .collect()
+}
+
+fn solve(n: usize, clauses: &[Vec<i32>]) -> bool {
+    let mut s = Solver::new();
+    let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+    for c in clauses {
+        let lits: Vec<Lit> = c
+            .iter()
+            .map(|&d| vars[(d.unsigned_abs() - 1) as usize].lit(d > 0))
+            .collect();
+        if !s.add_clause(&lits) {
+            return false;
+        }
+    }
+    s.solve()
+}
+
+fn pigeonhole(n: usize) -> (usize, Vec<Vec<i32>>) {
+    // n pigeons into n-1 holes: UNSAT.
+    let holes = n - 1;
+    let var = |p: usize, h: usize| (p * holes + h + 1) as i32;
+    let mut clauses = Vec::new();
+    for p in 0..n {
+        clauses.push((0..holes).map(|h| var(p, h)).collect());
+    }
+    for h in 0..holes {
+        for p1 in 0..n {
+            for p2 in (p1 + 1)..n {
+                clauses.push(vec![-var(p1, h), -var(p2, h)]);
+            }
+        }
+    }
+    (n * holes, clauses)
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sat_solver");
+    group.sample_size(10);
+    for &n in &[60usize, 100] {
+        let m = (n as f64 * 4.0) as usize;
+        let clauses = random_3sat(n, m, 42);
+        group.bench_with_input(
+            BenchmarkId::new("random3sat_ratio4", n),
+            &clauses,
+            |b, cl| b.iter(|| solve(n, cl)),
+        );
+    }
+    for &n in &[7usize, 8] {
+        let (nv, clauses) = pigeonhole(n);
+        group.bench_with_input(BenchmarkId::new("pigeonhole_unsat", n), &clauses, |b, cl| {
+            b.iter(|| solve(nv, cl))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat);
+criterion_main!(benches);

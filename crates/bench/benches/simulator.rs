@@ -1,0 +1,26 @@
+//! Noisy density-matrix simulator benchmarks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qca_baselines::direct_translation;
+use qca_hw::{spin_qubit_model, GateTimes};
+use qca_sim::{ideal_distribution, simulate_noisy};
+use qca_workloads::quantum_volume;
+
+fn bench_sim(c: &mut Criterion) {
+    let hw = spin_qubit_model(GateTimes::D0);
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+    for q in [2usize, 3, 4] {
+        let circuit = direct_translation(&quantum_volume(q, 2, 5));
+        group.bench_with_input(BenchmarkId::new("noisy_qv2", q), &circuit, |b, circ| {
+            b.iter(|| simulate_noisy(circ, &hw).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("ideal_qv2", q), &circuit, |b, circ| {
+            b.iter(|| ideal_distribution(circ))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

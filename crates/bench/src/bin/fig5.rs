@@ -1,0 +1,30 @@
+//! Reproduces Fig. 5: change in quantum circuit fidelity (product of gate
+//! fidelities) of every adaptation technique relative to the direct
+//! basis-translation baseline, for gate-time columns D0 and D1.
+
+use qca_bench::{adapt_with, metrics, pct_change, workload_suite, Method};
+use qca_hw::{spin_qubit_model, GateTimes};
+
+fn main() {
+    println!("Fig. 5: change in circuit fidelity vs. direct-translation baseline [%]");
+    for times in [GateTimes::D0, GateTimes::D1] {
+        let hw = spin_qubit_model(times);
+        println!("\n== gate times {times} ==");
+        print!("{:<14}", "circuit");
+        for m in &Method::ALL[1..] {
+            print!("{:>11}", m.label());
+        }
+        println!();
+        for w in workload_suite() {
+            let base = metrics(&adapt_with(Method::Baseline, &w.circuit, &hw), &hw);
+            print!("{:<14}", w.name);
+            for &m in &Method::ALL[1..] {
+                let met = metrics(&adapt_with(m, &w.circuit, &hw), &hw);
+                print!("{:>+10.2}%", pct_change(met.gate_fidelity, base.gate_fidelity));
+            }
+            println!();
+        }
+    }
+    println!("\nexpected shape (paper): SAT F >= TMP F >= 0; KAK-only often negative");
+    println!("(extra 1q gates + diabatic CZ infidelity); SAT improves up to ~15%.");
+}

@@ -1,0 +1,30 @@
+//! Reproduces Fig. 6: decrease in aggregate qubit idle time of every
+//! adaptation technique relative to the direct basis-translation baseline.
+
+use qca_bench::{adapt_with, metrics, pct_decrease, workload_suite, Method};
+use qca_hw::{spin_qubit_model, GateTimes};
+
+fn main() {
+    println!("Fig. 6: decrease in qubit idle time vs. direct-translation baseline [%]");
+    println!("(positive = less idling; baseline idle shown in ns for context)");
+    for times in [GateTimes::D0, GateTimes::D1] {
+        let hw = spin_qubit_model(times);
+        println!("\n== gate times {times} ==");
+        print!("{:<14}{:>12}", "circuit", "base idle");
+        for m in &Method::ALL[1..] {
+            print!("{:>11}", m.label());
+        }
+        println!();
+        for w in workload_suite() {
+            let base = metrics(&adapt_with(Method::Baseline, &w.circuit, &hw), &hw);
+            print!("{:<14}{:>10.0}ns", w.name, base.idle_time);
+            for &m in &Method::ALL[1..] {
+                let met = metrics(&adapt_with(m, &w.circuit, &hw), &hw);
+                print!("{:>+10.1}%", pct_decrease(met.idle_time, base.idle_time));
+            }
+            println!();
+        }
+    }
+    println!("\nexpected shape (paper): SAT R / SAT P give the largest idle-time");
+    println!("decreases (up to ~87%) on all but the smallest circuits.");
+}

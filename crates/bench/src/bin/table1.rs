@@ -1,0 +1,33 @@
+//! Reproduces Table I: investigated gate durations and fidelities.
+
+use qca_circuit::Gate;
+use qca_hw::{spin_qubit_model, GateTimes};
+
+fn main() {
+    let d0 = spin_qubit_model(GateTimes::D0);
+    let d1 = spin_qubit_model(GateTimes::D1);
+    let gates: [(&str, Gate); 6] = [
+        ("SU(2)", Gate::H),
+        ("CZ", Gate::Cz),
+        ("CZ_db", Gate::CzDiabatic),
+        ("CROT", Gate::CRot(1.0)),
+        ("SWAP_d", Gate::SwapDiabatic),
+        ("SWAP_c", Gate::SwapComposite),
+    ];
+    println!("Table I: investigated gate durations and fidelities");
+    println!("{:<18} {:>9} {:>9} {:>9}", "", "Fidelity", "D0 [ns]", "D1 [ns]");
+    for (name, g) in gates {
+        let c0 = d0.cost(&g).expect("native");
+        let c1 = d1.cost(&g).expect("native");
+        println!(
+            "{:<18} {:>9.3} {:>9.0} {:>9.0}",
+            name, c0.fidelity, c0.duration, c1.duration
+        );
+    }
+    println!();
+    println!(
+        "coherence: T2 = {} ns, T1 = {} ns (paper SV-B)",
+        d0.t2(),
+        d0.t1()
+    );
+}

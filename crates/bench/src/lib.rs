@@ -1,0 +1,240 @@
+//! # qca-bench
+//!
+//! Experiment harness regenerating the tables and figures of the paper's
+//! evaluation (§V). Each figure has a binary under `src/bin/`:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1` | Table I (gate fidelities and durations) |
+//! | `fig5` | Fig. 5 — change in circuit fidelity vs. baseline |
+//! | `fig6` | Fig. 6 — decrease in qubit idle time vs. baseline |
+//! | `fig7` | Fig. 7 — Hellinger fidelity change vs. idle-time decrease |
+//! | `headline` | the abstract's aggregate claims |
+//!
+//! Set `QCA_SCALE=full` for the full workload suite (depth up to 160);
+//! the default (`quick`) keeps total runtime to a few minutes.
+
+#![warn(missing_docs)]
+
+use qca_adapt::{adapt, AdaptOptions, Objective};
+use qca_baselines::{
+    direct_translation, kak_adaptation, template_optimization, KakBasis, TemplateObjective,
+};
+use qca_circuit::Circuit;
+use qca_hw::{CircuitSchedule, HardwareModel};
+use qca_sim::simulate_noisy;
+use qca_workloads::{quantum_volume, random_template_circuit, DEFAULT_TEMPLATE_GATES};
+
+/// The circuit adaptation techniques compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Direct basis translation (the normalization baseline).
+    Baseline,
+    /// KAK-only adaptation with adiabatic CZ.
+    KakCz,
+    /// KAK-only adaptation with diabatic CZ.
+    KakCzDb,
+    /// Template optimization, fidelity objective.
+    TmpF,
+    /// Template optimization, idle-time objective.
+    TmpR,
+    /// SMT adaptation, fidelity objective (Eq. 8).
+    SatF,
+    /// SMT adaptation, idle-time objective (Eq. 9).
+    SatR,
+    /// SMT adaptation, combined objective (Eq. 10).
+    SatP,
+}
+
+impl Method {
+    /// All methods, baseline first.
+    pub const ALL: [Method; 8] = [
+        Method::Baseline,
+        Method::KakCz,
+        Method::KakCzDb,
+        Method::TmpF,
+        Method::TmpR,
+        Method::SatF,
+        Method::SatR,
+        Method::SatP,
+    ];
+
+    /// Short display label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Method::Baseline => "baseline",
+            Method::KakCz => "KAK(CZ)",
+            Method::KakCzDb => "KAK(CZdb)",
+            Method::TmpF => "TMP F",
+            Method::TmpR => "TMP R",
+            Method::SatF => "SAT F",
+            Method::SatR => "SAT R",
+            Method::SatP => "SAT P",
+        }
+    }
+}
+
+/// Adapts `circuit` with the given method.
+///
+/// # Panics
+///
+/// Panics if the underlying pipeline reports an error (cannot happen for
+/// well-formed source circuits).
+pub fn adapt_with(method: Method, circuit: &Circuit, hw: &HardwareModel) -> Circuit {
+    match method {
+        Method::Baseline => direct_translation(circuit),
+        Method::KakCz => kak_adaptation(circuit, hw, KakBasis::Cz).expect("kak cz"),
+        Method::KakCzDb => kak_adaptation(circuit, hw, KakBasis::CzDiabatic).expect("kak db"),
+        Method::TmpF => {
+            template_optimization(circuit, hw, TemplateObjective::Fidelity).expect("tmp f")
+        }
+        Method::TmpR => {
+            template_optimization(circuit, hw, TemplateObjective::IdleTime).expect("tmp r")
+        }
+        Method::SatF => {
+            adapt(circuit, hw, &AdaptOptions::with_objective(Objective::Fidelity))
+                .expect("sat f")
+                .circuit
+        }
+        Method::SatR => {
+            adapt(circuit, hw, &AdaptOptions::with_objective(Objective::IdleTime))
+                .expect("sat r")
+                .circuit
+        }
+        Method::SatP => {
+            adapt(circuit, hw, &AdaptOptions::with_objective(Objective::Combined))
+                .expect("sat p")
+                .circuit
+        }
+    }
+}
+
+/// Static metrics of an adapted (hardware-native) circuit.
+#[derive(Debug, Clone, Copy)]
+pub struct Metrics {
+    /// Product of gate fidelities.
+    pub gate_fidelity: f64,
+    /// Total schedule duration (ns).
+    pub duration: f64,
+    /// Aggregate qubit idle time (ns).
+    pub idle_time: f64,
+}
+
+/// Computes the static metrics of a native circuit.
+///
+/// # Panics
+///
+/// Panics if the circuit contains non-native gates.
+pub fn metrics(circuit: &Circuit, hw: &HardwareModel) -> Metrics {
+    let sched = CircuitSchedule::asap(circuit, hw).expect("native circuit");
+    Metrics {
+        gate_fidelity: hw.circuit_fidelity(circuit).expect("native circuit"),
+        duration: sched.total_duration,
+        idle_time: sched.total_idle_time(),
+    }
+}
+
+/// Hellinger fidelity of a noisy execution (Fig. 7 metric).
+///
+/// # Panics
+///
+/// Panics if the circuit contains non-native gates.
+pub fn hellinger(circuit: &Circuit, hw: &HardwareModel) -> f64 {
+    simulate_noisy(circuit, hw)
+        .expect("native circuit")
+        .hellinger_fidelity
+}
+
+/// A named benchmark circuit.
+#[derive(Debug, Clone)]
+pub struct Workload {
+    /// Display name, e.g. `qv-4x4` or `rand-3q-d40`.
+    pub name: String,
+    /// The source-basis circuit.
+    pub circuit: Circuit,
+}
+
+/// `true` when `QCA_SCALE=full` is set in the environment.
+pub fn full_scale() -> bool {
+    std::env::var("QCA_SCALE").map(|v| v == "full").unwrap_or(false)
+}
+
+/// The evaluation workload suite: quantum-volume circuits and random
+/// template-gate circuits with 2–4 qubits (depth up to 160 at full scale),
+/// mirroring §V of the paper.
+pub fn workload_suite() -> Vec<Workload> {
+    let mut suite = Vec::new();
+    let qv = |q: usize, d: usize, seed: u64| Workload {
+        name: format!("qv-{q}x{d}"),
+        circuit: quantum_volume(q, d, seed),
+    };
+    let rand = |q: usize, d: usize, seed: u64| Workload {
+        name: format!("rand-{q}q-d{d}"),
+        circuit: random_template_circuit(q, d, seed, &DEFAULT_TEMPLATE_GATES, true),
+    };
+    suite.push(qv(2, 2, 11));
+    suite.push(qv(3, 2, 12));
+    suite.push(qv(4, 2, 13));
+    suite.push(rand(3, 20, 21));
+    suite.push(rand(4, 20, 22));
+    suite.push(rand(3, 40, 23));
+    if full_scale() {
+        suite.push(qv(4, 4, 14));
+        suite.push(rand(4, 40, 24));
+        suite.push(rand(3, 80, 25));
+        suite.push(rand(4, 80, 26));
+        suite.push(rand(3, 160, 27));
+        suite.push(rand(4, 160, 28));
+    }
+    suite
+}
+
+/// Percent change of `new` relative to `base` (positive = increase).
+pub fn pct_change(new: f64, base: f64) -> f64 {
+    if base.abs() < 1e-12 {
+        0.0
+    } else {
+        (new / base - 1.0) * 100.0
+    }
+}
+
+/// Percent decrease of `new` relative to `base` (positive = decrease).
+pub fn pct_decrease(new: f64, base: f64) -> f64 {
+    -pct_change(new, base)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qca_hw::{spin_qubit_model, GateTimes};
+
+    #[test]
+    fn all_methods_run_on_a_small_workload() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let w = &workload_suite()[0];
+        for m in Method::ALL {
+            let c = adapt_with(m, &w.circuit, &hw);
+            assert!(hw.supports_circuit(&c), "{} output not native", m.label());
+            let met = metrics(&c, &hw);
+            assert!(met.gate_fidelity > 0.0 && met.duration > 0.0);
+        }
+    }
+
+    #[test]
+    fn workload_suite_is_deterministic() {
+        let a = workload_suite();
+        let b = workload_suite();
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.circuit.instrs(), y.circuit.instrs());
+        }
+    }
+
+    #[test]
+    fn pct_helpers() {
+        assert!((pct_change(110.0, 100.0) - 10.0).abs() < 1e-12);
+        assert!((pct_decrease(80.0, 100.0) - 20.0).abs() < 1e-12);
+        assert_eq!(pct_change(5.0, 0.0), 0.0);
+    }
+}

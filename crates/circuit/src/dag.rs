@@ -1,0 +1,146 @@
+//! Instruction-level dependency DAG.
+//!
+//! Two instructions depend on each other when they share a qubit; the DAG
+//! chains each qubit's instructions in circuit order. Used for depth/layer
+//! analysis and as the substrate for block dependency extraction.
+
+use crate::circuit::Circuit;
+
+/// Dependency DAG over the instructions of a circuit.
+#[derive(Debug, Clone)]
+pub struct CircuitDag {
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+    n: usize,
+}
+
+impl CircuitDag {
+    /// Builds the DAG for `circuit`.
+    pub fn new(circuit: &Circuit) -> Self {
+        let n = circuit.len();
+        let mut preds = vec![Vec::new(); n];
+        let mut succs = vec![Vec::new(); n];
+        let mut last_on_qubit: Vec<Option<usize>> = vec![None; circuit.num_qubits()];
+        for (i, instr) in circuit.iter().enumerate() {
+            for &q in &instr.qubits {
+                if let Some(p) = last_on_qubit[q] {
+                    if !preds[i].contains(&p) {
+                        preds[i].push(p);
+                        succs[p].push(i);
+                    }
+                }
+                last_on_qubit[q] = Some(i);
+            }
+        }
+        CircuitDag { preds, succs, n }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the circuit had no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Direct predecessors of instruction `i`.
+    pub fn predecessors(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// Direct successors of instruction `i`.
+    pub fn successors(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// Instructions grouped into parallel layers (ASAP levelization).
+    pub fn layers(&self) -> Vec<Vec<usize>> {
+        let mut level = vec![0usize; self.n];
+        for i in 0..self.n {
+            // preds always have smaller index, so one pass suffices
+            level[i] = self.preds[i]
+                .iter()
+                .map(|&p| level[p] + 1)
+                .max()
+                .unwrap_or(0);
+        }
+        let depth = level.iter().copied().max().map_or(0, |d| d + 1);
+        let mut layers = vec![Vec::new(); depth];
+        for (i, &l) in level.iter().enumerate() {
+            layers[l].push(i);
+        }
+        layers
+    }
+
+    /// A topological order (instruction indices are already topologically
+    /// sorted by construction, so this is the identity order).
+    pub fn topological_order(&self) -> Vec<usize> {
+        (0..self.n).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gate::Gate;
+
+    #[test]
+    fn chain_dependencies() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::H, &[1]);
+        let dag = CircuitDag::new(&c);
+        assert_eq!(dag.predecessors(0), &[] as &[usize]);
+        assert_eq!(dag.predecessors(1), &[0]);
+        assert_eq!(dag.predecessors(2), &[1]);
+        assert_eq!(dag.successors(0), &[1]);
+    }
+
+    #[test]
+    fn independent_gates_share_layer() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::H, &[1]);
+        c.push(Gate::H, &[2]);
+        c.push(Gate::Cx, &[0, 1]);
+        let dag = CircuitDag::new(&c);
+        let layers = dag.layers();
+        assert_eq!(layers.len(), 2);
+        assert_eq!(layers[0], vec![0, 1, 2]);
+        assert_eq!(layers[1], vec![3]);
+    }
+
+    #[test]
+    fn two_qubit_gate_single_pred_edge() {
+        // A 2q gate whose both operands were last touched by the same gate
+        // gets a single dedup'd predecessor edge.
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[1, 0]);
+        let dag = CircuitDag::new(&c);
+        assert_eq!(dag.predecessors(1), &[0]);
+        assert_eq!(dag.successors(0), &[1]);
+    }
+
+    #[test]
+    fn layers_match_circuit_depth() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[1, 2]);
+        c.push(Gate::H, &[0]);
+        let dag = CircuitDag::new(&c);
+        assert_eq!(dag.layers().len(), c.depth());
+    }
+
+    #[test]
+    fn empty_circuit() {
+        let c = Circuit::new(2);
+        let dag = CircuitDag::new(&c);
+        assert!(dag.is_empty());
+        assert!(dag.layers().is_empty());
+    }
+}

@@ -1,0 +1,531 @@
+//! OpenQASM 2.0 subset parser and printer.
+//!
+//! Supports the constructs produced by common transpilers for the gate sets
+//! this workspace handles: a single quantum register, the `qelib1` gate
+//! names used here (`x`, `h`, `rz`, `u1`/`u2`/`u3`, `cx`, `cz`, `swap`,
+//! `iswap`, `cp`/`cu1`, `crx`, ...), `barrier` (ignored) and `measure`
+//! (ignored). Parameter expressions support `pi`, numeric literals, unary
+//! minus, `+ - * /` and parentheses.
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+use std::error::Error;
+use std::fmt;
+
+/// Error produced when parsing OpenQASM source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseQasmError {
+    /// 1-based source line of the problem.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseQasmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseQasmError {}
+
+fn err(line: usize, message: impl Into<String>) -> ParseQasmError {
+    ParseQasmError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses a full OpenQASM 2.0 program into a [`Circuit`].
+///
+/// # Errors
+///
+/// Returns [`ParseQasmError`] on unsupported or malformed constructs.
+///
+/// # Examples
+///
+/// ```
+/// use qca_circuit::qasm::parse_qasm;
+///
+/// let src = r#"
+/// OPENQASM 2.0;
+/// include "qelib1.inc";
+/// qreg q[2];
+/// h q[0];
+/// cx q[0],q[1];
+/// rz(pi/4) q[1];
+/// "#;
+/// let c = parse_qasm(src)?;
+/// assert_eq!(c.num_qubits(), 2);
+/// assert_eq!(c.len(), 3);
+/// # Ok::<(), qca_circuit::qasm::ParseQasmError>(())
+/// ```
+pub fn parse_qasm(src: &str) -> Result<Circuit, ParseQasmError> {
+    let mut num_qubits: Option<usize> = None;
+    let mut reg_name = String::from("q");
+    let mut circuit = Circuit::new(0);
+    // Join physical lines and split on ';' to allow multi-statement lines.
+    for (lineno, raw_line) in src.lines().enumerate() {
+        let lineno = lineno + 1;
+        let line = match raw_line.find("//") {
+            Some(pos) => &raw_line[..pos],
+            None => raw_line,
+        };
+        for stmt in line.split(';') {
+            let stmt = stmt.trim();
+            if stmt.is_empty() {
+                continue;
+            }
+            if stmt.starts_with("OPENQASM") || stmt.starts_with("include") {
+                continue;
+            }
+            if let Some(rest) = stmt.strip_prefix("qreg") {
+                let rest = rest.trim();
+                let (name, size) = parse_reg_decl(rest).ok_or_else(|| {
+                    err(lineno, format!("bad qreg declaration {rest:?}"))
+                })?;
+                if num_qubits.is_some() {
+                    return Err(err(lineno, "multiple qreg declarations are unsupported"));
+                }
+                reg_name = name;
+                num_qubits = Some(size);
+                circuit = Circuit::new(size);
+                continue;
+            }
+            if stmt.starts_with("creg") || stmt.starts_with("barrier") || stmt.starts_with("measure")
+            {
+                continue;
+            }
+            // Gate application: name[(params)] operands
+            let nq = num_qubits.ok_or_else(|| err(lineno, "gate before qreg declaration"))?;
+            let (gate, qubits) = parse_gate_stmt(stmt, &reg_name, nq, lineno)?;
+            if qubits.iter().any(|&q| q >= nq) {
+                return Err(err(lineno, "qubit index out of range"));
+            }
+            if qubits.len() == 2 && qubits[0] == qubits[1] {
+                return Err(err(lineno, "two-qubit gate on identical qubits"));
+            }
+            circuit.push(gate, &qubits);
+        }
+    }
+    Ok(circuit)
+}
+
+fn parse_reg_decl(s: &str) -> Option<(String, usize)> {
+    let open = s.find('[')?;
+    let close = s.find(']')?;
+    let name = s[..open].trim().to_string();
+    let size: usize = s[open + 1..close].trim().parse().ok()?;
+    Some((name, size))
+}
+
+fn parse_gate_stmt(
+    stmt: &str,
+    reg: &str,
+    _nq: usize,
+    lineno: usize,
+) -> Result<(Gate, Vec<usize>), ParseQasmError> {
+    // Split off the mnemonic (up to '(' or whitespace).
+    let name_end = stmt
+        .find(|c: char| c == '(' || c.is_whitespace())
+        .unwrap_or(stmt.len());
+    let name = &stmt[..name_end];
+    let mut rest = stmt[name_end..].trim();
+    let mut params: Vec<f64> = Vec::new();
+    if rest.starts_with('(') {
+        let close = find_matching_paren(rest)
+            .ok_or_else(|| err(lineno, "unbalanced parameter parentheses"))?;
+        let inner = &rest[1..close];
+        for p in split_top_level_commas(inner) {
+            params.push(
+                parse_expr(p.trim())
+                    .ok_or_else(|| err(lineno, format!("bad parameter expression {p:?}")))?,
+            );
+        }
+        rest = rest[close + 1..].trim();
+    }
+    let mut qubits = Vec::new();
+    for operand in rest.split(',') {
+        let operand = operand.trim();
+        if operand.is_empty() {
+            continue;
+        }
+        let idx = parse_operand(operand, reg)
+            .ok_or_else(|| err(lineno, format!("bad operand {operand:?}")))?;
+        qubits.push(idx);
+    }
+    let p = |i: usize| -> Result<f64, ParseQasmError> {
+        params
+            .get(i)
+            .copied()
+            .ok_or_else(|| err(lineno, format!("gate {name} missing parameter {i}")))
+    };
+    let gate = match name {
+        "id" | "i" => Gate::I,
+        "x" => Gate::X,
+        "y" => Gate::Y,
+        "z" => Gate::Z,
+        "h" => Gate::H,
+        "s" => Gate::S,
+        "sdg" => Gate::Sdg,
+        "t" => Gate::T,
+        "tdg" => Gate::Tdg,
+        "sx" => Gate::Sx,
+        "rx" => Gate::Rx(p(0)?),
+        "ry" => Gate::Ry(p(0)?),
+        "rz" => Gate::Rz(p(0)?),
+        "p" | "u1" => Gate::Phase(p(0)?),
+        "u2" => Gate::U3(std::f64::consts::FRAC_PI_2, p(0)?, p(1)?),
+        "u3" | "u" => Gate::U3(p(0)?, p(1)?, p(2)?),
+        "cx" | "CX" => Gate::Cx,
+        "cz" => Gate::Cz,
+        "cz_db" => Gate::CzDiabatic,
+        "cp" | "cu1" => Gate::CPhase(p(0)?),
+        "crx" | "crot" => Gate::CRot(p(0)?),
+        "swap" => Gate::Swap,
+        "swap_d" => Gate::SwapDiabatic,
+        "swap_c" => Gate::SwapComposite,
+        "iswap" => Gate::ISwap,
+        "iswapdg" => Gate::ISwapDg,
+        other => return Err(err(lineno, format!("unsupported gate {other:?}"))),
+    };
+    let expect = gate.num_qubits();
+    if qubits.len() != expect {
+        return Err(err(
+            lineno,
+            format!("gate {name} expects {expect} operand(s), got {}", qubits.len()),
+        ));
+    }
+    Ok((gate, qubits))
+}
+
+fn find_matching_paren(s: &str) -> Option<usize> {
+    let mut depth = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn split_top_level_commas(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0;
+    let mut start = 0;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => depth -= 1,
+            ',' if depth == 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+fn parse_operand(s: &str, reg: &str) -> Option<usize> {
+    let open = s.find('[')?;
+    let close = s.find(']')?;
+    if s[..open].trim() != reg {
+        return None;
+    }
+    s[open + 1..close].trim().parse().ok()
+}
+
+/// Parses a parameter arithmetic expression (`pi/2`, `-0.5*pi`, `3.25`, ...).
+///
+/// Returns `None` on malformed input.
+pub fn parse_expr(s: &str) -> Option<f64> {
+    let tokens = tokenize(s)?;
+    let mut pos = 0;
+    let v = parse_add(&tokens, &mut pos)?;
+    if pos == tokens.len() {
+        Some(v)
+    } else {
+        None
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Token {
+    Num(f64),
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    LParen,
+    RParen,
+}
+
+fn tokenize(s: &str) -> Option<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes = s.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            ' ' | '\t' => i += 1,
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                out.push(Token::Minus);
+                i += 1;
+            }
+            '*' => {
+                out.push(Token::Star);
+                i += 1;
+            }
+            '/' => {
+                out.push(Token::Slash);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            'p' | 'P'
+                if s[i..].to_lowercase().starts_with("pi") => {
+                    out.push(Token::Num(std::f64::consts::PI));
+                    i += 2;
+                }
+            c if c.is_ascii_digit() || c == '.' => {
+                let start = i;
+                while i < bytes.len()
+                    && ((bytes[i] as char).is_ascii_digit()
+                        || bytes[i] == b'.'
+                        || bytes[i] == b'e'
+                        || bytes[i] == b'E'
+                        || ((bytes[i] == b'-' || bytes[i] == b'+')
+                            && i > start
+                            && (bytes[i - 1] == b'e' || bytes[i - 1] == b'E')))
+                {
+                    i += 1;
+                }
+                out.push(Token::Num(s[start..i].parse().ok()?));
+            }
+            _ => return None,
+        }
+    }
+    Some(out)
+}
+
+fn parse_add(tokens: &[Token], pos: &mut usize) -> Option<f64> {
+    let mut v = parse_mul(tokens, pos)?;
+    while *pos < tokens.len() {
+        match tokens[*pos] {
+            Token::Plus => {
+                *pos += 1;
+                v += parse_mul(tokens, pos)?;
+            }
+            Token::Minus => {
+                *pos += 1;
+                v -= parse_mul(tokens, pos)?;
+            }
+            _ => break,
+        }
+    }
+    Some(v)
+}
+
+fn parse_mul(tokens: &[Token], pos: &mut usize) -> Option<f64> {
+    let mut v = parse_unary(tokens, pos)?;
+    while *pos < tokens.len() {
+        match tokens[*pos] {
+            Token::Star => {
+                *pos += 1;
+                v *= parse_unary(tokens, pos)?;
+            }
+            Token::Slash => {
+                *pos += 1;
+                v /= parse_unary(tokens, pos)?;
+            }
+            _ => break,
+        }
+    }
+    Some(v)
+}
+
+fn parse_unary(tokens: &[Token], pos: &mut usize) -> Option<f64> {
+    match tokens.get(*pos)? {
+        Token::Minus => {
+            *pos += 1;
+            Some(-parse_unary(tokens, pos)?)
+        }
+        Token::Plus => {
+            *pos += 1;
+            parse_unary(tokens, pos)
+        }
+        Token::Num(v) => {
+            let v = *v;
+            *pos += 1;
+            Some(v)
+        }
+        Token::LParen => {
+            *pos += 1;
+            let v = parse_add(tokens, pos)?;
+            if tokens.get(*pos) == Some(&Token::RParen) {
+                *pos += 1;
+                Some(v)
+            } else {
+                None
+            }
+        }
+        _ => None,
+    }
+}
+
+/// Serializes a circuit as OpenQASM 2.0.
+///
+/// Hardware realization variants (`cz_db`, `swap_d`, `swap_c`) are emitted
+/// under those names; [`parse_qasm`] reads them back, and a standard QASM
+/// consumer can `gate`-define them as their canonical equivalents.
+pub fn to_qasm(circuit: &Circuit) -> String {
+    let mut out = String::new();
+    out.push_str("OPENQASM 2.0;\ninclude \"qelib1.inc\";\n");
+    out.push_str(&format!("qreg q[{}];\n", circuit.num_qubits()));
+    for instr in circuit.iter() {
+        let params = instr.gate.params();
+        let name = instr.gate.name();
+        if params.is_empty() {
+            out.push_str(name);
+        } else {
+            let joined: Vec<String> = params.iter().map(|p| format!("{p:.17}")).collect();
+            out.push_str(&format!("{name}({})", joined.join(",")));
+        }
+        let qs: Vec<String> = instr.qubits.iter().map(|q| format!("q[{q}]")).collect();
+        out.push_str(&format!(" {};\n", qs.join(",")));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qca_num::phase::approx_eq_up_to_phase;
+    use std::f64::consts::PI;
+
+    #[test]
+    fn parse_basic_program() {
+        let src = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncreg c[3];\nh q[0];\ncx q[0],q[1];\nmeasure q -> c;\n";
+        let c = parse_qasm(src).unwrap();
+        assert_eq!(c.num_qubits(), 3);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn parse_parameter_expressions() {
+        for (expr, expect) in [
+            ("pi", PI),
+            ("pi/2", PI / 2.0),
+            ("-pi/4", -PI / 4.0),
+            ("2*pi", 2.0 * PI),
+            ("(1+2)*3", 9.0),
+            ("1.5e-2", 0.015),
+            ("pi/2 + pi/4", 3.0 * PI / 4.0),
+            ("-(2-5)", 3.0),
+        ] {
+            let got = parse_expr(expr).unwrap_or_else(|| panic!("failed on {expr}"));
+            assert!((got - expect).abs() < 1e-12, "{expr}: {got} != {expect}");
+        }
+    }
+
+    #[test]
+    fn bad_expressions_rejected() {
+        for expr in ["", "pi pi", "1+", "(1", "q[0]", "foo"] {
+            assert!(parse_expr(expr).is_none(), "{expr:?} should fail");
+        }
+    }
+
+    #[test]
+    fn parse_parameterized_gates() {
+        let src = "qreg q[2];\nrz(pi/2) q[0];\nu3(0.1,0.2,0.3) q[1];\ncp(-pi) q[0],q[1];\n";
+        let c = parse_qasm(src).unwrap();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.instrs()[0].gate, Gate::Rz(PI / 2.0));
+        assert_eq!(c.instrs()[1].gate, Gate::U3(0.1, 0.2, 0.3));
+        assert_eq!(c.instrs()[2].gate, Gate::CPhase(-PI));
+    }
+
+    #[test]
+    fn unsupported_gate_errors() {
+        let src = "qreg q[1];\nfrobnicate q[0];\n";
+        let e = parse_qasm(src).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn out_of_range_qubit_errors() {
+        let src = "qreg q[1];\nh q[3];\n";
+        assert!(parse_qasm(src).is_err());
+    }
+
+    #[test]
+    fn gate_before_qreg_errors() {
+        let src = "h q[0];\n";
+        assert!(parse_qasm(src).is_err());
+    }
+
+    #[test]
+    fn wrong_arity_errors() {
+        let src = "qreg q[2];\ncx q[0];\n";
+        assert!(parse_qasm(src).is_err());
+    }
+
+    #[test]
+    fn round_trip_preserves_unitary() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Rz(0.7), &[1]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::U3(0.1, -0.2, 0.3), &[2]);
+        c.push(Gate::CPhase(1.3), &[1, 2]);
+        c.push(Gate::Swap, &[0, 2]);
+        let qasm = to_qasm(&c);
+        let c2 = parse_qasm(&qasm).unwrap();
+        assert_eq!(c.len(), c2.len());
+        assert!(approx_eq_up_to_phase(&c.unitary(), &c2.unitary(), 1e-9));
+    }
+
+    #[test]
+    fn round_trip_realization_variants() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::SwapDiabatic, &[0, 1]);
+        c.push(Gate::CzDiabatic, &[0, 1]);
+        c.push(Gate::SwapComposite, &[0, 1]);
+        let c2 = parse_qasm(&to_qasm(&c)).unwrap();
+        assert_eq!(c.instrs(), c2.instrs());
+    }
+
+    #[test]
+    fn comments_and_blank_lines_skipped() {
+        let src = "// header\nqreg q[1];\n\nh q[0]; // inline comment\n";
+        let c = parse_qasm(src).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn barrier_is_ignored() {
+        let src = "qreg q[2];\nh q[0];\nbarrier q;\ncx q[0],q[1];\n";
+        let c = parse_qasm(src).unwrap();
+        assert_eq!(c.len(), 2);
+    }
+}

@@ -1,0 +1,29 @@
+//! Error types for circuit adaptation.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by the adaptation pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdaptError {
+    /// The input circuit contains a gate the pipeline cannot translate.
+    UnsupportedGate(String),
+    /// The SMT model was unsatisfiable (indicates an internal modelling bug,
+    /// since the reference adaptation is always a feasible assignment).
+    Infeasible,
+    /// The input circuit exceeds a structural limit (e.g. qubit count for
+    /// unitary-based rule evaluation).
+    TooLarge(String),
+}
+
+impl fmt::Display for AdaptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdaptError::UnsupportedGate(g) => write!(f, "unsupported gate {g}"),
+            AdaptError::Infeasible => write!(f, "adaptation model unsatisfiable"),
+            AdaptError::TooLarge(m) => write!(f, "circuit too large: {m}"),
+        }
+    }
+}
+
+impl Error for AdaptError {}

@@ -1,0 +1,585 @@
+//! SMT model construction and solving (paper §IV-C).
+//!
+//! Variables: choice Booleans `c_s` per substitution, block start times
+//! `e_b`, block durations `d_b` (linear pseudo-Boolean sums, Eq. 3), block
+//! log-fidelities folded into one linear sum (Eq. 5), and the total duration
+//! `D`. Constraints: substitution conflicts (Eq. 1) and block dependencies
+//! (Eq. 2). Objectives: fidelity (Eq. 8), qubit idle time (Eq. 9), or the
+//! combined success exponent (Eq. 10), maximized by the OMT engine.
+//!
+//! All quantities are fixed-point integers: durations in nanoseconds,
+//! log-fidelities in units of `1e-6` (the paper's log-domain trick keeps
+//! everything linear).
+
+use crate::error::AdaptError;
+use crate::preprocess::Preprocessed;
+use crate::rules::Substitution;
+use qca_hw::HardwareModel;
+use qca_smt::{omt, IntExpr, SmtSolver};
+
+/// Default per-probe conflict budget for the OMT search. The scheduling
+/// objectives produce arithmetic-heavy UNSAT probes that plain clause
+/// learning handles poorly (resolution cannot count); capping each probe
+/// keeps adaptation fast while `SmtAdaptation::optimal` reports whether the
+/// search was exact.
+pub const DEFAULT_PROBE_BUDGET: u64 = 2_000;
+
+/// Fixed-point scale for log-fidelities. Chosen as `10 * T2` so the
+/// idle-time exponent weight per nanosecond is exactly `K = 10`: small
+/// integer weights keep the bit-blasted adders narrow (the dominant factor
+/// in OMT solve time) while the log-fidelity resolution (3.4e-5) stays well
+/// below any per-gate delta.
+const LOG_SCALE: f64 = 29_000.0;
+
+/// Optimization objective (paper Eqs. 8–10).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Objective {
+    /// `SAT F`: maximize the summed block log-fidelity (Eq. 8).
+    #[default]
+    Fidelity,
+    /// `SAT R`: minimize aggregate qubit idle time (Eq. 9).
+    IdleTime,
+    /// `SAT P`: maximize log-fidelity minus the idle-time decay exponent
+    /// (Eq. 10).
+    Combined,
+}
+
+impl std::fmt::Display for Objective {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Objective::Fidelity => write!(f, "SAT F"),
+            Objective::IdleTime => write!(f, "SAT R"),
+            Objective::Combined => write!(f, "SAT P"),
+        }
+    }
+}
+
+/// Result of solving the adaptation model.
+#[derive(Debug, Clone)]
+pub struct SmtAdaptation {
+    /// Ids of the chosen substitutions (`c_s = true`).
+    pub chosen: Vec<usize>,
+    /// Optimal objective value in fixed-point units.
+    pub objective_value: i64,
+    /// Number of SAT queries issued by the OMT search.
+    pub queries: u64,
+    /// Number of SAT variables in the bit-blasted model.
+    pub sat_vars: usize,
+    /// `true` when the OMT search proved optimality (no probe hit its
+    /// conflict budget).
+    pub optimal: bool,
+}
+
+
+/// Integer cost data shared between the SMT encoding and the greedy warm
+/// start, so both compute bit-identical objective values.
+struct CostData {
+    /// Per-substitution scaled log-fidelity delta.
+    fid_w: Vec<i64>,
+    /// Per-substitution duration delta (ns).
+    dur_w: Vec<i64>,
+    /// Per-substitution busy-time delta (scaled).
+    busy_w: Vec<i64>,
+    /// Scaled reference log-fidelity sum.
+    fid_base: i64,
+    /// Per-block reference durations (ns).
+    dur_base: Vec<i64>,
+    /// Scaled reference busy time.
+    busy_base: i64,
+    /// Idle weight per nanosecond (scaled).
+    k: i64,
+    /// Number of qubits.
+    q: i64,
+}
+
+impl CostData {
+    fn new(pre: &Preprocessed, hw: &HardwareModel, catalog: &[Substitution]) -> CostData {
+        let scaled = |x: f64| (x * LOG_SCALE).round() as i64;
+        let k = (LOG_SCALE / hw.t2()).round() as i64;
+        let nblocks = pre.partition.blocks.len();
+        let fid_w = catalog
+            .iter()
+            .map(|s| scaled(s.delta_log_fidelity))
+            .collect();
+        let dur_w: Vec<i64> = catalog
+            .iter()
+            .map(|s| s.delta_duration.round() as i64)
+            .collect();
+        let busy_w = catalog
+            .iter()
+            .zip(&dur_w)
+            .map(|(s, &d)| k * pre.partition.blocks[s.block].qubits.len() as i64 * d)
+            .collect();
+        let dur_base: Vec<i64> = (0..nblocks)
+            .map(|b| pre.cost[b].duration.round() as i64)
+            .collect();
+        let busy_base = (0..nblocks)
+            .map(|b| k * pre.partition.blocks[b].qubits.len() as i64 * dur_base[b])
+            .sum();
+        CostData {
+            fid_w,
+            dur_w,
+            busy_w,
+            fid_base: scaled(pre.reference_log_fidelity()),
+            dur_base,
+            busy_base,
+            k,
+            q: pre.source.num_qubits() as i64,
+        }
+    }
+
+    /// Evaluates the exact model objective of a concrete selection.
+    fn evaluate(
+        &self,
+        pre: &Preprocessed,
+        catalog: &[Substitution],
+        selection: &[bool],
+        objective: Objective,
+    ) -> i64 {
+        let fid: i64 = self.fid_base
+            + selection
+                .iter()
+                .zip(&self.fid_w)
+                .filter(|&(&s, _)| s)
+                .map(|(_, &w)| w)
+                .sum::<i64>();
+        if objective == Objective::Fidelity {
+            return fid;
+        }
+        let nblocks = pre.partition.blocks.len();
+        let mut dur = self.dur_base.clone();
+        let mut busy = self.busy_base;
+        for (i, s) in catalog.iter().enumerate() {
+            if selection[i] {
+                dur[s.block] += self.dur_w[i];
+                busy += self.busy_w[i];
+            }
+        }
+        // ASAP longest path over the (topologically ordered) block DAG.
+        let mut lp = vec![0i64; nblocks];
+        for &(before, after) in &pre.partition.edges {
+            lp[after] = lp[after].max(lp[before] + dur[before]);
+        }
+        let total = (0..nblocks).map(|b| lp[b] + dur[b]).max().unwrap_or(0);
+        let idle = busy - self.k * self.q * total;
+        match objective {
+            Objective::IdleTime => idle,
+            Objective::Combined => fid + idle,
+            Objective::Fidelity => unreachable!(),
+        }
+    }
+}
+
+
+/// Sound upper bound on the positive objective part: for each block, the
+/// best conflict-free subset of its substitutions (exhaustive for small
+/// blocks, sum-of-positives otherwise), summed over blocks.
+fn block_subset_upper_bound(
+    pre: &Preprocessed,
+    catalog: &[Substitution],
+    cost: &CostData,
+    objective: Objective,
+) -> i64 {
+    let weight = |i: usize| -> i64 {
+        match objective {
+            Objective::IdleTime => cost.busy_w[i],
+            Objective::Combined => cost.busy_w[i] + cost.fid_w[i],
+            Objective::Fidelity => cost.fid_w[i],
+        }
+    };
+    let base = match objective {
+        Objective::IdleTime => cost.busy_base,
+        Objective::Combined => cost.busy_base + cost.fid_base,
+        Objective::Fidelity => cost.fid_base,
+    };
+    let mut ub = base;
+    for block in &pre.partition.blocks {
+        let members: Vec<usize> = (0..catalog.len())
+            .filter(|&i| catalog[i].block == block.id)
+            .collect();
+        if members.is_empty() {
+            continue;
+        }
+        if members.len() <= 16 {
+            let mut best = 0i64;
+            'subset: for mask in 0u32..(1 << members.len()) {
+                let mut total = 0i64;
+                for (ai, &a) in members.iter().enumerate() {
+                    if (mask >> ai) & 1 == 0 {
+                        continue;
+                    }
+                    for (bi, &b) in members.iter().enumerate().skip(ai + 1) {
+                        if (mask >> bi) & 1 == 1 && catalog[a].conflicts_with(&catalog[b]) {
+                            continue 'subset;
+                        }
+                    }
+                    total += weight(a);
+                }
+                best = best.max(total);
+            }
+            ub += best;
+        } else {
+            ub += members.iter().map(|&i| weight(i).max(0)).sum::<i64>();
+        }
+    }
+    ub
+}
+
+/// Greedy warm start: repeatedly accept the substitution with the best
+/// marginal objective improvement (skipping conflicts) until no candidate
+/// improves. Returns the selection and its exact model objective value.
+fn greedy_selection(
+    pre: &Preprocessed,
+    catalog: &[Substitution],
+    cost: &CostData,
+    objective: Objective,
+) -> (Vec<bool>, i64) {
+    let n = catalog.len();
+    let mut selection = vec![false; n];
+    let mut best = cost.evaluate(pre, catalog, &selection, objective);
+    loop {
+        let mut improved: Option<(usize, i64)> = None;
+        'cand: for i in 0..n {
+            if selection[i] {
+                continue;
+            }
+            for j in 0..n {
+                if selection[j] && catalog[i].conflicts_with(&catalog[j]) {
+                    continue 'cand;
+                }
+            }
+            selection[i] = true;
+            let v = cost.evaluate(pre, catalog, &selection, objective);
+            selection[i] = false;
+            if v > best && improved.is_none_or(|(_, bv)| v > bv) {
+                improved = Some((i, v));
+            }
+        }
+        match improved {
+            Some((i, v)) => {
+                selection[i] = true;
+                best = v;
+            }
+            None => break,
+        }
+    }
+    (selection, best)
+}
+
+/// Builds and solves the SMT model, returning the optimal substitution
+/// selection.
+///
+/// # Errors
+///
+/// Returns [`AdaptError::Infeasible`] if the model is unsatisfiable (cannot
+/// happen for a well-formed catalog: the empty selection reproduces the
+/// reference adaptation).
+pub fn solve_model(
+    pre: &Preprocessed,
+    hw: &HardwareModel,
+    catalog: &[Substitution],
+    objective: Objective,
+    strategy: omt::Strategy,
+) -> Result<SmtAdaptation, AdaptError> {
+    solve_model_with_budget(pre, hw, catalog, objective, strategy, Some(DEFAULT_PROBE_BUDGET))
+}
+
+/// [`solve_model`] with an explicit per-probe conflict budget (`None` for an
+/// exact, unbudgeted search).
+///
+/// # Errors
+///
+/// As [`solve_model`].
+pub fn solve_model_with_budget(
+    pre: &Preprocessed,
+    hw: &HardwareModel,
+    catalog: &[Substitution],
+    objective: Objective,
+    strategy: omt::Strategy,
+    probe_budget: Option<u64>,
+) -> Result<SmtAdaptation, AdaptError> {
+    let mut smt = SmtSolver::new();
+    let choice: Vec<_> = catalog.iter().map(|_| smt.new_bool()).collect();
+
+    // Eq. 1: conflicting substitutions are mutually exclusive.
+    for (i, a) in catalog.iter().enumerate() {
+        for (jj, b) in catalog.iter().enumerate().skip(i + 1) {
+            if a.conflicts_with(b) {
+                smt.add_clause(&[!choice[i], !choice[jj]]);
+            }
+        }
+    }
+
+    let nblocks = pre.partition.blocks.len();
+    let cost = CostData::new(pre, hw, catalog);
+
+    // Fidelity sum (Eqs. 5–6, aggregated): base + Σ 𝔽(s)·c_s.
+    let fid_terms: Vec<(i64, qca_sat::Lit)> = cost
+        .fid_w
+        .iter()
+        .zip(&choice)
+        .map(|(&w, &l)| (w, l))
+        .collect();
+    let fid_base = cost.fid_base;
+    let fidelity = smt.pb_sum(fid_base, &fid_terms);
+
+    let objective_expr: IntExpr = match objective {
+        Objective::Fidelity => fidelity,
+        Objective::IdleTime | Objective::Combined => {
+            // Per-block duration expressions (Eq. 3), plus per-block
+            // min/max durations for bound tightening.
+            let mut dur_exprs: Vec<IntExpr> = Vec::with_capacity(nblocks);
+            let mut d_min = vec![0i64; nblocks];
+            let mut d_max = vec![0i64; nblocks];
+            for b in 0..nblocks {
+                let base = cost.dur_base[b];
+                let terms: Vec<(i64, qca_sat::Lit)> = catalog
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| s.block == b)
+                    .map(|(i, _)| (cost.dur_w[i], choice[i]))
+                    .collect();
+                d_min[b] = (base + terms.iter().map(|&(w, _)| w.min(0)).sum::<i64>()).max(0);
+                d_max[b] = base + terms.iter().map(|&(w, _)| w.max(0)).sum::<i64>();
+                dur_exprs.push(smt.pb_sum(base, &terms));
+            }
+            // Tight per-block start-time windows from longest-path analysis:
+            // the optimum is always attained by an ASAP schedule, so start
+            // times never need to exceed the max-duration longest path.
+            let longest_paths = |durs: &[i64]| -> Vec<i64> {
+                let mut lp = vec![0i64; nblocks];
+                // Block ids are topologically ordered by construction.
+                for &(before, after) in &pre.partition.edges {
+                    lp[after] = lp[after].max(lp[before] + durs[before]);
+                }
+                lp
+            };
+            let e_lo = longest_paths(&d_min);
+            let e_hi = longest_paths(&d_max);
+            let total_lo = (0..nblocks)
+                .map(|b| e_lo[b] + d_min[b])
+                .max()
+                .unwrap_or(0);
+            let total_hi = (0..nblocks)
+                .map(|b| e_hi[b] + d_max[b])
+                .max()
+                .unwrap_or(0)
+                .max(total_lo)
+                .max(1);
+            // Functionally-determined ASAP schedule: every start time is
+            // the max over predecessor end times (Eq. 2 with equality, which
+            // preserves the optimum because the objective improves when D
+            // shrinks). This keeps the whole model a deterministic circuit
+            // of the choice Booleans — the SAT solver only ever decides
+            // `c_s`, and unit propagation derives all arithmetic.
+            let preds = pre.partition.predecessors();
+            let mut starts: Vec<IntExpr> = Vec::with_capacity(nblocks);
+            let mut ends: Vec<IntExpr> = Vec::with_capacity(nblocks);
+            for b in 0..nblocks {
+                let pred_ends: Vec<IntExpr> =
+                    preds[b].iter().map(|&p| ends[p].clone()).collect();
+                let start = if pred_ends.is_empty() {
+                    smt.int_const(0)
+                } else {
+                    smt.max_of(&pred_ends)
+                };
+                let end = smt.add(&start, &dur_exprs[b]);
+                starts.push(start);
+                ends.push(end);
+            }
+            let total = smt.max_of(&ends);
+            debug_assert!(total.lo >= 0 && total.hi <= total_hi);
+            let horizon = total_hi;
+            // Busy time with per-block qubit weights (see DESIGN.md): the
+            // paper's Eq. 9 uses Σ d_b; we weight by the block's qubit count
+            // so the modeled idle time matches the measured metric.
+            let k = cost.k;
+            let q = cost.q;
+            let busy_terms: Vec<(i64, qca_sat::Lit)> = cost
+                .busy_w
+                .iter()
+                .zip(&choice)
+                .map(|(&w, &l)| (w, l))
+                .collect();
+            let busy_base: i64 = cost.busy_base;
+            let pos = match objective {
+                Objective::IdleTime => smt.pb_sum(busy_base, &busy_terms),
+                Objective::Combined => {
+                    let mut terms = busy_terms.clone();
+                    for (t, f) in terms.iter_mut().zip(&fid_terms) {
+                        t.0 += f.0;
+                    }
+                    smt.pb_sum(busy_base + fid_base, &terms)
+                }
+                Objective::Fidelity => unreachable!(),
+            };
+            // objective = pos - k*q*D. Subtraction is computed directly
+            // (pos + k*q*(horizon - D), a constant shift) so the objective
+            // stays a deterministic function of the choice Booleans.
+            let kq = k * q;
+            let slack = smt.sub_from_const(horizon, &total);
+            let scaled_slack = smt.mul_const(&slack, kq);
+            let j = smt.add(&pos, &scaled_slack);
+            // Report values in the natural `pos - kq*D` frame.
+            let mut j = j.shifted(-kq * horizon);
+            // Tighten the OMT bracket with a sound combinatorial upper
+            // bound: per-block best conflict-free subset of the positive
+            // objective part, minus the minimum possible makespan term.
+            let ub = block_subset_upper_bound(pre, catalog, &cost, objective)
+                - kq * total_lo;
+            j.hi = j.hi.min(ub);
+            j
+        }
+    };
+
+    // Greedy warm start: seed the solver's phases with a good selection and
+    // assert its objective value as a sound lower bound, so the OMT search
+    // only explores the region above it.
+    let (warm, warm_value) = greedy_selection(pre, catalog, &cost, objective);
+    let mut hint: Vec<qca_sat::Lit> = Vec::with_capacity(choice.len());
+    for (i, &sel) in warm.iter().enumerate() {
+        smt.sat_mut().set_phase(choice[i].var(), sel);
+        hint.push(if sel { choice[i] } else { !choice[i] });
+    }
+    let warm_bound = smt.int_const(warm_value);
+    smt.assert_ge(&objective_expr, &warm_bound);
+
+    // Size-adaptive search effort: bigger bit-blasted models get smaller
+    // probe budgets and a coarser gap — the greedy warm start already pins
+    // the incumbent, so late probes only chase small refinements.
+    let relative_gap = if probe_budget.is_none() {
+        0.0
+    } else if nblocks > 16 {
+        0.05
+    } else {
+        0.02
+    };
+    let adaptive_budget = probe_budget.map(|b| if nblocks > 16 { b / 4 } else { b });
+    let omt_options = omt::OmtOptions {
+        probe_conflict_budget: adaptive_budget,
+        relative_gap,
+    };
+    let best = omt::maximize_with(&mut smt, &objective_expr, strategy, omt_options, &hint)
+        .ok_or(AdaptError::Infeasible)?;
+    let chosen = choice
+        .iter()
+        .enumerate()
+        .filter(|&(_, &lit)| best.model.lit_is_true(lit))
+        .map(|(i, _)| i)
+        .collect();
+    Ok(SmtAdaptation {
+        chosen,
+        objective_value: best.value,
+        queries: best.queries,
+        sat_vars: smt.num_sat_vars(),
+        optimal: best.optimal,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::preprocess;
+    use crate::rules::{evaluate_substitutions, RuleOptions};
+    use qca_circuit::{Circuit, Gate};
+    use qca_hw::{spin_qubit_model, GateTimes};
+
+    fn setup(c: &Circuit) -> (Preprocessed, Vec<Substitution>, HardwareModel) {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let pre = preprocess(c, &hw).unwrap();
+        let subs = evaluate_substitutions(&pre, &hw, &RuleOptions::default()).unwrap();
+        (pre, subs, hw)
+    }
+
+    #[test]
+    fn fidelity_objective_picks_beneficial_subs() {
+        // Swap pattern: swap_c improves fidelity (0.999 vs 0.999^3 · H's).
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[1, 0]);
+        c.push(Gate::Cx, &[0, 1]);
+        let (pre, subs, hw) = setup(&c);
+        let r = solve_model(&pre, &hw, &subs, Objective::Fidelity, omt::Strategy::BinarySearch)
+            .unwrap();
+        assert!(!r.chosen.is_empty());
+        // The chosen set must contain a fidelity-improving substitution.
+        let gain: f64 = r
+            .chosen
+            .iter()
+            .map(|&i| subs[i].delta_log_fidelity)
+            .sum();
+        assert!(gain > 0.0, "gain {gain}");
+    }
+
+    #[test]
+    fn objective_value_matches_selection_fidelity() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[1, 0]);
+        c.push(Gate::Cx, &[0, 1]);
+        let (pre, subs, hw) = setup(&c);
+        let r = solve_model(&pre, &hw, &subs, Objective::Fidelity, omt::Strategy::BinarySearch)
+            .unwrap();
+        let expect = pre.reference_log_fidelity()
+            + r.chosen
+                .iter()
+                .map(|&i| subs[i].delta_log_fidelity)
+                .sum::<f64>();
+        let got = r.objective_value as f64 / 29_000.0;
+        assert!((got - expect).abs() < 1e-3, "got {got} expect {expect}");
+    }
+
+    #[test]
+    fn no_conflicting_substitutions_chosen() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[1, 0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[1, 2]);
+        let (pre, subs, hw) = setup(&c);
+        for obj in [Objective::Fidelity, Objective::IdleTime, Objective::Combined] {
+            let r =
+                solve_model(&pre, &hw, &subs, obj, omt::Strategy::BinarySearch).unwrap();
+            for (i, &a) in r.chosen.iter().enumerate() {
+                for &b in &r.chosen[i + 1..] {
+                    assert!(
+                        !subs[a].conflicts_with(&subs[b]),
+                        "{obj}: chose conflicting substitutions {a} and {b}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn idle_objective_prefers_short_swaps() {
+        // Two qubits idle while a swap executes on the other two: the idle
+        // objective should choose the fastest realization (swap_d, 19 ns).
+        let mut c = Circuit::new(4);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[1, 0]);
+        c.push(Gate::Cx, &[0, 1]);
+        // Parallel long gates on 2,3 so the swap is off the critical path?
+        // No: keep 2,3 idle so idling dominates.
+        let (pre, subs, hw) = setup(&c);
+        let r = solve_model(&pre, &hw, &subs, Objective::IdleTime, omt::Strategy::BinarySearch)
+            .unwrap();
+        let kinds: Vec<_> = r.chosen.iter().map(|&i| subs[i].kind).collect();
+        assert!(
+            kinds.contains(&crate::rules::SubstitutionKind::SwapDiabatic),
+            "idle objective should pick swap_d, got {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn empty_catalog_still_solves() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Cz, &[0, 1]);
+        let hw = spin_qubit_model(GateTimes::D0);
+        let pre = preprocess(&c, &hw).unwrap();
+        let r = solve_model(&pre, &hw, &[], Objective::Combined, omt::Strategy::BinarySearch)
+            .unwrap();
+        assert!(r.chosen.is_empty());
+    }
+}

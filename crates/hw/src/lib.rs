@@ -1,0 +1,38 @@
+//! # qca-hw
+//!
+//! Hardware modality models for quantum circuit adaptation:
+//!
+//! * [`HardwareModel`] — gate cost tables (fidelity + duration) and
+//!   coherence times,
+//! * [`spin_qubit_model`] — the semiconducting spin-qubit target of the
+//!   paper with Table I costs in both timing columns ([`GateTimes::D0`],
+//!   [`GateTimes::D1`]),
+//! * [`ibm_source_model`] — the CX-basis source modality,
+//! * [`CircuitSchedule`] — ASAP scheduling and the qubit idle-time metric
+//!   (Eq. 9 / Fig. 6 of the paper).
+//!
+//! # Examples
+//!
+//! ```
+//! use qca_circuit::{Circuit, Gate};
+//! use qca_hw::{spin_qubit_model, CircuitSchedule, GateTimes};
+//!
+//! let hw = spin_qubit_model(GateTimes::D0);
+//! let mut c = Circuit::new(2);
+//! c.push(Gate::H, &[0]);
+//! c.push(Gate::Cz, &[0, 1]);
+//! let sched = CircuitSchedule::asap(&c, &hw).expect("all gates native");
+//! assert_eq!(sched.total_duration, 182.0);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod modality;
+mod schedule;
+
+pub use modality::{
+    ibm_source_model, spin_qubit_model, CostClass, GateCost, GateTimes, HardwareModel,
+    SPIN_T1_NS, SPIN_T2_NS,
+};
+pub use schedule::CircuitSchedule;

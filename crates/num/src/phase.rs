@@ -1,0 +1,97 @@
+//! Global-phase-insensitive comparison of unitaries.
+//!
+//! Quantum gates are physically defined up to a global phase; circuit
+//! equivalence checks throughout the workspace must therefore compare
+//! unitaries modulo `U(1)`.
+
+use crate::complex::C64;
+use crate::mat::CMat;
+
+/// Returns the phase `e^{i t}` that best aligns `a` to `b`, if one exists.
+///
+/// Uses the phase of `tr(a† b)`; for matrices equal up to global phase this
+/// recovers that phase exactly.
+pub fn alignment_phase(a: &CMat, b: &CMat) -> C64 {
+    let t = (&a.adjoint() * b).trace();
+    if t.norm() < 1e-300 {
+        C64::ONE
+    } else {
+        t / t.norm()
+    }
+}
+
+/// Tests whether two matrices are equal up to a global phase, within
+/// elementwise tolerance `tol`.
+///
+/// # Examples
+///
+/// ```
+/// use qca_num::{CMat, C64, phase::approx_eq_up_to_phase};
+/// let id = CMat::identity(2);
+/// let rotated = id.scale(C64::cis(1.2));
+/// assert!(approx_eq_up_to_phase(&id, &rotated, 1e-12));
+/// ```
+pub fn approx_eq_up_to_phase(a: &CMat, b: &CMat, tol: f64) -> bool {
+    if (a.rows(), a.cols()) != (b.rows(), b.cols()) {
+        return false;
+    }
+    let phase = alignment_phase(a, b);
+    a.scale(phase).approx_eq(b, tol)
+}
+
+/// Process-fidelity-like distance `1 - |tr(a† b)| / n` between two unitaries.
+///
+/// Zero iff the unitaries agree up to a global phase.
+///
+/// # Panics
+///
+/// Panics on shape mismatch or non-square inputs.
+pub fn phase_insensitive_distance(a: &CMat, b: &CMat) -> f64 {
+    assert!(a.is_square() && b.is_square(), "inputs must be square");
+    assert_eq!(a.rows(), b.rows(), "shape mismatch");
+    let n = a.rows() as f64;
+    let t = (&a.adjoint() * b).trace();
+    (1.0 - t.norm() / n).max(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_matrix_distance_zero() {
+        let id = CMat::identity(4);
+        assert!(phase_insensitive_distance(&id, &id) < 1e-14);
+    }
+
+    #[test]
+    fn phase_rotation_ignored() {
+        let m = CMat::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let rotated = m.scale(C64::cis(-2.1));
+        assert!(approx_eq_up_to_phase(&m, &rotated, 1e-12));
+        assert!(phase_insensitive_distance(&m, &rotated) < 1e-12);
+    }
+
+    #[test]
+    fn different_matrices_detected() {
+        let x = CMat::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let z = CMat::from_real(2, 2, &[1.0, 0.0, 0.0, -1.0]);
+        assert!(!approx_eq_up_to_phase(&x, &z, 1e-6));
+        assert!(phase_insensitive_distance(&x, &z) > 0.5);
+    }
+
+    #[test]
+    fn alignment_phase_recovers_rotation() {
+        let m = CMat::identity(3);
+        let rotated = m.scale(C64::cis(0.7));
+        let p = alignment_phase(&m, &rotated);
+        assert!(p.approx_eq(C64::cis(0.7), 1e-12));
+    }
+
+    #[test]
+    fn shape_mismatch_is_not_equal() {
+        let a = CMat::identity(2);
+        let b = CMat::identity(4);
+        assert!(!approx_eq_up_to_phase(&a, &b, 1e-6));
+    }
+}

@@ -1,0 +1,205 @@
+//! Complex QR decomposition via modified Gram–Schmidt.
+//!
+//! Used to orthonormalize Ginibre samples into Haar-random unitaries and as
+//! a general-purpose factorization for small matrices.
+
+use crate::complex::C64;
+use crate::mat::CMat;
+
+/// Result of a QR decomposition `A = Q R` with unitary `Q` and upper
+/// triangular `R`.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Unitary factor.
+    pub q: CMat,
+    /// Upper triangular factor.
+    pub r: CMat,
+}
+
+/// Computes a QR decomposition of a square complex matrix using modified
+/// Gram–Schmidt with re-orthogonalization.
+///
+/// For rank-deficient columns, the corresponding `Q` column is replaced by an
+/// arbitrary unit vector orthogonal to the previous columns, keeping `Q`
+/// unitary.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+///
+/// # Examples
+///
+/// ```
+/// use qca_num::{CMat, qr::qr_decompose};
+/// let a = CMat::from_real(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+/// let f = qr_decompose(&a);
+/// assert!(f.q.is_unitary(1e-10));
+/// assert!((&f.q * &f.r).approx_eq(&a, 1e-10));
+/// ```
+pub fn qr_decompose(a: &CMat) -> Qr {
+    assert!(a.is_square(), "qr_decompose requires a square matrix");
+    let n = a.rows();
+    let mut q = a.clone();
+    let mut r = CMat::zeros(n, n);
+    for j in 0..n {
+        // Two rounds of Gram–Schmidt for numerical stability.
+        for _round in 0..2 {
+            for i in 0..j {
+                // proj = <q_i, q_j>
+                let mut dot = C64::ZERO;
+                for k in 0..n {
+                    dot += q[(k, i)].conj() * q[(k, j)];
+                }
+                r[(i, j)] += dot;
+                for k in 0..n {
+                    let qki = q[(k, i)];
+                    q[(k, j)] -= dot * qki;
+                }
+            }
+        }
+        let mut norm = 0.0;
+        for k in 0..n {
+            norm += q[(k, j)].norm_sqr();
+        }
+        let norm = norm.sqrt();
+        if norm < 1e-13 {
+            // Rank-deficient column: substitute a basis vector orthogonal to
+            // the span of previous columns.
+            r[(j, j)] = C64::ZERO;
+            'candidates: for cand in 0..n {
+                let mut v = vec![C64::ZERO; n];
+                v[cand] = C64::ONE;
+                for i in 0..j {
+                    let mut dot = C64::ZERO;
+                    for k in 0..n {
+                        dot += q[(k, i)].conj() * v[k];
+                    }
+                    for (k, vk) in v.iter_mut().enumerate() {
+                        *vk -= dot * q[(k, i)];
+                    }
+                }
+                let vn = v.iter().map(|z| z.norm_sqr()).sum::<f64>().sqrt();
+                if vn > 1e-6 {
+                    for k in 0..n {
+                        q[(k, j)] = v[k] / vn;
+                    }
+                    break 'candidates;
+                }
+            }
+        } else {
+            r[(j, j)] = C64::real(norm);
+            for k in 0..n {
+                q[(k, j)] = q[(k, j)] / norm;
+            }
+        }
+    }
+    Qr { q, r }
+}
+
+/// Determinant of a square complex matrix by LU elimination with partial
+/// pivoting.
+///
+/// # Panics
+///
+/// Panics if `a` is not square.
+pub fn determinant(a: &CMat) -> C64 {
+    assert!(a.is_square(), "determinant requires a square matrix");
+    let n = a.rows();
+    let mut m = a.clone();
+    let mut det = C64::ONE;
+    for col in 0..n {
+        // Partial pivot.
+        let mut pivot = col;
+        let mut best = m[(col, col)].norm();
+        for r in (col + 1)..n {
+            if m[(r, col)].norm() > best {
+                best = m[(r, col)].norm();
+                pivot = r;
+            }
+        }
+        if best < 1e-300 {
+            return C64::ZERO;
+        }
+        if pivot != col {
+            for c in 0..n {
+                let tmp = m[(col, c)];
+                m[(col, c)] = m[(pivot, c)];
+                m[(pivot, c)] = tmp;
+            }
+            det = -det;
+        }
+        let d = m[(col, col)];
+        det *= d;
+        for r in (col + 1)..n {
+            let factor = m[(r, col)] / d;
+            for c in col..n {
+                let v = m[(col, c)];
+                m[(r, c)] -= factor * v;
+            }
+        }
+    }
+    det
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qr_reconstructs_input() {
+        let a = CMat::from_rows(
+            3,
+            3,
+            &[
+                C64::new(1.0, 1.0),
+                C64::new(0.0, -2.0),
+                C64::real(3.0),
+                C64::real(-1.0),
+                C64::new(2.0, 0.5),
+                C64::ZERO,
+                C64::new(0.0, 1.0),
+                C64::ONE,
+                C64::new(-2.0, -2.0),
+            ],
+        );
+        let f = qr_decompose(&a);
+        assert!(f.q.is_unitary(1e-10));
+        assert!((&f.q * &f.r).approx_eq(&a, 1e-10));
+        // R upper triangular
+        for r in 0..3 {
+            for c in 0..r {
+                assert!(f.r[(r, c)].norm() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn qr_of_rank_deficient_keeps_q_unitary() {
+        // Two identical columns.
+        let a = CMat::from_real(3, 3, &[1.0, 1.0, 0.0, 2.0, 2.0, 0.0, 3.0, 3.0, 1.0]);
+        let f = qr_decompose(&a);
+        assert!(f.q.is_unitary(1e-9));
+    }
+
+    #[test]
+    fn determinant_of_identity_and_swap() {
+        assert!(determinant(&CMat::identity(4)).approx_eq(C64::ONE, 1e-12));
+        let swap = CMat::from_real(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        assert!(determinant(&swap).approx_eq(C64::real(-1.0), 1e-12));
+    }
+
+    #[test]
+    fn determinant_multiplicative() {
+        let a = CMat::from_real(2, 2, &[1.0, 2.0, 3.0, 4.0]);
+        let b = CMat::from_real(2, 2, &[0.0, 1.0, -1.0, 2.0]);
+        let dab = determinant(&(&a * &b));
+        let sep = determinant(&a) * determinant(&b);
+        assert!(dab.approx_eq(sep, 1e-9));
+    }
+
+    #[test]
+    fn determinant_of_singular_is_zero() {
+        let a = CMat::from_real(2, 2, &[1.0, 2.0, 2.0, 4.0]);
+        assert!(determinant(&a).norm() < 1e-12);
+    }
+}

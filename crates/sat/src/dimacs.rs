@@ -1,0 +1,211 @@
+//! DIMACS CNF reading and writing.
+//!
+//! Supports the standard `p cnf <vars> <clauses>` header, `c` comment lines,
+//! and zero-terminated clause lines (possibly spanning multiple lines).
+
+use crate::lit::Lit;
+use crate::solver::Solver;
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Error produced when parsing a DIMACS CNF stream.
+#[derive(Debug)]
+pub enum ParseDimacsError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Structurally invalid content, with a human-readable explanation.
+    Malformed(String),
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseDimacsError::Io(e) => write!(f, "i/o error: {e}"),
+            ParseDimacsError::Malformed(m) => write!(f, "malformed dimacs: {m}"),
+        }
+    }
+}
+
+impl Error for ParseDimacsError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ParseDimacsError::Io(e) => Some(e),
+            ParseDimacsError::Malformed(_) => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ParseDimacsError {
+    fn from(e: std::io::Error) -> Self {
+        ParseDimacsError::Io(e)
+    }
+}
+
+/// A parsed CNF formula.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    /// Number of variables declared in the header (or inferred).
+    pub num_vars: usize,
+    /// The clauses, as literal lists.
+    pub clauses: Vec<Vec<Lit>>,
+}
+
+impl Cnf {
+    /// Loads the formula into a fresh [`Solver`], allocating variables
+    /// `0..num_vars`.
+    ///
+    /// Returns the solver, which may already be unsatisfiable at level 0.
+    pub fn into_solver(self) -> Solver {
+        let mut s = Solver::new();
+        for _ in 0..self.num_vars {
+            s.new_var();
+        }
+        for c in &self.clauses {
+            if !s.add_clause(c) {
+                break;
+            }
+        }
+        s
+    }
+}
+
+/// Parses a DIMACS CNF stream.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on I/O failure, non-integer tokens, literals
+/// referencing variable 0, or a clause not terminated by `0`.
+///
+/// # Examples
+///
+/// ```
+/// use qca_sat::dimacs::parse_dimacs;
+/// let text = "c example\np cnf 2 2\n1 -2 0\n2 0\n";
+/// let cnf = parse_dimacs(text.as_bytes())?;
+/// assert_eq!(cnf.num_vars, 2);
+/// assert_eq!(cnf.clauses.len(), 2);
+/// # Ok::<(), qca_sat::dimacs::ParseDimacsError>(())
+/// ```
+pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<Cnf, ParseDimacsError> {
+    let mut cnf = Cnf::default();
+    let mut current: Vec<Lit> = Vec::new();
+    let mut declared_vars: Option<usize> = None;
+    let mut max_var = 0usize;
+    for line in reader.lines() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('c') || trimmed.starts_with('%') {
+            continue;
+        }
+        if let Some(rest) = trimmed.strip_prefix('p') {
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 || parts[0] != "cnf" {
+                return Err(ParseDimacsError::Malformed(format!(
+                    "bad problem line: {trimmed:?}"
+                )));
+            }
+            let nv: usize = parts[1]
+                .parse()
+                .map_err(|_| ParseDimacsError::Malformed("bad var count".into()))?;
+            declared_vars = Some(nv);
+            continue;
+        }
+        for tok in trimmed.split_whitespace() {
+            let val: i64 = tok
+                .parse()
+                .map_err(|_| ParseDimacsError::Malformed(format!("bad token {tok:?}")))?;
+            if val == 0 {
+                cnf.clauses.push(std::mem::take(&mut current));
+            } else {
+                let lit = Lit::from_dimacs(val);
+                max_var = max_var.max(lit.var().index() + 1);
+                current.push(lit);
+            }
+        }
+    }
+    if !current.is_empty() {
+        return Err(ParseDimacsError::Malformed(
+            "final clause not terminated by 0".into(),
+        ));
+    }
+    cnf.num_vars = declared_vars.unwrap_or(max_var).max(max_var);
+    Ok(cnf)
+}
+
+/// Writes a formula in DIMACS CNF format.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_dimacs<W: Write>(w: &mut W, cnf: &Cnf) -> std::io::Result<()> {
+    writeln!(w, "p cnf {} {}", cnf.num_vars, cnf.clauses.len())?;
+    for c in &cnf.clauses {
+        for l in c {
+            write!(w, "{} ", l.to_dimacs())?;
+        }
+        writeln!(w, "0")?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    #[test]
+    fn parse_simple() {
+        let text = "c hi\np cnf 3 2\n1 -3 0\n2 3 -1 0\n";
+        let cnf = parse_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(cnf.num_vars, 3);
+        assert_eq!(cnf.clauses.len(), 2);
+        assert_eq!(cnf.clauses[0][1], Var::from_index(2).negative());
+    }
+
+    #[test]
+    fn parse_multiline_clause() {
+        let text = "p cnf 2 1\n1\n-2\n0\n";
+        let cnf = parse_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(cnf.clauses.len(), 1);
+        assert_eq!(cnf.clauses[0].len(), 2);
+    }
+
+    #[test]
+    fn unterminated_clause_is_error() {
+        let text = "p cnf 2 1\n1 -2\n";
+        assert!(parse_dimacs(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn bad_token_is_error() {
+        let text = "p cnf 2 1\n1 x 0\n";
+        assert!(parse_dimacs(text.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn round_trip() {
+        let text = "p cnf 3 2\n1 -3 0\n2 3 -1 0\n";
+        let cnf = parse_dimacs(text.as_bytes()).unwrap();
+        let mut out = Vec::new();
+        write_dimacs(&mut out, &cnf).unwrap();
+        let reparsed = parse_dimacs(&out[..]).unwrap();
+        assert_eq!(cnf, reparsed);
+    }
+
+    #[test]
+    fn into_solver_solves() {
+        let text = "p cnf 2 2\n1 2 0\n-1 0\n";
+        let cnf = parse_dimacs(text.as_bytes()).unwrap();
+        let mut s = cnf.into_solver();
+        assert!(s.solve());
+        assert_eq!(s.value(Var::from_index(1)), Some(true));
+    }
+
+    #[test]
+    fn header_less_file_infers_vars() {
+        let text = "1 -4 0\n";
+        let cnf = parse_dimacs(text.as_bytes()).unwrap();
+        assert_eq!(cnf.num_vars, 4);
+    }
+}

@@ -1,0 +1,83 @@
+//! Hellinger distance and fidelity between outcome distributions.
+
+/// Hellinger distance `H(P,Q) = sqrt(1 - sum_i sqrt(p_i q_i))` between two
+/// discrete distributions.
+///
+/// # Panics
+///
+/// Panics on length mismatch or negative entries.
+pub fn hellinger_distance(p: &[f64], q: &[f64]) -> f64 {
+    assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let mut bc = 0.0;
+    for (&a, &b) in p.iter().zip(q) {
+        assert!(a >= -1e-12 && b >= -1e-12, "negative probability");
+        bc += (a.max(0.0) * b.max(0.0)).sqrt();
+    }
+    (1.0 - bc.min(1.0)).max(0.0).sqrt()
+}
+
+/// Hellinger fidelity `(1 - H^2)^2 = (sum_i sqrt(p_i q_i))^2` — the metric
+/// reported in Fig. 7 of the paper (matching Qiskit's
+/// `hellinger_fidelity`).
+///
+/// # Examples
+///
+/// ```
+/// use qca_sim::hellinger::hellinger_fidelity;
+/// let p = [0.5, 0.5];
+/// assert!((hellinger_fidelity(&p, &p) - 1.0).abs() < 1e-12);
+/// ```
+pub fn hellinger_fidelity(p: &[f64], q: &[f64]) -> f64 {
+    let h = hellinger_distance(p, q);
+    let s = 1.0 - h * h;
+    s * s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_distributions() {
+        let p = [0.25, 0.25, 0.25, 0.25];
+        assert!(hellinger_distance(&p, &p) < 1e-12);
+        assert!((hellinger_fidelity(&p, &p) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_distributions() {
+        let p = [1.0, 0.0];
+        let q = [0.0, 1.0];
+        assert!((hellinger_distance(&p, &q) - 1.0).abs() < 1e-12);
+        assert!(hellinger_fidelity(&p, &q) < 1e-12);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        let p = [1.0, 0.0];
+        let q = [0.5, 0.5];
+        // Bhattacharyya coefficient sqrt(0.5); fidelity = BC^2 = 0.5.
+        assert!((hellinger_fidelity(&p, &q) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn symmetric() {
+        let p = [0.7, 0.2, 0.1];
+        let q = [0.3, 0.3, 0.4];
+        assert!((hellinger_distance(&p, &q) - hellinger_distance(&q, &p)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fidelity_monotone_in_overlap() {
+        let p = [1.0, 0.0];
+        let closer = [0.9, 0.1];
+        let farther = [0.6, 0.4];
+        assert!(hellinger_fidelity(&p, &closer) > hellinger_fidelity(&p, &farther));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = hellinger_distance(&[1.0], &[0.5, 0.5]);
+    }
+}

@@ -1,0 +1,205 @@
+//! Noise channels: depolarizing gate error and thermal relaxation.
+//!
+//! Matches the paper's §V-B error model: each gate is followed by a
+//! depolarizing channel whose strength corresponds to the gate fidelity, and
+//! idle time incurs thermal relaxation with `T2 = 2900 ns` and
+//! `T1 = 1000 · T2`.
+
+use qca_circuit::Gate;
+use qca_num::{C64, CMat};
+
+/// Depolarizing probability `p` such that the channel
+/// `E(rho) = (1-p) rho + p I/d` has average gate fidelity `f`:
+/// `p = (1 - f) · d / (d - 1)`.
+pub fn depolarizing_probability(fidelity: f64, dim: usize) -> f64 {
+    let d = dim as f64;
+    ((1.0 - fidelity) * d / (d - 1.0)).clamp(0.0, 1.0)
+}
+
+/// Kraus operators of the `n`-qubit depolarizing channel with total
+/// depolarization probability `p` (`E(rho) = (1-p) rho + p I/d`).
+///
+/// Uses the Pauli-twirl form: `sqrt(1 - p (d^2-1)/d^2) I` plus
+/// `sqrt(p)/d · P` for every non-identity Pauli string `P`.
+///
+/// # Panics
+///
+/// Panics unless `n` is 1 or 2 and `0 <= p <= 1`.
+pub fn depolarizing_kraus(p: f64, n: usize) -> Vec<CMat> {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    assert!(n == 1 || n == 2, "only 1- and 2-qubit channels supported");
+    let paulis_1q = [
+        Gate::I.matrix(),
+        Gate::X.matrix(),
+        Gate::Y.matrix(),
+        Gate::Z.matrix(),
+    ];
+    let strings: Vec<CMat> = if n == 1 {
+        paulis_1q.to_vec()
+    } else {
+        let mut v = Vec::with_capacity(16);
+        for a in &paulis_1q {
+            for b in &paulis_1q {
+                v.push(a.kron(b));
+            }
+        }
+        v
+    };
+    let d = (1usize << n) as f64;
+    let d2 = d * d;
+    let mut kraus = Vec::with_capacity(strings.len());
+    // Identity coefficient: (1-p) + p/d^2 weight on the identity term.
+    let w_id = ((1.0 - p) + p / d2).sqrt();
+    let w_p = (p / d2).sqrt();
+    for (i, s) in strings.into_iter().enumerate() {
+        let w = if i == 0 { w_id } else { w_p };
+        kraus.push(s.scale(C64::real(w)));
+    }
+    kraus
+}
+
+/// Kraus operators for thermal relaxation of one qubit idling for
+/// `duration` ns with relaxation time `t1` and dephasing time `t2`
+/// (requires `t2 <= 2 t1`, which holds for the spin platform).
+///
+/// Combines amplitude damping `gamma = 1 - exp(-t/T1)` with the additional
+/// pure dephasing needed so off-diagonals decay as `exp(-t/T2)`.
+///
+/// # Panics
+///
+/// Panics if `t2 > 2 t1` (unphysical) or any argument is non-positive.
+pub fn thermal_relaxation_kraus(duration: f64, t1: f64, t2: f64) -> Vec<CMat> {
+    assert!(t1 > 0.0 && t2 > 0.0, "coherence times must be positive");
+    assert!(t2 <= 2.0 * t1 + 1e-9, "t2 must not exceed 2*t1");
+    assert!(duration >= 0.0, "duration must be non-negative");
+    let gamma = 1.0 - (-duration / t1).exp();
+    // Amplitude damping.
+    let k0 = CMat::from_rows(
+        2,
+        2,
+        &[
+            C64::ONE,
+            C64::ZERO,
+            C64::ZERO,
+            C64::real((1.0 - gamma).sqrt()),
+        ],
+    );
+    let k1 = CMat::from_rows(
+        2,
+        2,
+        &[C64::ZERO, C64::real(gamma.sqrt()), C64::ZERO, C64::ZERO],
+    );
+    // Residual pure dephasing: total off-diagonal factor must be e^{-t/T2};
+    // amplitude damping already contributes sqrt(1-gamma) = e^{-t/(2 T1)}.
+    let target = (-duration / t2).exp();
+    let have = (1.0 - gamma).sqrt();
+    let extra = (target / have).clamp(0.0, 1.0);
+    let q = (1.0 - extra) / 2.0; // phase-flip probability
+    let pd0 = CMat::identity(2).scale(C64::real((1.0 - q).sqrt()));
+    let pd1 = Gate::Z.matrix().scale(C64::real(q.sqrt()));
+    // Compose the two channels: Kraus products.
+    let mut out = Vec::with_capacity(4);
+    for ad in [&k0, &k1] {
+        for pd in [&pd0, &pd1] {
+            out.push(pd * ad);
+        }
+    }
+    out
+}
+
+/// Verifies the completeness relation `sum K† K = I` (helper for tests and
+/// debug assertions).
+pub fn is_trace_preserving(kraus: &[CMat], tol: f64) -> bool {
+    if kraus.is_empty() {
+        return false;
+    }
+    let n = kraus[0].rows();
+    let mut acc = CMat::zeros(n, n);
+    for k in kraus {
+        acc = acc + (&k.adjoint() * k);
+    }
+    acc.approx_eq(&CMat::identity(n), tol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depolarizing_probability_formula() {
+        assert!((depolarizing_probability(1.0, 2)).abs() < 1e-12);
+        assert!((depolarizing_probability(0.999, 2) - 0.002).abs() < 1e-12);
+        assert!((depolarizing_probability(0.99, 4) - 0.04 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn depolarizing_kraus_trace_preserving() {
+        for n in [1usize, 2] {
+            for p in [0.0, 0.01, 0.3, 1.0] {
+                let k = depolarizing_kraus(p, n);
+                assert!(is_trace_preserving(&k, 1e-10), "n={n} p={p}");
+            }
+        }
+    }
+
+    #[test]
+    fn thermal_kraus_trace_preserving() {
+        for t in [0.0, 10.0, 100.0, 5000.0] {
+            let k = thermal_relaxation_kraus(t, 2_900_000.0, 2900.0);
+            assert!(is_trace_preserving(&k, 1e-10), "t={t}");
+        }
+    }
+
+    #[test]
+    fn thermal_relaxation_decays_coherence() {
+        use crate::density::DensityMatrix;
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_unitary(&Gate::H.matrix(), &[0]);
+        let k = thermal_relaxation_kraus(2900.0, 2_900_000.0, 2900.0);
+        rho.apply_kraus(&k, &[0]);
+        // Off-diagonal should have decayed by ~ e^{-1}.
+        let offdiag = rho.as_matrix()[(0, 1)].norm();
+        assert!((offdiag - 0.5 * (-1.0f64).exp()).abs() < 1e-3, "{offdiag}");
+    }
+
+    #[test]
+    fn thermal_relaxation_relaxes_excited_state() {
+        use crate::density::DensityMatrix;
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_unitary(&Gate::X.matrix(), &[0]);
+        let t1 = 1000.0;
+        let k = thermal_relaxation_kraus(1000.0, t1, 2.0 * t1);
+        rho.apply_kraus(&k, &[0]);
+        let p = rho.probabilities();
+        // P(1) = e^{-1}
+        assert!((p[1] - (-1.0f64).exp()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_duration_is_identity_channel() {
+        use crate::density::DensityMatrix;
+        let mut rho = DensityMatrix::zero_state(1);
+        rho.apply_unitary(&Gate::H.matrix(), &[0]);
+        let before = rho.as_matrix().clone();
+        let k = thermal_relaxation_kraus(0.0, 2_900_000.0, 2900.0);
+        rho.apply_kraus(&k, &[0]);
+        assert!(rho.as_matrix().approx_eq(&before, 1e-12));
+    }
+
+    #[test]
+    fn full_depolarization_is_maximally_mixed() {
+        use crate::density::DensityMatrix;
+        let mut rho = DensityMatrix::zero_state(1);
+        let k = depolarizing_kraus(1.0, 1);
+        rho.apply_kraus(&k, &[0]);
+        let p = rho.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-10);
+        assert!((p[1] - 0.5).abs() < 1e-10);
+    }
+
+    #[test]
+    #[should_panic(expected = "t2 must not exceed")]
+    fn unphysical_t2_rejected() {
+        let _ = thermal_relaxation_kraus(1.0, 100.0, 300.0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Pure-state simulation with measurement sampling.
+//!
+//! [`StateVector`] scales to many more qubits than the density-matrix
+//! representation (amplitudes instead of a full matrix) and provides
+//! shot-based sampling, matching how the paper's evaluation obtains counts
+//! from its simulator before computing Hellinger fidelities.
+
+use qca_circuit::Circuit;
+use qca_num::{C64, CMat};
+use rand::Rng;
+
+/// A pure quantum state over `n` qubits (qubit 0 = most significant bit of
+/// the basis index, as everywhere in this workspace).
+#[derive(Debug, Clone)]
+pub struct StateVector {
+    num_qubits: usize,
+    amps: Vec<C64>,
+}
+
+impl StateVector {
+    /// The all-zeros basis state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_qubits > 24` (16M amplitudes).
+    pub fn zero_state(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 24, "state vector limited to 24 qubits");
+        let mut amps = vec![C64::ZERO; 1 << num_qubits];
+        amps[0] = C64::ONE;
+        StateVector { num_qubits, amps }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Borrow of the amplitude vector.
+    pub fn amplitudes(&self) -> &[C64] {
+        &self.amps
+    }
+
+    /// Squared norm (should stay ~1).
+    pub fn norm_sqr(&self) -> f64 {
+        self.amps.iter().map(|a| a.norm_sqr()).sum()
+    }
+
+    /// Applies a single-qubit gate.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch or out-of-range target.
+    pub fn apply_1q(&mut self, u: &CMat, target: usize) {
+        assert_eq!((u.rows(), u.cols()), (2, 2), "expected a 2x2 gate");
+        assert!(target < self.num_qubits, "target out of range");
+        let shift = self.num_qubits - 1 - target;
+        let bit = 1usize << shift;
+        let (u00, u01, u10, u11) = (u[(0, 0)], u[(0, 1)], u[(1, 0)], u[(1, 1)]);
+        for base in 0..self.amps.len() {
+            if base & bit != 0 {
+                continue;
+            }
+            let a0 = self.amps[base];
+            let a1 = self.amps[base | bit];
+            self.amps[base] = u00 * a0 + u01 * a1;
+            self.amps[base | bit] = u10 * a0 + u11 * a1;
+        }
+    }
+
+    /// Applies a two-qubit gate (first operand = more significant row bit).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatch, duplicate or out-of-range targets.
+    pub fn apply_2q(&mut self, u: &CMat, a: usize, b: usize) {
+        assert_eq!((u.rows(), u.cols()), (4, 4), "expected a 4x4 gate");
+        assert!(a < self.num_qubits && b < self.num_qubits, "target out of range");
+        assert_ne!(a, b, "duplicate target");
+        let sa = self.num_qubits - 1 - a;
+        let sb = self.num_qubits - 1 - b;
+        let (ba, bb) = (1usize << sa, 1usize << sb);
+        for base in 0..self.amps.len() {
+            if base & ba != 0 || base & bb != 0 {
+                continue;
+            }
+            let idx = [base, base | bb, base | ba, base | ba | bb];
+            let old = [
+                self.amps[idx[0]],
+                self.amps[idx[1]],
+                self.amps[idx[2]],
+                self.amps[idx[3]],
+            ];
+            for (r, &i) in idx.iter().enumerate() {
+                let mut acc = C64::ZERO;
+                for (c, &o) in old.iter().enumerate() {
+                    acc += u[(r, c)] * o;
+                }
+                self.amps[i] = acc;
+            }
+        }
+    }
+
+    /// Applies a full circuit (no noise).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the circuit's qubit count mismatches.
+    pub fn apply_circuit(&mut self, circuit: &Circuit) {
+        assert_eq!(circuit.num_qubits(), self.num_qubits, "qubit count mismatch");
+        for instr in circuit.iter() {
+            let m = instr.gate.matrix();
+            match instr.qubits.len() {
+                1 => self.apply_1q(&m, instr.qubits[0]),
+                2 => self.apply_2q(&m, instr.qubits[0], instr.qubits[1]),
+                _ => unreachable!("gates are 1- or 2-qubit"),
+            }
+        }
+    }
+
+    /// The exact outcome distribution.
+    pub fn probabilities(&self) -> Vec<f64> {
+        self.amps.iter().map(|a| a.norm_sqr()).collect()
+    }
+
+    /// Samples `shots` measurement outcomes, returning per-outcome counts.
+    pub fn sample_counts<R: Rng + ?Sized>(&self, rng: &mut R, shots: usize) -> Vec<u64> {
+        let probs = self.probabilities();
+        let mut counts = vec![0u64; probs.len()];
+        // Cumulative distribution for inverse-transform sampling.
+        let mut cdf = Vec::with_capacity(probs.len());
+        let mut acc = 0.0;
+        for &p in &probs {
+            acc += p;
+            cdf.push(acc);
+        }
+        for _ in 0..shots {
+            let x: f64 = rng.gen::<f64>() * acc;
+            let idx = cdf.partition_point(|&c| c < x).min(probs.len() - 1);
+            counts[idx] += 1;
+        }
+        counts
+    }
+}
+
+/// Normalizes sampled counts into an empirical distribution.
+pub fn counts_to_distribution(counts: &[u64]) -> Vec<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return vec![0.0; counts.len()];
+    }
+    counts.iter().map(|&c| c as f64 / total as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ideal_distribution;
+    use qca_circuit::Gate;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_density_matrix_on_random_circuit() {
+        use qca_workloads::{random_template_circuit, DEFAULT_TEMPLATE_GATES};
+        let c = random_template_circuit(3, 25, 3, &DEFAULT_TEMPLATE_GATES, false);
+        let mut sv = StateVector::zero_state(3);
+        sv.apply_circuit(&c);
+        let p_sv = sv.probabilities();
+        let p_dm = ideal_distribution(&c);
+        for (a, b) in p_sv.iter().zip(&p_dm) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn bell_state_amplitudes() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_1q(&Gate::H.matrix(), 0);
+        sv.apply_2q(&Gate::Cx.matrix(), 0, 1);
+        let p = sv.probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[3] - 0.5).abs() < 1e-12);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn big_endian_convention() {
+        let mut sv = StateVector::zero_state(3);
+        sv.apply_1q(&Gate::X.matrix(), 0);
+        let p = sv.probabilities();
+        assert!((p[0b100] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn two_qubit_operand_order() {
+        // CX with control q1, target q0 on |01> (q1=1) flips q0: |11>.
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_1q(&Gate::X.matrix(), 1);
+        sv.apply_2q(&Gate::Cx.matrix(), 1, 0);
+        let p = sv.probabilities();
+        assert!((p[0b11] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sampling_approximates_distribution() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_1q(&Gate::H.matrix(), 0);
+        sv.apply_1q(&Gate::H.matrix(), 1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let counts = sv.sample_counts(&mut rng, 40_000);
+        let dist = counts_to_distribution(&counts);
+        for &p in &dist {
+            assert!((p - 0.25).abs() < 0.01, "p={p}");
+        }
+    }
+
+    #[test]
+    fn sampling_skips_zero_probability_outcomes() {
+        let mut sv = StateVector::zero_state(2);
+        sv.apply_1q(&Gate::X.matrix(), 0);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+        let counts = sv.sample_counts(&mut rng, 1000);
+        assert_eq!(counts[0b10], 1000);
+        assert_eq!(counts.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn larger_register_runs() {
+        let mut c = Circuit::new(8);
+        for q in 0..8 {
+            c.push(Gate::H, &[q]);
+        }
+        for q in 0..7 {
+            c.push(Gate::Cz, &[q, q + 1]);
+        }
+        let mut sv = StateVector::zero_state(8);
+        sv.apply_circuit(&c);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_counts_distribution() {
+        assert_eq!(counts_to_distribution(&[0, 0]), vec![0.0, 0.0]);
+    }
+}

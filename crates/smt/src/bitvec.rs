@@ -1,0 +1,336 @@
+//! Bit-vector circuit encodings over a CDCL SAT solver.
+//!
+//! The SMT engine bit-blasts integer arithmetic into CNF: ripple-carry
+//! adders, constant multipliers (shift-add), unsigned comparators and
+//! multiplexers, all Tseitin-encoded through [`qca_sat::Solver`].
+//!
+//! Bit order is least-significant first throughout.
+
+use qca_sat::{Lit, Solver};
+
+/// Returns a literal constrained to be constant `false`.
+pub fn false_lit(s: &mut Solver, cache: &mut Option<Lit>) -> Lit {
+    if let Some(l) = *cache {
+        return l;
+    }
+    let l = s.new_var().positive();
+    s.add_clause(&[!l]);
+    *cache = Some(l);
+    l
+}
+
+/// Encodes a full adder: `(sum, carry_out) = a + b + carry_in`.
+pub fn full_adder(s: &mut Solver, a: Lit, b: Lit, cin: Lit) -> (Lit, Lit) {
+    let sum = s.new_var().positive();
+    let cout = s.new_var().positive();
+    // sum = a xor b xor cin
+    s.add_clause(&[!a, !b, !cin, sum]);
+    s.add_clause(&[!a, !b, cin, !sum]);
+    s.add_clause(&[!a, b, !cin, !sum]);
+    s.add_clause(&[!a, b, cin, sum]);
+    s.add_clause(&[a, !b, !cin, !sum]);
+    s.add_clause(&[a, !b, cin, sum]);
+    s.add_clause(&[a, b, !cin, sum]);
+    s.add_clause(&[a, b, cin, !sum]);
+    // cout = majority(a, b, cin)
+    s.add_clause(&[!a, !b, cout]);
+    s.add_clause(&[!a, !cin, cout]);
+    s.add_clause(&[!b, !cin, cout]);
+    s.add_clause(&[a, b, !cout]);
+    s.add_clause(&[a, cin, !cout]);
+    s.add_clause(&[b, cin, !cout]);
+    (sum, cout)
+}
+
+/// Adds two little-endian bit vectors, producing a result one bit wider than
+/// the longer input (no overflow possible).
+pub fn add_bits(s: &mut Solver, a: &[Lit], b: &[Lit], fal: &mut Option<Lit>) -> Vec<Lit> {
+    let width = a.len().max(b.len());
+    let f = false_lit(s, fal);
+    let mut out = Vec::with_capacity(width + 1);
+    let mut carry = f;
+    for i in 0..width {
+        let ai = a.get(i).copied().unwrap_or(f);
+        let bi = b.get(i).copied().unwrap_or(f);
+        let (sum, cout) = full_adder(s, ai, bi, carry);
+        out.push(sum);
+        carry = cout;
+    }
+    out.push(carry);
+    out
+}
+
+/// Produces the bit vector for a non-negative constant with minimal width
+/// (at least one bit).
+pub fn const_bits(s: &mut Solver, value: u64, fal: &mut Option<Lit>, tru: &mut Option<Lit>) -> Vec<Lit> {
+    let f = false_lit(s, fal);
+    let t = true_lit(s, tru);
+    let width = (64 - value.leading_zeros()).max(1) as usize;
+    (0..width)
+        .map(|i| if (value >> i) & 1 == 1 { t } else { f })
+        .collect()
+}
+
+/// Returns a literal constrained to be constant `true`.
+pub fn true_lit(s: &mut Solver, cache: &mut Option<Lit>) -> Lit {
+    if let Some(l) = *cache {
+        return l;
+    }
+    let l = s.new_var().positive();
+    s.add_clause(&[l]);
+    *cache = Some(l);
+    l
+}
+
+/// Conditional bit vector: `cond ? a_value : 0` for a constant `a_value`.
+///
+/// Each set bit of the constant becomes the condition literal itself; clear
+/// bits become constant false.
+pub fn gated_const_bits(
+    s: &mut Solver,
+    cond: Lit,
+    value: u64,
+    fal: &mut Option<Lit>,
+) -> Vec<Lit> {
+    let f = false_lit(s, fal);
+    let width = (64 - value.leading_zeros()).max(1) as usize;
+    (0..width)
+        .map(|i| if (value >> i) & 1 == 1 { cond } else { f })
+        .collect()
+}
+
+/// Multiplies a bit vector by a non-negative constant via shift-add.
+pub fn mul_const_bits(s: &mut Solver, a: &[Lit], k: u64, fal: &mut Option<Lit>, tru: &mut Option<Lit>) -> Vec<Lit> {
+    if k == 0 {
+        return vec![false_lit(s, fal)];
+    }
+    let mut acc: Option<Vec<Lit>> = None;
+    for bit in 0..64 {
+        if (k >> bit) & 1 == 1 {
+            let f = false_lit(s, fal);
+            let mut shifted = vec![f; bit];
+            shifted.extend_from_slice(a);
+            acc = Some(match acc {
+                None => shifted,
+                Some(prev) => add_bits(s, &prev, &shifted, fal),
+            });
+        }
+    }
+    let _ = tru;
+    acc.expect("k > 0 so at least one shift occurred")
+}
+
+/// Returns a literal `r` such that `r -> (a >= b)` and `!r -> (a < b)` for
+/// unsigned little-endian bit vectors (full equivalence).
+pub fn ge_reified(s: &mut Solver, a: &[Lit], b: &[Lit], fal: &mut Option<Lit>, tru: &mut Option<Lit>) -> Lit {
+    let f = false_lit(s, fal);
+    let width = a.len().max(b.len());
+    // ge_i = comparison of bits [i..): computed from MSB down.
+    // ge = (a_msb > b_msb) | (a_msb == b_msb) & ge_rest
+    let mut ge = true_lit(s, tru); // empty suffix: equal => a >= b
+    for i in 0..width {
+        let ai = a.get(i).copied().unwrap_or(f);
+        let bi = b.get(i).copied().unwrap_or(f);
+        // gt_i = ai & !bi ; eq_i = ai == bi
+        let next = s.new_var().positive();
+        // next <-> (ai & !bi) | ((ai <-> bi) & ge)
+        // Encode via cases:
+        // ai=1,bi=0 -> next=1
+        s.add_clause(&[!ai, bi, next]);
+        // ai=0,bi=1 -> next=0
+        s.add_clause(&[ai, !bi, !next]);
+        // ai=bi -> next = ge
+        s.add_clause(&[!ai, !bi, !ge, next]);
+        s.add_clause(&[!ai, !bi, ge, !next]);
+        s.add_clause(&[ai, bi, !ge, next]);
+        s.add_clause(&[ai, bi, ge, !next]);
+        ge = next;
+    }
+    ge
+}
+
+/// Asserts `a >= b` for unsigned little-endian bit vectors.
+pub fn assert_ge(s: &mut Solver, a: &[Lit], b: &[Lit], fal: &mut Option<Lit>, tru: &mut Option<Lit>) {
+    let r = ge_reified(s, a, b, fal, tru);
+    s.add_clause(&[r]);
+}
+
+/// Returns bits of `cond ? a : b`.
+pub fn mux_bits(s: &mut Solver, cond: Lit, a: &[Lit], b: &[Lit], fal: &mut Option<Lit>) -> Vec<Lit> {
+    let f = false_lit(s, fal);
+    let width = a.len().max(b.len());
+    (0..width)
+        .map(|i| {
+            let ai = a.get(i).copied().unwrap_or(f);
+            let bi = b.get(i).copied().unwrap_or(f);
+            let o = s.new_var().positive();
+            s.add_clause(&[!cond, !ai, o]);
+            s.add_clause(&[!cond, ai, !o]);
+            s.add_clause(&[cond, !bi, o]);
+            s.add_clause(&[cond, bi, !o]);
+            o
+        })
+        .collect()
+}
+
+/// Evaluates a bit vector under a model lookup function.
+pub fn eval_bits<F: Fn(Lit) -> bool>(bits: &[Lit], value_of: F) -> u64 {
+    let mut out = 0u64;
+    for (i, &b) in bits.iter().enumerate() {
+        if value_of(b) {
+            out |= 1 << i;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Ctx {
+        s: Solver,
+        fal: Option<Lit>,
+        tru: Option<Lit>,
+    }
+
+    impl Ctx {
+        fn new() -> Self {
+            Ctx {
+                s: Solver::new(),
+                fal: None,
+                tru: None,
+            }
+        }
+
+        fn input(&mut self, width: usize) -> Vec<Lit> {
+            (0..width).map(|_| self.s.new_var().positive()).collect()
+        }
+
+        fn fix(&mut self, bits: &[Lit], value: u64) {
+            for (i, &b) in bits.iter().enumerate() {
+                if (value >> i) & 1 == 1 {
+                    self.s.add_clause(&[b]);
+                } else {
+                    self.s.add_clause(&[!b]);
+                }
+            }
+        }
+
+        fn model_value(&self, bits: &[Lit]) -> u64 {
+            eval_bits(bits, |l| self.s.lit_value_in_model(l).unwrap_or(false))
+        }
+    }
+
+    #[test]
+    fn adder_exhaustive_4bit() {
+        for a in 0u64..16 {
+            for b in 0u64..16 {
+                let mut c = Ctx::new();
+                let av = c.input(4);
+                let bv = c.input(4);
+                let sum = add_bits(&mut c.s, &av, &bv, &mut c.fal);
+                c.fix(&av, a);
+                c.fix(&bv, b);
+                assert!(c.s.solve());
+                assert_eq!(c.model_value(&sum), a + b, "a={a} b={b}");
+            }
+        }
+    }
+
+    #[test]
+    fn mul_const_matches() {
+        for k in [0u64, 1, 3, 5, 12] {
+            for a in [0u64, 1, 7, 13, 15] {
+                let mut c = Ctx::new();
+                let av = c.input(4);
+                let prod = mul_const_bits(&mut c.s, &av, k, &mut c.fal, &mut c.tru);
+                c.fix(&av, a);
+                assert!(c.s.solve());
+                assert_eq!(c.model_value(&prod), a * k, "a={a} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn comparator_exhaustive_3bit() {
+        for a in 0u64..8 {
+            for b in 0u64..8 {
+                let mut c = Ctx::new();
+                let av = c.input(3);
+                let bv = c.input(3);
+                let ge = ge_reified(&mut c.s, &av, &bv, &mut c.fal, &mut c.tru);
+                c.fix(&av, a);
+                c.fix(&bv, b);
+                assert!(c.s.solve());
+                assert_eq!(
+                    c.s.lit_value_in_model(ge),
+                    Some(a >= b),
+                    "a={a} b={b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn assert_ge_prunes_models() {
+        let mut c = Ctx::new();
+        let av = c.input(3);
+        let bv = c.input(3);
+        assert_ge(&mut c.s, &av, &bv, &mut c.fal, &mut c.tru);
+        c.fix(&bv, 5);
+        assert!(c.s.solve());
+        assert!(c.model_value(&av) >= 5);
+        // Now also require a < 5: unsat.
+        c.fix(&av, 3);
+        assert!(!c.s.solve());
+    }
+
+    #[test]
+    fn mux_selects() {
+        for cond in [false, true] {
+            let mut c = Ctx::new();
+            let av = c.input(3);
+            let bv = c.input(3);
+            let cv = c.s.new_var().positive();
+            let out = mux_bits(&mut c.s, cv, &av, &bv, &mut c.fal);
+            c.fix(&av, 6);
+            c.fix(&bv, 1);
+            c.s.add_clause(&[if cond { cv } else { !cv }]);
+            assert!(c.s.solve());
+            assert_eq!(c.model_value(&out), if cond { 6 } else { 1 });
+        }
+    }
+
+    #[test]
+    fn gated_const_is_zero_or_value() {
+        for cond in [false, true] {
+            let mut c = Ctx::new();
+            let cv = c.s.new_var().positive();
+            let out = gated_const_bits(&mut c.s, cv, 11, &mut c.fal);
+            c.s.add_clause(&[if cond { cv } else { !cv }]);
+            assert!(c.s.solve());
+            assert_eq!(c.model_value(&out), if cond { 11 } else { 0 });
+        }
+    }
+
+    #[test]
+    fn const_bits_round_trip() {
+        let mut c = Ctx::new();
+        let bits = const_bits(&mut c.s, 37, &mut c.fal, &mut c.tru);
+        assert!(c.s.solve());
+        assert_eq!(c.model_value(&bits), 37);
+    }
+
+    #[test]
+    fn mixed_width_addition() {
+        let mut c = Ctx::new();
+        let av = c.input(2);
+        let bv = c.input(5);
+        let sum = add_bits(&mut c.s, &av, &bv, &mut c.fal);
+        c.fix(&av, 3);
+        c.fix(&bv, 29);
+        assert!(c.s.solve());
+        assert_eq!(c.model_value(&sum), 32);
+    }
+}

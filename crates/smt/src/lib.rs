@@ -1,0 +1,140 @@
+//! # qca-smt
+//!
+//! A small SMT/OMT engine built on the [`qca_sat`] CDCL solver, providing
+//! exactly the fragment needed by the DATE 2023 quantum-circuit-adaptation
+//! model:
+//!
+//! * Boolean structure (substitution choices and their conflicts),
+//! * linear pseudo-Boolean sums (Boolean-conditioned durations/fidelities),
+//! * bounded integers with ordering constraints (block start times),
+//! * linear objective maximization ([`omt`]).
+//!
+//! Integer arithmetic is bit-blasted to CNF ([`bitvec`]); difference-logic
+//! scheduling is additionally available in closed form ([`diff`]) for
+//! validation and ASAP schedule extraction.
+//!
+//! # Examples
+//!
+//! Choosing substitutions to minimize a schedule makespan:
+//!
+//! ```
+//! use qca_smt::{SmtSolver, omt};
+//!
+//! let mut smt = SmtSolver::new();
+//! let use_fast = smt.new_bool();
+//! // duration = 100, or 40 when the fast variant is chosen
+//! let duration = smt.pb_sum(100, &[(-60, use_fast)]);
+//! // score = 200 - duration (higher is better)
+//! let cap = smt.int_const(200);
+//! let score = smt.new_int(0, 200);
+//! let total = smt.add(&score, &duration);
+//! smt.assert_eq(&total, &cap);
+//! let best = omt::maximize(&mut smt, &score, omt::Strategy::BinarySearch)
+//!     .expect("satisfiable");
+//! assert_eq!(best.value, 160);
+//! assert!(best.model.lit_is_true(use_fast));
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod bitvec;
+pub mod diff;
+pub mod omt;
+mod solver;
+
+pub use solver::{IntExpr, SmtModel, SmtSolver};
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(40))]
+
+        /// OMT over a pure PB objective must match brute force.
+        #[test]
+        fn omt_matches_brute_force(
+            weights in proptest::collection::vec(-15i64..15, 1..7),
+            conflicts in proptest::collection::vec((0usize..7, 0usize..7), 0..5),
+        ) {
+            let n = weights.len();
+            let mut smt = SmtSolver::new();
+            let xs: Vec<_> = (0..n).map(|_| smt.new_bool()).collect();
+            let mut cl: Vec<(usize, usize)> = Vec::new();
+            for &(i, j) in &conflicts {
+                let (i, j) = (i % n, j % n);
+                cl.push((i, j));
+                smt.add_clause(&[!xs[i], !xs[j]]);
+            }
+            let terms: Vec<_> = weights.iter().zip(&xs).map(|(&w, &x)| (w, x)).collect();
+            let obj = smt.pb_sum(0, &terms);
+            let best = omt::maximize(&mut smt, &obj, omt::Strategy::BinarySearch).unwrap();
+
+            // brute force
+            let mut expect = i64::MIN;
+            'outer: for bits in 0u32..(1 << n) {
+                for &(i, j) in &cl {
+                    if (bits >> i) & 1 == 1 && (bits >> j) & 1 == 1 {
+                        continue 'outer;
+                    }
+                }
+                let v: i64 = (0..n).map(|k| if (bits >> k) & 1 == 1 { weights[k] } else { 0 }).sum();
+                expect = expect.max(v);
+            }
+            prop_assert_eq!(best.value, expect);
+        }
+
+        /// ASAP schedules from the closed-form scheduler always satisfy the
+        /// constraint system.
+        #[test]
+        fn asap_is_feasible(
+            n in 2usize..8,
+            edges in proptest::collection::vec((0usize..8, 0usize..8, 0i64..20), 0..15),
+        ) {
+            let mut g = diff::DiffGraph::new(n);
+            // Keep it acyclic: only forward edges.
+            for &(a, b, w) in &edges {
+                let (a, b) = (a % n, b % n);
+                if a < b {
+                    g.add_constraint(a, b, w);
+                }
+            }
+            let s = g.asap_schedule().unwrap();
+            prop_assert!(g.is_satisfied_by(&s));
+        }
+
+        /// The bit-blasted scheduler and the closed-form scheduler agree on
+        /// minimal makespan for small chains.
+        #[test]
+        fn smt_and_diff_agree_on_makespan(
+            durations in proptest::collection::vec(1i64..20, 1..5),
+        ) {
+            let n = durations.len();
+            // Closed form: chain makespan = sum of durations.
+            let mut g = diff::DiffGraph::new(n + 1);
+            for (i, &d) in durations.iter().enumerate() {
+                g.add_constraint(i, i + 1, d);
+            }
+            let sched = g.asap_schedule().unwrap();
+            let expect = diff::DiffGraph::makespan(&sched);
+
+            // SMT: maximize slack = CAP - makespan.
+            let cap_v = 200i64;
+            let mut smt = SmtSolver::new();
+            let es: Vec<_> = (0..=n).map(|_| smt.new_int(0, cap_v)).collect();
+            for (i, &dur) in durations.iter().enumerate() {
+                let d = smt.int_const(dur);
+                let lhs = smt.add(&es[i], &d);
+                smt.assert_ge(&es[i + 1], &lhs);
+            }
+            let cap = smt.int_const(cap_v);
+            let slack = smt.new_int(0, cap_v);
+            let tot = smt.add(&slack, &es[n]);
+            smt.assert_eq(&tot, &cap);
+            let best = omt::maximize(&mut smt, &slack, omt::Strategy::BinarySearch).unwrap();
+            prop_assert_eq!(cap_v - best.value, expect);
+        }
+    }
+}

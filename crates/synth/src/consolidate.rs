@@ -1,0 +1,148 @@
+//! Single-qubit gate consolidation.
+//!
+//! Merges every maximal run of single-qubit gates on a qubit into one `U3`
+//! gate (dropping runs that multiply to the identity up to phase). This both
+//! cleans up synthesized circuits and implements the paper's cost convention
+//! that the spin platform executes an arbitrary SU(2) as a single operation.
+
+use crate::euler::u3_gate;
+use qca_circuit::Circuit;
+use qca_num::phase::approx_eq_up_to_phase;
+use qca_num::CMat;
+
+/// Rewrites `circuit` so that no two single-qubit gates are adjacent on the
+/// same qubit: each run becomes a single [`qca_circuit::Gate::U3`] (or vanishes when the
+/// run is an identity).
+///
+/// Two-qubit gates are preserved verbatim, in order. The result is equal to
+/// the input up to global phase.
+///
+/// # Examples
+///
+/// ```
+/// use qca_circuit::{Circuit, Gate};
+/// use qca_synth::consolidate::consolidate_1q;
+///
+/// let mut c = Circuit::new(1);
+/// c.push(Gate::H, &[0]);
+/// c.push(Gate::H, &[0]); // H·H = I
+/// let out = consolidate_1q(&c);
+/// assert!(out.is_empty());
+/// ```
+pub fn consolidate_1q(circuit: &Circuit) -> Circuit {
+    let nq = circuit.num_qubits();
+    let mut pending: Vec<Option<CMat>> = vec![None; nq];
+    let mut out = Circuit::new(nq);
+    let flush = |pending: &mut Vec<Option<CMat>>, out: &mut Circuit, q: usize| {
+        if let Some(u) = pending[q].take() {
+            if !approx_eq_up_to_phase(&u, &CMat::identity(2), 1e-10) {
+                out.push(u3_gate(&u), &[q]);
+            }
+        }
+    };
+    for instr in circuit.iter() {
+        if instr.gate.num_qubits() == 1 {
+            let q = instr.qubits[0];
+            let m = instr.gate.matrix();
+            pending[q] = Some(match pending[q].take() {
+                None => m,
+                Some(acc) => &m * &acc,
+            });
+        } else {
+            for &q in &instr.qubits {
+                flush(&mut pending, &mut out, q);
+            }
+            out.push(instr.gate, &instr.qubits);
+        }
+    }
+    for q in 0..nq {
+        flush(&mut pending, &mut out, q);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qca_circuit::Gate;
+
+    #[test]
+    fn merges_runs_into_single_u3() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::T, &[0]);
+        c.push(Gate::Rz(0.3), &[0]);
+        let out = consolidate_1q(&c);
+        assert_eq!(out.len(), 1);
+        assert!(matches!(out.instrs()[0].gate, Gate::U3(..)));
+        assert!(approx_eq_up_to_phase(&out.unitary(), &c.unitary(), 1e-9));
+    }
+
+    #[test]
+    fn identity_runs_vanish() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::X, &[0]);
+        c.push(Gate::X, &[0]);
+        c.push(Gate::S, &[1]);
+        c.push(Gate::Sdg, &[1]);
+        assert!(consolidate_1q(&c).is_empty());
+    }
+
+    #[test]
+    fn two_qubit_gates_flush_and_split_runs() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Cz, &[0, 1]);
+        c.push(Gate::H, &[0]);
+        let out = consolidate_1q(&c);
+        assert_eq!(out.len(), 3);
+        assert_eq!(out.instrs()[1].gate, Gate::Cz);
+        assert!(approx_eq_up_to_phase(&out.unitary(), &c.unitary(), 1e-9));
+    }
+
+    #[test]
+    fn preserves_unitary_on_mixed_circuit() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Rz(0.2), &[0]);
+        c.push(Gate::Ry(1.0), &[1]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::T, &[1]);
+        c.push(Gate::Tdg, &[2]);
+        c.push(Gate::Cz, &[1, 2]);
+        c.push(Gate::X, &[2]);
+        let out = consolidate_1q(&c);
+        assert!(approx_eq_up_to_phase(&out.unitary(), &c.unitary(), 1e-9));
+        // No adjacent single-qubit gates on the same qubit remain.
+        let mut last: Vec<Option<usize>> = vec![None; 3];
+        for (i, instr) in out.iter().enumerate() {
+            if instr.gate.num_qubits() == 1 {
+                let q = instr.qubits[0];
+                if let Some(prev) = last[q] {
+                    assert!(i > prev + 1 || {
+                        // an intervening 2q gate on q must exist
+                        out.instrs()[prev + 1..i]
+                            .iter()
+                            .any(|x| x.qubits.contains(&q))
+                    });
+                }
+                last[q] = Some(i);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_circuit_passthrough() {
+        let c = Circuit::new(2);
+        assert!(consolidate_1q(&c).is_empty());
+    }
+
+    #[test]
+    fn realization_variants_pass_through() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::SwapDiabatic, &[0, 1]);
+        c.push(Gate::CzDiabatic, &[0, 1]);
+        let out = consolidate_1q(&c);
+        assert_eq!(out.instrs(), c.instrs());
+    }
+}

@@ -1,0 +1,176 @@
+//! Single-qubit gate synthesis: U3/ZYZ angles from a 2x2 unitary.
+
+use qca_circuit::Gate;
+use qca_num::{C64, CMat};
+
+/// Euler-angle factorization of a single-qubit unitary:
+/// `U = e^{i phase} · U3(theta, phi, lambda)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EulerAngles {
+    /// Polar rotation angle.
+    pub theta: f64,
+    /// First azimuthal angle.
+    pub phi: f64,
+    /// Second azimuthal angle.
+    pub lambda: f64,
+    /// Global phase.
+    pub phase: f64,
+}
+
+impl EulerAngles {
+    /// The corresponding [`Gate::U3`].
+    pub fn to_gate(self) -> Gate {
+        Gate::U3(self.theta, self.phi, self.lambda)
+    }
+
+    /// Reconstructs the full unitary including global phase.
+    pub fn to_matrix(self) -> CMat {
+        self.to_gate().matrix().scale(C64::cis(self.phase))
+    }
+}
+
+/// Computes Euler angles such that
+/// `u = e^{i phase} U3(theta, phi, lambda)`.
+///
+/// # Panics
+///
+/// Panics if `u` is not a 2x2 matrix or not unitary to `1e-6`.
+///
+/// # Examples
+///
+/// ```
+/// use qca_circuit::Gate;
+/// use qca_synth::euler::euler_angles;
+///
+/// let angles = euler_angles(&Gate::H.matrix());
+/// let rebuilt = angles.to_matrix();
+/// assert!(rebuilt.approx_eq(&Gate::H.matrix(), 1e-10));
+/// ```
+pub fn euler_angles(u: &CMat) -> EulerAngles {
+    assert_eq!((u.rows(), u.cols()), (2, 2), "expected a 2x2 matrix");
+    assert!(u.is_unitary(1e-6), "input must be unitary");
+    let u00 = u[(0, 0)];
+    let u01 = u[(0, 1)];
+    let u10 = u[(1, 0)];
+    let theta = 2.0 * u10.norm().atan2(u00.norm());
+    if u00.norm() < 1e-12 {
+        // theta = pi: U = e^{ig} [[0, -e^{il}], [e^{ip}, 0]]; gauge g = 0.
+        let phi = u10.arg();
+        let lambda = (-u01).arg();
+        return EulerAngles {
+            theta,
+            phi,
+            lambda,
+            phase: 0.0,
+        };
+    }
+    let phase = u00.arg();
+    if u10.norm() < 1e-12 {
+        // theta = 0: only phi + lambda determined; gauge lambda = 0.
+        let u11 = u[(1, 1)];
+        let phi = u11.arg() - phase;
+        return EulerAngles {
+            theta,
+            phi,
+            lambda: 0.0,
+            phase,
+        };
+    }
+    let phi = u10.arg() - phase;
+    let lambda = (-u01).arg() - phase;
+    EulerAngles {
+        theta,
+        phi,
+        lambda,
+        phase,
+    }
+}
+
+/// Convenience: the single [`Gate::U3`] implementing `u` up to global phase.
+pub fn u3_gate(u: &CMat) -> Gate {
+    euler_angles(u).to_gate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qca_num::phase::approx_eq_up_to_phase;
+    use std::f64::consts::PI;
+
+    fn check_round_trip(u: &CMat) {
+        let a = euler_angles(u);
+        assert!(
+            a.to_matrix().approx_eq(u, 1e-9),
+            "exact reconstruction failed for {u:?}: {a:?}"
+        );
+    }
+
+    #[test]
+    fn standard_gates_round_trip() {
+        for g in [
+            Gate::I,
+            Gate::X,
+            Gate::Y,
+            Gate::Z,
+            Gate::H,
+            Gate::S,
+            Gate::T,
+            Gate::Sx,
+            Gate::Rx(0.4),
+            Gate::Ry(-1.2),
+            Gate::Rz(2.9),
+            Gate::Phase(0.33),
+            Gate::U3(1.0, 2.0, 3.0),
+        ] {
+            check_round_trip(&g.matrix());
+        }
+    }
+
+    #[test]
+    fn random_unitaries_round_trip() {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let u = qca_num::random::haar_unitary(&mut rng, 2);
+            check_round_trip(&u);
+        }
+    }
+
+    #[test]
+    fn u3_gate_matches_up_to_phase() {
+        let u = Gate::Rz(1.3).matrix();
+        let g = u3_gate(&u);
+        assert!(approx_eq_up_to_phase(&g.matrix(), &u, 1e-10));
+    }
+
+    #[test]
+    fn theta_zero_branch() {
+        let u = CMat::diag(&[C64::cis(0.4), C64::cis(1.1)]);
+        check_round_trip(&u);
+    }
+
+    #[test]
+    fn theta_pi_branch() {
+        let u = CMat::from_rows(
+            2,
+            2,
+            &[
+                C64::ZERO,
+                C64::cis(0.8),
+                C64::cis(-0.3),
+                C64::ZERO,
+            ],
+        );
+        assert!(u.is_unitary(1e-12));
+        check_round_trip(&u);
+        let a = euler_angles(&u);
+        assert!((a.theta - PI).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "unitary")]
+    fn non_unitary_rejected() {
+        let m = CMat::from_real(2, 2, &[1.0, 1.0, 1.0, 1.0]);
+        let _ = euler_angles(&m);
+    }
+}

@@ -1,0 +1,199 @@
+//! Peephole circuit optimization: cancellation of adjacent inverse pairs.
+//!
+//! [`cancel_2q_pairs`] removes pairs of adjacent two-qubit gates on the same
+//! qubit pair whose product is the identity (CZ·CZ, CX·CX, SWAP·SWAP, ...);
+//! [`optimize`] interleaves this with single-qubit consolidation until a
+//! fixpoint — useful for cleaning up translated circuits where equivalence
+//! library expansions meet (e.g. `H CZ H · H CZ H` collapses entirely).
+
+use crate::consolidate::consolidate_1q;
+use qca_circuit::{Circuit, Instr};
+use qca_num::phase::approx_eq_up_to_phase;
+use qca_num::CMat;
+
+/// Cancels adjacent two-qubit gate pairs whose product is the identity up
+/// to global phase. "Adjacent" means no intervening gate touches either
+/// qubit. The result is unitarily equivalent to the input.
+pub fn cancel_2q_pairs(circuit: &Circuit) -> Circuit {
+    let nq = circuit.num_qubits();
+    // Output under construction; `last_on[q]` = index of the last kept op
+    // touching q, if any.
+    let mut kept: Vec<Instr> = Vec::with_capacity(circuit.len());
+    let mut last_on: Vec<Option<usize>> = vec![None; nq];
+    let id4 = CMat::identity(4);
+    for instr in circuit.iter() {
+        let cancel = if instr.qubits.len() == 2 {
+            let (a, b) = (instr.qubits[0], instr.qubits[1]);
+            match (last_on[a], last_on[b]) {
+                (Some(i), Some(j)) if i == j && kept[i].qubits.len() == 2 => {
+                    let prev = &kept[i];
+                    let same_pair = (prev.qubits[0] == a && prev.qubits[1] == b)
+                        || (prev.qubits[0] == b && prev.qubits[1] == a);
+                    if same_pair {
+                        // Compose on local wires and compare to identity.
+                        let m_prev = if prev.qubits[0] == a {
+                            prev.gate.matrix()
+                        } else {
+                            prev.gate.matrix().embed_qubits(&[1, 0], 2)
+                        };
+                        let product = &instr.gate.matrix() * &m_prev;
+                        approx_eq_up_to_phase(&product, &id4, 1e-10).then_some(i)
+                    } else {
+                        None
+                    }
+                }
+                _ => None,
+            }
+        } else {
+            None
+        };
+        match cancel {
+            Some(i) => {
+                // Remove the partner and do not emit this gate; rewind the
+                // qubit frontiers to whatever preceded it.
+                kept.remove(i);
+                for (q, slot) in last_on.iter_mut().enumerate() {
+                    *slot = kept.iter().rposition(|k| k.qubits.contains(&q));
+                }
+            }
+            None => {
+                let idx = kept.len();
+                for &q in &instr.qubits {
+                    last_on[q] = Some(idx);
+                }
+                kept.push(instr.clone());
+            }
+        }
+    }
+    let mut out = Circuit::new(nq);
+    for i in kept {
+        out.push(i.gate, &i.qubits);
+    }
+    out
+}
+
+/// Runs single-qubit consolidation and two-qubit pair cancellation to a
+/// fixpoint.
+///
+/// # Examples
+///
+/// ```
+/// use qca_circuit::{Circuit, Gate};
+/// use qca_synth::optimize::optimize;
+///
+/// // Two expansions of CX back to back: everything cancels.
+/// let mut c = Circuit::new(2);
+/// for _ in 0..2 {
+///     c.push(Gate::H, &[1]);
+///     c.push(Gate::Cz, &[0, 1]);
+///     c.push(Gate::H, &[1]);
+/// }
+/// assert!(optimize(&c).is_empty());
+/// ```
+pub fn optimize(circuit: &Circuit) -> Circuit {
+    let mut current = circuit.clone();
+    loop {
+        let next = cancel_2q_pairs(&consolidate_1q(&current));
+        if next.len() == current.len() {
+            return next;
+        }
+        current = next;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qca_circuit::Gate;
+
+    #[test]
+    fn adjacent_cz_pair_cancels() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cz, &[0, 1]);
+        c.push(Gate::Cz, &[0, 1]);
+        assert!(cancel_2q_pairs(&c).is_empty());
+    }
+
+    #[test]
+    fn cx_pair_cancels_across_operand_order_for_symmetric_gates() {
+        // CZ is symmetric: cz(0,1) cz(1,0) cancels.
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cz, &[0, 1]);
+        c.push(Gate::Cz, &[1, 0]);
+        assert!(cancel_2q_pairs(&c).is_empty());
+        // CX is not symmetric: cx(0,1) cx(1,0) must NOT cancel.
+        let mut c2 = Circuit::new(2);
+        c2.push(Gate::Cx, &[0, 1]);
+        c2.push(Gate::Cx, &[1, 0]);
+        assert_eq!(cancel_2q_pairs(&c2).len(), 2);
+    }
+
+    #[test]
+    fn intervening_gate_blocks_cancellation() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cz, &[0, 1]);
+        c.push(Gate::X, &[0]);
+        c.push(Gate::Cz, &[0, 1]);
+        assert_eq!(cancel_2q_pairs(&c).len(), 3);
+    }
+
+    #[test]
+    fn spectator_qubit_does_not_block() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cz, &[0, 1]);
+        c.push(Gate::H, &[2]);
+        c.push(Gate::Cz, &[0, 1]);
+        let out = cancel_2q_pairs(&c);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out.instrs()[0].gate, Gate::H);
+    }
+
+    #[test]
+    fn cascading_cancellation() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cz, &[0, 1]);
+        c.push(Gate::Swap, &[0, 1]);
+        c.push(Gate::Swap, &[0, 1]);
+        c.push(Gate::Cz, &[0, 1]);
+        // Inner swaps cancel, exposing the CZ pair.
+        assert!(cancel_2q_pairs(&c).is_empty());
+    }
+
+    #[test]
+    fn inverse_cphase_pair_cancels() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::CPhase(0.7), &[0, 1]);
+        c.push(Gate::CPhase(-0.7), &[0, 1]);
+        assert!(cancel_2q_pairs(&c).is_empty());
+        // Non-inverse angles survive.
+        let mut c2 = Circuit::new(2);
+        c2.push(Gate::CPhase(0.7), &[0, 1]);
+        c2.push(Gate::CPhase(0.5), &[0, 1]);
+        assert_eq!(cancel_2q_pairs(&c2).len(), 2);
+    }
+
+    #[test]
+    fn optimize_reaches_fixpoint_through_1q_runs() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cz, &[0, 1]);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::H, &[0]); // identity run between the CZs
+        c.push(Gate::Cz, &[0, 1]);
+        assert!(optimize(&c).is_empty());
+    }
+
+    #[test]
+    fn optimize_preserves_unitary() {
+        use qca_num::phase::approx_eq_up_to_phase;
+        let mut c = Circuit::new(3);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Cz, &[0, 1]);
+        c.push(Gate::Cz, &[0, 1]);
+        c.push(Gate::Rz(0.4), &[1]);
+        c.push(Gate::Cx, &[1, 2]);
+        c.push(Gate::T, &[2]);
+        let out = optimize(&c);
+        assert!(approx_eq_up_to_phase(&out.unitary(), &c.unitary(), 1e-9));
+        assert!(out.len() < c.len());
+    }
+}

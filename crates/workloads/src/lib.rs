@@ -1,0 +1,235 @@
+//! # qca-workloads
+//!
+//! Benchmark circuit generators for the paper's evaluation (§V):
+//!
+//! * [`quantum_volume`] — quantum-volume model circuits (Cross et al.,
+//!   PRA 100, 032328): layers of Haar-random two-qubit unitaries on
+//!   permuted qubit pairs, expressed in the IBM-style source basis
+//!   (`U3` + `CX`),
+//! * [`random_template_circuit`] — random circuits over the gates appearing
+//!   in the Fig. 3 substitution templates (CX, CZ, SWAP, CPhase), restricted
+//!   to a line topology (the spin-qubit connectivity, which the paper
+//!   reaches via a Qiskit topology-transpilation step).
+//!
+//! All generators are deterministic in the seed.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+use qca_circuit::{Circuit, Gate};
+use qca_num::random::haar_unitary;
+use qca_synth::kak::kak_decompose;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Generates a quantum-volume circuit on `num_qubits` qubits with `depth`
+/// layers, in the source basis (`U3` + `CX`).
+///
+/// Each layer applies a random qubit permutation and a Haar-random SU(4) on
+/// each adjacent pair of the permuted order; the SU(4)s are synthesized via
+/// KAK into at most three CNOTs plus `U3`s.
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use qca_workloads::quantum_volume;
+/// let c = quantum_volume(3, 2, 42);
+/// assert_eq!(c.num_qubits(), 3);
+/// assert!(c.two_qubit_gate_count() <= 2 * 3);
+/// ```
+pub fn quantum_volume(num_qubits: usize, depth: usize, seed: u64) -> Circuit {
+    assert!(num_qubits >= 2, "quantum volume needs at least 2 qubits");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(num_qubits);
+    let mut order: Vec<usize> = (0..num_qubits).collect();
+    for _ in 0..depth {
+        order.shuffle(&mut rng);
+        for pair in order.chunks(2) {
+            if pair.len() < 2 {
+                continue;
+            }
+            let u = haar_unitary(&mut rng, 4);
+            let local = kak_decompose(&u).to_circuit_cx();
+            for instr in local.iter() {
+                let mapped: Vec<usize> =
+                    instr.qubits.iter().map(|&q| pair[q]).collect();
+                c.push(instr.gate, &mapped);
+            }
+        }
+    }
+    c
+}
+
+/// Gate families available to [`random_template_circuit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TemplateGate {
+    /// Controlled-NOT.
+    Cx,
+    /// Controlled-Z.
+    Cz,
+    /// Swap.
+    Swap,
+    /// Controlled phase with a random angle.
+    CPhase,
+    /// Random single-qubit rotation.
+    OneQubit,
+}
+
+/// The default gate mix used in the evaluation.
+pub const DEFAULT_TEMPLATE_GATES: [TemplateGate; 5] = [
+    TemplateGate::Cx,
+    TemplateGate::Cz,
+    TemplateGate::Swap,
+    TemplateGate::CPhase,
+    TemplateGate::OneQubit,
+];
+
+/// Generates a random circuit of `depth` layers over the template gates,
+/// restricted to adjacent qubit pairs on a line.
+///
+/// Each layer places one gate from `gates` on a random qubit (or random
+/// adjacent pair). With `bias_swaps`, consecutive CNOT triples forming swaps
+/// are occasionally emitted to exercise the swap substitution rules.
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 2` or `gates` is empty.
+pub fn random_template_circuit(
+    num_qubits: usize,
+    depth: usize,
+    seed: u64,
+    gates: &[TemplateGate],
+    bias_swaps: bool,
+) -> Circuit {
+    assert!(num_qubits >= 2, "need at least 2 qubits");
+    assert!(!gates.is_empty(), "gate set must be nonempty");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(num_qubits);
+    for _ in 0..depth {
+        let left = rng.gen_range(0..num_qubits - 1);
+        let (a, b) = if rng.gen() {
+            (left, left + 1)
+        } else {
+            (left + 1, left)
+        };
+        if bias_swaps && rng.gen_bool(0.15) {
+            // An explicit 3-CNOT swap pattern.
+            c.push(Gate::Cx, &[a, b]);
+            c.push(Gate::Cx, &[b, a]);
+            c.push(Gate::Cx, &[a, b]);
+            continue;
+        }
+        match gates[rng.gen_range(0..gates.len())] {
+            TemplateGate::Cx => c.push(Gate::Cx, &[a, b]),
+            TemplateGate::Cz => c.push(Gate::Cz, &[a, b]),
+            TemplateGate::Swap => c.push(Gate::Swap, &[a, b]),
+            TemplateGate::CPhase => {
+                let t: f64 = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+                c.push(Gate::CPhase(t), &[a, b]);
+            }
+            TemplateGate::OneQubit => {
+                let t: f64 = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+                match rng.gen_range(0..3) {
+                    0 => c.push(Gate::Rz(t), &[a]),
+                    1 => c.push(Gate::Ry(t), &[a]),
+                    _ => c.push(Gate::H, &[a]),
+                }
+            }
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qv_deterministic_in_seed() {
+        let a = quantum_volume(4, 3, 7);
+        let b = quantum_volume(4, 3, 7);
+        assert_eq!(a.instrs(), b.instrs());
+        let c = quantum_volume(4, 3, 8);
+        assert_ne!(a.instrs(), c.instrs());
+    }
+
+    #[test]
+    fn qv_uses_source_basis_only() {
+        let c = quantum_volume(4, 4, 1);
+        for i in c.iter() {
+            assert!(
+                matches!(i.gate, Gate::Cx | Gate::U3(..)),
+                "unexpected gate {}",
+                i.gate
+            );
+        }
+    }
+
+    #[test]
+    fn qv_layer_structure() {
+        // depth layers * floor(n/2) pairs * <=3 CX per pair
+        let c = quantum_volume(4, 5, 3);
+        assert!(c.two_qubit_gate_count() <= 5 * 2 * 3);
+        assert!(c.two_qubit_gate_count() > 0);
+    }
+
+    #[test]
+    fn qv_is_unitary_circuit() {
+        let c = quantum_volume(3, 2, 11);
+        assert!(c.unitary().is_unitary(1e-8));
+    }
+
+    #[test]
+    fn random_template_respects_line_topology() {
+        let c = random_template_circuit(4, 60, 5, &DEFAULT_TEMPLATE_GATES, true);
+        for i in c.iter() {
+            if i.qubits.len() == 2 {
+                let d = i.qubits[0].abs_diff(i.qubits[1]);
+                assert_eq!(d, 1, "non-adjacent pair {:?}", i.qubits);
+            }
+        }
+    }
+
+    #[test]
+    fn random_template_deterministic() {
+        let a = random_template_circuit(3, 30, 9, &DEFAULT_TEMPLATE_GATES, false);
+        let b = random_template_circuit(3, 30, 9, &DEFAULT_TEMPLATE_GATES, false);
+        assert_eq!(a.instrs(), b.instrs());
+    }
+
+    #[test]
+    fn swap_bias_generates_swap_patterns() {
+        let c = random_template_circuit(4, 200, 13, &DEFAULT_TEMPLATE_GATES, true);
+        // Expect at least one literal 3-CX swap run.
+        let instrs = c.instrs();
+        let mut found = false;
+        for w in instrs.windows(3) {
+            if w.iter().all(|i| i.gate == Gate::Cx)
+                && w[0].qubits == w[2].qubits
+                && w[1].qubits[0] == w[0].qubits[1]
+                && w[1].qubits[1] == w[0].qubits[0]
+            {
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "no swap pattern in 200 layers with bias");
+    }
+
+    #[test]
+    fn restricted_gate_set_respected() {
+        let c = random_template_circuit(3, 40, 2, &[TemplateGate::Cx], false);
+        assert!(c.iter().all(|i| i.gate == Gate::Cx));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2")]
+    fn single_qubit_rejected() {
+        let _ = quantum_volume(1, 1, 0);
+    }
+}

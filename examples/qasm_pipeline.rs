@@ -1,0 +1,41 @@
+//! End-to-end OpenQASM pipeline: parse an IBM-basis QASM program, adapt it
+//! to the spin-qubit gate set, and emit the adapted program as QASM again.
+//!
+//! Run with `cargo run --release --example qasm_pipeline`.
+
+use qca::adapt::{adapt, AdaptOptions, Objective};
+use qca::circuit::qasm::{parse_qasm, to_qasm};
+use qca::hw::{spin_qubit_model, GateTimes};
+
+const PROGRAM: &str = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[3];
+creg c[3];
+h q[0];
+cx q[0],q[1];
+cx q[1],q[0];
+cx q[0],q[1];
+rz(pi/4) q[1];
+cx q[1],q[2];
+u3(0.3,0.1,-0.2) q[2];
+cx q[1],q[2];
+measure q -> c;
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = parse_qasm(PROGRAM)?;
+    println!("parsed {} gates on {} qubits", circuit.len(), circuit.num_qubits());
+
+    let hw = spin_qubit_model(GateTimes::D0);
+    let result = adapt(&circuit, &hw, &AdaptOptions::with_objective(Objective::Combined))?;
+
+    println!(
+        "adapted: {} gates, fidelity {:.5} (reference {:.5})",
+        result.circuit.len(),
+        hw.circuit_fidelity(&result.circuit).expect("native"),
+        hw.circuit_fidelity(&result.reference).expect("native"),
+    );
+    println!("\n== adapted program ==\n{}", to_qasm(&result.circuit));
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Adapt a quantum-volume circuit with every technique and compare noisy
+//! execution quality (Hellinger fidelity), reproducing a single data point
+//! of the paper's Fig. 7.
+//!
+//! Run with `cargo run --release --example quantum_volume`.
+
+use qca::adapt::{adapt, AdaptOptions, Objective};
+use qca::baselines::{
+    direct_translation, kak_adaptation, template_optimization, KakBasis, TemplateObjective,
+};
+use qca::circuit::Circuit;
+use qca::hw::{spin_qubit_model, GateTimes, HardwareModel};
+use qca::sim::simulate_noisy;
+use qca::workloads::quantum_volume;
+
+fn report(name: &str, circuit: &Circuit, hw: &HardwareModel, base_hf: f64, base_idle: f64) {
+    let out = simulate_noisy(circuit, hw).expect("native circuit");
+    println!(
+        "{name:<18} hellinger {:.4} ({:+.1}%)   idle {:>7.0} ns ({:+.1}%)   duration {:>7.0} ns",
+        out.hellinger_fidelity,
+        (out.hellinger_fidelity / base_hf - 1.0) * 100.0,
+        out.idle_time,
+        if base_idle > 0.0 {
+            (out.idle_time / base_idle - 1.0) * 100.0
+        } else {
+            0.0
+        },
+        out.duration,
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let circuit = quantum_volume(4, 3, 2023);
+    let hw = spin_qubit_model(GateTimes::D0);
+    println!(
+        "quantum volume circuit: {} qubits, {} gates ({} two-qubit), depth {}",
+        circuit.num_qubits(),
+        circuit.len(),
+        circuit.two_qubit_gate_count(),
+        circuit.depth()
+    );
+
+    let baseline = direct_translation(&circuit);
+    let base = simulate_noisy(&baseline, &hw).expect("native");
+    println!(
+        "baseline            hellinger {:.4}            idle {:>7.0} ns            duration {:>7.0} ns",
+        base.hellinger_fidelity, base.idle_time, base.duration
+    );
+
+    let kak_cz = kak_adaptation(&circuit, &hw, KakBasis::Cz)?;
+    report("kak(cz)", &kak_cz, &hw, base.hellinger_fidelity, base.idle_time);
+    let kak_db = kak_adaptation(&circuit, &hw, KakBasis::CzDiabatic)?;
+    report("kak(cz_db)", &kak_db, &hw, base.hellinger_fidelity, base.idle_time);
+    let tmp_f = template_optimization(&circuit, &hw, TemplateObjective::Fidelity)?;
+    report("template(F)", &tmp_f, &hw, base.hellinger_fidelity, base.idle_time);
+    let tmp_r = template_optimization(&circuit, &hw, TemplateObjective::IdleTime)?;
+    report("template(R)", &tmp_r, &hw, base.hellinger_fidelity, base.idle_time);
+    for obj in [Objective::Fidelity, Objective::IdleTime, Objective::Combined] {
+        let r = adapt(&circuit, &hw, &AdaptOptions::with_objective(obj))?;
+        report(
+            &format!("{obj}"),
+            &r.circuit,
+            &hw,
+            base.hellinger_fidelity,
+            base.idle_time,
+        );
+    }
+    Ok(())
+}

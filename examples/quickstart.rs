@@ -1,0 +1,66 @@
+//! Quickstart: adapt a small circuit to the spin-qubit gate set and compare
+//! the three SMT objectives against the direct-translation baseline.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use qca::adapt::{adapt, AdaptOptions, Objective};
+use qca::baselines::direct_translation;
+use qca::circuit::{Circuit, Gate};
+use qca::hw::{spin_qubit_model, CircuitSchedule, GateTimes};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 3-qubit circuit in the IBM basis: an entangler, a swap pattern and
+    // a final interaction — plenty of substitution opportunities.
+    let mut circuit = Circuit::new(3);
+    circuit.push(Gate::H, &[0]);
+    circuit.push(Gate::Cx, &[0, 1]);
+    circuit.push(Gate::Cx, &[1, 0]);
+    circuit.push(Gate::Cx, &[0, 1]);
+    circuit.push(Gate::Rz(0.4), &[1]);
+    circuit.push(Gate::Cx, &[1, 2]);
+    circuit.push(Gate::Cx, &[2, 1]);
+
+    let hw = spin_qubit_model(GateTimes::D0);
+    let reference = direct_translation(&circuit);
+    let ref_fid = hw.circuit_fidelity(&reference).expect("native");
+    let ref_sched = CircuitSchedule::asap(&reference, &hw).expect("native");
+
+    println!("source circuit: {} gates, depth {}", circuit.len(), circuit.depth());
+    println!(
+        "baseline (direct translation): fidelity {:.5}, duration {:.0} ns, idle {:.0} ns",
+        ref_fid,
+        ref_sched.total_duration,
+        ref_sched.total_idle_time()
+    );
+    println!();
+
+    for objective in [Objective::Fidelity, Objective::IdleTime, Objective::Combined] {
+        let result = adapt(&circuit, &hw, &AdaptOptions::with_objective(objective))?;
+        let fid = hw.circuit_fidelity(&result.circuit).expect("native");
+        let sched = CircuitSchedule::asap(&result.circuit, &hw).expect("native");
+        println!(
+            "{objective}: fidelity {:.5} ({:+.2}%), duration {:.0} ns, idle {:.0} ns ({:+.1}%)",
+            fid,
+            (fid / ref_fid - 1.0) * 100.0,
+            sched.total_duration,
+            sched.total_idle_time(),
+            if ref_sched.total_idle_time() > 0.0 {
+                (sched.total_idle_time() / ref_sched.total_idle_time() - 1.0) * 100.0
+            } else {
+                0.0
+            },
+        );
+        let chosen: Vec<String> = result
+            .chosen
+            .iter()
+            .map(|s| format!("{} on block {}", s.kind, s.block))
+            .collect();
+        println!(
+            "  chose {} of {} substitutions: [{}]",
+            result.chosen.len(),
+            result.catalog_size,
+            chosen.join(", ")
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! Cross-crate integration tests: the full adaptation pipeline on generated
+//! workloads, checked for unitary equivalence, hardware nativeness and
+//! baseline dominance.
+
+use qca::adapt::{adapt, AdaptOptions, Objective};
+use qca::baselines::{direct_translation, kak_adaptation, template_optimization};
+use qca::baselines::{KakBasis, TemplateObjective};
+use qca::circuit::Circuit;
+use qca::hw::{spin_qubit_model, CircuitSchedule, GateTimes};
+use qca::num::phase::approx_eq_up_to_phase;
+use qca::sim::simulate_noisy;
+use qca::workloads::{quantum_volume, random_template_circuit, DEFAULT_TEMPLATE_GATES};
+
+fn check_equivalent(a: &Circuit, b: &Circuit, what: &str) {
+    assert!(
+        approx_eq_up_to_phase(&a.unitary(), &b.unitary(), 1e-5),
+        "{what}: unitary mismatch"
+    );
+}
+
+#[test]
+fn quantum_volume_pipeline_all_methods() {
+    let hw = spin_qubit_model(GateTimes::D0);
+    let c = quantum_volume(3, 2, 99);
+    let baseline = direct_translation(&c);
+    check_equivalent(&baseline, &c, "baseline");
+    for basis in [KakBasis::Cz, KakBasis::CzDiabatic] {
+        let k = kak_adaptation(&c, &hw, basis).unwrap();
+        check_equivalent(&k, &c, "kak");
+        assert!(hw.supports_circuit(&k));
+    }
+    for obj in [TemplateObjective::Fidelity, TemplateObjective::IdleTime] {
+        let t = template_optimization(&c, &hw, obj).unwrap();
+        check_equivalent(&t, &c, "template");
+        assert!(hw.supports_circuit(&t));
+    }
+    for obj in [Objective::Fidelity, Objective::IdleTime, Objective::Combined] {
+        let r = adapt(&c, &hw, &AdaptOptions::with_objective(obj)).unwrap();
+        check_equivalent(&r.circuit, &c, "smt");
+        assert!(hw.supports_circuit(&r.circuit));
+    }
+}
+
+#[test]
+fn random_circuit_pipeline_both_timing_columns() {
+    for times in [GateTimes::D0, GateTimes::D1] {
+        let hw = spin_qubit_model(times);
+        let c = random_template_circuit(3, 20, 7, &DEFAULT_TEMPLATE_GATES, true);
+        let r = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Combined)).unwrap();
+        check_equivalent(&r.circuit, &c, "smt");
+        assert!(hw.supports_circuit(&r.circuit));
+    }
+}
+
+#[test]
+fn sat_f_dominates_all_baselines_on_fidelity() {
+    let hw = spin_qubit_model(GateTimes::D0);
+    for seed in [1u64, 2, 3] {
+        let c = random_template_circuit(4, 24, seed, &DEFAULT_TEMPLATE_GATES, true);
+        let sat = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).unwrap();
+        let f_sat = hw.circuit_fidelity(&sat.circuit).unwrap();
+        let f_base = hw.circuit_fidelity(&direct_translation(&c)).unwrap();
+        let f_tmpl = hw
+            .circuit_fidelity(&template_optimization(&c, &hw, TemplateObjective::Fidelity).unwrap())
+            .unwrap();
+        let f_kak = hw
+            .circuit_fidelity(&kak_adaptation(&c, &hw, KakBasis::Cz).unwrap())
+            .unwrap();
+        assert!(f_sat >= f_base - 1e-9, "seed {seed}: SAT F {f_sat} < baseline {f_base}");
+        assert!(f_sat >= f_tmpl - 1e-9, "seed {seed}: SAT F {f_sat} < template {f_tmpl}");
+        assert!(f_sat >= f_kak - 1e-6, "seed {seed}: SAT F {f_sat} < kak {f_kak}");
+    }
+}
+
+#[test]
+fn noisy_simulation_ranks_fidelity_objective_sensibly() {
+    let hw = spin_qubit_model(GateTimes::D0);
+    let c = random_template_circuit(3, 18, 11, &DEFAULT_TEMPLATE_GATES, true);
+    let sat_p = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Combined)).unwrap();
+    let base = simulate_noisy(&direct_translation(&c), &hw).unwrap();
+    let ours = simulate_noisy(&sat_p.circuit, &hw).unwrap();
+    // The combined objective should not be substantially worse than the
+    // baseline under the full noise model.
+    assert!(
+        ours.hellinger_fidelity >= base.hellinger_fidelity - 0.02,
+        "SAT P {:.4} much worse than baseline {:.4}",
+        ours.hellinger_fidelity,
+        base.hellinger_fidelity
+    );
+}
+
+#[test]
+fn idle_objective_reduces_schedule_idle_on_swap_heavy_circuit() {
+    let hw = spin_qubit_model(GateTimes::D0);
+    let c = random_template_circuit(4, 20, 21, &DEFAULT_TEMPLATE_GATES, true);
+    let sat_r = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::IdleTime)).unwrap();
+    let idle_sat = CircuitSchedule::asap(&sat_r.circuit, &hw).unwrap().total_idle_time();
+    let idle_base = CircuitSchedule::asap(&direct_translation(&c), &hw)
+        .unwrap()
+        .total_idle_time();
+    // Block-level modelling is approximate, so allow a small margin; the
+    // trend must hold.
+    assert!(
+        idle_sat <= idle_base * 1.05 + 100.0,
+        "SAT R idle {idle_sat} vs baseline {idle_base}"
+    );
+}
+
+#[test]
+fn deep_circuit_smoke() {
+    // A deeper 3-qubit circuit to exercise larger SMT models.
+    let hw = spin_qubit_model(GateTimes::D1);
+    let c = random_template_circuit(3, 60, 5, &DEFAULT_TEMPLATE_GATES, true);
+    let r = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).unwrap();
+    assert!(hw.supports_circuit(&r.circuit));
+    check_equivalent(&r.circuit, &c, "deep smt");
+}

@@ -1,0 +1,62 @@
+//! Integration tests for QASM interchange and workload generators feeding
+//! the adaptation pipeline.
+
+use qca::adapt::{adapt, AdaptOptions, Objective};
+use qca::circuit::qasm::{parse_qasm, to_qasm};
+use qca::hw::{spin_qubit_model, GateTimes};
+use qca::num::phase::approx_eq_up_to_phase;
+use qca::workloads::quantum_volume;
+
+#[test]
+fn adapted_circuit_survives_qasm_round_trip() {
+    let hw = spin_qubit_model(GateTimes::D0);
+    let c = quantum_volume(3, 1, 4);
+    let r = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).unwrap();
+    let text = to_qasm(&r.circuit);
+    let parsed = parse_qasm(&text).unwrap();
+    assert!(approx_eq_up_to_phase(
+        &parsed.unitary(),
+        &r.circuit.unitary(),
+        1e-7
+    ));
+    assert!(hw.supports_circuit(&parsed));
+}
+
+#[test]
+fn qv_source_is_adaptable_and_equivalent() {
+    let hw = spin_qubit_model(GateTimes::D1);
+    let c = quantum_volume(4, 2, 17);
+    let r = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Combined)).unwrap();
+    assert!(approx_eq_up_to_phase(
+        &r.circuit.unitary(),
+        &c.unitary(),
+        1e-5
+    ));
+}
+
+#[test]
+fn external_qasm_program_end_to_end() {
+    let src = r#"
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[4];
+creg c[4];
+h q[0];
+cx q[0],q[1];
+swap q[1],q[2];
+cp(pi/2) q[2],q[3];
+barrier q;
+cx q[2],q[3];
+measure q -> c;
+"#;
+    let c = parse_qasm(src).unwrap();
+    assert_eq!(c.num_qubits(), 4);
+    let hw = spin_qubit_model(GateTimes::D0);
+    let r = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).unwrap();
+    assert!(hw.supports_circuit(&r.circuit));
+    assert!(approx_eq_up_to_phase(
+        &r.circuit.unitary(),
+        &c.unitary(),
+        1e-6
+    ));
+}
