@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# CI gate: formatting, lints, and the tier-1 verify (release build + root tests).
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy --workspace -- -D warnings =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier-1: cargo build --release =="
+cargo build --release
+
+echo "== tier-1: cargo test -q =="
+cargo test -q
+
+echo "ci.sh: all checks passed"

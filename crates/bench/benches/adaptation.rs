@@ -20,12 +20,22 @@ fn bench_adaptation(c: &mut Criterion) {
     });
     group.bench_function("sat_fidelity", |b| {
         b.iter(|| {
-            adapt(&circuit, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).unwrap()
+            adapt(
+                &circuit,
+                &hw,
+                &AdaptOptions::with_objective(Objective::Fidelity),
+            )
+            .unwrap()
         })
     });
     group.bench_function("sat_combined", |b| {
         b.iter(|| {
-            adapt(&circuit, &hw, &AdaptOptions::with_objective(Objective::Combined)).unwrap()
+            adapt(
+                &circuit,
+                &hw,
+                &AdaptOptions::with_objective(Objective::Combined),
+            )
+            .unwrap()
         })
     });
     group.finish();

@@ -1,0 +1,44 @@
+//! Batch-adaptation throughput vs worker count.
+//!
+//! Adapts a fixed batch of workload circuits with the engine at 1, 2, 4,
+//! and 8 workers. Caching is disabled so every iteration pays the full
+//! solve cost — the scaling measured here is the worker pool's, not the
+//! cache's (the cache-hit path is nanoseconds and would hide it).
+//!
+//! Jobs are CPU-bound and independent, so on a host with ≥ 4 real cores the
+//! 4-worker configuration runs the 8-job batch >2× faster than 1 worker.
+//! On a single-CPU machine (e.g. a constrained CI container) all four
+//! configurations necessarily coincide — check `nproc` before reading the
+//! numbers as a scaling result.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qca_adapt::Objective;
+use qca_engine::{AdaptJob, Engine, EngineConfig};
+use qca_hw::{spin_qubit_model, GateTimes};
+use qca_workloads::{random_template_circuit, DEFAULT_TEMPLATE_GATES};
+
+fn bench_batch_throughput(c: &mut Criterion) {
+    let hw = spin_qubit_model(GateTimes::D0);
+    let jobs: Vec<AdaptJob> = (0..8)
+        .map(|i| {
+            let circuit = random_template_circuit(3, 12, 70 + i, &DEFAULT_TEMPLATE_GATES, true);
+            AdaptJob::with_objective(circuit, Objective::Fidelity)
+        })
+        .collect();
+    let mut group = c.benchmark_group("batch_throughput_8_jobs");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("workers", workers), &workers, |b, &w| {
+            let engine = Engine::new(EngineConfig {
+                workers: w,
+                cache_capacity: 0,
+                ..EngineConfig::default()
+            });
+            b.iter(|| engine.adapt_batch(&hw, &jobs));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batch_throughput);
+criterion_main!(benches);

@@ -19,10 +19,8 @@ fn build_problem(n: usize, seed: u64) -> (SmtSolver, qca_smt::IntExpr) {
             smt.add_clause(&[!xs[a], !xs[b]]);
         }
     }
-    let terms: Vec<(i64, qca_sat::Lit)> = xs
-        .iter()
-        .map(|&x| (rng.gen_range(-500..500), x))
-        .collect();
+    let terms: Vec<(i64, qca_sat::Lit)> =
+        xs.iter().map(|&x| (rng.gen_range(-500..500), x)).collect();
     let obj = smt.pb_sum(0, &terms);
     (smt, obj)
 }

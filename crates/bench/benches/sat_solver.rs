@@ -70,9 +70,11 @@ fn bench_sat(c: &mut Criterion) {
     }
     for &n in &[7usize, 8] {
         let (nv, clauses) = pigeonhole(n);
-        group.bench_with_input(BenchmarkId::new("pigeonhole_unsat", n), &clauses, |b, cl| {
-            b.iter(|| solve(nv, cl))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("pigeonhole_unsat", n),
+            &clauses,
+            |b, cl| b.iter(|| solve(nv, cl)),
+        );
     }
     group.finish();
 }

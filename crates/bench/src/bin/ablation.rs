@@ -51,11 +51,17 @@ fn main() {
         "circuit", "fid generic", "fid optimized", "dur generic", "dur optimized"
     );
     for (name, c) in [
-        ("rand-3q-d20", random_template_circuit(3, 20, 7, &DEFAULT_TEMPLATE_GATES, true)),
-        ("rand-4q-d20", random_template_circuit(4, 20, 8, &DEFAULT_TEMPLATE_GATES, true)),
+        (
+            "rand-3q-d20",
+            random_template_circuit(3, 20, 7, &DEFAULT_TEMPLATE_GATES, true),
+        ),
+        (
+            "rand-4q-d20",
+            random_template_circuit(4, 20, 8, &DEFAULT_TEMPLATE_GATES, true),
+        ),
     ] {
-        let generic = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity))
-            .expect("generic");
+        let generic =
+            adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).expect("generic");
         let mut opts = AdaptOptions::with_objective(Objective::Fidelity);
         opts.rules.optimized_kak = true;
         let optimized = adapt(&c, &hw, &opts).expect("optimized");

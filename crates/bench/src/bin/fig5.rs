@@ -20,7 +20,10 @@ fn main() {
             print!("{:<14}", w.name);
             for &m in &Method::ALL[1..] {
                 let met = metrics(&adapt_with(m, &w.circuit, &hw), &hw);
-                print!("{:>+10.2}%", pct_change(met.gate_fidelity, base.gate_fidelity));
+                print!(
+                    "{:>+10.2}%",
+                    pct_change(met.gate_fidelity, base.gate_fidelity)
+                );
             }
             println!();
         }

@@ -15,7 +15,10 @@ fn main() {
         ("SWAP_c", Gate::SwapComposite),
     ];
     println!("Table I: investigated gate durations and fidelities");
-    println!("{:<18} {:>9} {:>9} {:>9}", "", "Fidelity", "D0 [ns]", "D1 [ns]");
+    println!(
+        "{:<18} {:>9} {:>9} {:>9}",
+        "", "Fidelity", "D0 [ns]", "D1 [ns]"
+    );
     for (name, g) in gates {
         let c0 = d0.cost(&g).expect("native");
         let c1 = d1.cost(&g).expect("native");

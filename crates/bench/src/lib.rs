@@ -92,19 +92,31 @@ pub fn adapt_with(method: Method, circuit: &Circuit, hw: &HardwareModel) -> Circ
             template_optimization(circuit, hw, TemplateObjective::IdleTime).expect("tmp r")
         }
         Method::SatF => {
-            adapt(circuit, hw, &AdaptOptions::with_objective(Objective::Fidelity))
-                .expect("sat f")
-                .circuit
+            adapt(
+                circuit,
+                hw,
+                &AdaptOptions::with_objective(Objective::Fidelity),
+            )
+            .expect("sat f")
+            .circuit
         }
         Method::SatR => {
-            adapt(circuit, hw, &AdaptOptions::with_objective(Objective::IdleTime))
-                .expect("sat r")
-                .circuit
+            adapt(
+                circuit,
+                hw,
+                &AdaptOptions::with_objective(Objective::IdleTime),
+            )
+            .expect("sat r")
+            .circuit
         }
         Method::SatP => {
-            adapt(circuit, hw, &AdaptOptions::with_objective(Objective::Combined))
-                .expect("sat p")
-                .circuit
+            adapt(
+                circuit,
+                hw,
+                &AdaptOptions::with_objective(Objective::Combined),
+            )
+            .expect("sat p")
+            .circuit
         }
     }
 }
@@ -156,7 +168,9 @@ pub struct Workload {
 
 /// `true` when `QCA_SCALE=full` is set in the environment.
 pub fn full_scale() -> bool {
-    std::env::var("QCA_SCALE").map(|v| v == "full").unwrap_or(false)
+    std::env::var("QCA_SCALE")
+        .map(|v| v == "full")
+        .unwrap_or(false)
 }
 
 /// The evaluation workload suite: quantum-volume circuits and random

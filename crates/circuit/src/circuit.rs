@@ -134,10 +134,7 @@ impl Circuit {
 
     /// Number of two-qubit gates.
     pub fn two_qubit_gate_count(&self) -> usize {
-        self.instrs
-            .iter()
-            .filter(|i| i.gate.is_two_qubit())
-            .count()
+        self.instrs.iter().filter(|i| i.gate.is_two_qubit()).count()
     }
 
     /// Circuit depth: length of the longest qubit-wise dependency chain,
@@ -145,13 +142,7 @@ impl Circuit {
     pub fn depth(&self) -> usize {
         let mut frontier = vec![0usize; self.num_qubits];
         for instr in &self.instrs {
-            let layer = instr
-                .qubits
-                .iter()
-                .map(|&q| frontier[q])
-                .max()
-                .unwrap_or(0)
-                + 1;
+            let layer = instr.qubits.iter().map(|&q| frontier[q]).max().unwrap_or(0) + 1;
             for &q in &instr.qubits {
                 frontier[q] = layer;
             }
@@ -175,7 +166,10 @@ impl Circuit {
         let dim = 1usize << self.num_qubits;
         let mut u = CMat::identity(dim);
         for instr in &self.instrs {
-            let g = instr.gate.matrix().embed_qubits(&instr.qubits, self.num_qubits);
+            let g = instr
+                .gate
+                .matrix()
+                .embed_qubits(&instr.qubits, self.num_qubits);
             u = &g * &u;
         }
         u

@@ -12,7 +12,7 @@
 //! of the basis index (big-endian), matching
 //! [`CMat::embed_qubits`](qca_num::CMat::embed_qubits).
 
-use qca_num::{C64, CMat};
+use qca_num::{CMat, C64};
 use std::fmt;
 
 /// A quantum gate, possibly parameterized by rotation angles (radians).
@@ -100,6 +100,22 @@ impl Gate {
         self.num_qubits() == 2
     }
 
+    /// `true` when the gate's unitary is invariant under swapping its two
+    /// operands (always `false` for single-qubit gates).
+    pub fn is_symmetric(&self) -> bool {
+        matches!(
+            self,
+            Gate::Cz
+                | Gate::CzDiabatic
+                | Gate::CPhase(_)
+                | Gate::Swap
+                | Gate::SwapDiabatic
+                | Gate::SwapComposite
+                | Gate::ISwap
+                | Gate::ISwapDg
+        )
+    }
+
     /// The canonical lowercase mnemonic (OpenQASM-style).
     pub fn name(&self) -> &'static str {
         match self {
@@ -134,7 +150,11 @@ impl Gate {
     /// Rotation parameters, if any.
     pub fn params(&self) -> Vec<f64> {
         match *self {
-            Gate::Rx(a) | Gate::Ry(a) | Gate::Rz(a) | Gate::Phase(a) | Gate::CPhase(a)
+            Gate::Rx(a)
+            | Gate::Ry(a)
+            | Gate::Rz(a)
+            | Gate::Phase(a)
+            | Gate::CPhase(a)
             | Gate::CRot(a) => vec![a],
             Gate::U3(a, b, c) => vec![a, b, c],
             _ => Vec::new(),
@@ -158,9 +178,7 @@ impl Gate {
             Gate::S => CMat::from_rows(2, 2, &[o, z, z, i]),
             Gate::Sdg => CMat::from_rows(2, 2, &[o, z, z, -i]),
             Gate::T => CMat::from_rows(2, 2, &[o, z, z, C64::cis(std::f64::consts::FRAC_PI_4)]),
-            Gate::Tdg => {
-                CMat::from_rows(2, 2, &[o, z, z, C64::cis(-std::f64::consts::FRAC_PI_4)])
-            }
+            Gate::Tdg => CMat::from_rows(2, 2, &[o, z, z, C64::cis(-std::f64::consts::FRAC_PI_4)]),
             Gate::Sx => {
                 let a = C64::new(0.5, 0.5);
                 let b = C64::new(0.5, -0.5);
@@ -176,11 +194,7 @@ impl Gate {
                 let s = C64::real((t / 2.0).sin());
                 CMat::from_rows(2, 2, &[c, -s, s, c])
             }
-            Gate::Rz(t) => CMat::from_rows(
-                2,
-                2,
-                &[C64::cis(-t / 2.0), z, z, C64::cis(t / 2.0)],
-            ),
+            Gate::Rz(t) => CMat::from_rows(2, 2, &[C64::cis(-t / 2.0), z, z, C64::cis(t / 2.0)]),
             Gate::Phase(t) => CMat::from_rows(2, 2, &[o, z, z, C64::cis(t)]),
             Gate::U3(t, p, l) => {
                 let ct = C64::real((t / 2.0).cos());

@@ -1,0 +1,279 @@
+//! Canonical structural circuit hashing.
+//!
+//! [`structural_hash`] fingerprints a circuit by its *dependency structure*
+//! rather than its textual gate order: instructions are bucketed into ASAP
+//! dependency layers (the same frontier construction as
+//! [`Circuit::depth`]), sorted canonically within each layer, and folded
+//! through a 64-bit FNV-1a hash. Two circuits that differ only by
+//!
+//! * reordering of same-layer instructions on disjoint qubits (which
+//!   commute by construction), or
+//! * operand order of symmetric two-qubit gates (CZ, CPhase, the swap
+//!   family, iSWAP),
+//!
+//! hash identically, while any change to a gate, an angle, an operand, or
+//! the dependency structure changes the hash. Rotation angles participate
+//! via their IEEE-754 bit patterns (`-0.0` normalized to `0.0`), so the
+//! hash is exact — no epsilon comparisons and no false merges from rounding.
+//!
+//! The hash is the cache identity used by the batch-adaptation engine:
+//! adapting the same structural circuit against the same hardware
+//! fingerprint and objective is a cache hit.
+//!
+//! # Examples
+//!
+//! ```
+//! use qca_circuit::{hash::structural_hash, Circuit, Gate};
+//!
+//! let mut a = Circuit::new(3);
+//! a.push(Gate::H, &[0]);
+//! a.push(Gate::H, &[2]);
+//! a.push(Gate::Cz, &[0, 1]);
+//!
+//! // Same structure: commuting first-layer gates reordered, CZ operands
+//! // flipped (CZ is symmetric).
+//! let mut b = Circuit::new(3);
+//! b.push(Gate::H, &[2]);
+//! b.push(Gate::H, &[0]);
+//! b.push(Gate::Cz, &[1, 0]);
+//!
+//! assert_eq!(structural_hash(&a), structural_hash(&b));
+//! ```
+
+use crate::circuit::Circuit;
+use crate::gate::Gate;
+
+/// Incremental 64-bit FNV-1a hasher.
+///
+/// Shared by circuit hashing and the hardware-model fingerprint so all
+/// engine cache-key components use one stable, dependency-free function.
+#[derive(Debug, Clone)]
+pub struct Fnv64 {
+    state: u64,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+impl Fnv64 {
+    /// A hasher in the standard FNV-1a initial state.
+    pub fn new() -> Fnv64 {
+        Fnv64 { state: FNV_OFFSET }
+    }
+
+    /// Folds raw bytes into the hash.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= b as u64;
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Folds a `u64` (little-endian bytes) into the hash.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Folds a `usize` into the hash (widened to `u64` for portability).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Folds an `f64` into the hash by bit pattern, normalizing `-0.0` to
+    /// `0.0` so the two zero representations hash identically.
+    pub fn write_f64(&mut self, v: f64) {
+        self.write_u64((v + 0.0).to_bits());
+    }
+
+    /// The current hash value.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+/// One instruction in canonical form: dependency layer, operands (symmetric
+/// gates normalized to ascending order), and gate identity.
+#[derive(PartialEq, PartialOrd)]
+struct CanonInstr<'a> {
+    layer: usize,
+    qubits: Vec<usize>,
+    name: &'a str,
+    param_bits: Vec<u64>,
+}
+
+fn canonical_operands(gate: &Gate, qubits: &[usize]) -> Vec<usize> {
+    let mut qs = qubits.to_vec();
+    if gate.is_symmetric() {
+        qs.sort_unstable();
+    }
+    qs
+}
+
+/// Canonical structural hash of a circuit (see the module docs for the
+/// equivalence it induces).
+pub fn structural_hash(circuit: &Circuit) -> u64 {
+    // ASAP layer per instruction — identical to the Circuit::depth frontier,
+    // and insensitive to the relative order of disjoint-support
+    // instructions.
+    let mut frontier = vec![0usize; circuit.num_qubits()];
+    let mut canon: Vec<CanonInstr<'_>> = circuit
+        .iter()
+        .map(|instr| {
+            let layer = instr.qubits.iter().map(|&q| frontier[q]).max().unwrap_or(0) + 1;
+            for &q in &instr.qubits {
+                frontier[q] = layer;
+            }
+            CanonInstr {
+                layer,
+                qubits: canonical_operands(&instr.gate, &instr.qubits),
+                name: instr.gate.name(),
+                param_bits: instr
+                    .gate
+                    .params()
+                    .into_iter()
+                    .map(|p| (p + 0.0).to_bits())
+                    .collect(),
+            }
+        })
+        .collect();
+    // Within a layer all instructions touch disjoint qubits, so ordering by
+    // (layer, operands) is a strict total order; gate identity is carried
+    // in the comparison only for stability of the derive.
+    canon.sort_by(|a, b| a.partial_cmp(b).expect("no NaN in canonical keys"));
+
+    let mut h = Fnv64::new();
+    h.write_usize(circuit.num_qubits());
+    for ci in &canon {
+        h.write_usize(ci.layer);
+        h.write_usize(ci.qubits.len());
+        for &q in &ci.qubits {
+            h.write_usize(q);
+        }
+        h.write_bytes(ci.name.as_bytes());
+        // Length-prefix the name so e.g. ("s", "dg") cannot collide with
+        // ("sdg", "").
+        h.write_usize(ci.name.len());
+        for &p in &ci.param_bits {
+            h.write_u64(p);
+        }
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_circuits_hash_equal() {
+        let mut a = Circuit::new(2);
+        a.push(Gate::H, &[0]);
+        a.push(Gate::Cx, &[0, 1]);
+        assert_eq!(structural_hash(&a), structural_hash(&a.clone()));
+    }
+
+    #[test]
+    fn commuting_reorder_hashes_equal() {
+        let mut a = Circuit::new(4);
+        a.push(Gate::H, &[0]);
+        a.push(Gate::Rz(0.5), &[3]);
+        a.push(Gate::Cx, &[1, 2]);
+        let mut b = Circuit::new(4);
+        b.push(Gate::Cx, &[1, 2]);
+        b.push(Gate::H, &[0]);
+        b.push(Gate::Rz(0.5), &[3]);
+        assert_eq!(structural_hash(&a), structural_hash(&b));
+    }
+
+    #[test]
+    fn dependent_reorder_hashes_differently() {
+        let mut a = Circuit::new(2);
+        a.push(Gate::H, &[0]);
+        a.push(Gate::Cx, &[0, 1]);
+        let mut b = Circuit::new(2);
+        b.push(Gate::Cx, &[0, 1]);
+        b.push(Gate::H, &[0]);
+        assert_ne!(structural_hash(&a), structural_hash(&b));
+    }
+
+    #[test]
+    fn symmetric_gate_operand_order_is_canonical() {
+        for gate in [Gate::Cz, Gate::CzDiabatic, Gate::Swap, Gate::CPhase(1.2)] {
+            let mut a = Circuit::new(2);
+            a.push(gate, &[0, 1]);
+            let mut b = Circuit::new(2);
+            b.push(gate, &[1, 0]);
+            assert_eq!(structural_hash(&a), structural_hash(&b), "{gate}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_gate_operand_order_matters() {
+        for gate in [Gate::Cx, Gate::CRot(1.0)] {
+            let mut a = Circuit::new(2);
+            a.push(gate, &[0, 1]);
+            let mut b = Circuit::new(2);
+            b.push(gate, &[1, 0]);
+            assert_ne!(structural_hash(&a), structural_hash(&b), "{gate}");
+        }
+    }
+
+    #[test]
+    fn angle_changes_hash() {
+        let mut a = Circuit::new(1);
+        a.push(Gate::Rz(0.5), &[0]);
+        let mut b = Circuit::new(1);
+        b.push(Gate::Rz(0.5000001), &[0]);
+        assert_ne!(structural_hash(&a), structural_hash(&b));
+    }
+
+    #[test]
+    fn negative_zero_angle_normalized() {
+        let mut a = Circuit::new(1);
+        a.push(Gate::Rz(0.0), &[0]);
+        let mut b = Circuit::new(1);
+        b.push(Gate::Rz(-0.0), &[0]);
+        assert_eq!(structural_hash(&a), structural_hash(&b));
+    }
+
+    #[test]
+    fn qubit_count_changes_hash() {
+        let mut a = Circuit::new(2);
+        a.push(Gate::H, &[0]);
+        let mut b = Circuit::new(3);
+        b.push(Gate::H, &[0]);
+        assert_ne!(structural_hash(&a), structural_hash(&b));
+    }
+
+    #[test]
+    fn gate_variant_changes_hash() {
+        let mut a = Circuit::new(2);
+        a.push(Gate::Cz, &[0, 1]);
+        let mut b = Circuit::new(2);
+        b.push(Gate::CzDiabatic, &[0, 1]);
+        assert_ne!(structural_hash(&a), structural_hash(&b));
+    }
+
+    #[test]
+    fn empty_circuits_distinguished_by_width() {
+        assert_ne!(
+            structural_hash(&Circuit::new(1)),
+            structural_hash(&Circuit::new(2))
+        );
+    }
+
+    #[test]
+    fn fnv_is_stable() {
+        // Pin the hash function itself: a silent change to FNV constants or
+        // byte order would invalidate persisted cache keys.
+        let mut h = Fnv64::new();
+        h.write_bytes(b"qca");
+        assert_eq!(h.finish(), 0x70e1_3819_530b_5ae4);
+    }
+}

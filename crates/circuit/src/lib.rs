@@ -9,7 +9,8 @@
 //! * instruction-level dependency analysis ([`dag`]),
 //! * two-qubit block partitioning with the block dependency graph
 //!   ([`blocks`], the paper's preprocessing step §IV-A),
-//! * OpenQASM 2.0 parsing/printing ([`qasm`]).
+//! * OpenQASM 2.0 parsing/printing ([`qasm`]),
+//! * canonical structural hashing for adaptation caching ([`hash`]).
 //!
 //! # Examples
 //!
@@ -31,6 +32,7 @@ pub mod blocks;
 mod circuit;
 pub mod dag;
 mod gate;
+pub mod hash;
 pub mod qasm;
 
 pub use circuit::{Circuit, Instr};

@@ -23,7 +23,11 @@ pub struct ParseQasmError {
 
 impl fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "qasm parse error at line {}: {}", self.line, self.message)
+        write!(
+            f,
+            "qasm parse error at line {}: {}",
+            self.line, self.message
+        )
     }
 }
 
@@ -81,9 +85,8 @@ pub fn parse_qasm(src: &str) -> Result<Circuit, ParseQasmError> {
             }
             if let Some(rest) = stmt.strip_prefix("qreg") {
                 let rest = rest.trim();
-                let (name, size) = parse_reg_decl(rest).ok_or_else(|| {
-                    err(lineno, format!("bad qreg declaration {rest:?}"))
-                })?;
+                let (name, size) = parse_reg_decl(rest)
+                    .ok_or_else(|| err(lineno, format!("bad qreg declaration {rest:?}")))?;
                 if num_qubits.is_some() {
                     return Err(err(lineno, "multiple qreg declarations are unsupported"));
                 }
@@ -92,7 +95,9 @@ pub fn parse_qasm(src: &str) -> Result<Circuit, ParseQasmError> {
                 circuit = Circuit::new(size);
                 continue;
             }
-            if stmt.starts_with("creg") || stmt.starts_with("barrier") || stmt.starts_with("measure")
+            if stmt.starts_with("creg")
+                || stmt.starts_with("barrier")
+                || stmt.starts_with("measure")
             {
                 continue;
             }
@@ -193,7 +198,10 @@ fn parse_gate_stmt(
     if qubits.len() != expect {
         return Err(err(
             lineno,
-            format!("gate {name} expects {expect} operand(s), got {}", qubits.len()),
+            format!(
+                "gate {name} expects {expect} operand(s), got {}",
+                qubits.len()
+            ),
         ));
     }
     Ok((gate, qubits))
@@ -301,11 +309,10 @@ fn tokenize(s: &str) -> Option<Vec<Token>> {
                 out.push(Token::RParen);
                 i += 1;
             }
-            'p' | 'P'
-                if s[i..].to_lowercase().starts_with("pi") => {
-                    out.push(Token::Num(std::f64::consts::PI));
-                    i += 2;
-                }
+            'p' | 'P' if s[i..].to_lowercase().starts_with("pi") => {
+                out.push(Token::Num(std::f64::consts::PI));
+                i += 2;
+            }
             c if c.is_ascii_digit() || c == '.' => {
                 let start = i;
                 while i < bytes.len()

@@ -4,7 +4,7 @@
 //! apply chosen substitutions`.
 
 use crate::error::AdaptError;
-use crate::model::{Objective, SmtAdaptation};
+use crate::model::{AdaptLimits, Objective, SmtAdaptation};
 use crate::preprocess::{preprocess, Preprocessed};
 use crate::rules::{apply_to_block, evaluate_substitutions, RuleOptions, Substitution};
 use qca_circuit::Circuit;
@@ -26,6 +26,9 @@ pub struct AdaptOptions {
     /// whether it happened to prove optimality via
     /// [`SmtAdaptation::optimal`](crate::SmtAdaptation).
     pub exact: bool,
+    /// Total-conflict cap and cooperative cancellation (engine-driven
+    /// per-job budgets); default: unlimited, no flag.
+    pub limits: AdaptLimits,
 }
 
 impl AdaptOptions {
@@ -98,13 +101,14 @@ pub fn adapt(
     } else {
         Some(crate::model::DEFAULT_PROBE_BUDGET)
     };
-    let solver = crate::model::solve_model_with_budget(
+    let solver = crate::model::solve_model_with_limits(
         &pre,
         hw,
         &catalog,
         options.objective,
         options.strategy,
         budget,
+        &options.limits,
     )?;
     let circuit = extract_circuit(&pre, &catalog, &solver.chosen);
     let chosen = solver.chosen.iter().map(|&i| catalog[i].clone()).collect();
@@ -118,11 +122,7 @@ pub fn adapt(
 }
 
 /// Assembles the global adapted circuit from the chosen substitutions.
-pub fn extract_circuit(
-    pre: &Preprocessed,
-    catalog: &[Substitution],
-    chosen: &[usize],
-) -> Circuit {
+pub fn extract_circuit(pre: &Preprocessed, catalog: &[Substitution], chosen: &[usize]) -> Circuit {
     let mut out = Circuit::new(pre.source.num_qubits());
     for id in pre.partition.topological_order() {
         let block = &pre.partition.blocks[id];
@@ -163,7 +163,11 @@ mod tests {
     fn adaptation_preserves_unitary_all_objectives() {
         let hw = spin_qubit_model(GateTimes::D0);
         let c = swap_chain();
-        for obj in [Objective::Fidelity, Objective::IdleTime, Objective::Combined] {
+        for obj in [
+            Objective::Fidelity,
+            Objective::IdleTime,
+            Objective::Combined,
+        ] {
             let r = adapt(&c, &hw, &AdaptOptions::with_objective(obj)).unwrap();
             assert!(
                 approx_eq_up_to_phase(&r.circuit.unitary(), &c.unitary(), 1e-6),
@@ -225,13 +229,64 @@ mod tests {
     }
 
     #[test]
+    fn pre_cancelled_adaptation_reports_cancelled() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let hw = spin_qubit_model(GateTimes::D0);
+        let c = swap_chain();
+        let mut opts = AdaptOptions::with_objective(Objective::Fidelity);
+        opts.limits.cancel = Some(Arc::new(AtomicBool::new(true)));
+        assert_eq!(adapt(&c, &hw, &opts).unwrap_err(), AdaptError::Cancelled);
+    }
+
+    #[test]
+    fn tiny_conflict_cap_degrades_not_crashes() {
+        // A one-conflict lifetime cap either still finds the warm-start
+        // incumbent (degraded, non-optimal result) or reports Cancelled —
+        // never Infeasible, never a panic.
+        let hw = spin_qubit_model(GateTimes::D0);
+        let c = swap_chain();
+        let mut opts = AdaptOptions::with_objective(Objective::Combined);
+        opts.limits.total_conflicts = Some(1);
+        match adapt(&c, &hw, &opts) {
+            Ok(r) => {
+                assert!(hw.supports_circuit(&r.circuit));
+            }
+            Err(e) => assert_eq!(e, AdaptError::Cancelled),
+        }
+    }
+
+    #[test]
+    fn generous_limits_change_nothing() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+        let hw = spin_qubit_model(GateTimes::D0);
+        let c = swap_chain();
+        let plain = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).unwrap();
+        let mut opts = AdaptOptions::with_objective(Objective::Fidelity);
+        opts.limits.total_conflicts = Some(u64::MAX);
+        opts.limits.cancel = Some(Arc::new(AtomicBool::new(false)));
+        let limited = adapt(&c, &hw, &opts).unwrap();
+        assert_eq!(plain.solver.objective_value, limited.solver.objective_value);
+        assert_eq!(plain.circuit.len(), limited.circuit.len());
+        // Statistics are populated (the warm-start hint enters as
+        // assumptions, so decisions can legitimately be zero; propagation
+        // cannot be).
+        assert!(limited.solver.solver_stats.propagations > 0);
+    }
+
+    #[test]
     fn single_qubit_only_circuit() {
         let hw = spin_qubit_model(GateTimes::D0);
         let mut c = Circuit::new(2);
         c.push(Gate::H, &[0]);
         c.push(Gate::Rz(1.0), &[1]);
         let r = adapt(&c, &hw, &AdaptOptions::default()).unwrap();
-        assert!(approx_eq_up_to_phase(&r.circuit.unitary(), &c.unitary(), 1e-8));
+        assert!(approx_eq_up_to_phase(
+            &r.circuit.unitary(),
+            &c.unitary(),
+            1e-8
+        ));
     }
 
     #[test]
@@ -245,7 +300,16 @@ mod tests {
         let u = haar_unitary(&mut rng, 4);
         let src = kak_decompose(&u).to_circuit_cx();
         let hw = spin_qubit_model(GateTimes::D0);
-        let r = adapt(&src, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).unwrap();
-        assert!(approx_eq_up_to_phase(&r.circuit.unitary(), &src.unitary(), 1e-6));
+        let r = adapt(
+            &src,
+            &hw,
+            &AdaptOptions::with_objective(Objective::Fidelity),
+        )
+        .unwrap();
+        assert!(approx_eq_up_to_phase(
+            &r.circuit.unitary(),
+            &src.unitary(),
+            1e-6
+        ));
     }
 }

@@ -14,6 +14,11 @@ pub enum AdaptError {
     /// The input circuit exceeds a structural limit (e.g. qubit count for
     /// unitary-based rule evaluation).
     TooLarge(String),
+    /// The adaptation was interrupted — a cancellation flag tripped or the
+    /// total conflict budget ran out — before any feasible incumbent was
+    /// found. (Interruption *after* an incumbent exists degrades to a
+    /// suboptimal result instead of this error.)
+    Cancelled,
 }
 
 impl fmt::Display for AdaptError {
@@ -22,8 +27,16 @@ impl fmt::Display for AdaptError {
             AdaptError::UnsupportedGate(g) => write!(f, "unsupported gate {g}"),
             AdaptError::Infeasible => write!(f, "adaptation model unsatisfiable"),
             AdaptError::TooLarge(m) => write!(f, "circuit too large: {m}"),
+            AdaptError::Cancelled => write!(f, "adaptation cancelled before a result was found"),
         }
     }
 }
 
 impl Error for AdaptError {}
+
+// The batch engine moves `Result<_, AdaptError>` values across worker
+// threads; guarantee the error stays thread-safe at compile time.
+const _: () = {
+    const fn assert_error_send_sync<T: Error + Send + Sync + 'static>() {}
+    assert_error_send_sync::<AdaptError>()
+};

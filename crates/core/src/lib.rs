@@ -47,9 +47,9 @@ pub mod model;
 pub mod preprocess;
 pub mod rules;
 
-pub use adapt::{adapt, extract_circuit, Adaptation, AdaptOptions};
+pub use adapt::{adapt, extract_circuit, AdaptOptions, Adaptation};
 pub use error::AdaptError;
-pub use model::{Objective, SmtAdaptation};
+pub use model::{AdaptLimits, Objective, SmtAdaptation};
 pub use rules::{RuleOptions, Substitution, SubstitutionKind};
 
 #[cfg(test)]

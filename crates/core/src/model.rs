@@ -68,8 +68,33 @@ pub struct SmtAdaptation {
     /// `true` when the OMT search proved optimality (no probe hit its
     /// conflict budget).
     pub optimal: bool,
+    /// SAT solver statistics accumulated over the whole OMT search (the
+    /// solver is fresh per call, so these are exact per-adaptation counts).
+    pub solver_stats: qca_sat::SolverStats,
 }
 
+/// Resource limits and cooperative cancellation for a model solve,
+/// driven by the batch engine's per-job budgets.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptLimits {
+    /// Cap on the *total* SAT conflicts across the whole OMT search
+    /// (all probes combined); `None` for unlimited. Tripping the cap
+    /// degrades to the best incumbent, or [`AdaptError::Cancelled`] if
+    /// none exists yet.
+    pub total_conflicts: Option<u64>,
+    /// Cooperative cancellation flag, polled by the SAT solver at every
+    /// decision and conflict. Same degradation semantics as the cap.
+    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
+}
+
+impl AdaptLimits {
+    /// `true` when the cancellation flag (if any) is currently set.
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
+    }
+}
 
 /// Integer cost data shared between the SMT encoding and the greedy warm
 /// start, so both compute bit-identical objective values.
@@ -169,7 +194,6 @@ impl CostData {
         }
     }
 }
-
 
 /// Sound upper bound on the positive objective part: for each block, the
 /// best conflict-free subset of its substitutions (exhaustive for small
@@ -281,7 +305,14 @@ pub fn solve_model(
     objective: Objective,
     strategy: omt::Strategy,
 ) -> Result<SmtAdaptation, AdaptError> {
-    solve_model_with_budget(pre, hw, catalog, objective, strategy, Some(DEFAULT_PROBE_BUDGET))
+    solve_model_with_budget(
+        pre,
+        hw,
+        catalog,
+        objective,
+        strategy,
+        Some(DEFAULT_PROBE_BUDGET),
+    )
 }
 
 /// [`solve_model`] with an explicit per-probe conflict budget (`None` for an
@@ -298,7 +329,39 @@ pub fn solve_model_with_budget(
     strategy: omt::Strategy,
     probe_budget: Option<u64>,
 ) -> Result<SmtAdaptation, AdaptError> {
+    solve_model_with_limits(
+        pre,
+        hw,
+        catalog,
+        objective,
+        strategy,
+        probe_budget,
+        &AdaptLimits::default(),
+    )
+}
+
+/// [`solve_model_with_budget`] under additional engine-driven limits: a
+/// total-conflict cap and a cooperative cancellation flag (see
+/// [`AdaptLimits`]). When a limit trips after the warm start produced an
+/// incumbent, the search degrades to the best value found
+/// (`SmtAdaptation::optimal == false`); when it trips before any model
+/// exists, the result is [`AdaptError::Cancelled`].
+///
+/// # Errors
+///
+/// As [`solve_model`], plus [`AdaptError::Cancelled`].
+pub fn solve_model_with_limits(
+    pre: &Preprocessed,
+    hw: &HardwareModel,
+    catalog: &[Substitution],
+    objective: Objective,
+    strategy: omt::Strategy,
+    probe_budget: Option<u64>,
+    limits: &AdaptLimits,
+) -> Result<SmtAdaptation, AdaptError> {
     let mut smt = SmtSolver::new();
+    smt.set_conflict_cap(limits.total_conflicts);
+    smt.set_stop_flag(limits.cancel.clone());
     let choice: Vec<_> = catalog.iter().map(|_| smt.new_bool()).collect();
 
     // Eq. 1: conflicting substitutions are mutually exclusive.
@@ -356,10 +419,7 @@ pub fn solve_model_with_budget(
             };
             let e_lo = longest_paths(&d_min);
             let e_hi = longest_paths(&d_max);
-            let total_lo = (0..nblocks)
-                .map(|b| e_lo[b] + d_min[b])
-                .max()
-                .unwrap_or(0);
+            let total_lo = (0..nblocks).map(|b| e_lo[b] + d_min[b]).max().unwrap_or(0);
             let total_hi = (0..nblocks)
                 .map(|b| e_hi[b] + d_max[b])
                 .max()
@@ -376,8 +436,7 @@ pub fn solve_model_with_budget(
             let mut starts: Vec<IntExpr> = Vec::with_capacity(nblocks);
             let mut ends: Vec<IntExpr> = Vec::with_capacity(nblocks);
             for b in 0..nblocks {
-                let pred_ends: Vec<IntExpr> =
-                    preds[b].iter().map(|&p| ends[p].clone()).collect();
+                let pred_ends: Vec<IntExpr> = preds[b].iter().map(|&p| ends[p].clone()).collect();
                 let start = if pred_ends.is_empty() {
                     smt.int_const(0)
                 } else {
@@ -388,7 +447,12 @@ pub fn solve_model_with_budget(
                 ends.push(end);
             }
             let total = smt.max_of(&ends);
-            debug_assert!(total.lo >= 0 && total.hi <= total_hi);
+            // The interval upper bound of the ASAP circuit coincides with
+            // the max-duration longest path. (No analogous claim holds for
+            // `total.lo`: duration-delta sums ignore substitution conflicts,
+            // so a block's interval lower bound may dip below zero even
+            // though no admissible selection realizes it.)
+            debug_assert!(total.hi <= total_hi, "{} > {}", total.hi, total_hi);
             let horizon = total_hi;
             // Busy time with per-block qubit weights (see DESIGN.md): the
             // paper's Eq. 9 uses Σ d_b; we weight by the block's qubit count
@@ -425,8 +489,7 @@ pub fn solve_model_with_budget(
             // Tighten the OMT bracket with a sound combinatorial upper
             // bound: per-block best conflict-free subset of the positive
             // objective part, minus the minimum possible makespan term.
-            let ub = block_subset_upper_bound(pre, catalog, &cost, objective)
-                - kq * total_lo;
+            let ub = block_subset_upper_bound(pre, catalog, &cost, objective) - kq * total_lo;
             j.hi = j.hi.min(ub);
             j
         }
@@ -460,7 +523,21 @@ pub fn solve_model_with_budget(
         relative_gap,
     };
     let best = omt::maximize_with(&mut smt, &objective_expr, strategy, omt_options, &hint)
-        .ok_or(AdaptError::Infeasible)?;
+        .ok_or_else(|| {
+            // `None` from the OMT search means the very first check failed.
+            // Under an interrupt that is a cancellation, not a proof of
+            // infeasibility (the model with its warm start is feasible by
+            // construction).
+            let interrupted = limits.cancelled()
+                || limits
+                    .total_conflicts
+                    .is_some_and(|cap| smt.stats().conflicts >= cap);
+            if interrupted {
+                AdaptError::Cancelled
+            } else {
+                AdaptError::Infeasible
+            }
+        })?;
     let chosen = choice
         .iter()
         .enumerate()
@@ -473,6 +550,7 @@ pub fn solve_model_with_budget(
         queries: best.queries,
         sat_vars: smt.num_sat_vars(),
         optimal: best.optimal,
+        solver_stats: smt.stats().clone(),
     })
 }
 
@@ -499,15 +577,17 @@ mod tests {
         c.push(Gate::Cx, &[1, 0]);
         c.push(Gate::Cx, &[0, 1]);
         let (pre, subs, hw) = setup(&c);
-        let r = solve_model(&pre, &hw, &subs, Objective::Fidelity, omt::Strategy::BinarySearch)
-            .unwrap();
+        let r = solve_model(
+            &pre,
+            &hw,
+            &subs,
+            Objective::Fidelity,
+            omt::Strategy::BinarySearch,
+        )
+        .unwrap();
         assert!(!r.chosen.is_empty());
         // The chosen set must contain a fidelity-improving substitution.
-        let gain: f64 = r
-            .chosen
-            .iter()
-            .map(|&i| subs[i].delta_log_fidelity)
-            .sum();
+        let gain: f64 = r.chosen.iter().map(|&i| subs[i].delta_log_fidelity).sum();
         assert!(gain > 0.0, "gain {gain}");
     }
 
@@ -518,8 +598,14 @@ mod tests {
         c.push(Gate::Cx, &[1, 0]);
         c.push(Gate::Cx, &[0, 1]);
         let (pre, subs, hw) = setup(&c);
-        let r = solve_model(&pre, &hw, &subs, Objective::Fidelity, omt::Strategy::BinarySearch)
-            .unwrap();
+        let r = solve_model(
+            &pre,
+            &hw,
+            &subs,
+            Objective::Fidelity,
+            omt::Strategy::BinarySearch,
+        )
+        .unwrap();
         let expect = pre.reference_log_fidelity()
             + r.chosen
                 .iter()
@@ -537,9 +623,12 @@ mod tests {
         c.push(Gate::Cx, &[0, 1]);
         c.push(Gate::Cx, &[1, 2]);
         let (pre, subs, hw) = setup(&c);
-        for obj in [Objective::Fidelity, Objective::IdleTime, Objective::Combined] {
-            let r =
-                solve_model(&pre, &hw, &subs, obj, omt::Strategy::BinarySearch).unwrap();
+        for obj in [
+            Objective::Fidelity,
+            Objective::IdleTime,
+            Objective::Combined,
+        ] {
+            let r = solve_model(&pre, &hw, &subs, obj, omt::Strategy::BinarySearch).unwrap();
             for (i, &a) in r.chosen.iter().enumerate() {
                 for &b in &r.chosen[i + 1..] {
                     assert!(
@@ -562,8 +651,14 @@ mod tests {
         // Parallel long gates on 2,3 so the swap is off the critical path?
         // No: keep 2,3 idle so idling dominates.
         let (pre, subs, hw) = setup(&c);
-        let r = solve_model(&pre, &hw, &subs, Objective::IdleTime, omt::Strategy::BinarySearch)
-            .unwrap();
+        let r = solve_model(
+            &pre,
+            &hw,
+            &subs,
+            Objective::IdleTime,
+            omt::Strategy::BinarySearch,
+        )
+        .unwrap();
         let kinds: Vec<_> = r.chosen.iter().map(|&i| subs[i].kind).collect();
         assert!(
             kinds.contains(&crate::rules::SubstitutionKind::SwapDiabatic),
@@ -578,8 +673,14 @@ mod tests {
         c.push(Gate::Cz, &[0, 1]);
         let hw = spin_qubit_model(GateTimes::D0);
         let pre = preprocess(&c, &hw).unwrap();
-        let r = solve_model(&pre, &hw, &[], Objective::Combined, omt::Strategy::BinarySearch)
-            .unwrap();
+        let r = solve_model(
+            &pre,
+            &hw,
+            &[],
+            Objective::Combined,
+            omt::Strategy::BinarySearch,
+        )
+        .unwrap();
         assert!(r.chosen.is_empty());
     }
 }

@@ -87,8 +87,7 @@ impl Preprocessed {
         for id in self.partition.topological_order() {
             let block = &self.partition.blocks[id];
             for instr in self.reference[id].iter() {
-                let mapped: Vec<usize> =
-                    instr.qubits.iter().map(|&q| block.qubits[q]).collect();
+                let mapped: Vec<usize> = instr.qubits.iter().map(|&q| block.qubits[q]).collect();
                 out.push(instr.gate, &mapped);
             }
         }

@@ -85,7 +85,9 @@ impl Substitution {
         if self.block != other.block {
             return false;
         }
-        self.ops.iter().any(|op| other.ops.binary_search(op).is_ok())
+        self.ops
+            .iter()
+            .any(|op| other.ops.binary_search(op).is_ok())
     }
 }
 
@@ -130,11 +132,7 @@ impl Default for RuleOptions {
 /// # Panics
 ///
 /// Panics if two substitutions overlap or belong to a different block.
-pub fn apply_to_block(
-    pre: &Preprocessed,
-    block_id: usize,
-    subs: &[&Substitution],
-) -> Circuit {
+pub fn apply_to_block(pre: &Preprocessed, block_id: usize, subs: &[&Substitution]) -> Circuit {
     let block = &pre.partition.blocks[block_id];
     for s in subs {
         assert_eq!(s.block, block_id, "substitution targets another block");
@@ -159,7 +157,13 @@ pub fn apply_to_block(
         let local: Vec<usize> = instr
             .qubits
             .iter()
-            .map(|q| block.qubits.iter().position(|bq| bq == q).expect("block qubit"))
+            .map(|q| {
+                block
+                    .qubits
+                    .iter()
+                    .position(|bq| bq == q)
+                    .expect("block qubit")
+            })
             .collect();
         if instr.gate.num_qubits() == 1 {
             out.push(instr.gate, &local);
@@ -315,7 +319,13 @@ fn subrange_circuit(pre: &Preprocessed, block_id: usize, range: &[usize]) -> Cir
         let local: Vec<usize> = instr
             .qubits
             .iter()
-            .map(|q| block.qubits.iter().position(|bq| bq == q).expect("block qubit"))
+            .map(|q| {
+                block
+                    .qubits
+                    .iter()
+                    .position(|bq| bq == q)
+                    .expect("block qubit")
+            })
             .collect();
         c.push(instr.gate, &local);
     }
@@ -458,7 +468,10 @@ mod tests {
         c.push(Gate::Cx, &[0, 1]);
         let (pre, hw) = pre_of(&c);
         let subs = evaluate_substitutions(&pre, &hw, &RuleOptions::default()).unwrap();
-        let kak = subs.iter().find(|s| s.kind == SubstitutionKind::KakCz).unwrap();
+        let kak = subs
+            .iter()
+            .find(|s| s.kind == SubstitutionKind::KakCz)
+            .unwrap();
         let swap = subs
             .iter()
             .find(|s| s.kind == SubstitutionKind::SwapDiabatic)
@@ -515,8 +528,14 @@ mod tests {
             ..RuleOptions::default()
         };
         let optimized = evaluate_substitutions(&pre, &hw, &opts).unwrap();
-        let g = generic.iter().find(|s| s.kind == SubstitutionKind::KakCz).unwrap();
-        let o = optimized.iter().find(|s| s.kind == SubstitutionKind::KakCz).unwrap();
+        let g = generic
+            .iter()
+            .find(|s| s.kind == SubstitutionKind::KakCz)
+            .unwrap();
+        let o = optimized
+            .iter()
+            .find(|s| s.kind == SubstitutionKind::KakCz)
+            .unwrap();
         assert_eq!(g.replacement.two_qubit_gate_count(), 3);
         assert_eq!(o.replacement.two_qubit_gate_count(), 2);
         assert!(o.delta_duration < g.delta_duration);

@@ -1,0 +1,222 @@
+//! `qca-engine` — batch-adapt a directory of OpenQASM circuits in parallel.
+//!
+//! ```text
+//! qca-engine [OPTIONS] <QASM_DIR>
+//!
+//! Options:
+//!   --workers N          worker threads (default: one per CPU)
+//!   --objective NAME     fidelity | idle | combined   (default: fidelity)
+//!   --times COL          d0 | d1                       (default: d0)
+//!   --budget N           per-job total SAT conflict cap
+//!   --timeout-ms N       per-job wall-clock deadline (nondeterministic)
+//!   --cache-capacity N   cached adaptations (default: 256)
+//!   --repeat N           submit the batch N times (shows cache hits)
+//!   --out-dir DIR        write adapted circuits as QASM into DIR
+//!   --metrics-out FILE   write the metrics JSON to FILE (default: stdout)
+//! ```
+//!
+//! Prints one line per job (`file status cache objective wall`) and the
+//! engine metrics as JSON.
+
+use qca_adapt::Objective;
+use qca_circuit::qasm;
+use qca_engine::{AdaptJob, Engine, EngineConfig};
+use qca_hw::{spin_qubit_model, GateTimes};
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    dir: PathBuf,
+    workers: usize,
+    objective: Objective,
+    times: GateTimes,
+    budget: Option<u64>,
+    timeout_ms: Option<u64>,
+    cache_capacity: usize,
+    repeat: usize,
+    out_dir: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+}
+
+fn usage() -> &'static str {
+    "usage: qca-engine [--workers N] [--objective fidelity|idle|combined] \
+     [--times d0|d1] [--budget N] [--timeout-ms N] [--cache-capacity N] \
+     [--repeat N] [--out-dir DIR] [--metrics-out FILE] <QASM_DIR>"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        dir: PathBuf::new(),
+        workers: 0,
+        objective: Objective::Fidelity,
+        times: GateTimes::D0,
+        budget: None,
+        timeout_ms: None,
+        cache_capacity: 256,
+        repeat: 1,
+        out_dir: None,
+        metrics_out: None,
+    };
+    let mut dir = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} needs a value"));
+        match arg.as_str() {
+            "--workers" => {
+                args.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?
+            }
+            "--objective" => {
+                args.objective = match value("--objective")?.as_str() {
+                    "fidelity" => Objective::Fidelity,
+                    "idle" => Objective::IdleTime,
+                    "combined" => Objective::Combined,
+                    other => return Err(format!("unknown objective '{other}'")),
+                }
+            }
+            "--times" => {
+                args.times = match value("--times")?.as_str() {
+                    "d0" | "D0" => GateTimes::D0,
+                    "d1" | "D1" => GateTimes::D1,
+                    other => return Err(format!("unknown times column '{other}'")),
+                }
+            }
+            "--budget" => {
+                args.budget = Some(
+                    value("--budget")?
+                        .parse()
+                        .map_err(|e| format!("--budget: {e}"))?,
+                )
+            }
+            "--timeout-ms" => {
+                args.timeout_ms = Some(
+                    value("--timeout-ms")?
+                        .parse()
+                        .map_err(|e| format!("--timeout-ms: {e}"))?,
+                )
+            }
+            "--cache-capacity" => {
+                args.cache_capacity = value("--cache-capacity")?
+                    .parse()
+                    .map_err(|e| format!("--cache-capacity: {e}"))?
+            }
+            "--repeat" => {
+                args.repeat = value("--repeat")?
+                    .parse()
+                    .map_err(|e| format!("--repeat: {e}"))?
+            }
+            "--out-dir" => args.out_dir = Some(PathBuf::from(value("--out-dir")?)),
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
+            "--help" | "-h" => return Err(String::new()),
+            other if other.starts_with('-') => return Err(format!("unknown option '{other}'")),
+            other => {
+                if dir.replace(PathBuf::from(other)).is_some() {
+                    return Err("only one input directory allowed".into());
+                }
+            }
+        }
+    }
+    args.dir = dir.ok_or("missing input directory")?;
+    if args.repeat == 0 {
+        return Err("--repeat must be at least 1".into());
+    }
+    Ok(args)
+}
+
+fn load_jobs(args: &Args) -> Result<Vec<(String, AdaptJob)>, String> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(&args.dir)
+        .map_err(|e| format!("cannot read {}: {e}", args.dir.display()))?
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "qasm"))
+        .collect();
+    // Sort by file name so job indices (and thus the output order) are
+    // reproducible regardless of directory enumeration order.
+    files.sort();
+    if files.is_empty() {
+        return Err(format!("no .qasm files in {}", args.dir.display()));
+    }
+    let mut jobs = Vec::with_capacity(files.len());
+    for path in files {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        let src = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {name}: {e}"))?;
+        let circuit = qasm::parse_qasm(&src).map_err(|e| format!("{name}: {e}"))?;
+        jobs.push((name, AdaptJob::with_objective(circuit, args.objective)));
+    }
+    Ok(jobs)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let named_jobs = load_jobs(&args)?;
+    let hw = spin_qubit_model(args.times);
+    let engine = Engine::new(EngineConfig {
+        workers: args.workers,
+        cache_capacity: args.cache_capacity,
+        job_conflict_budget: args.budget,
+        job_timeout: args.timeout_ms.map(Duration::from_millis),
+    });
+    let jobs: Vec<AdaptJob> = named_jobs.iter().map(|(_, j)| j.clone()).collect();
+
+    println!(
+        "# adapting {} circuits on {} workers ({} pass(es))",
+        jobs.len(),
+        engine.effective_workers().min(jobs.len()).max(1),
+        args.repeat,
+    );
+    for pass in 0..args.repeat {
+        let reports = engine.adapt_batch(&hw, &jobs);
+        if args.repeat > 1 {
+            println!("# pass {}", pass + 1);
+        }
+        for ((name, _), report) in named_jobs.iter().zip(&reports) {
+            println!(
+                "{name:30} {status:8} {cache:5} obj={obj:>12} wall={wall:.1}ms",
+                status = report.status.to_string(),
+                cache = if report.cache_hit { "hit" } else { "miss" },
+                obj = report
+                    .objective_value
+                    .map_or_else(|| "-".to_string(), |v| v.to_string()),
+                wall = report.wall.as_secs_f64() * 1e3,
+            );
+        }
+        if pass + 1 == args.repeat {
+            if let Some(out_dir) = &args.out_dir {
+                std::fs::create_dir_all(out_dir)
+                    .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
+                for ((name, _), report) in named_jobs.iter().zip(&reports) {
+                    let path = out_dir.join(name);
+                    std::fs::write(&path, qasm::to_qasm(&report.circuit))
+                        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                }
+            }
+        }
+    }
+
+    let json = engine.metrics().to_json();
+    match &args.metrics_out {
+        Some(path) => std::fs::write(path, json + "\n")
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?,
+        None => println!("{json}"),
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) if msg.is_empty() => {
+            println!("{}", usage());
+            ExitCode::SUCCESS
+        }
+        Err(msg) => {
+            eprintln!("qca-engine: {msg}");
+            eprintln!("{}", usage());
+            ExitCode::from(2)
+        }
+    }
+}

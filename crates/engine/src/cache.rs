@@ -1,0 +1,174 @@
+//! Sharded LRU cache of adaptation results.
+//!
+//! Keys are 64-bit canonical hashes (see [`crate::cache_key`]) combining the
+//! circuit's structural hash, the hardware fingerprint, and the solve
+//! options, so structurally identical jobs hit the same entry regardless of
+//! textual gate order or which worker solved them first.
+//!
+//! The cache is sharded by key to keep lock contention negligible: each
+//! shard is an independent [`parking_lot::Mutex`] around a small
+//! move-to-front LRU list (shards are bounded, so the O(len) scan per access
+//! is a handful of word compares).
+
+use parking_lot::Mutex;
+use qca_adapt::Adaptation;
+use std::sync::Arc;
+
+/// Number of independent shards (power of two; key's low bits select one).
+const NUM_SHARDS: usize = 16;
+
+/// One shard: most-recently-used entry first.
+#[derive(Default)]
+struct Shard {
+    entries: Vec<(u64, Arc<Adaptation>)>,
+}
+
+/// Sharded LRU map from canonical job keys to finished adaptations.
+///
+/// Entries are stored behind [`Arc`] so a hit never deep-copies the adapted
+/// circuit; clones are reference bumps.
+pub struct AdaptCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard_capacity: usize,
+}
+
+impl std::fmt::Debug for AdaptCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AdaptCache")
+            .field("shards", &self.shards.len())
+            .field("per_shard_capacity", &self.per_shard_capacity)
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+impl AdaptCache {
+    /// A cache holding at most `capacity` adaptations (rounded up to a
+    /// multiple of the shard count; a zero capacity disables caching).
+    pub fn new(capacity: usize) -> AdaptCache {
+        AdaptCache {
+            shards: (0..NUM_SHARDS)
+                .map(|_| Mutex::new(Shard::default()))
+                .collect(),
+            per_shard_capacity: capacity.div_ceil(NUM_SHARDS),
+        }
+    }
+
+    fn shard(&self, key: u64) -> &Mutex<Shard> {
+        &self.shards[(key as usize) & (NUM_SHARDS - 1)]
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&self, key: u64) -> Option<Arc<Adaptation>> {
+        if self.per_shard_capacity == 0 {
+            return None;
+        }
+        let mut shard = self.shard(key).lock();
+        let pos = shard.entries.iter().position(|&(k, _)| k == key)?;
+        let entry = shard.entries.remove(pos);
+        let value = entry.1.clone();
+        shard.entries.insert(0, entry);
+        Some(value)
+    }
+
+    /// Inserts (or refreshes) `key`, evicting the least-recently-used entry
+    /// of its shard when full.
+    pub fn insert(&self, key: u64, value: Arc<Adaptation>) {
+        if self.per_shard_capacity == 0 {
+            return;
+        }
+        let mut shard = self.shard(key).lock();
+        if let Some(pos) = shard.entries.iter().position(|&(k, _)| k == key) {
+            shard.entries.remove(pos);
+        }
+        shard.entries.insert(0, (key, value));
+        while shard.entries.len() > self.per_shard_capacity {
+            shard.entries.pop();
+        }
+    }
+
+    /// Number of cached adaptations across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().entries.len()).sum()
+    }
+
+    /// `true` when no entry is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every entry.
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().entries.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qca_adapt::{adapt, AdaptOptions};
+    use qca_circuit::{Circuit, Gate};
+    use qca_hw::{spin_qubit_model, GateTimes};
+
+    fn sample_adaptation() -> Arc<Adaptation> {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[0, 1]);
+        let hw = spin_qubit_model(GateTimes::D0);
+        Arc::new(adapt(&c, &hw, &AdaptOptions::default()).unwrap())
+    }
+
+    #[test]
+    fn get_returns_inserted_value() {
+        let cache = AdaptCache::new(64);
+        let v = sample_adaptation();
+        cache.insert(7, v.clone());
+        let hit = cache.get(7).expect("hit");
+        assert!(Arc::ptr_eq(&hit, &v));
+        assert!(cache.get(8).is_none());
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_shard() {
+        // Capacity 16 => one slot per shard; keys 0 and 16 share shard 0.
+        let cache = AdaptCache::new(16);
+        let v = sample_adaptation();
+        cache.insert(0, v.clone());
+        cache.insert(16, v.clone());
+        assert!(cache.get(0).is_none(), "older entry evicted");
+        assert!(cache.get(16).is_some());
+    }
+
+    #[test]
+    fn recency_refresh_protects_entry() {
+        // Two slots in shard 0 (capacity 32): touching key 0 makes key 16
+        // the LRU victim when 32 arrives.
+        let cache = AdaptCache::new(32);
+        let v = sample_adaptation();
+        cache.insert(0, v.clone());
+        cache.insert(16, v.clone());
+        assert!(cache.get(0).is_some());
+        cache.insert(32, v.clone());
+        assert!(cache.get(0).is_some());
+        assert!(cache.get(16).is_none());
+        assert!(cache.get(32).is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let cache = AdaptCache::new(0);
+        cache.insert(1, sample_adaptation());
+        assert!(cache.get(1).is_none());
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn reinsert_same_key_keeps_single_entry() {
+        let cache = AdaptCache::new(64);
+        let v = sample_adaptation();
+        cache.insert(3, v.clone());
+        cache.insert(3, v);
+        assert_eq!(cache.len(), 1);
+    }
+}

@@ -1,0 +1,543 @@
+//! The batch-adaptation engine: worker pool, degradation ladder, watchdog.
+
+use crate::cache::AdaptCache;
+use crate::cache_key;
+use crate::metrics::MetricsRegistry;
+use crossbeam::channel;
+use parking_lot::Mutex;
+use qca_adapt::{adapt, AdaptError, AdaptOptions, Objective};
+use qca_baselines::{direct_translation, template_optimization, TemplateObjective};
+use qca_circuit::Circuit;
+use qca_hw::HardwareModel;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// One adaptation request: a circuit plus its solve options.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptJob {
+    /// The circuit to adapt.
+    pub circuit: Circuit,
+    /// Objective, rules, strategy, and (optional) caller-owned limits.
+    pub options: AdaptOptions,
+}
+
+impl AdaptJob {
+    /// A job with the given circuit and default options.
+    pub fn new(circuit: Circuit) -> AdaptJob {
+        AdaptJob {
+            circuit,
+            options: AdaptOptions::default(),
+        }
+    }
+
+    /// A job with the given circuit and objective.
+    pub fn with_objective(circuit: Circuit, objective: Objective) -> AdaptJob {
+        AdaptJob {
+            circuit,
+            options: AdaptOptions::with_objective(objective),
+        }
+    }
+}
+
+/// How a job's result was obtained — the engine's degradation ladder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdaptStatus {
+    /// The OMT search proved the selection optimal.
+    Optimal,
+    /// A feasible adaptation was found but a budget expired before the
+    /// optimality proof; the result is the best incumbent.
+    Feasible,
+    /// The solve failed or was cancelled before any incumbent existed; the
+    /// result is a baseline adaptation (greedy template optimization, or
+    /// direct translation when even that fails).
+    Fallback,
+}
+
+impl std::fmt::Display for AdaptStatus {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            AdaptStatus::Optimal => "optimal",
+            AdaptStatus::Feasible => "feasible",
+            AdaptStatus::Fallback => "fallback",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of one batch job.
+#[derive(Debug, Clone)]
+pub struct AdaptReport {
+    /// Index of the job in the submitted batch (reports are returned sorted
+    /// by this index, independent of worker scheduling).
+    pub job: usize,
+    /// Where on the degradation ladder the result came from.
+    pub status: AdaptStatus,
+    /// The adapted (or fallback) circuit.
+    pub circuit: Circuit,
+    /// Solver objective value in fixed-point units (`None` for fallbacks).
+    pub objective_value: Option<i64>,
+    /// `true` when the result came from the cache.
+    pub cache_hit: bool,
+    /// Wall time this job took inside its worker (cache hits ≈ 0).
+    pub wall: Duration,
+    /// SAT statistics of the solve that produced the result (also set on
+    /// cache hits — they describe the original solve; `None` for fallbacks).
+    pub solver_stats: Option<qca_sat::SolverStats>,
+    /// The solve error that triggered the fallback, if any.
+    pub error: Option<AdaptError>,
+}
+
+/// Engine tuning knobs.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Worker threads for [`Engine::adapt_batch`]; `0` means one per
+    /// available CPU.
+    pub workers: usize,
+    /// Total adaptations the result cache retains (0 disables caching).
+    pub cache_capacity: usize,
+    /// Default per-job cap on total SAT conflicts (`None`: unlimited).
+    /// Jobs that carry their own `limits.total_conflicts` keep it.
+    /// Deterministic — the same budget yields the same result on every run
+    /// and worker count.
+    pub job_conflict_budget: Option<u64>,
+    /// Per-job wall-clock deadline enforced by a watchdog thread
+    /// (`None`: no deadline). Unlike conflict budgets this is
+    /// *nondeterministic*: results depend on machine speed. Jobs that carry
+    /// their own cancellation flag are left alone.
+    pub job_timeout: Option<Duration>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            workers: 0,
+            cache_capacity: 256,
+            job_conflict_budget: None,
+            job_timeout: None,
+        }
+    }
+}
+
+/// Watchdog state: deadlines of in-flight jobs, trimmed as they fire.
+struct Watchdog {
+    deadlines: Mutex<Vec<(Instant, Arc<AtomicBool>)>>,
+    shutdown: AtomicBool,
+}
+
+impl Watchdog {
+    fn new() -> Watchdog {
+        Watchdog {
+            deadlines: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    fn register(&self, deadline: Instant, flag: Arc<AtomicBool>) {
+        self.deadlines.lock().push((deadline, flag));
+    }
+
+    /// Poll loop body: fire expired deadlines, drop fired entries.
+    fn tick(&self, now: Instant) {
+        let mut entries = self.deadlines.lock();
+        entries.retain(|(deadline, flag)| {
+            if now >= *deadline {
+                flag.store(true, Ordering::Relaxed);
+                false
+            } else {
+                true
+            }
+        });
+    }
+}
+
+/// The parallel batch-adaptation engine.
+///
+/// Owns a result cache and a metrics registry that persist across batches;
+/// worker threads are scoped per [`Engine::adapt_batch`] call.
+///
+/// # Examples
+///
+/// ```
+/// use qca_engine::{AdaptJob, Engine, EngineConfig};
+/// use qca_circuit::{Circuit, Gate};
+/// use qca_hw::{spin_qubit_model, GateTimes};
+///
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::Cx, &[0, 1]);
+/// c.push(Gate::Cx, &[1, 0]);
+/// c.push(Gate::Cx, &[0, 1]);
+/// let hw = spin_qubit_model(GateTimes::D0);
+/// let engine = Engine::new(EngineConfig::default());
+/// let reports = engine.adapt_batch(&hw, &[AdaptJob::new(c.clone()), AdaptJob::new(c)]);
+/// assert_eq!(reports.len(), 2);
+/// // Identical circuits share one cache entry: the second job is a hit.
+/// assert!(reports.iter().any(|r| r.cache_hit));
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    config: EngineConfig,
+    cache: AdaptCache,
+    metrics: MetricsRegistry,
+}
+
+impl Engine {
+    /// An engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Engine {
+        let cache = AdaptCache::new(config.cache_capacity);
+        Engine {
+            config,
+            cache,
+            metrics: MetricsRegistry::new(),
+        }
+    }
+
+    /// The engine's metrics registry (shared across batches).
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    /// The engine's result cache (shared across batches).
+    pub fn cache(&self) -> &AdaptCache {
+        &self.cache
+    }
+
+    /// Number of worker threads a batch will use.
+    pub fn effective_workers(&self) -> usize {
+        if self.config.workers > 0 {
+            self.config.workers
+        } else {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }
+    }
+
+    /// Adapts every job against `hw` on the worker pool.
+    ///
+    /// Reports come back sorted by job index, and — absent wall-clock
+    /// deadlines — their contents are identical for every worker count:
+    /// each job is solved by a deterministic single-threaded solver, and
+    /// cache entries are keyed so that a hit returns exactly what the solve
+    /// would have produced.
+    pub fn adapt_batch(&self, hw: &HardwareModel, jobs: &[AdaptJob]) -> Vec<AdaptReport> {
+        if jobs.is_empty() {
+            return Vec::new();
+        }
+        let workers = self.effective_workers().min(jobs.len()).max(1);
+        self.metrics
+            .jobs_submitted
+            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+
+        let (job_tx, job_rx) = channel::unbounded::<(usize, &AdaptJob)>();
+        let (res_tx, res_rx) = channel::unbounded::<AdaptReport>();
+        for indexed in jobs.iter().enumerate() {
+            job_tx.send(indexed).expect("receiver alive");
+        }
+        drop(job_tx);
+
+        let watchdog = self.config.job_timeout.map(|_| Watchdog::new());
+        std::thread::scope(|scope| {
+            if let Some(wd) = &watchdog {
+                scope.spawn(|| {
+                    while !wd.shutdown.load(Ordering::Relaxed) {
+                        wd.tick(Instant::now());
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                });
+            }
+            for _ in 0..workers {
+                let job_rx = job_rx.clone();
+                let res_tx = res_tx.clone();
+                let wd = watchdog.as_ref();
+                scope.spawn(move || {
+                    for (index, job) in job_rx.iter() {
+                        let report = self.run_job(hw, index, job, wd);
+                        if res_tx.send(report).is_err() {
+                            break;
+                        }
+                    }
+                });
+            }
+            drop(res_tx);
+            // Collect inside the scope so worker panics propagate after the
+            // channel drains rather than deadlocking the iterator.
+            let mut out: Vec<Option<AdaptReport>> = jobs.iter().map(|_| None).collect();
+            for report in res_rx.iter() {
+                let slot = report.job;
+                out[slot] = Some(report);
+            }
+            if let Some(wd) = &watchdog {
+                wd.shutdown.store(true, Ordering::Relaxed);
+            }
+            out.into_iter()
+                .map(|r| r.expect("every job produces exactly one report"))
+                .collect()
+        })
+    }
+
+    /// Runs one job through the ladder: cache → solve → baseline fallback.
+    fn run_job(
+        &self,
+        hw: &HardwareModel,
+        index: usize,
+        job: &AdaptJob,
+        watchdog: Option<&Watchdog>,
+    ) -> AdaptReport {
+        let t0 = Instant::now();
+        // Per-job budget: the job's own limit wins over the engine default.
+        let mut options = job.options.clone();
+        if options.limits.total_conflicts.is_none() {
+            options.limits.total_conflicts = self.config.job_conflict_budget;
+        }
+        let key = cache_key(&job.circuit, hw, &options);
+
+        if let Some(hit) = self.cache.get(key) {
+            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            let status = if hit.solver.optimal {
+                AdaptStatus::Optimal
+            } else {
+                AdaptStatus::Feasible
+            };
+            self.count_status(status);
+            return AdaptReport {
+                job: index,
+                status,
+                circuit: hit.circuit.clone(),
+                objective_value: Some(hit.solver.objective_value),
+                cache_hit: true,
+                wall: t0.elapsed(),
+                solver_stats: Some(hit.solver.solver_stats.clone()),
+                error: None,
+            };
+        }
+        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+
+        // Wall-clock deadline (only when the caller didn't install their own
+        // cancellation flag — one flag per solve).
+        if let (Some(wd), Some(timeout), None) = (
+            watchdog,
+            self.config.job_timeout,
+            options.limits.cancel.as_ref(),
+        ) {
+            let flag = Arc::new(AtomicBool::new(false));
+            wd.register(Instant::now() + timeout, flag.clone());
+            options.limits.cancel = Some(flag);
+        }
+
+        match adapt(&job.circuit, hw, &options) {
+            Ok(adaptation) => {
+                let wall = t0.elapsed();
+                self.metrics
+                    .record_solve(wall, &adaptation.solver.solver_stats);
+                self.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                let status = if adaptation.solver.optimal {
+                    AdaptStatus::Optimal
+                } else {
+                    AdaptStatus::Feasible
+                };
+                self.count_status(status);
+                let adaptation = Arc::new(adaptation);
+                // Cache Optimal and Feasible results alike: the key includes
+                // the conflict budget, so a budget-degraded incumbent is only
+                // reused for jobs that would re-run the identical search.
+                self.cache.insert(key, adaptation.clone());
+                AdaptReport {
+                    job: index,
+                    status,
+                    circuit: adaptation.circuit.clone(),
+                    objective_value: Some(adaptation.solver.objective_value),
+                    cache_hit: false,
+                    wall,
+                    solver_stats: Some(adaptation.solver.solver_stats.clone()),
+                    error: None,
+                }
+            }
+            Err(error) => {
+                // Bottom of the ladder: greedy template optimization toward
+                // the same objective; direct basis translation if even the
+                // greedy pass fails.
+                let objective = match options.objective {
+                    Objective::IdleTime => TemplateObjective::IdleTime,
+                    Objective::Fidelity | Objective::Combined => TemplateObjective::Fidelity,
+                };
+                let circuit = template_optimization(&job.circuit, hw, objective)
+                    .unwrap_or_else(|_| direct_translation(&job.circuit));
+                self.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                self.count_status(AdaptStatus::Fallback);
+                AdaptReport {
+                    job: index,
+                    status: AdaptStatus::Fallback,
+                    circuit,
+                    objective_value: None,
+                    cache_hit: false,
+                    wall: t0.elapsed(),
+                    solver_stats: None,
+                    error: Some(error),
+                }
+            }
+        }
+    }
+
+    fn count_status(&self, status: AdaptStatus) {
+        let counter = match status {
+            AdaptStatus::Optimal => &self.metrics.optimal,
+            AdaptStatus::Feasible => &self.metrics.feasible,
+            AdaptStatus::Fallback => &self.metrics.fallbacks,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qca_circuit::Gate;
+    use qca_hw::{spin_qubit_model, GateTimes};
+    use qca_workloads::{random_template_circuit, TemplateGate};
+
+    fn workload(n: usize) -> Vec<AdaptJob> {
+        (0..n)
+            .map(|i| {
+                let c = random_template_circuit(
+                    3,
+                    10,
+                    200 + i as u64,
+                    &[TemplateGate::Cx, TemplateGate::Swap],
+                    true,
+                );
+                AdaptJob::with_objective(c, Objective::Fidelity)
+            })
+            .collect()
+    }
+
+    fn config(workers: usize) -> EngineConfig {
+        EngineConfig {
+            workers,
+            ..EngineConfig::default()
+        }
+    }
+
+    #[test]
+    fn batch_reports_sorted_and_complete() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let jobs = workload(6);
+        let engine = Engine::new(config(3));
+        let reports = engine.adapt_batch(&hw, &jobs);
+        assert_eq!(reports.len(), jobs.len());
+        for (i, r) in reports.iter().enumerate() {
+            assert_eq!(r.job, i);
+            assert!(hw.supports_circuit(&r.circuit), "job {i} not native");
+        }
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let jobs = workload(6);
+        let seq = Engine::new(config(1)).adapt_batch(&hw, &jobs);
+        let par = Engine::new(config(4)).adapt_batch(&hw, &jobs);
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.circuit, b.circuit, "job {} diverged", a.job);
+            assert_eq!(a.objective_value, b.objective_value);
+            assert_eq!(a.status, b.status);
+        }
+    }
+
+    #[test]
+    fn resubmission_hits_cache() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let jobs = workload(3);
+        let engine = Engine::new(config(2));
+        let first = engine.adapt_batch(&hw, &jobs);
+        assert!(first.iter().all(|r| !r.cache_hit));
+        let second = engine.adapt_batch(&hw, &jobs);
+        assert!(second.iter().all(|r| r.cache_hit));
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.circuit, b.circuit);
+            assert_eq!(a.objective_value, b.objective_value);
+        }
+        assert!(engine.metrics().cache_hit_rate() > 0.49);
+    }
+
+    #[test]
+    fn duplicate_jobs_in_one_batch_share_work() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[1, 0]);
+        c.push(Gate::Cx, &[0, 1]);
+        // One worker guarantees sequential execution, so the second
+        // identical job must hit the entry the first one inserted.
+        let engine = Engine::new(config(1));
+        let reports = engine.adapt_batch(&hw, &[AdaptJob::new(c.clone()), AdaptJob::new(c)]);
+        assert!(!reports[0].cache_hit);
+        assert!(reports[1].cache_hit);
+        assert_eq!(reports[0].circuit, reports[1].circuit);
+    }
+
+    #[test]
+    fn cancelled_job_degrades_to_fallback() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let mut jobs = workload(2);
+        jobs[1].options.limits.cancel = Some(Arc::new(AtomicBool::new(true)));
+        let engine = Engine::new(config(2));
+        let reports = engine.adapt_batch(&hw, &jobs);
+        assert_ne!(reports[0].status, AdaptStatus::Fallback);
+        assert_eq!(reports[1].status, AdaptStatus::Fallback);
+        assert_eq!(reports[1].error, Some(AdaptError::Cancelled));
+        // The fallback circuit is still a valid native adaptation.
+        assert!(hw.supports_circuit(&reports[1].circuit));
+        assert_eq!(engine.metrics().fallbacks.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn fallback_results_are_not_cached() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let mut jobs = workload(1);
+        jobs[0].options.limits.cancel = Some(Arc::new(AtomicBool::new(true)));
+        let engine = Engine::new(config(1));
+        let _ = engine.adapt_batch(&hw, &jobs);
+        assert!(engine.cache().is_empty());
+    }
+
+    #[test]
+    fn different_budgets_use_distinct_cache_entries() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let jobs = workload(1);
+        let engine = Engine::new(config(1));
+        let _ = engine.adapt_batch(&hw, &jobs);
+        let mut budgeted = jobs.clone();
+        budgeted[0].options.limits.total_conflicts = Some(1_000_000);
+        let reports = engine.adapt_batch(&hw, &budgeted);
+        // Same circuit, different budget: a fresh solve, not a (stale) hit.
+        assert!(!reports[0].cache_hit);
+        assert_eq!(engine.cache().len(), 2);
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let engine = Engine::new(EngineConfig::default());
+        assert!(engine.adapt_batch(&hw, &[]).is_empty());
+    }
+
+    #[test]
+    fn wall_clock_timeout_terminates_batch() {
+        // A 10-job batch under an aggressive deadline must terminate and
+        // return one report per job; statuses may be anything on the ladder.
+        let hw = spin_qubit_model(GateTimes::D0);
+        let jobs = workload(4);
+        let engine = Engine::new(EngineConfig {
+            workers: 2,
+            job_timeout: Some(Duration::from_millis(1)),
+            ..EngineConfig::default()
+        });
+        let reports = engine.adapt_batch(&hw, &jobs);
+        assert_eq!(reports.len(), jobs.len());
+        for r in &reports {
+            assert!(hw.supports_circuit(&r.circuit));
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! Engine metrics: lock-free counters and log-scale histograms.
+//!
+//! Workers record into shared atomics while solving; nothing blocks on a
+//! metrics write. [`MetricsRegistry::to_json`] renders a snapshot as a
+//! self-contained JSON object (hand-rolled — the build environment has no
+//! serde) for the `qca-engine` CLI's `--metrics-out`.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Number of power-of-two buckets in a [`Histogram`].
+const NUM_BUCKETS: usize = 40;
+
+/// A fixed-bucket log₂ histogram over `u64` samples.
+///
+/// Bucket `i` counts samples in `[2^i, 2^(i+1))` (bucket 0 also takes 0).
+/// Forty buckets cover more than 12 orders of magnitude — enough for
+/// nanosecond wall times and conflict counts alike.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// Records one sample.
+    pub fn record(&self, value: u64) {
+        let bucket = (64 - value.leading_zeros()).saturating_sub(1) as usize;
+        self.buckets[bucket.min(NUM_BUCKETS - 1)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all samples.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Largest sample seen (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max.load(Ordering::Relaxed)
+    }
+
+    /// Mean sample value (0.0 when empty).
+    pub fn mean(&self) -> f64 {
+        let n = self.count();
+        if n == 0 {
+            0.0
+        } else {
+            self.sum() as f64 / n as f64
+        }
+    }
+
+    /// Approximate quantile `q` in `[0, 1]`: the lower edge of the bucket
+    /// containing the q-th sample (log₂ resolution).
+    pub fn quantile(&self, q: f64) -> u64 {
+        let n = self.count();
+        if n == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * n as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, b) in self.buckets.iter().enumerate() {
+            seen += b.load(Ordering::Relaxed);
+            if seen >= rank {
+                return if i == 0 { 0 } else { 1u64 << i };
+            }
+        }
+        self.max()
+    }
+
+    /// Renders `{"count":..,"sum":..,"mean":..,"max":..,"p50":..,"p90":..}`.
+    fn to_json(&self) -> String {
+        format!(
+            "{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"max\":{},\"p50\":{},\"p90\":{}}}",
+            self.count(),
+            self.sum(),
+            self.mean(),
+            self.max(),
+            self.quantile(0.5),
+            self.quantile(0.9),
+        )
+    }
+}
+
+/// Shared counters and histograms for one [`Engine`](crate::Engine).
+///
+/// All fields are updated with relaxed atomics; totals are exact once the
+/// batch has been collected (the engine joins its workers before reporting).
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    /// Jobs handed to workers.
+    pub jobs_submitted: AtomicU64,
+    /// Jobs finished (any status).
+    pub jobs_completed: AtomicU64,
+    /// Jobs answered from the cache.
+    pub cache_hits: AtomicU64,
+    /// Jobs that had to be solved.
+    pub cache_misses: AtomicU64,
+    /// Jobs that finished with a proven-optimal result.
+    pub optimal: AtomicU64,
+    /// Jobs that finished feasible but not proven optimal.
+    pub feasible: AtomicU64,
+    /// Jobs that degraded to a baseline adaptation.
+    pub fallbacks: AtomicU64,
+    /// Total SAT conflicts across all solved jobs.
+    pub sat_conflicts: AtomicU64,
+    /// Total SAT restarts across all solved jobs.
+    pub sat_restarts: AtomicU64,
+    /// Total learnt clauses across all solved jobs.
+    pub sat_learnt_clauses: AtomicU64,
+    /// Total SAT decisions across all solved jobs.
+    pub sat_decisions: AtomicU64,
+    /// Total SAT propagations across all solved jobs.
+    pub sat_propagations: AtomicU64,
+    /// Per-job solve wall time in microseconds (cache hits excluded).
+    pub solve_wall_us: Histogram,
+    /// Per-job SAT conflicts (cache hits excluded).
+    pub conflicts_per_job: Histogram,
+}
+
+impl MetricsRegistry {
+    /// An empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry::default()
+    }
+
+    /// Records one solved (non-cached) job's cost.
+    pub fn record_solve(&self, wall: Duration, stats: &qca_sat::SolverStats) {
+        self.solve_wall_us.record(wall.as_micros() as u64);
+        self.conflicts_per_job.record(stats.conflicts);
+        self.sat_conflicts
+            .fetch_add(stats.conflicts, Ordering::Relaxed);
+        self.sat_restarts
+            .fetch_add(stats.restarts, Ordering::Relaxed);
+        self.sat_learnt_clauses
+            .fetch_add(stats.learnt_clauses, Ordering::Relaxed);
+        self.sat_decisions
+            .fetch_add(stats.decisions, Ordering::Relaxed);
+        self.sat_propagations
+            .fetch_add(stats.propagations, Ordering::Relaxed);
+    }
+
+    /// Cache hit rate over completed lookups (0.0 when nothing ran).
+    pub fn cache_hit_rate(&self) -> f64 {
+        let hits = self.cache_hits.load(Ordering::Relaxed);
+        let total = hits + self.cache_misses.load(Ordering::Relaxed);
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Renders the registry as a JSON object.
+    pub fn to_json(&self) -> String {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        format!(
+            concat!(
+                "{{\n",
+                "  \"jobs_submitted\": {},\n",
+                "  \"jobs_completed\": {},\n",
+                "  \"cache_hits\": {},\n",
+                "  \"cache_misses\": {},\n",
+                "  \"cache_hit_rate\": {:.4},\n",
+                "  \"optimal\": {},\n",
+                "  \"feasible\": {},\n",
+                "  \"fallbacks\": {},\n",
+                "  \"sat_conflicts\": {},\n",
+                "  \"sat_restarts\": {},\n",
+                "  \"sat_learnt_clauses\": {},\n",
+                "  \"sat_decisions\": {},\n",
+                "  \"sat_propagations\": {},\n",
+                "  \"solve_wall_us\": {},\n",
+                "  \"conflicts_per_job\": {}\n",
+                "}}"
+            ),
+            load(&self.jobs_submitted),
+            load(&self.jobs_completed),
+            load(&self.cache_hits),
+            load(&self.cache_misses),
+            self.cache_hit_rate(),
+            load(&self.optimal),
+            load(&self.feasible),
+            load(&self.fallbacks),
+            load(&self.sat_conflicts),
+            load(&self.sat_restarts),
+            load(&self.sat_learnt_clauses),
+            load(&self.sat_decisions),
+            load(&self.sat_propagations),
+            self.solve_wall_us.to_json(),
+            self.conflicts_per_job.to_json(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_moments() {
+        let h = Histogram::new();
+        for v in [0, 1, 2, 3, 1024, 1_000_000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 6);
+        assert_eq!(h.sum(), 1_001_030);
+        assert_eq!(h.max(), 1_000_000);
+        assert!(h.mean() > 0.0);
+        // p50 falls in the small buckets, p90+ near the top sample.
+        assert!(h.quantile(0.5) <= 4);
+        assert!(h.quantile(1.0) >= 1 << 19);
+    }
+
+    #[test]
+    fn quantile_of_empty_is_zero() {
+        let h = Histogram::new();
+        assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn hit_rate_and_json_shape() {
+        let m = MetricsRegistry::new();
+        m.cache_hits.fetch_add(3, Ordering::Relaxed);
+        m.cache_misses.fetch_add(1, Ordering::Relaxed);
+        assert!((m.cache_hit_rate() - 0.75).abs() < 1e-12);
+        let json = m.to_json();
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"cache_hit_rate\": 0.7500"));
+        assert!(json.contains("\"solve_wall_us\""));
+    }
+
+    #[test]
+    fn record_solve_accumulates_totals() {
+        let m = MetricsRegistry::new();
+        let stats = qca_sat::SolverStats {
+            conflicts: 10,
+            restarts: 2,
+            learnt_clauses: 7,
+            decisions: 40,
+            propagations: 100,
+            ..Default::default()
+        };
+        m.record_solve(Duration::from_micros(500), &stats);
+        m.record_solve(Duration::from_micros(700), &stats);
+        assert_eq!(m.sat_conflicts.load(Ordering::Relaxed), 20);
+        assert_eq!(m.solve_wall_us.count(), 2);
+        assert_eq!(m.conflicts_per_job.count(), 2);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the batch engine (satellite of the engine PR):
+//!
+//! * cached and uncached adaptation of the same circuit agree exactly
+//!   (adapted circuit and objective value),
+//! * batch output is deterministic across worker counts (1 vs 8) for
+//!   fixed-seed workloads.
+
+use proptest::prelude::*;
+use qca_adapt::Objective;
+use qca_engine::{AdaptJob, Engine, EngineConfig};
+use qca_hw::{spin_qubit_model, GateTimes};
+use qca_workloads::{random_template_circuit, TemplateGate};
+
+fn job(seed: u64, objective: Objective) -> AdaptJob {
+    let circuit = random_template_circuit(
+        3,
+        10,
+        seed,
+        &[TemplateGate::Cx, TemplateGate::Cz, TemplateGate::Swap],
+        true,
+    );
+    AdaptJob::with_objective(circuit, objective)
+}
+
+fn engine(workers: usize, cache_capacity: usize) -> Engine {
+    Engine::new(EngineConfig {
+        workers,
+        cache_capacity,
+        ..EngineConfig::default()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// A cache hit returns exactly what a fresh solve would have produced:
+    /// run the same job through a caching engine twice (miss then hit) and
+    /// through a cache-disabled engine, and compare all three.
+    #[test]
+    fn cached_equals_uncached(seed in 0u64..10_000) {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let jobs = [job(seed, Objective::Fidelity)];
+        let caching = engine(1, 64);
+        let first = caching.adapt_batch(&hw, &jobs);
+        let second = caching.adapt_batch(&hw, &jobs);
+        let uncached = engine(1, 0).adapt_batch(&hw, &jobs);
+        prop_assert!(!first[0].cache_hit);
+        prop_assert!(second[0].cache_hit);
+        prop_assert!(!uncached[0].cache_hit);
+        prop_assert_eq!(&second[0].circuit, &first[0].circuit);
+        prop_assert_eq!(&uncached[0].circuit, &first[0].circuit);
+        prop_assert_eq!(second[0].objective_value, first[0].objective_value);
+        prop_assert_eq!(uncached[0].objective_value, first[0].objective_value);
+        prop_assert_eq!(second[0].status, first[0].status);
+    }
+}
+
+proptest! {
+    // Each case solves ten jobs (5 circuits × 2 engines): keep the count
+    // low so the debug-profile test run stays fast.
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Report contents are independent of the worker count: 1 worker
+    /// (strictly sequential) and 8 workers (racing over the channel) give
+    /// identical circuits, values, and statuses in identical order.
+    #[test]
+    fn batch_deterministic_across_worker_counts(base in 0u64..10_000) {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let jobs: Vec<AdaptJob> = (0..5)
+            .map(|i| {
+                let obj = match i % 3 {
+                    0 => Objective::Fidelity,
+                    1 => Objective::IdleTime,
+                    _ => Objective::Combined,
+                };
+                job(base + i, obj)
+            })
+            .collect();
+        let seq = engine(1, 64).adapt_batch(&hw, &jobs);
+        let par = engine(8, 64).adapt_batch(&hw, &jobs);
+        prop_assert_eq!(seq.len(), par.len());
+        for (a, b) in seq.iter().zip(&par) {
+            prop_assert_eq!(a.job, b.job);
+            prop_assert_eq!(&a.circuit, &b.circuit);
+            prop_assert_eq!(a.objective_value, b.objective_value);
+            prop_assert_eq!(a.status, b.status);
+        }
+    }
+}

@@ -32,7 +32,7 @@ mod modality;
 mod schedule;
 
 pub use modality::{
-    ibm_source_model, spin_qubit_model, CostClass, GateCost, GateTimes, HardwareModel,
-    SPIN_T1_NS, SPIN_T2_NS,
+    ibm_source_model, spin_qubit_model, CostClass, GateCost, GateTimes, HardwareModel, SPIN_T1_NS,
+    SPIN_T2_NS,
 };
 pub use schedule::CircuitSchedule;

@@ -188,6 +188,45 @@ impl HardwareModel {
     pub fn cost_classes(&self) -> impl Iterator<Item = (&CostClass, &GateCost)> {
         self.table.iter()
     }
+
+    /// Semantic fingerprint of the model: a stable 64-bit hash of the cost
+    /// table and coherence times.
+    ///
+    /// The model *name* is deliberately excluded — two models priced
+    /// identically fingerprint identically, so adaptation caches keyed on
+    /// the fingerprint share entries across renames. Costs participate by
+    /// IEEE-754 bit pattern: any change to a fidelity, duration, or
+    /// coherence time changes the fingerprint.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = qca_circuit::hash::Fnv64::new();
+        h.write_f64(self.t1);
+        h.write_f64(self.t2);
+        h.write_usize(self.table.len());
+        // BTreeMap iteration order is the CostClass Ord order: stable.
+        for (class, cost) in &self.table {
+            h.write_u64(class_tag(class));
+            h.write_f64(cost.fidelity);
+            h.write_f64(cost.duration);
+        }
+        h.finish()
+    }
+}
+
+/// Stable fingerprint tag per cost class (independent of declaration order,
+/// so enum reordering does not silently invalidate cache keys).
+fn class_tag(class: &CostClass) -> u64 {
+    match class {
+        CostClass::OneQubit => 1,
+        CostClass::Cx => 2,
+        CostClass::Cz => 3,
+        CostClass::CzDiabatic => 4,
+        CostClass::CPhase => 5,
+        CostClass::CRot => 6,
+        CostClass::Swap => 7,
+        CostClass::SwapDiabatic => 8,
+        CostClass::SwapComposite => 9,
+        CostClass::ISwap => 10,
+    }
 }
 
 /// Table I of the paper, shared fidelity column.
@@ -250,12 +289,7 @@ pub fn spin_qubit_model(times: GateTimes) -> HardwareModel {
         debug_assert_eq!(class, class2);
         table.insert(*class, GateCost::new(*fid, *dur));
     }
-    HardwareModel::new(
-        format!("spin-qubit/{times}"),
-        table,
-        SPIN_T1_NS,
-        SPIN_T2_NS,
-    )
+    HardwareModel::new(format!("spin-qubit/{times}"), table, SPIN_T1_NS, SPIN_T2_NS)
 }
 
 /// An IBM-superconducting-like source modality (CX + single-qubit basis).
@@ -359,6 +393,25 @@ mod tests {
     #[should_panic(expected = "fidelity")]
     fn cost_validation() {
         let _ = GateCost::new(1.5, 10.0);
+    }
+
+    #[test]
+    fn fingerprint_reflects_costs_not_name() {
+        let d0 = spin_qubit_model(GateTimes::D0);
+        let d1 = spin_qubit_model(GateTimes::D1);
+        assert_eq!(
+            d0.fingerprint(),
+            spin_qubit_model(GateTimes::D0).fingerprint()
+        );
+        assert_ne!(d0.fingerprint(), d1.fingerprint());
+        assert_ne!(d0.fingerprint(), ibm_source_model().fingerprint());
+        // Renamed but identically priced model: same fingerprint.
+        let mut table = BTreeMap::new();
+        for (class, cost) in d0.cost_classes() {
+            table.insert(*class, *cost);
+        }
+        let renamed = HardwareModel::new("other-name", table, d0.t1(), d0.t2());
+        assert_eq!(renamed.fingerprint(), d0.fingerprint());
     }
 
     #[test]

@@ -131,7 +131,12 @@ pub fn jacobi_eigen(a: &[f64], n: usize) -> SymEigen {
 /// # Panics
 ///
 /// Panics on size mismatch.
-pub fn simultaneous_diagonalize(a: &[f64], b: &[f64], n: usize, tol: f64) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
+pub fn simultaneous_diagonalize(
+    a: &[f64],
+    b: &[f64],
+    n: usize,
+    tol: f64,
+) -> (Vec<f64>, Vec<f64>, Vec<f64>) {
     assert_eq!(a.len(), n * n);
     assert_eq!(b.len(), n * n);
     let ea = jacobi_eigen(a, n);
@@ -259,8 +264,7 @@ pub fn hermitian_eigen(h: &CMat) -> (Vec<f64>, CMat) {
         // degenerate copies of each other up to multiplication by i).
         let mut w = v.clone();
         for u in &chosen {
-            let dot: crate::complex::C64 =
-                u.iter().zip(&w).map(|(a, b)| a.conj() * *b).sum();
+            let dot: crate::complex::C64 = u.iter().zip(&w).map(|(a, b)| a.conj() * *b).sum();
             for (wi, ui) in w.iter_mut().zip(u) {
                 *wi -= dot * *ui;
             }
@@ -411,7 +415,9 @@ mod tests {
         let mut h = CMat::zeros(4, 4);
         let mut seed = 42u64;
         let mut nextf = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         for r in 0..4 {

@@ -47,8 +47,7 @@ mod proptests {
     }
 
     fn arb_mat(n: usize) -> impl Strategy<Value = CMat> {
-        proptest::collection::vec(arb_c64(), n * n)
-            .prop_map(move |v| CMat::from_rows(n, n, &v))
+        proptest::collection::vec(arb_c64(), n * n).prop_map(move |v| CMat::from_rows(n, n, &v))
     }
 
     proptest! {

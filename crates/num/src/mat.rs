@@ -413,11 +413,7 @@ mod tests {
     }
 
     fn pauli_y() -> CMat {
-        CMat::from_rows(
-            2,
-            2,
-            &[C64::ZERO, -C64::I, C64::I, C64::ZERO],
-        )
+        CMat::from_rows(2, 2, &[C64::ZERO, -C64::I, C64::I, C64::ZERO])
     }
 
     fn pauli_z() -> CMat {

@@ -50,7 +50,11 @@ pub fn haar_unitary<R: Rng + ?Sized>(rng: &mut R, n: usize) -> CMat {
     let mut q = f.q;
     for j in 0..n {
         let d = f.r[(j, j)];
-        let phase = if d.norm() > 1e-300 { d / d.norm() } else { C64::ONE };
+        let phase = if d.norm() > 1e-300 {
+            d / d.norm()
+        } else {
+            C64::ONE
+        };
         for r in 0..n {
             q[(r, j)] *= phase;
         }

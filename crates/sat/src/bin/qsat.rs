@@ -3,32 +3,56 @@
 //! Usage:
 //!
 //! ```text
-//! qsat <file.cnf>      # solve a DIMACS file
-//! qsat -               # read DIMACS from stdin
+//! qsat [--stats] <file.cnf>      # solve a DIMACS file
+//! qsat [--stats] -               # read DIMACS from stdin
 //! ```
 //!
 //! Prints `s SATISFIABLE` with a `v ...` model line, or `s UNSATISFIABLE`,
-//! following the SAT-competition output conventions. Exit code 10 for SAT,
-//! 20 for UNSAT, 1 on input errors.
+//! following the SAT-competition output conventions. With `--stats`, solver
+//! statistics (`c`-prefixed comment lines: decisions, propagations,
+//! conflicts, restarts, learnt clauses, ...) are printed on both verdicts.
+//! Exit code 10 for SAT, 20 for UNSAT, 1 on input errors.
 
 use qca_sat::dimacs::parse_dimacs;
-use qca_sat::Var;
+use qca_sat::{SolverStats, Var};
 use std::process::ExitCode;
 
+fn print_stats(st: &SolverStats) {
+    println!("c decisions        {}", st.decisions);
+    println!("c propagations     {}", st.propagations);
+    println!("c conflicts        {}", st.conflicts);
+    println!("c restarts         {}", st.restarts);
+    println!("c learnt clauses   {}", st.learnt_clauses);
+    println!("c deleted clauses  {}", st.deleted_clauses);
+    println!("c minimized lits   {}", st.minimized_literals);
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().collect();
-    if args.len() != 2 {
-        eprintln!("usage: qsat <file.cnf | ->");
-        return ExitCode::from(1);
+    let mut stats = false;
+    let mut input: Option<String> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--stats" => stats = true,
+            other => {
+                if input.replace(other.to_string()).is_some() {
+                    eprintln!("usage: qsat [--stats] <file.cnf | ->");
+                    return ExitCode::from(1);
+                }
+            }
+        }
     }
-    let cnf = if args[1] == "-" {
+    let Some(input) = input else {
+        eprintln!("usage: qsat [--stats] <file.cnf | ->");
+        return ExitCode::from(1);
+    };
+    let cnf = if input == "-" {
         let stdin = std::io::stdin();
         parse_dimacs(stdin.lock())
     } else {
-        match std::fs::File::open(&args[1]) {
+        match std::fs::File::open(&input) {
             Ok(f) => parse_dimacs(std::io::BufReader::new(f)),
             Err(e) => {
-                eprintln!("c cannot open {}: {e}", args[1]);
+                eprintln!("c cannot open {input}: {e}");
                 return ExitCode::from(1);
             }
         }
@@ -48,21 +72,29 @@ fn main() -> ExitCode {
         for i in 0..num_vars {
             let v = Var::from_index(i);
             let val = solver.value(v).unwrap_or(false);
-            line.push_str(&format!(" {}", if val { (i + 1) as i64 } else { -((i + 1) as i64) }));
+            line.push_str(&format!(
+                " {}",
+                if val {
+                    (i + 1) as i64
+                } else {
+                    -((i + 1) as i64)
+                }
+            ));
             if line.len() > 70 {
                 println!("{line}");
                 line = String::from("v");
             }
         }
         println!("{line} 0");
-        let st = solver.stats();
-        println!(
-            "c decisions {} conflicts {} propagations {} restarts {}",
-            st.decisions, st.conflicts, st.propagations, st.restarts
-        );
+        if stats {
+            print_stats(solver.stats());
+        }
         ExitCode::from(10)
     } else {
         println!("s UNSATISFIABLE");
+        if stats {
+            print_stats(solver.stats());
+        }
         ExitCode::from(20)
     }
 }

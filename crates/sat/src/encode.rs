@@ -161,7 +161,11 @@ mod tests {
 
     #[test]
     fn and_gate_truth_table() {
-        for (av, bv, expect) in [(true, true, true), (true, false, false), (false, true, false)] {
+        for (av, bv, expect) in [
+            (true, true, true),
+            (true, false, false),
+            (false, true, false),
+        ] {
             let mut s = Solver::new();
             let out = s.new_var().positive();
             let a = s.new_var().positive();
@@ -176,7 +180,11 @@ mod tests {
 
     #[test]
     fn or_gate_truth_table() {
-        for (av, bv, expect) in [(false, false, false), (true, false, true), (false, true, true)] {
+        for (av, bv, expect) in [
+            (false, false, false),
+            (true, false, true),
+            (false, true, true),
+        ] {
             let mut s = Solver::new();
             let out = s.new_var().positive();
             let a = s.new_var().positive();

@@ -46,18 +46,16 @@ mod proptests {
     use proptest::prelude::*;
 
     /// A random CNF instance: clause list over `n` variables.
-    fn arb_cnf(max_vars: usize, max_clauses: usize) -> impl Strategy<Value = (usize, Vec<Vec<i32>>)> {
+    fn arb_cnf(
+        max_vars: usize,
+        max_clauses: usize,
+    ) -> impl Strategy<Value = (usize, Vec<Vec<i32>>)> {
         (2..=max_vars).prop_flat_map(move |n| {
             let clause = proptest::collection::vec(
-                (1..=n as i32).prop_flat_map(|v| {
-                    prop_oneof![Just(v), Just(-v)]
-                }),
+                (1..=n as i32).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]),
                 1..=3,
             );
-            (
-                Just(n),
-                proptest::collection::vec(clause, 1..=max_clauses),
-            )
+            (Just(n), proptest::collection::vec(clause, 1..=max_clauses))
         })
     }
 

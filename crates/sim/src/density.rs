@@ -1,6 +1,6 @@
 //! Density-matrix state representation.
 
-use qca_num::{C64, CMat};
+use qca_num::{CMat, C64};
 
 /// A mixed quantum state over `n` qubits as a `2^n x 2^n` density matrix.
 ///
@@ -137,7 +137,11 @@ mod tests {
         let p = 0.5f64;
         let paulis = [Gate::I, Gate::X, Gate::Y, Gate::Z];
         let mut kraus: Vec<CMat> = Vec::new();
-        kraus.push(Gate::I.matrix().scale(C64::real((1.0 - 3.0 * p / 4.0).sqrt())));
+        kraus.push(
+            Gate::I
+                .matrix()
+                .scale(C64::real((1.0 - 3.0 * p / 4.0).sqrt())),
+        );
         for g in &paulis[1..] {
             kraus.push(g.matrix().scale(C64::real((p / 4.0).sqrt())));
         }

@@ -6,7 +6,7 @@
 //! `T1 = 1000 · T2`.
 
 use qca_circuit::Gate;
-use qca_num::{C64, CMat};
+use qca_num::{CMat, C64};
 
 /// Depolarizing probability `p` such that the channel
 /// `E(rho) = (1-p) rho + p I/d` has average gate fidelity `f`:

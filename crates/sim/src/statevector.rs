@@ -6,7 +6,7 @@
 //! from its simulator before computing Hellinger fidelities.
 
 use qca_circuit::Circuit;
-use qca_num::{C64, CMat};
+use qca_num::{CMat, C64};
 use rand::Rng;
 
 /// A pure quantum state over `n` qubits (qubit 0 = most significant bit of
@@ -74,7 +74,10 @@ impl StateVector {
     /// Panics on dimension mismatch, duplicate or out-of-range targets.
     pub fn apply_2q(&mut self, u: &CMat, a: usize, b: usize) {
         assert_eq!((u.rows(), u.cols()), (4, 4), "expected a 4x4 gate");
-        assert!(a < self.num_qubits && b < self.num_qubits, "target out of range");
+        assert!(
+            a < self.num_qubits && b < self.num_qubits,
+            "target out of range"
+        );
         assert_ne!(a, b, "duplicate target");
         let sa = self.num_qubits - 1 - a;
         let sb = self.num_qubits - 1 - b;
@@ -106,7 +109,11 @@ impl StateVector {
     ///
     /// Panics if the circuit's qubit count mismatches.
     pub fn apply_circuit(&mut self, circuit: &Circuit) {
-        assert_eq!(circuit.num_qubits(), self.num_qubits, "qubit count mismatch");
+        assert_eq!(
+            circuit.num_qubits(),
+            self.num_qubits,
+            "qubit count mismatch"
+        );
         for instr in circuit.iter() {
             let m = instr.gate.matrix();
             match instr.qubits.len() {

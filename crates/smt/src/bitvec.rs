@@ -62,7 +62,12 @@ pub fn add_bits(s: &mut Solver, a: &[Lit], b: &[Lit], fal: &mut Option<Lit>) -> 
 
 /// Produces the bit vector for a non-negative constant with minimal width
 /// (at least one bit).
-pub fn const_bits(s: &mut Solver, value: u64, fal: &mut Option<Lit>, tru: &mut Option<Lit>) -> Vec<Lit> {
+pub fn const_bits(
+    s: &mut Solver,
+    value: u64,
+    fal: &mut Option<Lit>,
+    tru: &mut Option<Lit>,
+) -> Vec<Lit> {
     let f = false_lit(s, fal);
     let t = true_lit(s, tru);
     let width = (64 - value.leading_zeros()).max(1) as usize;
@@ -86,12 +91,7 @@ pub fn true_lit(s: &mut Solver, cache: &mut Option<Lit>) -> Lit {
 ///
 /// Each set bit of the constant becomes the condition literal itself; clear
 /// bits become constant false.
-pub fn gated_const_bits(
-    s: &mut Solver,
-    cond: Lit,
-    value: u64,
-    fal: &mut Option<Lit>,
-) -> Vec<Lit> {
+pub fn gated_const_bits(s: &mut Solver, cond: Lit, value: u64, fal: &mut Option<Lit>) -> Vec<Lit> {
     let f = false_lit(s, fal);
     let width = (64 - value.leading_zeros()).max(1) as usize;
     (0..width)
@@ -100,7 +100,13 @@ pub fn gated_const_bits(
 }
 
 /// Multiplies a bit vector by a non-negative constant via shift-add.
-pub fn mul_const_bits(s: &mut Solver, a: &[Lit], k: u64, fal: &mut Option<Lit>, tru: &mut Option<Lit>) -> Vec<Lit> {
+pub fn mul_const_bits(
+    s: &mut Solver,
+    a: &[Lit],
+    k: u64,
+    fal: &mut Option<Lit>,
+    tru: &mut Option<Lit>,
+) -> Vec<Lit> {
     if k == 0 {
         return vec![false_lit(s, fal)];
     }
@@ -122,7 +128,13 @@ pub fn mul_const_bits(s: &mut Solver, a: &[Lit], k: u64, fal: &mut Option<Lit>, 
 
 /// Returns a literal `r` such that `r -> (a >= b)` and `!r -> (a < b)` for
 /// unsigned little-endian bit vectors (full equivalence).
-pub fn ge_reified(s: &mut Solver, a: &[Lit], b: &[Lit], fal: &mut Option<Lit>, tru: &mut Option<Lit>) -> Lit {
+pub fn ge_reified(
+    s: &mut Solver,
+    a: &[Lit],
+    b: &[Lit],
+    fal: &mut Option<Lit>,
+    tru: &mut Option<Lit>,
+) -> Lit {
     let f = false_lit(s, fal);
     let width = a.len().max(b.len());
     // ge_i = comparison of bits [i..): computed from MSB down.
@@ -150,13 +162,25 @@ pub fn ge_reified(s: &mut Solver, a: &[Lit], b: &[Lit], fal: &mut Option<Lit>, t
 }
 
 /// Asserts `a >= b` for unsigned little-endian bit vectors.
-pub fn assert_ge(s: &mut Solver, a: &[Lit], b: &[Lit], fal: &mut Option<Lit>, tru: &mut Option<Lit>) {
+pub fn assert_ge(
+    s: &mut Solver,
+    a: &[Lit],
+    b: &[Lit],
+    fal: &mut Option<Lit>,
+    tru: &mut Option<Lit>,
+) {
     let r = ge_reified(s, a, b, fal, tru);
     s.add_clause(&[r]);
 }
 
 /// Returns bits of `cond ? a : b`.
-pub fn mux_bits(s: &mut Solver, cond: Lit, a: &[Lit], b: &[Lit], fal: &mut Option<Lit>) -> Vec<Lit> {
+pub fn mux_bits(
+    s: &mut Solver,
+    cond: Lit,
+    a: &[Lit],
+    b: &[Lit],
+    fal: &mut Option<Lit>,
+) -> Vec<Lit> {
     let f = false_lit(s, fal);
     let width = a.len().max(b.len());
     (0..width)
@@ -263,11 +287,7 @@ mod tests {
                 c.fix(&av, a);
                 c.fix(&bv, b);
                 assert!(c.s.solve());
-                assert_eq!(
-                    c.s.lit_value_in_model(ge),
-                    Some(a >= b),
-                    "a={a} b={b}"
-                );
+                assert_eq!(c.s.lit_value_in_model(ge), Some(a >= b), "a={a} b={b}");
             }
         }
     }

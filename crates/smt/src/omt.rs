@@ -129,7 +129,8 @@ fn maximize_binary(
         let bound = smt.int_const(mid);
         let ge = smt.ge_reified(objective, &bound);
         queries += 1;
-        smt.sat_mut().set_conflict_budget(options.probe_conflict_budget);
+        smt.sat_mut()
+            .set_conflict_budget(options.probe_conflict_budget);
         let t0 = std::time::Instant::now();
         let outcome = smt.probe_with_assumptions(&[ge]);
         smt.sat_mut().set_conflict_budget(None);
@@ -143,7 +144,10 @@ fn maximize_binary(
             }
             (SolveOutcome::Unsat, _) => {
                 if trace {
-                    eprintln!("probe >= {mid}: UNSAT in {:.2}s", t0.elapsed().as_secs_f64());
+                    eprintln!(
+                        "probe >= {mid}: UNSAT in {:.2}s",
+                        t0.elapsed().as_secs_f64()
+                    );
                 }
                 // objective >= mid is impossible; make it permanent so the
                 // solver prunes future probes.
@@ -152,7 +156,10 @@ fn maximize_binary(
             }
             _ => {
                 if trace {
-                    eprintln!("probe >= {mid}: UNKNOWN in {:.2}s", t0.elapsed().as_secs_f64());
+                    eprintln!(
+                        "probe >= {mid}: UNKNOWN in {:.2}s",
+                        t0.elapsed().as_secs_f64()
+                    );
                 }
                 // Budget exhausted: give up on this half of the bracket.
                 optimal = false;
@@ -186,7 +193,8 @@ fn maximize_linear(
         let bound = smt.int_const(best_val + 1);
         let ge = smt.ge_reified(objective, &bound);
         queries += 1;
-        smt.sat_mut().set_conflict_budget(options.probe_conflict_budget);
+        smt.sat_mut()
+            .set_conflict_budget(options.probe_conflict_budget);
         let outcome = smt.probe_with_assumptions(&[ge]);
         smt.sat_mut().set_conflict_budget(None);
         match outcome {
@@ -268,7 +276,12 @@ mod tests {
         let terms: Vec<_> = (0..4).map(|_| smt.new_bool()).collect();
         let obj = smt.pb_sum(
             -2,
-            &[(-5, terms[0]), (-1, terms[1]), (-7, terms[2]), (-3, terms[3])],
+            &[
+                (-5, terms[0]),
+                (-1, terms[1]),
+                (-7, terms[2]),
+                (-3, terms[3]),
+            ],
         );
         let best = maximize(&mut smt, &obj, Strategy::BinarySearch).expect("sat");
         assert_eq!(best.value, -2);

@@ -120,6 +120,25 @@ impl SmtSolver {
         &mut self.sat
     }
 
+    /// Cumulative statistics of the underlying SAT solver (conflicts,
+    /// restarts, learnt clauses, ...), spanning every check/probe made
+    /// through this solver.
+    pub fn stats(&self) -> &qca_sat::SolverStats {
+        self.sat.stats()
+    }
+
+    /// Installs a cooperative cancellation flag on the underlying SAT
+    /// solver; see [`qca_sat::Solver::set_stop_flag`].
+    pub fn set_stop_flag(&mut self, stop: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>) {
+        self.sat.set_stop_flag(stop);
+    }
+
+    /// Caps the lifetime SAT conflict count; see
+    /// [`qca_sat::Solver::set_conflict_cap`].
+    pub fn set_conflict_cap(&mut self, cap: Option<u64>) {
+        self.sat.set_conflict_cap(cap);
+    }
+
     /// Number of SAT variables allocated (Booleans plus bit-blasting
     /// auxiliaries).
     pub fn num_sat_vars(&self) -> usize {
@@ -149,7 +168,13 @@ impl SmtSolver {
         let bits: Vec<Lit> = (0..width).map(|_| self.new_bool()).collect();
         // Enforce bits <= span so bounds stay exact.
         let span_bits = bitvec::const_bits(&mut self.sat, span, &mut self.fal, &mut self.tru);
-        bitvec::assert_ge(&mut self.sat, &span_bits, &bits, &mut self.fal, &mut self.tru);
+        bitvec::assert_ge(
+            &mut self.sat,
+            &span_bits,
+            &bits,
+            &mut self.fal,
+            &mut self.tru,
+        );
         IntExpr {
             bits,
             offset: lo,
@@ -221,9 +246,7 @@ impl SmtSolver {
             let mut it = addends.into_iter();
             while let Some(a) = it.next() {
                 match it.next() {
-                    Some(b) => {
-                        next.push(bitvec::add_bits(&mut self.sat, &a, &b, &mut self.fal))
-                    }
+                    Some(b) => next.push(bitvec::add_bits(&mut self.sat, &a, &b, &mut self.fal)),
                     None => next.push(a),
                 }
             }
@@ -242,7 +265,13 @@ impl SmtSolver {
         if k == 0 {
             return self.int_const(0);
         }
-        let bits = bitvec::mul_const_bits(&mut self.sat, &a.bits, k as u64, &mut self.fal, &mut self.tru);
+        let bits = bitvec::mul_const_bits(
+            &mut self.sat,
+            &a.bits,
+            k as u64,
+            &mut self.fal,
+            &mut self.tru,
+        );
         IntExpr {
             bits,
             offset: a.offset * k,
@@ -265,10 +294,7 @@ impl SmtSolver {
         // value(e) = e.offset + u where u in [0, e.hi - e.offset].
         // c - value(e) = (c - e.offset) - u, with cu := c - e.offset >= u.
         let cu = (c - e.offset) as u64;
-        let width = e
-            .bits
-            .len()
-            .max((64 - cu.leading_zeros()).max(1) as usize);
+        let width = e.bits.len().max((64 - cu.leading_zeros()).max(1) as usize);
         // t = cu + (2^w - 1 - u) + 1 = cu - u + 2^w: low w bits are cu - u.
         let not_bits: Vec<qca_sat::Lit> = (0..width)
             .map(|i| match e.bits.get(i) {
@@ -358,7 +384,12 @@ impl SmtSolver {
         let mut acc = exprs[0].clone();
         for e in &exprs[1..] {
             let c = self.ge_reified(&acc, e);
+            // `ite` bounds are branch-generic (lo = min); the max is
+            // additionally >= both operands, so its lower bound tightens
+            // to the larger operand lo.
+            let lo = acc.lo.max(e.lo);
             acc = self.ite(c, &acc, e);
+            acc.lo = lo;
         }
         acc
     }

@@ -119,12 +119,14 @@ mod tests {
             if instr.gate.num_qubits() == 1 {
                 let q = instr.qubits[0];
                 if let Some(prev) = last[q] {
-                    assert!(i > prev + 1 || {
-                        // an intervening 2q gate on q must exist
-                        out.instrs()[prev + 1..i]
-                            .iter()
-                            .any(|x| x.qubits.contains(&q))
-                    });
+                    assert!(
+                        i > prev + 1 || {
+                            // an intervening 2q gate on q must exist
+                            out.instrs()[prev + 1..i]
+                                .iter()
+                                .any(|x| x.qubits.contains(&q))
+                        }
+                    );
                 }
                 last[q] = Some(i);
             }

@@ -1,7 +1,7 @@
 //! Single-qubit gate synthesis: U3/ZYZ angles from a 2x2 unitary.
 
 use qca_circuit::Gate;
-use qca_num::{C64, CMat};
+use qca_num::{CMat, C64};
 
 /// Euler-angle factorization of a single-qubit unitary:
 /// `U = e^{i phase} · U3(theta, phi, lambda)`.
@@ -151,16 +151,7 @@ mod tests {
 
     #[test]
     fn theta_pi_branch() {
-        let u = CMat::from_rows(
-            2,
-            2,
-            &[
-                C64::ZERO,
-                C64::cis(0.8),
-                C64::cis(-0.3),
-                C64::ZERO,
-            ],
-        );
+        let u = CMat::from_rows(2, 2, &[C64::ZERO, C64::cis(0.8), C64::cis(-0.3), C64::ZERO]);
         assert!(u.is_unitary(1e-12));
         check_round_trip(&u);
         let a = euler_angles(&u);

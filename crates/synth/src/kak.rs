@@ -18,7 +18,7 @@ use crate::euler::u3_gate;
 use qca_circuit::{Circuit, Gate};
 use qca_num::eig::simultaneous_diagonalize;
 use qca_num::qr::determinant;
-use qca_num::{C64, CMat};
+use qca_num::{CMat, C64};
 use std::f64::consts::FRAC_PI_2;
 
 /// The magic basis change `E` (columns are the magic Bell states).
@@ -251,8 +251,8 @@ impl KakDecomposition {
         for (p, &k) in paulis.iter().zip(&ks) {
             let pp = p.matrix().kron(&p.matrix());
             // exp(i k PP) = cos(k) I + i sin(k) PP
-            let term = CMat::identity(4).scale(C64::real(k.cos()))
-                + pp.scale(C64::new(0.0, k.sin()));
+            let term =
+                CMat::identity(4).scale(C64::real(k.cos())) + pp.scale(C64::new(0.0, k.sin()));
             m = &term * &m;
         }
         m
@@ -323,13 +323,7 @@ impl KakDecomposition {
         // H⊗H swaps XX<->ZZ; Rx(pi/2)⊗Rx(pi/2) swaps YY<->ZZ.
         let (a, b, kz_like, pre, post): (f64, f64, f64, Vec<Gate>, Vec<Gate>) = match i {
             2 => (self.kx, self.ky, self.kz, vec![], vec![]),
-            0 => (
-                self.kz,
-                self.ky,
-                self.kx,
-                vec![Gate::H],
-                vec![Gate::H],
-            ),
+            0 => (self.kz, self.ky, self.kx, vec![Gate::H], vec![Gate::H]),
             _ => (
                 self.kx,
                 self.kz,
@@ -430,7 +424,9 @@ mod tests {
             "cz circuit mismatch"
         );
         assert_eq!(cz.two_qubit_gate_count(), circ.two_qubit_gate_count());
-        assert!(cz.iter().all(|i| i.gate == Gate::Cz || i.gate.num_qubits() == 1));
+        assert!(cz
+            .iter()
+            .all(|i| i.gate == Gate::Cz || i.gate.num_qubits() == 1));
     }
 
     #[test]
@@ -446,7 +442,9 @@ mod tests {
         ] {
             check(&g.matrix());
             assert_eq!(
-                kak_decompose(&g.matrix()).to_circuit_cz().two_qubit_gate_count(),
+                kak_decompose(&g.matrix())
+                    .to_circuit_cz()
+                    .two_qubit_gate_count(),
                 3,
                 "{g}"
             );
@@ -561,7 +559,13 @@ mod tests {
                 right1: CMat::identity(2),
                 kx: if slot == 0 { 0.0 } else { a },
                 ky: if slot == 1 { 0.0 } else { b },
-                kz: if slot == 2 { 0.0 } else if slot == 0 { b } else { a },
+                kz: if slot == 2 {
+                    0.0
+                } else if slot == 0 {
+                    b
+                } else {
+                    a
+                },
             };
             let m = kak0.canonical_matrix();
             let interaction = kak_decompose(&m).to_circuit_cx();
@@ -574,7 +578,10 @@ mod tests {
                 approx_eq_up_to_phase(&opt.unitary(), &u, 1e-6),
                 "slot {slot} wrong"
             );
-            assert!(opt.two_qubit_gate_count() <= 2, "slot {slot} not specialized");
+            assert!(
+                opt.two_qubit_gate_count() <= 2,
+                "slot {slot} not specialized"
+            );
         }
     }
 

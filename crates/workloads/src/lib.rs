@@ -56,8 +56,7 @@ pub fn quantum_volume(num_qubits: usize, depth: usize, seed: u64) -> Circuit {
             let u = haar_unitary(&mut rng, 4);
             let local = kak_decompose(&u).to_circuit_cx();
             for instr in local.iter() {
-                let mapped: Vec<usize> =
-                    instr.qubits.iter().map(|&q| pair[q]).collect();
+                let mapped: Vec<usize> = instr.qubits.iter().map(|&q| pair[q]).collect();
                 c.push(instr.gate, &mapped);
             }
         }

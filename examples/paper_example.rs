@@ -65,7 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!();
 
     println!("== SMT solving (paper §IV-C) ==");
-    for objective in [Objective::Fidelity, Objective::IdleTime, Objective::Combined] {
+    for objective in [
+        Objective::Fidelity,
+        Objective::IdleTime,
+        Objective::Combined,
+    ] {
         let solved = solve_model(&pre, &hw, &catalog, objective, Strategy::BinarySearch)?;
         let adapted = extract_circuit(&pre, &catalog, &solved.chosen);
         let sched = CircuitSchedule::asap(&adapted, &hw).expect("native");

@@ -25,10 +25,18 @@ measure q -> c;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let circuit = parse_qasm(PROGRAM)?;
-    println!("parsed {} gates on {} qubits", circuit.len(), circuit.num_qubits());
+    println!(
+        "parsed {} gates on {} qubits",
+        circuit.len(),
+        circuit.num_qubits()
+    );
 
     let hw = spin_qubit_model(GateTimes::D0);
-    let result = adapt(&circuit, &hw, &AdaptOptions::with_objective(Objective::Combined))?;
+    let result = adapt(
+        &circuit,
+        &hw,
+        &AdaptOptions::with_objective(Objective::Combined),
+    )?;
 
     println!(
         "adapted: {} gates, fidelity {:.5} (reference {:.5})",

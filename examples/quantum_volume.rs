@@ -48,14 +48,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     let kak_cz = kak_adaptation(&circuit, &hw, KakBasis::Cz)?;
-    report("kak(cz)", &kak_cz, &hw, base.hellinger_fidelity, base.idle_time);
+    report(
+        "kak(cz)",
+        &kak_cz,
+        &hw,
+        base.hellinger_fidelity,
+        base.idle_time,
+    );
     let kak_db = kak_adaptation(&circuit, &hw, KakBasis::CzDiabatic)?;
-    report("kak(cz_db)", &kak_db, &hw, base.hellinger_fidelity, base.idle_time);
+    report(
+        "kak(cz_db)",
+        &kak_db,
+        &hw,
+        base.hellinger_fidelity,
+        base.idle_time,
+    );
     let tmp_f = template_optimization(&circuit, &hw, TemplateObjective::Fidelity)?;
-    report("template(F)", &tmp_f, &hw, base.hellinger_fidelity, base.idle_time);
+    report(
+        "template(F)",
+        &tmp_f,
+        &hw,
+        base.hellinger_fidelity,
+        base.idle_time,
+    );
     let tmp_r = template_optimization(&circuit, &hw, TemplateObjective::IdleTime)?;
-    report("template(R)", &tmp_r, &hw, base.hellinger_fidelity, base.idle_time);
-    for obj in [Objective::Fidelity, Objective::IdleTime, Objective::Combined] {
+    report(
+        "template(R)",
+        &tmp_r,
+        &hw,
+        base.hellinger_fidelity,
+        base.idle_time,
+    );
+    for obj in [
+        Objective::Fidelity,
+        Objective::IdleTime,
+        Objective::Combined,
+    ] {
         let r = adapt(&circuit, &hw, &AdaptOptions::with_objective(obj))?;
         report(
             &format!("{obj}"),

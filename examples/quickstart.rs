@@ -25,7 +25,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ref_fid = hw.circuit_fidelity(&reference).expect("native");
     let ref_sched = CircuitSchedule::asap(&reference, &hw).expect("native");
 
-    println!("source circuit: {} gates, depth {}", circuit.len(), circuit.depth());
+    println!(
+        "source circuit: {} gates, depth {}",
+        circuit.len(),
+        circuit.depth()
+    );
     println!(
         "baseline (direct translation): fidelity {:.5}, duration {:.0} ns, idle {:.0} ns",
         ref_fid,
@@ -34,7 +38,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!();
 
-    for objective in [Objective::Fidelity, Objective::IdleTime, Objective::Combined] {
+    for objective in [
+        Objective::Fidelity,
+        Objective::IdleTime,
+        Objective::Combined,
+    ] {
         let result = adapt(&circuit, &hw, &AdaptOptions::with_objective(objective))?;
         let fid = hw.circuit_fidelity(&result.circuit).expect("native");
         let sched = CircuitSchedule::asap(&result.circuit, &hw).expect("native");

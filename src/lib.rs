@@ -21,6 +21,7 @@
 //! | [`baselines`] | `qca-baselines` | direct translation, KAK-only, template opt |
 //! | [`sim`] | `qca-sim` | noisy density-matrix simulator, Hellinger fidelity |
 //! | [`workloads`] | `qca-workloads` | quantum-volume and random circuits |
+//! | [`engine`] | `qca-engine` | parallel batch adaptation, result cache, metrics |
 //!
 //! # Examples
 //!
@@ -47,6 +48,7 @@
 pub use qca_adapt as adapt;
 pub use qca_baselines as baselines;
 pub use qca_circuit as circuit;
+pub use qca_engine as engine;
 pub use qca_hw as hw;
 pub use qca_num as num;
 pub use qca_sat as sat;

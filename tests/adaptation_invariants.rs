@@ -20,7 +20,11 @@ fn circuits() -> Vec<Circuit> {
 fn chosen_substitutions_never_conflict() {
     let hw = spin_qubit_model(GateTimes::D0);
     for c in circuits() {
-        for obj in [Objective::Fidelity, Objective::IdleTime, Objective::Combined] {
+        for obj in [
+            Objective::Fidelity,
+            Objective::IdleTime,
+            Objective::Combined,
+        ] {
             let r = adapt(&c, &hw, &AdaptOptions::with_objective(obj)).unwrap();
             for (i, a) in r.chosen.iter().enumerate() {
                 for b in &r.chosen[i + 1..] {
@@ -105,7 +109,10 @@ fn reference_close_to_direct_translation_cost() {
         let r = adapt(&c, &hw, &AdaptOptions::default()).unwrap();
         let f_ref = hw.circuit_fidelity(&r.reference).unwrap();
         let f_dir = hw.circuit_fidelity(&direct_translation(&c)).unwrap();
-        assert!(f_ref <= f_dir + 1e-9, "reference {f_ref} beat direct {f_dir}?");
+        assert!(
+            f_ref <= f_dir + 1e-9,
+            "reference {f_ref} beat direct {f_dir}?"
+        );
         assert!(
             f_ref >= f_dir * 0.999f64.powi(16),
             "reference {f_ref} too far below direct {f_dir}"
