@@ -15,4 +15,22 @@ cargo build --release
 echo "== tier-1: cargo test -q =="
 cargo test -q
 
+echo "== cargo doc --no-deps (warnings clean) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
+echo "== trace smoke test: qca-engine --trace on examples/qasm =="
+trace_dir="$(mktemp -d)"
+trap 'rm -rf "$trace_dir"' EXIT
+target/release/qca-engine --workers 2 --objective combined \
+  --trace "$trace_dir/trace.jsonl" --trace-report examples/qasm \
+  > "$trace_dir/report.txt"
+test -s "$trace_dir/trace.jsonl" || {
+  echo "trace smoke test: empty trace file" >&2; exit 1; }
+grep -q '"ev":"enter"' "$trace_dir/trace.jsonl" || {
+  echo "trace smoke test: no span events in JSONL" >&2; exit 1; }
+for phase in engine.job adapt omt.search omt.probe; do
+  grep -q "$phase" "$trace_dir/report.txt" || {
+    echo "trace smoke test: phase '$phase' missing from report" >&2; exit 1; }
+done
+
 echo "ci.sh: all checks passed"

@@ -259,10 +259,10 @@ mod tests {
 
     #[test]
     fn smt_at_least_as_good_as_template_on_fidelity() {
-        use qca_adapt::{adapt, AdaptOptions, Objective};
+        use qca_adapt::{adapt, AdaptContext, Objective};
         let hw = spin_qubit_model(GateTimes::D0);
         let c = sample();
-        let smt = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).unwrap();
+        let smt = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Fidelity)).unwrap();
         let tmpl = template_optimization(&c, &hw, TemplateObjective::Fidelity).unwrap();
         let f_smt = hw.circuit_fidelity(&smt.circuit).unwrap();
         let f_tmpl = hw.circuit_fidelity(&tmpl).unwrap();

@@ -2,7 +2,7 @@
 //! plus the baselines, on a fixed random circuit.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use qca_adapt::{adapt, AdaptOptions, Objective};
+use qca_adapt::{adapt, AdaptContext, Objective};
 use qca_baselines::{direct_translation, template_optimization, TemplateObjective};
 use qca_hw::{spin_qubit_model, GateTimes};
 use qca_workloads::{random_template_circuit, DEFAULT_TEMPLATE_GATES};
@@ -23,7 +23,7 @@ fn bench_adaptation(c: &mut Criterion) {
             adapt(
                 &circuit,
                 &hw,
-                &AdaptOptions::with_objective(Objective::Fidelity),
+                &AdaptContext::with_objective(Objective::Fidelity),
             )
             .unwrap()
         })
@@ -33,7 +33,7 @@ fn bench_adaptation(c: &mut Criterion) {
             adapt(
                 &circuit,
                 &hw,
-                &AdaptOptions::with_objective(Objective::Combined),
+                &AdaptContext::with_objective(Objective::Combined),
             )
             .unwrap()
         })

@@ -8,7 +8,7 @@
 use qca_adapt::model::solve_model_with_budget;
 use qca_adapt::preprocess::preprocess;
 use qca_adapt::rules::{evaluate_substitutions, RuleOptions};
-use qca_adapt::{adapt, AdaptOptions, Objective};
+use qca_adapt::{adapt, AdaptContext, AdaptOptions, Objective};
 use qca_bench::{metrics, pct_change};
 use qca_hw::{spin_qubit_model, GateTimes};
 use qca_smt::omt::Strategy;
@@ -33,8 +33,11 @@ fn main() {
         ("linear / exact", Strategy::LinearSearch, None),
     ] {
         let t = Instant::now();
-        let r = solve_model_with_budget(&pre, &hw, &catalog, Objective::Combined, strategy, budget)
-            .expect("solve");
+        let ctx = AdaptOptions::builder()
+            .objective(Objective::Combined)
+            .strategy(strategy)
+            .context();
+        let r = solve_model_with_budget(&pre, &hw, &catalog, &ctx, budget).expect("solve");
         println!(
             "{:<22}{:>10.2}{:>14}{:>10}{:>9}",
             name,
@@ -61,10 +64,10 @@ fn main() {
         ),
     ] {
         let generic =
-            adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).expect("generic");
-        let mut opts = AdaptOptions::with_objective(Objective::Fidelity);
-        opts.rules.optimized_kak = true;
-        let optimized = adapt(&c, &hw, &opts).expect("optimized");
+            adapt(&c, &hw, &AdaptContext::with_objective(Objective::Fidelity)).expect("generic");
+        let mut ctx = AdaptContext::with_objective(Objective::Fidelity);
+        ctx.options.rules.optimized_kak = true;
+        let optimized = adapt(&c, &hw, &ctx).expect("optimized");
         let mg = metrics(&generic.circuit, &hw);
         let mo = metrics(&optimized.circuit, &hw);
         println!(

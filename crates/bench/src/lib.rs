@@ -16,7 +16,7 @@
 
 #![warn(missing_docs)]
 
-use qca_adapt::{adapt, AdaptOptions, Objective};
+use qca_adapt::{adapt, AdaptContext, Objective};
 use qca_baselines::{
     direct_translation, kak_adaptation, template_optimization, KakBasis, TemplateObjective,
 };
@@ -95,7 +95,7 @@ pub fn adapt_with(method: Method, circuit: &Circuit, hw: &HardwareModel) -> Circ
             adapt(
                 circuit,
                 hw,
-                &AdaptOptions::with_objective(Objective::Fidelity),
+                &AdaptContext::with_objective(Objective::Fidelity),
             )
             .expect("sat f")
             .circuit
@@ -104,7 +104,7 @@ pub fn adapt_with(method: Method, circuit: &Circuit, hw: &HardwareModel) -> Circ
             adapt(
                 circuit,
                 hw,
-                &AdaptOptions::with_objective(Objective::IdleTime),
+                &AdaptContext::with_objective(Objective::IdleTime),
             )
             .expect("sat r")
             .circuit
@@ -113,7 +113,7 @@ pub fn adapt_with(method: Method, circuit: &Circuit, hw: &HardwareModel) -> Circ
             adapt(
                 circuit,
                 hw,
-                &AdaptOptions::with_objective(Objective::Combined),
+                &AdaptContext::with_objective(Objective::Combined),
             )
             .expect("sat p")
             .circuit

@@ -3,8 +3,9 @@
 //! `preprocess → evaluate substitution rules → build & solve SMT model →
 //! apply chosen substitutions`.
 
+use crate::context::{AdaptContext, AdaptContextBuilder};
 use crate::error::AdaptError;
-use crate::model::{AdaptLimits, Objective, SmtAdaptation};
+use crate::model::{Objective, SmtAdaptation};
 use crate::preprocess::{preprocess, Preprocessed};
 use crate::rules::{apply_to_block, evaluate_substitutions, RuleOptions, Substitution};
 use qca_circuit::Circuit;
@@ -12,7 +13,11 @@ use qca_hw::HardwareModel;
 use qca_smt::omt::Strategy;
 use qca_synth::consolidate::consolidate_1q;
 
-/// Options for [`adapt`].
+/// What [`adapt`] solves: objective, rule set, search strategy, exactness.
+///
+/// Run-time concerns (conflict budgets, cancellation, tracing) live on
+/// [`AdaptContext`], which wraps these options; `AdaptOptions` itself stays
+/// a plain value describing the problem.
 #[derive(Debug, Clone, Default)]
 pub struct AdaptOptions {
     /// Objective function handed to the SMT solver.
@@ -26,13 +31,22 @@ pub struct AdaptOptions {
     /// whether it happened to prove optimality via
     /// [`SmtAdaptation::optimal`](crate::SmtAdaptation).
     pub exact: bool,
-    /// Total-conflict cap and cooperative cancellation (engine-driven
-    /// per-job budgets); default: unlimited, no flag.
-    pub limits: AdaptLimits,
 }
 
 impl AdaptOptions {
+    /// Starts a validating builder. Chain [`limits`](AdaptOptionsBuilder::limits),
+    /// [`tracer`](AdaptOptionsBuilder::tracer), or
+    /// [`cancel`](AdaptOptionsBuilder::cancel) to transition into building a
+    /// full [`AdaptContext`].
+    pub fn builder() -> AdaptOptionsBuilder {
+        AdaptOptionsBuilder::default()
+    }
+
     /// Options with a specific objective and defaults elsewhere.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `AdaptContext::with_objective` (or `AdaptOptions::builder().objective(..)`)"
+    )]
     pub fn with_objective(objective: Objective) -> Self {
         AdaptOptions {
             objective,
@@ -41,11 +55,136 @@ impl AdaptOptions {
     }
 
     /// Options demanding a proven-optimal search.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use `AdaptOptions::builder().objective(..).exact()`"
+    )]
     pub fn exact_with_objective(objective: Objective) -> Self {
         AdaptOptions {
             objective,
             exact: true,
             ..AdaptOptions::default()
+        }
+    }
+}
+
+/// Validating builder for [`AdaptOptions`], and the entry ramp to
+/// [`AdaptContext`]: calling [`limits`](Self::limits),
+/// [`tracer`](Self::tracer), or [`cancel`](Self::cancel) transitions into an
+/// [`AdaptContextBuilder`] carrying the options configured so far.
+///
+/// # Examples
+///
+/// ```
+/// use qca_adapt::{AdaptOptions, Objective};
+///
+/// // Options only.
+/// let opts = AdaptOptions::builder().objective(Objective::IdleTime).build();
+/// assert_eq!(opts.objective, Objective::IdleTime);
+///
+/// // Transition into a context once run-time concerns appear.
+/// let ctx = AdaptOptions::builder()
+///     .objective(Objective::Combined)
+///     .exact()
+///     .limits(Some(100_000))
+///     .build();
+/// assert!(ctx.options.exact);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AdaptOptionsBuilder {
+    objective: Objective,
+    rules: RuleOptions,
+    strategy: Strategy,
+    exact: bool,
+}
+
+impl AdaptOptionsBuilder {
+    /// Sets the optimization objective.
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.objective = objective;
+        self
+    }
+
+    /// Sets the substitution-rule options.
+    pub fn rules(mut self, rules: RuleOptions) -> Self {
+        self.rules = rules;
+        self
+    }
+
+    /// Sets the OMT search strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Demands a proven-optimal search (no probe budgets or gap).
+    pub fn exact(mut self) -> Self {
+        self.exact = true;
+        self
+    }
+
+    /// Transitions to context building with a total-conflict cap (`None`
+    /// for unlimited).
+    pub fn limits(self, total_conflicts: Option<u64>) -> AdaptContextBuilder {
+        self.into_context_builder().limits(total_conflicts)
+    }
+
+    /// Transitions to context building with a tracer installed.
+    pub fn tracer(self, tracer: qca_trace::Tracer) -> AdaptContextBuilder {
+        self.into_context_builder().tracer(tracer)
+    }
+
+    /// Transitions to context building with a cancellation flag installed.
+    pub fn cancel(
+        self,
+        cancel: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    ) -> AdaptContextBuilder {
+        self.into_context_builder().cancel(cancel)
+    }
+
+    /// Builds an [`AdaptContext`] with default limits, no tracer, and no
+    /// cancellation flag.
+    ///
+    /// # Panics
+    ///
+    /// When the options fail validation.
+    pub fn context(self) -> AdaptContext {
+        self.into_context_builder().build()
+    }
+
+    fn into_context_builder(self) -> AdaptContextBuilder {
+        AdaptContextBuilder {
+            options: self,
+            ..AdaptContextBuilder::default()
+        }
+    }
+
+    /// Validates and builds, returning [`AdaptError::InvalidOptions`] on a
+    /// nonsensical configuration.
+    pub fn try_build(self) -> Result<AdaptOptions, AdaptError> {
+        if self.rules.max_match_len < 2 {
+            return Err(AdaptError::InvalidOptions(format!(
+                "rules.max_match_len = {} cannot match any multi-gate pattern (minimum 2)",
+                self.rules.max_match_len
+            )));
+        }
+        Ok(AdaptOptions {
+            objective: self.objective,
+            rules: self.rules,
+            strategy: self.strategy,
+            exact: self.exact,
+        })
+    }
+
+    /// Validates and builds, panicking on an invalid configuration.
+    ///
+    /// # Panics
+    ///
+    /// When [`try_build`](Self::try_build) would return an error.
+    pub fn build(self) -> AdaptOptions {
+        match self.try_build() {
+            Ok(opts) => opts,
+            Err(e) => panic!("{e}"),
         }
     }
 }
@@ -68,6 +207,11 @@ pub struct Adaptation {
 /// Adapts `circuit` to the `hw` gate set, choosing a globally optimal
 /// combination of substitutions with an SMT model.
 ///
+/// The [`AdaptContext`] bundles the options with run-time concerns: conflict
+/// budgets, cooperative cancellation, and span tracing. A plain
+/// `&Objective.into()` or [`AdaptContext::default`] suffices for simple
+/// calls.
+///
 /// # Errors
 ///
 /// Propagates [`AdaptError`] from preprocessing, rule evaluation, or
@@ -76,7 +220,7 @@ pub struct Adaptation {
 /// # Examples
 ///
 /// ```
-/// use qca_adapt::{adapt, AdaptOptions, Objective};
+/// use qca_adapt::{adapt, AdaptContext, Objective};
 /// use qca_circuit::{Circuit, Gate};
 /// use qca_hw::{spin_qubit_model, GateTimes};
 ///
@@ -85,32 +229,57 @@ pub struct Adaptation {
 /// c.push(Gate::Cx, &[1, 0]);
 /// c.push(Gate::Cx, &[0, 1]);
 /// let hw = spin_qubit_model(GateTimes::D0);
-/// let result = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity))?;
+/// let result = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Fidelity))?;
 /// assert!(hw.supports_circuit(&result.circuit));
 /// # Ok::<(), qca_adapt::AdaptError>(())
 /// ```
 pub fn adapt(
     circuit: &Circuit,
     hw: &HardwareModel,
-    options: &AdaptOptions,
+    ctx: &AdaptContext,
 ) -> Result<Adaptation, AdaptError> {
-    let pre = preprocess(circuit, hw)?;
-    let catalog = evaluate_substitutions(&pre, hw, &options.rules)?;
-    let budget = if options.exact {
-        None
-    } else {
-        Some(crate::model::DEFAULT_PROBE_BUDGET)
+    let mut root = ctx.tracer.span_with("adapt", || {
+        format!(
+            "objective={} qubits={} gates={}",
+            ctx.options.objective,
+            circuit.num_qubits(),
+            circuit.len()
+        )
+    });
+    let result = adapt_inner(circuit, hw, ctx);
+    root.set_note(match &result {
+        Ok(_) => "ok",
+        Err(AdaptError::Cancelled) => "cancelled",
+        Err(AdaptError::Infeasible) => "infeasible",
+        Err(AdaptError::TooLarge(_)) => "too_large",
+        Err(AdaptError::UnsupportedGate(_)) => "unsupported_gate",
+        Err(AdaptError::InvalidOptions(_)) => "invalid_options",
+    });
+    result
+}
+
+fn adapt_inner(
+    circuit: &Circuit,
+    hw: &HardwareModel,
+    ctx: &AdaptContext,
+) -> Result<Adaptation, AdaptError> {
+    let pre = {
+        let _span = ctx.tracer.span("preprocess");
+        preprocess(circuit, hw)?
     };
-    let solver = crate::model::solve_model_with_limits(
-        &pre,
-        hw,
-        &catalog,
-        options.objective,
-        options.strategy,
-        budget,
-        &options.limits,
-    )?;
-    let circuit = extract_circuit(&pre, &catalog, &solver.chosen);
+    let catalog = {
+        let mut span = ctx.tracer.span("rules");
+        let catalog = evaluate_substitutions(&pre, hw, &ctx.options.rules)?;
+        ctx.tracer
+            .counter("rules.catalog_size", catalog.len() as u64);
+        span.set_note(format!("catalog={}", catalog.len()));
+        catalog
+    };
+    let solver = crate::model::solve_model(&pre, hw, &catalog, ctx)?;
+    let circuit = {
+        let _span = ctx.tracer.span("extract");
+        extract_circuit(&pre, &catalog, &solver.chosen)
+    };
     let chosen = solver.chosen.iter().map(|&i| catalog[i].clone()).collect();
     Ok(Adaptation {
         circuit,
@@ -119,6 +288,19 @@ pub fn adapt(
         catalog_size: catalog.len(),
         solver,
     })
+}
+
+/// [`adapt`] taking bare [`AdaptOptions`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `adapt` with an `AdaptContext` (e.g. `&options.into()`)"
+)]
+pub fn adapt_with_options(
+    circuit: &Circuit,
+    hw: &HardwareModel,
+    options: &AdaptOptions,
+) -> Result<Adaptation, AdaptError> {
+    adapt(circuit, hw, &AdaptContext::new(options.clone()))
 }
 
 /// Assembles the global adapted circuit from the chosen substitutions.
@@ -168,7 +350,7 @@ mod tests {
             Objective::IdleTime,
             Objective::Combined,
         ] {
-            let r = adapt(&c, &hw, &AdaptOptions::with_objective(obj)).unwrap();
+            let r = adapt(&c, &hw, &AdaptContext::with_objective(obj)).unwrap();
             assert!(
                 approx_eq_up_to_phase(&r.circuit.unitary(), &c.unitary(), 1e-6),
                 "{obj} broke the unitary"
@@ -181,7 +363,7 @@ mod tests {
     fn fidelity_objective_beats_reference() {
         let hw = spin_qubit_model(GateTimes::D0);
         let c = swap_chain();
-        let r = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).unwrap();
+        let r = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Fidelity)).unwrap();
         let f_adapted = hw.circuit_fidelity(&r.circuit).unwrap();
         let f_reference = hw.circuit_fidelity(&r.reference).unwrap();
         assert!(
@@ -194,7 +376,7 @@ mod tests {
     fn idle_objective_not_worse_than_reference() {
         let hw = spin_qubit_model(GateTimes::D0);
         let c = swap_chain();
-        let r = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::IdleTime)).unwrap();
+        let r = adapt(&c, &hw, &AdaptContext::with_objective(Objective::IdleTime)).unwrap();
         let s_adapted = CircuitSchedule::asap(&r.circuit, &hw).unwrap();
         let s_reference = CircuitSchedule::asap(&r.reference, &hw).unwrap();
         assert!(
@@ -211,7 +393,7 @@ mod tests {
         // fast realizations and beat the reference duration.
         let hw = spin_qubit_model(GateTimes::D1);
         let c = swap_chain();
-        let r = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::IdleTime)).unwrap();
+        let r = adapt(&c, &hw, &AdaptContext::with_objective(Objective::IdleTime)).unwrap();
         let s_adapted = CircuitSchedule::asap(&r.circuit, &hw).unwrap();
         let s_reference = CircuitSchedule::asap(&r.reference, &hw).unwrap();
         assert!(s_adapted.total_duration <= s_reference.total_duration);
@@ -221,7 +403,7 @@ mod tests {
     fn chosen_substitutions_reported() {
         let hw = spin_qubit_model(GateTimes::D0);
         let c = swap_chain();
-        let r = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).unwrap();
+        let r = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Fidelity)).unwrap();
         assert!(r.catalog_size > 0);
         for s in &r.chosen {
             assert!(s.block < r.reference.len().max(100));
@@ -234,9 +416,11 @@ mod tests {
         use std::sync::Arc;
         let hw = spin_qubit_model(GateTimes::D0);
         let c = swap_chain();
-        let mut opts = AdaptOptions::with_objective(Objective::Fidelity);
-        opts.limits.cancel = Some(Arc::new(AtomicBool::new(true)));
-        assert_eq!(adapt(&c, &hw, &opts).unwrap_err(), AdaptError::Cancelled);
+        let ctx = AdaptOptions::builder()
+            .objective(Objective::Fidelity)
+            .cancel(Arc::new(AtomicBool::new(true)))
+            .build();
+        assert_eq!(adapt(&c, &hw, &ctx).unwrap_err(), AdaptError::Cancelled);
     }
 
     #[test]
@@ -246,9 +430,11 @@ mod tests {
         // never Infeasible, never a panic.
         let hw = spin_qubit_model(GateTimes::D0);
         let c = swap_chain();
-        let mut opts = AdaptOptions::with_objective(Objective::Combined);
-        opts.limits.total_conflicts = Some(1);
-        match adapt(&c, &hw, &opts) {
+        let ctx = AdaptOptions::builder()
+            .objective(Objective::Combined)
+            .limits(Some(1))
+            .build();
+        match adapt(&c, &hw, &ctx) {
             Ok(r) => {
                 assert!(hw.supports_circuit(&r.circuit));
             }
@@ -262,11 +448,13 @@ mod tests {
         use std::sync::Arc;
         let hw = spin_qubit_model(GateTimes::D0);
         let c = swap_chain();
-        let plain = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).unwrap();
-        let mut opts = AdaptOptions::with_objective(Objective::Fidelity);
-        opts.limits.total_conflicts = Some(u64::MAX);
-        opts.limits.cancel = Some(Arc::new(AtomicBool::new(false)));
-        let limited = adapt(&c, &hw, &opts).unwrap();
+        let plain = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Fidelity)).unwrap();
+        let ctx = AdaptOptions::builder()
+            .objective(Objective::Fidelity)
+            .limits(Some(u64::MAX))
+            .cancel(Arc::new(AtomicBool::new(false)))
+            .build();
+        let limited = adapt(&c, &hw, &ctx).unwrap();
         assert_eq!(plain.solver.objective_value, limited.solver.objective_value);
         assert_eq!(plain.circuit.len(), limited.circuit.len());
         // Statistics are populated (the warm-start hint enters as
@@ -281,7 +469,7 @@ mod tests {
         let mut c = Circuit::new(2);
         c.push(Gate::H, &[0]);
         c.push(Gate::Rz(1.0), &[1]);
-        let r = adapt(&c, &hw, &AdaptOptions::default()).unwrap();
+        let r = adapt(&c, &hw, &AdaptContext::default()).unwrap();
         assert!(approx_eq_up_to_phase(
             &r.circuit.unitary(),
             &c.unitary(),
@@ -303,7 +491,7 @@ mod tests {
         let r = adapt(
             &src,
             &hw,
-            &AdaptOptions::with_objective(Objective::Fidelity),
+            &AdaptContext::with_objective(Objective::Fidelity),
         )
         .unwrap();
         assert!(approx_eq_up_to_phase(
@@ -311,5 +499,62 @@ mod tests {
             &src.unitary(),
             1e-6
         ));
+    }
+
+    #[test]
+    fn invalid_rule_window_rejected() {
+        let err = AdaptOptions::builder()
+            .rules(RuleOptions {
+                max_match_len: 1,
+                ..RuleOptions::default()
+            })
+            .try_build();
+        assert!(matches!(err, Err(AdaptError::InvalidOptions(_))));
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let c = swap_chain();
+        let opts = AdaptOptions::with_objective(Objective::Fidelity);
+        let r = adapt_with_options(&c, &hw, &opts).unwrap();
+        assert!(hw.supports_circuit(&r.circuit));
+        let exact = AdaptOptions::exact_with_objective(Objective::Fidelity);
+        assert!(exact.exact);
+    }
+
+    #[test]
+    fn adapt_emits_phase_spans() {
+        use qca_trace::{report, Tracer};
+        let hw = spin_qubit_model(GateTimes::D0);
+        let c = swap_chain();
+        let (tracer, sink) = Tracer::to_memory();
+        let ctx = AdaptOptions::builder()
+            .objective(Objective::Combined)
+            .tracer(tracer)
+            .build();
+        adapt(&c, &hw, &ctx).unwrap();
+        let events = sink.take();
+        report::validate_forest(&events).unwrap();
+        let rpt = report::Report::from_events(&events);
+        for phase in [
+            "adapt",
+            "preprocess",
+            "rules",
+            "smt.encode",
+            "warm_start",
+            "omt.search",
+            "extract",
+        ] {
+            assert!(
+                rpt.phase_total_ns(phase).is_some(),
+                "missing phase span {phase:?}"
+            );
+        }
+        // The root span carries the outcome note.
+        assert_eq!(rpt.roots.len(), 1);
+        assert_eq!(rpt.roots[0].name, "adapt");
+        assert_eq!(rpt.roots[0].note.as_deref(), Some("ok"));
     }
 }

@@ -1,0 +1,274 @@
+//! The adaptation call context: options, limits, tracing, cancellation.
+//!
+//! [`AdaptContext`] bundles everything a caller threads through the solve
+//! pipeline — what to optimize ([`AdaptOptions`]), how hard to try
+//! ([`AdaptLimits`]), where to report progress ([`Tracer`]), and how to
+//! interrupt (a shared cancellation flag) — into a single value that
+//! [`adapt`](crate::adapt), `solve_model`, and the underlying SMT/SAT
+//! layers all accept. Before this type existed, each concern travelled on
+//! its own side channel (`AdaptOptions::limits`, `AdaptLimits::cancel`,
+//! solver setter methods); see DESIGN.md for the migration sketch.
+
+use crate::adapt::AdaptOptions;
+use crate::error::AdaptError;
+use crate::model::{AdaptLimits, Objective};
+use crate::rules::RuleOptions;
+use qca_smt::omt::Strategy;
+use qca_trace::Tracer;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Everything [`adapt`](crate::adapt) needs beyond the circuit and the
+/// hardware model.
+///
+/// Construct one with [`AdaptContext::default`] (all defaults, tracing
+/// off), [`AdaptContext::with_objective`], `From<AdaptOptions>` /
+/// `From<Objective>`, or the [builder](AdaptContext::builder) when limits,
+/// tracing, or cancellation are involved.
+///
+/// # Examples
+///
+/// ```
+/// use qca_adapt::{AdaptContext, AdaptOptions, Objective};
+///
+/// // Objective-only: three equivalent spellings.
+/// let a = AdaptContext::with_objective(Objective::IdleTime);
+/// let b = AdaptContext::from(Objective::IdleTime);
+/// let c = AdaptOptions::builder().objective(Objective::IdleTime).context();
+/// assert_eq!(a.options.objective, b.options.objective);
+/// assert_eq!(a.options.objective, c.options.objective);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AdaptContext {
+    /// What to solve: objective, rule set, search strategy, exactness.
+    pub options: AdaptOptions,
+    /// How much work the solve may spend (total-conflict cap).
+    pub limits: AdaptLimits,
+    /// Where span/counter/gauge events go; `Tracer::disabled()` (the
+    /// default) makes every instrumentation site a single branch.
+    pub tracer: Tracer,
+    /// Cooperative cancellation flag, polled by the SAT solver at every
+    /// decision and conflict. Tripping it degrades the search to the best
+    /// incumbent, or [`AdaptError::Cancelled`] if none exists yet.
+    pub cancel: Option<Arc<AtomicBool>>,
+}
+
+impl AdaptContext {
+    /// A context with the given options and defaults elsewhere.
+    pub fn new(options: AdaptOptions) -> Self {
+        AdaptContext {
+            options,
+            ..AdaptContext::default()
+        }
+    }
+
+    /// A context with a specific objective and defaults elsewhere.
+    pub fn with_objective(objective: Objective) -> Self {
+        AdaptContext::new(AdaptOptions {
+            objective,
+            ..AdaptOptions::default()
+        })
+    }
+
+    /// Starts a validating builder.
+    pub fn builder() -> AdaptContextBuilder {
+        AdaptContextBuilder::default()
+    }
+
+    /// `true` when the cancellation flag (if any) is currently set.
+    pub fn cancelled(&self) -> bool {
+        self.cancel
+            .as_ref()
+            .is_some_and(|c| c.load(Ordering::Relaxed))
+    }
+
+    /// The SAT-level run controls this context implies: the total-conflict
+    /// cap, the cancellation flag, and the tracer, ready to install on a
+    /// solver via `set_control`.
+    pub fn solve_control(&self) -> qca_sat::SolveControl {
+        qca_sat::SolveControl {
+            conflict_cap: self.limits.total_conflicts,
+            stop: self.cancel.clone(),
+            tracer: self.tracer.clone(),
+        }
+    }
+}
+
+impl From<AdaptOptions> for AdaptContext {
+    fn from(options: AdaptOptions) -> Self {
+        AdaptContext::new(options)
+    }
+}
+
+impl From<Objective> for AdaptContext {
+    fn from(objective: Objective) -> Self {
+        AdaptContext::with_objective(objective)
+    }
+}
+
+/// Validating builder for [`AdaptContext`].
+///
+/// Usually reached by chaining from [`AdaptOptions::builder`]:
+///
+/// ```
+/// use qca_adapt::{AdaptOptions, Objective};
+///
+/// let ctx = AdaptOptions::builder()
+///     .objective(Objective::Combined)
+///     .exact()
+///     .limits(Some(500_000))
+///     .build();
+/// assert!(ctx.options.exact);
+/// assert_eq!(ctx.limits.total_conflicts, Some(500_000));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AdaptContextBuilder {
+    pub(crate) options: crate::adapt::AdaptOptionsBuilder,
+    pub(crate) limits: AdaptLimits,
+    pub(crate) tracer: Tracer,
+    pub(crate) cancel: Option<Arc<AtomicBool>>,
+}
+
+impl AdaptContextBuilder {
+    /// Sets the optimization objective.
+    pub fn objective(mut self, objective: Objective) -> Self {
+        self.options = self.options.objective(objective);
+        self
+    }
+
+    /// Sets the substitution-rule options.
+    pub fn rules(mut self, rules: RuleOptions) -> Self {
+        self.options = self.options.rules(rules);
+        self
+    }
+
+    /// Sets the OMT search strategy.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.options = self.options.strategy(strategy);
+        self
+    }
+
+    /// Demands a proven-optimal search (no probe budgets or gap).
+    pub fn exact(mut self) -> Self {
+        self.options = self.options.exact();
+        self
+    }
+
+    /// Caps the total SAT conflicts across the whole OMT search; `None`
+    /// for unlimited.
+    pub fn limits(mut self, total_conflicts: Option<u64>) -> Self {
+        self.limits.total_conflicts = total_conflicts;
+        self
+    }
+
+    /// Installs a tracer for span/counter/gauge events.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.tracer = tracer;
+        self
+    }
+
+    /// Installs a cooperative cancellation flag.
+    pub fn cancel(mut self, cancel: Arc<AtomicBool>) -> Self {
+        self.cancel = Some(cancel);
+        self
+    }
+
+    /// Validates and builds, returning [`AdaptError::InvalidOptions`] on a
+    /// nonsensical configuration (zero pattern window, zero conflict
+    /// budget).
+    pub fn try_build(self) -> Result<AdaptContext, AdaptError> {
+        if self.limits.total_conflicts == Some(0) {
+            return Err(AdaptError::InvalidOptions(
+                "total_conflicts = Some(0) can never make progress; use None for unlimited"
+                    .to_string(),
+            ));
+        }
+        Ok(AdaptContext {
+            options: self.options.try_build()?,
+            limits: self.limits,
+            tracer: self.tracer,
+            cancel: self.cancel,
+        })
+    }
+
+    /// Validates and builds, panicking on an invalid configuration.
+    ///
+    /// # Panics
+    ///
+    /// When [`try_build`](Self::try_build) would return an error.
+    pub fn build(self) -> AdaptContext {
+        match self.try_build() {
+            Ok(ctx) => ctx,
+            Err(e) => panic!("{e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_context_matches_default_options() {
+        let ctx = AdaptContext::default();
+        assert_eq!(ctx.options.objective, Objective::Fidelity);
+        assert!(!ctx.options.exact);
+        assert!(ctx.limits.total_conflicts.is_none());
+        assert!(!ctx.tracer.enabled());
+        assert!(ctx.cancel.is_none());
+        assert!(!ctx.cancelled());
+    }
+
+    #[test]
+    fn builder_round_trips_every_field() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let (tracer, _sink) = Tracer::to_memory();
+        let ctx = AdaptContext::builder()
+            .objective(Objective::Combined)
+            .strategy(Strategy::LinearSearch)
+            .exact()
+            .limits(Some(1234))
+            .tracer(tracer)
+            .cancel(flag.clone())
+            .build();
+        assert_eq!(ctx.options.objective, Objective::Combined);
+        assert_eq!(ctx.options.strategy, Strategy::LinearSearch);
+        assert!(ctx.options.exact);
+        assert_eq!(ctx.limits.total_conflicts, Some(1234));
+        assert!(ctx.tracer.enabled());
+        assert!(!ctx.cancelled());
+        flag.store(true, Ordering::Relaxed);
+        assert!(ctx.cancelled());
+    }
+
+    #[test]
+    fn zero_conflict_budget_rejected() {
+        let err = AdaptContext::builder().limits(Some(0)).try_build();
+        assert!(matches!(err, Err(AdaptError::InvalidOptions(_))));
+    }
+
+    #[test]
+    fn solve_control_mirrors_context() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let ctx = AdaptContext::builder()
+            .limits(Some(77))
+            .cancel(flag.clone())
+            .build();
+        let control = ctx.solve_control();
+        assert_eq!(control.conflict_cap, Some(77));
+        assert!(Arc::ptr_eq(control.stop.as_ref().unwrap(), &flag));
+        assert!(!control.tracer.enabled());
+    }
+
+    #[test]
+    fn conversions_set_objective() {
+        let from_obj = AdaptContext::from(Objective::IdleTime);
+        assert_eq!(from_obj.options.objective, Objective::IdleTime);
+        let opts = AdaptOptions {
+            objective: Objective::Combined,
+            ..AdaptOptions::default()
+        };
+        let from_opts = AdaptContext::from(opts);
+        assert_eq!(from_opts.options.objective, Objective::Combined);
+    }
+}

@@ -19,6 +19,9 @@ pub enum AdaptError {
     /// found. (Interruption *after* an incumbent exists degrades to a
     /// suboptimal result instead of this error.)
     Cancelled,
+    /// A builder was asked to produce options/context that fail validation
+    /// (e.g. a zero pattern-window length or a zero conflict budget).
+    InvalidOptions(String),
 }
 
 impl fmt::Display for AdaptError {
@@ -28,6 +31,7 @@ impl fmt::Display for AdaptError {
             AdaptError::Infeasible => write!(f, "adaptation model unsatisfiable"),
             AdaptError::TooLarge(m) => write!(f, "circuit too large: {m}"),
             AdaptError::Cancelled => write!(f, "adaptation cancelled before a result was found"),
+            AdaptError::InvalidOptions(m) => write!(f, "invalid adaptation options: {m}"),
         }
     }
 }

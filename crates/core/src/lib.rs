@@ -15,12 +15,14 @@
 //! 4. [`extract_circuit`] — apply the selected
 //!    substitutions to obtain the adapted circuit.
 //!
-//! The one-call entry point is [`adapt`].
+//! The one-call entry point is [`adapt`], which takes an [`AdaptContext`]
+//! bundling the options with run-time concerns (conflict budgets,
+//! cancellation, span tracing — see the [`context`] module).
 //!
 //! # Examples
 //!
 //! ```
-//! use qca_adapt::{adapt, AdaptOptions, Objective};
+//! use qca_adapt::{adapt, AdaptContext, Objective};
 //! use qca_circuit::{Circuit, Gate};
 //! use qca_hw::{spin_qubit_model, GateTimes};
 //!
@@ -31,10 +33,34 @@
 //! c.push(Gate::Cx, &[1, 0]);
 //! c.push(Gate::Cx, &[0, 1]);
 //! let hw = spin_qubit_model(GateTimes::D0);
-//! let result = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity))?;
+//! let result = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Fidelity))?;
 //! let f_new = hw.circuit_fidelity(&result.circuit).unwrap();
 //! let f_ref = hw.circuit_fidelity(&result.reference).unwrap();
 //! assert!(f_new >= f_ref);
+//! # Ok::<(), qca_adapt::AdaptError>(())
+//! ```
+//!
+//! To watch where the time goes, install a tracer:
+//!
+//! ```
+//! use qca_adapt::{adapt, AdaptOptions, Objective};
+//! use qca_circuit::{Circuit, Gate};
+//! use qca_hw::{spin_qubit_model, GateTimes};
+//! use qca_trace::{report::Report, Tracer};
+//!
+//! let mut c = Circuit::new(2);
+//! c.push(Gate::Cx, &[0, 1]);
+//! c.push(Gate::Cx, &[1, 0]);
+//! c.push(Gate::Cx, &[0, 1]);
+//! let hw = spin_qubit_model(GateTimes::D0);
+//! let (tracer, sink) = Tracer::to_memory();
+//! let ctx = AdaptOptions::builder()
+//!     .objective(Objective::Combined)
+//!     .tracer(tracer)
+//!     .build();
+//! adapt(&c, &hw, &ctx)?;
+//! let report = Report::from_events(&sink.take());
+//! assert!(report.phase_total_ns("omt.search").is_some());
 //! # Ok::<(), qca_adapt::AdaptError>(())
 //! ```
 
@@ -42,12 +68,16 @@
 #![warn(missing_debug_implementations)]
 
 mod adapt;
+pub mod context;
 mod error;
 pub mod model;
 pub mod preprocess;
 pub mod rules;
 
-pub use adapt::{adapt, extract_circuit, AdaptOptions, Adaptation};
+#[allow(deprecated)]
+pub use adapt::adapt_with_options;
+pub use adapt::{adapt, extract_circuit, AdaptOptions, AdaptOptionsBuilder, Adaptation};
+pub use context::{AdaptContext, AdaptContextBuilder};
 pub use error::AdaptError;
 pub use model::{AdaptLimits, Objective, SmtAdaptation};
 pub use rules::{RuleOptions, Substitution, SubstitutionKind};
@@ -86,7 +116,7 @@ mod proptests {
         fn adaptation_sound_on_random_ibm_circuits(c in arb_ibm_circuit(3)) {
             let hw = spin_qubit_model(GateTimes::D0);
             for obj in [Objective::Fidelity, Objective::Combined] {
-                let r = adapt(&c, &hw, &AdaptOptions::with_objective(obj)).unwrap();
+                let r = adapt(&c, &hw, &AdaptContext::with_objective(obj)).unwrap();
                 prop_assert!(hw.supports_circuit(&r.circuit));
                 prop_assert!(
                     approx_eq_up_to_phase(&r.circuit.unitary(), &c.unitary(), 1e-6),
@@ -100,7 +130,7 @@ mod proptests {
         #[test]
         fn fidelity_never_below_reference(c in arb_ibm_circuit(3)) {
             let hw = spin_qubit_model(GateTimes::D0);
-            let r = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).unwrap();
+            let r = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Fidelity)).unwrap();
             let fa = hw.circuit_fidelity(&r.circuit).unwrap();
             let fr = hw.circuit_fidelity(&r.reference).unwrap();
             prop_assert!(fa >= fr - 1e-9, "adapted {fa} < reference {fr}");

@@ -11,6 +11,7 @@
 //! log-fidelities in units of `1e-6` (the paper's log-domain trick keeps
 //! everything linear).
 
+use crate::context::AdaptContext;
 use crate::error::AdaptError;
 use crate::preprocess::Preprocessed;
 use crate::rules::Substitution;
@@ -73,8 +74,9 @@ pub struct SmtAdaptation {
     pub solver_stats: qca_sat::SolverStats,
 }
 
-/// Resource limits and cooperative cancellation for a model solve,
-/// driven by the batch engine's per-job budgets.
+/// Resource limits for a model solve, driven by the batch engine's per-job
+/// budgets. Cooperative cancellation lives on
+/// [`AdaptContext::cancel`](crate::AdaptContext) alongside these limits.
 #[derive(Debug, Clone, Default)]
 pub struct AdaptLimits {
     /// Cap on the *total* SAT conflicts across the whole OMT search
@@ -82,18 +84,6 @@ pub struct AdaptLimits {
     /// degrades to the best incumbent, or [`AdaptError::Cancelled`] if
     /// none exists yet.
     pub total_conflicts: Option<u64>,
-    /// Cooperative cancellation flag, polled by the SAT solver at every
-    /// decision and conflict. Same degradation semantics as the cap.
-    pub cancel: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>,
-}
-
-impl AdaptLimits {
-    /// `true` when the cancellation flag (if any) is currently set.
-    pub fn cancelled(&self) -> bool {
-        self.cancel
-            .as_ref()
-            .is_some_and(|c| c.load(std::sync::atomic::Ordering::Relaxed))
-    }
 }
 
 /// Integer cost data shared between the SMT encoding and the greedy warm
@@ -291,32 +281,34 @@ fn greedy_selection(
 }
 
 /// Builds and solves the SMT model, returning the optimal substitution
-/// selection.
+/// selection. The context supplies the objective, the OMT strategy, the
+/// probe budget (unbudgeted when `ctx.options.exact`), engine-driven limits
+/// and cancellation, and the tracer.
 ///
 /// # Errors
 ///
 /// Returns [`AdaptError::Infeasible`] if the model is unsatisfiable (cannot
 /// happen for a well-formed catalog: the empty selection reproduces the
-/// reference adaptation).
+/// reference adaptation), or [`AdaptError::Cancelled`] when a limit or the
+/// cancellation flag trips before any incumbent exists. A limit tripping
+/// *after* the warm start produced an incumbent degrades to the best value
+/// found (`SmtAdaptation::optimal == false`) instead.
 pub fn solve_model(
     pre: &Preprocessed,
     hw: &HardwareModel,
     catalog: &[Substitution],
-    objective: Objective,
-    strategy: omt::Strategy,
+    ctx: &AdaptContext,
 ) -> Result<SmtAdaptation, AdaptError> {
-    solve_model_with_budget(
-        pre,
-        hw,
-        catalog,
-        objective,
-        strategy,
-        Some(DEFAULT_PROBE_BUDGET),
-    )
+    let budget = if ctx.options.exact {
+        None
+    } else {
+        Some(DEFAULT_PROBE_BUDGET)
+    };
+    solve_model_with_budget(pre, hw, catalog, ctx, budget)
 }
 
 /// [`solve_model`] with an explicit per-probe conflict budget (`None` for an
-/// exact, unbudgeted search).
+/// exact, unbudgeted search), overriding what `ctx.options.exact` implies.
 ///
 /// # Errors
 ///
@@ -325,43 +317,16 @@ pub fn solve_model_with_budget(
     pre: &Preprocessed,
     hw: &HardwareModel,
     catalog: &[Substitution],
-    objective: Objective,
-    strategy: omt::Strategy,
+    ctx: &AdaptContext,
     probe_budget: Option<u64>,
 ) -> Result<SmtAdaptation, AdaptError> {
-    solve_model_with_limits(
-        pre,
-        hw,
-        catalog,
-        objective,
-        strategy,
-        probe_budget,
-        &AdaptLimits::default(),
-    )
-}
-
-/// [`solve_model_with_budget`] under additional engine-driven limits: a
-/// total-conflict cap and a cooperative cancellation flag (see
-/// [`AdaptLimits`]). When a limit trips after the warm start produced an
-/// incumbent, the search degrades to the best value found
-/// (`SmtAdaptation::optimal == false`); when it trips before any model
-/// exists, the result is [`AdaptError::Cancelled`].
-///
-/// # Errors
-///
-/// As [`solve_model`], plus [`AdaptError::Cancelled`].
-pub fn solve_model_with_limits(
-    pre: &Preprocessed,
-    hw: &HardwareModel,
-    catalog: &[Substitution],
-    objective: Objective,
-    strategy: omt::Strategy,
-    probe_budget: Option<u64>,
-    limits: &AdaptLimits,
-) -> Result<SmtAdaptation, AdaptError> {
+    let objective = ctx.options.objective;
+    let strategy = ctx.options.strategy;
     let mut smt = SmtSolver::new();
-    smt.set_conflict_cap(limits.total_conflicts);
-    smt.set_stop_flag(limits.cancel.clone());
+    smt.set_control(ctx.solve_control());
+    let encode_span = ctx.tracer.span_with("smt.encode", || {
+        format!("objective={objective} catalog={}", catalog.len())
+    });
     let choice: Vec<_> = catalog.iter().map(|_| smt.new_bool()).collect();
 
     // Eq. 1: conflicting substitutions are mutually exclusive.
@@ -495,9 +460,13 @@ pub fn solve_model_with_limits(
         }
     };
 
+    drop(encode_span);
+    ctx.tracer.gauge("smt.sat_vars", smt.num_sat_vars() as i64);
+
     // Greedy warm start: seed the solver's phases with a good selection and
     // assert its objective value as a sound lower bound, so the OMT search
     // only explores the region above it.
+    let mut warm_span = ctx.tracer.span("warm_start");
     let (warm, warm_value) = greedy_selection(pre, catalog, &cost, objective);
     let mut hint: Vec<qca_sat::Lit> = Vec::with_capacity(choice.len());
     for (i, &sel) in warm.iter().enumerate() {
@@ -506,6 +475,8 @@ pub fn solve_model_with_limits(
     }
     let warm_bound = smt.int_const(warm_value);
     smt.assert_ge(&objective_expr, &warm_bound);
+    warm_span.set_note(format!("value={warm_value}"));
+    drop(warm_span);
 
     // Size-adaptive search effort: bigger bit-blasted models get smaller
     // probe budgets and a coarser gap — the greedy warm start already pins
@@ -528,8 +499,9 @@ pub fn solve_model_with_limits(
             // Under an interrupt that is a cancellation, not a proof of
             // infeasibility (the model with its warm start is feasible by
             // construction).
-            let interrupted = limits.cancelled()
-                || limits
+            let interrupted = ctx.cancelled()
+                || ctx
+                    .limits
                     .total_conflicts
                     .is_some_and(|cap| smt.stats().conflicts >= cap);
             if interrupted {
@@ -581,8 +553,7 @@ mod tests {
             &pre,
             &hw,
             &subs,
-            Objective::Fidelity,
-            omt::Strategy::BinarySearch,
+            &AdaptContext::with_objective(Objective::Fidelity),
         )
         .unwrap();
         assert!(!r.chosen.is_empty());
@@ -602,8 +573,7 @@ mod tests {
             &pre,
             &hw,
             &subs,
-            Objective::Fidelity,
-            omt::Strategy::BinarySearch,
+            &AdaptContext::with_objective(Objective::Fidelity),
         )
         .unwrap();
         let expect = pre.reference_log_fidelity()
@@ -628,7 +598,7 @@ mod tests {
             Objective::IdleTime,
             Objective::Combined,
         ] {
-            let r = solve_model(&pre, &hw, &subs, obj, omt::Strategy::BinarySearch).unwrap();
+            let r = solve_model(&pre, &hw, &subs, &AdaptContext::with_objective(obj)).unwrap();
             for (i, &a) in r.chosen.iter().enumerate() {
                 for &b in &r.chosen[i + 1..] {
                     assert!(
@@ -655,8 +625,7 @@ mod tests {
             &pre,
             &hw,
             &subs,
-            Objective::IdleTime,
-            omt::Strategy::BinarySearch,
+            &AdaptContext::with_objective(Objective::IdleTime),
         )
         .unwrap();
         let kinds: Vec<_> = r.chosen.iter().map(|&i| subs[i].kind).collect();
@@ -677,8 +646,7 @@ mod tests {
             &pre,
             &hw,
             &[],
-            Objective::Combined,
-            omt::Strategy::BinarySearch,
+            &AdaptContext::with_objective(Objective::Combined),
         )
         .unwrap();
         assert!(r.chosen.is_empty());

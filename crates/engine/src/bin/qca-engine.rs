@@ -13,17 +13,23 @@
 //!   --repeat N           submit the batch N times (shows cache hits)
 //!   --out-dir DIR        write adapted circuits as QASM into DIR
 //!   --metrics-out FILE   write the metrics JSON to FILE (default: stdout)
+//!   --trace FILE         stream the span/event trace as JSONL into FILE
+//!   --trace-report       print a per-phase time breakdown and span tree
 //! ```
 //!
 //! Prints one line per job (`file status cache objective wall`) and the
-//! engine metrics as JSON.
+//! engine metrics as JSON. With `--trace-report` alone the trace is kept in
+//! memory; combined with `--trace FILE` the report is rebuilt by re-parsing
+//! the JSONL file, so the written trace is validated in the same run.
 
 use qca_adapt::Objective;
 use qca_circuit::qasm;
 use qca_engine::{AdaptJob, Engine, EngineConfig};
 use qca_hw::{spin_qubit_model, GateTimes};
+use qca_trace::{jsonl, report, JsonlSink, MemorySink, Tracer};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 use std::time::Duration;
 
 struct Args {
@@ -37,12 +43,15 @@ struct Args {
     repeat: usize,
     out_dir: Option<PathBuf>,
     metrics_out: Option<PathBuf>,
+    trace: Option<PathBuf>,
+    trace_report: bool,
 }
 
 fn usage() -> &'static str {
     "usage: qca-engine [--workers N] [--objective fidelity|idle|combined] \
      [--times d0|d1] [--budget N] [--timeout-ms N] [--cache-capacity N] \
-     [--repeat N] [--out-dir DIR] [--metrics-out FILE] <QASM_DIR>"
+     [--repeat N] [--out-dir DIR] [--metrics-out FILE] [--trace FILE] \
+     [--trace-report] <QASM_DIR>"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -57,6 +66,8 @@ fn parse_args() -> Result<Args, String> {
         repeat: 1,
         out_dir: None,
         metrics_out: None,
+        trace: None,
+        trace_report: false,
     };
     let mut dir = None;
     let mut it = std::env::args().skip(1);
@@ -109,6 +120,8 @@ fn parse_args() -> Result<Args, String> {
             }
             "--out-dir" => args.out_dir = Some(PathBuf::from(value("--out-dir")?)),
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
+            "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
+            "--trace-report" => args.trace_report = true,
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => return Err(format!("unknown option '{other}'")),
             other => {
@@ -154,12 +167,35 @@ fn run() -> Result<(), String> {
     let args = parse_args()?;
     let named_jobs = load_jobs(&args)?;
     let hw = spin_qubit_model(args.times);
-    let engine = Engine::new(EngineConfig {
-        workers: args.workers,
-        cache_capacity: args.cache_capacity,
-        job_conflict_budget: args.budget,
-        job_timeout: args.timeout_ms.map(Duration::from_millis),
-    });
+
+    // Trace destination: JSONL file when requested, in-memory only when the
+    // report alone is wanted, disabled otherwise.
+    let mut memory: Option<Arc<MemorySink>> = None;
+    let tracer = match (&args.trace, args.trace_report) {
+        (Some(path), _) => {
+            Tracer::new(Arc::new(JsonlSink::create(path).map_err(|e| {
+                format!("cannot create trace file {}: {e}", path.display())
+            })?))
+        }
+        (None, true) => {
+            let (tracer, sink) = Tracer::to_memory();
+            memory = Some(sink);
+            tracer
+        }
+        (None, false) => Tracer::disabled(),
+    };
+
+    let mut config = EngineConfig::builder()
+        .workers(args.workers)
+        .cache_capacity(args.cache_capacity)
+        .tracer(tracer);
+    if let Some(budget) = args.budget {
+        config = config.job_conflict_budget(budget);
+    }
+    if let Some(ms) = args.timeout_ms {
+        config = config.job_timeout(Duration::from_millis(ms));
+    }
+    let engine = Engine::new(config.try_build()?);
     let jobs: Vec<AdaptJob> = named_jobs.iter().map(|(_, j)| j.clone()).collect();
 
     println!(
@@ -202,6 +238,24 @@ fn run() -> Result<(), String> {
         Some(path) => std::fs::write(path, json + "\n")
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?,
         None => println!("{json}"),
+    }
+
+    if args.trace_report {
+        // Prefer re-parsing the JSONL file over the in-memory events: that
+        // validates the written trace end to end in the same run.
+        let events = match (&args.trace, &memory) {
+            (Some(path), _) => {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("cannot read trace file {}: {e}", path.display()))?;
+                jsonl::parse_jsonl(&text).map_err(|e| format!("trace file corrupt: {e}"))?
+            }
+            (None, Some(sink)) => sink.take(),
+            (None, None) => unreachable!("--trace-report without a sink"),
+        };
+        if let Err(e) = report::validate_forest(&events) {
+            eprintln!("qca-engine: warning: trace is not a well-formed forest: {e}");
+        }
+        println!("{}", report::Report::from_events(&events).render());
     }
     Ok(())
 }

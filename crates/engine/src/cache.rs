@@ -1,6 +1,6 @@
 //! Sharded LRU cache of adaptation results.
 //!
-//! Keys are 64-bit canonical hashes (see [`crate::cache_key`]) combining the
+//! Keys are 64-bit canonical hashes (see [`AdaptCache::key`]) combining the
 //! circuit's structural hash, the hardware fingerprint, and the solve
 //! options, so structurally identical jobs hit the same entry regardless of
 //! textual gate order or which worker solved them first.
@@ -11,7 +11,11 @@
 //! is a handful of word compares).
 
 use parking_lot::Mutex;
-use qca_adapt::Adaptation;
+use qca_adapt::{AdaptLimits, AdaptOptions, Adaptation, Objective};
+use qca_circuit::hash::{structural_hash, Fnv64};
+use qca_circuit::Circuit;
+use qca_hw::HardwareModel;
+use qca_smt::omt::Strategy;
 use std::sync::Arc;
 
 /// Number of independent shards (power of two; key's low bits select one).
@@ -43,6 +47,57 @@ impl std::fmt::Debug for AdaptCache {
 }
 
 impl AdaptCache {
+    /// Canonical cache key of an adaptation request.
+    ///
+    /// Combines everything that determines the solve's result:
+    ///
+    /// * the circuit's [`structural_hash`] (invariant under commuting
+    ///   same-layer reorderings and symmetric-gate operand swaps),
+    /// * the hardware model's cost
+    ///   [`fingerprint`](HardwareModel::fingerprint) (invariant under
+    ///   renaming),
+    /// * the objective, OMT strategy, rule selection, exactness, and the
+    ///   effective total-conflict budget (a budget-degraded incumbent must
+    ///   not be served to a job that would search further).
+    ///
+    /// Cancellation flags and tracers are deliberately excluded: they affect
+    /// *whether* a result is produced, never *which* result.
+    pub fn key(
+        circuit: &Circuit,
+        hw: &HardwareModel,
+        options: &AdaptOptions,
+        limits: &AdaptLimits,
+    ) -> u64 {
+        let mut h = Fnv64::new();
+        h.write_u64(structural_hash(circuit));
+        h.write_u64(hw.fingerprint());
+        h.write_u64(match options.objective {
+            Objective::Fidelity => 1,
+            Objective::IdleTime => 2,
+            Objective::Combined => 3,
+        });
+        h.write_u64(match options.strategy {
+            Strategy::BinarySearch => 1,
+            Strategy::LinearSearch => 2,
+        });
+        h.write_u64(options.exact as u64);
+        let r = &options.rules;
+        h.write_u64(r.kak_cz as u64);
+        h.write_u64(r.kak_cz_diabatic as u64);
+        h.write_u64(r.conditional_rotation as u64);
+        h.write_u64(r.swaps as u64);
+        h.write_usize(r.max_match_len);
+        h.write_u64(r.optimized_kak as u64);
+        match limits.total_conflicts {
+            None => h.write_u64(0),
+            Some(budget) => {
+                h.write_u64(1);
+                h.write_u64(budget);
+            }
+        }
+        h.finish()
+    }
+
     /// A cache holding at most `capacity` adaptations (rounded up to a
     /// multiple of the shard count; a zero capacity disables caching).
     pub fn new(capacity: usize) -> AdaptCache {
@@ -108,15 +163,93 @@ impl AdaptCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use qca_adapt::{adapt, AdaptOptions};
-    use qca_circuit::{Circuit, Gate};
+    use qca_adapt::{adapt, AdaptContext};
+    use qca_circuit::Gate;
     use qca_hw::{spin_qubit_model, GateTimes};
 
     fn sample_adaptation() -> Arc<Adaptation> {
         let mut c = Circuit::new(2);
         c.push(Gate::Cx, &[0, 1]);
         let hw = spin_qubit_model(GateTimes::D0);
-        Arc::new(adapt(&c, &hw, &AdaptOptions::default()).unwrap())
+        Arc::new(adapt(&c, &hw, &AdaptContext::default()).unwrap())
+    }
+
+    fn sample() -> (Circuit, HardwareModel) {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cz, &[1, 2]);
+        (c, spin_qubit_model(GateTimes::D0))
+    }
+
+    #[test]
+    fn key_is_stable_across_calls() {
+        let (c, hw) = sample();
+        let o = AdaptOptions::default();
+        let l = AdaptLimits::default();
+        assert_eq!(
+            AdaptCache::key(&c, &hw, &o, &l),
+            AdaptCache::key(&c, &hw, &o, &l)
+        );
+    }
+
+    #[test]
+    fn key_depends_on_objective_and_hardware() {
+        let (c, hw) = sample();
+        let l = AdaptLimits::default();
+        let base = AdaptCache::key(&c, &hw, &AdaptOptions::default(), &l);
+        let idle_opts = AdaptOptions {
+            objective: Objective::IdleTime,
+            ..AdaptOptions::default()
+        };
+        assert_ne!(base, AdaptCache::key(&c, &hw, &idle_opts, &l));
+        let hw1 = spin_qubit_model(GateTimes::D1);
+        assert_ne!(
+            base,
+            AdaptCache::key(&c, &hw1, &AdaptOptions::default(), &l)
+        );
+    }
+
+    #[test]
+    fn key_depends_on_budget_presence_and_value() {
+        let (c, hw) = sample();
+        let o = AdaptOptions::default();
+        let unlimited = AdaptCache::key(&c, &hw, &o, &AdaptLimits::default());
+        let small = AdaptCache::key(
+            &c,
+            &hw,
+            &o,
+            &AdaptLimits {
+                total_conflicts: Some(100),
+            },
+        );
+        let large = AdaptCache::key(
+            &c,
+            &hw,
+            &o,
+            &AdaptLimits {
+                total_conflicts: Some(200),
+            },
+        );
+        assert_ne!(unlimited, small);
+        assert_ne!(small, large);
+    }
+
+    #[test]
+    fn structurally_equal_circuits_share_a_key() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let mut a = Circuit::new(3);
+        a.push(Gate::H, &[0]);
+        a.push(Gate::Cz, &[1, 2]);
+        let mut b = Circuit::new(3);
+        b.push(Gate::Cz, &[2, 1]);
+        b.push(Gate::H, &[0]);
+        let o = AdaptOptions::default();
+        let l = AdaptLimits::default();
+        assert_eq!(
+            AdaptCache::key(&a, &hw, &o, &l),
+            AdaptCache::key(&b, &hw, &o, &l)
+        );
     }
 
     #[test]

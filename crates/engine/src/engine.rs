@@ -1,25 +1,32 @@
 //! The batch-adaptation engine: worker pool, degradation ladder, watchdog.
 
 use crate::cache::AdaptCache;
-use crate::cache_key;
 use crate::metrics::MetricsRegistry;
 use crossbeam::channel;
 use parking_lot::Mutex;
-use qca_adapt::{adapt, AdaptError, AdaptOptions, Objective};
+use qca_adapt::{adapt, AdaptContext, AdaptError, AdaptLimits, AdaptOptions, Objective};
 use qca_baselines::{direct_translation, template_optimization, TemplateObjective};
 use qca_circuit::Circuit;
 use qca_hw::HardwareModel;
+use qca_trace::Tracer;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// One adaptation request: a circuit plus its solve options.
+/// One adaptation request: a circuit plus its solve options and per-job
+/// run controls.
 #[derive(Debug, Clone, Default)]
 pub struct AdaptJob {
     /// The circuit to adapt.
     pub circuit: Circuit,
-    /// Objective, rules, strategy, and (optional) caller-owned limits.
+    /// Objective, rules, strategy, exactness.
     pub options: AdaptOptions,
+    /// Caller-owned conflict budget; jobs without one inherit
+    /// [`EngineConfig::job_conflict_budget`].
+    pub limits: AdaptLimits,
+    /// Caller-owned cancellation flag; jobs without one may get a
+    /// watchdog-driven flag when [`EngineConfig::job_timeout`] is set.
+    pub cancel: Option<Arc<AtomicBool>>,
 }
 
 impl AdaptJob {
@@ -27,7 +34,7 @@ impl AdaptJob {
     pub fn new(circuit: Circuit) -> AdaptJob {
         AdaptJob {
             circuit,
-            options: AdaptOptions::default(),
+            ..AdaptJob::default()
         }
     }
 
@@ -35,7 +42,11 @@ impl AdaptJob {
     pub fn with_objective(circuit: Circuit, objective: Objective) -> AdaptJob {
         AdaptJob {
             circuit,
-            options: AdaptOptions::with_objective(objective),
+            options: AdaptOptions {
+                objective,
+                ..AdaptOptions::default()
+            },
+            ..AdaptJob::default()
         }
     }
 }
@@ -106,6 +117,10 @@ pub struct EngineConfig {
     /// *nondeterministic*: results depend on machine speed. Jobs that carry
     /// their own cancellation flag are left alone.
     pub job_timeout: Option<Duration>,
+    /// Tracer for engine events. The engine tees this with its metrics
+    /// registry, so `engine.*` counters feed both; the default disabled
+    /// tracer still populates metrics.
+    pub tracer: Tracer,
 }
 
 impl Default for EngineConfig {
@@ -115,6 +130,107 @@ impl Default for EngineConfig {
             cache_capacity: 256,
             job_conflict_budget: None,
             job_timeout: None,
+            tracer: Tracer::disabled(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Hard ceiling on configured worker threads: beyond this the pool is
+    /// certainly a mistake (each worker runs a full solver).
+    pub const MAX_WORKERS: usize = 1024;
+
+    /// Starts a validating builder.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::default()
+    }
+}
+
+/// Validating builder for [`EngineConfig`].
+///
+/// # Examples
+///
+/// ```
+/// use qca_engine::EngineConfig;
+/// use std::time::Duration;
+///
+/// let config = EngineConfig::builder()
+///     .workers(2)
+///     .job_timeout(Duration::from_secs(5))
+///     .build();
+/// assert_eq!(config.workers, 2);
+/// assert!(EngineConfig::builder().job_conflict_budget(0).try_build().is_err());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// Sets the worker-thread count (`0`: one per available CPU).
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.config.workers = workers;
+        self
+    }
+
+    /// Sets the result-cache capacity (0 disables caching).
+    pub fn cache_capacity(mut self, capacity: usize) -> Self {
+        self.config.cache_capacity = capacity;
+        self
+    }
+
+    /// Sets the default per-job conflict budget.
+    pub fn job_conflict_budget(mut self, budget: u64) -> Self {
+        self.config.job_conflict_budget = Some(budget);
+        self
+    }
+
+    /// Sets the per-job wall-clock deadline.
+    pub fn job_timeout(mut self, timeout: Duration) -> Self {
+        self.config.job_timeout = Some(timeout);
+        self
+    }
+
+    /// Installs a tracer for engine events.
+    pub fn tracer(mut self, tracer: Tracer) -> Self {
+        self.config.tracer = tracer;
+        self
+    }
+
+    /// Validates and builds, rejecting worker counts beyond
+    /// [`EngineConfig::MAX_WORKERS`], a zero deadline, and a zero conflict
+    /// budget.
+    pub fn try_build(self) -> Result<EngineConfig, String> {
+        let c = &self.config;
+        if c.workers > EngineConfig::MAX_WORKERS {
+            return Err(format!(
+                "workers = {} exceeds the {} ceiling",
+                c.workers,
+                EngineConfig::MAX_WORKERS
+            ));
+        }
+        if c.job_timeout == Some(Duration::ZERO) {
+            return Err("job_timeout = 0 would cancel every job before it starts".to_string());
+        }
+        if c.job_conflict_budget == Some(0) {
+            return Err(
+                "job_conflict_budget = Some(0) can never make progress; leave it unset for \
+                 unlimited"
+                    .to_string(),
+            );
+        }
+        Ok(self.config)
+    }
+
+    /// Validates and builds, panicking on an invalid configuration.
+    ///
+    /// # Panics
+    ///
+    /// When [`try_build`](Self::try_build) would return an error.
+    pub fn build(self) -> EngineConfig {
+        match self.try_build() {
+            Ok(config) => config,
+            Err(e) => panic!("invalid engine config: {e}"),
         }
     }
 }
@@ -178,17 +294,24 @@ impl Watchdog {
 pub struct Engine {
     config: EngineConfig,
     cache: AdaptCache,
-    metrics: MetricsRegistry,
+    metrics: Arc<MetricsRegistry>,
+    /// The configured tracer teed with the metrics registry: every
+    /// `engine.*` counter lands in the registry even when the caller's
+    /// tracer is disabled.
+    tracer: Tracer,
 }
 
 impl Engine {
     /// An engine with the given configuration.
     pub fn new(config: EngineConfig) -> Engine {
         let cache = AdaptCache::new(config.cache_capacity);
+        let metrics = Arc::new(MetricsRegistry::new());
+        let tracer = config.tracer.with_extra_sink(metrics.clone());
         Engine {
             config,
             cache,
-            metrics: MetricsRegistry::new(),
+            metrics,
+            tracer,
         }
     }
 
@@ -225,9 +348,8 @@ impl Engine {
             return Vec::new();
         }
         let workers = self.effective_workers().min(jobs.len()).max(1);
-        self.metrics
-            .jobs_submitted
-            .fetch_add(jobs.len() as u64, Ordering::Relaxed);
+        self.tracer
+            .counter("engine.jobs_submitted", jobs.len() as u64);
 
         let (job_tx, job_rx) = channel::unbounded::<(usize, &AdaptJob)>();
         let (res_tx, res_rx) = channel::unbounded::<AdaptReport>();
@@ -285,22 +407,26 @@ impl Engine {
         watchdog: Option<&Watchdog>,
     ) -> AdaptReport {
         let t0 = Instant::now();
+        let mut job_span = self.tracer.span_with("engine.job", || {
+            format!("job={index} qubits={}", job.circuit.num_qubits())
+        });
         // Per-job budget: the job's own limit wins over the engine default.
-        let mut options = job.options.clone();
-        if options.limits.total_conflicts.is_none() {
-            options.limits.total_conflicts = self.config.job_conflict_budget;
+        let mut limits = job.limits.clone();
+        if limits.total_conflicts.is_none() {
+            limits.total_conflicts = self.config.job_conflict_budget;
         }
-        let key = cache_key(&job.circuit, hw, &options);
+        let key = AdaptCache::key(&job.circuit, hw, &job.options, &limits);
 
         if let Some(hit) = self.cache.get(key) {
-            self.metrics.cache_hits.fetch_add(1, Ordering::Relaxed);
-            self.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+            self.tracer.counter("engine.cache_hit", 1);
+            self.tracer.counter("engine.job_completed", 1);
             let status = if hit.solver.optimal {
                 AdaptStatus::Optimal
             } else {
                 AdaptStatus::Feasible
             };
             self.count_status(status);
+            job_span.set_note("cache_hit");
             return AdaptReport {
                 job: index,
                 status,
@@ -312,32 +438,37 @@ impl Engine {
                 error: None,
             };
         }
-        self.metrics.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.tracer.counter("engine.cache_miss", 1);
 
         // Wall-clock deadline (only when the caller didn't install their own
         // cancellation flag — one flag per solve).
-        if let (Some(wd), Some(timeout), None) = (
-            watchdog,
-            self.config.job_timeout,
-            options.limits.cancel.as_ref(),
-        ) {
+        let mut cancel = job.cancel.clone();
+        if let (Some(wd), Some(timeout), None) =
+            (watchdog, self.config.job_timeout, cancel.as_ref())
+        {
             let flag = Arc::new(AtomicBool::new(false));
             wd.register(Instant::now() + timeout, flag.clone());
-            options.limits.cancel = Some(flag);
+            cancel = Some(flag);
         }
 
-        match adapt(&job.circuit, hw, &options) {
+        let ctx = AdaptContext {
+            options: job.options.clone(),
+            limits,
+            tracer: self.tracer.clone(),
+            cancel,
+        };
+        match adapt(&job.circuit, hw, &ctx) {
             Ok(adaptation) => {
                 let wall = t0.elapsed();
-                self.metrics
-                    .record_solve(wall, &adaptation.solver.solver_stats);
-                self.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                self.record_solve(&wall, &adaptation.solver.solver_stats);
+                self.tracer.counter("engine.job_completed", 1);
                 let status = if adaptation.solver.optimal {
                     AdaptStatus::Optimal
                 } else {
                     AdaptStatus::Feasible
                 };
                 self.count_status(status);
+                job_span.set_note(status.to_string());
                 let adaptation = Arc::new(adaptation);
                 // Cache Optimal and Feasible results alike: the key includes
                 // the conflict budget, so a budget-degraded incumbent is only
@@ -358,14 +489,15 @@ impl Engine {
                 // Bottom of the ladder: greedy template optimization toward
                 // the same objective; direct basis translation if even the
                 // greedy pass fails.
-                let objective = match options.objective {
+                let objective = match job.options.objective {
                     Objective::IdleTime => TemplateObjective::IdleTime,
                     Objective::Fidelity | Objective::Combined => TemplateObjective::Fidelity,
                 };
                 let circuit = template_optimization(&job.circuit, hw, objective)
                     .unwrap_or_else(|_| direct_translation(&job.circuit));
-                self.metrics.jobs_completed.fetch_add(1, Ordering::Relaxed);
+                self.tracer.counter("engine.job_completed", 1);
                 self.count_status(AdaptStatus::Fallback);
+                job_span.set_note("fallback");
                 AdaptReport {
                     job: index,
                     status: AdaptStatus::Fallback,
@@ -380,13 +512,27 @@ impl Engine {
         }
     }
 
+    /// Emits one solved (non-cached) job's cost as `engine.*` counters; the
+    /// teed metrics registry turns them into histogram samples and totals.
+    fn record_solve(&self, wall: &Duration, stats: &qca_sat::SolverStats) {
+        self.tracer
+            .counter("engine.solve_wall_us", wall.as_micros() as u64);
+        self.tracer.counter("engine.sat_conflicts", stats.conflicts);
+        self.tracer.counter("engine.sat_restarts", stats.restarts);
+        self.tracer
+            .counter("engine.sat_learnt_clauses", stats.learnt_clauses);
+        self.tracer.counter("engine.sat_decisions", stats.decisions);
+        self.tracer
+            .counter("engine.sat_propagations", stats.propagations);
+    }
+
     fn count_status(&self, status: AdaptStatus) {
-        let counter = match status {
-            AdaptStatus::Optimal => &self.metrics.optimal,
-            AdaptStatus::Feasible => &self.metrics.feasible,
-            AdaptStatus::Fallback => &self.metrics.fallbacks,
+        let name = match status {
+            AdaptStatus::Optimal => "engine.status.optimal",
+            AdaptStatus::Feasible => "engine.status.feasible",
+            AdaptStatus::Fallback => "engine.status.fallback",
         };
-        counter.fetch_add(1, Ordering::Relaxed);
+        self.tracer.counter(name, 1);
     }
 }
 
@@ -481,7 +627,7 @@ mod tests {
     fn cancelled_job_degrades_to_fallback() {
         let hw = spin_qubit_model(GateTimes::D0);
         let mut jobs = workload(2);
-        jobs[1].options.limits.cancel = Some(Arc::new(AtomicBool::new(true)));
+        jobs[1].cancel = Some(Arc::new(AtomicBool::new(true)));
         let engine = Engine::new(config(2));
         let reports = engine.adapt_batch(&hw, &jobs);
         assert_ne!(reports[0].status, AdaptStatus::Fallback);
@@ -496,7 +642,7 @@ mod tests {
     fn fallback_results_are_not_cached() {
         let hw = spin_qubit_model(GateTimes::D0);
         let mut jobs = workload(1);
-        jobs[0].options.limits.cancel = Some(Arc::new(AtomicBool::new(true)));
+        jobs[0].cancel = Some(Arc::new(AtomicBool::new(true)));
         let engine = Engine::new(config(1));
         let _ = engine.adapt_batch(&hw, &jobs);
         assert!(engine.cache().is_empty());
@@ -509,7 +655,7 @@ mod tests {
         let engine = Engine::new(config(1));
         let _ = engine.adapt_batch(&hw, &jobs);
         let mut budgeted = jobs.clone();
-        budgeted[0].options.limits.total_conflicts = Some(1_000_000);
+        budgeted[0].limits.total_conflicts = Some(1_000_000);
         let reports = engine.adapt_batch(&hw, &budgeted);
         // Same circuit, different budget: a fresh solve, not a (stale) hit.
         assert!(!reports[0].cache_hit);
@@ -521,6 +667,65 @@ mod tests {
         let hw = spin_qubit_model(GateTimes::D0);
         let engine = Engine::new(EngineConfig::default());
         assert!(engine.adapt_batch(&hw, &[]).is_empty());
+    }
+
+    #[test]
+    fn tracer_emits_job_spans_and_feeds_metrics() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let jobs = workload(2);
+        let (tracer, sink) = qca_trace::Tracer::to_memory();
+        let engine = Engine::new(EngineConfig::builder().workers(1).tracer(tracer).build());
+        let _ = engine.adapt_batch(&hw, &jobs);
+        let events = sink.take();
+        qca_trace::report::validate_forest(&events).unwrap();
+        let totals = qca_trace::report::counter_totals(&events);
+        assert_eq!(totals.get("engine.jobs_submitted"), Some(&2));
+        assert_eq!(totals.get("engine.job_completed"), Some(&2));
+        let rpt = qca_trace::report::Report::from_events(&events);
+        // Per-job engine spans wrap the full solve pipeline.
+        assert!(rpt.phase_total_ns("engine.job").is_some());
+        assert!(rpt.phase_total_ns("adapt").is_some());
+        assert!(rpt.phase_total_ns("omt.search").is_some());
+        // The same event stream populated the metrics registry.
+        assert_eq!(engine.metrics().jobs_completed.load(Ordering::Relaxed), 2);
+        assert_eq!(engine.metrics().solve_wall_us.count(), 2);
+    }
+
+    #[test]
+    fn metrics_populated_without_a_tracer() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let jobs = workload(2);
+        let engine = Engine::new(config(1));
+        let _ = engine.adapt_batch(&hw, &jobs);
+        assert_eq!(engine.metrics().jobs_submitted.load(Ordering::Relaxed), 2);
+        assert_eq!(engine.metrics().jobs_completed.load(Ordering::Relaxed), 2);
+        assert_eq!(engine.metrics().solve_wall_us.count(), 2);
+        assert!(engine.metrics().sat_propagations.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn config_builder_validates() {
+        assert!(EngineConfig::builder()
+            .workers(EngineConfig::MAX_WORKERS + 1)
+            .try_build()
+            .is_err());
+        assert!(EngineConfig::builder()
+            .job_timeout(Duration::ZERO)
+            .try_build()
+            .is_err());
+        assert!(EngineConfig::builder()
+            .job_conflict_budget(0)
+            .try_build()
+            .is_err());
+        let ok = EngineConfig::builder()
+            .workers(4)
+            .cache_capacity(64)
+            .job_conflict_budget(10_000)
+            .job_timeout(Duration::from_secs(1))
+            .build();
+        assert_eq!(ok.workers, 4);
+        assert_eq!(ok.cache_capacity, 64);
+        assert_eq!(ok.job_conflict_budget, Some(10_000));
     }
 
     #[test]

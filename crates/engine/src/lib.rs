@@ -6,16 +6,20 @@
 //!   [`AdaptJob`]s over crossbeam channels to N threads and collecting
 //!   [`AdaptReport`]s in deterministic job order,
 //! * a sharded LRU cache ([`cache::AdaptCache`]) keyed by the canonical
-//!   structural hash of (circuit, hardware, options) — see [`cache_key`] —
-//!   so resubmitted or structurally identical circuits are answered without
-//!   re-solving,
+//!   structural hash of (circuit, hardware, options, limits) — see
+//!   [`cache::AdaptCache::key`] — so resubmitted or structurally identical
+//!   circuits are answered without re-solving,
 //! * graceful degradation: per-job conflict budgets and wall-clock deadlines
 //!   demote results down the [`AdaptStatus`] ladder
 //!   (`Optimal → Feasible → Fallback`) instead of failing the batch,
-//! * a metrics registry ([`metrics::MetricsRegistry`]) of atomic counters
-//!   and log-scale histograms (cache hit rate, solve wall time, SAT
-//!   conflicts/restarts, fallback count), dumped as JSON by the
-//!   `qca-engine` CLI.
+//! * a metrics registry ([`metrics::MetricsRegistry`]) rebuilt as a
+//!   [`qca_trace::TraceSink`] over the engine's `engine.*` counter events:
+//!   atomic counters and log-scale histograms (cache hit rate, solve wall
+//!   time, SAT conflicts/restarts, fallback count), dumped as JSON by the
+//!   `qca-engine` CLI. Install your own tracer via
+//!   [`EngineConfig::builder`](EngineConfig) to watch the same event stream
+//!   (plus per-job `engine.job` spans and the full solve-pipeline spans)
+//!   live.
 //!
 //! # Examples
 //!
@@ -41,124 +45,40 @@ pub mod cache;
 mod engine;
 pub mod metrics;
 
-pub use engine::{AdaptJob, AdaptReport, AdaptStatus, Engine, EngineConfig};
+pub use engine::{AdaptJob, AdaptReport, AdaptStatus, Engine, EngineConfig, EngineConfigBuilder};
 
-use qca_adapt::{AdaptOptions, Objective};
-use qca_circuit::hash::{structural_hash, Fnv64};
+use cache::AdaptCache;
+use qca_adapt::{AdaptLimits, AdaptOptions};
 use qca_circuit::Circuit;
 use qca_hw::HardwareModel;
-use qca_smt::omt::Strategy;
 
 /// Canonical cache key of an adaptation request.
-///
-/// Combines everything that determines the solve's result:
-///
-/// * the circuit's [`structural_hash`] (invariant under commuting same-layer
-///   reorderings and symmetric-gate operand swaps),
-/// * the hardware model's cost [`fingerprint`](HardwareModel::fingerprint)
-///   (invariant under renaming),
-/// * the objective, OMT strategy, rule selection, exactness, and the
-///   effective total-conflict budget (a budget-degraded incumbent must not
-///   be served to a job that would search further).
-///
-/// The cancellation flag is deliberately excluded: it affects *whether* a
-/// result is produced, never *which* result.
-pub fn cache_key(circuit: &Circuit, hw: &HardwareModel, options: &AdaptOptions) -> u64 {
-    let mut h = Fnv64::new();
-    h.write_u64(structural_hash(circuit));
-    h.write_u64(hw.fingerprint());
-    h.write_u64(match options.objective {
-        Objective::Fidelity => 1,
-        Objective::IdleTime => 2,
-        Objective::Combined => 3,
-    });
-    h.write_u64(match options.strategy {
-        Strategy::BinarySearch => 1,
-        Strategy::LinearSearch => 2,
-    });
-    h.write_u64(options.exact as u64);
-    let r = &options.rules;
-    h.write_u64(r.kak_cz as u64);
-    h.write_u64(r.kak_cz_diabatic as u64);
-    h.write_u64(r.conditional_rotation as u64);
-    h.write_u64(r.swaps as u64);
-    h.write_usize(r.max_match_len);
-    h.write_u64(r.optimized_kak as u64);
-    match options.limits.total_conflicts {
-        None => h.write_u64(0),
-        Some(budget) => {
-            h.write_u64(1);
-            h.write_u64(budget);
-        }
-    }
-    h.finish()
+#[deprecated(since = "0.2.0", note = "use `cache::AdaptCache::key`")]
+pub fn cache_key(
+    circuit: &Circuit,
+    hw: &HardwareModel,
+    options: &AdaptOptions,
+    limits: &AdaptLimits,
+) -> u64 {
+    AdaptCache::key(circuit, hw, options, limits)
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
-    use qca_circuit::Gate;
+    use qca_circuit::{Circuit, Gate};
     use qca_hw::{spin_qubit_model, GateTimes};
 
-    fn sample() -> (Circuit, HardwareModel) {
-        let mut c = Circuit::new(3);
-        c.push(Gate::H, &[0]);
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_root_cache_key_matches_cache_method() {
+        let mut c = Circuit::new(2);
         c.push(Gate::Cx, &[0, 1]);
-        c.push(Gate::Cz, &[1, 2]);
-        (c, spin_qubit_model(GateTimes::D0))
-    }
-
-    #[test]
-    fn key_is_stable_across_calls() {
-        let (c, hw) = sample();
-        let o = AdaptOptions::default();
-        assert_eq!(cache_key(&c, &hw, &o), cache_key(&c, &hw, &o));
-    }
-
-    #[test]
-    fn key_depends_on_objective_and_hardware() {
-        let (c, hw) = sample();
-        let base = cache_key(&c, &hw, &AdaptOptions::default());
-        let idle = cache_key(&c, &hw, &AdaptOptions::with_objective(Objective::IdleTime));
-        assert_ne!(base, idle);
-        let hw1 = spin_qubit_model(GateTimes::D1);
-        assert_ne!(base, cache_key(&c, &hw1, &AdaptOptions::default()));
-    }
-
-    #[test]
-    fn key_depends_on_budget_presence_and_value() {
-        let (c, hw) = sample();
-        let unlimited = cache_key(&c, &hw, &AdaptOptions::default());
-        let mut o = AdaptOptions::default();
-        o.limits.total_conflicts = Some(100);
-        let small = cache_key(&c, &hw, &o);
-        o.limits.total_conflicts = Some(200);
-        let large = cache_key(&c, &hw, &o);
-        assert_ne!(unlimited, small);
-        assert_ne!(small, large);
-    }
-
-    #[test]
-    fn cancel_flag_does_not_change_key() {
-        let (c, hw) = sample();
-        let base = cache_key(&c, &hw, &AdaptOptions::default());
-        let mut o = AdaptOptions::default();
-        o.limits.cancel = Some(std::sync::Arc::new(std::sync::atomic::AtomicBool::new(
-            true,
-        )));
-        assert_eq!(base, cache_key(&c, &hw, &o));
-    }
-
-    #[test]
-    fn structurally_equal_circuits_share_a_key() {
         let hw = spin_qubit_model(GateTimes::D0);
-        let mut a = Circuit::new(3);
-        a.push(Gate::H, &[0]);
-        a.push(Gate::Cz, &[1, 2]);
-        let mut b = Circuit::new(3);
-        b.push(Gate::Cz, &[2, 1]);
-        b.push(Gate::H, &[0]);
-        let o = AdaptOptions::default();
-        assert_eq!(cache_key(&a, &hw, &o), cache_key(&b, &hw, &o));
+        let o = qca_adapt::AdaptOptions::default();
+        let l = qca_adapt::AdaptLimits::default();
+        assert_eq!(
+            super::cache_key(&c, &hw, &o, &l),
+            super::cache::AdaptCache::key(&c, &hw, &o, &l)
+        );
     }
 }

@@ -1,12 +1,16 @@
 //! Engine metrics: lock-free counters and log-scale histograms.
 //!
+//! The registry is a [`TraceSink`]: the engine tees its tracer into it, and
+//! every `engine.*` counter event lands in the matching atomic (other
+//! events — spans, SAT gauges, OMT counters — pass through untouched, so
+//! the same stream can feed a JSONL file and the registry at once).
 //! Workers record into shared atomics while solving; nothing blocks on a
 //! metrics write. [`MetricsRegistry::to_json`] renders a snapshot as a
 //! self-contained JSON object (hand-rolled — the build environment has no
 //! serde) for the `qca-engine` CLI's `--metrics-out`.
 
+use qca_trace::{TraceEvent, TraceSink};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::time::Duration;
 
 /// Number of power-of-two buckets in a [`Histogram`].
 const NUM_BUCKETS: usize = 40;
@@ -149,22 +153,6 @@ impl MetricsRegistry {
         MetricsRegistry::default()
     }
 
-    /// Records one solved (non-cached) job's cost.
-    pub fn record_solve(&self, wall: Duration, stats: &qca_sat::SolverStats) {
-        self.solve_wall_us.record(wall.as_micros() as u64);
-        self.conflicts_per_job.record(stats.conflicts);
-        self.sat_conflicts
-            .fetch_add(stats.conflicts, Ordering::Relaxed);
-        self.sat_restarts
-            .fetch_add(stats.restarts, Ordering::Relaxed);
-        self.sat_learnt_clauses
-            .fetch_add(stats.learnt_clauses, Ordering::Relaxed);
-        self.sat_decisions
-            .fetch_add(stats.decisions, Ordering::Relaxed);
-        self.sat_propagations
-            .fetch_add(stats.propagations, Ordering::Relaxed);
-    }
-
     /// Cache hit rate over completed lookups (0.0 when nothing ran).
     pub fn cache_hit_rate(&self) -> f64 {
         let hits = self.cache_hits.load(Ordering::Relaxed);
@@ -218,6 +206,40 @@ impl MetricsRegistry {
     }
 }
 
+/// Counter-event names the engine emits, mapped onto registry fields. The
+/// registry ignores every other event (spans, gauges, foreign counters), so
+/// it can sit on the same fanout as a JSONL sink.
+impl TraceSink for MetricsRegistry {
+    fn record(&self, event: &TraceEvent) {
+        let TraceEvent::Counter { name, value, .. } = event else {
+            return;
+        };
+        match name.as_ref() {
+            "engine.jobs_submitted" => &self.jobs_submitted,
+            "engine.job_completed" => &self.jobs_completed,
+            "engine.cache_hit" => &self.cache_hits,
+            "engine.cache_miss" => &self.cache_misses,
+            "engine.status.optimal" => &self.optimal,
+            "engine.status.feasible" => &self.feasible,
+            "engine.status.fallback" => &self.fallbacks,
+            "engine.sat_conflicts" => {
+                self.conflicts_per_job.record(*value);
+                &self.sat_conflicts
+            }
+            "engine.sat_restarts" => &self.sat_restarts,
+            "engine.sat_learnt_clauses" => &self.sat_learnt_clauses,
+            "engine.sat_decisions" => &self.sat_decisions,
+            "engine.sat_propagations" => &self.sat_propagations,
+            "engine.solve_wall_us" => {
+                self.solve_wall_us.record(*value);
+                return;
+            }
+            _ => return,
+        }
+        .fetch_add(*value, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -256,20 +278,32 @@ mod tests {
     }
 
     #[test]
-    fn record_solve_accumulates_totals() {
-        let m = MetricsRegistry::new();
-        let stats = qca_sat::SolverStats {
-            conflicts: 10,
-            restarts: 2,
-            learnt_clauses: 7,
-            decisions: 40,
-            propagations: 100,
-            ..Default::default()
-        };
-        m.record_solve(Duration::from_micros(500), &stats);
-        m.record_solve(Duration::from_micros(700), &stats);
+    fn counter_events_accumulate_totals() {
+        let m = std::sync::Arc::new(MetricsRegistry::new());
+        let tracer = qca_trace::Tracer::new(m.clone());
+        for wall in [500u64, 700] {
+            tracer.counter("engine.solve_wall_us", wall);
+            tracer.counter("engine.sat_conflicts", 10);
+            tracer.counter("engine.sat_restarts", 2);
+            tracer.counter("engine.job_completed", 1);
+        }
         assert_eq!(m.sat_conflicts.load(Ordering::Relaxed), 20);
+        assert_eq!(m.sat_restarts.load(Ordering::Relaxed), 4);
+        assert_eq!(m.jobs_completed.load(Ordering::Relaxed), 2);
         assert_eq!(m.solve_wall_us.count(), 2);
         assert_eq!(m.conflicts_per_job.count(), 2);
+    }
+
+    #[test]
+    fn foreign_events_are_ignored() {
+        let m = std::sync::Arc::new(MetricsRegistry::new());
+        let tracer = qca_trace::Tracer::new(m.clone());
+        tracer.counter("sat.restart", 1);
+        tracer.gauge("engine.sat_conflicts", 5);
+        let _span = tracer.span("engine.job");
+        drop(_span);
+        assert_eq!(m.sat_conflicts.load(Ordering::Relaxed), 0);
+        assert_eq!(m.sat_restarts.load(Ordering::Relaxed), 0);
+        assert_eq!(m.conflicts_per_job.count(), 0);
     }
 }

@@ -3,47 +3,68 @@
 //! Usage:
 //!
 //! ```text
-//! qsat [--stats] <file.cnf>      # solve a DIMACS file
-//! qsat [--stats] -               # read DIMACS from stdin
+//! qsat [--stats] [--conflicts N] <file.cnf>      # solve a DIMACS file
+//! qsat [--stats] [--conflicts N] -               # read DIMACS from stdin
 //! ```
 //!
-//! Prints `s SATISFIABLE` with a `v ...` model line, or `s UNSATISFIABLE`,
-//! following the SAT-competition output conventions. With `--stats`, solver
-//! statistics (`c`-prefixed comment lines: decisions, propagations,
-//! conflicts, restarts, learnt clauses, ...) are printed on both verdicts.
-//! Exit code 10 for SAT, 20 for UNSAT, 1 on input errors.
+//! Prints `s SATISFIABLE` with a `v ...` model line, `s UNSATISFIABLE`, or —
+//! when the `--conflicts` cap aborts the solve — `s UNKNOWN`, following the
+//! SAT-competition output conventions. With `--stats`, solver statistics
+//! (`c`-prefixed comment lines: decisions, propagations, conflicts, restarts,
+//! learnt clauses, ...) are printed on *every* verdict, including aborted
+//! runs: the numbers are read from the solver's trace event stream (the
+//! end-of-solve `sat.*` gauges), the same path the adaptation pipeline uses,
+//! rather than by poking at solver internals. Exit code 10 for SAT, 20 for
+//! UNSAT, 0 for UNKNOWN, 1 on input errors.
 
 use qca_sat::dimacs::parse_dimacs;
-use qca_sat::{SolverStats, Var};
+use qca_sat::{SolveControl, SolveOutcome, Var};
+use qca_trace::{report, MemorySink, Tracer};
 use std::process::ExitCode;
+use std::sync::Arc;
 
-fn print_stats(st: &SolverStats) {
-    println!("c decisions        {}", st.decisions);
-    println!("c propagations     {}", st.propagations);
-    println!("c conflicts        {}", st.conflicts);
-    println!("c restarts         {}", st.restarts);
-    println!("c learnt clauses   {}", st.learnt_clauses);
-    println!("c deleted clauses  {}", st.deleted_clauses);
-    println!("c minimized lits   {}", st.minimized_literals);
+/// Print the `sat.*` statistics gauges recorded in `events` as
+/// SAT-competition comment lines.
+fn print_stats(events: &[qca_trace::TraceEvent]) {
+    let gauges = report::last_gauges(events);
+    let get = |name: &str| gauges.get(name).copied().unwrap_or(0);
+    println!("c decisions        {}", get("sat.decisions"));
+    println!("c propagations     {}", get("sat.propagations"));
+    println!("c conflicts        {}", get("sat.conflicts"));
+    println!("c restarts         {}", get("sat.restarts"));
+    println!("c learnt clauses   {}", get("sat.learnt_clauses"));
+    println!("c deleted clauses  {}", get("sat.deleted_clauses"));
+    println!("c minimized lits   {}", get("sat.minimized_literals"));
+}
+
+fn usage() -> ExitCode {
+    eprintln!("usage: qsat [--stats] [--conflicts N] <file.cnf | ->");
+    ExitCode::from(1)
 }
 
 fn main() -> ExitCode {
     let mut stats = false;
+    let mut conflict_cap: Option<u64> = None;
     let mut input: Option<String> = None;
-    for arg in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "--stats" => stats = true,
+            "--conflicts" => {
+                let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
+                    return usage();
+                };
+                conflict_cap = Some(n);
+            }
             other => {
                 if input.replace(other.to_string()).is_some() {
-                    eprintln!("usage: qsat [--stats] <file.cnf | ->");
-                    return ExitCode::from(1);
+                    return usage();
                 }
             }
         }
     }
     let Some(input) = input else {
-        eprintln!("usage: qsat [--stats] <file.cnf | ->");
-        return ExitCode::from(1);
+        return usage();
     };
     let cnf = if input == "-" {
         let stdin = std::io::stdin();
@@ -66,36 +87,52 @@ fn main() -> ExitCode {
     };
     let num_vars = cnf.num_vars;
     let mut solver = cnf.into_solver();
-    if solver.solve() {
-        println!("s SATISFIABLE");
-        let mut line = String::from("v");
-        for i in 0..num_vars {
-            let v = Var::from_index(i);
-            let val = solver.value(v).unwrap_or(false);
-            line.push_str(&format!(
-                " {}",
-                if val {
-                    (i + 1) as i64
-                } else {
-                    -((i + 1) as i64)
+    let sink = Arc::new(MemorySink::new());
+    solver.set_control(SolveControl {
+        conflict_cap,
+        stop: None,
+        tracer: Tracer::new(sink.clone()),
+    });
+    match solver.solve_limited(&[]) {
+        SolveOutcome::Sat => {
+            println!("s SATISFIABLE");
+            let mut line = String::from("v");
+            for i in 0..num_vars {
+                let v = Var::from_index(i);
+                let val = solver.value(v).unwrap_or(false);
+                line.push_str(&format!(
+                    " {}",
+                    if val {
+                        (i + 1) as i64
+                    } else {
+                        -((i + 1) as i64)
+                    }
+                ));
+                if line.len() > 70 {
+                    println!("{line}");
+                    line = String::from("v");
                 }
-            ));
-            if line.len() > 70 {
-                println!("{line}");
-                line = String::from("v");
             }
+            println!("{line} 0");
+            if stats {
+                print_stats(&sink.events());
+            }
+            ExitCode::from(10)
         }
-        println!("{line} 0");
-        if stats {
-            print_stats(solver.stats());
+        SolveOutcome::Unsat => {
+            println!("s UNSATISFIABLE");
+            if stats {
+                print_stats(&sink.events());
+            }
+            ExitCode::from(20)
         }
-        ExitCode::from(10)
-    } else {
-        println!("s UNSATISFIABLE");
-        if stats {
-            print_stats(solver.stats());
+        SolveOutcome::Unknown => {
+            println!("s UNKNOWN");
+            if stats {
+                print_stats(&sink.events());
+            }
+            ExitCode::SUCCESS
         }
-        ExitCode::from(20)
     }
 }
 

@@ -38,7 +38,7 @@ mod lit;
 mod solver;
 
 pub use lit::{LBool, Lit, Var};
-pub use solver::{SolveOutcome, Solver, SolverStats};
+pub use solver::{SolveControl, SolveOutcome, Solver, SolverStats};
 
 #[cfg(test)]
 mod proptests {

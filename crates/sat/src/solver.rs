@@ -13,6 +13,7 @@
 
 use crate::heap::ActivityHeap;
 use crate::lit::{LBool, Lit, Var};
+use qca_trace::Tracer;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -50,6 +51,35 @@ pub struct SolverStats {
     pub deleted_clauses: u64,
     /// Literals in learnt clauses removed by minimization.
     pub minimized_literals: u64,
+}
+
+/// External run controls for a [`Solver`], applied as one unit.
+///
+/// Groups everything a *caller* (as opposed to the encoding) may want to
+/// impose on a solve: a lifetime conflict cap, a cooperative cancellation
+/// flag, and a [`Tracer`] receiving CDCL milestones (restarts,
+/// conflict-count checkpoints) and per-solve statistics. Replaces the former
+/// scattered `set_conflict_cap` / `set_stop_flag` plumbing; install with
+/// [`Solver::set_control`].
+#[derive(Debug, Clone, Default)]
+pub struct SolveControl {
+    /// Lifetime conflict cap: any `solve*` call returns
+    /// [`SolveOutcome::Unknown`] once [`SolverStats::conflicts`] reaches the
+    /// cap, regardless of per-call budgets. Unlike
+    /// [`Solver::set_conflict_budget`], the cap spans calls — it bounds the
+    /// total work of an incremental session (e.g. every probe of an
+    /// optimization loop sharing one solver).
+    pub conflict_cap: Option<u64>,
+    /// Cooperative cancellation flag: while it reads `true`, any in-flight
+    /// or future `solve*` call returns [`SolveOutcome::Unknown`] at its next
+    /// check point (every decision and every conflict). The flag is shared —
+    /// a controller thread sets it to interrupt a solve in progress on
+    /// another thread (the solver itself is `Send` but not `Sync`; the flag
+    /// is the intended cross-thread channel).
+    pub stop: Option<Arc<AtomicBool>>,
+    /// Receives `sat.solve` spans, restart/conflict milestones and
+    /// end-of-solve statistics gauges. Disabled by default.
+    pub tracer: Tracer,
 }
 
 /// Outcome of a [`Solver::solve_limited`] call.
@@ -104,8 +134,7 @@ pub struct Solver {
     stats: SolverStats,
     max_learnts: f64,
     conflict_budget: Option<u64>,
-    conflict_cap: Option<u64>,
-    stop: Option<Arc<AtomicBool>>,
+    control: SolveControl,
     n_original_clauses: usize,
 }
 
@@ -146,8 +175,7 @@ impl Solver {
             stats: SolverStats::default(),
             max_learnts: 0.0,
             conflict_budget: None,
-            conflict_cap: None,
-            stop: None,
+            control: SolveControl::default(),
             n_original_clauses: 0,
         }
     }
@@ -210,33 +238,37 @@ impl Solver {
         self.conflict_budget = budget;
     }
 
-    /// Caps the solver's *lifetime* conflict count: any `solve*` call returns
-    /// [`SolveOutcome::Unknown`] once [`SolverStats::conflicts`] reaches
-    /// `cap`, regardless of per-call budgets. `None` removes the cap.
-    ///
-    /// Unlike [`Solver::set_conflict_budget`], the cap spans calls — it
-    /// bounds the total work of an incremental session (e.g. every probe of
-    /// an optimization loop sharing one solver).
-    pub fn set_conflict_cap(&mut self, cap: Option<u64>) {
-        self.conflict_cap = cap;
+    /// Installs the caller-side run controls (lifetime conflict cap,
+    /// cancellation flag, tracer) in one call. See [`SolveControl`].
+    pub fn set_control(&mut self, control: SolveControl) {
+        self.control = control;
     }
 
-    /// Installs a cooperative cancellation flag: while the flag reads
-    /// `true`, any in-flight or future `solve*` call returns
-    /// [`SolveOutcome::Unknown`] at its next check point (every decision and
-    /// every conflict). `None` detaches the flag.
-    ///
-    /// The flag is shared — a controller thread sets it to interrupt a
-    /// solve in progress on another thread (the solver itself is `Send` but
-    /// not `Sync`; the flag is the intended cross-thread channel).
+    /// The currently installed run controls.
+    pub fn control(&self) -> &SolveControl {
+        &self.control
+    }
+
+    /// Caps the solver's *lifetime* conflict count. `None` removes the cap.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `SolveControl::conflict_cap` via `set_control`"
+    )]
+    pub fn set_conflict_cap(&mut self, cap: Option<u64>) {
+        self.control.conflict_cap = cap;
+    }
+
+    /// Installs a cooperative cancellation flag. `None` detaches the flag.
+    #[deprecated(since = "0.1.0", note = "set `SolveControl::stop` via `set_control`")]
     pub fn set_stop_flag(&mut self, stop: Option<Arc<AtomicBool>>) {
-        self.stop = stop;
+        self.control.stop = stop;
     }
 
     /// `true` when the attached stop flag (if any) requests cancellation.
     #[inline]
     fn stop_requested(&self) -> bool {
-        self.stop
+        self.control
+            .stop
             .as_ref()
             .is_some_and(|s| s.load(Ordering::Relaxed))
     }
@@ -244,7 +276,8 @@ impl Solver {
     /// `true` when the lifetime conflict cap (if any) is exhausted.
     #[inline]
     fn cap_exhausted(&self) -> bool {
-        self.conflict_cap
+        self.control
+            .conflict_cap
             .is_some_and(|cap| self.stats.conflicts >= cap)
     }
 
@@ -716,7 +749,42 @@ impl Solver {
     }
 
     /// Solves under assumptions with the configured conflict budget.
+    ///
+    /// When a tracer is installed via [`Solver::set_control`], the call is
+    /// wrapped in a `sat.solve` span (outcome in the exit note) and the
+    /// lifetime [`SolverStats`] are emitted as `sat.*` gauges when the call
+    /// returns, so aborted solves still report their work.
     pub fn solve_limited(&mut self, assumptions: &[Lit]) -> SolveOutcome {
+        if !self.control.tracer.enabled() {
+            return self.solve_limited_inner(assumptions);
+        }
+        let tracer = self.control.tracer.clone();
+        let mut span = tracer.span("sat.solve");
+        let outcome = self.solve_limited_inner(assumptions);
+        span.set_note(match outcome {
+            SolveOutcome::Sat => "sat",
+            SolveOutcome::Unsat => "unsat",
+            SolveOutcome::Unknown => "unknown",
+        });
+        self.emit_stats_gauges(&tracer);
+        outcome
+    }
+
+    /// Emits the lifetime [`SolverStats`] as `sat.*` gauges on `tracer`.
+    fn emit_stats_gauges(&self, tracer: &Tracer) {
+        tracer.gauge("sat.decisions", self.stats.decisions as i64);
+        tracer.gauge("sat.propagations", self.stats.propagations as i64);
+        tracer.gauge("sat.conflicts", self.stats.conflicts as i64);
+        tracer.gauge("sat.restarts", self.stats.restarts as i64);
+        tracer.gauge("sat.learnt_clauses", self.stats.learnt_clauses as i64);
+        tracer.gauge("sat.deleted_clauses", self.stats.deleted_clauses as i64);
+        tracer.gauge(
+            "sat.minimized_literals",
+            self.stats.minimized_literals as i64,
+        );
+    }
+
+    fn solve_limited_inner(&mut self, assumptions: &[Lit]) -> SolveOutcome {
         self.model.clear();
         self.conflict_core.clear();
         if !self.ok {
@@ -749,6 +817,7 @@ impl Solver {
                 }
                 SearchResult::Restart => {
                     self.stats.restarts += 1;
+                    self.control.tracer.counter("sat.restart", 1);
                     self.cancel_until(0);
                 }
                 SearchResult::BudgetExhausted => {
@@ -770,6 +839,13 @@ impl Solver {
             if let Some(confl) = self.propagate() {
                 self.stats.conflicts += 1;
                 conflicts_here += 1;
+                // Milestone checkpoint for long solves; the `enabled` check
+                // keeps the disabled-tracer hot path to a single branch.
+                if self.control.tracer.enabled() && self.stats.conflicts.is_multiple_of(4096) {
+                    self.control
+                        .tracer
+                        .gauge("sat.conflicts.checkpoint", self.stats.conflicts as i64);
+                }
                 if self.decision_level() == 0 {
                     self.ok = false;
                     return SearchResult::Unsat;
@@ -1207,21 +1283,72 @@ mod tests {
     fn pre_set_stop_flag_reports_unknown() {
         let mut s = pigeonhole(9, 8);
         let stop = Arc::new(AtomicBool::new(true));
-        s.set_stop_flag(Some(stop.clone()));
+        s.set_control(SolveControl {
+            stop: Some(stop.clone()),
+            ..SolveControl::default()
+        });
         assert_eq!(s.solve_limited(&[]), SolveOutcome::Unknown);
         // Clearing the flag lets the same solver finish the proof.
         stop.store(false, Ordering::Relaxed);
         assert_eq!(s.solve_limited(&[]), SolveOutcome::Unsat);
         // Detaching works too.
-        s.set_stop_flag(None);
+        s.set_control(SolveControl::default());
         assert_eq!(s.solve_limited(&[]), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn deprecated_setters_still_work() {
+        #[allow(deprecated)]
+        {
+            let mut s = pigeonhole(9, 8);
+            s.set_conflict_cap(Some(10));
+            assert_eq!(s.solve_limited(&[]), SolveOutcome::Unknown);
+            let stop = Arc::new(AtomicBool::new(true));
+            s.set_conflict_cap(None);
+            s.set_stop_flag(Some(stop));
+            assert_eq!(s.solve_limited(&[]), SolveOutcome::Unknown);
+            s.set_stop_flag(None);
+            assert_eq!(s.solve_limited(&[]), SolveOutcome::Unsat);
+        }
+    }
+
+    #[test]
+    fn tracer_records_solve_span_and_stats() {
+        use qca_trace::{report, TraceEvent, Tracer};
+        let (tracer, sink) = Tracer::to_memory();
+        let mut s = pigeonhole(6, 5);
+        s.set_control(SolveControl {
+            tracer,
+            ..SolveControl::default()
+        });
+        assert_eq!(s.solve_limited(&[]), SolveOutcome::Unsat);
+        let events = sink.take();
+        report::validate_forest(&events).unwrap();
+        let enter = events
+            .iter()
+            .find(|e| matches!(e, TraceEvent::SpanEnter { name, .. } if name == "sat.solve"));
+        assert!(enter.is_some(), "missing sat.solve span: {events:?}");
+        let note = events.iter().find_map(|e| match e {
+            TraceEvent::SpanExit { note: Some(n), .. } => Some(n.clone()),
+            _ => None,
+        });
+        assert_eq!(note.as_deref(), Some("unsat"));
+        let gauges = report::last_gauges(&events);
+        assert_eq!(
+            gauges.get("sat.conflicts"),
+            Some(&(s.stats().conflicts as i64))
+        );
+        assert!(gauges.contains_key("sat.decisions"));
     }
 
     #[test]
     fn stop_flag_interrupts_from_another_thread() {
         let mut s = pigeonhole(11, 10);
         let stop = Arc::new(AtomicBool::new(false));
-        s.set_stop_flag(Some(stop.clone()));
+        s.set_control(SolveControl {
+            stop: Some(stop.clone()),
+            ..SolveControl::default()
+        });
         let killer = std::thread::spawn(move || {
             std::thread::sleep(std::time::Duration::from_millis(20));
             stop.store(true, Ordering::Relaxed);
@@ -1240,12 +1367,15 @@ mod tests {
     #[test]
     fn conflict_cap_spans_calls() {
         let mut s = pigeonhole(9, 8);
-        s.set_conflict_cap(Some(10));
+        s.set_control(SolveControl {
+            conflict_cap: Some(10),
+            ..SolveControl::default()
+        });
         assert_eq!(s.solve_limited(&[]), SolveOutcome::Unknown);
         // The cap is lifetime-scoped: a second call is still capped even
         // though no per-call budget is set.
         assert_eq!(s.solve_limited(&[]), SolveOutcome::Unknown);
-        s.set_conflict_cap(None);
+        s.set_control(SolveControl::default());
         assert_eq!(s.solve_limited(&[]), SolveOutcome::Unsat);
     }
 }

@@ -86,21 +86,37 @@ pub fn maximize_with(
     options: OmtOptions,
     hint: &[qca_sat::Lit],
 ) -> Option<Optimum> {
-    match strategy {
+    let tracer = smt.tracer().clone();
+    let mut span = tracer.span_with("omt.search", || format!("{strategy:?}"));
+    let result = match strategy {
         Strategy::BinarySearch => maximize_binary(smt, objective, options, hint),
         Strategy::LinearSearch => maximize_linear(smt, objective, options, hint),
+    };
+    match &result {
+        Some(opt) => {
+            tracer.counter("omt.queries", opt.queries);
+            tracer.gauge("omt.best", opt.value);
+            span.set_note(if opt.optimal { "optimal" } else { "bounded" });
+        }
+        None => span.set_note("infeasible"),
     }
+    result
 }
 
 /// First model: try the warm-start hint (cheap propagation-only solve),
 /// fall back to an unconstrained search.
 fn first_model(smt: &mut SmtSolver, hint: &[qca_sat::Lit]) -> Option<SmtModel> {
+    let tracer = smt.tracer().clone();
+    let mut span = tracer.span("omt.first_model");
     if !hint.is_empty() {
         if let Some(m) = smt.check_with_assumptions(hint) {
+            span.set_note("warm_start");
             return Some(m);
         }
     }
-    smt.check()
+    let m = smt.check();
+    span.set_note(if m.is_some() { "cold" } else { "infeasible" });
+    m
 }
 
 fn maximize_binary(
@@ -132,6 +148,10 @@ fn maximize_binary(
         smt.sat_mut()
             .set_conflict_budget(options.probe_conflict_budget);
         let t0 = std::time::Instant::now();
+        let mut probe_span = smt
+            .tracer()
+            .clone()
+            .span_with("omt.probe", || format!("bound={mid}"));
         let outcome = smt.probe_with_assumptions(&[ge]);
         smt.sat_mut().set_conflict_budget(None);
         match outcome {
@@ -139,8 +159,11 @@ fn maximize_binary(
                 if trace {
                     eprintln!("probe >= {mid}: SAT in {:.2}s", t0.elapsed().as_secs_f64());
                 }
+                probe_span.set_note("sat");
+                drop(probe_span);
                 best_val = m.int_value(objective);
                 best_model = m;
+                smt.tracer().gauge("omt.best", best_val);
             }
             (SolveOutcome::Unsat, _) => {
                 if trace {
@@ -149,10 +172,14 @@ fn maximize_binary(
                         t0.elapsed().as_secs_f64()
                     );
                 }
+                // The probe proved the bound mid - 1 on the objective.
+                probe_span.set_note("unsat");
+                drop(probe_span);
                 // objective >= mid is impossible; make it permanent so the
                 // solver prunes future probes.
                 smt.add_clause(&[!ge]);
                 hi = mid - 1;
+                smt.tracer().gauge("omt.bound_hi", hi);
             }
             _ => {
                 if trace {
@@ -161,6 +188,8 @@ fn maximize_binary(
                         t0.elapsed().as_secs_f64()
                     );
                 }
+                probe_span.set_note("unknown");
+                drop(probe_span);
                 // Budget exhausted: give up on this half of the bracket.
                 optimal = false;
                 hi = mid - 1;
@@ -190,23 +219,37 @@ fn maximize_linear(
         if best_val >= objective.hi {
             break;
         }
-        let bound = smt.int_const(best_val + 1);
+        let target = best_val + 1;
+        let bound = smt.int_const(target);
         let ge = smt.ge_reified(objective, &bound);
         queries += 1;
         smt.sat_mut()
             .set_conflict_budget(options.probe_conflict_budget);
+        let mut probe_span = smt
+            .tracer()
+            .clone()
+            .span_with("omt.probe", || format!("bound={target}"));
         let outcome = smt.probe_with_assumptions(&[ge]);
         smt.sat_mut().set_conflict_budget(None);
         match outcome {
             (SolveOutcome::Sat, Some(m)) => {
+                probe_span.set_note("sat");
+                drop(probe_span);
                 best_val = m.int_value(objective);
                 best_model = m;
+                smt.tracer().gauge("omt.best", best_val);
             }
             (SolveOutcome::Unsat, _) => {
+                // The probe proved best_val is the maximum.
+                probe_span.set_note("unsat");
+                drop(probe_span);
                 smt.add_clause(&[!ge]);
+                smt.tracer().gauge("omt.bound_hi", best_val);
                 break;
             }
             _ => {
+                probe_span.set_note("unknown");
+                drop(probe_span);
                 optimal = false;
                 break;
             }
@@ -309,6 +352,43 @@ mod tests {
         // Best: fast chosen, e = 0, D = 2, slack = 98.
         assert_eq!(best.value, 98);
         assert!(best.model.lit_is_true(fast));
+    }
+
+    #[test]
+    fn probes_are_traced_with_bounds() {
+        use qca_trace::{report, TraceEvent, Tracer};
+        let (tracer, sink) = Tracer::to_memory();
+        let mut smt = SmtSolver::new();
+        smt.set_control(qca_sat::SolveControl {
+            tracer,
+            ..qca_sat::SolveControl::default()
+        });
+        let x: Vec<_> = (0..3).map(|_| smt.new_bool()).collect();
+        let weight = smt.pb_sum(0, &[(3, x[0]), (4, x[1]), (5, x[2])]);
+        let cap = smt.int_const(7);
+        smt.assert_ge(&cap, &weight);
+        let value = smt.pb_sum(0, &[(4, x[0]), (5, x[1]), (6, x[2])]);
+        let best = maximize(&mut smt, &value, Strategy::BinarySearch).expect("sat");
+        assert_eq!(best.value, 9);
+        let events = sink.take();
+        report::validate_forest(&events).unwrap();
+        let probe_details: Vec<_> = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::SpanEnter { name, detail, .. } if name == "omt.probe" => detail.clone(),
+                _ => None,
+            })
+            .collect();
+        assert!(!probe_details.is_empty(), "no probe spans: {events:?}");
+        assert!(probe_details.iter().all(|d| d.starts_with("bound=")));
+        // The search span records whether the result is proven optimal.
+        let search_note = events.iter().find_map(|e| match e {
+            TraceEvent::SpanExit { note: Some(n), .. } if n == "optimal" || n == "bounded" => {
+                Some(n.clone())
+            }
+            _ => None,
+        });
+        assert_eq!(search_note.as_deref(), Some("optimal"));
     }
 
     #[test]

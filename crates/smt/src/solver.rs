@@ -127,16 +127,41 @@ impl SmtSolver {
         self.sat.stats()
     }
 
-    /// Installs a cooperative cancellation flag on the underlying SAT
-    /// solver; see [`qca_sat::Solver::set_stop_flag`].
-    pub fn set_stop_flag(&mut self, stop: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>) {
-        self.sat.set_stop_flag(stop);
+    /// Installs caller-side run controls (lifetime conflict cap,
+    /// cancellation flag, tracer) on the underlying SAT solver; see
+    /// [`qca_sat::SolveControl`].
+    pub fn set_control(&mut self, control: qca_sat::SolveControl) {
+        self.sat.set_control(control);
     }
 
-    /// Caps the lifetime SAT conflict count; see
-    /// [`qca_sat::Solver::set_conflict_cap`].
+    /// The currently installed run controls.
+    pub fn control(&self) -> &qca_sat::SolveControl {
+        self.sat.control()
+    }
+
+    /// The tracer receiving span/counter events for this solver's work.
+    pub fn tracer(&self) -> &qca_trace::Tracer {
+        &self.sat.control().tracer
+    }
+
+    /// Installs a cooperative cancellation flag on the underlying SAT
+    /// solver.
+    #[deprecated(since = "0.1.0", note = "set `SolveControl::stop` via `set_control`")]
+    pub fn set_stop_flag(&mut self, stop: Option<std::sync::Arc<std::sync::atomic::AtomicBool>>) {
+        let mut control = self.sat.control().clone();
+        control.stop = stop;
+        self.sat.set_control(control);
+    }
+
+    /// Caps the lifetime SAT conflict count.
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `SolveControl::conflict_cap` via `set_control`"
+    )]
     pub fn set_conflict_cap(&mut self, cap: Option<u64>) {
-        self.sat.set_conflict_cap(cap);
+        let mut control = self.sat.control().clone();
+        control.conflict_cap = cap;
+        self.sat.set_control(control);
     }
 
     /// Number of SAT variables allocated (Booleans plus bit-blasting

@@ -1,0 +1,394 @@
+//! JSONL serialization of [`TraceEvent`]s.
+//!
+//! The build environment has no serde, so this module hand-rolls a writer and
+//! a parser for the (flat, single-object-per-line) subset of JSON the writer
+//! emits. The parser is deliberately strict: it exists to validate trace
+//! files, not to accept arbitrary JSON.
+
+use crate::TraceEvent;
+use std::borrow::Cow;
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+fn push_str_field(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    escape_into(out, value);
+    out.push('"');
+}
+
+/// Serialize one event as a single JSON line (no trailing newline).
+pub fn to_jsonl(event: &TraceEvent) -> String {
+    let mut s = String::with_capacity(96);
+    s.push('{');
+    match event {
+        TraceEvent::SpanEnter {
+            id,
+            parent,
+            thread,
+            t_ns,
+            name,
+            detail,
+        } => {
+            s.push_str("\"ev\":\"enter\",");
+            push_str_field(&mut s, "name", name);
+            s.push_str(&format!(",\"id\":{id}"));
+            if let Some(p) = parent {
+                s.push_str(&format!(",\"parent\":{p}"));
+            }
+            s.push_str(&format!(",\"thread\":{thread},\"t_ns\":{t_ns}"));
+            if let Some(d) = detail {
+                s.push(',');
+                push_str_field(&mut s, "detail", d);
+            }
+        }
+        TraceEvent::SpanExit {
+            id,
+            thread,
+            t_ns,
+            note,
+        } => {
+            s.push_str(&format!(
+                "\"ev\":\"exit\",\"id\":{id},\"thread\":{thread},\"t_ns\":{t_ns}"
+            ));
+            if let Some(n) = note {
+                s.push(',');
+                push_str_field(&mut s, "note", n);
+            }
+        }
+        TraceEvent::Counter {
+            name,
+            span,
+            thread,
+            t_ns,
+            value,
+        } => {
+            s.push_str("\"ev\":\"counter\",");
+            push_str_field(&mut s, "name", name);
+            if let Some(sp) = span {
+                s.push_str(&format!(",\"span\":{sp}"));
+            }
+            s.push_str(&format!(
+                ",\"thread\":{thread},\"t_ns\":{t_ns},\"value\":{value}"
+            ));
+        }
+        TraceEvent::Gauge {
+            name,
+            span,
+            thread,
+            t_ns,
+            value,
+        } => {
+            s.push_str("\"ev\":\"gauge\",");
+            push_str_field(&mut s, "name", name);
+            if let Some(sp) = span {
+                s.push_str(&format!(",\"span\":{sp}"));
+            }
+            s.push_str(&format!(
+                ",\"thread\":{thread},\"t_ns\":{t_ns},\"value\":{value}"
+            ));
+        }
+    }
+    s.push('}');
+    s
+}
+
+/// A parsed scalar JSON value.
+#[derive(Debug, Clone, PartialEq)]
+enum Scalar {
+    Str(String),
+    Int(i128),
+}
+
+/// Parse one flat JSON object (`{"k":"v","n":3,...}`) into key/value pairs.
+fn parse_object(line: &str) -> Result<Vec<(String, Scalar)>, String> {
+    let bytes = line.as_bytes();
+    let mut i = 0usize;
+    let err = |what: &str, at: usize| format!("{what} at byte {at}: {line}");
+
+    let skip_ws = |i: &mut usize| {
+        while *i < bytes.len() && bytes[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    };
+
+    fn parse_string(bytes: &[u8], i: &mut usize, line: &str) -> Result<String, String> {
+        if bytes.get(*i) != Some(&b'"') {
+            return Err(format!("expected '\"' at byte {}: {line}", *i));
+        }
+        *i += 1;
+        let mut out = String::new();
+        loop {
+            match bytes.get(*i) {
+                None => return Err(format!("unterminated string: {line}")),
+                Some(b'"') => {
+                    *i += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    *i += 1;
+                    match bytes.get(*i) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            let hex = line
+                                .get(*i + 1..*i + 5)
+                                .ok_or_else(|| format!("truncated \\u escape: {line}"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| format!("bad \\u escape {hex:?}: {line}"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("bad codepoint {code}: {line}"))?,
+                            );
+                            *i += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}: {line}")),
+                    }
+                    *i += 1;
+                }
+                Some(_) => {
+                    // Advance one UTF-8 scalar.
+                    let rest = &line[*i..];
+                    let c = rest.chars().next().expect("in-bounds char");
+                    out.push(c);
+                    *i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    skip_ws(&mut i);
+    if bytes.get(i) != Some(&b'{') {
+        return Err(err("expected '{'", i));
+    }
+    i += 1;
+    let mut fields = Vec::new();
+    skip_ws(&mut i);
+    if bytes.get(i) == Some(&b'}') {
+        return Ok(fields);
+    }
+    loop {
+        skip_ws(&mut i);
+        let key = parse_string(bytes, &mut i, line)?;
+        skip_ws(&mut i);
+        if bytes.get(i) != Some(&b':') {
+            return Err(err("expected ':'", i));
+        }
+        i += 1;
+        skip_ws(&mut i);
+        let value = match bytes.get(i) {
+            Some(b'"') => Scalar::Str(parse_string(bytes, &mut i, line)?),
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let start = i;
+                i += 1;
+                while i < bytes.len() && bytes[i].is_ascii_digit() {
+                    i += 1;
+                }
+                let n: i128 = line[start..i]
+                    .parse()
+                    .map_err(|_| err("bad integer", start))?;
+                Scalar::Int(n)
+            }
+            _ => return Err(err("expected string or integer value", i)),
+        };
+        fields.push((key, value));
+        skip_ws(&mut i);
+        match bytes.get(i) {
+            Some(b',') => i += 1,
+            Some(b'}') => {
+                i += 1;
+                break;
+            }
+            _ => return Err(err("expected ',' or '}'", i)),
+        }
+    }
+    skip_ws(&mut i);
+    if i != bytes.len() {
+        return Err(err("trailing garbage", i));
+    }
+    Ok(fields)
+}
+
+/// Parse one JSONL line back into a [`TraceEvent`].
+pub fn parse_jsonl_line(line: &str) -> Result<TraceEvent, String> {
+    let fields = parse_object(line)?;
+    let get = |key: &str| fields.iter().find(|(k, _)| k == key).map(|(_, v)| v);
+    let get_str = |key: &str| -> Result<String, String> {
+        match get(key) {
+            Some(Scalar::Str(s)) => Ok(s.clone()),
+            _ => Err(format!("missing string field {key:?}: {line}")),
+        }
+    };
+    let get_u64 = |key: &str| -> Result<u64, String> {
+        match get(key) {
+            Some(Scalar::Int(n)) => {
+                u64::try_from(*n).map_err(|_| format!("field {key:?} out of range: {line}"))
+            }
+            _ => Err(format!("missing integer field {key:?}: {line}")),
+        }
+    };
+    let opt_u64 = |key: &str| -> Result<Option<u64>, String> {
+        match get(key) {
+            None => Ok(None),
+            Some(Scalar::Int(n)) => u64::try_from(*n)
+                .map(Some)
+                .map_err(|_| format!("field {key:?} out of range: {line}")),
+            Some(_) => Err(format!("field {key:?} must be an integer: {line}")),
+        }
+    };
+    let opt_str = |key: &str| -> Option<String> {
+        match get(key) {
+            Some(Scalar::Str(s)) => Some(s.clone()),
+            _ => None,
+        }
+    };
+
+    match get_str("ev")?.as_str() {
+        "enter" => Ok(TraceEvent::SpanEnter {
+            id: get_u64("id")?,
+            parent: opt_u64("parent")?,
+            thread: get_u64("thread")?,
+            t_ns: get_u64("t_ns")?,
+            name: Cow::Owned(get_str("name")?),
+            detail: opt_str("detail"),
+        }),
+        "exit" => Ok(TraceEvent::SpanExit {
+            id: get_u64("id")?,
+            thread: get_u64("thread")?,
+            t_ns: get_u64("t_ns")?,
+            note: opt_str("note"),
+        }),
+        "counter" => Ok(TraceEvent::Counter {
+            name: Cow::Owned(get_str("name")?),
+            span: opt_u64("span")?,
+            thread: get_u64("thread")?,
+            t_ns: get_u64("t_ns")?,
+            value: get_u64("value")?,
+        }),
+        "gauge" => {
+            let value = match get("value") {
+                Some(Scalar::Int(n)) => {
+                    i64::try_from(*n).map_err(|_| format!("gauge value out of range: {line}"))?
+                }
+                _ => return Err(format!("missing integer field \"value\": {line}")),
+            };
+            Ok(TraceEvent::Gauge {
+                name: Cow::Owned(get_str("name")?),
+                span: opt_u64("span")?,
+                thread: get_u64("thread")?,
+                t_ns: get_u64("t_ns")?,
+                value,
+            })
+        }
+        other => Err(format!("unknown event kind {other:?}: {line}")),
+    }
+}
+
+/// Parse a whole JSONL document (blank lines are skipped).
+pub fn parse_jsonl(text: &str) -> Result<Vec<TraceEvent>, String> {
+    let mut events = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        events.push(parse_jsonl_line(line).map_err(|e| format!("line {}: {e}", lineno + 1))?);
+    }
+    Ok(events)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(ev: TraceEvent) {
+        let line = to_jsonl(&ev);
+        let back = parse_jsonl_line(&line).unwrap_or_else(|e| panic!("parse {line:?}: {e}"));
+        assert_eq!(ev, back, "line was {line}");
+    }
+
+    #[test]
+    fn round_trips_all_variants() {
+        round_trip(TraceEvent::SpanEnter {
+            id: 7,
+            parent: Some(3),
+            thread: 1,
+            t_ns: 123_456,
+            name: "omt.probe".into(),
+            detail: Some("bound=5 \"tricky\"\n\ttail\\".to_string()),
+        });
+        round_trip(TraceEvent::SpanEnter {
+            id: 1,
+            parent: None,
+            thread: 0,
+            t_ns: 0,
+            name: "adapt".into(),
+            detail: None,
+        });
+        round_trip(TraceEvent::SpanExit {
+            id: 7,
+            thread: 1,
+            t_ns: 200_000,
+            note: Some("sat".into()),
+        });
+        round_trip(TraceEvent::SpanExit {
+            id: 1,
+            thread: 0,
+            t_ns: 9,
+            note: None,
+        });
+        round_trip(TraceEvent::Counter {
+            name: "sat.restart".into(),
+            span: Some(7),
+            thread: 1,
+            t_ns: 55,
+            value: u64::MAX,
+        });
+        round_trip(TraceEvent::Gauge {
+            name: "omt.best".into(),
+            span: None,
+            thread: 0,
+            t_ns: 55,
+            value: -42,
+        });
+    }
+
+    #[test]
+    fn control_characters_escape() {
+        round_trip(TraceEvent::SpanEnter {
+            id: 2,
+            parent: None,
+            thread: 0,
+            t_ns: 1,
+            name: "x".into(),
+            detail: Some("\u{1}\u{1f}ünïcode❄".to_string()),
+        });
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_jsonl_line("not json").is_err());
+        assert!(parse_jsonl_line("{\"ev\":\"enter\"}").is_err());
+        assert!(parse_jsonl_line("{\"ev\":\"bogus\",\"id\":1}").is_err());
+        assert!(
+            parse_jsonl_line("{\"ev\":\"exit\",\"id\":1,\"thread\":0,\"t_ns\":2} extra").is_err()
+        );
+    }
+}

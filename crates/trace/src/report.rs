@@ -1,0 +1,450 @@
+//! Trace analysis: structural validation and a human-readable text report.
+
+use crate::TraceEvent;
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+/// Check that `events` form a well-formed span forest:
+///
+/// * per-thread timestamps are monotonically non-decreasing,
+/// * span ids are unique,
+/// * every exit closes the innermost open span of its thread,
+/// * `parent` links match the per-thread nesting at enter time,
+/// * counter/gauge `span` attribution matches the innermost open span,
+/// * every opened span is closed.
+pub fn validate_forest(events: &[TraceEvent]) -> Result<(), String> {
+    let mut stacks: HashMap<u64, Vec<u64>> = HashMap::new();
+    let mut last_t: HashMap<u64, u64> = HashMap::new();
+    let mut seen_ids: HashSet<u64> = HashSet::new();
+
+    for (idx, ev) in events.iter().enumerate() {
+        let thread = ev.thread();
+        let t = ev.t_ns();
+        let prev = last_t.entry(thread).or_insert(0);
+        if t < *prev {
+            return Err(format!(
+                "event {idx}: timestamp {t} goes backwards on thread {thread} (prev {prev})"
+            ));
+        }
+        *prev = t;
+        let stack = stacks.entry(thread).or_default();
+        match ev {
+            TraceEvent::SpanEnter { id, parent, .. } => {
+                if !seen_ids.insert(*id) {
+                    return Err(format!("event {idx}: duplicate span id {id}"));
+                }
+                if *parent != stack.last().copied() {
+                    return Err(format!(
+                        "event {idx}: span {id} claims parent {parent:?} but innermost open span is {:?}",
+                        stack.last()
+                    ));
+                }
+                stack.push(*id);
+            }
+            TraceEvent::SpanExit { id, .. } => match stack.pop() {
+                Some(top) if top == *id => {}
+                Some(top) => {
+                    return Err(format!(
+                        "event {idx}: exit of span {id} but innermost open span is {top}"
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "event {idx}: exit of span {id} with no open span on thread {thread}"
+                    ))
+                }
+            },
+            TraceEvent::Counter { span, .. } | TraceEvent::Gauge { span, .. } => {
+                if *span != stack.last().copied() {
+                    return Err(format!(
+                        "event {idx}: event attributed to span {span:?} but innermost open span is {:?}",
+                        stack.last()
+                    ));
+                }
+            }
+        }
+    }
+    for (thread, stack) in &stacks {
+        if !stack.is_empty() {
+            return Err(format!("thread {thread}: spans left open: {stack:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Sum of all counter increments, by name.
+pub fn counter_totals(events: &[TraceEvent]) -> BTreeMap<String, u64> {
+    let mut totals = BTreeMap::new();
+    for ev in events {
+        if let TraceEvent::Counter { name, value, .. } = ev {
+            *totals.entry(name.to_string()).or_insert(0) += value;
+        }
+    }
+    totals
+}
+
+/// Last observed value of every gauge, by name.
+pub fn last_gauges(events: &[TraceEvent]) -> BTreeMap<String, i64> {
+    let mut gauges = BTreeMap::new();
+    for ev in events {
+        if let TraceEvent::Gauge { name, value, .. } = ev {
+            gauges.insert(name.to_string(), *value);
+        }
+    }
+    gauges
+}
+
+/// One reconstructed span.
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Span id.
+    pub id: u64,
+    /// Span name.
+    pub name: String,
+    /// Optional detail recorded at enter.
+    pub detail: Option<String>,
+    /// Optional note recorded at exit.
+    pub note: Option<String>,
+    /// Enter timestamp (ns since epoch).
+    pub t_enter: u64,
+    /// Exit timestamp (ns since epoch); for unclosed spans, the last
+    /// timestamp seen in the trace.
+    pub t_exit: u64,
+    /// Child spans in order of opening.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Wall time covered by this span, in nanoseconds.
+    pub fn total_ns(&self) -> u64 {
+        self.t_exit.saturating_sub(self.t_enter)
+    }
+
+    /// Wall time not covered by any child span, in nanoseconds.
+    pub fn self_ns(&self) -> u64 {
+        let child: u64 = self.children.iter().map(SpanNode::total_ns).sum();
+        self.total_ns().saturating_sub(child)
+    }
+}
+
+#[derive(Debug, Default, Clone)]
+struct PhaseAgg {
+    count: u64,
+    total_ns: u64,
+    self_ns: u64,
+}
+
+/// A reconstructed trace: span forest plus counter/gauge summaries.
+#[derive(Debug)]
+pub struct Report {
+    /// Root spans (per thread, in opening order).
+    pub roots: Vec<SpanNode>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    phases: BTreeMap<String, PhaseAgg>,
+}
+
+impl Report {
+    /// Build a report from a raw event stream. Tolerates unclosed spans
+    /// (they are clipped to the last timestamp in the trace) so partial
+    /// traces from aborted runs still render.
+    pub fn from_events(events: &[TraceEvent]) -> Report {
+        let max_t = events.iter().map(TraceEvent::t_ns).max().unwrap_or(0);
+        let mut stacks: HashMap<u64, Vec<SpanNode>> = HashMap::new();
+        let mut roots = Vec::new();
+
+        fn close(node: SpanNode, stack: &mut [SpanNode], roots: &mut Vec<SpanNode>) {
+            match stack.last_mut() {
+                Some(parent) => parent.children.push(node),
+                None => roots.push(node),
+            }
+        }
+
+        for ev in events {
+            match ev {
+                TraceEvent::SpanEnter {
+                    id,
+                    thread,
+                    t_ns,
+                    name,
+                    detail,
+                    ..
+                } => {
+                    stacks.entry(*thread).or_default().push(SpanNode {
+                        id: *id,
+                        name: name.to_string(),
+                        detail: detail.clone(),
+                        note: None,
+                        t_enter: *t_ns,
+                        t_exit: *t_ns,
+                        children: Vec::new(),
+                    });
+                }
+                TraceEvent::SpanExit {
+                    id,
+                    thread,
+                    t_ns,
+                    note,
+                } => {
+                    let stack = stacks.entry(*thread).or_default();
+                    if let Some(pos) = stack.iter().rposition(|n| n.id == *id) {
+                        // Clip any children left open by a misnested trace.
+                        while stack.len() > pos + 1 {
+                            let mut orphan = stack.pop().expect("len checked");
+                            orphan.t_exit = *t_ns;
+                            close(orphan, stack, &mut roots);
+                        }
+                        let mut node = stack.pop().expect("len checked");
+                        node.t_exit = *t_ns;
+                        node.note = note.clone();
+                        close(node, stack, &mut roots);
+                    }
+                }
+                TraceEvent::Counter { .. } | TraceEvent::Gauge { .. } => {}
+            }
+        }
+        for (_, stack) in stacks {
+            let mut pending_roots = Vec::new();
+            let mut residue = stack;
+            while let Some(mut node) = residue.pop() {
+                node.t_exit = max_t;
+                match residue.last_mut() {
+                    Some(parent) => parent.children.push(node),
+                    None => pending_roots.push(node),
+                }
+            }
+            roots.extend(pending_roots);
+        }
+        roots.sort_by_key(|n| n.t_enter);
+
+        let mut phases: BTreeMap<String, PhaseAgg> = BTreeMap::new();
+        fn aggregate(node: &SpanNode, phases: &mut BTreeMap<String, PhaseAgg>) {
+            let agg = phases.entry(node.name.clone()).or_default();
+            agg.count += 1;
+            agg.total_ns += node.total_ns();
+            agg.self_ns += node.self_ns();
+            for child in &node.children {
+                aggregate(child, phases);
+            }
+        }
+        for root in &roots {
+            aggregate(root, &mut phases);
+        }
+
+        Report {
+            roots,
+            counters: counter_totals(events),
+            gauges: last_gauges(events),
+            phases,
+        }
+    }
+
+    /// Total wall time attributed to spans named `name`, or `None` when no
+    /// such span occurred.
+    pub fn phase_total_ns(&self, name: &str) -> Option<u64> {
+        self.phases.get(name).map(|p| p.total_ns)
+    }
+
+    /// Total wall time covered by root spans, in nanoseconds.
+    pub fn root_total_ns(&self) -> u64 {
+        self.roots.iter().map(SpanNode::total_ns).sum()
+    }
+
+    /// Render the report as plain text: per-phase breakdown, counters,
+    /// gauges, and the full span tree (per-span total time, probe details
+    /// and outcome notes included).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let root_total = self.root_total_ns().max(1);
+
+        out.push_str("== phase breakdown ==\n");
+        out.push_str(&format!(
+            "{:<28} {:>7} {:>12} {:>12} {:>7}\n",
+            "phase", "count", "total", "self", "%"
+        ));
+        let mut phases: Vec<(&String, &PhaseAgg)> = self.phases.iter().collect();
+        phases.sort_by_key(|p| std::cmp::Reverse(p.1.total_ns));
+        for (name, agg) in phases {
+            out.push_str(&format!(
+                "{:<28} {:>7} {:>12} {:>12} {:>6.1}%\n",
+                name,
+                agg.count,
+                fmt_ns(agg.total_ns),
+                fmt_ns(agg.self_ns),
+                100.0 * agg.self_ns as f64 / root_total as f64,
+            ));
+        }
+
+        if !self.counters.is_empty() {
+            out.push_str("\n== counters ==\n");
+            for (name, value) in &self.counters {
+                out.push_str(&format!("{name:<36} {value:>12}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("\n== gauges (last) ==\n");
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("{name:<36} {value:>12}\n"));
+            }
+        }
+
+        out.push_str("\n== span tree ==\n");
+        for root in &self.roots {
+            render_node(&mut out, root, 0);
+        }
+        out
+    }
+}
+
+fn render_node(out: &mut String, node: &SpanNode, depth: usize) {
+    let indent = "  ".repeat(depth);
+    let mut label = node.name.clone();
+    if let Some(d) = &node.detail {
+        label.push(' ');
+        label.push_str(d);
+    }
+    if let Some(n) = &node.note {
+        label.push_str(" [");
+        label.push_str(n);
+        label.push(']');
+    }
+    let padded_width = 52usize.saturating_sub(indent.len());
+    out.push_str(&format!(
+        "{indent}{label:<padded_width$} {:>12} {:>12}\n",
+        fmt_ns(node.total_ns()),
+        fmt_ns(node.self_ns()),
+    ));
+    for child in &node.children {
+        render_node(out, child, depth + 1);
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3}s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3}ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1}us", ns as f64 / 1e3)
+    } else {
+        format!("{ns}ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    #[test]
+    fn report_builds_tree_and_aggregates() {
+        let (tracer, sink) = Tracer::to_memory();
+        {
+            let _adapt = tracer.span("adapt");
+            {
+                let _p = tracer.span("preprocess");
+            }
+            {
+                let _o = tracer.span("omt.search");
+                for bound in [4_i64, 6, 7] {
+                    let mut probe = tracer.span_with("omt.probe", || format!("bound={bound}"));
+                    probe.set_note(if bound < 7 { "sat" } else { "unsat" });
+                }
+                tracer.counter("omt.probes", 3);
+            }
+        }
+        let events = sink.take();
+        validate_forest(&events).unwrap();
+        let report = Report::from_events(&events);
+        assert_eq!(report.roots.len(), 1);
+        assert_eq!(report.roots[0].name, "adapt");
+        assert_eq!(report.roots[0].children.len(), 2);
+        let text = report.render();
+        assert!(text.contains("phase breakdown"));
+        assert!(
+            text.contains("omt.probe bound=6 [sat]"),
+            "report was:\n{text}"
+        );
+        assert!(
+            text.contains("omt.probe bound=7 [unsat]"),
+            "report was:\n{text}"
+        );
+        assert!(text.contains("omt.probes"));
+    }
+
+    #[test]
+    fn validate_rejects_bad_forests() {
+        use std::borrow::Cow;
+        let enter = |id: u64, parent: Option<u64>, t: u64| TraceEvent::SpanEnter {
+            id,
+            parent,
+            thread: 0,
+            t_ns: t,
+            name: Cow::Borrowed("x"),
+            detail: None,
+        };
+        let exit = |id: u64, t: u64| TraceEvent::SpanExit {
+            id,
+            thread: 0,
+            t_ns: t,
+            note: None,
+        };
+
+        // Unbalanced: span never closed.
+        assert!(validate_forest(&[enter(1, None, 0)]).is_err());
+        // Exit of a span that is not innermost.
+        assert!(validate_forest(&[
+            enter(1, None, 0),
+            enter(2, Some(1), 1),
+            exit(1, 2),
+            exit(2, 3)
+        ])
+        .is_err());
+        // Timestamps go backwards.
+        assert!(validate_forest(&[enter(1, None, 5), exit(1, 2)]).is_err());
+        // Wrong parent claim.
+        assert!(
+            validate_forest(&[enter(1, None, 0), enter(2, None, 1), exit(2, 2), exit(1, 3)])
+                .is_err()
+        );
+        // Duplicate ids.
+        assert!(
+            validate_forest(&[enter(1, None, 0), exit(1, 1), enter(1, None, 2), exit(1, 3)])
+                .is_err()
+        );
+        // Well-formed forest passes.
+        assert!(validate_forest(&[
+            enter(1, None, 0),
+            exit(1, 1),
+            enter(2, None, 2),
+            enter(3, Some(2), 3),
+            exit(3, 4),
+            exit(2, 5)
+        ])
+        .is_ok());
+    }
+
+    #[test]
+    fn unclosed_spans_are_clipped_in_report() {
+        use std::borrow::Cow;
+        let events = [
+            TraceEvent::SpanEnter {
+                id: 1,
+                parent: None,
+                thread: 0,
+                t_ns: 0,
+                name: Cow::Borrowed("solve"),
+                detail: None,
+            },
+            TraceEvent::Counter {
+                name: Cow::Borrowed("sat.restart"),
+                span: Some(1),
+                thread: 0,
+                t_ns: 10,
+                value: 1,
+            },
+        ];
+        let report = Report::from_events(&events);
+        assert_eq!(report.roots.len(), 1);
+        assert_eq!(report.roots[0].total_ns(), 10);
+    }
+}

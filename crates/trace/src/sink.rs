@@ -1,0 +1,147 @@
+//! Provided [`TraceSink`] implementations.
+
+use crate::{jsonl, TraceEvent, TraceSink};
+use std::fmt;
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::{Arc, Mutex};
+
+/// Buffers every event in memory. Intended for tests and for rendering a
+/// report at the end of a run without touching the filesystem.
+#[derive(Debug, Default)]
+pub struct MemorySink {
+    events: Mutex<Vec<TraceEvent>>,
+}
+
+impl MemorySink {
+    /// An empty sink.
+    pub fn new() -> Self {
+        MemorySink::default()
+    }
+
+    /// Snapshot of the events recorded so far.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.lock().expect("memory sink poisoned").clone()
+    }
+
+    /// Drain and return all recorded events.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock().expect("memory sink poisoned"))
+    }
+
+    /// Number of events recorded so far.
+    pub fn len(&self) -> usize {
+        self.events.lock().expect("memory sink poisoned").len()
+    }
+
+    /// Whether no events have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl TraceSink for MemorySink {
+    fn record(&self, event: &TraceEvent) {
+        self.events
+            .lock()
+            .expect("memory sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Writes one JSON object per line (JSONL). Each line is flushed as it is
+/// written so a trace file is readable even after a crash or mid-run.
+pub struct JsonlSink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl fmt::Debug for JsonlSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("JsonlSink").finish_non_exhaustive()
+    }
+}
+
+impl JsonlSink {
+    /// Wrap an arbitrary writer.
+    pub fn new(writer: Box<dyn Write + Send>) -> Self {
+        JsonlSink {
+            out: Mutex::new(writer),
+        }
+    }
+
+    /// Create (truncate) `path` and write the trace there.
+    pub fn create<P: AsRef<Path>>(path: P) -> io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(JsonlSink::new(Box::new(BufWriter::new(file))))
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, event: &TraceEvent) {
+        let line = jsonl::to_jsonl(event);
+        let mut out = self.out.lock().expect("jsonl sink poisoned");
+        // Tracing is best-effort: I/O errors must not abort a solve.
+        let _ = writeln!(out, "{line}");
+        let _ = out.flush();
+    }
+}
+
+/// Tees every event to several sinks in order.
+pub struct FanoutSink {
+    sinks: Vec<Arc<dyn TraceSink>>,
+}
+
+impl fmt::Debug for FanoutSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FanoutSink")
+            .field("sinks", &self.sinks.len())
+            .finish()
+    }
+}
+
+impl FanoutSink {
+    /// A sink forwarding to all of `sinks`.
+    pub fn new(sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        FanoutSink { sinks }
+    }
+}
+
+impl TraceSink for FanoutSink {
+    fn record(&self, event: &TraceEvent) {
+        for sink in &self.sinks {
+            sink.record(event);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Tracer;
+
+    #[test]
+    fn jsonl_sink_round_trips() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> io::Result<usize> {
+                self.0.lock().unwrap().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> io::Result<()> {
+                Ok(())
+            }
+        }
+        let tracer = Tracer::new(Arc::new(JsonlSink::new(Box::new(Shared(buf.clone())))));
+        {
+            let mut s = tracer.span_with("phase", || "q=3 \"quoted\"".into());
+            s.set_note("ok");
+            tracer.counter("n", 42);
+        }
+        let text = String::from_utf8(buf.lock().unwrap().clone()).unwrap();
+        let events = jsonl::parse_jsonl(&text).unwrap();
+        assert_eq!(events.len(), 3);
+        crate::report::validate_forest(&events).unwrap();
+    }
+}

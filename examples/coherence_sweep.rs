@@ -6,7 +6,7 @@
 //!
 //! Run with `cargo run --release --example coherence_sweep`.
 
-use qca::adapt::{adapt, AdaptOptions, Objective};
+use qca::adapt::{adapt, AdaptContext, Objective};
 use qca::circuit::{Circuit, Gate};
 use qca::hw::{spin_qubit_model, CircuitSchedule, GateTimes, HardwareModel};
 
@@ -36,7 +36,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for t2 in [500.0, 1000.0, 2900.0, 10_000.0, 100_000.0, 1_000_000.0] {
         let hw = spin_with_t2(t2);
-        let r = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Combined))?;
+        let r = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Combined))?;
         let fid = hw.circuit_fidelity(&r.circuit).expect("native");
         let idle = CircuitSchedule::asap(&r.circuit, &hw)
             .expect("native")

@@ -8,10 +8,9 @@
 use qca::adapt::model::solve_model;
 use qca::adapt::preprocess::preprocess;
 use qca::adapt::rules::{evaluate_substitutions, RuleOptions};
-use qca::adapt::{extract_circuit, Objective};
+use qca::adapt::{extract_circuit, AdaptContext, Objective};
 use qca::circuit::{Circuit, Gate};
 use qca::hw::{spin_qubit_model, CircuitSchedule, GateTimes};
-use qca::smt::omt::Strategy;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // A circuit in the spirit of Fig. 4: three blocks on pairs (0,1), (1,2)
@@ -70,7 +69,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Objective::IdleTime,
         Objective::Combined,
     ] {
-        let solved = solve_model(&pre, &hw, &catalog, objective, Strategy::BinarySearch)?;
+        let solved = solve_model(
+            &pre,
+            &hw,
+            &catalog,
+            &AdaptContext::with_objective(objective),
+        )?;
         let adapted = extract_circuit(&pre, &catalog, &solved.chosen);
         let sched = CircuitSchedule::asap(&adapted, &hw).expect("native");
         let chosen: Vec<String> = solved

@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --release --example qasm_pipeline`.
 
-use qca::adapt::{adapt, AdaptOptions, Objective};
+use qca::adapt::{adapt, AdaptContext, Objective};
 use qca::circuit::qasm::{parse_qasm, to_qasm};
 use qca::hw::{spin_qubit_model, GateTimes};
 
@@ -35,7 +35,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let result = adapt(
         &circuit,
         &hw,
-        &AdaptOptions::with_objective(Objective::Combined),
+        &AdaptContext::with_objective(Objective::Combined),
     )?;
 
     println!(

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release --example quantum_volume`.
 
-use qca::adapt::{adapt, AdaptOptions, Objective};
+use qca::adapt::{adapt, AdaptContext, Objective};
 use qca::baselines::{
     direct_translation, kak_adaptation, template_optimization, KakBasis, TemplateObjective,
 };
@@ -84,7 +84,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Objective::IdleTime,
         Objective::Combined,
     ] {
-        let r = adapt(&circuit, &hw, &AdaptOptions::with_objective(obj))?;
+        let r = adapt(&circuit, &hw, &AdaptContext::with_objective(obj))?;
         report(
             &format!("{obj}"),
             &r.circuit,

@@ -3,7 +3,7 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use qca::adapt::{adapt, AdaptOptions, Objective};
+use qca::adapt::{adapt, AdaptContext, Objective};
 use qca::baselines::direct_translation;
 use qca::circuit::{Circuit, Gate};
 use qca::hw::{spin_qubit_model, CircuitSchedule, GateTimes};
@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Objective::IdleTime,
         Objective::Combined,
     ] {
-        let result = adapt(&circuit, &hw, &AdaptOptions::with_objective(objective))?;
+        let result = adapt(&circuit, &hw, &AdaptContext::with_objective(objective))?;
         let fid = hw.circuit_fidelity(&result.circuit).expect("native");
         let sched = CircuitSchedule::asap(&result.circuit, &hw).expect("native");
         println!(

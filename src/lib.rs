@@ -22,13 +22,14 @@
 //! | [`sim`] | `qca-sim` | noisy density-matrix simulator, Hellinger fidelity |
 //! | [`workloads`] | `qca-workloads` | quantum-volume and random circuits |
 //! | [`engine`] | `qca-engine` | parallel batch adaptation, result cache, metrics |
+//! | [`trace`] | `qca-trace` | hierarchical span tracing, JSONL sink, reports |
 //!
 //! # Examples
 //!
 //! ```
 //! use qca::circuit::{Circuit, Gate};
 //! use qca::hw::{spin_qubit_model, GateTimes};
-//! use qca::adapt::{adapt, AdaptOptions, Objective};
+//! use qca::adapt::{adapt, AdaptContext, Objective};
 //!
 //! // Three alternating CNOTs = a SWAP; the SMT adaptation replaces them
 //! // with a native swap realization.
@@ -37,7 +38,7 @@
 //! c.push(Gate::Cx, &[1, 0]);
 //! c.push(Gate::Cx, &[0, 1]);
 //! let hw = spin_qubit_model(GateTimes::D0);
-//! let result = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity))?;
+//! let result = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Fidelity))?;
 //! assert!(hw.circuit_fidelity(&result.circuit).unwrap()
 //!     >= hw.circuit_fidelity(&result.reference).unwrap());
 //! # Ok::<(), qca::adapt::AdaptError>(())
@@ -55,4 +56,5 @@ pub use qca_sat as sat;
 pub use qca_sim as sim;
 pub use qca_smt as smt;
 pub use qca_synth as synth;
+pub use qca_trace as trace;
 pub use qca_workloads as workloads;

@@ -3,7 +3,7 @@
 //! nativeness), dominance over baselines, selection consistency, and
 //! behaviour of the optimized-KAK extension.
 
-use qca::adapt::{adapt, AdaptOptions, Objective, RuleOptions};
+use qca::adapt::{adapt, AdaptContext, AdaptOptions, Objective, RuleOptions};
 use qca::baselines::{direct_translation, template_optimization, TemplateObjective};
 use qca::circuit::Circuit;
 use qca::hw::{spin_qubit_model, GateTimes};
@@ -25,7 +25,7 @@ fn chosen_substitutions_never_conflict() {
             Objective::IdleTime,
             Objective::Combined,
         ] {
-            let r = adapt(&c, &hw, &AdaptOptions::with_objective(obj)).unwrap();
+            let r = adapt(&c, &hw, &AdaptContext::with_objective(obj)).unwrap();
             for (i, a) in r.chosen.iter().enumerate() {
                 for b in &r.chosen[i + 1..] {
                     assert!(!a.conflicts_with(b), "{obj}: conflicting selection");
@@ -39,13 +39,15 @@ fn chosen_substitutions_never_conflict() {
 fn optimized_kak_variant_is_sound_and_never_worse_on_fidelity() {
     let hw = spin_qubit_model(GateTimes::D0);
     for c in circuits() {
-        let generic = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).unwrap();
-        let mut opts = AdaptOptions::with_objective(Objective::Fidelity);
-        opts.rules = RuleOptions {
-            optimized_kak: true,
-            ..RuleOptions::default()
-        };
-        let optimized = adapt(&c, &hw, &opts).unwrap();
+        let generic = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Fidelity)).unwrap();
+        let ctx = AdaptOptions::builder()
+            .objective(Objective::Fidelity)
+            .rules(RuleOptions {
+                optimized_kak: true,
+                ..RuleOptions::default()
+            })
+            .context();
+        let optimized = adapt(&c, &hw, &ctx).unwrap();
         assert!(approx_eq_up_to_phase(
             &optimized.circuit.unitary(),
             &c.unitary(),
@@ -67,11 +69,14 @@ fn exact_search_agrees_with_budgeted_on_fidelity_objective() {
     // find the same optimum (the fidelity model is identical).
     let hw = spin_qubit_model(GateTimes::D0);
     for c in circuits() {
-        let budgeted = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).unwrap();
+        let budgeted = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Fidelity)).unwrap();
         let exact = adapt(
             &c,
             &hw,
-            &AdaptOptions::exact_with_objective(Objective::Fidelity),
+            &AdaptOptions::builder()
+                .objective(Objective::Fidelity)
+                .exact()
+                .context(),
         )
         .unwrap();
         assert!(exact.solver.optimal);
@@ -88,7 +93,7 @@ fn exact_search_agrees_with_budgeted_on_fidelity_objective() {
 fn sat_never_below_template_on_matching_objective() {
     let hw = spin_qubit_model(GateTimes::D1);
     for c in circuits() {
-        let sat = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).unwrap();
+        let sat = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Fidelity)).unwrap();
         let tmpl = template_optimization(&c, &hw, TemplateObjective::Fidelity).unwrap();
         let fs = hw.circuit_fidelity(&sat.circuit).unwrap();
         let ft = hw.circuit_fidelity(&tmpl).unwrap();
@@ -106,7 +111,7 @@ fn reference_close_to_direct_translation_cost() {
     // better, never worse, and the gap is a handful of SU(2) gates.
     let hw = spin_qubit_model(GateTimes::D0);
     for c in circuits() {
-        let r = adapt(&c, &hw, &AdaptOptions::default()).unwrap();
+        let r = adapt(&c, &hw, &AdaptContext::default()).unwrap();
         let f_ref = hw.circuit_fidelity(&r.reference).unwrap();
         let f_dir = hw.circuit_fidelity(&direct_translation(&c)).unwrap();
         assert!(

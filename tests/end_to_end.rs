@@ -2,7 +2,7 @@
 //! workloads, checked for unitary equivalence, hardware nativeness and
 //! baseline dominance.
 
-use qca::adapt::{adapt, AdaptOptions, Objective};
+use qca::adapt::{adapt, AdaptContext, Objective};
 use qca::baselines::{direct_translation, kak_adaptation, template_optimization};
 use qca::baselines::{KakBasis, TemplateObjective};
 use qca::circuit::Circuit;
@@ -39,7 +39,7 @@ fn quantum_volume_pipeline_all_methods() {
         Objective::IdleTime,
         Objective::Combined,
     ] {
-        let r = adapt(&c, &hw, &AdaptOptions::with_objective(obj)).unwrap();
+        let r = adapt(&c, &hw, &AdaptContext::with_objective(obj)).unwrap();
         check_equivalent(&r.circuit, &c, "smt");
         assert!(hw.supports_circuit(&r.circuit));
     }
@@ -50,7 +50,7 @@ fn random_circuit_pipeline_both_timing_columns() {
     for times in [GateTimes::D0, GateTimes::D1] {
         let hw = spin_qubit_model(times);
         let c = random_template_circuit(3, 20, 7, &DEFAULT_TEMPLATE_GATES, true);
-        let r = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Combined)).unwrap();
+        let r = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Combined)).unwrap();
         check_equivalent(&r.circuit, &c, "smt");
         assert!(hw.supports_circuit(&r.circuit));
     }
@@ -61,7 +61,7 @@ fn sat_f_dominates_all_baselines_on_fidelity() {
     let hw = spin_qubit_model(GateTimes::D0);
     for seed in [1u64, 2, 3] {
         let c = random_template_circuit(4, 24, seed, &DEFAULT_TEMPLATE_GATES, true);
-        let sat = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).unwrap();
+        let sat = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Fidelity)).unwrap();
         let f_sat = hw.circuit_fidelity(&sat.circuit).unwrap();
         let f_base = hw.circuit_fidelity(&direct_translation(&c)).unwrap();
         let f_tmpl = hw
@@ -95,7 +95,7 @@ fn noisy_simulation_ranks_fidelity_objective_sensibly() {
     let seeds = [10u64, 11, 12, 13, 14];
     for &seed in &seeds {
         let c = random_template_circuit(3, 18, seed, &DEFAULT_TEMPLATE_GATES, true);
-        let sat_p = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Combined)).unwrap();
+        let sat_p = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Combined)).unwrap();
         let base = simulate_noisy(&direct_translation(&c), &hw).unwrap();
         let ours = simulate_noisy(&sat_p.circuit, &hw).unwrap();
         delta_sum += ours.hellinger_fidelity - base.hellinger_fidelity;
@@ -113,7 +113,7 @@ fn noisy_simulation_ranks_fidelity_objective_sensibly() {
 fn idle_objective_reduces_schedule_idle_on_swap_heavy_circuit() {
     let hw = spin_qubit_model(GateTimes::D0);
     let c = random_template_circuit(4, 20, 21, &DEFAULT_TEMPLATE_GATES, true);
-    let sat_r = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::IdleTime)).unwrap();
+    let sat_r = adapt(&c, &hw, &AdaptContext::with_objective(Objective::IdleTime)).unwrap();
     let idle_sat = CircuitSchedule::asap(&sat_r.circuit, &hw)
         .unwrap()
         .total_idle_time();
@@ -133,7 +133,7 @@ fn deep_circuit_smoke() {
     // A deeper 3-qubit circuit to exercise larger SMT models.
     let hw = spin_qubit_model(GateTimes::D1);
     let c = random_template_circuit(3, 60, 5, &DEFAULT_TEMPLATE_GATES, true);
-    let r = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).unwrap();
+    let r = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Fidelity)).unwrap();
     assert!(hw.supports_circuit(&r.circuit));
     check_equivalent(&r.circuit, &c, "deep smt");
 }

@@ -1,7 +1,7 @@
 //! Integration tests for QASM interchange and workload generators feeding
 //! the adaptation pipeline.
 
-use qca::adapt::{adapt, AdaptOptions, Objective};
+use qca::adapt::{adapt, AdaptContext, Objective};
 use qca::circuit::qasm::{parse_qasm, to_qasm};
 use qca::hw::{spin_qubit_model, GateTimes};
 use qca::num::phase::approx_eq_up_to_phase;
@@ -11,7 +11,7 @@ use qca::workloads::quantum_volume;
 fn adapted_circuit_survives_qasm_round_trip() {
     let hw = spin_qubit_model(GateTimes::D0);
     let c = quantum_volume(3, 1, 4);
-    let r = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).unwrap();
+    let r = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Fidelity)).unwrap();
     let text = to_qasm(&r.circuit);
     let parsed = parse_qasm(&text).unwrap();
     assert!(approx_eq_up_to_phase(
@@ -26,7 +26,7 @@ fn adapted_circuit_survives_qasm_round_trip() {
 fn qv_source_is_adaptable_and_equivalent() {
     let hw = spin_qubit_model(GateTimes::D1);
     let c = quantum_volume(4, 2, 17);
-    let r = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Combined)).unwrap();
+    let r = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Combined)).unwrap();
     assert!(approx_eq_up_to_phase(
         &r.circuit.unitary(),
         &c.unitary(),
@@ -52,7 +52,7 @@ measure q -> c;
     let c = parse_qasm(src).unwrap();
     assert_eq!(c.num_qubits(), 4);
     let hw = spin_qubit_model(GateTimes::D0);
-    let r = adapt(&c, &hw, &AdaptOptions::with_objective(Objective::Fidelity)).unwrap();
+    let r = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Fidelity)).unwrap();
     assert!(hw.supports_circuit(&r.circuit));
     assert!(approx_eq_up_to_phase(
         &r.circuit.unitary(),
