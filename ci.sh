@@ -33,4 +33,34 @@ for phase in engine.job adapt omt.search omt.probe; do
     echo "trace smoke test: phase '$phase' missing from report" >&2; exit 1; }
 done
 
+echo "== proof gate: qsat --proof + qca-drat-check over examples/cnf =="
+for cnf in examples/cnf/*.cnf; do
+  proof="$trace_dir/$(basename "$cnf" .cnf).drat"
+  # qsat exits 10 for SAT and 20 for UNSAT; both are fine here.
+  code=0
+  target/release/qsat --proof "$proof" "$cnf" > /dev/null || code=$?
+  if [ "$code" != 10 ] && [ "$code" != 20 ]; then
+    echo "proof gate: qsat failed on $cnf (exit $code)" >&2; exit 1
+  fi
+  if [ "$code" = 20 ]; then
+    target/release/qca-drat-check "$cnf" "$proof" > /dev/null || {
+      echo "proof gate: checker rejected proof for $cnf" >&2; exit 1; }
+  fi
+done
+
+echo "== verify gate: qca-engine --verify on examples/qasm =="
+target/release/qca-engine --workers 2 --verify examples/qasm \
+  > "$trace_dir/verify.txt" || {
+  echo "verify gate: qca-engine --verify failed" >&2
+  cat "$trace_dir/verify.txt" >&2
+  exit 1
+}
+grep -q 'audit=ok' "$trace_dir/verify.txt" || {
+  echo "verify gate: no audit verdicts in output" >&2; exit 1; }
+if grep -q 'audit=FAIL' "$trace_dir/verify.txt"; then
+  echo "verify gate: audit failures" >&2
+  grep 'audit=FAIL' "$trace_dir/verify.txt" >&2
+  exit 1
+fi
+
 echo "ci.sh: all checks passed"

@@ -142,10 +142,9 @@ fn parse_gate_stmt(
             .ok_or_else(|| err(lineno, "unbalanced parameter parentheses"))?;
         let inner = &rest[1..close];
         for p in split_top_level_commas(inner) {
-            params.push(
-                parse_expr(p.trim())
-                    .ok_or_else(|| err(lineno, format!("bad parameter expression {p:?}")))?,
-            );
+            params.push(parse_expr_detailed(p.trim()).map_err(|detail| {
+                err(lineno, format!("bad parameter expression {p:?}: {detail}"))
+            })?);
         }
         rest = rest[close + 1..].trim();
     }
@@ -254,15 +253,31 @@ fn parse_operand(s: &str, reg: &str) -> Option<usize> {
 
 /// Parses a parameter arithmetic expression (`pi/2`, `-0.5*pi`, `3.25`, ...).
 ///
-/// Returns `None` on malformed input.
+/// Returns `None` on malformed input. Use [`parse_expr_detailed`] when the
+/// caller needs to know *why* the expression was rejected.
 pub fn parse_expr(s: &str) -> Option<f64> {
+    parse_expr_detailed(s).ok()
+}
+
+/// Parses a parameter arithmetic expression, reporting what went wrong on
+/// malformed input (a dangling exponent like `1e` or `2.5e+`, a stray
+/// character, trailing tokens, ...). [`parse_qasm`] surfaces the message —
+/// with the offending source line — as a [`ParseQasmError`].
+pub fn parse_expr_detailed(s: &str) -> Result<f64, String> {
     let tokens = tokenize(s)?;
+    if tokens.is_empty() {
+        return Err("empty expression".to_string());
+    }
     let mut pos = 0;
-    let v = parse_add(&tokens, &mut pos)?;
+    let v = parse_add(&tokens, &mut pos).ok_or_else(|| "malformed expression".to_string())?;
     if pos == tokens.len() {
-        Some(v)
+        Ok(v)
     } else {
-        None
+        Err(format!(
+            "trailing tokens after a complete expression (token {} of {})",
+            pos + 1,
+            tokens.len()
+        ))
     }
 }
 
@@ -277,7 +292,7 @@ enum Token {
     RParen,
 }
 
-fn tokenize(s: &str) -> Option<Vec<Token>> {
+fn tokenize(s: &str) -> Result<Vec<Token>, String> {
     let mut out = Vec::new();
     let bytes = s.as_bytes();
     let mut i = 0;
@@ -326,12 +341,23 @@ fn tokenize(s: &str) -> Option<Vec<Token>> {
                 {
                     i += 1;
                 }
-                out.push(Token::Num(s[start..i].parse().ok()?));
+                let lit = &s[start..i];
+                // A literal that stops right after its exponent marker
+                // (`1e`, `2.5E+`) would fail the f64 parse below anyway,
+                // but deserves a precise message.
+                if lit.ends_with(['e', 'E', '+', '-']) {
+                    return Err(format!("dangling exponent in numeric literal {lit:?}"));
+                }
+                out.push(
+                    lit.parse()
+                        .map(Token::Num)
+                        .map_err(|_| format!("bad numeric literal {lit:?}"))?,
+                );
             }
-            _ => return None,
+            other => return Err(format!("unexpected character {other:?}")),
         }
     }
-    Some(out)
+    Ok(out)
 }
 
 fn parse_add(tokens: &[Token], pos: &mut usize) -> Option<f64> {
@@ -459,6 +485,64 @@ mod tests {
         for expr in ["", "pi pi", "1+", "(1", "q[0]", "foo"] {
             assert!(parse_expr(expr).is_none(), "{expr:?} should fail");
         }
+    }
+
+    #[test]
+    fn exponent_forms_parse() {
+        for (expr, expect) in [
+            ("1e3", 1e3),
+            ("1E3", 1e3),
+            ("2.5e+2", 250.0),
+            ("2.5e-2", 0.025),
+            ("1e0*pi", PI),
+            ("-3E-1", -0.3),
+            ("1.5e2/pi", 150.0 / PI),
+        ] {
+            let got = parse_expr(expr).unwrap_or_else(|| panic!("failed on {expr}"));
+            assert!((got - expect).abs() < 1e-12, "{expr}: {got} != {expect}");
+        }
+    }
+
+    #[test]
+    fn dangling_exponents_report_detail() {
+        for expr in ["1e", "2.5e+", "2.5E-", "1e*2", "pi/2.5e"] {
+            let detail = parse_expr_detailed(expr).unwrap_err();
+            assert!(
+                detail.contains("dangling exponent"),
+                "{expr:?} gave {detail:?}"
+            );
+        }
+        // The Option view stays silent, for callers that only branch.
+        assert!(parse_expr("1e").is_none());
+    }
+
+    #[test]
+    fn pi_arithmetic_forms_parse() {
+        for (expr, expect) in [
+            ("pi*pi", PI * PI),
+            ("PI/2", PI / 2.0),
+            ("-pi + 2*pi", PI),
+            ("(pi - pi/2)/2", PI / 4.0),
+        ] {
+            let got = parse_expr(expr).unwrap_or_else(|| panic!("failed on {expr}"));
+            assert!((got - expect).abs() < 1e-12, "{expr}: {got} != {expect}");
+        }
+    }
+
+    #[test]
+    fn malformed_parameter_carries_line_and_detail() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\nh q[0];\nrz(1e) q[1];\n";
+        let e = parse_qasm(src).unwrap_err();
+        assert_eq!(e.line, 4, "error points at the offending source line");
+        assert!(e.message.contains("dangling exponent"), "{}", e.message);
+        let src = "qreg q[1];\nrz(2.5e+) q[0];\n";
+        let e = parse_qasm(src).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("2.5e+"), "{}", e.message);
+        let src = "qreg q[1];\nrz(1$2) q[0];\n";
+        let e = parse_qasm(src).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("unexpected character"), "{}", e.message);
     }
 
     #[test]

@@ -31,6 +31,12 @@ pub struct AdaptOptions {
     /// whether it happened to prove optimality via
     /// [`SmtAdaptation::optimal`](crate::SmtAdaptation).
     pub exact: bool,
+    /// Record the constraint system during the solve and attach
+    /// [`VerificationData`](crate::VerificationData) to the result: an audit
+    /// bundle for independent model replay, plus (for proven-optimal
+    /// searches) a DRAT optimality certificate. Costs extra memory and, for
+    /// the certificate, one proof-logged re-solve.
+    pub certify: bool,
 }
 
 impl AdaptOptions {
@@ -96,6 +102,7 @@ pub struct AdaptOptionsBuilder {
     rules: RuleOptions,
     strategy: Strategy,
     exact: bool,
+    certify: bool,
 }
 
 impl AdaptOptionsBuilder {
@@ -120,6 +127,13 @@ impl AdaptOptionsBuilder {
     /// Demands a proven-optimal search (no probe budgets or gap).
     pub fn exact(mut self) -> Self {
         self.exact = true;
+        self
+    }
+
+    /// Enables constraint recording and certificate generation (see
+    /// [`AdaptOptions::certify`]).
+    pub fn certify(mut self) -> Self {
+        self.certify = true;
         self
     }
 
@@ -173,6 +187,7 @@ impl AdaptOptionsBuilder {
             rules: self.rules,
             strategy: self.strategy,
             exact: self.exact,
+            certify: self.certify,
         })
     }
 
@@ -254,6 +269,7 @@ pub fn adapt(
         Err(AdaptError::TooLarge(_)) => "too_large",
         Err(AdaptError::UnsupportedGate(_)) => "unsupported_gate",
         Err(AdaptError::InvalidOptions(_)) => "invalid_options",
+        Err(AdaptError::Internal(_)) => "internal",
     });
     result
 }

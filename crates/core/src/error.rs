@@ -22,6 +22,10 @@ pub enum AdaptError {
     /// A builder was asked to produce options/context that fail validation
     /// (e.g. a zero pattern-window length or a zero conflict budget).
     InvalidOptions(String),
+    /// An internal invariant was violated while producing the result — e.g.
+    /// a batch-engine worker panicked mid-job. The message describes the
+    /// failure; the result (if any) came from a baseline path instead.
+    Internal(String),
 }
 
 impl fmt::Display for AdaptError {
@@ -32,6 +36,7 @@ impl fmt::Display for AdaptError {
             AdaptError::TooLarge(m) => write!(f, "circuit too large: {m}"),
             AdaptError::Cancelled => write!(f, "adaptation cancelled before a result was found"),
             AdaptError::InvalidOptions(m) => write!(f, "invalid adaptation options: {m}"),
+            AdaptError::Internal(m) => write!(f, "internal adaptation failure: {m}"),
         }
     }
 }

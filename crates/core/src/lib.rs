@@ -79,7 +79,7 @@ pub use adapt::adapt_with_options;
 pub use adapt::{adapt, extract_circuit, AdaptOptions, AdaptOptionsBuilder, Adaptation};
 pub use context::{AdaptContext, AdaptContextBuilder};
 pub use error::AdaptError;
-pub use model::{AdaptLimits, Objective, SmtAdaptation};
+pub use model::{AdaptLimits, Objective, SmtAdaptation, VerificationData, LOG_SCALE};
 pub use rules::{RuleOptions, Substitution, SubstitutionKind};
 
 #[cfg(test)]

@@ -16,7 +16,8 @@ use crate::error::AdaptError;
 use crate::preprocess::Preprocessed;
 use crate::rules::Substitution;
 use qca_hw::HardwareModel;
-use qca_smt::{omt, IntExpr, SmtSolver};
+use qca_smt::omt::OptimalityCertificate;
+use qca_smt::{omt, AuditBundle, IntExpr, SmtSolver};
 
 /// Default per-probe conflict budget for the OMT search. The scheduling
 /// objectives produce arithmetic-heavy UNSAT probes that plain clause
@@ -30,7 +31,11 @@ pub const DEFAULT_PROBE_BUDGET: u64 = 2_000;
 /// integer weights keep the bit-blasted adders narrow (the dominant factor
 /// in OMT solve time) while the log-fidelity resolution (3.4e-5) stays well
 /// below any per-gate delta.
-const LOG_SCALE: f64 = 29_000.0;
+///
+/// Public because it defines the unit of [`SmtAdaptation::objective_value`]:
+/// auditors (`qca-verify`) recompute objective values from the hardware gate
+/// tables and must convert into the same fixed-point frame.
+pub const LOG_SCALE: f64 = 29_000.0;
 
 /// Optimization objective (paper Eqs. 8–10).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -72,6 +77,20 @@ pub struct SmtAdaptation {
     /// SAT solver statistics accumulated over the whole OMT search (the
     /// solver is fresh per call, so these are exact per-adaptation counts).
     pub solver_stats: qca_sat::SolverStats,
+    /// Audit bundle and optimality certificate, present when the context
+    /// requested certification ([`crate::AdaptOptions::certify`]).
+    pub verification: Option<VerificationData>,
+}
+
+/// Everything an independent checker (`qca-verify`) needs to re-validate a
+/// solve without trusting the solver stack.
+#[derive(Debug, Clone)]
+pub struct VerificationData {
+    /// Recorded constraints, shadow formula, and the returned model.
+    pub bundle: AuditBundle,
+    /// DRAT refutation of `objective >= value + 1`; only present when the
+    /// search proved optimality.
+    pub certificate: Option<OptimalityCertificate>,
 }
 
 /// Resource limits for a model solve, driven by the batch engine's per-job
@@ -324,6 +343,9 @@ pub fn solve_model_with_budget(
     let strategy = ctx.options.strategy;
     let mut smt = SmtSolver::new();
     smt.set_control(ctx.solve_control());
+    if ctx.options.certify {
+        smt.enable_recording();
+    }
     let encode_span = ctx.tracer.span_with("smt.encode", || {
         format!("objective={objective} catalog={}", catalog.len())
     });
@@ -492,6 +514,7 @@ pub fn solve_model_with_budget(
     let omt_options = omt::OmtOptions {
         probe_conflict_budget: adaptive_budget,
         relative_gap,
+        certify: ctx.options.certify,
     };
     let best = omt::maximize_with(&mut smt, &objective_expr, strategy, omt_options, &hint)
         .ok_or_else(|| {
@@ -516,6 +539,15 @@ pub fn solve_model_with_budget(
         .filter(|&(_, &lit)| best.model.lit_is_true(lit))
         .map(|(i, _)| i)
         .collect();
+    let verification = if ctx.options.certify {
+        smt.audit_bundle(best.model.clone())
+            .map(|bundle| VerificationData {
+                bundle,
+                certificate: best.certificate.clone(),
+            })
+    } else {
+        None
+    };
     Ok(SmtAdaptation {
         chosen,
         objective_value: best.value,
@@ -523,6 +555,7 @@ pub fn solve_model_with_budget(
         sat_vars: smt.num_sat_vars(),
         optimal: best.optimal,
         solver_stats: smt.stats().clone(),
+        verification,
     })
 }
 

@@ -15,12 +15,16 @@
 //!   --metrics-out FILE   write the metrics JSON to FILE (default: stdout)
 //!   --trace FILE         stream the span/event trace as JSONL into FILE
 //!   --trace-report       print a per-phase time breakdown and span tree
+//!   --verify             certify every solve and audit every report with
+//!                        the independent qca-verify checker
 //! ```
 //!
 //! Prints one line per job (`file status cache objective wall`) and the
 //! engine metrics as JSON. With `--trace-report` alone the trace is kept in
 //! memory; combined with `--trace FILE` the report is rebuilt by re-parsing
 //! the JSONL file, so the written trace is validated in the same run.
+//! With `--verify`, each job line gains an audit verdict and the process
+//! exits 1 when any audit failed.
 
 use qca_adapt::Objective;
 use qca_circuit::qasm;
@@ -45,13 +49,14 @@ struct Args {
     metrics_out: Option<PathBuf>,
     trace: Option<PathBuf>,
     trace_report: bool,
+    verify: bool,
 }
 
 fn usage() -> &'static str {
     "usage: qca-engine [--workers N] [--objective fidelity|idle|combined] \
      [--times d0|d1] [--budget N] [--timeout-ms N] [--cache-capacity N] \
      [--repeat N] [--out-dir DIR] [--metrics-out FILE] [--trace FILE] \
-     [--trace-report] <QASM_DIR>"
+     [--trace-report] [--verify] <QASM_DIR>"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -68,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
         metrics_out: None,
         trace: None,
         trace_report: false,
+        verify: false,
     };
     let mut dir = None;
     let mut it = std::env::args().skip(1);
@@ -122,6 +128,7 @@ fn parse_args() -> Result<Args, String> {
             "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
             "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
             "--trace-report" => args.trace_report = true,
+            "--verify" => args.verify = true,
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => return Err(format!("unknown option '{other}'")),
             other => {
@@ -163,7 +170,7 @@ fn load_jobs(args: &Args) -> Result<Vec<(String, AdaptJob)>, String> {
     Ok(jobs)
 }
 
-fn run() -> Result<(), String> {
+fn run() -> Result<ExitCode, String> {
     let args = parse_args()?;
     let named_jobs = load_jobs(&args)?;
     let hw = spin_qubit_model(args.times);
@@ -188,6 +195,7 @@ fn run() -> Result<(), String> {
     let mut config = EngineConfig::builder()
         .workers(args.workers)
         .cache_capacity(args.cache_capacity)
+        .verify(args.verify)
         .tracer(tracer);
     if let Some(budget) = args.budget {
         config = config.job_conflict_budget(budget);
@@ -204,14 +212,23 @@ fn run() -> Result<(), String> {
         engine.effective_workers().min(jobs.len()).max(1),
         args.repeat,
     );
+    let mut audit_failures = 0u64;
     for pass in 0..args.repeat {
         let reports = engine.adapt_batch(&hw, &jobs);
         if args.repeat > 1 {
             println!("# pass {}", pass + 1);
         }
         for ((name, _), report) in named_jobs.iter().zip(&reports) {
+            let audit = match &report.audit {
+                None => String::new(),
+                Some(qca_engine::AuditOutcome::Passed) => " audit=ok".to_string(),
+                Some(qca_engine::AuditOutcome::Failed(msg)) => {
+                    audit_failures += 1;
+                    format!(" audit=FAIL({msg})")
+                }
+            };
             println!(
-                "{name:30} {status:8} {cache:5} obj={obj:>12} wall={wall:.1}ms",
+                "{name:30} {status:8} {cache:5} obj={obj:>12} wall={wall:.1}ms{audit}",
                 status = report.status.to_string(),
                 cache = if report.cache_hit { "hit" } else { "miss" },
                 obj = report
@@ -257,12 +274,16 @@ fn run() -> Result<(), String> {
         }
         println!("{}", report::Report::from_events(&events).render());
     }
-    Ok(())
+    if audit_failures > 0 {
+        eprintln!("qca-engine: {audit_failures} audit failure(s)");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
 }
 
 fn main() -> ExitCode {
     match run() {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => code,
         Err(msg) if msg.is_empty() => {
             println!("{}", usage());
             ExitCode::SUCCESS

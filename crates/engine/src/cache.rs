@@ -56,9 +56,11 @@ impl AdaptCache {
     /// * the hardware model's cost
     ///   [`fingerprint`](HardwareModel::fingerprint) (invariant under
     ///   renaming),
-    /// * the objective, OMT strategy, rule selection, exactness, and the
-    ///   effective total-conflict budget (a budget-degraded incumbent must
-    ///   not be served to a job that would search further).
+    /// * the objective, OMT strategy, rule selection, exactness,
+    ///   certification (a certified solve carries verification data an
+    ///   uncertified one lacks), and the effective total-conflict budget (a
+    ///   budget-degraded incumbent must not be served to a job that would
+    ///   search further).
     ///
     /// Cancellation flags and tracers are deliberately excluded: they affect
     /// *whether* a result is produced, never *which* result.
@@ -81,6 +83,7 @@ impl AdaptCache {
             Strategy::LinearSearch => 2,
         });
         h.write_u64(options.exact as u64);
+        h.write_u64(options.certify as u64);
         let r = &options.rules;
         h.write_u64(r.kak_cz as u64);
         h.write_u64(r.kak_cz_diabatic as u64);
@@ -208,6 +211,20 @@ mod tests {
             base,
             AdaptCache::key(&c, &hw1, &AdaptOptions::default(), &l)
         );
+    }
+
+    #[test]
+    fn key_depends_on_certification() {
+        // A certified adaptation carries verification data; serving it for
+        // an uncertified request (or vice versa) would be wrong.
+        let (c, hw) = sample();
+        let l = AdaptLimits::default();
+        let base = AdaptCache::key(&c, &hw, &AdaptOptions::default(), &l);
+        let certified = AdaptOptions {
+            certify: true,
+            ..AdaptOptions::default()
+        };
+        assert_ne!(base, AdaptCache::key(&c, &hw, &certified, &l));
     }
 
     #[test]

@@ -4,11 +4,15 @@ use crate::cache::AdaptCache;
 use crate::metrics::MetricsRegistry;
 use crossbeam::channel;
 use parking_lot::Mutex;
-use qca_adapt::{adapt, AdaptContext, AdaptError, AdaptLimits, AdaptOptions, Objective};
+use qca_adapt::{
+    adapt, AdaptContext, AdaptError, AdaptLimits, AdaptOptions, Adaptation, Objective,
+};
 use qca_baselines::{direct_translation, template_optimization, TemplateObjective};
 use qca_circuit::Circuit;
 use qca_hw::HardwareModel;
 use qca_trace::Tracer;
+use qca_verify::{audit_adaptation, audit_baseline};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -76,6 +80,24 @@ impl std::fmt::Display for AdaptStatus {
     }
 }
 
+/// Verdict of the independent audit a verifying engine ran on one report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuditOutcome {
+    /// The independent auditor confirmed the report.
+    Passed,
+    /// The audit found a discrepancy; the message describes it.
+    Failed(String),
+}
+
+impl std::fmt::Display for AuditOutcome {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AuditOutcome::Passed => f.write_str("passed"),
+            AuditOutcome::Failed(msg) => write!(f, "failed: {msg}"),
+        }
+    }
+}
+
 /// Result of one batch job.
 #[derive(Debug, Clone)]
 pub struct AdaptReport {
@@ -97,6 +119,13 @@ pub struct AdaptReport {
     pub solver_stats: Option<qca_sat::SolverStats>,
     /// The solve error that triggered the fallback, if any.
     pub error: Option<AdaptError>,
+    /// The full adaptation record behind this report (shared with the
+    /// cache; also set on cache hits). `None` for fallbacks, which never
+    /// went through the solver.
+    pub adaptation: Option<Arc<Adaptation>>,
+    /// Independent audit verdict; `Some` exactly when
+    /// [`EngineConfig::verify`] is on.
+    pub audit: Option<AuditOutcome>,
 }
 
 /// Engine tuning knobs.
@@ -121,6 +150,11 @@ pub struct EngineConfig {
     /// registry, so `engine.*` counters feed both; the default disabled
     /// tracer still populates metrics.
     pub tracer: Tracer,
+    /// Trust-but-verify mode: force certification on every solve and run
+    /// the independent `qca-verify` audit on every report — cache hits and
+    /// fallbacks included. Verdicts land in [`AdaptReport::audit`] and the
+    /// `verify.*` counters; a failed audit never fails the batch.
+    pub verify: bool,
 }
 
 impl Default for EngineConfig {
@@ -131,6 +165,7 @@ impl Default for EngineConfig {
             job_conflict_budget: None,
             job_timeout: None,
             tracer: Tracer::disabled(),
+            verify: false,
         }
     }
 }
@@ -194,6 +229,12 @@ impl EngineConfigBuilder {
     /// Installs a tracer for engine events.
     pub fn tracer(mut self, tracer: Tracer) -> Self {
         self.config.tracer = tracer;
+        self
+    }
+
+    /// Enables trust-but-verify mode (certified solves + per-report audits).
+    pub fn verify(mut self, verify: bool) -> Self {
+        self.config.verify = verify;
         self
     }
 
@@ -354,7 +395,12 @@ impl Engine {
         let (job_tx, job_rx) = channel::unbounded::<(usize, &AdaptJob)>();
         let (res_tx, res_rx) = channel::unbounded::<AdaptReport>();
         for indexed in jobs.iter().enumerate() {
-            job_tx.send(indexed).expect("receiver alive");
+            // The receiver lives until the scope below ends, so this cannot
+            // fail today; if it ever does, the unsent jobs surface as
+            // per-job error reports when their slots come back empty.
+            if job_tx.send(indexed).is_err() {
+                break;
+            }
         }
         drop(job_tx);
 
@@ -374,7 +420,14 @@ impl Engine {
                 let wd = watchdog.as_ref();
                 scope.spawn(move || {
                     for (index, job) in job_rx.iter() {
-                        let report = self.run_job(hw, index, job, wd);
+                        // A panicking job must not take its worker (and the
+                        // rest of the batch) down with it: catch the unwind
+                        // and demote the job to a per-job error report.
+                        let report =
+                            catch_unwind(AssertUnwindSafe(|| self.run_job(hw, index, job, wd)))
+                                .unwrap_or_else(|payload| {
+                                    self.panicked_report(hw, index, job, payload.as_ref())
+                                });
                         if res_tx.send(report).is_err() {
                             break;
                         }
@@ -382,8 +435,8 @@ impl Engine {
                 });
             }
             drop(res_tx);
-            // Collect inside the scope so worker panics propagate after the
-            // channel drains rather than deadlocking the iterator.
+            // Collect inside the scope so the iterator terminates when the
+            // last worker drops its sender, even if some workers died.
             let mut out: Vec<Option<AdaptReport>> = jobs.iter().map(|_| None).collect();
             for report in res_rx.iter() {
                 let slot = report.job;
@@ -392,8 +445,12 @@ impl Engine {
             if let Some(wd) = &watchdog {
                 wd.shutdown.store(true, Ordering::Relaxed);
             }
+            // A slot can only be empty if a worker died so hard the panic
+            // shield above never reported (or a job was never sent); answer
+            // it with a baseline instead of panicking the submitter.
             out.into_iter()
-                .map(|r| r.expect("every job produces exactly one report"))
+                .enumerate()
+                .map(|(index, r)| r.unwrap_or_else(|| self.missing_report(hw, index, &jobs[index])))
                 .collect()
         })
     }
@@ -415,7 +472,13 @@ impl Engine {
         if limits.total_conflicts.is_none() {
             limits.total_conflicts = self.config.job_conflict_budget;
         }
-        let key = AdaptCache::key(&job.circuit, hw, &job.options, &limits);
+        // A verifying engine solves with certification on, whatever the job
+        // asked for: every optimal claim must come back with a certificate.
+        let mut options = job.options.clone();
+        if self.config.verify {
+            options.certify = true;
+        }
+        let key = AdaptCache::key(&job.circuit, hw, &options, &limits);
 
         if let Some(hit) = self.cache.get(key) {
             self.tracer.counter("engine.cache_hit", 1);
@@ -427,7 +490,7 @@ impl Engine {
             };
             self.count_status(status);
             job_span.set_note("cache_hit");
-            return AdaptReport {
+            let mut report = AdaptReport {
                 job: index,
                 status,
                 circuit: hit.circuit.clone(),
@@ -436,7 +499,13 @@ impl Engine {
                 wall: t0.elapsed(),
                 solver_stats: Some(hit.solver.solver_stats.clone()),
                 error: None,
+                adaptation: Some(hit),
+                audit: None,
             };
+            // Cache hits are audited like fresh solves: a corrupted cache
+            // entry must not dodge verification.
+            self.audit_report(hw, &job.circuit, job.options.objective, &mut report);
+            return report;
         }
         self.tracer.counter("engine.cache_miss", 1);
 
@@ -452,12 +521,12 @@ impl Engine {
         }
 
         let ctx = AdaptContext {
-            options: job.options.clone(),
+            options,
             limits,
             tracer: self.tracer.clone(),
             cancel,
         };
-        match adapt(&job.circuit, hw, &ctx) {
+        let mut report = match adapt(&job.circuit, hw, &ctx) {
             Ok(adaptation) => {
                 let wall = t0.elapsed();
                 self.record_solve(&wall, &adaptation.solver.solver_stats);
@@ -483,6 +552,8 @@ impl Engine {
                     wall,
                     solver_stats: Some(adaptation.solver.solver_stats.clone()),
                     error: None,
+                    adaptation: Some(adaptation),
+                    audit: None,
                 }
             }
             Err(error) => {
@@ -507,9 +578,103 @@ impl Engine {
                     wall: t0.elapsed(),
                     solver_stats: None,
                     error: Some(error),
+                    adaptation: None,
+                    audit: None,
                 }
             }
+        };
+        self.audit_report(hw, &job.circuit, job.options.objective, &mut report);
+        report
+    }
+
+    /// Report for a job whose `run_job` call panicked: the panic shield in
+    /// the worker loop turns the unwind into a baseline result carrying
+    /// [`AdaptError::Internal`], so the rest of the batch is unaffected.
+    fn panicked_report(
+        &self,
+        hw: &HardwareModel,
+        index: usize,
+        job: &AdaptJob,
+        payload: &(dyn std::any::Any + Send),
+    ) -> AdaptReport {
+        let msg = payload
+            .downcast_ref::<&str>()
+            .map(|s| s.to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        self.tracer.counter("engine.job_panicked", 1);
+        self.baseline_error_report(hw, index, job, format!("worker panicked: {msg}"))
+    }
+
+    /// Report for a job slot no worker ever answered (a worker died so hard
+    /// even the panic shield could not report).
+    fn missing_report(&self, hw: &HardwareModel, index: usize, job: &AdaptJob) -> AdaptReport {
+        self.baseline_error_report(
+            hw,
+            index,
+            job,
+            "worker terminated without reporting".to_string(),
+        )
+    }
+
+    fn baseline_error_report(
+        &self,
+        hw: &HardwareModel,
+        index: usize,
+        job: &AdaptJob,
+        detail: String,
+    ) -> AdaptReport {
+        self.tracer.counter("engine.job_completed", 1);
+        self.count_status(AdaptStatus::Fallback);
+        let mut report = AdaptReport {
+            job: index,
+            status: AdaptStatus::Fallback,
+            circuit: direct_translation(&job.circuit),
+            objective_value: None,
+            cache_hit: false,
+            // The unwind took the job's timer with it; report zero rather
+            // than a made-up duration.
+            wall: Duration::ZERO,
+            solver_stats: None,
+            error: Some(AdaptError::Internal(detail)),
+            adaptation: None,
+            audit: None,
+        };
+        self.audit_report(hw, &job.circuit, job.options.objective, &mut report);
+        report
+    }
+
+    /// Runs the independent `qca-verify` audit on one finished report (when
+    /// [`EngineConfig::verify`] is on) and records the verdict on the report
+    /// and the `verify.*` counters.
+    fn audit_report(
+        &self,
+        hw: &HardwareModel,
+        source: &Circuit,
+        objective: Objective,
+        report: &mut AdaptReport,
+    ) {
+        if !self.config.verify {
+            return;
         }
+        let mut span = self.tracer.span("verify.audit");
+        self.tracer.counter("verify.audits", 1);
+        let outcome = match report.adaptation.as_deref() {
+            Some(adaptation) => audit_adaptation(source, adaptation, hw, objective).map(|_| ()),
+            None => audit_baseline(source, &report.circuit, hw).map(|_| ()),
+        };
+        report.audit = Some(match outcome {
+            Ok(()) => {
+                self.tracer.counter("verify.passed", 1);
+                span.set_note("passed");
+                AuditOutcome::Passed
+            }
+            Err(e) => {
+                self.tracer.counter("verify.failures", 1);
+                span.set_note("failed");
+                AuditOutcome::Failed(e.to_string())
+            }
+        });
     }
 
     /// Emits one solved (non-cached) job's cost as `engine.*` counters; the
@@ -726,6 +891,109 @@ mod tests {
         assert_eq!(ok.workers, 4);
         assert_eq!(ok.cache_capacity, 64);
         assert_eq!(ok.job_conflict_budget, Some(10_000));
+    }
+
+    /// A sink that panics on the first `engine.cache_miss` counter it sees —
+    /// i.e. inside exactly one worker, mid-job. Subsequent events pass.
+    struct PanicOnce {
+        armed: AtomicBool,
+    }
+
+    impl qca_trace::TraceSink for PanicOnce {
+        fn record(&self, event: &qca_trace::TraceEvent) {
+            if let qca_trace::TraceEvent::Counter { name, .. } = event {
+                if name.as_ref() == "engine.cache_miss" && self.armed.swap(false, Ordering::Relaxed)
+                {
+                    panic!("injected worker failure");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worker_panic_becomes_per_job_error_report() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let jobs = workload(3);
+        let tracer = qca_trace::Tracer::new(Arc::new(PanicOnce {
+            armed: AtomicBool::new(true),
+        }));
+        let engine = Engine::new(EngineConfig::builder().workers(2).tracer(tracer).build());
+        let reports = engine.adapt_batch(&hw, &jobs);
+        assert_eq!(reports.len(), jobs.len(), "batch completes despite panic");
+        let killed: Vec<_> = reports
+            .iter()
+            .filter(|r| matches!(r.error, Some(AdaptError::Internal(_))))
+            .collect();
+        assert_eq!(killed.len(), 1, "exactly one job was killed");
+        assert_eq!(killed[0].status, AdaptStatus::Fallback);
+        assert!(hw.supports_circuit(&killed[0].circuit));
+        // The other jobs on the same worker pool completed normally.
+        assert_eq!(reports.iter().filter(|r| r.error.is_none()).count(), 2);
+        assert_eq!(engine.metrics().jobs_panicked.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.metrics().jobs_completed.load(Ordering::Relaxed), 3);
+    }
+
+    #[test]
+    fn verify_mode_audits_every_report_including_cache_hits() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let jobs = workload(2);
+        let engine = Engine::new(EngineConfig::builder().workers(1).verify(true).build());
+        let first = engine.adapt_batch(&hw, &jobs);
+        let second = engine.adapt_batch(&hw, &jobs);
+        assert!(second.iter().all(|r| r.cache_hit));
+        for r in first.iter().chain(&second) {
+            assert_eq!(
+                r.audit,
+                Some(AuditOutcome::Passed),
+                "job {} failed its audit",
+                r.job
+            );
+            let a = r.adaptation.as_ref().expect("solved reports carry data");
+            let v = a
+                .solver
+                .verification
+                .as_ref()
+                .expect("verify mode forces certification");
+            if r.status == AdaptStatus::Optimal {
+                assert!(v.certificate.is_some(), "optimal claim must be certified");
+            }
+        }
+        assert_eq!(engine.metrics().verify_audits.load(Ordering::Relaxed), 4);
+        assert_eq!(engine.metrics().verify_passed.load(Ordering::Relaxed), 4);
+        assert_eq!(engine.metrics().verify_failures.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn verify_mode_audits_fallback_reports() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let mut jobs = workload(1);
+        jobs[0].cancel = Some(Arc::new(AtomicBool::new(true)));
+        let engine = Engine::new(EngineConfig::builder().workers(1).verify(true).build());
+        let reports = engine.adapt_batch(&hw, &jobs);
+        assert_eq!(reports[0].status, AdaptStatus::Fallback);
+        assert!(reports[0].adaptation.is_none());
+        assert_eq!(reports[0].audit, Some(AuditOutcome::Passed));
+    }
+
+    #[test]
+    fn verify_mode_flags_corrupted_cache_entries() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let jobs = workload(1);
+        let engine = Engine::new(EngineConfig::builder().workers(1).verify(true).build());
+        let first = engine.adapt_batch(&hw, &jobs);
+        assert_eq!(first[0].audit, Some(AuditOutcome::Passed));
+        // Corrupt the cached entry behind the engine's back: the next hit
+        // must be flagged by the audit, not served silently.
+        let mut options = jobs[0].options.clone();
+        options.certify = true;
+        let key = AdaptCache::key(&jobs[0].circuit, &hw, &options, &jobs[0].limits);
+        let mut tampered = (**first[0].adaptation.as_ref().unwrap()).clone();
+        tampered.circuit.push(Gate::X, &[0]);
+        engine.cache().insert(key, Arc::new(tampered));
+        let second = engine.adapt_batch(&hw, &jobs);
+        assert!(second[0].cache_hit);
+        assert!(matches!(second[0].audit, Some(AuditOutcome::Failed(_))));
+        assert_eq!(engine.metrics().verify_failures.load(Ordering::Relaxed), 1);
     }
 
     #[test]

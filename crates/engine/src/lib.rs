@@ -12,6 +12,11 @@
 //! * graceful degradation: per-job conflict budgets and wall-clock deadlines
 //!   demote results down the [`AdaptStatus`] ladder
 //!   (`Optimal → Feasible → Fallback`) instead of failing the batch,
+//! * trust-but-verify mode ([`EngineConfig::verify`]): every solve runs
+//!   with certification on and every report — cache hits and fallbacks
+//!   included — is audited by the independent `qca-verify` checker, with
+//!   verdicts on [`AdaptReport::audit`] and `verify.*` counters in the
+//!   metrics,
 //! * a metrics registry ([`metrics::MetricsRegistry`]) rebuilt as a
 //!   [`qca_trace::TraceSink`] over the engine's `engine.*` counter events:
 //!   atomic counters and log-scale histograms (cache hit rate, solve wall
@@ -45,7 +50,9 @@ pub mod cache;
 mod engine;
 pub mod metrics;
 
-pub use engine::{AdaptJob, AdaptReport, AdaptStatus, Engine, EngineConfig, EngineConfigBuilder};
+pub use engine::{
+    AdaptJob, AdaptReport, AdaptStatus, AuditOutcome, Engine, EngineConfig, EngineConfigBuilder,
+};
 
 use cache::AdaptCache;
 use qca_adapt::{AdaptLimits, AdaptOptions};

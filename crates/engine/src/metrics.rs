@@ -1,7 +1,7 @@
 //! Engine metrics: lock-free counters and log-scale histograms.
 //!
 //! The registry is a [`TraceSink`]: the engine tees its tracer into it, and
-//! every `engine.*` counter event lands in the matching atomic (other
+//! every `engine.*` and `verify.*` counter event lands in the matching atomic (other
 //! events — spans, SAT gauges, OMT counters — pass through untouched, so
 //! the same stream can feed a JSONL file and the registry at once).
 //! Workers record into shared atomics while solving; nothing blocks on a
@@ -131,6 +131,14 @@ pub struct MetricsRegistry {
     pub feasible: AtomicU64,
     /// Jobs that degraded to a baseline adaptation.
     pub fallbacks: AtomicU64,
+    /// Jobs whose worker panicked and was demoted to an error report.
+    pub jobs_panicked: AtomicU64,
+    /// Reports audited by the independent verifier.
+    pub verify_audits: AtomicU64,
+    /// Audits that confirmed the report.
+    pub verify_passed: AtomicU64,
+    /// Audits that found a discrepancy.
+    pub verify_failures: AtomicU64,
     /// Total SAT conflicts across all solved jobs.
     pub sat_conflicts: AtomicU64,
     /// Total SAT restarts across all solved jobs.
@@ -178,6 +186,10 @@ impl MetricsRegistry {
                 "  \"optimal\": {},\n",
                 "  \"feasible\": {},\n",
                 "  \"fallbacks\": {},\n",
+                "  \"jobs_panicked\": {},\n",
+                "  \"verify_audits\": {},\n",
+                "  \"verify_passed\": {},\n",
+                "  \"verify_failures\": {},\n",
                 "  \"sat_conflicts\": {},\n",
                 "  \"sat_restarts\": {},\n",
                 "  \"sat_learnt_clauses\": {},\n",
@@ -195,6 +207,10 @@ impl MetricsRegistry {
             load(&self.optimal),
             load(&self.feasible),
             load(&self.fallbacks),
+            load(&self.jobs_panicked),
+            load(&self.verify_audits),
+            load(&self.verify_passed),
+            load(&self.verify_failures),
             load(&self.sat_conflicts),
             load(&self.sat_restarts),
             load(&self.sat_learnt_clauses),
@@ -222,6 +238,10 @@ impl TraceSink for MetricsRegistry {
             "engine.status.optimal" => &self.optimal,
             "engine.status.feasible" => &self.feasible,
             "engine.status.fallback" => &self.fallbacks,
+            "engine.job_panicked" => &self.jobs_panicked,
+            "verify.audits" => &self.verify_audits,
+            "verify.passed" => &self.verify_passed,
+            "verify.failures" => &self.verify_failures,
             "engine.sat_conflicts" => {
                 self.conflicts_per_job.record(*value);
                 &self.sat_conflicts

@@ -3,8 +3,8 @@
 //! Usage:
 //!
 //! ```text
-//! qsat [--stats] [--conflicts N] <file.cnf>      # solve a DIMACS file
-//! qsat [--stats] [--conflicts N] -               # read DIMACS from stdin
+//! qsat [--stats] [--conflicts N] [--proof FILE] <file.cnf>   # solve a DIMACS file
+//! qsat [--stats] [--conflicts N] [--proof FILE] -            # read DIMACS from stdin
 //! ```
 //!
 //! Prints `s SATISFIABLE` with a `v ...` model line, `s UNSATISFIABLE`, or —
@@ -14,11 +14,13 @@
 //! learnt clauses, ...) are printed on *every* verdict, including aborted
 //! runs: the numbers are read from the solver's trace event stream (the
 //! end-of-solve `sat.*` gauges), the same path the adaptation pipeline uses,
-//! rather than by poking at solver internals. Exit code 10 for SAT, 20 for
-//! UNSAT, 0 for UNKNOWN, 1 on input errors.
+//! rather than by poking at solver internals. With `--proof FILE`, a DRAT
+//! proof is streamed to FILE during the solve; on an UNSAT verdict it is a
+//! complete refutation checkable with `qca-drat-check` (or drat-trim). Exit
+//! code 10 for SAT, 20 for UNSAT, 0 for UNKNOWN, 1 on input errors.
 
 use qca_sat::dimacs::parse_dimacs;
-use qca_sat::{SolveControl, SolveOutcome, Var};
+use qca_sat::{FileProof, SolveControl, SolveOutcome, Solver, Var};
 use qca_trace::{report, MemorySink, Tracer};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -38,13 +40,14 @@ fn print_stats(events: &[qca_trace::TraceEvent]) {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: qsat [--stats] [--conflicts N] <file.cnf | ->");
+    eprintln!("usage: qsat [--stats] [--conflicts N] [--proof FILE] <file.cnf | ->");
     ExitCode::from(1)
 }
 
 fn main() -> ExitCode {
     let mut stats = false;
     let mut conflict_cap: Option<u64> = None;
+    let mut proof_path: Option<String> = None;
     let mut input: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -55,6 +58,12 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 conflict_cap = Some(n);
+            }
+            "--proof" => {
+                let Some(path) = args.next() else {
+                    return usage();
+                };
+                proof_path = Some(path);
             }
             other => {
                 if input.replace(other.to_string()).is_some() {
@@ -86,14 +95,40 @@ fn main() -> ExitCode {
         }
     };
     let num_vars = cnf.num_vars;
-    let mut solver = cnf.into_solver();
+    // The proof sink must be installed *before* clauses are loaded so that
+    // input simplification (and input-level conflicts) are logged too.
+    let mut solver = Solver::new();
+    if let Some(path) = &proof_path {
+        match FileProof::create(std::path::Path::new(path)) {
+            Ok(p) => solver.set_proof(Box::new(p)),
+            Err(e) => {
+                eprintln!("c cannot create proof file {path}: {e}");
+                return ExitCode::from(1);
+            }
+        }
+    }
+    while solver.num_vars() < num_vars {
+        solver.new_var();
+    }
+    for clause in &cnf.clauses {
+        if !solver.add_clause(clause) {
+            break;
+        }
+    }
     let sink = Arc::new(MemorySink::new());
     solver.set_control(SolveControl {
         conflict_cap,
         stop: None,
         tracer: Tracer::new(sink.clone()),
     });
-    match solver.solve_limited(&[]) {
+    let outcome = solver.solve_limited(&[]);
+    if proof_path.is_some() {
+        if let Err(e) = solver.flush_proof() {
+            eprintln!("c proof write failed: {e}");
+            return ExitCode::from(1);
+        }
+    }
+    match outcome {
         SolveOutcome::Sat => {
             println!("s SATISFIABLE");
             let mut line = String::from("v");

@@ -11,7 +11,8 @@
 //! * VSIDS branching with phase saving,
 //! * Luby restarts and learnt-clause database reduction,
 //! * incremental solving under assumptions with unsat-core extraction,
-//! * DIMACS CNF I/O ([`dimacs`]) and CNF encoding helpers ([`encode`]).
+//! * DIMACS CNF I/O ([`dimacs`]) and CNF encoding helpers ([`encode`]),
+//! * DRAT proof logging ([`proof`]) for independent UNSAT certification.
 //!
 //! # Examples
 //!
@@ -35,9 +36,11 @@ pub mod dimacs;
 pub mod encode;
 mod heap;
 mod lit;
+pub mod proof;
 mod solver;
 
 pub use lit::{LBool, Lit, Var};
+pub use proof::{FileProof, MemoryProof, ProofSink, ProofStep};
 pub use solver::{SolveControl, SolveOutcome, Solver, SolverStats};
 
 #[cfg(test)]

@@ -13,6 +13,7 @@
 
 use crate::heap::ActivityHeap;
 use crate::lit::{LBool, Lit, Var};
+use crate::proof::ProofSink;
 use qca_trace::Tracer;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -136,6 +137,8 @@ pub struct Solver {
     conflict_budget: Option<u64>,
     control: SolveControl,
     n_original_clauses: usize,
+    proof: Option<Box<dyn ProofSink>>,
+    recorded: Option<Vec<Vec<Lit>>>,
 }
 
 const VAR_DECAY: f64 = 0.95;
@@ -177,6 +180,8 @@ impl Solver {
             conflict_budget: None,
             control: SolveControl::default(),
             n_original_clauses: 0,
+            proof: None,
+            recorded: None,
         }
     }
 
@@ -281,6 +286,78 @@ impl Solver {
             .is_some_and(|cap| self.stats.conflicts >= cap)
     }
 
+    /// Installs a DRAT proof sink; every clause the solver derives from now
+    /// on (learnt clauses, level-0 simplifications, the final empty clause)
+    /// and every learnt-clause deletion is streamed to it. Install the sink
+    /// *before* adding clauses so level-0 simplifications during loading are
+    /// captured. `None`-equivalent: see [`Solver::take_proof`].
+    pub fn set_proof(&mut self, sink: Box<dyn ProofSink>) {
+        self.proof = Some(sink);
+    }
+
+    /// Removes and returns the installed proof sink, if any. Emission stops.
+    pub fn take_proof(&mut self) -> Option<Box<dyn ProofSink>> {
+        self.proof.take()
+    }
+
+    /// `true` while a proof sink is installed.
+    pub fn proof_enabled(&self) -> bool {
+        self.proof.is_some()
+    }
+
+    /// Flushes the installed proof sink (no-op without one).
+    ///
+    /// # Errors
+    ///
+    /// Returns the sink's first deferred I/O error, if any.
+    pub fn flush_proof(&mut self) -> std::io::Result<()> {
+        match self.proof.as_mut() {
+            Some(p) => p.flush(),
+            None => Ok(()),
+        }
+    }
+
+    /// Starts recording a *shadow formula*: every clause subsequently given
+    /// to [`Solver::add_clause`] is stored verbatim (pre-simplification), so
+    /// the axiom set can later be exported with [`Solver::recorded_cnf`] and
+    /// re-checked by an independent tool. Clauses added through
+    /// [`Solver::add_clause_derived`] are deliberately *not* recorded — they
+    /// are consequences, not axioms.
+    pub fn enable_clause_recording(&mut self) {
+        if self.recorded.is_none() {
+            self.recorded = Some(Vec::new());
+        }
+    }
+
+    /// `true` while shadow-formula recording is enabled.
+    pub fn recording_enabled(&self) -> bool {
+        self.recorded.is_some()
+    }
+
+    /// The shadow formula recorded since [`Solver::enable_clause_recording`],
+    /// as a [`Cnf`](crate::dimacs::Cnf) over this solver's current variable
+    /// range. `None` if recording was never enabled.
+    pub fn recorded_cnf(&self) -> Option<crate::dimacs::Cnf> {
+        self.recorded.as_ref().map(|clauses| crate::dimacs::Cnf {
+            num_vars: self.num_vars(),
+            clauses: clauses.clone(),
+        })
+    }
+
+    #[inline]
+    fn proof_add(&mut self, lits: &[Lit]) {
+        if let Some(p) = self.proof.as_mut() {
+            p.add_clause(lits);
+        }
+    }
+
+    #[inline]
+    fn proof_delete(&mut self, lits: &[Lit]) {
+        if let Some(p) = self.proof.as_mut() {
+            p.delete_clause(lits);
+        }
+    }
+
     /// Raises a variable's branching priority by bumping its VSIDS activity,
     /// steering the solver toward deciding it early. Useful when a model has
     /// a small set of semantic decision variables whose assignment
@@ -311,8 +388,29 @@ impl Solver {
     /// accepted (and dropped). Must be called when no solve is in progress;
     /// assignments from previous solves are rolled back automatically.
     pub fn add_clause(&mut self, lits: &[Lit]) -> bool {
+        self.add_clause_inner(lits, true)
+    }
+
+    /// Adds a clause the caller asserts to be a *consequence* of the formula
+    /// (e.g. an optimizer's refuted-bound clause) rather than an axiom.
+    ///
+    /// Identical to [`Solver::add_clause`] except the clause is excluded from
+    /// the shadow formula ([`Solver::enable_clause_recording`]), so exported
+    /// certificates are stated over the axioms alone. The clause *is* still
+    /// reported to an installed [`ProofSink`] as an addition; the resulting
+    /// proof remains checkable only if the clause is RUP at that point.
+    pub fn add_clause_derived(&mut self, lits: &[Lit]) -> bool {
+        self.add_clause_inner(lits, false)
+    }
+
+    fn add_clause_inner(&mut self, lits: &[Lit], record: bool) -> bool {
         if !self.ok {
             return false;
+        }
+        if record {
+            if let Some(rec) = self.recorded.as_mut() {
+                rec.push(lits.to_vec());
+            }
         }
         self.cancel_until(0);
         let mut ls: Vec<Lit> = lits.to_vec();
@@ -320,24 +418,34 @@ impl Solver {
         ls.dedup();
         // Tautology / level-0 simplification.
         let mut simplified = Vec::with_capacity(ls.len());
+        let mut dropped_lits = false;
         for (i, &l) in ls.iter().enumerate() {
             if i + 1 < ls.len() && ls[i + 1] == !l {
                 return true; // tautology: contains l and !l (adjacent after sort)
             }
             match self.lit_value(l) {
-                LBool::True => return true, // already satisfied at level 0
-                LBool::False => continue,   // falsified at level 0: drop literal
+                LBool::True => return true,          // already satisfied at level 0
+                LBool::False => dropped_lits = true, // falsified at level 0: drop
                 LBool::Undef => simplified.push(l),
             }
         }
+        // A simplified clause that lost literals (or a derived clause, which
+        // the checker has never seen) is a derivation step of its own; a
+        // clause passed through verbatim is already in the input formula.
+        if self.proof.is_some() && (dropped_lits || !record) && !simplified.is_empty() {
+            let emit = simplified.clone();
+            self.proof_add(&emit);
+        }
         match simplified.len() {
             0 => {
+                self.proof_add(&[]);
                 self.ok = false;
                 false
             }
             1 => {
                 self.unchecked_enqueue(simplified[0], None);
                 if self.propagate().is_some() {
+                    self.proof_add(&[]);
                     self.ok = false;
                 }
                 self.ok
@@ -389,6 +497,13 @@ impl Solver {
                 ws.swap_remove(pos);
             }
         }
+        // Only learnt clauses are ever detached (database reduction); their
+        // removal must reach the proof so the checker's database matches.
+        let deleted_lits = if self.proof.is_some() && self.clauses[cref as usize].learnt {
+            Some(self.clauses[cref as usize].lits.clone())
+        } else {
+            None
+        };
         let c = &mut self.clauses[cref as usize];
         c.deleted = true;
         if c.learnt {
@@ -398,6 +513,9 @@ impl Solver {
         c.lits.clear();
         c.lits.shrink_to_fit();
         self.free_slots.push(cref);
+        if let Some(lits) = deleted_lits {
+            self.proof_delete(&lits);
+        }
     }
 
     fn unchecked_enqueue(&mut self, l: Lit, from: Option<ClauseRef>) {
@@ -792,6 +910,7 @@ impl Solver {
         }
         self.cancel_until(0);
         if self.propagate().is_some() {
+            self.proof_add(&[]);
             self.ok = false;
             return SolveOutcome::Unsat;
         }
@@ -847,10 +966,15 @@ impl Solver {
                         .gauge("sat.conflicts.checkpoint", self.stats.conflicts as i64);
                 }
                 if self.decision_level() == 0 {
+                    self.proof_add(&[]);
                     self.ok = false;
                     return SearchResult::Unsat;
                 }
                 let (learnt, bt) = self.analyze(confl);
+                if self.proof.is_some() {
+                    let emit = learnt.clone();
+                    self.proof_add(&emit);
+                }
                 // Never backtrack past the assumptions unnecessarily; standard
                 // CDCL backjumps to bt and re-propagates.
                 self.cancel_until(bt);

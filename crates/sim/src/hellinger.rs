@@ -3,15 +3,35 @@
 /// Hellinger distance `H(P,Q) = sqrt(1 - sum_i sqrt(p_i q_i))` between two
 /// discrete distributions.
 ///
+/// Inputs are taken as they come off a simulator or a shot counter: tiny
+/// negative round-off is clamped to zero (genuinely negative entries are a
+/// caller bug and trip a debug assertion), and distributions whose sums
+/// have drifted away from 1 are renormalized before the Bhattacharyya
+/// coefficient is computed — otherwise the drift itself would masquerade
+/// as statistical distance.
+///
+/// An all-zero input has no overlap with anything and is at distance 1.
+///
 /// # Panics
 ///
-/// Panics on length mismatch or negative entries.
+/// Panics on length mismatch.
 pub fn hellinger_distance(p: &[f64], q: &[f64]) -> f64 {
     assert_eq!(p.len(), q.len(), "distribution length mismatch");
+    let clamped_sum = |d: &[f64]| -> f64 {
+        d.iter()
+            .map(|&x| {
+                debug_assert!(x >= -1e-9, "negative probability {x}");
+                x.max(0.0)
+            })
+            .sum()
+    };
+    let (sp, sq) = (clamped_sum(p), clamped_sum(q));
+    if sp == 0.0 || sq == 0.0 {
+        return 1.0;
+    }
     let mut bc = 0.0;
     for (&a, &b) in p.iter().zip(q) {
-        assert!(a >= -1e-12 && b >= -1e-12, "negative probability");
-        bc += (a.max(0.0) * b.max(0.0)).sqrt();
+        bc += ((a.max(0.0) / sp) * (b.max(0.0) / sq)).sqrt();
     }
     (1.0 - bc.min(1.0)).max(0.0).sqrt()
 }
@@ -79,5 +99,34 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn length_mismatch_panics() {
         let _ = hellinger_distance(&[1.0], &[0.5, 0.5]);
+    }
+
+    #[test]
+    fn negative_roundoff_is_clamped() {
+        // -1e-13-scale entries are ordinary floating-point debris from a
+        // dense simulator; they must not panic or poison the result.
+        let p = [0.5, 0.5, -1e-13];
+        let q = [0.5, 0.5, 0.0];
+        assert!(hellinger_distance(&p, &q) < 1e-6);
+        assert!((hellinger_fidelity(&p, &q) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn drifting_sums_are_renormalized() {
+        // The same shape at different normalizations is the same
+        // distribution; un-normalized sums must not read as distance.
+        let p = [0.25, 0.25, 0.25, 0.25];
+        let drifted = [0.2495, 0.2495, 0.2495, 0.2495];
+        assert!(hellinger_distance(&p, &drifted) < 1e-9);
+        let scaled = [0.5, 0.5, 0.5, 0.5];
+        assert!(hellinger_distance(&p, &scaled) < 1e-12);
+    }
+
+    #[test]
+    fn all_zero_distribution_is_maximally_distant() {
+        let p = [0.0, 0.0];
+        let q = [0.5, 0.5];
+        assert!((hellinger_distance(&p, &q) - 1.0).abs() < 1e-12);
+        assert!((hellinger_distance(&p, &p) - 1.0).abs() < 1e-12);
     }
 }

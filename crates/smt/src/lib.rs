@@ -41,8 +41,10 @@
 pub mod bitvec;
 pub mod diff;
 pub mod omt;
+pub mod record;
 mod solver;
 
+pub use record::{AuditBundle, RecordedConstraint};
 pub use solver::{IntExpr, SmtModel, SmtSolver};
 
 #[cfg(test)]

@@ -12,7 +12,8 @@
 //! [`crate::SmtSolver`].
 
 use crate::solver::{IntExpr, SmtModel, SmtSolver};
-use qca_sat::SolveOutcome;
+use qca_sat::dimacs::Cnf;
+use qca_sat::{MemoryProof, ProofStep, SolveOutcome, Solver};
 
 /// Search strategy for [`maximize`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -34,8 +35,30 @@ pub struct Optimum {
     /// Number of SAT queries issued during the search.
     pub queries: u64,
     /// `true` when optimality was proven; `false` when a probe exhausted the
-    /// conflict budget and the search settled for the best value found.
+    /// conflict budget — or the early-termination gap fired — and the search
+    /// settled for the best value found.
     pub optimal: bool,
+    /// Independently checkable proof of optimality; present only when
+    /// [`OmtOptions::certify`] is set, the solver has recording enabled, and
+    /// `optimal` is `true`. Absence with `optimal == true` means
+    /// certification was not requested (or the objective already sat at its
+    /// structural upper bound beyond `i64` range).
+    pub certificate: Option<OptimalityCertificate>,
+}
+
+/// An UNSAT certificate for the claim `objective <= refuted_bound - 1`:
+/// the solver's shadow formula plus the unit clause `objective >=
+/// refuted_bound`, together with a DRAT proof of its unsatisfiability built
+/// by a *fresh* solver instance. `qca-verify`'s independent RUP checker
+/// validates `steps` against `cnf` without trusting either solver.
+#[derive(Debug, Clone)]
+pub struct OptimalityCertificate {
+    /// The formula refuted: shadow CNF + `objective >= refuted_bound` unit.
+    pub cnf: Cnf,
+    /// DRAT proof steps ending in the empty clause.
+    pub steps: Vec<ProofStep>,
+    /// The bound proven unreachable (`Optimum::value + 1`).
+    pub refuted_bound: i64,
 }
 
 /// Tuning knobs for [`maximize_with`].
@@ -47,8 +70,16 @@ pub struct OmtOptions {
     pub probe_conflict_budget: Option<u64>,
     /// Early-termination gap: the binary search stops once the remaining
     /// bracket is below `relative_gap * max(1, |best|)`. Zero (the default)
-    /// searches to exact optimality.
+    /// searches to exact optimality. A gap-stop reports
+    /// `Optimum::optimal == false` — the bracket may still contain a better
+    /// value.
     pub relative_gap: f64,
+    /// Build an [`OptimalityCertificate`] for proven-optimal results.
+    /// Requires [`SmtSolver::enable_recording`]; silently skipped otherwise.
+    /// If the certification re-solve *fails* to refute the bound (a
+    /// soundness bug somewhere in the stack), the result is conservatively
+    /// downgraded to `optimal == false`.
+    pub certify: bool,
 }
 
 /// Maximizes `objective` subject to the solver's constraints.
@@ -88,10 +119,23 @@ pub fn maximize_with(
 ) -> Option<Optimum> {
     let tracer = smt.tracer().clone();
     let mut span = tracer.span_with("omt.search", || format!("{strategy:?}"));
-    let result = match strategy {
+    let mut result = match strategy {
         Strategy::BinarySearch => maximize_binary(smt, objective, options, hint),
         Strategy::LinearSearch => maximize_linear(smt, objective, options, hint),
     };
+    if let Some(opt) = result.as_mut() {
+        if opt.optimal && options.certify && smt.recording_enabled() {
+            if let Some(bound) = opt.value.checked_add(1) {
+                opt.certificate = certify_bound(smt, objective, bound);
+                if opt.certificate.is_none() {
+                    // The re-solve failed to refute `objective >= best + 1`:
+                    // something in the stack is unsound. Don't claim a proof
+                    // we don't have.
+                    opt.optimal = false;
+                }
+            }
+        }
+    }
     match &result {
         Some(opt) => {
             tracer.counter("omt.queries", opt.queries);
@@ -101,6 +145,49 @@ pub fn maximize_with(
         None => span.set_note("infeasible"),
     }
     result
+}
+
+/// Re-proves `objective >= refuted_bound` unsatisfiable on a fresh solver
+/// with DRAT logging enabled, over the shadow formula recorded so far.
+///
+/// The reified comparator is created on the *main* solver first so that its
+/// definitional clauses (and any fresh variables) land in the shadow
+/// formula; the fresh solver then receives the shadow CNF plus the unit
+/// clause asserting the comparator. Returns `None` when recording is off or
+/// the fresh solve does not come back UNSAT.
+fn certify_bound(
+    smt: &mut SmtSolver,
+    objective: &IntExpr,
+    refuted_bound: i64,
+) -> Option<OptimalityCertificate> {
+    let tracer = smt.tracer().clone();
+    let mut span = tracer.span_with("omt.certify", || format!("bound={refuted_bound}"));
+    let bound = smt.int_const(refuted_bound);
+    let ge = smt.ge_reified(objective, &bound);
+    let mut cnf = smt.recorded_cnf()?;
+    cnf.clauses.push(vec![ge]);
+    let proof = MemoryProof::new();
+    let mut solver = Solver::new();
+    solver.set_proof(Box::new(proof.clone()));
+    while solver.num_vars() < cnf.num_vars {
+        solver.new_var();
+    }
+    for clause in &cnf.clauses {
+        if !solver.add_clause(clause) {
+            break;
+        }
+    }
+    let outcome = solver.solve_limited(&[]);
+    if outcome != SolveOutcome::Unsat {
+        span.set_note("not_refuted");
+        return None;
+    }
+    span.set_note("refuted");
+    Some(OptimalityCertificate {
+        cnf,
+        steps: proof.steps(),
+        refuted_bound,
+    })
 }
 
 /// First model: try the warm-start hint (cheap propagation-only solve),
@@ -176,8 +263,9 @@ fn maximize_binary(
                 probe_span.set_note("unsat");
                 drop(probe_span);
                 // objective >= mid is impossible; make it permanent so the
-                // solver prunes future probes.
-                smt.add_clause(&[!ge]);
+                // solver prunes future probes. Derived, not an axiom: it
+                // must not enter the shadow formula used for certificates.
+                smt.add_clause_derived(&[!ge]);
                 hi = mid - 1;
                 smt.tracer().gauge("omt.bound_hi", hi);
             }
@@ -201,6 +289,7 @@ fn maximize_binary(
         model: best_model,
         queries,
         optimal,
+        certificate: None,
     })
 }
 
@@ -243,7 +332,7 @@ fn maximize_linear(
                 // The probe proved best_val is the maximum.
                 probe_span.set_note("unsat");
                 drop(probe_span);
-                smt.add_clause(&[!ge]);
+                smt.add_clause_derived(&[!ge]);
                 smt.tracer().gauge("omt.bound_hi", best_val);
                 break;
             }
@@ -260,6 +349,7 @@ fn maximize_linear(
         model: best_model,
         queries,
         optimal,
+        certificate: None,
     })
 }
 
@@ -389,6 +479,115 @@ mod tests {
             _ => None,
         });
         assert_eq!(search_note.as_deref(), Some("optimal"));
+    }
+
+    fn certified_knapsack(strategy: Strategy) -> Optimum {
+        let mut smt = SmtSolver::new();
+        smt.enable_recording();
+        let x: Vec<_> = (0..3).map(|_| smt.new_bool()).collect();
+        let weight = smt.pb_sum(0, &[(3, x[0]), (4, x[1]), (5, x[2])]);
+        let cap = smt.int_const(7);
+        smt.assert_ge(&cap, &weight);
+        let value = smt.pb_sum(0, &[(4, x[0]), (5, x[1]), (6, x[2])]);
+        let opts = OmtOptions {
+            certify: true,
+            ..OmtOptions::default()
+        };
+        maximize_with(&mut smt, &value, strategy, opts, &[]).expect("sat")
+    }
+
+    #[test]
+    fn proven_optimality_carries_certificate() {
+        for strategy in [Strategy::BinarySearch, Strategy::LinearSearch] {
+            let best = certified_knapsack(strategy);
+            assert_eq!(best.value, 9);
+            assert!(best.optimal);
+            let cert = best.certificate.expect("certificate requested");
+            assert_eq!(cert.refuted_bound, 10);
+            // A DRAT refutation must end in the empty clause (or reach a
+            // top-level conflict, in which case the final step may be any
+            // addition; the emitted proof always closes with the empty one).
+            assert!(matches!(
+                cert.steps.last(),
+                Some(ProofStep::Add(c)) if c.is_empty()
+            ));
+            // The asserted bound is the last clause of the certified formula.
+            assert_eq!(cert.cnf.clauses.last().map(Vec::len), Some(1));
+        }
+    }
+
+    #[test]
+    fn trivial_optimum_at_structural_bound_is_certifiable() {
+        // The first model already attains `hi`; no probe ever ran, but the
+        // certificate path still refutes `objective >= hi + 1`.
+        let mut smt = SmtSolver::new();
+        smt.enable_recording();
+        let _ = smt.new_bool();
+        let obj = smt.int_const(42);
+        let opts = OmtOptions {
+            certify: true,
+            ..OmtOptions::default()
+        };
+        let best = maximize_with(&mut smt, &obj, Strategy::BinarySearch, opts, &[]).expect("sat");
+        assert_eq!(best.value, 42);
+        assert!(best.optimal);
+        let cert = best.certificate.expect("certificate");
+        assert_eq!(cert.refuted_bound, 43);
+    }
+
+    #[test]
+    fn certify_without_recording_is_skipped() {
+        let mut smt = SmtSolver::new();
+        let a = smt.new_bool();
+        let obj = smt.pb_sum(0, &[(5, a)]);
+        let opts = OmtOptions {
+            certify: true,
+            ..OmtOptions::default()
+        };
+        let best = maximize_with(&mut smt, &obj, Strategy::BinarySearch, opts, &[]).expect("sat");
+        assert_eq!(best.value, 5);
+        assert!(best.optimal, "missing recording must not downgrade results");
+        assert!(best.certificate.is_none());
+    }
+
+    #[test]
+    fn gap_stop_reports_suboptimal_and_uncertified() {
+        // Objective fixed at 50 but with structural range up to 59: the
+        // search must tighten the bracket down. With a nonzero relative gap
+        // it stops early, and that stop must be distinguishable from proven
+        // optimality: `optimal == false` and no certificate, even though
+        // certification was requested and recording is on.
+        let mut smt = SmtSolver::new();
+        smt.enable_recording();
+        let b = smt.new_bool();
+        smt.add_clause(&[!b]);
+        let obj = smt.pb_sum(50, &[(9, b)]);
+        assert_eq!(obj.hi, 59);
+        let opts = OmtOptions {
+            relative_gap: 0.05,
+            certify: true,
+            ..OmtOptions::default()
+        };
+        let best = maximize_with(&mut smt, &obj, Strategy::BinarySearch, opts, &[]).expect("sat");
+        assert_eq!(best.value, 50);
+        assert!(!best.optimal, "gap-stop must not claim proven optimality");
+        assert!(best.certificate.is_none());
+
+        // Same instance searched to exactness is proven optimal and
+        // certified — the certificate is what separates the two outcomes.
+        let mut smt = SmtSolver::new();
+        smt.enable_recording();
+        let b = smt.new_bool();
+        smt.add_clause(&[!b]);
+        let obj = smt.pb_sum(50, &[(9, b)]);
+        let opts = OmtOptions {
+            certify: true,
+            ..OmtOptions::default()
+        };
+        let best = maximize_with(&mut smt, &obj, Strategy::BinarySearch, opts, &[]).expect("sat");
+        assert_eq!(best.value, 50);
+        assert!(best.optimal);
+        assert!(best.certificate.is_some());
     }
 
     #[test]

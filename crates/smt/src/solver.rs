@@ -13,6 +13,7 @@
 //! signed offset, so negative quantities (log-fidelities) cost nothing extra.
 
 use crate::bitvec;
+use crate::record::{AuditBundle, RecordedConstraint};
 use qca_sat::{Lit, SolveOutcome, Solver};
 
 /// A bounded integer expression: `value = offset + unsigned(bits)`.
@@ -51,17 +52,37 @@ pub struct SmtModel {
 impl SmtModel {
     /// Truth value of a literal in the model (`false` for unassigned).
     pub fn lit_is_true(&self, l: Lit) -> bool {
-        let v = self.values.get(l.var().index()).copied().flatten();
-        match v {
-            Some(b) => b == l.is_positive(),
-            None => false,
-        }
+        self.lit_value(l).unwrap_or(false)
+    }
+
+    /// Tri-state truth value of a literal: `None` when the variable is not
+    /// covered by this model (e.g. it was allocated after the snapshot).
+    pub fn lit_value(&self, l: Lit) -> Option<bool> {
+        self.values
+            .get(l.var().index())
+            .copied()
+            .flatten()
+            .map(|b| b == l.is_positive())
     }
 
     /// Integer value of an expression in the model.
     pub fn int_value(&self, e: &IntExpr) -> i64 {
         let u = bitvec::eval_bits(&e.bits, |l| self.lit_is_true(l));
         e.offset + u as i64
+    }
+
+    /// Integer value of an expression, or `None` when any bit of the
+    /// expression is not covered by this model (e.g. the expression was
+    /// built after the snapshot). Auditors use this to distinguish a real
+    /// violation from an indeterminate constraint.
+    pub fn int_value_checked(&self, e: &IntExpr) -> Option<i64> {
+        let mut u = 0u64;
+        for (i, &b) in e.bits.iter().enumerate() {
+            if self.lit_value(b)? {
+                u |= 1 << i;
+            }
+        }
+        Some(e.offset + u as i64)
     }
 }
 
@@ -86,6 +107,7 @@ pub struct SmtSolver {
     pub(crate) sat: Solver,
     pub(crate) fal: Option<Lit>,
     pub(crate) tru: Option<Lit>,
+    pub(crate) records: Option<Vec<RecordedConstraint>>,
 }
 
 impl Default for SmtSolver {
@@ -101,6 +123,53 @@ impl SmtSolver {
             sat: Solver::new(),
             fal: None,
             tru: None,
+            records: None,
+        }
+    }
+
+    /// Enables constraint recording for post-hoc auditing: every constraint
+    /// issued through the public API from now on is stored as a
+    /// [`RecordedConstraint`], and the underlying SAT solver records its
+    /// shadow formula (axiom clauses pre-simplification). Call immediately
+    /// after construction so the record covers the whole encoding.
+    pub fn enable_recording(&mut self) {
+        if self.records.is_none() {
+            self.records = Some(Vec::new());
+        }
+        self.sat.enable_clause_recording();
+    }
+
+    /// `true` while constraint recording is enabled.
+    pub fn recording_enabled(&self) -> bool {
+        self.records.is_some()
+    }
+
+    /// The constraints recorded so far (`None` if recording is disabled).
+    pub fn records(&self) -> Option<&[RecordedConstraint]> {
+        self.records.as_deref()
+    }
+
+    /// The clause-level shadow formula recorded by the underlying SAT solver
+    /// (`None` if recording is disabled).
+    pub fn recorded_cnf(&self) -> Option<qca_sat::dimacs::Cnf> {
+        self.sat.recorded_cnf()
+    }
+
+    /// Packages the recorded constraints, the shadow formula, and `model`
+    /// into an [`AuditBundle`] for `qca-verify`. `None` if recording is
+    /// disabled.
+    pub fn audit_bundle(&self, model: SmtModel) -> Option<AuditBundle> {
+        Some(AuditBundle {
+            constraints: self.records.as_ref()?.clone(),
+            cnf: self.recorded_cnf()?,
+            model,
+        })
+    }
+
+    #[inline]
+    fn record(&mut self, make: impl FnOnce() -> RecordedConstraint) {
+        if let Some(r) = self.records.as_mut() {
+            r.push(make());
         }
     }
 
@@ -111,7 +180,16 @@ impl SmtSolver {
 
     /// Adds a clause over Boolean literals.
     pub fn add_clause(&mut self, lits: &[Lit]) {
+        self.record(|| RecordedConstraint::Clause(lits.to_vec()));
         self.sat.add_clause(lits);
+    }
+
+    /// Adds a clause the caller asserts to be a *consequence* of the
+    /// existing constraints (e.g. an optimizer's refuted-bound clause). The
+    /// clause is excluded from both the semantic record and the SAT shadow
+    /// formula, so exported certificates are stated over the axioms alone.
+    pub fn add_clause_derived(&mut self, lits: &[Lit]) {
+        self.sat.add_clause_derived(lits);
     }
 
     /// Direct access to the underlying SAT solver (for encodings that need
@@ -200,23 +278,31 @@ impl SmtSolver {
             &mut self.fal,
             &mut self.tru,
         );
-        IntExpr {
+        let out = IntExpr {
             bits,
             offset: lo,
             lo,
             hi,
-        }
+        };
+        self.record(|| RecordedConstraint::IntVar { out: out.clone() });
+        out
     }
 
     /// Sum of two expressions.
     pub fn add(&mut self, a: &IntExpr, b: &IntExpr) -> IntExpr {
         let bits = bitvec::add_bits(&mut self.sat, &a.bits, &b.bits, &mut self.fal);
-        IntExpr {
+        let out = IntExpr {
             bits,
             offset: a.offset + b.offset,
             lo: a.lo + b.lo,
             hi: a.hi + b.hi,
-        }
+        };
+        self.record(|| RecordedConstraint::Add {
+            out: out.clone(),
+            a: a.clone(),
+            b: b.clone(),
+        });
+        out
     }
 
     /// A linear pseudo-Boolean sum `base + Σ w_i · b_i`.
@@ -254,12 +340,18 @@ impl SmtSolver {
         }
         // Balanced-tree summation keeps adder widths small.
         let bits = self.sum_tree(addends);
-        IntExpr {
+        let out = IntExpr {
             bits,
             offset,
             lo,
             hi,
-        }
+        };
+        self.record(|| RecordedConstraint::PbSum {
+            out: out.clone(),
+            base,
+            terms: terms.to_vec(),
+        });
+        out
     }
 
     fn sum_tree(&mut self, mut addends: Vec<Vec<Lit>>) -> Vec<Lit> {
@@ -297,12 +389,18 @@ impl SmtSolver {
             &mut self.fal,
             &mut self.tru,
         );
-        IntExpr {
+        let out = IntExpr {
             bits,
             offset: a.offset * k,
             lo: a.lo * k,
             hi: a.hi * k,
-        }
+        };
+        self.record(|| RecordedConstraint::MulConst {
+            out: out.clone(),
+            a: a.clone(),
+            k,
+        });
+        out
     }
 
     /// Computes `c - e` for a constant `c >= e.hi`.
@@ -332,12 +430,18 @@ impl SmtSolver {
         let s1 = bitvec::add_bits(&mut self.sat, &not_bits, &one, &mut self.fal);
         let mut s2 = bitvec::add_bits(&mut self.sat, &s1, &c_bits, &mut self.fal);
         s2.truncate(width);
-        IntExpr {
+        let out = IntExpr {
             bits: s2,
             offset: 0,
             lo: c - e.hi,
             hi: c - e.lo,
-        }
+        };
+        self.record(|| RecordedConstraint::SubFromConst {
+            out: out.clone(),
+            c,
+            e: e.clone(),
+        });
+        out
     }
 
     /// Rebases two expressions to a common offset so raw bit comparison is
@@ -359,6 +463,10 @@ impl SmtSolver {
 
     /// Asserts `a >= b`.
     pub fn assert_ge(&mut self, a: &IntExpr, b: &IntExpr) {
+        self.record(|| RecordedConstraint::Ge {
+            a: a.clone(),
+            b: b.clone(),
+        });
         let (ab, bb) = self.normalize_pair(a, b);
         bitvec::assert_ge(&mut self.sat, &ab, &bb, &mut self.fal, &mut self.tru);
     }
@@ -366,7 +474,13 @@ impl SmtSolver {
     /// Returns a literal equivalent to `a >= b`.
     pub fn ge_reified(&mut self, a: &IntExpr, b: &IntExpr) -> Lit {
         let (ab, bb) = self.normalize_pair(a, b);
-        bitvec::ge_reified(&mut self.sat, &ab, &bb, &mut self.fal, &mut self.tru)
+        let lit = bitvec::ge_reified(&mut self.sat, &ab, &bb, &mut self.fal, &mut self.tru);
+        self.record(|| RecordedConstraint::GeReified {
+            lit,
+            a: a.clone(),
+            b: b.clone(),
+        });
+        lit
     }
 
     /// Asserts `a == b`.
@@ -390,12 +504,19 @@ impl SmtSolver {
         let ab = rebase(self, a);
         let bb = rebase(self, b);
         let bits = bitvec::mux_bits(&mut self.sat, cond, &ab, &bb, &mut self.fal);
-        IntExpr {
+        let out = IntExpr {
             bits,
             offset: base,
             lo: a.lo.min(b.lo),
             hi: a.hi.max(b.hi),
-        }
+        };
+        self.record(|| RecordedConstraint::Ite {
+            out: out.clone(),
+            cond,
+            a: a.clone(),
+            b: b.clone(),
+        });
+        out
     }
 
     /// Elementwise maximum of expressions: returns `m` with constraints
@@ -416,6 +537,10 @@ impl SmtSolver {
             acc = self.ite(c, &acc, e);
             acc.lo = lo;
         }
+        self.record(|| RecordedConstraint::MaxOf {
+            out: acc.clone(),
+            exprs: exprs.to_vec(),
+        });
         acc
     }
 

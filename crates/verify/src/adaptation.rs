@@ -1,0 +1,370 @@
+//! End-to-end adaptation auditing.
+//!
+//! [`audit_adaptation`] re-derives everything an [`Adaptation`] claims from
+//! primary sources — the source circuit, the hardware gate tables, and the
+//! chosen substitutions — without trusting the solver stack:
+//!
+//! * the adapted circuit implements the *same unitary* as the source (up to
+//!   global phase), checked by dense simulation for small circuits;
+//! * the adapted and reference circuits use only hardware-native gates and
+//!   admit an ASAP schedule under the gate tables;
+//! * no two chosen substitutions conflict;
+//! * for the fidelity objective, the reported fixed-point objective value
+//!   matches `log(reference fidelity) + Σ Δlog-fidelity` recomputed from the
+//!   gate tables and the chosen substitutions;
+//! * any attached [`VerificationData`] passes the semantic model audit, and
+//!   proven-optimal results carry a checker-accepted DRAT certificate.
+
+use qca_adapt::{Adaptation, Objective, VerificationData, LOG_SCALE};
+use qca_circuit::Circuit;
+use qca_hw::{CircuitSchedule, HardwareModel};
+use qca_num::phase::approx_eq_up_to_phase;
+
+use crate::drat::DratError;
+use crate::model::{audit_model, check_certificate, ModelAuditError};
+
+/// Dense unitary comparison is skipped above this qubit count (the matrices
+/// grow as `4^n`).
+pub const UNITARY_AUDIT_MAX_QUBITS: usize = 10;
+
+/// A failed adaptation audit.
+#[derive(Debug)]
+pub enum AdaptationAuditError {
+    /// A circuit contains gates outside the hardware's native set.
+    NonNative {
+        /// Which circuit: `"adapted"` or `"reference"`.
+        which: &'static str,
+    },
+    /// A circuit admits no ASAP schedule under the hardware gate tables.
+    Unschedulable {
+        /// Which circuit: `"adapted"` or `"reference"`.
+        which: &'static str,
+    },
+    /// The adapted or reference circuit does not implement the source
+    /// unitary (up to global phase).
+    UnitaryMismatch {
+        /// Which circuit: `"adapted"` or `"reference"`.
+        which: &'static str,
+    },
+    /// Two chosen substitutions conflict with each other.
+    ConflictingChoices {
+        /// Catalog ids of the conflicting pair.
+        ids: (usize, usize),
+    },
+    /// The reported objective value disagrees with the value recomputed
+    /// from the hardware gate tables.
+    ObjectiveMismatch {
+        /// Fixed-point value the solver reported.
+        reported: i64,
+        /// Fixed-point value recomputed from the gate tables.
+        recomputed: f64,
+        /// Tolerance that was allowed (fixed-point units).
+        tolerance: f64,
+    },
+    /// The attached audit bundle failed the semantic model audit.
+    Model(ModelAuditError),
+    /// The attached optimality certificate was rejected by the DRAT checker.
+    Certificate(DratError),
+    /// The solve claims proven optimality with verification data attached,
+    /// but carries no certificate to back the claim.
+    MissingCertificate,
+}
+
+impl std::fmt::Display for AdaptationAuditError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdaptationAuditError::NonNative { which } => {
+                write!(f, "{which} circuit uses non-native gates")
+            }
+            AdaptationAuditError::Unschedulable { which } => {
+                write!(f, "{which} circuit is unschedulable under the gate tables")
+            }
+            AdaptationAuditError::UnitaryMismatch { which } => {
+                write!(f, "{which} circuit does not implement the source unitary")
+            }
+            AdaptationAuditError::ConflictingChoices { ids } => {
+                write!(f, "chosen substitutions {} and {} conflict", ids.0, ids.1)
+            }
+            AdaptationAuditError::ObjectiveMismatch {
+                reported,
+                recomputed,
+                tolerance,
+            } => write!(
+                f,
+                "objective value {reported} differs from recomputed {recomputed:.1} \
+                 by more than {tolerance:.1}"
+            ),
+            AdaptationAuditError::Model(e) => write!(f, "model audit failed: {e}"),
+            AdaptationAuditError::Certificate(e) => {
+                write!(f, "optimality certificate rejected: {e}")
+            }
+            AdaptationAuditError::MissingCertificate => {
+                write!(f, "proven-optimal result carries no certificate")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdaptationAuditError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AdaptationAuditError::Model(e) => Some(e),
+            AdaptationAuditError::Certificate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelAuditError> for AdaptationAuditError {
+    fn from(e: ModelAuditError) -> Self {
+        AdaptationAuditError::Model(e)
+    }
+}
+
+impl From<DratError> for AdaptationAuditError {
+    fn from(e: DratError) -> Self {
+        AdaptationAuditError::Certificate(e)
+    }
+}
+
+/// What a successful [`audit_adaptation`] actually established.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AdaptationAuditStats {
+    /// Dense unitary equivalence was checked (skipped above
+    /// [`UNITARY_AUDIT_MAX_QUBITS`]).
+    pub unitary_checked: bool,
+    /// The fixed-point objective value was cross-checked against the gate
+    /// tables (fidelity objective only).
+    pub objective_cross_checked: bool,
+    /// Gate-table fidelity of the adapted circuit.
+    pub adapted_fidelity: f64,
+    /// Gate-table fidelity of the reference circuit.
+    pub reference_fidelity: f64,
+    /// ASAP duration of the adapted circuit (ns).
+    pub adapted_duration: f64,
+    /// Semantic constraints replayed against the model (when verification
+    /// data was attached).
+    pub model_constraints_checked: u64,
+    /// DRAT proof additions validated (when a certificate was attached).
+    pub certificate_steps_checked: u64,
+}
+
+/// Audits a baseline (fallback) circuit that carries no solver-level
+/// [`Adaptation`] record: the circuit must be hardware-native, admit an ASAP
+/// schedule, and — for small circuits — implement the source unitary.
+///
+/// The batch engine uses this for reports that degraded past the solver
+/// (template optimization, direct translation, worker failure), so that
+/// *every* report in a verified batch is audited, not just solved ones.
+pub fn audit_baseline(
+    source: &Circuit,
+    adapted: &Circuit,
+    hw: &HardwareModel,
+) -> Result<AdaptationAuditStats, AdaptationAuditError> {
+    let mut stats = AdaptationAuditStats::default();
+    if !hw.supports_circuit(adapted) {
+        return Err(AdaptationAuditError::NonNative { which: "adapted" });
+    }
+    let Some(schedule) = CircuitSchedule::asap(adapted, hw) else {
+        return Err(AdaptationAuditError::Unschedulable { which: "adapted" });
+    };
+    stats.adapted_duration = schedule.total_duration;
+    stats.adapted_fidelity = hw
+        .circuit_fidelity(adapted)
+        .expect("native circuit has table fidelity");
+    if source.num_qubits() <= UNITARY_AUDIT_MAX_QUBITS {
+        if !approx_eq_up_to_phase(&adapted.unitary(), &source.unitary(), 1e-6) {
+            return Err(AdaptationAuditError::UnitaryMismatch { which: "adapted" });
+        }
+        stats.unitary_checked = true;
+    }
+    Ok(stats)
+}
+
+/// Audits `result` — produced by adapting `source` for `hw` under
+/// `objective` — against primary sources. Returns what was established, or
+/// the first discrepancy found.
+pub fn audit_adaptation(
+    source: &Circuit,
+    result: &Adaptation,
+    hw: &HardwareModel,
+    objective: Objective,
+) -> Result<AdaptationAuditStats, AdaptationAuditError> {
+    let mut stats = AdaptationAuditStats::default();
+
+    // Native gate sets and schedulability, from the gate tables alone.
+    for (which, circuit) in [
+        ("adapted", &result.circuit),
+        ("reference", &result.reference),
+    ] {
+        if !hw.supports_circuit(circuit) {
+            return Err(AdaptationAuditError::NonNative { which });
+        }
+        if CircuitSchedule::asap(circuit, hw).is_none() {
+            return Err(AdaptationAuditError::Unschedulable { which });
+        }
+    }
+    stats.adapted_fidelity = hw
+        .circuit_fidelity(&result.circuit)
+        .expect("native circuit has table fidelity");
+    stats.reference_fidelity = hw
+        .circuit_fidelity(&result.reference)
+        .expect("native circuit has table fidelity");
+    stats.adapted_duration = CircuitSchedule::asap(&result.circuit, hw)
+        .expect("checked above")
+        .total_duration;
+
+    // Unitary equivalence by dense simulation, independent of every
+    // substitution-rule correctness argument.
+    if source.num_qubits() <= UNITARY_AUDIT_MAX_QUBITS {
+        let u_src = source.unitary();
+        if !approx_eq_up_to_phase(&result.circuit.unitary(), &u_src, 1e-6) {
+            return Err(AdaptationAuditError::UnitaryMismatch { which: "adapted" });
+        }
+        if !approx_eq_up_to_phase(&result.reference.unitary(), &u_src, 1e-6) {
+            return Err(AdaptationAuditError::UnitaryMismatch { which: "reference" });
+        }
+        stats.unitary_checked = true;
+    }
+
+    // The chosen set must be conflict-free (Eq. 1 at the result level).
+    for (i, a) in result.chosen.iter().enumerate() {
+        for b in &result.chosen[i + 1..] {
+            if a.conflicts_with(b) {
+                return Err(AdaptationAuditError::ConflictingChoices { ids: (a.id, b.id) });
+            }
+        }
+    }
+
+    // Fidelity objective: the reported fixed-point value must equal
+    // log(reference fidelity) + Σ Δlog-fidelity of the chosen
+    // substitutions, recomputed here from the gate tables. Each fixed-point
+    // term rounds independently, so the tolerance grows with the term count.
+    if objective == Objective::Fidelity {
+        let recomputed = (stats.reference_fidelity.ln()
+            + result
+                .chosen
+                .iter()
+                .map(|s| s.delta_log_fidelity)
+                .sum::<f64>())
+            * LOG_SCALE;
+        let tolerance = 2.0 + result.chosen.len() as f64;
+        let reported = result.solver.objective_value;
+        if (reported as f64 - recomputed).abs() > tolerance {
+            return Err(AdaptationAuditError::ObjectiveMismatch {
+                reported,
+                recomputed,
+                tolerance,
+            });
+        }
+        stats.objective_cross_checked = true;
+    }
+
+    // Solver-level verification data, when attached: semantic model audit
+    // plus certificate checking for proven-optimal claims.
+    if let Some(VerificationData {
+        bundle,
+        certificate,
+    }) = &result.solver.verification
+    {
+        let model_stats = audit_model(bundle)?;
+        stats.model_constraints_checked = model_stats.constraints_checked;
+        match certificate {
+            Some(cert) => {
+                let drat_stats = check_certificate(cert)?;
+                stats.certificate_steps_checked = drat_stats.additions_checked as u64;
+            }
+            None if result.solver.optimal => {
+                return Err(AdaptationAuditError::MissingCertificate);
+            }
+            None => {}
+        }
+    }
+
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qca_adapt::{adapt, AdaptContext, AdaptOptions};
+    use qca_circuit::Gate;
+    use qca_hw::{spin_qubit_model, GateTimes};
+
+    fn swap_chain() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[1, 0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[1, 2]);
+        c.push(Gate::Rz(0.3), &[2]);
+        c
+    }
+
+    #[test]
+    fn audits_all_objectives_without_certification() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let c = swap_chain();
+        for obj in [
+            Objective::Fidelity,
+            Objective::IdleTime,
+            Objective::Combined,
+        ] {
+            let r = adapt(&c, &hw, &AdaptContext::with_objective(obj)).unwrap();
+            let stats = audit_adaptation(&c, &r, &hw, obj).unwrap();
+            assert!(stats.unitary_checked);
+            assert!(stats.adapted_fidelity > 0.0);
+        }
+    }
+
+    #[test]
+    fn audits_certified_adaptation_end_to_end() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let c = swap_chain();
+        let ctx: AdaptContext = AdaptOptions::builder()
+            .objective(Objective::Fidelity)
+            .exact()
+            .certify()
+            .context();
+        let r = adapt(&c, &hw, &ctx).unwrap();
+        assert!(r.solver.verification.is_some(), "certify attaches data");
+        assert!(r.solver.optimal, "exact search proves optimality");
+        let stats = audit_adaptation(&c, &r, &hw, Objective::Fidelity).unwrap();
+        assert!(stats.objective_cross_checked);
+        assert!(stats.model_constraints_checked > 0);
+        assert!(
+            stats.certificate_steps_checked > 0 || r.solver.verification.is_some(),
+            "optimal result was certificate-checked"
+        );
+    }
+
+    #[test]
+    fn detects_tampered_objective_value() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let c = swap_chain();
+        let mut r = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Fidelity)).unwrap();
+        r.solver.objective_value += 10_000;
+        let err = audit_adaptation(&c, &r, &hw, Objective::Fidelity).unwrap_err();
+        assert!(matches!(
+            err,
+            AdaptationAuditError::ObjectiveMismatch { .. }
+        ));
+    }
+
+    #[test]
+    fn detects_tampered_circuit() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let c = swap_chain();
+        let mut r = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Fidelity)).unwrap();
+        // Append a native gate that changes the unitary.
+        r.circuit.push(Gate::X, &[0]);
+        let err = audit_adaptation(&c, &r, &hw, Objective::Fidelity).unwrap_err();
+        assert!(matches!(
+            err,
+            AdaptationAuditError::UnitaryMismatch { which: "adapted" }
+                | AdaptationAuditError::NonNative { which: "adapted" }
+                | AdaptationAuditError::ObjectiveMismatch { .. }
+        ));
+    }
+}

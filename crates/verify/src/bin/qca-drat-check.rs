@@ -1,0 +1,56 @@
+//! Standalone DRAT proof checker.
+//!
+//! ```text
+//! qca-drat-check FORMULA.cnf PROOF.drat
+//! ```
+//!
+//! Checks the DRAT proof against the DIMACS formula with the independent
+//! RUP checker from `qca-verify`. Exit status: 0 when the proof is a valid
+//! refutation, 1 when it is rejected, 2 on usage or I/O errors.
+
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+use qca_sat::dimacs::parse_dimacs;
+use qca_sat::proof::parse_drat;
+use qca_verify::check_drat;
+
+fn run(formula_path: &str, proof_path: &str) -> Result<ExitCode, String> {
+    let formula = File::open(formula_path)
+        .map_err(|e| format!("{formula_path}: {e}"))
+        .map(BufReader::new)
+        .and_then(|r| parse_dimacs(r).map_err(|e| format!("{formula_path}: {e}")))?;
+    let proof = File::open(proof_path)
+        .map_err(|e| format!("{proof_path}: {e}"))
+        .map(BufReader::new)
+        .and_then(|r| parse_drat(r).map_err(|e| format!("{proof_path}: {e}")))?;
+    match check_drat(&formula, &proof) {
+        Ok(stats) => {
+            println!(
+                "s VERIFIED ({} additions checked, {} deletions applied, {} skipped)",
+                stats.additions_checked, stats.deletions_applied, stats.steps_skipped
+            );
+            Ok(ExitCode::SUCCESS)
+        }
+        Err(e) => {
+            println!("s NOT VERIFIED ({e})");
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() != 3 {
+        eprintln!("usage: qca-drat-check FORMULA.cnf PROOF.drat");
+        return ExitCode::from(2);
+    }
+    match run(&args[1], &args[2]) {
+        Ok(code) => code,
+        Err(e) => {
+            eprintln!("qca-drat-check: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

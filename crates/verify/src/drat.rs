@@ -1,0 +1,492 @@
+//! Independent DRAT proof checking by reverse unit propagation (RUP).
+//!
+//! This checker deliberately shares **no code** with the `qca-sat` solver's
+//! propagation: the solver uses two-watched-literal lists with blocker
+//! literals over typed [`Lit`](qca_sat::Lit)s; the checker works on plain
+//! DIMACS `i32` literals with full occurrence lists and counter/scan
+//! propagation. A soundness bug in one is therefore very unlikely to be
+//! masked by an identical bug in the other.
+//!
+//! # Semantics
+//!
+//! The checker verifies a *refutation*: starting from the formula's clauses,
+//! each proof addition must be RUP — assuming the negation of every literal
+//! in the clause, unit propagation over the active database must derive a
+//! conflict. Accepted clauses join the database; the proof succeeds when the
+//! empty clause is accepted (or the database itself becomes conflicting at
+//! the top level).
+//!
+//! Deletions follow drat-trim tolerance: deleting a clause that is not in
+//! the database is a no-op, and literals already on the persistent trail are
+//! never retracted — they are consequences of the formula regardless of
+//! which clause first forced them, so keeping them is sound.
+
+use qca_sat::dimacs::Cnf;
+use qca_sat::proof::ProofStep;
+use std::collections::HashMap;
+
+/// Why a proof was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DratError {
+    /// The clause added at `step` (0-based index into the proof) is not a
+    /// reverse-unit-propagation consequence of the database at that point.
+    NotRup {
+        /// 0-based index of the offending step in the proof.
+        step: usize,
+        /// The offending clause, in DIMACS literals.
+        clause: Vec<i32>,
+    },
+    /// The proof ended without deriving the empty clause or a top-level
+    /// conflict, so unsatisfiability was not established.
+    NoRefutation,
+}
+
+impl std::fmt::Display for DratError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DratError::NotRup { step, clause } => {
+                write!(f, "proof step {step}: clause {clause:?} is not RUP")
+            }
+            DratError::NoRefutation => {
+                write!(f, "proof ends without refuting the formula")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DratError {}
+
+/// Statistics from a successful check.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DratStats {
+    /// Clause additions verified RUP (the refuting step included).
+    pub additions_checked: usize,
+    /// Deletions applied to the database.
+    pub deletions_applied: usize,
+    /// Deletions ignored because no matching active clause existed.
+    pub deletions_ignored: usize,
+    /// Proof steps not examined because the formula was already refuted.
+    pub steps_skipped: usize,
+}
+
+/// Verifies that `proof` is a valid DRAT refutation of `cnf`.
+///
+/// # Errors
+///
+/// [`DratError::NotRup`] at the first unjustified addition, or
+/// [`DratError::NoRefutation`] when the proof ends without an accepted empty
+/// clause (and the database never becomes conflicting).
+///
+/// # Examples
+///
+/// ```
+/// use qca_sat::dimacs::parse_dimacs;
+/// use qca_sat::proof::ProofStep;
+/// use qca_verify::drat::check_drat;
+///
+/// // x & !x, refuted by the empty clause directly.
+/// let cnf = parse_dimacs("p cnf 1 2\n1 0\n-1 0\n".as_bytes()).unwrap();
+/// let proof = vec![ProofStep::Add(vec![])];
+/// assert!(check_drat(&cnf, &proof).is_ok());
+/// ```
+pub fn check_drat(cnf: &Cnf, proof: &[ProofStep]) -> Result<DratStats, DratError> {
+    let clauses: Vec<Vec<i32>> = cnf
+        .clauses
+        .iter()
+        .map(|c| c.iter().map(|l| l.to_dimacs() as i32).collect())
+        .collect();
+    let steps: Vec<(bool, Vec<i32>)> = proof
+        .iter()
+        .map(|s| {
+            (
+                s.is_delete(),
+                s.lits().iter().map(|l| l.to_dimacs() as i32).collect(),
+            )
+        })
+        .collect();
+    check_drat_dimacs(cnf.num_vars, &clauses, &steps)
+}
+
+/// [`check_drat`] over raw DIMACS literals: `steps` items are
+/// `(is_deletion, clause)`.
+///
+/// # Errors
+///
+/// See [`check_drat`].
+pub fn check_drat_dimacs(
+    num_vars: usize,
+    clauses: &[Vec<i32>],
+    steps: &[(bool, Vec<i32>)],
+) -> Result<DratStats, DratError> {
+    let mut chk = Checker::new(num_vars);
+    let mut stats = DratStats::default();
+    for c in clauses {
+        chk.add_active_clause(c);
+        if chk.refuted {
+            // Formula conflicts at the top level on its own: any proof
+            // (even an empty one) certifies it.
+            stats.steps_skipped = steps.len();
+            return Ok(stats);
+        }
+    }
+    for (i, (is_delete, lits)) in steps.iter().enumerate() {
+        if chk.refuted {
+            stats.steps_skipped = steps.len() - i;
+            return Ok(stats);
+        }
+        if *is_delete {
+            if chk.delete_clause(lits) {
+                stats.deletions_applied += 1;
+            } else {
+                stats.deletions_ignored += 1;
+            }
+        } else {
+            if !chk.is_rup(lits) {
+                return Err(DratError::NotRup {
+                    step: i,
+                    clause: lits.clone(),
+                });
+            }
+            stats.additions_checked += 1;
+            if lits.is_empty() {
+                stats.steps_skipped = steps.len() - i - 1;
+                return Ok(stats);
+            }
+            chk.add_active_clause(lits);
+        }
+    }
+    if chk.refuted {
+        return Ok(stats);
+    }
+    Err(DratError::NoRefutation)
+}
+
+/// Occurrence-list database with a persistent top-level trail.
+struct Checker {
+    /// Assignment per variable index (1-based): 0 undef, 1 true, -1 false.
+    assign: Vec<i8>,
+    /// Assigned literals, in assignment order. Never rolled back except by
+    /// [`Checker::is_rup`] restoring its own assumptions.
+    trail: Vec<i32>,
+    /// Normalized clause bodies; indexed by clause id.
+    clauses: Vec<Vec<i32>>,
+    active: Vec<bool>,
+    /// Literal → ids of clauses containing it (stale ids are filtered by
+    /// `active` at scan time).
+    occur: Vec<Vec<usize>>,
+    /// Normalized clause → active ids, multiset-style (one id per copy).
+    by_body: HashMap<Vec<i32>, Vec<usize>>,
+    /// A clause became falsified at the top level: the formula (plus checked
+    /// additions) is refuted.
+    refuted: bool,
+}
+
+impl Checker {
+    fn new(num_vars: usize) -> Checker {
+        Checker {
+            assign: vec![0; num_vars + 1],
+            trail: Vec::new(),
+            clauses: Vec::new(),
+            active: Vec::new(),
+            occur: vec![Vec::new(); 2 * (num_vars + 1)],
+            by_body: HashMap::new(),
+            refuted: false,
+        }
+    }
+
+    fn ensure_var(&mut self, var: usize) {
+        if var >= self.assign.len() {
+            self.assign.resize(var + 1, 0);
+            self.occur.resize(2 * (var + 1), Vec::new());
+        }
+    }
+
+    #[inline]
+    fn code(lit: i32) -> usize {
+        2 * lit.unsigned_abs() as usize + usize::from(lit < 0)
+    }
+
+    #[inline]
+    fn value(&self, lit: i32) -> i8 {
+        let v = self.assign[lit.unsigned_abs() as usize];
+        if lit > 0 {
+            v
+        } else {
+            -v
+        }
+    }
+
+    #[inline]
+    fn assign_true(&mut self, lit: i32) {
+        self.assign[lit.unsigned_abs() as usize] = if lit > 0 { 1 } else { -1 };
+        self.trail.push(lit);
+    }
+
+    /// Sorted, deduplicated copy; `None` for tautologies (never falsifiable,
+    /// so they contribute nothing to unit propagation).
+    fn normalize(lits: &[i32]) -> Option<Vec<i32>> {
+        let mut c = lits.to_vec();
+        c.sort_unstable();
+        c.dedup();
+        for w in c.windows(2) {
+            if w[0] == -w[1] {
+                return None;
+            }
+        }
+        Some(c)
+    }
+
+    /// Unit propagation from `head` (a trail index). Returns `true` on
+    /// conflict. Counter/scan scheme: each newly falsified literal's
+    /// occurrence list is scanned, and each still-active clause is examined
+    /// literal by literal.
+    fn propagate(&mut self, mut head: usize) -> bool {
+        while head < self.trail.len() {
+            let falsified = -self.trail[head];
+            head += 1;
+            let code = Self::code(falsified);
+            let mut k = 0;
+            while k < self.occur[code].len() {
+                let ci = self.occur[code][k];
+                k += 1;
+                if !self.active[ci] {
+                    continue;
+                }
+                let mut unassigned: Option<i32> = None;
+                let mut satisfied = false;
+                let mut n_unassigned = 0;
+                for idx in 0..self.clauses[ci].len() {
+                    let l = self.clauses[ci][idx];
+                    match self.value(l) {
+                        1 => {
+                            satisfied = true;
+                            break;
+                        }
+                        0 => {
+                            n_unassigned += 1;
+                            unassigned = Some(l);
+                        }
+                        _ => {}
+                    }
+                }
+                if satisfied {
+                    continue;
+                }
+                match n_unassigned {
+                    0 => return true,
+                    1 => self.assign_true(unassigned.expect("unit literal")),
+                    _ => {}
+                }
+            }
+        }
+        false
+    }
+
+    /// Installs a clause into the active database, keeping the persistent
+    /// trail at its propagation fixpoint; sets `refuted` on a top-level
+    /// conflict.
+    fn add_active_clause(&mut self, lits: &[i32]) {
+        let Some(body) = Self::normalize(lits) else {
+            return; // tautology
+        };
+        for &l in &body {
+            self.ensure_var(l.unsigned_abs() as usize);
+        }
+        let mut unassigned: Option<i32> = None;
+        let mut n_unassigned = 0;
+        let mut satisfied = false;
+        for &l in &body {
+            match self.value(l) {
+                1 => satisfied = true,
+                0 => {
+                    n_unassigned += 1;
+                    unassigned = Some(l);
+                }
+                _ => {}
+            }
+        }
+        let ci = self.clauses.len();
+        for &l in &body {
+            self.occur[Self::code(l)].push(ci);
+        }
+        self.by_body.entry(body.clone()).or_default().push(ci);
+        self.clauses.push(body);
+        self.active.push(true);
+        if satisfied {
+            return;
+        }
+        match n_unassigned {
+            0 => self.refuted = true,
+            1 => {
+                let head = self.trail.len();
+                self.assign_true(unassigned.expect("unit literal"));
+                if self.propagate(head) {
+                    self.refuted = true;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Deactivates one copy of the clause; `false` when absent (tolerated).
+    fn delete_clause(&mut self, lits: &[i32]) -> bool {
+        let Some(body) = Self::normalize(lits) else {
+            return false;
+        };
+        if let Some(ids) = self.by_body.get_mut(&body) {
+            if let Some(ci) = ids.pop() {
+                self.active[ci] = false;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The RUP test: assuming the negation of every literal in `lits`, does
+    /// unit propagation derive a conflict? Temporary assumptions are rolled
+    /// back before returning.
+    fn is_rup(&mut self, lits: &[i32]) -> bool {
+        let mark = self.trail.len();
+        let mut conflict = false;
+        for &l in lits {
+            self.ensure_var(l.unsigned_abs() as usize);
+            match self.value(l) {
+                1 => {
+                    // The trail already satisfies the clause; assuming its
+                    // negation is an immediate contradiction.
+                    conflict = true;
+                    break;
+                }
+                -1 => {}
+                _ => self.assign_true(-l),
+            }
+        }
+        if !conflict {
+            conflict = self.propagate(mark);
+        }
+        for i in mark..self.trail.len() {
+            let l = self.trail[i];
+            self.assign[l.unsigned_abs() as usize] = 0;
+        }
+        self.trail.truncate(mark);
+        conflict
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add(lits: &[i32]) -> (bool, Vec<i32>) {
+        (false, lits.to_vec())
+    }
+
+    fn del(lits: &[i32]) -> (bool, Vec<i32>) {
+        (true, lits.to_vec())
+    }
+
+    #[test]
+    fn accepts_trivial_conflict_proof() {
+        // (x) & (!x): empty clause is RUP immediately.
+        let clauses = vec![vec![1], vec![-1]];
+        // Conflicting units refute the formula during loading; the proof is
+        // not even consulted.
+        let stats = check_drat_dimacs(1, &clauses, &[]).unwrap();
+        assert_eq!(stats.additions_checked, 0);
+    }
+
+    #[test]
+    fn accepts_resolution_chain() {
+        // (a|b) & (!a|b) & (a|!b) & (!a|!b) — classic 2-var UNSAT.
+        let clauses = vec![vec![1, 2], vec![-1, 2], vec![1, -2], vec![-1, -2]];
+        let proof = vec![add(&[2]), add(&[])];
+        let stats = check_drat_dimacs(2, &clauses, &proof).unwrap();
+        // Installing the derived unit (2) already refutes the database by
+        // persistent propagation, so the final empty clause is skipped.
+        assert_eq!(stats.additions_checked, 1);
+        assert_eq!(stats.steps_skipped, 1);
+    }
+
+    #[test]
+    fn rejects_non_rup_addition() {
+        let clauses = vec![vec![1, 2]];
+        let proof = vec![add(&[1])]; // not implied
+        let err = check_drat_dimacs(2, &clauses, &proof).unwrap_err();
+        assert_eq!(
+            err,
+            DratError::NotRup {
+                step: 0,
+                clause: vec![1]
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_proof_without_refutation() {
+        let clauses = vec![vec![1, 2], vec![-1, 2]];
+        let proof = vec![add(&[2])];
+        assert_eq!(
+            check_drat_dimacs(2, &clauses, &proof).unwrap_err(),
+            DratError::NoRefutation
+        );
+    }
+
+    #[test]
+    fn rejects_empty_clause_on_satisfiable_formula() {
+        let clauses = vec![vec![1, 2]];
+        let proof = vec![add(&[])];
+        assert!(matches!(
+            check_drat_dimacs(2, &clauses, &proof),
+            Err(DratError::NotRup { step: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn deletion_of_absent_clause_is_tolerated() {
+        let clauses = vec![vec![1, 2], vec![-1, 2], vec![1, -2], vec![-1, -2]];
+        let proof = vec![del(&[3, 4]), add(&[2]), add(&[])];
+        let stats = check_drat_dimacs(4, &clauses, &proof).unwrap();
+        assert_eq!(stats.deletions_ignored, 1);
+        assert_eq!(stats.deletions_applied, 0);
+    }
+
+    #[test]
+    fn deletion_removes_only_one_copy() {
+        // Two copies of (1 2); deleting one must keep the other usable.
+        let clauses = vec![
+            vec![1, 2],
+            vec![1, 2],
+            vec![-1, 2],
+            vec![1, -2],
+            vec![-1, -2],
+        ];
+        let proof = vec![del(&[2, 1]), add(&[2]), add(&[])];
+        let stats = check_drat_dimacs(2, &clauses, &proof).unwrap();
+        assert_eq!(stats.deletions_applied, 1);
+    }
+
+    #[test]
+    fn deletion_can_break_a_later_rup_step() {
+        // After deleting both copies of (1 2), deriving (2) is unjustified.
+        let clauses = vec![vec![1, 2], vec![-1, 2]];
+        let proof = vec![del(&[1, 2]), add(&[2])];
+        assert!(matches!(
+            check_drat_dimacs(2, &clauses, &proof),
+            Err(DratError::NotRup { step: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn tautologies_are_inert() {
+        let clauses = vec![vec![1, -1], vec![2], vec![-2]];
+        assert!(check_drat_dimacs(2, &clauses, &[]).is_ok());
+    }
+
+    #[test]
+    fn literals_beyond_declared_vars_are_tolerated() {
+        // The proof may mention auxiliary variables the header undercounts.
+        let clauses = vec![vec![5], vec![-5]];
+        let stats = check_drat_dimacs(1, &clauses, &[]).unwrap();
+        assert_eq!(stats.additions_checked, 0);
+    }
+}
