@@ -10,7 +10,7 @@ echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== tier-1: cargo build --release =="
-cargo build --release
+cargo build --release --workspace
 
 echo "== tier-1: cargo test -q =="
 cargo test -q
@@ -62,5 +62,35 @@ if grep -q 'audit=FAIL' "$trace_dir/verify.txt"; then
   grep 'audit=FAIL' "$trace_dir/verify.txt" >&2
   exit 1
 fi
+
+echo "== lint gate: qca-lint --deny-warnings on examples/qasm (must be clean) =="
+target/release/qca-lint --deny-warnings examples/qasm || {
+  echo "lint gate: examples/qasm is not lint-clean" >&2; exit 1; }
+
+echo "== lint gate: qca-lint on examples/qasm-bad (every seeded defect flagged) =="
+if target/release/qca-lint --deny-warnings --json examples/qasm-bad \
+    > "$trace_dir/lint-bad.jsonl"; then
+  echo "lint gate: qca-lint exited 0 on the bad corpus" >&2; exit 1
+fi
+for qasm in examples/qasm-bad/*.qasm; do
+  expect="$(sed -n 's|^// lint-expect: ||p' "$qasm")"
+  test -n "$expect" || {
+    echo "lint gate: $qasm has no lint-expect header" >&2; exit 1; }
+  grep -q "\"file\":\"$qasm\".*\"code\":\"$expect\"" "$trace_dir/lint-bad.jsonl" || {
+    echo "lint gate: $qasm did not produce expected $expect" >&2
+    cat "$trace_dir/lint-bad.jsonl" >&2
+    exit 1
+  }
+done
+
+echo "== lint gate: qca-engine --deny-warnings preflight on examples/qasm =="
+target/release/qca-engine --workers 2 --deny-warnings examples/qasm \
+  > "$trace_dir/lint-engine.txt" || {
+  echo "lint gate: qca-engine --deny-warnings failed" >&2
+  cat "$trace_dir/lint-engine.txt" >&2
+  exit 1
+}
+grep -q 'lint=ok' "$trace_dir/lint-engine.txt" || {
+  echo "lint gate: no lint verdicts in engine output" >&2; exit 1; }
 
 echo "ci.sh: all checks passed"

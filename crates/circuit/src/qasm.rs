@@ -4,19 +4,44 @@
 //! this workspace handles: a single quantum register, the `qelib1` gate
 //! names used here (`x`, `h`, `rz`, `u1`/`u2`/`u3`, `cx`, `cz`, `swap`,
 //! `iswap`, `cp`/`cu1`, `crx`, ...), `barrier` (ignored) and `measure`
-//! (ignored). Parameter expressions support `pi`, numeric literals, unary
-//! minus, `+ - * /` and parentheses.
+//! (excluded from the [`Circuit`] but retained — with positions — on
+//! [`QasmProgram`] for diagnostics). Parameter expressions support `pi`,
+//! numeric literals, unary minus, `+ - * /` and parentheses.
+//!
+//! [`parse_qasm_program`] additionally reports a 1-based line *and* column
+//! ([`SrcSpan`]) for every parsed statement, so downstream diagnostics (and
+//! [`ParseQasmError`]) can point at exact source positions.
 
 use crate::circuit::Circuit;
 use crate::gate::Gate;
 use std::error::Error;
 use std::fmt;
 
+/// A position in OpenQASM source: 1-based line and column.
+///
+/// Columns count characters (not bytes) from the start of the physical
+/// line, so they match what an editor displays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct SrcSpan {
+    /// 1-based source line.
+    pub line: usize,
+    /// 1-based source column of the statement's first character.
+    pub col: usize,
+}
+
+impl fmt::Display for SrcSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
 /// Error produced when parsing OpenQASM source.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseQasmError {
     /// 1-based source line of the problem.
     pub line: usize,
+    /// 1-based source column of the offending statement.
+    pub col: usize,
     /// Explanation.
     pub message: String,
 }
@@ -25,19 +50,51 @@ impl fmt::Display for ParseQasmError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "qasm parse error at line {}: {}",
-            self.line, self.message
+            "qasm parse error at line {}, column {}: {}",
+            self.line, self.col, self.message
         )
     }
 }
 
 impl Error for ParseQasmError {}
 
-fn err(line: usize, message: impl Into<String>) -> ParseQasmError {
+fn err(span: SrcSpan, message: impl Into<String>) -> ParseQasmError {
     ParseQasmError {
-        line,
+        line: span.line,
+        col: span.col,
         message: message.into(),
     }
+}
+
+/// One `measure` statement, retained for diagnostics.
+///
+/// [`parse_qasm`] drops measurements from the returned [`Circuit`] (the
+/// adaptation pipeline works on the unitary part), but static analysis
+/// needs to know *where* in the gate stream each qubit was measured.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MeasureStmt {
+    /// Measured qubit indices (the whole register for `measure q -> c`).
+    pub qubits: Vec<usize>,
+    /// Number of gate instructions parsed before this measurement.
+    pub at_op: usize,
+    /// Source position of the statement.
+    pub span: SrcSpan,
+}
+
+/// A parsed OpenQASM program with per-statement source metadata.
+///
+/// Produced by [`parse_qasm_program`]; [`parse_qasm`] is the plain-circuit
+/// view. `spans` is parallel to `circuit.instrs()`.
+#[derive(Debug, Clone)]
+pub struct QasmProgram {
+    /// The unitary part of the program.
+    pub circuit: Circuit,
+    /// Source position of every instruction (parallel to the circuit).
+    pub spans: Vec<SrcSpan>,
+    /// Measurement statements, in program order.
+    pub measures: Vec<MeasureStmt>,
+    /// Source position of the `qreg` declaration, when present.
+    pub qreg_span: Option<SrcSpan>,
 }
 
 /// Parses a full OpenQASM 2.0 program into a [`Circuit`].
@@ -65,55 +122,116 @@ fn err(line: usize, message: impl Into<String>) -> ParseQasmError {
 /// # Ok::<(), qca_circuit::qasm::ParseQasmError>(())
 /// ```
 pub fn parse_qasm(src: &str) -> Result<Circuit, ParseQasmError> {
+    parse_qasm_program(src).map(|p| p.circuit)
+}
+
+/// Parses a full OpenQASM 2.0 program, retaining per-statement source
+/// spans and measurement statements for diagnostics.
+///
+/// # Errors
+///
+/// Returns [`ParseQasmError`] on unsupported or malformed constructs; the
+/// error carries the exact line *and* column of the offending statement.
+///
+/// # Examples
+///
+/// ```
+/// use qca_circuit::qasm::parse_qasm_program;
+///
+/// let src = "qreg q[2];\nh q[0];\nmeasure q[0] -> c[0];\n";
+/// let p = parse_qasm_program(src)?;
+/// assert_eq!(p.circuit.len(), 1);
+/// assert_eq!(p.spans[0].line, 2);
+/// assert_eq!(p.measures[0].qubits, vec![0]);
+/// # Ok::<(), qca_circuit::qasm::ParseQasmError>(())
+/// ```
+pub fn parse_qasm_program(src: &str) -> Result<QasmProgram, ParseQasmError> {
     let mut num_qubits: Option<usize> = None;
     let mut reg_name = String::from("q");
-    let mut circuit = Circuit::new(0);
-    // Join physical lines and split on ';' to allow multi-statement lines.
+    let mut program = QasmProgram {
+        circuit: Circuit::new(0),
+        spans: Vec::new(),
+        measures: Vec::new(),
+        qreg_span: None,
+    };
+    // Split each physical line on ';' to allow multi-statement lines,
+    // tracking byte offsets so every statement gets a line:column span.
     for (lineno, raw_line) in src.lines().enumerate() {
         let lineno = lineno + 1;
         let line = match raw_line.find("//") {
             Some(pos) => &raw_line[..pos],
             None => raw_line,
         };
-        for stmt in line.split(';') {
-            let stmt = stmt.trim();
+        let mut seg_start = 0usize;
+        for segment in line.split(';') {
+            let stmt = segment.trim();
+            let start_byte = seg_start + (segment.len() - segment.trim_start().len());
+            seg_start += segment.len() + 1;
             if stmt.is_empty() {
                 continue;
             }
+            let span = SrcSpan {
+                line: lineno,
+                col: raw_line[..start_byte].chars().count() + 1,
+            };
             if stmt.starts_with("OPENQASM") || stmt.starts_with("include") {
                 continue;
             }
             if let Some(rest) = stmt.strip_prefix("qreg") {
                 let rest = rest.trim();
                 let (name, size) = parse_reg_decl(rest)
-                    .ok_or_else(|| err(lineno, format!("bad qreg declaration {rest:?}")))?;
+                    .ok_or_else(|| err(span, format!("bad qreg declaration {rest:?}")))?;
                 if num_qubits.is_some() {
-                    return Err(err(lineno, "multiple qreg declarations are unsupported"));
+                    return Err(err(span, "multiple qreg declarations are unsupported"));
                 }
                 reg_name = name;
                 num_qubits = Some(size);
-                circuit = Circuit::new(size);
+                program.circuit = Circuit::new(size);
+                program.qreg_span = Some(span);
                 continue;
             }
-            if stmt.starts_with("creg")
-                || stmt.starts_with("barrier")
-                || stmt.starts_with("measure")
-            {
+            if let Some(rest) = stmt.strip_prefix("measure") {
+                if let Some(nq) = num_qubits {
+                    if let Some(qubits) = parse_measure_operand(rest, &reg_name, nq) {
+                        program.measures.push(MeasureStmt {
+                            qubits,
+                            at_op: program.circuit.len(),
+                            span,
+                        });
+                    }
+                }
+                continue;
+            }
+            if stmt.starts_with("creg") || stmt.starts_with("barrier") {
                 continue;
             }
             // Gate application: name[(params)] operands
-            let nq = num_qubits.ok_or_else(|| err(lineno, "gate before qreg declaration"))?;
-            let (gate, qubits) = parse_gate_stmt(stmt, &reg_name, nq, lineno)?;
+            let nq = num_qubits.ok_or_else(|| err(span, "gate before qreg declaration"))?;
+            let (gate, qubits) = parse_gate_stmt(stmt, &reg_name, nq, span)?;
             if qubits.iter().any(|&q| q >= nq) {
-                return Err(err(lineno, "qubit index out of range"));
+                return Err(err(span, "qubit index out of range"));
             }
             if qubits.len() == 2 && qubits[0] == qubits[1] {
-                return Err(err(lineno, "two-qubit gate on identical qubits"));
+                return Err(err(span, "two-qubit gate on identical qubits"));
             }
-            circuit.push(gate, &qubits);
+            program.circuit.push(gate, &qubits);
+            program.spans.push(span);
         }
     }
-    Ok(circuit)
+    Ok(program)
+}
+
+/// Parses the quantum operand of `measure <q> -> <c>`: a single qubit for
+/// `q[i]`, the whole register for a bare register name. Malformed
+/// measurements are skipped (`None`), matching the parser's historical
+/// leniency toward non-unitary statements.
+fn parse_measure_operand(rest: &str, reg: &str, nq: usize) -> Option<Vec<usize>> {
+    let lhs = rest.split("->").next()?.trim();
+    if lhs == reg {
+        return Some((0..nq).collect());
+    }
+    let idx = parse_operand(lhs, reg)?;
+    (idx < nq).then(|| vec![idx])
 }
 
 fn parse_reg_decl(s: &str) -> Option<(String, usize)> {
@@ -128,7 +246,7 @@ fn parse_gate_stmt(
     stmt: &str,
     reg: &str,
     _nq: usize,
-    lineno: usize,
+    span: SrcSpan,
 ) -> Result<(Gate, Vec<usize>), ParseQasmError> {
     // Split off the mnemonic (up to '(' or whitespace).
     let name_end = stmt
@@ -139,11 +257,11 @@ fn parse_gate_stmt(
     let mut params: Vec<f64> = Vec::new();
     if rest.starts_with('(') {
         let close = find_matching_paren(rest)
-            .ok_or_else(|| err(lineno, "unbalanced parameter parentheses"))?;
+            .ok_or_else(|| err(span, "unbalanced parameter parentheses"))?;
         let inner = &rest[1..close];
         for p in split_top_level_commas(inner) {
             params.push(parse_expr_detailed(p.trim()).map_err(|detail| {
-                err(lineno, format!("bad parameter expression {p:?}: {detail}"))
+                err(span, format!("bad parameter expression {p:?}: {detail}"))
             })?);
         }
         rest = rest[close + 1..].trim();
@@ -155,14 +273,14 @@ fn parse_gate_stmt(
             continue;
         }
         let idx = parse_operand(operand, reg)
-            .ok_or_else(|| err(lineno, format!("bad operand {operand:?}")))?;
+            .ok_or_else(|| err(span, format!("bad operand {operand:?}")))?;
         qubits.push(idx);
     }
     let p = |i: usize| -> Result<f64, ParseQasmError> {
         params
             .get(i)
             .copied()
-            .ok_or_else(|| err(lineno, format!("gate {name} missing parameter {i}")))
+            .ok_or_else(|| err(span, format!("gate {name} missing parameter {i}")))
     };
     let gate = match name {
         "id" | "i" => Gate::I,
@@ -191,12 +309,12 @@ fn parse_gate_stmt(
         "swap_c" => Gate::SwapComposite,
         "iswap" => Gate::ISwap,
         "iswapdg" => Gate::ISwapDg,
-        other => return Err(err(lineno, format!("unsupported gate {other:?}"))),
+        other => return Err(err(span, format!("unsupported gate {other:?}"))),
     };
     let expect = gate.num_qubits();
     if qubits.len() != expect {
         return Err(err(
-            lineno,
+            span,
             format!(
                 "gate {name} expects {expect} operand(s), got {}",
                 qubits.len()
@@ -618,5 +736,42 @@ mod tests {
         let src = "qreg q[2];\nh q[0];\nbarrier q;\ncx q[0],q[1];\n";
         let c = parse_qasm(src).unwrap();
         assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn program_spans_are_parallel_to_instrs() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\nh q[0]; cx q[0],q[1];\n  rz(0.5) q[1];\n";
+        let p = parse_qasm_program(src).unwrap();
+        assert_eq!(p.circuit.len(), 3);
+        assert_eq!(p.spans.len(), p.circuit.len());
+        assert_eq!(p.spans[0], SrcSpan { line: 3, col: 1 });
+        // Second statement on the same line starts after "h q[0]; ".
+        assert_eq!(p.spans[1], SrcSpan { line: 3, col: 9 });
+        // Leading whitespace is skipped when computing the column.
+        assert_eq!(p.spans[2], SrcSpan { line: 4, col: 3 });
+        assert_eq!(p.qreg_span, Some(SrcSpan { line: 2, col: 1 }));
+    }
+
+    #[test]
+    fn measures_are_recorded_with_positions() {
+        let src = "qreg q[3];\nh q[0];\nmeasure q[0] -> c[0];\nx q[1];\nmeasure q -> c;\n";
+        let p = parse_qasm_program(src).unwrap();
+        assert_eq!(p.circuit.len(), 2, "measures stay out of the circuit");
+        assert_eq!(p.measures.len(), 2);
+        assert_eq!(p.measures[0].qubits, vec![0]);
+        assert_eq!(p.measures[0].at_op, 1);
+        assert_eq!(p.measures[0].span, SrcSpan { line: 3, col: 1 });
+        // Bare register name measures every qubit.
+        assert_eq!(p.measures[1].qubits, vec![0, 1, 2]);
+        assert_eq!(p.measures[1].at_op, 2);
+    }
+
+    #[test]
+    fn parse_errors_carry_column() {
+        let src = "qreg q[2];\nh q[0]; frobnicate q[1];\n";
+        let e = parse_qasm(src).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert_eq!(e.col, 9, "error points at the second statement");
+        assert!(e.to_string().contains("line 2, column 9"), "{e}");
     }
 }

@@ -270,6 +270,7 @@ pub fn adapt(
         Err(AdaptError::UnsupportedGate(_)) => "unsupported_gate",
         Err(AdaptError::InvalidOptions(_)) => "invalid_options",
         Err(AdaptError::Internal(_)) => "internal",
+        Err(AdaptError::Rejected(_)) => "rejected",
     });
     result
 }

@@ -1,5 +1,6 @@
 //! Error types for circuit adaptation.
 
+use qca_lint::Diagnostic;
 use std::error::Error;
 use std::fmt;
 
@@ -26,6 +27,10 @@ pub enum AdaptError {
     /// a batch-engine worker panicked mid-job. The message describes the
     /// failure; the result (if any) came from a baseline path instead.
     Internal(String),
+    /// Static preflight analysis rejected the input before any solving: the
+    /// carried diagnostics contain at least one error-severity finding
+    /// (e.g. a statically unadaptable block, `QCA0301`).
+    Rejected(Vec<Diagnostic>),
 }
 
 impl fmt::Display for AdaptError {
@@ -37,6 +42,20 @@ impl fmt::Display for AdaptError {
             AdaptError::Cancelled => write!(f, "adaptation cancelled before a result was found"),
             AdaptError::InvalidOptions(m) => write!(f, "invalid adaptation options: {m}"),
             AdaptError::Internal(m) => write!(f, "internal adaptation failure: {m}"),
+            AdaptError::Rejected(diags) => {
+                let errors = diags
+                    .iter()
+                    .filter(|d| d.severity == qca_lint::Severity::Error)
+                    .count();
+                write!(f, "rejected by preflight: {errors} error(s)")?;
+                if let Some(first) = diags
+                    .iter()
+                    .find(|d| d.severity == qca_lint::Severity::Error)
+                {
+                    write!(f, "; first: {first}")?;
+                }
+                Ok(())
+            }
         }
     }
 }

@@ -71,6 +71,7 @@ mod adapt;
 pub mod context;
 mod error;
 pub mod model;
+pub mod preflight;
 pub mod preprocess;
 pub mod rules;
 
@@ -80,6 +81,7 @@ pub use adapt::{adapt, extract_circuit, AdaptOptions, AdaptOptionsBuilder, Adapt
 pub use context::{AdaptContext, AdaptContextBuilder};
 pub use error::AdaptError;
 pub use model::{AdaptLimits, Objective, SmtAdaptation, VerificationData, LOG_SCALE};
+pub use preflight::{preflight, Diagnostic, RuleToggles};
 pub use rules::{RuleOptions, Substitution, SubstitutionKind};
 
 #[cfg(test)]

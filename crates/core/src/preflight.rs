@@ -1,0 +1,143 @@
+//! Static preflight analysis: run the `qca-lint` passes relevant to an
+//! adaptation request and reject statically infeasible inputs before any
+//! encoding or solving happens.
+//!
+//! [`preflight`] is the gatekeeper the batch engine runs as its
+//! `engine.preflight` stage: it combines the circuit-shape, hardware-model,
+//! and rule-coverage lints for the exact (circuit, hardware, options)
+//! triple that [`adapt`](crate::adapt) would solve. Error-severity findings
+//! — notably `QCA0301` (a block whose reference translation needs unpriced
+//! gate classes) — are returned as
+//! [`AdaptError::Rejected`], proving
+//! infeasibility without an `smt.encode` phase ever running.
+
+use crate::error::AdaptError;
+use crate::rules::RuleOptions;
+use qca_circuit::Circuit;
+use qca_hw::HardwareModel;
+use qca_lint::{has_errors, lint_circuit, lint_hardware, lint_rule_coverage};
+pub use qca_lint::{Diagnostic, RuleToggles};
+
+impl From<&RuleOptions> for RuleToggles {
+    fn from(rules: &RuleOptions) -> Self {
+        RuleToggles {
+            kak_cz: rules.kak_cz,
+            kak_cz_diabatic: rules.kak_cz_diabatic,
+            conditional_rotation: rules.conditional_rotation,
+            swaps: rules.swaps,
+        }
+    }
+}
+
+/// Statically analyses an adaptation request.
+///
+/// Runs the circuit-shape, hardware-model, and rule-coverage lint passes
+/// and returns every finding. When any finding has error severity the
+/// input is statically unusable and `Err(AdaptError::Rejected)` carries
+/// the full diagnostic list instead.
+///
+/// # Examples
+///
+/// A circuit whose blocks cannot be referenced natively is rejected
+/// without solving:
+///
+/// ```
+/// use qca_adapt::{preflight, AdaptError, RuleOptions};
+/// use qca_circuit::{Circuit, Gate};
+/// use qca_hw::ibm_source_model;
+///
+/// let mut c = Circuit::new(2);
+/// c.push(Gate::Cx, &[0, 1]);
+/// // ibm_source prices Cx but not Cz, so the CZ-basis reference
+/// // translation of the block is unpriced: statically unadaptable.
+/// let err = preflight(&c, &ibm_source_model(), &RuleOptions::default());
+/// assert!(matches!(err, Err(AdaptError::Rejected(_))));
+/// ```
+pub fn preflight(
+    circuit: &Circuit,
+    hw: &HardwareModel,
+    rules: &RuleOptions,
+) -> Result<Vec<Diagnostic>, AdaptError> {
+    let mut diags = lint_circuit(circuit);
+    diags.extend(lint_hardware(hw));
+    diags.extend(lint_rule_coverage(circuit, hw, &rules.into()));
+    if has_errors(&diags) {
+        Err(AdaptError::Rejected(diags))
+    } else {
+        Ok(diags)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::AdaptContext;
+    use qca_circuit::Gate;
+    use qca_hw::{ibm_source_model, spin_qubit_model, GateTimes};
+    use qca_lint::{LintCode, Severity};
+
+    fn swap_circuit() -> Circuit {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[1, 0]);
+        c.push(Gate::Cx, &[0, 1]);
+        c
+    }
+
+    #[test]
+    fn clean_request_passes_with_no_findings() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let diags = preflight(&swap_circuit(), &hw, &RuleOptions::default()).unwrap();
+        assert!(diags.is_empty(), "unexpected: {diags:?}");
+    }
+
+    #[test]
+    fn warnings_do_not_reject() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Cx, &[0, 1]);
+        let diags = preflight(&c, &hw, &RuleOptions::default()).unwrap();
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, LintCode::SelfInversePair);
+        assert_eq!(diags[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn unadaptable_block_is_rejected_with_qca0301() {
+        let err = preflight(
+            &swap_circuit(),
+            &ibm_source_model(),
+            &RuleOptions::default(),
+        );
+        let Err(AdaptError::Rejected(diags)) = err else {
+            panic!("expected rejection, got {err:?}");
+        };
+        assert!(diags
+            .iter()
+            .any(|d| d.code == LintCode::BlockUnadaptable && d.severity == Severity::Error));
+    }
+
+    #[test]
+    fn rejection_agrees_with_adapt_failure() {
+        // The static proof must match the dynamic behaviour: adapt() on
+        // the same input fails in preprocessing.
+        let hw = ibm_source_model();
+        let err = crate::adapt(&swap_circuit(), &hw, &AdaptContext::default());
+        assert!(matches!(err, Err(AdaptError::UnsupportedGate(_))));
+    }
+
+    #[test]
+    fn rejected_error_display_names_the_first_error() {
+        let err = preflight(
+            &swap_circuit(),
+            &ibm_source_model(),
+            &RuleOptions::default(),
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("rejected by preflight"), "{msg}");
+        assert!(msg.contains("QCA0301"), "{msg}");
+    }
+}

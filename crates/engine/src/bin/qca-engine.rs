@@ -17,6 +17,9 @@
 //!   --trace-report       print a per-phase time breakdown and span tree
 //!   --verify             certify every solve and audit every report with
 //!                        the independent qca-verify checker
+//!   --lint               run the qca-lint preflight before each solve and
+//!                        reject statically infeasible jobs
+//!   --deny-warnings      like --lint, but escalate warnings to errors
 //! ```
 //!
 //! Prints one line per job (`file status cache objective wall`) and the
@@ -24,7 +27,9 @@
 //! memory; combined with `--trace FILE` the report is rebuilt by re-parsing
 //! the JSONL file, so the written trace is validated in the same run.
 //! With `--verify`, each job line gains an audit verdict and the process
-//! exits 1 when any audit failed.
+//! exits 1 when any audit failed. With `--lint`/`--deny-warnings`, each job
+//! line gains a lint summary (`lint=ok`, `lint=N warn`, or `lint=rejected`)
+//! and the process exits 1 when any job was rejected by preflight.
 
 use qca_adapt::Objective;
 use qca_circuit::qasm;
@@ -50,13 +55,15 @@ struct Args {
     trace: Option<PathBuf>,
     trace_report: bool,
     verify: bool,
+    lint: bool,
+    deny_warnings: bool,
 }
 
 fn usage() -> &'static str {
     "usage: qca-engine [--workers N] [--objective fidelity|idle|combined] \
      [--times d0|d1] [--budget N] [--timeout-ms N] [--cache-capacity N] \
      [--repeat N] [--out-dir DIR] [--metrics-out FILE] [--trace FILE] \
-     [--trace-report] [--verify] <QASM_DIR>"
+     [--trace-report] [--verify] [--lint] [--deny-warnings] <QASM_DIR>"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -74,6 +81,8 @@ fn parse_args() -> Result<Args, String> {
         trace: None,
         trace_report: false,
         verify: false,
+        lint: false,
+        deny_warnings: false,
     };
     let mut dir = None;
     let mut it = std::env::args().skip(1);
@@ -129,6 +138,8 @@ fn parse_args() -> Result<Args, String> {
             "--trace" => args.trace = Some(PathBuf::from(value("--trace")?)),
             "--trace-report" => args.trace_report = true,
             "--verify" => args.verify = true,
+            "--lint" => args.lint = true,
+            "--deny-warnings" => args.deny_warnings = true,
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => return Err(format!("unknown option '{other}'")),
             other => {
@@ -196,6 +207,8 @@ fn run() -> Result<ExitCode, String> {
         .workers(args.workers)
         .cache_capacity(args.cache_capacity)
         .verify(args.verify)
+        .lint(args.lint)
+        .deny_warnings(args.deny_warnings)
         .tracer(tracer);
     if let Some(budget) = args.budget {
         config = config.job_conflict_budget(budget);
@@ -213,6 +226,7 @@ fn run() -> Result<ExitCode, String> {
         args.repeat,
     );
     let mut audit_failures = 0u64;
+    let mut lint_rejections = 0u64;
     for pass in 0..args.repeat {
         let reports = engine.adapt_batch(&hw, &jobs);
         if args.repeat > 1 {
@@ -227,8 +241,20 @@ fn run() -> Result<ExitCode, String> {
                     format!(" audit=FAIL({msg})")
                 }
             };
+            let lint = if args.lint || args.deny_warnings {
+                if matches!(report.error, Some(qca_adapt::AdaptError::Rejected(_))) {
+                    lint_rejections += 1;
+                    " lint=rejected".to_string()
+                } else if report.diagnostics.is_empty() {
+                    " lint=ok".to_string()
+                } else {
+                    format!(" lint={} warn", report.diagnostics.len())
+                }
+            } else {
+                String::new()
+            };
             println!(
-                "{name:30} {status:8} {cache:5} obj={obj:>12} wall={wall:.1}ms{audit}",
+                "{name:30} {status:8} {cache:5} obj={obj:>12} wall={wall:.1}ms{audit}{lint}",
                 status = report.status.to_string(),
                 cache = if report.cache_hit { "hit" } else { "miss" },
                 obj = report
@@ -236,6 +262,13 @@ fn run() -> Result<ExitCode, String> {
                     .map_or_else(|| "-".to_string(), |v| v.to_string()),
                 wall = report.wall.as_secs_f64() * 1e3,
             );
+            // Diagnostics explain a `lint=rejected`/`lint=N warn` verdict;
+            // only print them once even when the batch is repeated.
+            if pass == 0 {
+                for diag in &report.diagnostics {
+                    eprintln!("{}", qca_lint::render_human(Some(name), diag));
+                }
+            }
         }
         if pass + 1 == args.repeat {
             if let Some(out_dir) = &args.out_dir {
@@ -276,6 +309,10 @@ fn run() -> Result<ExitCode, String> {
     }
     if audit_failures > 0 {
         eprintln!("qca-engine: {audit_failures} audit failure(s)");
+        return Ok(ExitCode::FAILURE);
+    }
+    if lint_rejections > 0 {
+        eprintln!("qca-engine: {lint_rejections} job(s) rejected by lint preflight");
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)

@@ -126,6 +126,10 @@ pub struct AdaptReport {
     /// Independent audit verdict; `Some` exactly when
     /// [`EngineConfig::verify`] is on.
     pub audit: Option<AuditOutcome>,
+    /// Findings from the preflight lint stage (empty when linting is off
+    /// or the job was clean). A rejected job additionally carries
+    /// [`AdaptError::Rejected`] in [`AdaptReport::error`].
+    pub diagnostics: Vec<qca_lint::Diagnostic>,
 }
 
 /// Engine tuning knobs.
@@ -155,6 +159,15 @@ pub struct EngineConfig {
     /// fallbacks included. Verdicts land in [`AdaptReport::audit`] and the
     /// `verify.*` counters; a failed audit never fails the batch.
     pub verify: bool,
+    /// Run the static preflight lint stage (`engine.preflight` span) on
+    /// every job before the cache lookup. Findings land in
+    /// [`AdaptReport::diagnostics`] and the `lint.*` counters;
+    /// error-severity findings reject the job to a baseline fallback
+    /// without any solve.
+    pub lint: bool,
+    /// Escalate warning-severity preflight findings to errors (implies
+    /// [`EngineConfig::lint`]): a job with any warning is rejected.
+    pub deny_warnings: bool,
 }
 
 impl Default for EngineConfig {
@@ -166,6 +179,8 @@ impl Default for EngineConfig {
             job_timeout: None,
             tracer: Tracer::disabled(),
             verify: false,
+            lint: false,
+            deny_warnings: false,
         }
     }
 }
@@ -235,6 +250,22 @@ impl EngineConfigBuilder {
     /// Enables trust-but-verify mode (certified solves + per-report audits).
     pub fn verify(mut self, verify: bool) -> Self {
         self.config.verify = verify;
+        self
+    }
+
+    /// Enables the static preflight lint stage.
+    pub fn lint(mut self, lint: bool) -> Self {
+        self.config.lint = lint;
+        self
+    }
+
+    /// Escalates preflight warnings to rejections (implies
+    /// [`lint`](Self::lint)).
+    pub fn deny_warnings(mut self, deny: bool) -> Self {
+        self.config.deny_warnings = deny;
+        if deny {
+            self.config.lint = true;
+        }
         self
     }
 
@@ -478,6 +509,56 @@ impl Engine {
         if self.config.verify {
             options.certify = true;
         }
+        // Static preflight: prove infeasibility (and surface shape/model
+        // problems) before the cache lookup or any solve. A rejection
+        // degrades straight to the baseline ladder with no `smt.encode`
+        // phase ever running.
+        let mut diagnostics = Vec::new();
+        if self.config.lint || self.config.deny_warnings {
+            let mut span = self
+                .tracer
+                .span_with("engine.preflight", || format!("job={index}"));
+            let outcome = qca_adapt::preflight(&job.circuit, hw, &options.rules);
+            let mut diags = match outcome {
+                Ok(diags) => diags,
+                Err(AdaptError::Rejected(diags)) => diags,
+                Err(other) => {
+                    // preflight only rejects today; route anything new
+                    // through the same fallback path as a solve error.
+                    span.set_note("error");
+                    drop(span);
+                    job_span.set_note("preflight_error");
+                    return self.fallback_report(hw, index, job, other, Vec::new(), t0);
+                }
+            };
+            if self.config.deny_warnings {
+                qca_lint::escalate_warnings(&mut diags);
+            }
+            let counts = qca_lint::count_severities(&diags);
+            if counts.errors > 0 {
+                self.tracer.counter("lint.errors", counts.errors as u64);
+            }
+            if counts.warnings > 0 {
+                self.tracer.counter("lint.warnings", counts.warnings as u64);
+            }
+            if counts.errors > 0 {
+                self.tracer.counter("lint.rejections", 1);
+                span.set_note(format!("rejected errors={}", counts.errors));
+                drop(span);
+                job_span.set_note("rejected");
+                return self.fallback_report(
+                    hw,
+                    index,
+                    job,
+                    AdaptError::Rejected(diags.clone()),
+                    diags,
+                    t0,
+                );
+            }
+            span.set_note(format!("findings={}", diags.len()));
+            diagnostics = diags;
+        }
+
         let key = AdaptCache::key(&job.circuit, hw, &options, &limits);
 
         if let Some(hit) = self.cache.get(key) {
@@ -501,6 +582,7 @@ impl Engine {
                 error: None,
                 adaptation: Some(hit),
                 audit: None,
+                diagnostics,
             };
             // Cache hits are audited like fresh solves: a corrupted cache
             // entry must not dodge verification.
@@ -554,34 +636,50 @@ impl Engine {
                     error: None,
                     adaptation: Some(adaptation),
                     audit: None,
+                    diagnostics,
                 }
             }
             Err(error) => {
-                // Bottom of the ladder: greedy template optimization toward
-                // the same objective; direct basis translation if even the
-                // greedy pass fails.
-                let objective = match job.options.objective {
-                    Objective::IdleTime => TemplateObjective::IdleTime,
-                    Objective::Fidelity | Objective::Combined => TemplateObjective::Fidelity,
-                };
-                let circuit = template_optimization(&job.circuit, hw, objective)
-                    .unwrap_or_else(|_| direct_translation(&job.circuit));
-                self.tracer.counter("engine.job_completed", 1);
-                self.count_status(AdaptStatus::Fallback);
                 job_span.set_note("fallback");
-                AdaptReport {
-                    job: index,
-                    status: AdaptStatus::Fallback,
-                    circuit,
-                    objective_value: None,
-                    cache_hit: false,
-                    wall: t0.elapsed(),
-                    solver_stats: None,
-                    error: Some(error),
-                    adaptation: None,
-                    audit: None,
-                }
+                return self.fallback_report(hw, index, job, error, diagnostics, t0);
             }
+        };
+        self.audit_report(hw, &job.circuit, job.options.objective, &mut report);
+        report
+    }
+
+    /// Bottom of the ladder: greedy template optimization toward the same
+    /// objective; direct basis translation if even the greedy pass fails.
+    /// Used for solve errors and preflight rejections alike.
+    fn fallback_report(
+        &self,
+        hw: &HardwareModel,
+        index: usize,
+        job: &AdaptJob,
+        error: AdaptError,
+        diagnostics: Vec<qca_lint::Diagnostic>,
+        t0: Instant,
+    ) -> AdaptReport {
+        let objective = match job.options.objective {
+            Objective::IdleTime => TemplateObjective::IdleTime,
+            Objective::Fidelity | Objective::Combined => TemplateObjective::Fidelity,
+        };
+        let circuit = template_optimization(&job.circuit, hw, objective)
+            .unwrap_or_else(|_| direct_translation(&job.circuit));
+        self.tracer.counter("engine.job_completed", 1);
+        self.count_status(AdaptStatus::Fallback);
+        let mut report = AdaptReport {
+            job: index,
+            status: AdaptStatus::Fallback,
+            circuit,
+            objective_value: None,
+            cache_hit: false,
+            wall: t0.elapsed(),
+            solver_stats: None,
+            error: Some(error),
+            adaptation: None,
+            audit: None,
+            diagnostics,
         };
         self.audit_report(hw, &job.circuit, job.options.objective, &mut report);
         report
@@ -639,6 +737,7 @@ impl Engine {
             error: Some(AdaptError::Internal(detail)),
             adaptation: None,
             audit: None,
+            diagnostics: Vec::new(),
         };
         self.audit_report(hw, &job.circuit, job.options.objective, &mut report);
         report
@@ -994,6 +1093,98 @@ mod tests {
         assert!(second[0].cache_hit);
         assert!(matches!(second[0].audit, Some(AuditOutcome::Failed(_))));
         assert_eq!(engine.metrics().verify_failures.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn preflight_rejects_unadaptable_job_without_encoding() {
+        // ibm_source prices Cx but not Cz: the reference translation of
+        // any two-qubit block is unpriced, so preflight proves
+        // infeasibility and the solve (hence `smt.encode`) never runs.
+        let hw = qca_hw::ibm_source_model();
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[0, 1]);
+        let (tracer, sink) = qca_trace::Tracer::to_memory();
+        let engine = Engine::new(
+            EngineConfig::builder()
+                .workers(1)
+                .lint(true)
+                .tracer(tracer)
+                .build(),
+        );
+        let reports = engine.adapt_batch(&hw, &[AdaptJob::new(c)]);
+        assert_eq!(reports[0].status, AdaptStatus::Fallback);
+        assert!(matches!(reports[0].error, Some(AdaptError::Rejected(_))));
+        assert!(reports[0]
+            .diagnostics
+            .iter()
+            .any(|d| d.code == qca_lint::LintCode::BlockUnadaptable));
+        let rpt = qca_trace::report::Report::from_events(&sink.take());
+        assert_eq!(rpt.phase_count("engine.preflight"), 1);
+        assert_eq!(
+            rpt.phase_count("smt.encode"),
+            0,
+            "rejection must precede encoding"
+        );
+        assert_eq!(rpt.phase_count("adapt"), 0, "no solve at all");
+        assert_eq!(engine.metrics().lint_rejections.load(Ordering::Relaxed), 1);
+        assert!(engine.metrics().lint_errors.load(Ordering::Relaxed) > 0);
+    }
+
+    #[test]
+    fn lint_mode_attaches_diagnostics_and_counts_warnings() {
+        // Swap gates are outside the IBM source basis: QCA0105 warnings,
+        // which do not reject the job.
+        let hw = spin_qubit_model(GateTimes::D0);
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Swap, &[0, 1]);
+        let engine = Engine::new(EngineConfig::builder().workers(1).lint(true).build());
+        let reports = engine.adapt_batch(&hw, &[AdaptJob::new(c)]);
+        assert_ne!(reports[0].status, AdaptStatus::Fallback);
+        assert!(reports[0]
+            .diagnostics
+            .iter()
+            .any(|d| d.code == qca_lint::LintCode::NonSourceBasis));
+        assert_eq!(engine.metrics().lint_warnings.load(Ordering::Relaxed), 1);
+        assert_eq!(engine.metrics().lint_errors.load(Ordering::Relaxed), 0);
+        let json = engine.metrics().to_json();
+        assert!(json.contains("\"lint_warnings\": 1"), "{json}");
+        assert!(json.contains("\"lint_errors\": 0"), "{json}");
+    }
+
+    #[test]
+    fn deny_warnings_escalates_findings_to_rejection() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::H, &[0]); // QCA0104 self-inverse pair: a warning.
+        c.push(Gate::Cx, &[0, 1]);
+        // Plain lint: warned but solved.
+        let lenient = Engine::new(EngineConfig::builder().workers(1).lint(true).build());
+        let reports = lenient.adapt_batch(&hw, &[AdaptJob::new(c.clone())]);
+        assert_ne!(reports[0].status, AdaptStatus::Fallback);
+        assert_eq!(reports[0].diagnostics.len(), 1);
+        // deny-warnings: the same job is rejected.
+        let strict = Engine::new(
+            EngineConfig::builder()
+                .workers(1)
+                .deny_warnings(true)
+                .build(),
+        );
+        let reports = strict.adapt_batch(&hw, &[AdaptJob::new(c)]);
+        assert_eq!(reports[0].status, AdaptStatus::Fallback);
+        assert!(matches!(reports[0].error, Some(AdaptError::Rejected(_))));
+        assert_eq!(strict.metrics().lint_rejections.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn lint_off_leaves_reports_clean() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let jobs = workload(1);
+        let engine = Engine::new(config(1));
+        let reports = engine.adapt_batch(&hw, &jobs);
+        assert!(reports[0].diagnostics.is_empty());
+        assert_eq!(engine.metrics().lint_warnings.load(Ordering::Relaxed), 0);
     }
 
     #[test]

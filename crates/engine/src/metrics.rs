@@ -1,7 +1,7 @@
 //! Engine metrics: lock-free counters and log-scale histograms.
 //!
 //! The registry is a [`TraceSink`]: the engine tees its tracer into it, and
-//! every `engine.*` and `verify.*` counter event lands in the matching atomic (other
+//! every `engine.*`, `verify.*`, and `lint.*` counter event lands in the matching atomic (other
 //! events — spans, SAT gauges, OMT counters — pass through untouched, so
 //! the same stream can feed a JSONL file and the registry at once).
 //! Workers record into shared atomics while solving; nothing blocks on a
@@ -139,6 +139,12 @@ pub struct MetricsRegistry {
     pub verify_passed: AtomicU64,
     /// Audits that found a discrepancy.
     pub verify_failures: AtomicU64,
+    /// Error-severity findings from the preflight lint stage.
+    pub lint_errors: AtomicU64,
+    /// Warning-severity findings from the preflight lint stage.
+    pub lint_warnings: AtomicU64,
+    /// Jobs rejected by preflight (degraded to a baseline result).
+    pub lint_rejections: AtomicU64,
     /// Total SAT conflicts across all solved jobs.
     pub sat_conflicts: AtomicU64,
     /// Total SAT restarts across all solved jobs.
@@ -190,6 +196,9 @@ impl MetricsRegistry {
                 "  \"verify_audits\": {},\n",
                 "  \"verify_passed\": {},\n",
                 "  \"verify_failures\": {},\n",
+                "  \"lint_errors\": {},\n",
+                "  \"lint_warnings\": {},\n",
+                "  \"lint_rejections\": {},\n",
                 "  \"sat_conflicts\": {},\n",
                 "  \"sat_restarts\": {},\n",
                 "  \"sat_learnt_clauses\": {},\n",
@@ -211,6 +220,9 @@ impl MetricsRegistry {
             load(&self.verify_audits),
             load(&self.verify_passed),
             load(&self.verify_failures),
+            load(&self.lint_errors),
+            load(&self.lint_warnings),
+            load(&self.lint_rejections),
             load(&self.sat_conflicts),
             load(&self.sat_restarts),
             load(&self.sat_learnt_clauses),
@@ -242,6 +254,9 @@ impl TraceSink for MetricsRegistry {
             "verify.audits" => &self.verify_audits,
             "verify.passed" => &self.verify_passed,
             "verify.failures" => &self.verify_failures,
+            "lint.errors" => &self.lint_errors,
+            "lint.warnings" => &self.lint_warnings,
+            "lint.rejections" => &self.lint_rejections,
             "engine.sat_conflicts" => {
                 self.conflicts_per_job.record(*value);
                 &self.sat_conflicts

@@ -33,6 +33,19 @@ impl GateCost {
         GateCost { fidelity, duration }
     }
 
+    /// Creates a cost entry, returning a description of the violation
+    /// instead of panicking when the values are out of range. Useful when
+    /// tables come from external calibration data rather than literals.
+    pub fn try_new(fidelity: f64, duration: f64) -> Result<Self, String> {
+        if !(fidelity > 0.0 && fidelity <= 1.0) {
+            return Err(format!("fidelity {fidelity} must be in (0, 1]"));
+        }
+        if duration < 0.0 || duration.is_nan() {
+            return Err(format!("duration {duration} must be non-negative"));
+        }
+        Ok(GateCost { fidelity, duration })
+    }
+
     /// Natural log of the fidelity (negative or zero).
     pub fn log_fidelity(&self) -> f64 {
         self.fidelity.ln()
@@ -135,6 +148,31 @@ impl HardwareModel {
             t1,
             t2,
         }
+    }
+
+    /// Creates a model, returning a description of the first violation —
+    /// non-positive coherence times or an out-of-range table entry —
+    /// instead of panicking. The non-panicking counterpart of
+    /// [`HardwareModel::new`] for externally sourced tables.
+    pub fn try_new(
+        name: impl Into<String>,
+        table: BTreeMap<CostClass, GateCost>,
+        t1: f64,
+        t2: f64,
+    ) -> Result<Self, String> {
+        if t1 <= 0.0 || t2 <= 0.0 || t1.is_nan() || t2.is_nan() {
+            return Err(format!("coherence times T1={t1}, T2={t2} must be positive"));
+        }
+        for (class, cost) in &table {
+            GateCost::try_new(cost.fidelity, cost.duration)
+                .map_err(|e| format!("{class:?}: {e}"))?;
+        }
+        Ok(HardwareModel {
+            name: name.into(),
+            table,
+            t1,
+            t2,
+        })
     }
 
     /// Model name.
@@ -419,5 +457,29 @@ mod tests {
         let hw = spin_qubit_model(GateTimes::D0);
         assert_eq!(hw.t2(), 2900.0);
         assert_eq!(hw.t1(), 2_900_000.0);
+    }
+
+    #[test]
+    fn try_new_rejects_what_new_panics_on() {
+        assert!(GateCost::try_new(0.99, 10.0).is_ok());
+        assert!(GateCost::try_new(0.0, 10.0).is_err());
+        assert!(GateCost::try_new(1.5, 10.0).is_err());
+        assert!(GateCost::try_new(f64::NAN, 10.0).is_err());
+        assert!(GateCost::try_new(0.99, -1.0).is_err());
+
+        let mut table = BTreeMap::new();
+        table.insert(CostClass::OneQubit, GateCost::new(0.999, 10.0));
+        assert!(HardwareModel::try_new("m", table.clone(), 1e6, 1e3).is_ok());
+        assert!(HardwareModel::try_new("m", table.clone(), 0.0, 1e3).is_err());
+        // A struct-literal entry bypassing GateCost::new is caught.
+        table.insert(
+            CostClass::Cz,
+            GateCost {
+                fidelity: 2.0,
+                duration: 10.0,
+            },
+        );
+        let err = HardwareModel::try_new("m", table, 1e6, 1e3).unwrap_err();
+        assert!(err.contains("Cz"), "{err}");
     }
 }

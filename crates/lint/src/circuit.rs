@@ -1,0 +1,313 @@
+//! Circuit and QASM shape lints (`QCA01xx`, plus `QCA0001` for parse
+//! failures).
+//!
+//! [`lint_program`] runs over a [`QasmProgram`] and reports findings with
+//! real source spans, including measurement-ordering checks;
+//! [`lint_circuit`] runs the span-free subset over a bare [`Circuit`]
+//! (used by engine preflight, where circuits may never have had QASM
+//! text). [`lint_qasm_source`] parses and lints in one step, turning parse
+//! failures into `QCA0001` diagnostics instead of errors.
+
+use crate::diag::{Diagnostic, LintCode};
+use qca_circuit::qasm::{parse_qasm_program, MeasureStmt, QasmProgram, SrcSpan};
+use qca_circuit::{Circuit, Gate, Instr};
+
+/// Angles smaller than this (absolute) count as zero for `QCA0103`.
+const ZERO_ANGLE_EPS: f64 = 1e-12;
+
+/// Lints a bare circuit (no source spans, no measurement info).
+pub fn lint_circuit(circuit: &Circuit) -> Vec<Diagnostic> {
+    lint_ops(circuit, None, &[], None)
+}
+
+/// Lints a parsed QASM program, attaching source spans and checking
+/// measurement ordering.
+pub fn lint_program(program: &QasmProgram) -> Vec<Diagnostic> {
+    lint_ops(
+        &program.circuit,
+        Some(&program.spans),
+        &program.measures,
+        program.qreg_span,
+    )
+}
+
+/// Parses QASM source and lints it; a parse failure becomes a single
+/// `QCA0001` diagnostic rather than an `Err`.
+pub fn lint_qasm_source(src: &str) -> Vec<Diagnostic> {
+    match parse_qasm_program(src) {
+        Ok(program) => lint_program(&program),
+        Err(e) => vec![
+            Diagnostic::new(LintCode::ParseError, e.message.clone()).with_span(SrcSpan {
+                line: e.line,
+                col: e.col,
+            }),
+        ],
+    }
+}
+
+fn span_of(spans: Option<&[SrcSpan]>, idx: usize) -> Option<SrcSpan> {
+    spans.and_then(|s| s.get(idx)).copied()
+}
+
+fn with_opt_span(d: Diagnostic, span: Option<SrcSpan>) -> Diagnostic {
+    match span {
+        Some(span) => d.with_span(span),
+        None => d,
+    }
+}
+
+fn lint_ops(
+    circuit: &Circuit,
+    spans: Option<&[SrcSpan]>,
+    measures: &[MeasureStmt],
+    qreg_span: Option<SrcSpan>,
+) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let nq = circuit.num_qubits();
+
+    // QCA0101: unused qubits. Measured-only qubits count as used.
+    let mut used = vec![false; nq];
+    for instr in circuit.iter() {
+        for &q in &instr.qubits {
+            used[q] = true;
+        }
+    }
+    for m in measures {
+        for &q in &m.qubits {
+            if q < nq {
+                used[q] = true;
+            }
+        }
+    }
+    for (q, used) in used.iter().enumerate() {
+        if !used {
+            diags.push(with_opt_span(
+                Diagnostic::new(LintCode::UnusedQubit, format!("qubit {q} is never used"))
+                    .with_help("shrink the register or operate on the qubit"),
+                qreg_span,
+            ));
+        }
+    }
+
+    // QCA0102: operations after measurement. The adaptation pipeline drops
+    // measure statements, so any later gate on a measured qubit would be
+    // silently hoisted before the measurement.
+    for m in measures {
+        for (idx, instr) in circuit.instrs().iter().enumerate().skip(m.at_op) {
+            if let Some(&q) = instr.qubits.iter().find(|q| m.qubits.contains(*q)) {
+                diags.push(with_opt_span(
+                    Diagnostic::new(
+                        LintCode::OpAfterMeasure,
+                        format!("{} acts on qubit {q} after it was measured", instr.gate),
+                    )
+                    .with_help("move the measurement to the end of the circuit"),
+                    span_of(spans, idx),
+                ));
+            }
+        }
+    }
+
+    // QCA0103 / QCA0104 / QCA0105: per-instruction checks.
+    let mut last_on_qubit: Vec<Option<usize>> = vec![None; nq];
+    for (idx, instr) in circuit.instrs().iter().enumerate() {
+        let span = span_of(spans, idx);
+        if let Some(angles) = rotation_angles(&instr.gate) {
+            if angles.iter().all(|a| a.abs() < ZERO_ANGLE_EPS) {
+                diags.push(with_opt_span(
+                    Diagnostic::new(
+                        LintCode::ZeroAngle,
+                        format!("{}(0) is a no-op", instr.gate.name()),
+                    )
+                    .with_help("remove the gate or fold the angle into a neighbour"),
+                    span,
+                ));
+            }
+        }
+        if let Some(prev) = adjacent_self_inverse(instr, &last_on_qubit, circuit.instrs()) {
+            diags.push(with_opt_span(
+                Diagnostic::new(
+                    LintCode::SelfInversePair,
+                    format!(
+                        "adjacent {} pair on {} cancels to identity",
+                        instr.gate.name(),
+                        operand_list(&circuit.instrs()[prev].qubits),
+                    ),
+                )
+                .with_help("delete both gates"),
+                span,
+            ));
+        }
+        if instr.gate.num_qubits() == 2 && instr.gate != Gate::Cx {
+            diags.push(with_opt_span(
+                Diagnostic::new(
+                    LintCode::NonSourceBasis,
+                    format!(
+                        "gate '{}' is outside the IBM source basis (CX + SU(2))",
+                        instr.gate.name(),
+                    ),
+                )
+                .with_help("rewrite the input in terms of cx and single-qubit gates"),
+                span,
+            ));
+        }
+        for &q in &instr.qubits {
+            last_on_qubit[q] = Some(idx);
+        }
+    }
+
+    diags
+}
+
+/// The tunable angles of a gate, or `None` for non-parameterized gates.
+/// `Gate::I` is excluded: an explicit identity is usually intentional
+/// (e.g. a scheduling placeholder).
+fn rotation_angles(gate: &Gate) -> Option<Vec<f64>> {
+    match *gate {
+        Gate::Rx(a)
+        | Gate::Ry(a)
+        | Gate::Rz(a)
+        | Gate::Phase(a)
+        | Gate::CPhase(a)
+        | Gate::CRot(a) => Some(vec![a]),
+        Gate::U3(a, b, c) => Some(vec![a, b, c]),
+        _ => None,
+    }
+}
+
+/// Returns the index of the immediately preceding instruction when it forms
+/// a cancelling pair with `instr`: same self-inverse gate, same operands,
+/// and no intervening instruction on any shared qubit.
+fn adjacent_self_inverse(
+    instr: &Instr,
+    last_on_qubit: &[Option<usize>],
+    instrs: &[Instr],
+) -> Option<usize> {
+    if instr.gate.dagger() != instr.gate {
+        return None;
+    }
+    let mut prevs = instr.qubits.iter().map(|&q| last_on_qubit[q]);
+    let first = prevs.next()??;
+    if !prevs.all(|p| p == Some(first)) {
+        return None;
+    }
+    let prev = &instrs[first];
+    (prev.gate == instr.gate && prev.qubits == instr.qubits).then_some(first)
+}
+
+fn operand_list(qubits: &[usize]) -> String {
+    let qs: Vec<String> = qubits.iter().map(|q| format!("q[{q}]")).collect();
+    qs.join(",")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<LintCode> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_circuit_produces_no_diagnostics() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncx q[0],q[1];\nmeasure q -> c;\n";
+        assert!(lint_qasm_source(src).is_empty());
+    }
+
+    #[test]
+    fn unused_qubit_points_at_qreg() {
+        let src = "OPENQASM 2.0;\nqreg q[3];\nh q[0];\ncx q[0],q[2];\n";
+        let diags = lint_qasm_source(src);
+        assert_eq!(codes(&diags), vec![LintCode::UnusedQubit]);
+        assert!(diags[0].message.contains("qubit 1"));
+        assert_eq!(diags[0].span, Some(SrcSpan { line: 2, col: 1 }));
+    }
+
+    #[test]
+    fn measured_only_qubit_is_not_unused() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\nh q[0];\nmeasure q -> c;\n";
+        assert!(lint_qasm_source(src).is_empty());
+    }
+
+    #[test]
+    fn op_after_measure_is_an_error_with_span() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\nh q[0];\nmeasure q[0] -> c[0];\nx q[0];\n";
+        let diags = lint_qasm_source(src);
+        assert_eq!(codes(&diags), vec![LintCode::OpAfterMeasure]);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].span, Some(SrcSpan { line: 5, col: 1 }));
+    }
+
+    #[test]
+    fn gate_on_other_qubit_after_measure_is_fine() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\nh q[0];\nmeasure q[0] -> c[0];\nx q[1];\n";
+        assert!(lint_qasm_source(src).is_empty());
+    }
+
+    #[test]
+    fn zero_angle_rotation_is_flagged() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\nrz(0) q[0];\nh q[0];\n";
+        let diags = lint_qasm_source(src);
+        assert_eq!(codes(&diags), vec![LintCode::ZeroAngle]);
+        assert_eq!(diags[0].span, Some(SrcSpan { line: 3, col: 1 }));
+    }
+
+    #[test]
+    fn nonzero_angles_are_not_flagged() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::Rz(0.25), &[0]);
+        c.push(Gate::U3(0.0, 0.0, 0.5), &[0]);
+        assert!(lint_circuit(&c).is_empty());
+    }
+
+    #[test]
+    fn adjacent_self_inverse_pair_is_flagged() {
+        let src = "OPENQASM 2.0;\nqreg q[1];\nh q[0];\nh q[0];\n";
+        let diags = lint_qasm_source(src);
+        assert_eq!(codes(&diags), vec![LintCode::SelfInversePair]);
+        assert_eq!(diags[0].span, Some(SrcSpan { line: 4, col: 1 }));
+    }
+
+    #[test]
+    fn self_inverse_pair_with_intervening_gate_is_fine() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];\nx q[1];\ncx q[0],q[1];\n";
+        assert!(lint_qasm_source(src).is_empty());
+    }
+
+    #[test]
+    fn self_inverse_pair_detects_two_qubit_gates() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[0, 1]);
+        assert_eq!(codes(&lint_circuit(&c)), vec![LintCode::SelfInversePair]);
+        // Same gate, different operand order: not a cancelling pair.
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[1, 0]);
+        assert!(lint_circuit(&c).is_empty());
+    }
+
+    #[test]
+    fn non_self_inverse_repeat_is_fine() {
+        let mut c = Circuit::new(1);
+        c.push(Gate::T, &[0]);
+        c.push(Gate::T, &[0]);
+        assert!(lint_circuit(&c).is_empty());
+    }
+
+    #[test]
+    fn non_source_basis_gate_is_flagged() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\nh q[0];\ncz q[0],q[1];\n";
+        let diags = lint_qasm_source(src);
+        assert_eq!(codes(&diags), vec![LintCode::NonSourceBasis]);
+        assert!(diags[0].message.contains("'cz'"));
+    }
+
+    #[test]
+    fn parse_failure_becomes_qca0001() {
+        let diags = lint_qasm_source("OPENQASM 2.0;\nqreg q[1];\nrz(1e) q[0];\n");
+        assert_eq!(codes(&diags), vec![LintCode::ParseError]);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].span.map(|s| s.line), Some(3));
+    }
+}

@@ -1,0 +1,217 @@
+//! Hardware-model lints (`QCA02xx`): cost-table sanity and coherence
+//! checks over a [`HardwareModel`].
+//!
+//! [`GateCost`](qca_hw::GateCost)'s fields are public, so tables built by
+//! struct literal (e.g. loaded from external calibration data) can bypass
+//! the panicking constructor — these lints catch what the constructor
+//! would have rejected, plus physics-level sanity the constructor does not
+//! check.
+
+use crate::diag::{Diagnostic, LintCode};
+use qca_hw::{CostClass, HardwareModel};
+
+/// Lints a hardware model's cost table and coherence times.
+pub fn lint_hardware(hw: &HardwareModel) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    let name = hw.name();
+
+    let mut has_one_qubit = false;
+    let mut has_two_qubit = false;
+    for (class, cost) in hw.cost_classes() {
+        if *class == CostClass::OneQubit {
+            has_one_qubit = true;
+        } else {
+            has_two_qubit = true;
+        }
+        // QCA0201: objective terms are log-fidelities, undefined outside
+        // (0, 1]. NaN fails the range test too.
+        if !(cost.fidelity > 0.0 && cost.fidelity <= 1.0) {
+            diags.push(
+                Diagnostic::new(
+                    LintCode::FidelityRange,
+                    format!(
+                        "{name}: {class:?} fidelity {} is outside (0, 1]",
+                        cost.fidelity
+                    ),
+                )
+                .with_help("calibration fidelities must be probabilities"),
+            );
+        } else if cost.fidelity == 1.0 {
+            // QCA0207: legal but suspicious — the gate vanishes from the
+            // fidelity objective.
+            diags.push(Diagnostic::new(
+                LintCode::PerfectFidelity,
+                format!("{name}: {class:?} is priced at exactly fidelity 1.0"),
+            ));
+        }
+        // QCA0202: schedule arithmetic assumes non-negative durations.
+        if cost.duration < 0.0 || cost.duration.is_nan() {
+            diags.push(Diagnostic::new(
+                LintCode::NegativeDuration,
+                format!(
+                    "{name}: {class:?} duration {} ns is negative",
+                    cost.duration
+                ),
+            ));
+        } else if cost.duration > hw.t2() {
+            // QCA0204: the gate outlasts the dephasing time.
+            diags.push(
+                Diagnostic::new(
+                    LintCode::GateSlowerThanT2,
+                    format!(
+                        "{name}: {class:?} takes {} ns, longer than T2 = {} ns",
+                        cost.duration,
+                        hw.t2()
+                    ),
+                )
+                .with_help("a gate slower than T2 decoheres mid-operation"),
+            );
+        }
+    }
+
+    // QCA0203: T2 <= 2*T1 is a physical identity for any qubit.
+    if hw.t2() > 2.0 * hw.t1() {
+        diags.push(
+            Diagnostic::new(
+                LintCode::CoherenceOrder,
+                format!(
+                    "{name}: T2 = {} ns exceeds the physical bound 2*T1 = {} ns",
+                    hw.t2(),
+                    2.0 * hw.t1()
+                ),
+            )
+            .with_help("check the coherence-time columns were not swapped"),
+        );
+    }
+
+    // QCA0205 / QCA0206: table completeness. Every substitution rule emits
+    // single-qubit corrections, and entangling circuits need a priced
+    // two-qubit class.
+    if !has_one_qubit {
+        diags.push(Diagnostic::new(
+            LintCode::NoOneQubitClass,
+            format!("{name}: no single-qubit gate class is priced"),
+        ));
+    }
+    if !has_two_qubit {
+        diags.push(Diagnostic::new(
+            LintCode::NoTwoQubitClass,
+            format!("{name}: no two-qubit gate class is priced"),
+        ));
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use qca_hw::{ibm_source_model, spin_qubit_model, GateCost, GateTimes};
+    use std::collections::BTreeMap;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<LintCode> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    fn model_with(table: BTreeMap<CostClass, GateCost>, t1: f64, t2: f64) -> HardwareModel {
+        HardwareModel::new("test", table, t1, t2)
+    }
+
+    #[test]
+    fn shipped_models_are_clean() {
+        assert!(lint_hardware(&spin_qubit_model(GateTimes::D0)).is_empty());
+        assert!(lint_hardware(&spin_qubit_model(GateTimes::D1)).is_empty());
+        assert!(lint_hardware(&ibm_source_model()).is_empty());
+    }
+
+    #[test]
+    fn fidelity_out_of_range_is_an_error() {
+        let mut table = BTreeMap::new();
+        table.insert(
+            CostClass::OneQubit,
+            GateCost {
+                fidelity: 1.5,
+                duration: 10.0,
+            },
+        );
+        table.insert(CostClass::Cz, GateCost::new(0.99, 10.0));
+        let diags = lint_hardware(&model_with(table, 1e6, 1e3));
+        assert_eq!(codes(&diags), vec![LintCode::FidelityRange]);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn nan_fidelity_is_out_of_range() {
+        let mut table = BTreeMap::new();
+        table.insert(
+            CostClass::OneQubit,
+            GateCost {
+                fidelity: f64::NAN,
+                duration: 10.0,
+            },
+        );
+        table.insert(CostClass::Cz, GateCost::new(0.99, 10.0));
+        let diags = lint_hardware(&model_with(table, 1e6, 1e3));
+        assert_eq!(codes(&diags), vec![LintCode::FidelityRange]);
+    }
+
+    #[test]
+    fn negative_duration_is_an_error() {
+        let mut table = BTreeMap::new();
+        table.insert(CostClass::OneQubit, GateCost::new(0.999, 10.0));
+        table.insert(
+            CostClass::Cz,
+            GateCost {
+                fidelity: 0.99,
+                duration: -5.0,
+            },
+        );
+        let diags = lint_hardware(&model_with(table, 1e6, 1e3));
+        assert_eq!(codes(&diags), vec![LintCode::NegativeDuration]);
+    }
+
+    #[test]
+    fn t2_above_twice_t1_is_flagged() {
+        let mut table = BTreeMap::new();
+        table.insert(CostClass::OneQubit, GateCost::new(0.999, 10.0));
+        table.insert(CostClass::Cz, GateCost::new(0.99, 10.0));
+        let diags = lint_hardware(&model_with(table, 100.0, 250.0));
+        assert_eq!(codes(&diags), vec![LintCode::CoherenceOrder]);
+    }
+
+    #[test]
+    fn gate_slower_than_t2_is_flagged() {
+        let mut table = BTreeMap::new();
+        table.insert(CostClass::OneQubit, GateCost::new(0.999, 10.0));
+        table.insert(CostClass::Cz, GateCost::new(0.99, 5000.0));
+        let diags = lint_hardware(&model_with(table, 1e6, 1e3));
+        assert_eq!(codes(&diags), vec![LintCode::GateSlowerThanT2]);
+    }
+
+    #[test]
+    fn missing_one_qubit_class_is_flagged() {
+        let mut table = BTreeMap::new();
+        table.insert(CostClass::Cz, GateCost::new(0.99, 10.0));
+        let diags = lint_hardware(&model_with(table, 1e6, 1e3));
+        assert_eq!(codes(&diags), vec![LintCode::NoOneQubitClass]);
+    }
+
+    #[test]
+    fn missing_two_qubit_class_is_flagged() {
+        let mut table = BTreeMap::new();
+        table.insert(CostClass::OneQubit, GateCost::new(0.999, 10.0));
+        let diags = lint_hardware(&model_with(table, 1e6, 1e3));
+        assert_eq!(codes(&diags), vec![LintCode::NoTwoQubitClass]);
+    }
+
+    #[test]
+    fn perfect_fidelity_is_informational() {
+        let mut table = BTreeMap::new();
+        table.insert(CostClass::OneQubit, GateCost::new(1.0, 10.0));
+        table.insert(CostClass::Cz, GateCost::new(0.99, 10.0));
+        let diags = lint_hardware(&model_with(table, 1e6, 1e3));
+        assert_eq!(codes(&diags), vec![LintCode::PerfectFidelity]);
+        assert_eq!(diags[0].severity, Severity::Info);
+    }
+}

@@ -244,6 +244,11 @@ impl Report {
         self.phases.get(name).map(|p| p.total_ns)
     }
 
+    /// How many spans named `name` occurred (0 when the phase never ran).
+    pub fn phase_count(&self, name: &str) -> u64 {
+        self.phases.get(name).map_or(0, |p| p.count)
+    }
+
     /// Total wall time covered by root spans, in nanoseconds.
     pub fn root_total_ns(&self) -> u64 {
         self.roots.iter().map(SpanNode::total_ns).sum()
@@ -369,6 +374,9 @@ mod tests {
             "report was:\n{text}"
         );
         assert!(text.contains("omt.probes"));
+        assert_eq!(report.phase_count("omt.probe"), 3);
+        assert_eq!(report.phase_count("preprocess"), 1);
+        assert_eq!(report.phase_count("smt.encode"), 0);
     }
 
     #[test]

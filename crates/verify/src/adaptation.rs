@@ -63,6 +63,13 @@ pub enum AdaptationAuditError {
     },
     /// The attached audit bundle failed the semantic model audit.
     Model(ModelAuditError),
+    /// The recorded encoding is structurally corrupt: the shadow CNF/PB
+    /// bundle has an error-severity lint finding (out-of-range literal,
+    /// empty clause).
+    DegenerateEncoding {
+        /// The first error-severity finding, rendered.
+        finding: String,
+    },
     /// The attached optimality certificate was rejected by the DRAT checker.
     Certificate(DratError),
     /// The solve claims proven optimality with verification data attached,
@@ -95,6 +102,9 @@ impl std::fmt::Display for AdaptationAuditError {
                  by more than {tolerance:.1}"
             ),
             AdaptationAuditError::Model(e) => write!(f, "model audit failed: {e}"),
+            AdaptationAuditError::DegenerateEncoding { finding } => {
+                write!(f, "recorded encoding is degenerate: {finding}")
+            }
             AdaptationAuditError::Certificate(e) => {
                 write!(f, "optimality certificate rejected: {e}")
             }
@@ -147,6 +157,9 @@ pub struct AdaptationAuditStats {
     pub model_constraints_checked: u64,
     /// DRAT proof additions validated (when a certificate was attached).
     pub certificate_steps_checked: u64,
+    /// Warning-severity encoding-lint findings on the audit bundle
+    /// (error-severity findings fail the audit outright).
+    pub encoding_warnings: u64,
 }
 
 /// Audits a baseline (fallback) circuit that carries no solver-level
@@ -269,6 +282,22 @@ pub fn audit_adaptation(
     {
         let model_stats = audit_model(bundle)?;
         stats.model_constraints_checked = model_stats.constraints_checked;
+        // Structural encoding lints over the same bundle: error-severity
+        // findings mean the shadow formula itself is corrupt (the semantic
+        // replay above cannot see clause-level damage).
+        let encoding_diags = qca_lint::lint_encoding(bundle);
+        if let Some(err) = encoding_diags
+            .iter()
+            .find(|d| d.severity == qca_lint::Severity::Error)
+        {
+            return Err(AdaptationAuditError::DegenerateEncoding {
+                finding: err.to_string(),
+            });
+        }
+        stats.encoding_warnings = encoding_diags
+            .iter()
+            .filter(|d| d.severity == qca_lint::Severity::Warn)
+            .count() as u64;
         match certificate {
             Some(cert) => {
                 let drat_stats = check_certificate(cert)?;

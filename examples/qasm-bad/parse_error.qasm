@@ -1,0 +1,7 @@
+// lint-expect: QCA0001
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+creg c[1];
+rz(1e) q[0];
+measure q[0] -> c[0];

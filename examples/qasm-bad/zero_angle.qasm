@@ -1,0 +1,8 @@
+// lint-expect: QCA0103
+OPENQASM 2.0;
+include "qelib1.inc";
+qreg q[1];
+creg c[1];
+h q[0];
+rz(0) q[0];
+measure q[0] -> c[0];

@@ -23,6 +23,7 @@
 //! | [`workloads`] | `qca-workloads` | quantum-volume and random circuits |
 //! | [`engine`] | `qca-engine` | parallel batch adaptation, result cache, metrics |
 //! | [`trace`] | `qca-trace` | hierarchical span tracing, JSONL sink, reports |
+//! | [`lint`] | `qca-lint` | static diagnostics: circuit, hardware, rule-coverage, encoding lints |
 //!
 //! # Examples
 //!
@@ -51,6 +52,7 @@ pub use qca_baselines as baselines;
 pub use qca_circuit as circuit;
 pub use qca_engine as engine;
 pub use qca_hw as hw;
+pub use qca_lint as lint;
 pub use qca_num as num;
 pub use qca_sat as sat;
 pub use qca_sim as sim;
