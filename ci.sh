@@ -93,4 +93,76 @@ target/release/qca-engine --workers 2 --deny-warnings examples/qasm \
 grep -q 'lint=ok' "$trace_dir/lint-engine.txt" || {
   echo "lint gate: no lint verdicts in engine output" >&2; exit 1; }
 
+echo "== serve gate: qca-serve + qca-load smoke (200/400/429, drain on SIGTERM) =="
+serve_log="$trace_dir/serve.log"
+serve_metrics="$trace_dir/serve-metrics.json"
+# One worker, one queue slot: saturation (and thus 429s) is deterministic.
+target/release/qca-serve --addr 127.0.0.1:0 --workers 1 --queue 1 \
+  --metrics-out "$serve_metrics" > "$serve_log" &
+serve_pid=$!
+# Scrape the ephemeral port from the "listening on" line.
+serve_addr=""
+for _ in $(seq 1 50); do
+  serve_addr="$(sed -n 's/^listening on //p' "$serve_log")"
+  [ -n "$serve_addr" ] && break
+  sleep 0.1
+done
+test -n "$serve_addr" || {
+  echo "serve gate: server never reported its address" >&2
+  kill "$serve_pid" 2>/dev/null; exit 1; }
+
+# Mixed good/bad traffic on one connection: every good body is a 200,
+# every bad one a 400, and nothing is rejected at this load.
+target/release/qca-load --addr "$serve_addr" --connections 1 --requests 10 \
+  --mixed > "$trace_dir/load-mixed.txt" || {
+  echo "serve gate: mixed load run failed" >&2
+  cat "$trace_dir/load-mixed.txt" >&2
+  kill "$serve_pid" 2>/dev/null; exit 1
+}
+grep -q 'ok200=5 status400=5 rejected429=0 other=0 errors=0' \
+  "$trace_dir/load-mixed.txt" || {
+  echo "serve gate: unexpected mixed-load tally" >&2
+  cat "$trace_dir/load-mixed.txt" >&2
+  kill "$serve_pid" 2>/dev/null; exit 1
+}
+
+# Saturate the 1-worker/1-slot pool with held requests from 4 connections:
+# admission control must shed load as 429s, never hang the acceptor.
+target/release/qca-load --addr "$serve_addr" --connections 4 --requests 3 \
+  --hold-ms 300 > "$trace_dir/load-saturate.txt" || {
+  echo "serve gate: saturation load run failed" >&2
+  cat "$trace_dir/load-saturate.txt" >&2
+  kill "$serve_pid" 2>/dev/null; exit 1
+}
+grep -q 'rejected429=0' "$trace_dir/load-saturate.txt" && {
+  echo "serve gate: saturation produced no 429s" >&2
+  cat "$trace_dir/load-saturate.txt" >&2
+  kill "$serve_pid" 2>/dev/null; exit 1
+}
+grep -q ' errors=0' "$trace_dir/load-saturate.txt" || {
+  echo "serve gate: transport errors under saturation" >&2
+  cat "$trace_dir/load-saturate.txt" >&2
+  kill "$serve_pid" 2>/dev/null; exit 1
+}
+
+# SIGTERM with a request in flight: the request completes (drain), the
+# final metrics snapshot is written, and the server exits 0.
+target/release/qca-load --addr "$serve_addr" --connections 1 --requests 1 \
+  --hold-ms 1000 > "$trace_dir/load-drain.txt" &
+load_pid=$!
+sleep 0.3
+kill -TERM "$serve_pid"
+wait "$serve_pid" || {
+  echo "serve gate: server exited non-zero on SIGTERM" >&2; exit 1; }
+wait "$load_pid" || {
+  echo "serve gate: in-flight request failed during drain" >&2
+  cat "$trace_dir/load-drain.txt" >&2; exit 1
+}
+grep -q 'ok200=1' "$trace_dir/load-drain.txt" || {
+  echo "serve gate: in-flight request did not complete during drain" >&2
+  cat "$trace_dir/load-drain.txt" >&2; exit 1
+}
+grep -q '"server":' "$serve_metrics" || {
+  echo "serve gate: final metrics snapshot missing or malformed" >&2; exit 1; }
+
 echo "ci.sh: all checks passed"

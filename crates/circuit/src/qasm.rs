@@ -582,6 +582,42 @@ mod tests {
     }
 
     #[test]
+    fn crlf_line_endings_parse_identically() {
+        // Files written on Windows arrive with \r\n terminators; the parser
+        // must treat them exactly like \n (no ParseQasmError, same circuit).
+        let unix = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\nh q[0];\ncx q[0],q[1];\n";
+        let dos = unix.replace('\n', "\r\n");
+        let a = parse_qasm(unix).unwrap();
+        let b = parse_qasm(&dos).unwrap();
+        assert_eq!(a.num_qubits(), b.num_qubits());
+        assert_eq!(a.len(), b.len());
+        assert_eq!(to_qasm(&a), to_qasm(&b));
+    }
+
+    #[test]
+    fn missing_trailing_newline_parses() {
+        let src = "OPENQASM 2.0;\nqreg q[2];\ncx q[0],q[1];";
+        let c = parse_qasm(src).unwrap();
+        assert_eq!(c.len(), 1);
+        // Same without a trailing newline *and* with CRLF endings.
+        let src = "OPENQASM 2.0;\r\nqreg q[2];\r\ncx q[0],q[1];";
+        let c = parse_qasm(src).unwrap();
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn spans_report_correct_lines_under_crlf() {
+        // Lint diagnostics anchor on these spans; a CRLF file must not
+        // shift line numbers or columns (the \r is not part of the line).
+        let src = "OPENQASM 2.0;\r\nqreg q[2];\r\n  h q[0];\r\ncx q[0],q[1];\r\n";
+        let program = parse_qasm_program(src).unwrap();
+        assert_eq!(program.qreg_span, Some(SrcSpan { line: 2, col: 1 }));
+        assert_eq!(program.spans.len(), 2);
+        assert_eq!(program.spans[0], SrcSpan { line: 3, col: 3 });
+        assert_eq!(program.spans[1], SrcSpan { line: 4, col: 1 });
+    }
+
+    #[test]
     fn parse_parameter_expressions() {
         for (expr, expect) in [
             ("pi", PI),

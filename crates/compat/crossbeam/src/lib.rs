@@ -89,6 +89,70 @@ pub mod channel {
 
     impl std::error::Error for TryRecvError {}
 
+    /// Error returned by [`Sender::try_send`].
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity; carries the unsent value.
+        Full(T),
+        /// All receivers are gone; carries the unsent value.
+        Disconnected(T),
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the value that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(v) | TrySendError::Disconnected(v) => v,
+            }
+        }
+
+        /// `true` for the [`TrySendError::Full`] case.
+        pub fn is_full(&self) -> bool {
+            matches!(self, TrySendError::Full(_))
+        }
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T> std::error::Error for TrySendError<T> {}
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with the channel still empty.
+        Timeout,
+        /// Channel empty and all senders dropped.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on receive"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
     /// The sending half of a channel. Cloneable (multi-producer).
     pub struct Sender<T> {
         shared: Arc<Shared<T>>,
@@ -140,9 +204,7 @@ pub mod channel {
                 if state.receivers == 0 {
                     return Err(SendError(value));
                 }
-                let full = state
-                    .capacity
-                    .is_some_and(|cap| state.queue.len() >= cap);
+                let full = state.capacity.is_some_and(|cap| state.queue.len() >= cap);
                 if !full {
                     state.queue.push_back(value);
                     self.shared.readable.notify_one();
@@ -154,6 +216,21 @@ pub mod channel {
                     .wait(state)
                     .unwrap_or_else(|e| e.into_inner());
             }
+        }
+
+        /// Delivers `value` without blocking: fails with
+        /// [`TrySendError::Full`] when a bounded channel is at capacity.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.lock();
+            if state.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.capacity.is_some_and(|cap| state.queue.len() >= cap) {
+                return Err(TrySendError::Full(value));
+            }
+            state.queue.push_back(value);
+            self.shared.readable.notify_one();
+            Ok(())
         }
     }
 
@@ -195,6 +272,35 @@ pub mod channel {
                     .readable
                     .wait(state)
                     .unwrap_or_else(|e| e.into_inner());
+            }
+        }
+
+        /// Takes the next message, blocking for at most `timeout` while the
+        /// channel is empty.
+        pub fn recv_timeout(&self, timeout: std::time::Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut state = self.shared.lock();
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    self.shared.writable.notify_one();
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = std::time::Instant::now();
+                let Some(remaining) = deadline
+                    .checked_duration_since(now)
+                    .filter(|d| !d.is_zero())
+                else {
+                    return Err(RecvTimeoutError::Timeout);
+                };
+                let (guard, _timed_out) = self
+                    .shared
+                    .readable
+                    .wait_timeout(state, remaining)
+                    .unwrap_or_else(|e| e.into_inner());
+                state = guard;
             }
         }
 
@@ -322,6 +428,35 @@ mod tests {
             .collect();
         all.sort_unstable();
         assert_eq!(all, (0..400).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn try_send_reports_full_and_disconnected() {
+        let (tx, rx) = channel::bounded::<u32>(1);
+        tx.try_send(1).unwrap();
+        let err = tx.try_send(2).unwrap_err();
+        assert!(err.is_full());
+        assert_eq!(err.into_inner(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        drop(rx);
+        assert!(!tx.try_send(4).unwrap_err().is_full());
+    }
+
+    #[test]
+    fn recv_timeout_expires_and_delivers() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(10)),
+            Err(channel::RecvTimeoutError::Timeout)
+        );
+        tx.send(9).unwrap();
+        assert_eq!(rx.recv_timeout(std::time::Duration::from_secs(5)), Ok(9));
+        drop(tx);
+        assert_eq!(
+            rx.recv_timeout(std::time::Duration::from_millis(1)),
+            Err(channel::RecvTimeoutError::Disconnected)
+        );
     }
 
     #[test]

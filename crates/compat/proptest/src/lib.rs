@@ -423,8 +423,7 @@ mod tests {
     fn map_flat_map_and_oneof_compose() {
         let mut rng = TestRng::from_seed(2);
         let s = (1usize..4).prop_flat_map(|n| {
-            collection::vec(prop_oneof![Just(0u8), Just(1u8)], 0..n + 1)
-                .prop_map(move |v| (n, v))
+            collection::vec(prop_oneof![Just(0u8), Just(1u8)], 0..n + 1).prop_map(move |v| (n, v))
         });
         for _ in 0..100 {
             let (n, v) = s.new_value(&mut rng);

@@ -1,0 +1,199 @@
+//! Wall-clock deadlines mapped onto cooperative cancellation.
+//!
+//! The solve pipeline has no internal notion of wall-clock time: the SAT
+//! solver polls a shared [`AtomicBool`] at every decision and conflict
+//! (see [`AdaptContext::cancel`](crate::AdaptContext)), so enforcing a
+//! deadline means *someone* has to trip that flag when the clock runs out.
+//! [`Watchdog`] is that someone — one background thread shared by any
+//! number of concurrent solves, each armed with its own flag. The batch
+//! engine uses it for `job_timeout`, and `qca-serve` uses it for
+//! per-request `?deadline_ms=` budgets.
+//!
+//! Deadlines enforced this way are inherently *nondeterministic* (they
+//! depend on machine speed). For a deterministic degrade that roughly
+//! tracks wall time, [`AdaptLimits::for_deadline`](crate::AdaptLimits)
+//! converts a deadline into a total-conflict budget at an assumed conflict
+//! rate; callers that want both behaviors arm a watchdog flag *and* set
+//! the derived budget — whichever trips first degrades the solve.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Default polling resolution of the watchdog thread. Deadlines fire at
+/// most this long after they expire.
+pub const DEFAULT_RESOLUTION: Duration = Duration::from_millis(2);
+
+struct Shared {
+    entries: Mutex<Vec<(Instant, Arc<AtomicBool>)>>,
+    shutdown: AtomicBool,
+    /// Wakes the poll thread early on shutdown (so `Drop` never waits a
+    /// full resolution interval) or when a new deadline is registered.
+    wake: Condvar,
+}
+
+/// A background thread that trips cancellation flags at wall-clock
+/// deadlines.
+///
+/// Dropping the watchdog stops the thread; flags armed but not yet expired
+/// are never tripped after that, so keep the watchdog alive at least as
+/// long as the solves it guards.
+///
+/// # Examples
+///
+/// ```
+/// use qca_adapt::deadline::Watchdog;
+/// use std::sync::atomic::Ordering;
+/// use std::time::{Duration, Instant};
+///
+/// let wd = Watchdog::new();
+/// let flag = wd.arm(Instant::now() + Duration::from_millis(5));
+/// assert!(!flag.load(Ordering::Relaxed));
+/// std::thread::sleep(Duration::from_millis(50));
+/// assert!(flag.load(Ordering::Relaxed));
+/// ```
+#[derive(Debug)]
+pub struct Watchdog {
+    shared: Arc<Shared>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Shared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shared")
+            .field(
+                "pending",
+                &self.entries.lock().map(|e| e.len()).unwrap_or(0),
+            )
+            .finish()
+    }
+}
+
+impl Default for Watchdog {
+    fn default() -> Self {
+        Watchdog::new()
+    }
+}
+
+impl Watchdog {
+    /// A watchdog polling at [`DEFAULT_RESOLUTION`].
+    pub fn new() -> Watchdog {
+        Watchdog::with_resolution(DEFAULT_RESOLUTION)
+    }
+
+    /// A watchdog polling every `resolution`. A coarser resolution costs
+    /// less CPU but lets deadlines overshoot by up to that much.
+    pub fn with_resolution(resolution: Duration) -> Watchdog {
+        let resolution = resolution.max(Duration::from_micros(100));
+        let shared = Arc::new(Shared {
+            entries: Mutex::new(Vec::new()),
+            shutdown: AtomicBool::new(false),
+            wake: Condvar::new(),
+        });
+        let poll = shared.clone();
+        let thread = std::thread::Builder::new()
+            .name("qca-watchdog".to_string())
+            .spawn(move || {
+                let mut entries = poll.entries.lock().unwrap_or_else(|e| e.into_inner());
+                while !poll.shutdown.load(Ordering::Relaxed) {
+                    let now = Instant::now();
+                    entries.retain(|(deadline, flag)| {
+                        if now >= *deadline {
+                            flag.store(true, Ordering::Relaxed);
+                            false
+                        } else {
+                            true
+                        }
+                    });
+                    let (guard, _) = poll
+                        .wake
+                        .wait_timeout(entries, resolution)
+                        .unwrap_or_else(|e| e.into_inner());
+                    entries = guard;
+                }
+            })
+            .expect("spawning the watchdog thread");
+        Watchdog {
+            shared,
+            thread: Some(thread),
+        }
+    }
+
+    /// Arms a fresh cancellation flag that trips at `deadline`. The flag is
+    /// ready to install on an [`AdaptContext`](crate::AdaptContext) or an
+    /// engine job.
+    pub fn arm(&self, deadline: Instant) -> Arc<AtomicBool> {
+        let flag = Arc::new(AtomicBool::new(false));
+        self.register(deadline, flag.clone());
+        flag
+    }
+
+    /// Registers a caller-owned flag to be tripped at `deadline`.
+    pub fn register(&self, deadline: Instant, flag: Arc<AtomicBool>) {
+        self.shared
+            .entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push((deadline, flag));
+        self.shared.wake.notify_one();
+    }
+
+    /// Number of armed deadlines that have not fired yet.
+    pub fn pending(&self) -> usize {
+        self.shared
+            .entries
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .len()
+    }
+}
+
+impl Drop for Watchdog {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Relaxed);
+        self.shared.wake.notify_all();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expired_deadlines_trip_their_flags() {
+        let wd = Watchdog::with_resolution(Duration::from_millis(1));
+        let now = Instant::now();
+        let soon = wd.arm(now + Duration::from_millis(5));
+        let later = wd.arm(now + Duration::from_secs(3600));
+        // Generous bound: CI machines stall, but 2 s ≫ a 5 ms deadline.
+        let limit = now + Duration::from_secs(2);
+        while !soon.load(Ordering::Relaxed) && Instant::now() < limit {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert!(soon.load(Ordering::Relaxed), "short deadline never fired");
+        assert!(!later.load(Ordering::Relaxed), "distant deadline fired");
+        assert_eq!(wd.pending(), 1);
+    }
+
+    #[test]
+    fn already_expired_deadline_fires_immediately() {
+        let wd = Watchdog::with_resolution(Duration::from_millis(1));
+        let flag = wd.arm(Instant::now() - Duration::from_millis(1));
+        let limit = Instant::now() + Duration::from_secs(2);
+        while !flag.load(Ordering::Relaxed) && Instant::now() < limit {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert!(flag.load(Ordering::Relaxed));
+    }
+
+    #[test]
+    fn drop_joins_the_poll_thread() {
+        let wd = Watchdog::new();
+        let _flag = wd.arm(Instant::now() + Duration::from_secs(3600));
+        drop(wd); // must return promptly (condvar wake, not a full sleep)
+    }
+}

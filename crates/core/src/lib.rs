@@ -69,6 +69,7 @@
 
 mod adapt;
 pub mod context;
+pub mod deadline;
 mod error;
 pub mod model;
 pub mod preflight;

@@ -18,6 +18,7 @@ use crate::rules::Substitution;
 use qca_hw::HardwareModel;
 use qca_smt::omt::OptimalityCertificate;
 use qca_smt::{omt, AuditBundle, IntExpr, SmtSolver};
+use std::time::Duration;
 
 /// Default per-probe conflict budget for the OMT search. The scheduling
 /// objectives produce arithmetic-heavy UNSAT probes that plain clause
@@ -103,6 +104,43 @@ pub struct AdaptLimits {
     /// degrades to the best incumbent, or [`AdaptError::Cancelled`] if
     /// none exists yet.
     pub total_conflicts: Option<u64>,
+}
+
+impl AdaptLimits {
+    /// Conservative default conflict rate used by
+    /// [`AdaptLimits::for_deadline`]: well below what the CDCL solver
+    /// sustains on this workload's arithmetic-heavy models, so a
+    /// deadline-derived budget trips *before* the wall clock on any
+    /// reasonable machine and the result stays deterministic.
+    pub const CONFLICTS_PER_MS: u64 = 500;
+
+    /// Maps a wall-clock budget onto a deterministic total-conflict cap at
+    /// `conflicts_per_ms` (see [`AdaptLimits::CONFLICTS_PER_MS`]).
+    ///
+    /// The conversion is intentionally a *limit*, not a promise: conflict
+    /// counts are machine-independent, so the same deadline always degrades
+    /// at the same point in the search, while an actual wall-clock
+    /// guarantee additionally needs a [`crate::deadline::Watchdog`] flag
+    /// armed on the
+    /// [`AdaptContext`]. Sub-millisecond deadlines
+    /// round up to a one-conflict budget rather than an unsatisfiable zero.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use qca_adapt::AdaptLimits;
+    /// use std::time::Duration;
+    ///
+    /// let limits = AdaptLimits::for_deadline(Duration::from_millis(20), None);
+    /// assert_eq!(limits.total_conflicts, Some(20 * AdaptLimits::CONFLICTS_PER_MS));
+    /// ```
+    pub fn for_deadline(deadline: Duration, conflicts_per_ms: Option<u64>) -> AdaptLimits {
+        let rate = conflicts_per_ms.unwrap_or(Self::CONFLICTS_PER_MS).max(1);
+        let budget = (deadline.as_millis() as u64).saturating_mul(rate).max(1);
+        AdaptLimits {
+            total_conflicts: Some(budget),
+        }
+    }
 }
 
 /// Integer cost data shared between the SMT encoding and the greedy warm

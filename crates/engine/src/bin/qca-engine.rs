@@ -30,6 +30,11 @@
 //! exits 1 when any audit failed. With `--lint`/`--deny-warnings`, each job
 //! line gains a lint summary (`lint=ok`, `lint=N warn`, or `lint=rejected`)
 //! and the process exits 1 when any job was rejected by preflight.
+//!
+//! A file that cannot be read (missing, unreadable, non-UTF-8) or fails to
+//! parse does **not** abort the batch: it is listed as a per-job `error`
+//! line, the remaining circuits are adapted normally, and the process exits
+//! 1 at the end.
 
 use qca_adapt::Objective;
 use qca_circuit::qasm;
@@ -156,7 +161,14 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn load_jobs(args: &Args) -> Result<Vec<(String, AdaptJob)>, String> {
+/// One input file: its display name and either a loaded job or the
+/// per-file load/parse error.
+type NamedJob = (String, Result<AdaptJob, String>);
+
+/// Loads every `.qasm` file in the input directory. A file that cannot be
+/// read (missing, unreadable, not UTF-8) or fails to parse becomes a
+/// per-file `Err` entry — one bad file must not abort the rest of the batch.
+fn load_jobs(args: &Args) -> Result<Vec<NamedJob>, String> {
     let mut files: Vec<PathBuf> = std::fs::read_dir(&args.dir)
         .map_err(|e| format!("cannot read {}: {e}", args.dir.display()))?
         .filter_map(|entry| entry.ok().map(|e| e.path()))
@@ -174,9 +186,11 @@ fn load_jobs(args: &Args) -> Result<Vec<(String, AdaptJob)>, String> {
             .file_name()
             .map(|n| n.to_string_lossy().into_owned())
             .unwrap_or_default();
-        let src = std::fs::read_to_string(&path).map_err(|e| format!("cannot read {name}: {e}"))?;
-        let circuit = qasm::parse_qasm(&src).map_err(|e| format!("{name}: {e}"))?;
-        jobs.push((name, AdaptJob::with_objective(circuit, args.objective)));
+        let job = std::fs::read_to_string(&path)
+            .map_err(|e| format!("cannot read: {e}"))
+            .and_then(|src| qasm::parse_qasm(&src).map_err(|e| e.to_string()))
+            .map(|circuit| AdaptJob::with_objective(circuit, args.objective));
+        jobs.push((name, job));
     }
     Ok(jobs)
 }
@@ -217,7 +231,11 @@ fn run() -> Result<ExitCode, String> {
         config = config.job_timeout(Duration::from_millis(ms));
     }
     let engine = Engine::new(config.try_build()?);
-    let jobs: Vec<AdaptJob> = named_jobs.iter().map(|(_, j)| j.clone()).collect();
+    let jobs: Vec<AdaptJob> = named_jobs
+        .iter()
+        .filter_map(|(_, j)| j.as_ref().ok().cloned())
+        .collect();
+    let load_errors = named_jobs.iter().filter(|(_, j)| j.is_err()).count();
 
     println!(
         "# adapting {} circuits on {} workers ({} pass(es))",
@@ -232,7 +250,17 @@ fn run() -> Result<ExitCode, String> {
         if args.repeat > 1 {
             println!("# pass {}", pass + 1);
         }
-        for ((name, _), report) in named_jobs.iter().zip(&reports) {
+        // Good jobs pair with batch reports in order; load failures keep
+        // their slot in the listing as a per-job error line.
+        let mut report_iter = reports.iter();
+        for (name, loaded) in named_jobs.iter() {
+            let report = match loaded {
+                Ok(_) => report_iter.next().expect("one report per job"),
+                Err(msg) => {
+                    println!("{name:30} {:8} {:5} error={msg}", "error", "-");
+                    continue;
+                }
+            };
             let audit = match &report.audit {
                 None => String::new(),
                 Some(qca_engine::AuditOutcome::Passed) => " audit=ok".to_string(),
@@ -274,7 +302,8 @@ fn run() -> Result<ExitCode, String> {
             if let Some(out_dir) = &args.out_dir {
                 std::fs::create_dir_all(out_dir)
                     .map_err(|e| format!("cannot create {}: {e}", out_dir.display()))?;
-                for ((name, _), report) in named_jobs.iter().zip(&reports) {
+                let good = named_jobs.iter().filter(|(_, j)| j.is_ok());
+                for ((name, _), report) in good.zip(&reports) {
                     let path = out_dir.join(name);
                     std::fs::write(&path, qasm::to_qasm(&report.circuit))
                         .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
@@ -313,6 +342,10 @@ fn run() -> Result<ExitCode, String> {
     }
     if lint_rejections > 0 {
         eprintln!("qca-engine: {lint_rejections} job(s) rejected by lint preflight");
+        return Ok(ExitCode::FAILURE);
+    }
+    if load_errors > 0 {
+        eprintln!("qca-engine: {load_errors} file(s) could not be loaded");
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)

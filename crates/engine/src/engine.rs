@@ -3,7 +3,7 @@
 use crate::cache::AdaptCache;
 use crate::metrics::MetricsRegistry;
 use crossbeam::channel;
-use parking_lot::Mutex;
+use qca_adapt::deadline::Watchdog;
 use qca_adapt::{
     adapt, AdaptContext, AdaptError, AdaptLimits, AdaptOptions, Adaptation, Objective,
 };
@@ -13,7 +13,9 @@ use qca_hw::HardwareModel;
 use qca_trace::Tracer;
 use qca_verify::{audit_adaptation, audit_baseline};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
+#[cfg(test)]
+use std::sync::atomic::Ordering;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -307,35 +309,29 @@ impl EngineConfigBuilder {
     }
 }
 
-/// Watchdog state: deadlines of in-flight jobs, trimmed as they fire.
-struct Watchdog {
-    deadlines: Mutex<Vec<(Instant, Arc<AtomicBool>)>>,
-    shutdown: AtomicBool,
+/// Per-job policy toggles: which optional engine stages run for one job.
+///
+/// The batch path derives this from [`EngineConfig`]; callers submitting
+/// in-memory jobs one at a time (e.g. `qca-serve` mapping per-request query
+/// parameters) can override it per job via [`Engine::adapt_one_with`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct JobPolicy {
+    /// Force certification and run the independent audit on the report.
+    pub verify: bool,
+    /// Run the static preflight lint stage before the cache lookup.
+    pub lint: bool,
+    /// Escalate preflight warnings to rejections (implies `lint`).
+    pub deny_warnings: bool,
 }
 
-impl Watchdog {
-    fn new() -> Watchdog {
-        Watchdog {
-            deadlines: Mutex::new(Vec::new()),
-            shutdown: AtomicBool::new(false),
+impl JobPolicy {
+    /// The policy [`EngineConfig`] implies for every batch job.
+    pub fn from_config(config: &EngineConfig) -> JobPolicy {
+        JobPolicy {
+            verify: config.verify,
+            lint: config.lint,
+            deny_warnings: config.deny_warnings,
         }
-    }
-
-    fn register(&self, deadline: Instant, flag: Arc<AtomicBool>) {
-        self.deadlines.lock().push((deadline, flag));
-    }
-
-    /// Poll loop body: fire expired deadlines, drop fired entries.
-    fn tick(&self, now: Instant) {
-        let mut entries = self.deadlines.lock();
-        entries.retain(|(deadline, flag)| {
-            if now >= *deadline {
-                flag.store(true, Ordering::Relaxed);
-                false
-            } else {
-                true
-            }
-        });
     }
 }
 
@@ -392,6 +388,14 @@ impl Engine {
         &self.metrics
     }
 
+    /// The engine's tracer: the configured tracer teed with the metrics
+    /// registry. Hosts embedding the engine (e.g. `qca-serve`) emit their
+    /// own spans through this so they join the engine's spans in the same
+    /// sinks and feed the same metrics.
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
     /// The engine's result cache (shared across batches).
     pub fn cache(&self) -> &AdaptCache {
         &self.cache
@@ -435,16 +439,11 @@ impl Engine {
         }
         drop(job_tx);
 
+        // The shared watchdog (crates/core `deadline` module) owns its own
+        // poll thread and joins it on drop at the end of this call.
         let watchdog = self.config.job_timeout.map(|_| Watchdog::new());
+        let policy = JobPolicy::from_config(&self.config);
         std::thread::scope(|scope| {
-            if let Some(wd) = &watchdog {
-                scope.spawn(|| {
-                    while !wd.shutdown.load(Ordering::Relaxed) {
-                        wd.tick(Instant::now());
-                        std::thread::sleep(Duration::from_millis(2));
-                    }
-                });
-            }
             for _ in 0..workers {
                 let job_rx = job_rx.clone();
                 let res_tx = res_tx.clone();
@@ -454,11 +453,12 @@ impl Engine {
                         // A panicking job must not take its worker (and the
                         // rest of the batch) down with it: catch the unwind
                         // and demote the job to a per-job error report.
-                        let report =
-                            catch_unwind(AssertUnwindSafe(|| self.run_job(hw, index, job, wd)))
-                                .unwrap_or_else(|payload| {
-                                    self.panicked_report(hw, index, job, payload.as_ref())
-                                });
+                        let report = catch_unwind(AssertUnwindSafe(|| {
+                            self.run_job(hw, index, job, wd, policy)
+                        }))
+                        .unwrap_or_else(|payload| {
+                            self.panicked_report(hw, index, job, payload.as_ref(), policy)
+                        });
                         if res_tx.send(report).is_err() {
                             break;
                         }
@@ -473,17 +473,45 @@ impl Engine {
                 let slot = report.job;
                 out[slot] = Some(report);
             }
-            if let Some(wd) = &watchdog {
-                wd.shutdown.store(true, Ordering::Relaxed);
-            }
             // A slot can only be empty if a worker died so hard the panic
             // shield above never reported (or a job was never sent); answer
             // it with a baseline instead of panicking the submitter.
             out.into_iter()
                 .enumerate()
-                .map(|(index, r)| r.unwrap_or_else(|| self.missing_report(hw, index, &jobs[index])))
+                .map(|(index, r)| {
+                    r.unwrap_or_else(|| self.missing_report(hw, index, &jobs[index], policy))
+                })
                 .collect()
         })
+    }
+
+    /// Adapts a single in-memory job through the same ladder as
+    /// [`Engine::adapt_batch`] (preflight → cache → solve → baseline
+    /// fallback, with the panic shield), on the *calling* thread.
+    ///
+    /// This is the submission API for callers that schedule jobs themselves
+    /// — [`EnginePool`](crate::EnginePool) workers and `qca-serve` request
+    /// handlers — rather than handing the engine a whole batch.
+    /// [`EngineConfig::job_timeout`] is *not* applied here: single-job
+    /// callers own their deadlines and install a pre-armed cancellation
+    /// flag on [`AdaptJob::cancel`] (see `qca_adapt::deadline::Watchdog`).
+    /// The report's [`AdaptReport::job`] index is always 0.
+    pub fn adapt_one(&self, hw: &HardwareModel, job: &AdaptJob) -> AdaptReport {
+        self.adapt_one_with(hw, job, JobPolicy::from_config(&self.config))
+    }
+
+    /// [`Engine::adapt_one`] with an explicit per-job [`JobPolicy`],
+    /// overriding what [`EngineConfig`] implies (e.g. per-request
+    /// `?verify=`/`?lint=` toggles in `qca-serve`).
+    pub fn adapt_one_with(
+        &self,
+        hw: &HardwareModel,
+        job: &AdaptJob,
+        policy: JobPolicy,
+    ) -> AdaptReport {
+        self.tracer.counter("engine.jobs_submitted", 1);
+        catch_unwind(AssertUnwindSafe(|| self.run_job(hw, 0, job, None, policy)))
+            .unwrap_or_else(|payload| self.panicked_report(hw, 0, job, payload.as_ref(), policy))
     }
 
     /// Runs one job through the ladder: cache → solve → baseline fallback.
@@ -493,6 +521,7 @@ impl Engine {
         index: usize,
         job: &AdaptJob,
         watchdog: Option<&Watchdog>,
+        policy: JobPolicy,
     ) -> AdaptReport {
         let t0 = Instant::now();
         let mut job_span = self.tracer.span_with("engine.job", || {
@@ -506,7 +535,7 @@ impl Engine {
         // A verifying engine solves with certification on, whatever the job
         // asked for: every optimal claim must come back with a certificate.
         let mut options = job.options.clone();
-        if self.config.verify {
+        if policy.verify {
             options.certify = true;
         }
         // Static preflight: prove infeasibility (and surface shape/model
@@ -514,7 +543,7 @@ impl Engine {
         // degrades straight to the baseline ladder with no `smt.encode`
         // phase ever running.
         let mut diagnostics = Vec::new();
-        if self.config.lint || self.config.deny_warnings {
+        if policy.lint || policy.deny_warnings {
             let mut span = self
                 .tracer
                 .span_with("engine.preflight", || format!("job={index}"));
@@ -528,10 +557,10 @@ impl Engine {
                     span.set_note("error");
                     drop(span);
                     job_span.set_note("preflight_error");
-                    return self.fallback_report(hw, index, job, other, Vec::new(), t0);
+                    return self.fallback_report(hw, index, job, other, Vec::new(), t0, policy);
                 }
             };
-            if self.config.deny_warnings {
+            if policy.deny_warnings {
                 qca_lint::escalate_warnings(&mut diags);
             }
             let counts = qca_lint::count_severities(&diags);
@@ -553,6 +582,7 @@ impl Engine {
                     AdaptError::Rejected(diags.clone()),
                     diags,
                     t0,
+                    policy,
                 );
             }
             span.set_note(format!("findings={}", diags.len()));
@@ -586,7 +616,7 @@ impl Engine {
             };
             // Cache hits are audited like fresh solves: a corrupted cache
             // entry must not dodge verification.
-            self.audit_report(hw, &job.circuit, job.options.objective, &mut report);
+            self.audit_report(hw, &job.circuit, job.options.objective, &mut report, policy);
             return report;
         }
         self.tracer.counter("engine.cache_miss", 1);
@@ -641,16 +671,17 @@ impl Engine {
             }
             Err(error) => {
                 job_span.set_note("fallback");
-                return self.fallback_report(hw, index, job, error, diagnostics, t0);
+                return self.fallback_report(hw, index, job, error, diagnostics, t0, policy);
             }
         };
-        self.audit_report(hw, &job.circuit, job.options.objective, &mut report);
+        self.audit_report(hw, &job.circuit, job.options.objective, &mut report, policy);
         report
     }
 
     /// Bottom of the ladder: greedy template optimization toward the same
     /// objective; direct basis translation if even the greedy pass fails.
     /// Used for solve errors and preflight rejections alike.
+    #[allow(clippy::too_many_arguments)]
     fn fallback_report(
         &self,
         hw: &HardwareModel,
@@ -659,6 +690,7 @@ impl Engine {
         error: AdaptError,
         diagnostics: Vec<qca_lint::Diagnostic>,
         t0: Instant,
+        policy: JobPolicy,
     ) -> AdaptReport {
         let objective = match job.options.objective {
             Objective::IdleTime => TemplateObjective::IdleTime,
@@ -681,7 +713,7 @@ impl Engine {
             audit: None,
             diagnostics,
         };
-        self.audit_report(hw, &job.circuit, job.options.objective, &mut report);
+        self.audit_report(hw, &job.circuit, job.options.objective, &mut report, policy);
         report
     }
 
@@ -694,6 +726,7 @@ impl Engine {
         index: usize,
         job: &AdaptJob,
         payload: &(dyn std::any::Any + Send),
+        policy: JobPolicy,
     ) -> AdaptReport {
         let msg = payload
             .downcast_ref::<&str>()
@@ -701,17 +734,24 @@ impl Engine {
             .or_else(|| payload.downcast_ref::<String>().cloned())
             .unwrap_or_else(|| "non-string panic payload".to_string());
         self.tracer.counter("engine.job_panicked", 1);
-        self.baseline_error_report(hw, index, job, format!("worker panicked: {msg}"))
+        self.baseline_error_report(hw, index, job, format!("worker panicked: {msg}"), policy)
     }
 
     /// Report for a job slot no worker ever answered (a worker died so hard
     /// even the panic shield could not report).
-    fn missing_report(&self, hw: &HardwareModel, index: usize, job: &AdaptJob) -> AdaptReport {
+    fn missing_report(
+        &self,
+        hw: &HardwareModel,
+        index: usize,
+        job: &AdaptJob,
+        policy: JobPolicy,
+    ) -> AdaptReport {
         self.baseline_error_report(
             hw,
             index,
             job,
             "worker terminated without reporting".to_string(),
+            policy,
         )
     }
 
@@ -721,6 +761,7 @@ impl Engine {
         index: usize,
         job: &AdaptJob,
         detail: String,
+        policy: JobPolicy,
     ) -> AdaptReport {
         self.tracer.counter("engine.job_completed", 1);
         self.count_status(AdaptStatus::Fallback);
@@ -739,21 +780,22 @@ impl Engine {
             audit: None,
             diagnostics: Vec::new(),
         };
-        self.audit_report(hw, &job.circuit, job.options.objective, &mut report);
+        self.audit_report(hw, &job.circuit, job.options.objective, &mut report, policy);
         report
     }
 
     /// Runs the independent `qca-verify` audit on one finished report (when
-    /// [`EngineConfig::verify`] is on) and records the verdict on the report
-    /// and the `verify.*` counters.
+    /// the job's [`JobPolicy::verify`] is on) and records the verdict on the
+    /// report and the `verify.*` counters.
     fn audit_report(
         &self,
         hw: &HardwareModel,
         source: &Circuit,
         objective: Objective,
         report: &mut AdaptReport,
+        policy: JobPolicy,
     ) {
-        if !self.config.verify {
+        if !policy.verify {
             return;
         }
         let mut span = self.tracer.span("verify.audit");

@@ -49,10 +49,13 @@
 pub mod cache;
 mod engine;
 pub mod metrics;
+pub mod pool;
 
 pub use engine::{
     AdaptJob, AdaptReport, AdaptStatus, AuditOutcome, Engine, EngineConfig, EngineConfigBuilder,
+    JobPolicy,
 };
+pub use pool::{EnginePool, SubmitError};
 
 use cache::AdaptCache;
 use qca_adapt::{AdaptLimits, AdaptOptions};

@@ -97,16 +97,20 @@ impl Histogram {
         self.max()
     }
 
-    /// Renders `{"count":..,"sum":..,"mean":..,"max":..,"p50":..,"p90":..}`.
+    /// Renders `{"count":..,"sum":..,"mean":..,"max":..,"p50":..,"p90":..,
+    /// "p95":..,"p99":..}`. The percentiles are bucket lower edges — see
+    /// [`Histogram::quantile`].
     fn to_json(&self) -> String {
         format!(
-            "{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"max\":{},\"p50\":{},\"p90\":{}}}",
+            "{{\"count\":{},\"sum\":{},\"mean\":{:.1},\"max\":{},\"p50\":{},\"p90\":{},\"p95\":{},\"p99\":{}}}",
             self.count(),
             self.sum(),
             self.mean(),
             self.max(),
             self.quantile(0.5),
             self.quantile(0.9),
+            self.quantile(0.95),
+            self.quantile(0.99),
         )
     }
 }
@@ -298,6 +302,27 @@ mod tests {
     fn quantile_of_empty_is_zero() {
         let h = Histogram::new();
         assert_eq!(h.quantile(0.5), 0);
+    }
+
+    #[test]
+    fn percentiles_pinned_on_known_distribution() {
+        // Samples 1..=100 land in log₂ buckets with cumulative counts
+        // 1, 3, 7, 15, 31, 63, 100; quantile() answers the containing
+        // bucket's lower edge. Pin the exact values so a regression in the
+        // rank math or bucket indexing shows up as a concrete number.
+        let h = Histogram::new();
+        for v in 1..=100 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), 32); // rank 50 → bucket [32, 64)
+        assert_eq!(h.quantile(0.9), 64); // rank 90 → bucket [64, 128)
+        assert_eq!(h.quantile(0.95), 64);
+        assert_eq!(h.quantile(0.99), 64);
+        assert_eq!(h.quantile(1.0), 64);
+        let json = h.to_json();
+        assert!(json.contains("\"p50\":32"), "{json}");
+        assert!(json.contains("\"p95\":64"), "{json}");
+        assert!(json.contains("\"p99\":64"), "{json}");
     }
 
     #[test]

@@ -1,0 +1,81 @@
+//! Regression test: one bad file in the input directory must not abort the
+//! batch — the good circuits are still adapted and the bad file gets a
+//! per-job error line.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qca-engine-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+const GOOD: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncx q[0], q[1];\n";
+
+#[test]
+fn bad_file_becomes_per_job_error_not_batch_abort() {
+    let dir = temp_dir("badfile");
+    std::fs::write(dir.join("a_good.qasm"), GOOD).unwrap();
+    // Non-UTF-8 bytes: read_to_string fails, so this exercises the
+    // unreadable-file path portably (no permission bits needed).
+    std::fs::write(dir.join("b_binary.qasm"), [0xff, 0xfe, 0x00, 0x80]).unwrap();
+    // Valid UTF-8 that is not QASM: exercises the parse-error path.
+    std::fs::write(dir.join("c_garbage.qasm"), "this is not qasm\n").unwrap();
+    std::fs::write(dir.join("d_good.qasm"), GOOD).unwrap();
+
+    let out = Command::new(env!("CARGO_BIN_EXE_qca-engine"))
+        .arg("--workers")
+        .arg("1")
+        .arg(&dir)
+        .output()
+        .expect("run qca-engine");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+
+    // Both good circuits were adapted despite the bad files between them.
+    assert!(
+        stdout.contains("# adapting 2 circuits"),
+        "stdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    for good in ["a_good.qasm", "d_good.qasm"] {
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with(good))
+            .unwrap_or_else(|| panic!("no line for {good} in:\n{stdout}"));
+        assert!(!line.contains("error="), "unexpected error line: {line}");
+    }
+    // Both bad files got per-job error lines instead of aborting the run.
+    for bad in ["b_binary.qasm", "c_garbage.qasm"] {
+        let line = stdout
+            .lines()
+            .find(|l| l.starts_with(bad))
+            .unwrap_or_else(|| panic!("no line for {bad} in:\n{stdout}"));
+        assert!(line.contains("error="), "expected error line, got: {line}");
+    }
+    // The run still signals failure at exit so scripts notice the bad files.
+    assert_eq!(out.status.code(), Some(1), "stderr:\n{stderr}");
+    assert!(stderr.contains("could not be loaded"), "stderr:\n{stderr}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn all_good_directory_still_exits_zero() {
+    let dir = temp_dir("allgood");
+    std::fs::write(dir.join("a.qasm"), GOOD).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_qca-engine"))
+        .arg("--workers")
+        .arg("1")
+        .arg(&dir)
+        .output()
+        .expect("run qca-engine");
+    assert!(
+        out.status.success(),
+        "stdout:\n{}\nstderr:\n{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

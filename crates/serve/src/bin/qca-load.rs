@@ -1,0 +1,226 @@
+//! `qca-load` — keep-alive load generator for `qca-serve`.
+//!
+//! ```text
+//! qca-load --addr HOST:PORT [--connections N] [--requests M] [--mixed]
+//!          [--hold-ms N] [--deadline-ms N] [--objective NAME]
+//!          [--timeout-s N]
+//! ```
+//!
+//! Opens `N` keep-alive connections, issues `M` `POST /v1/adapt` requests
+//! on each, and prints a greppable summary: per-status counts, throughput,
+//! and exact p50/p95/p99 latency percentiles. `--mixed` alternates valid
+//! and malformed QASM bodies (exercising the 400 path); `--hold-ms` holds
+//! each job on its worker (saturating small pools deterministically, the
+//! CI recipe for exercising 429s). Exits non-zero only on transport
+//! errors — 4xx/5xx responses are counted, not fatal.
+
+use qca_serve::client::Connection;
+use std::net::{SocketAddr, ToSocketAddrs};
+use std::process::ExitCode;
+use std::time::{Duration, Instant};
+
+const GOOD_QASM: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncx q[0], q[1];\n";
+const BAD_QASM: &str = "this is not qasm\n";
+
+struct Args {
+    addr: SocketAddr,
+    connections: usize,
+    requests: usize,
+    mixed: bool,
+    hold_ms: Option<u64>,
+    deadline_ms: Option<u64>,
+    objective: Option<String>,
+    timeout: Duration,
+}
+
+fn usage() -> &'static str {
+    "usage: qca-load --addr HOST:PORT [--connections N] [--requests M] [--mixed]\n\
+     \x20               [--hold-ms N] [--deadline-ms N] [--objective NAME] [--timeout-s N]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut addr = None;
+    let mut connections = 1usize;
+    let mut requests = 1usize;
+    let mut mixed = false;
+    let mut hold_ms = None;
+    let mut deadline_ms = None;
+    let mut objective = None;
+    let mut timeout = Duration::from_secs(60);
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            args.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match arg.as_str() {
+            "--addr" => {
+                let spec = value("--addr")?;
+                addr = Some(
+                    spec.to_socket_addrs()
+                        .map_err(|e| format!("cannot resolve {spec:?}: {e}"))?
+                        .next()
+                        .ok_or_else(|| format!("no address for {spec:?}"))?,
+                );
+            }
+            "--connections" => connections = parse(&value("--connections")?, "--connections")?,
+            "--requests" => requests = parse(&value("--requests")?, "--requests")?,
+            "--mixed" => mixed = true,
+            "--hold-ms" => hold_ms = Some(parse(&value("--hold-ms")?, "--hold-ms")?),
+            "--deadline-ms" => {
+                deadline_ms = Some(parse(&value("--deadline-ms")?, "--deadline-ms")?)
+            }
+            "--objective" => objective = Some(value("--objective")?),
+            "--timeout-s" => {
+                timeout = Duration::from_secs(parse(&value("--timeout-s")?, "--timeout-s")?)
+            }
+            "--help" | "-h" => {
+                println!("{}", usage());
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(Args {
+        addr: addr.ok_or_else(|| format!("--addr is required\n{}", usage()))?,
+        connections: connections.max(1),
+        requests: requests.max(1),
+        mixed,
+        hold_ms,
+        deadline_ms,
+        objective,
+        timeout,
+    })
+}
+
+fn parse<T: std::str::FromStr>(value: &str, name: &str) -> Result<T, String> {
+    value
+        .parse()
+        .map_err(|_| format!("bad value for {name}: {value:?}"))
+}
+
+fn target(args: &Args) -> String {
+    let mut params = Vec::new();
+    if let Some(ms) = args.hold_ms {
+        params.push(format!("hold_ms={ms}"));
+    }
+    if let Some(ms) = args.deadline_ms {
+        params.push(format!("deadline_ms={ms}"));
+    }
+    if let Some(objective) = &args.objective {
+        params.push(format!("objective={objective}"));
+    }
+    // Responses stay small: the load generator never needs the circuit.
+    params.push("circuit=0".to_string());
+    format!("/v1/adapt?{}", params.join("&"))
+}
+
+#[derive(Default)]
+struct Tally {
+    ok200: u64,
+    status400: u64,
+    rejected429: u64,
+    other: u64,
+    transport_errors: u64,
+    latencies: Vec<Duration>,
+}
+
+fn run_connection(args: &Args, target: &str, worker: usize) -> Tally {
+    let mut tally = Tally::default();
+    let mut connection = match Connection::connect(args.addr, args.timeout) {
+        Ok(connection) => connection,
+        Err(e) => {
+            eprintln!("qca-load: connection {worker}: {e}");
+            tally.transport_errors += 1;
+            return tally;
+        }
+    };
+    for i in 0..args.requests {
+        let body = if args.mixed && i % 2 == 1 {
+            BAD_QASM
+        } else {
+            GOOD_QASM
+        };
+        let t0 = Instant::now();
+        match connection.request("POST", target, body.as_bytes()) {
+            Ok(response) => {
+                tally.latencies.push(t0.elapsed());
+                match response.status {
+                    200 => tally.ok200 += 1,
+                    400 => tally.status400 += 1,
+                    429 => tally.rejected429 += 1,
+                    _ => tally.other += 1,
+                }
+            }
+            Err(e) => {
+                eprintln!("qca-load: connection {worker} request {i}: {e}");
+                tally.transport_errors += 1;
+                // The connection state is unknown after a failure; reconnect.
+                connection = match Connection::connect(args.addr, args.timeout) {
+                    Ok(connection) => connection,
+                    Err(_) => return tally,
+                };
+            }
+        }
+    }
+    tally
+}
+
+/// Exact percentile by rank over the sorted sample (nearest-rank method).
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("qca-load: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let target = target(&args);
+    let t0 = Instant::now();
+    let (args_ref, target_ref) = (&args, &target);
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..args_ref.connections)
+            .map(|worker| scope.spawn(move || run_connection(args_ref, target_ref, worker)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    let wall = t0.elapsed();
+
+    let mut total = Tally::default();
+    for tally in tallies {
+        total.ok200 += tally.ok200;
+        total.status400 += tally.status400;
+        total.rejected429 += tally.rejected429;
+        total.other += tally.other;
+        total.transport_errors += tally.transport_errors;
+        total.latencies.extend(tally.latencies);
+    }
+    total.latencies.sort();
+    let completed = total.latencies.len() as u64;
+    let rps = completed as f64 / wall.as_secs_f64().max(1e-9);
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    println!(
+        "requests={completed} ok200={} status400={} rejected429={} other={} errors={}",
+        total.ok200, total.status400, total.rejected429, total.other, total.transport_errors
+    );
+    println!("wall_s={:.3} throughput_rps={rps:.1}", wall.as_secs_f64());
+    println!(
+        "latency_ms p50={:.1} p95={:.1} p99={:.1} max={:.1}",
+        ms(percentile(&total.latencies, 0.50)),
+        ms(percentile(&total.latencies, 0.95)),
+        ms(percentile(&total.latencies, 0.99)),
+        ms(total.latencies.last().copied().unwrap_or_default()),
+    );
+    if total.transport_errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}

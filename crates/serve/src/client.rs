@@ -1,0 +1,188 @@
+//! Minimal blocking HTTP/1.1 client on `std::net`.
+//!
+//! Powers the `qca-load` load generator and the integration tests. One
+//! [`Connection`] holds one keep-alive TCP connection; requests are issued
+//! sequentially on it.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Why a client call failed.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure (connect, read, or write).
+    Io(io::Error),
+    /// The peer's bytes did not form a valid HTTP/1.1 response.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Malformed(msg) => write!(f, "malformed response: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// One parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpResponse {
+    /// Status code (200, 429, ...).
+    pub status: u16,
+    /// Header name/value pairs in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl HttpResponse {
+    /// The first header with the given name, case-insensitively.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The body as UTF-8 (lossy).
+    pub fn body_text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+/// A keep-alive connection to one server.
+#[derive(Debug)]
+pub struct Connection {
+    stream: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Connection {
+    /// Connects with the given timeout (also installed as the read/write
+    /// timeout for subsequent requests).
+    pub fn connect(addr: SocketAddr, timeout: Duration) -> Result<Connection, ClientError> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        Ok(Connection {
+            stream,
+            buf: Vec::new(),
+        })
+    }
+
+    /// Overrides the read timeout (e.g. for long-running adaptations).
+    pub fn set_read_timeout(&self, timeout: Duration) -> Result<(), ClientError> {
+        self.stream.set_read_timeout(Some(timeout))?;
+        Ok(())
+    }
+
+    /// Issues one request and reads the response. `target` is the raw
+    /// path-plus-query; `body` may be empty (e.g. for `GET`).
+    pub fn request(
+        &mut self,
+        method: &str,
+        target: &str,
+        body: &[u8],
+    ) -> Result<HttpResponse, ClientError> {
+        let head = format!(
+            "{method} {target} HTTP/1.1\r\nHost: qca-serve\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        self.stream.write_all(head.as_bytes())?;
+        self.stream.write_all(body)?;
+        self.read_response()
+    }
+
+    fn read_response(&mut self) -> Result<HttpResponse, ClientError> {
+        // Accumulate until the blank line ending the head is in the buffer.
+        let head_end = loop {
+            if let Some(end) = find_head_end(&self.buf) {
+                break end;
+            }
+            if self.buf.len() > 64 * 1024 {
+                return Err(ClientError::Malformed("response head too large"));
+            }
+            self.fill()?;
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
+        let mut lines = head.lines();
+        let status_line = lines.next().ok_or(ClientError::Malformed("empty head"))?;
+        let mut parts = status_line.splitn(3, ' ');
+        let version = parts.next().unwrap_or("");
+        if !version.starts_with("HTTP/1.") {
+            return Err(ClientError::Malformed("bad status line"));
+        }
+        let status: u16 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or(ClientError::Malformed("bad status code"))?;
+        let mut headers = Vec::new();
+        for line in lines {
+            if line.is_empty() {
+                break;
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or(ClientError::Malformed("bad header"))?;
+            headers.push((name.trim().to_string(), value.trim().to_string()));
+        }
+        let content_length: usize = headers
+            .iter()
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.parse().ok())
+            .ok_or(ClientError::Malformed("missing content-length"))?;
+        self.buf.drain(..head_end);
+        while self.buf.len() < content_length {
+            self.fill()?;
+        }
+        let body: Vec<u8> = self.buf.drain(..content_length).collect();
+        Ok(HttpResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+
+    fn fill(&mut self) -> Result<(), ClientError> {
+        let mut chunk = [0u8; 8192];
+        match self.stream.read(&mut chunk)? {
+            0 => Err(ClientError::Malformed("connection closed mid-response")),
+            n => {
+                self.buf.extend_from_slice(&chunk[..n]);
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Index just past the head-terminating blank line (`\r\n\r\n` or `\n\n`).
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .map(|i| i + 4)
+        .or_else(|| buf.windows(2).position(|w| w == b"\n\n").map(|i| i + 2))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn find_head_end_handles_both_conventions() {
+        assert_eq!(find_head_end(b"HTTP/1.1 200 OK\r\n\r\nbody"), Some(19));
+        assert_eq!(find_head_end(b"HTTP/1.1 200 OK\n\nbody"), Some(17));
+        assert_eq!(find_head_end(b"HTTP/1.1 200 OK\r\n"), None);
+    }
+}

@@ -1,0 +1,148 @@
+//! Minimal JSON rendering for API responses (no serde in this environment).
+
+use qca_circuit::qasm;
+use qca_engine::{AdaptReport, AuditOutcome};
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 8);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders one error object: `{"error":"..."}`.
+pub fn error_body(message: &str) -> String {
+    format!("{{\"error\":\"{}\"}}\n", escape(message))
+}
+
+/// Renders one [`AdaptReport`] as the `/v1/adapt` response object.
+///
+/// `optimal` is the wire-level contract for deadline semantics: a request
+/// whose deadline expired mid-search comes back `status: "feasible"` (best
+/// incumbent) or `status: "fallback"`, and in both cases `optimal` is
+/// `false`.
+pub fn report_to_json(id: &str, report: &AdaptReport, include_circuit: bool) -> String {
+    let mut out = String::with_capacity(256);
+    out.push('{');
+    push_kv(&mut out, "request_id", &format!("\"{}\"", escape(id)));
+    push_kv(&mut out, "status", &format!("\"{}\"", report.status));
+    push_kv(
+        &mut out,
+        "optimal",
+        if matches!(report.status, qca_engine::AdaptStatus::Optimal) {
+            "true"
+        } else {
+            "false"
+        },
+    );
+    push_kv(
+        &mut out,
+        "objective_value",
+        &report
+            .objective_value
+            .map_or_else(|| "null".to_string(), |v| v.to_string()),
+    );
+    push_kv(
+        &mut out,
+        "cache_hit",
+        if report.cache_hit { "true" } else { "false" },
+    );
+    push_kv(
+        &mut out,
+        "wall_ms",
+        &format!("{:.3}", report.wall.as_secs_f64() * 1e3),
+    );
+    push_kv(&mut out, "gates", &report.circuit.len().to_string());
+    push_kv(&mut out, "qubits", &report.circuit.num_qubits().to_string());
+    push_kv(
+        &mut out,
+        "error",
+        &report.error.as_ref().map_or_else(
+            || "null".to_string(),
+            |e| format!("\"{}\"", escape(&e.to_string())),
+        ),
+    );
+    push_kv(
+        &mut out,
+        "audit",
+        &match &report.audit {
+            None => "null".to_string(),
+            Some(AuditOutcome::Passed) => "\"passed\"".to_string(),
+            Some(AuditOutcome::Failed(msg)) => format!("\"failed: {}\"", escape(msg)),
+        },
+    );
+    let diags: Vec<String> = report
+        .diagnostics
+        .iter()
+        .map(|d| qca_lint::render_json(None, d))
+        .collect();
+    push_kv(&mut out, "diagnostics", &format!("[{}]", diags.join(",")));
+    if include_circuit {
+        push_kv(
+            &mut out,
+            "circuit_qasm",
+            &format!("\"{}\"", escape(&qasm::to_qasm(&report.circuit))),
+        );
+    }
+    // Remove the trailing comma push_kv left behind.
+    out.pop();
+    out.push('}');
+    out
+}
+
+fn push_kv(out: &mut String, key: &str, rendered_value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":");
+    out.push_str(rendered_value);
+    out.push(',');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qca_engine::AdaptStatus;
+    use std::time::Duration;
+
+    #[test]
+    fn escape_handles_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn report_json_is_well_formed_and_flags_optimality() {
+        let report = AdaptReport {
+            job: 0,
+            status: AdaptStatus::Feasible,
+            circuit: qca_circuit::Circuit::new(2),
+            objective_value: Some(42),
+            cache_hit: false,
+            wall: Duration::from_millis(7),
+            solver_stats: None,
+            error: None,
+            adaptation: None,
+            audit: Some(AuditOutcome::Passed),
+            diagnostics: Vec::new(),
+        };
+        let json = report_to_json("req-1", &report, true);
+        assert!(json.starts_with('{') && json.ends_with('}'));
+        assert!(json.contains("\"request_id\":\"req-1\""));
+        assert!(json.contains("\"status\":\"feasible\""));
+        assert!(json.contains("\"optimal\":false"));
+        assert!(json.contains("\"objective_value\":42"));
+        assert!(json.contains("\"audit\":\"passed\""));
+        assert!(json.contains("\"circuit_qasm\":\""));
+        assert!(!json.contains(",}"));
+    }
+}

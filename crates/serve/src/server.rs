@@ -1,0 +1,761 @@
+//! The HTTP server: routing, admission control, deadlines, drain.
+//!
+//! # Endpoints
+//!
+//! | Method | Path            | Purpose                                         |
+//! |--------|-----------------|-------------------------------------------------|
+//! | POST   | `/v1/adapt`     | Adapt one QASM circuit (body = QASM source)     |
+//! | POST   | `/v1/batch`     | Adapt several circuits (separated by `// ---`)  |
+//! | GET    | `/healthz`      | Liveness + drain state + queue occupancy        |
+//! | GET    | `/metrics`      | Server and engine metrics as JSON               |
+//! | GET    | `/v1/trace/:id` | Span/event trace of a `?trace=1` request (JSONL)|
+//!
+//! # Query parameters for `/v1/adapt` and `/v1/batch`
+//!
+//! * `objective=fidelity|idle|combined` — solver objective
+//! * `times=d0|d1` — hardware gate-time column
+//! * `exact=1` — run the search to proven optimality
+//! * `budget=N` — total SAT conflict cap
+//! * `deadline_ms=N` — wall-clock deadline: maps to a deterministic
+//!   conflict budget ([`AdaptLimits::for_deadline`]) *and* a watchdog-armed
+//!   cancellation flag; an expired deadline degrades the result
+//!   (`optimal=false`), it does not error
+//! * `verify=0|1`, `lint=0|1`, `deny_warnings=0|1` — per-request overrides
+//!   of the server-wide policy
+//! * `trace=1` — record this request's span forest, retrievable at
+//!   `/v1/trace/<request_id>`
+//! * `circuit=0` — omit the adapted QASM from the response
+//! * `hold_ms=N` — hold the worker for N ms before solving (load-testing
+//!   affordance used by `qca-load` and the drain CI gate; capped at 30 s)
+//!
+//! # Admission control and drain
+//!
+//! The submission queue is bounded. A request that finds it full is
+//! answered `429` with `Retry-After` immediately — the acceptor never
+//! blocks on solver capacity. On shutdown the server stops accepting
+//! connections, answers new adaptation requests on live connections with
+//! `503`, finishes every job already admitted, then flushes metrics. See
+//! `DESIGN.md` for the full state machine.
+
+use crate::http::{Request, RequestParser, Response, DEFAULT_MAX_HEAD};
+use crate::json;
+use qca_adapt::deadline::Watchdog;
+use qca_adapt::AdaptLimits;
+use qca_adapt::Objective;
+use qca_circuit::qasm;
+use qca_engine::{AdaptJob, AdaptReport, Engine, EngineConfig, EnginePool, JobPolicy, SubmitError};
+use qca_hw::{spin_qubit_model, GateTimes, HardwareModel};
+use qca_trace::{jsonl, MemorySink, ScopeGuard, ScopedSink, Tracer};
+use std::collections::VecDeque;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// How often blocked socket reads and the acceptor wake up to check the
+/// shutdown flag. Bounds drain latency for idle connections.
+const POLL: Duration = Duration::from_millis(50);
+
+/// Hard cap on the `hold_ms` load-testing affordance.
+const MAX_HOLD: Duration = Duration::from_secs(30);
+
+/// Server configuration. `Default` is suitable for tests and local runs
+/// (ephemeral port, one worker per CPU).
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address (`127.0.0.1:0` for an ephemeral port).
+    pub addr: String,
+    /// Solver worker threads (0: one per CPU).
+    pub workers: usize,
+    /// Bounded submission-queue capacity (jobs admitted but not started).
+    pub queue_capacity: usize,
+    /// Adaptation cache capacity (see [`EngineConfig::cache_capacity`]).
+    pub cache_capacity: usize,
+    /// Server-wide default for trust-but-verify audits.
+    pub verify: bool,
+    /// Server-wide default for the lint preflight.
+    pub lint: bool,
+    /// Server-wide default for warning escalation.
+    pub deny_warnings: bool,
+    /// Deadline applied to requests that do not pass `deadline_ms`.
+    pub default_deadline: Option<Duration>,
+    /// Hard cap on how long a connection waits for a pool completion
+    /// before answering `504` and cancelling the job.
+    pub request_timeout: Duration,
+    /// Budget for reading one request (head + body) off a connection.
+    pub read_timeout: Duration,
+    /// Socket write timeout.
+    pub write_timeout: Duration,
+    /// Maximum request body size in bytes.
+    pub max_body: usize,
+    /// How many `?trace=1` request traces the in-memory ring retains.
+    pub trace_capacity: usize,
+    /// Where to write the final metrics JSON during drain.
+    pub metrics_out: Option<PathBuf>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 0,
+            queue_capacity: 16,
+            cache_capacity: 256,
+            verify: false,
+            lint: false,
+            deny_warnings: false,
+            default_deadline: None,
+            request_timeout: Duration::from_secs(120),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            max_body: crate::http::DEFAULT_MAX_BODY,
+            trace_capacity: 64,
+            metrics_out: None,
+        }
+    }
+}
+
+/// Request/response counters for the HTTP layer (solver-side counters live
+/// in the engine's own [`MetricsRegistry`](qca_engine::metrics::MetricsRegistry)).
+#[derive(Debug, Default)]
+pub struct ServeMetrics {
+    /// Requests dispatched (any endpoint).
+    pub requests: AtomicU64,
+    /// `2xx` responses.
+    pub ok: AtomicU64,
+    /// `4xx` responses other than 429.
+    pub client_errors: AtomicU64,
+    /// `429` admission-control rejections.
+    pub rejected: AtomicU64,
+    /// `503` responses (draining).
+    pub unavailable: AtomicU64,
+    /// `504` request-timeout responses.
+    pub timeouts: AtomicU64,
+    /// `5xx` responses other than 503/504.
+    pub server_errors: AtomicU64,
+}
+
+impl ServeMetrics {
+    fn record(&self, status: u16) {
+        let counter = match status {
+            200..=299 => &self.ok,
+            429 => &self.rejected,
+            400..=499 => &self.client_errors,
+            503 => &self.unavailable,
+            504 => &self.timeouts,
+            _ => &self.server_errors,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Renders the counters as a JSON object.
+    pub fn to_json(&self) -> String {
+        let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        format!(
+            "{{\"requests\":{},\"ok\":{},\"client_errors\":{},\"rejected_429\":{},\
+             \"unavailable_503\":{},\"timeouts_504\":{},\"server_errors\":{}}}",
+            load(&self.requests),
+            load(&self.ok),
+            load(&self.client_errors),
+            load(&self.rejected),
+            load(&self.unavailable),
+            load(&self.timeouts),
+            load(&self.server_errors),
+        )
+    }
+}
+
+/// Bounded ring of per-request JSONL traces, served by `/v1/trace/:id`.
+#[derive(Debug)]
+struct TraceStore {
+    ring: Mutex<VecDeque<(String, String)>>,
+    capacity: usize,
+}
+
+impl TraceStore {
+    fn new(capacity: usize) -> TraceStore {
+        TraceStore {
+            ring: Mutex::new(VecDeque::new()),
+            capacity,
+        }
+    }
+
+    fn insert(&self, id: String, trace: String) {
+        if self.capacity == 0 {
+            return;
+        }
+        let mut ring = self.ring.lock().expect("trace store poisoned");
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back((id, trace));
+    }
+
+    fn get(&self, id: &str) -> Option<String> {
+        let ring = self.ring.lock().expect("trace store poisoned");
+        ring.iter().find(|(k, _)| k == id).map(|(_, v)| v.clone())
+    }
+}
+
+/// Per-request knobs decoded from the query string.
+struct RequestOptions {
+    objective: Objective,
+    times: GateTimes,
+    exact: bool,
+    budget: Option<u64>,
+    deadline: Option<Duration>,
+    policy: JobPolicy,
+    trace: bool,
+    include_circuit: bool,
+    hold: Duration,
+}
+
+/// The adaptation service. Construct with [`Server::bind`], then [`run`]
+/// until a shutdown flag is raised.
+///
+/// [`run`]: Server::run
+#[derive(Debug)]
+pub struct Server {
+    config: ServeConfig,
+    listener: TcpListener,
+    engine: Arc<Engine>,
+    pool: EnginePool,
+    watchdog: Watchdog,
+    hw_d0: Arc<HardwareModel>,
+    hw_d1: Arc<HardwareModel>,
+    metrics: Arc<ServeMetrics>,
+    traces: TraceStore,
+    tracer: Tracer,
+    next_id: AtomicU64,
+    draining: AtomicBool,
+}
+
+impl Server {
+    /// Binds the listener and starts the worker pool (idle until requests
+    /// arrive). The engine's tracer is a [`ScopedSink`], so span forests
+    /// land in per-request buffers for `?trace=1` requests and are
+    /// discarded otherwise — while `engine.*`/`serve.*` counters always
+    /// feed the metrics registry.
+    pub fn bind(config: ServeConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let tracer = Tracer::new(Arc::new(ScopedSink::new()));
+        let engine = Arc::new(Engine::new(EngineConfig {
+            workers: config.workers,
+            cache_capacity: config.cache_capacity,
+            job_conflict_budget: None,
+            job_timeout: None,
+            tracer: tracer.clone(),
+            verify: config.verify,
+            lint: config.lint,
+            deny_warnings: config.deny_warnings,
+        }));
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            config.workers
+        };
+        let pool = EnginePool::new(engine.clone(), workers, config.queue_capacity);
+        // serve.request spans go through the engine's teed tracer so the
+        // metrics registry sees them alongside engine.* events.
+        let tracer = engine.tracer().clone();
+        Ok(Server {
+            traces: TraceStore::new(config.trace_capacity),
+            config,
+            listener,
+            engine,
+            pool,
+            watchdog: Watchdog::new(),
+            hw_d0: Arc::new(spin_qubit_model(GateTimes::D0)),
+            hw_d1: Arc::new(spin_qubit_model(GateTimes::D1)),
+            metrics: Arc::new(ServeMetrics::default()),
+            tracer,
+            next_id: AtomicU64::new(0),
+            draining: AtomicBool::new(false),
+        })
+    }
+
+    /// The bound address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// The HTTP-layer metrics.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Serves until `shutdown` becomes `true`, then drains: stop accepting,
+    /// let in-flight requests and admitted jobs finish, join the pool, and
+    /// write the final metrics JSON (when configured). Returns once the
+    /// drain is complete.
+    pub fn run(mut self, shutdown: &AtomicBool) -> io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let this = &self;
+        std::thread::scope(|scope| {
+            while !shutdown.load(Ordering::SeqCst) {
+                match this.listener.accept() {
+                    Ok((stream, _peer)) => {
+                        scope.spawn(move || this.handle_connection(stream, shutdown));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => std::thread::sleep(POLL),
+                }
+            }
+            // Entering drain: connection threads answer new adaptation
+            // requests with 503 from here on, finish their in-flight one,
+            // and exit at the scope join below.
+            this.draining.store(true, Ordering::SeqCst);
+        });
+        // All connections are closed; finish every admitted job.
+        self.pool.drain();
+        if let Some(path) = &self.config.metrics_out {
+            std::fs::write(path, self.metrics_json() + "\n")?;
+        }
+        Ok(())
+    }
+
+    /// The `/metrics` payload: HTTP counters plus the engine registry.
+    pub fn metrics_json(&self) -> String {
+        format!(
+            "{{\"server\":{},\"engine\":{}}}",
+            self.metrics.to_json(),
+            self.engine.metrics().to_json()
+        )
+    }
+
+    fn handle_connection(&self, mut stream: TcpStream, shutdown: &AtomicBool) {
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(Some(POLL));
+        let _ = stream.set_write_timeout(Some(self.config.write_timeout));
+        let mut parser = RequestParser::with_limits(DEFAULT_MAX_HEAD, self.config.max_body);
+        loop {
+            let request = match self.read_request(&mut stream, &mut parser, shutdown) {
+                Ok(Some(request)) => request,
+                Ok(None) => return,
+                Err(response) => {
+                    self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+                    self.metrics.record(response.status);
+                    let _ = stream.write_all(&response.serialize(false));
+                    return;
+                }
+            };
+            let keep_alive = request.wants_keep_alive() && !shutdown.load(Ordering::SeqCst);
+            let response = self.dispatch(&request);
+            self.metrics.record(response.status);
+            if stream.write_all(&response.serialize(keep_alive)).is_err() {
+                return;
+            }
+            if !keep_alive {
+                return;
+            }
+        }
+    }
+
+    /// Reads one request. `Ok(None)` means the connection should close
+    /// quietly (EOF between requests, peer error, or shutdown while idle);
+    /// `Err(response)` carries the error response to send before closing.
+    fn read_request(
+        &self,
+        stream: &mut TcpStream,
+        parser: &mut RequestParser,
+        shutdown: &AtomicBool,
+    ) -> Result<Option<Request>, Response> {
+        // A pipelined request may already be buffered in full.
+        match parser.feed(&[]) {
+            Ok(Some(request)) => return Ok(Some(request)),
+            Ok(None) => {}
+            Err(e) => return Err(Response::json(e.status(), json::error_body(&e.to_string()))),
+        }
+        let mut buf = [0u8; 8192];
+        let mut started: Option<Instant> = None;
+        loop {
+            if parser.is_idle() && shutdown.load(Ordering::SeqCst) {
+                return Ok(None);
+            }
+            if let Some(t0) = started {
+                if t0.elapsed() > self.config.read_timeout {
+                    return Err(Response::json(
+                        408,
+                        json::error_body("timed out reading the request"),
+                    ));
+                }
+            }
+            match stream.read(&mut buf) {
+                Ok(0) => return Ok(None),
+                Ok(n) => {
+                    started.get_or_insert_with(Instant::now);
+                    match parser.feed(&buf[..n]) {
+                        Ok(Some(request)) => return Ok(Some(request)),
+                        Ok(None) => {}
+                        Err(e) => {
+                            return Err(Response::json(
+                                e.status(),
+                                json::error_body(&e.to_string()),
+                            ))
+                        }
+                    }
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock
+                            | io::ErrorKind::TimedOut
+                            | io::ErrorKind::Interrupted
+                    ) => {}
+                Err(_) => return Ok(None),
+            }
+        }
+    }
+
+    fn dispatch(&self, request: &Request) -> Response {
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        match (request.method.as_str(), request.path()) {
+            ("GET", "/healthz") => self.healthz(),
+            ("GET", "/metrics") => Response::json(200, self.metrics_json() + "\n"),
+            ("GET", path) if path.starts_with("/v1/trace/") => {
+                let id = &path["/v1/trace/".len()..];
+                match self.traces.get(id) {
+                    Some(trace) => Response::new(200)
+                        .with_header("Content-Type", "application/x-ndjson")
+                        .with_body(trace.into_bytes()),
+                    None => Response::json(404, json::error_body("no trace for that id")),
+                }
+            }
+            ("POST", "/v1/adapt") => self.adapt(request, false),
+            ("POST", "/v1/batch") => self.adapt(request, true),
+            (_, "/healthz" | "/metrics" | "/v1/adapt" | "/v1/batch") => {
+                Response::json(405, json::error_body("method not allowed"))
+            }
+            (_, path) if path.starts_with("/v1/trace/") => {
+                Response::json(405, json::error_body("method not allowed"))
+            }
+            _ => Response::json(404, json::error_body("no such endpoint")),
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        let state = if self.draining.load(Ordering::SeqCst) {
+            "draining"
+        } else {
+            "running"
+        };
+        Response::json(
+            200,
+            format!(
+                "{{\"status\":\"ok\",\"state\":\"{state}\",\"queued\":{},\"queue_capacity\":{}}}\n",
+                self.pool.queued(),
+                self.pool.capacity(),
+            ),
+        )
+    }
+
+    fn request_options(&self, request: &Request) -> Result<RequestOptions, Response> {
+        let bad = |msg: String| Response::json(400, json::error_body(&msg));
+        let parse_bool = |name: &str, default: bool| -> Result<bool, Response> {
+            match request.query_param(name) {
+                None => Ok(default),
+                Some("1") | Some("true") => Ok(true),
+                Some("0") | Some("false") => Ok(false),
+                Some(other) => Err(bad(format!("bad boolean for {name}: {other:?}"))),
+            }
+        };
+        let parse_u64 = |name: &str| -> Result<Option<u64>, Response> {
+            match request.query_param(name) {
+                None => Ok(None),
+                Some(v) => v
+                    .parse::<u64>()
+                    .map(Some)
+                    .map_err(|_| bad(format!("bad integer for {name}: {v:?}"))),
+            }
+        };
+        let objective = match request.query_param("objective") {
+            None | Some("fidelity") => Objective::Fidelity,
+            Some("idle") => Objective::IdleTime,
+            Some("combined") => Objective::Combined,
+            Some(other) => return Err(bad(format!("unknown objective {other:?}"))),
+        };
+        let times = match request.query_param("times") {
+            None | Some("d0") => GateTimes::D0,
+            Some("d1") => GateTimes::D1,
+            Some(other) => return Err(bad(format!("unknown times column {other:?}"))),
+        };
+        let deadline = match parse_u64("deadline_ms")? {
+            Some(ms) => Some(Duration::from_millis(ms.max(1))),
+            None => self.config.default_deadline,
+        };
+        let deny_warnings = parse_bool("deny_warnings", self.config.deny_warnings)?;
+        Ok(RequestOptions {
+            objective,
+            times,
+            exact: parse_bool("exact", false)?,
+            budget: parse_u64("budget")?,
+            deadline,
+            policy: JobPolicy {
+                verify: parse_bool("verify", self.config.verify)?,
+                lint: parse_bool("lint", self.config.lint || deny_warnings)?,
+                deny_warnings,
+            },
+            trace: parse_bool("trace", false)?,
+            include_circuit: parse_bool("circuit", true)?,
+            hold: Duration::from_millis(parse_u64("hold_ms")?.unwrap_or(0)).min(MAX_HOLD),
+        })
+    }
+
+    /// `POST /v1/adapt` and `POST /v1/batch`.
+    fn adapt(&self, request: &Request, batch: bool) -> Response {
+        if self.draining.load(Ordering::SeqCst) {
+            return Response::json(503, json::error_body("server is draining"));
+        }
+        let id = format!("req-{}", self.next_id.fetch_add(1, Ordering::SeqCst) + 1);
+        let options = match self.request_options(request) {
+            Ok(options) => options,
+            Err(response) => return response,
+        };
+        let body = match std::str::from_utf8(&request.body) {
+            Ok(text) => text,
+            Err(_) => return Response::json(400, json::error_body("body is not UTF-8")),
+        };
+        let sources: Vec<String> = if batch {
+            split_batch(body)
+        } else {
+            vec![body.to_string()]
+        };
+        if sources.is_empty() {
+            return Response::json(400, json::error_body("empty request body"));
+        }
+        let mut jobs = Vec::with_capacity(sources.len());
+        for (index, source) in sources.iter().enumerate() {
+            match qasm::parse_qasm(source) {
+                Ok(circuit) => jobs.push(circuit),
+                Err(e) => {
+                    let msg = if batch {
+                        format!("circuit {index}: {e}")
+                    } else {
+                        e.to_string()
+                    };
+                    return Response::json(400, json::error_body(&msg));
+                }
+            }
+        }
+
+        let trace_sink = options.trace.then(|| Arc::new(MemorySink::new()));
+        let response = {
+            // Everything recorded on this thread while the guard lives —
+            // including the serve.request root span dropping — lands in the
+            // request's buffer; counters always reach the metrics registry
+            // through the tracer's tee.
+            let _scope = enter_scope(trace_sink.as_ref());
+            let mut root = self.tracer.span_with("serve.request", || {
+                format!("id={id} path={}", request.path())
+            });
+            self.tracer.counter("serve.requests", 1);
+            let response = self.solve(&id, jobs, &options, batch, trace_sink.as_ref());
+            root.set_note(response.status.to_string());
+            response
+        };
+        if let Some(sink) = trace_sink {
+            self.traces.insert(id, jsonl::to_jsonl_string(&sink.take()));
+        }
+        response
+    }
+
+    /// Submits the parsed circuits through the pool and waits for their
+    /// completions (or the request timeout).
+    fn solve(
+        &self,
+        id: &str,
+        circuits: Vec<qca_circuit::Circuit>,
+        options: &RequestOptions,
+        batch: bool,
+        trace_sink: Option<&Arc<MemorySink>>,
+    ) -> Response {
+        let hw = match options.times {
+            GateTimes::D0 => self.hw_d0.clone(),
+            GateTimes::D1 => self.hw_d1.clone(),
+        };
+        let total = circuits.len();
+        let (tx, rx) = mpsc::channel::<(usize, AdaptReport)>();
+        let mut cancels: Vec<Arc<AtomicBool>> = Vec::new();
+        let mut submitted = 0usize;
+        for (index, circuit) in circuits.into_iter().enumerate() {
+            let mut job = AdaptJob::new(circuit);
+            job.options.objective = options.objective;
+            job.options.exact = options.exact;
+            // Deadline → deterministic conflict budget; an explicit budget
+            // param wins. The wall-clock side is the watchdog-armed flag.
+            job.limits.total_conflicts = match (options.budget, options.deadline) {
+                (Some(budget), _) => Some(budget),
+                (None, Some(deadline)) => AdaptLimits::for_deadline(deadline, None).total_conflicts,
+                (None, None) => None,
+            };
+            if let Some(deadline) = options.deadline {
+                let flag = self.watchdog.arm(Instant::now() + options.hold + deadline);
+                cancels.push(flag.clone());
+                job.cancel = Some(flag);
+            } else {
+                let flag = Arc::new(AtomicBool::new(false));
+                cancels.push(flag.clone());
+                job.cancel = Some(flag);
+            }
+            let tx = tx.clone();
+            let hw = hw.clone();
+            let policy = options.policy;
+            let hold = options.hold;
+            let sink = trace_sink.cloned();
+            let outcome = self.pool.try_submit_task(move |engine| {
+                // Enter the request's trace scope on the worker thread, so
+                // the engine's spans join the request's forest.
+                let _scope = enter_scope(sink.as_ref());
+                if !hold.is_zero() {
+                    std::thread::sleep(hold);
+                }
+                let report = engine.adapt_one_with(&hw, &job, policy);
+                let _ = tx.send((index, report));
+            });
+            match outcome {
+                Ok(()) => submitted += 1,
+                Err(SubmitError::QueueFull) => {
+                    self.tracer.counter("serve.rejected", 1);
+                    if !batch {
+                        return Response::json(429, json::error_body("submission queue is full"))
+                            .with_header("Retry-After", "1");
+                    }
+                    // Batch: the item keeps its `None` report slot and is
+                    // reported as rejected in the results array.
+                }
+                Err(SubmitError::ShuttingDown) => {
+                    return Response::json(503, json::error_body("server is draining"));
+                }
+            }
+        }
+        drop(tx);
+        if batch && submitted == 0 {
+            return Response::json(429, json::error_body("submission queue is full"))
+                .with_header("Retry-After", "1");
+        }
+
+        let mut reports: Vec<Option<AdaptReport>> = (0..total).map(|_| None).collect();
+        let wait_deadline = Instant::now() + self.config.request_timeout;
+        for _ in 0..submitted {
+            let remaining = wait_deadline.saturating_duration_since(Instant::now());
+            match rx.recv_timeout(remaining) {
+                Ok((index, report)) => reports[index] = Some(report),
+                Err(_) => {
+                    // Give up on this request: cancel whatever is still
+                    // running or queued so the pool frees up quickly.
+                    for flag in &cancels {
+                        flag.store(true, Ordering::SeqCst);
+                    }
+                    self.tracer.counter("serve.request_timeouts", 1);
+                    return Response::json(504, json::error_body("request timed out"));
+                }
+            }
+        }
+
+        if batch {
+            let mut items = Vec::with_capacity(total);
+            for (index, slot) in reports.into_iter().enumerate() {
+                match slot {
+                    Some(report) => items.push(json::report_to_json(
+                        &format!("{id}.{index}"),
+                        &report,
+                        options.include_circuit,
+                    )),
+                    None => items.push(format!(
+                        "{{\"request_id\":\"{id}.{index}\",\"error\":\"submission queue is full\"}}"
+                    )),
+                }
+            }
+            // Partially-admitted batches still answer 200; the rejected
+            // items carry their own error entries in `results`.
+            Response::json(
+                200,
+                format!(
+                    "{{\"request_id\":\"{}\",\"results\":[{}]}}\n",
+                    json::escape(id),
+                    items.join(",")
+                ),
+            )
+        } else {
+            let report = reports.into_iter().next().flatten().expect("one report");
+            Response::json(
+                200,
+                json::report_to_json(id, &report, options.include_circuit) + "\n",
+            )
+        }
+    }
+}
+
+/// Enters the per-request trace scope when the request asked for tracing.
+/// (`ScopedSink::enter` takes `Arc<dyn TraceSink>`; the unsize coercion
+/// happens at this call site.)
+fn enter_scope(sink: Option<&Arc<MemorySink>>) -> Option<ScopeGuard> {
+    sink.map(|s| ScopedSink::enter(s.clone()))
+}
+
+/// Splits a `/v1/batch` body into individual QASM programs on `// ---`
+/// separator lines. Blank-only segments are dropped.
+fn split_batch(body: &str) -> Vec<String> {
+    let mut out = vec![String::new()];
+    for line in body.lines() {
+        if line.trim() == "// ---" {
+            out.push(String::new());
+        } else {
+            let current = out.last_mut().expect("nonempty");
+            current.push_str(line);
+            current.push('\n');
+        }
+    }
+    out.retain(|s| !s.trim().is_empty());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_batch_on_separator_lines() {
+        let body = "OPENQASM 2.0;\nqreg q[1];\n// ---\nOPENQASM 2.0;\nqreg q[2];\n";
+        let parts = split_batch(body);
+        assert_eq!(parts.len(), 2);
+        assert!(parts[0].contains("q[1]"));
+        assert!(parts[1].contains("q[2]"));
+        assert_eq!(split_batch("\n// ---\n\n").len(), 0);
+        assert_eq!(split_batch("qreg q[1];").len(), 1);
+    }
+
+    #[test]
+    fn trace_store_is_a_bounded_ring() {
+        let store = TraceStore::new(2);
+        store.insert("a".into(), "1".into());
+        store.insert("b".into(), "2".into());
+        store.insert("c".into(), "3".into());
+        assert_eq!(store.get("a"), None);
+        assert_eq!(store.get("b").as_deref(), Some("2"));
+        assert_eq!(store.get("c").as_deref(), Some("3"));
+        let disabled = TraceStore::new(0);
+        disabled.insert("a".into(), "1".into());
+        assert_eq!(disabled.get("a"), None);
+    }
+
+    #[test]
+    fn serve_metrics_classify_statuses() {
+        let m = ServeMetrics::default();
+        for status in [200, 200, 400, 429, 503, 504, 500] {
+            m.record(status);
+        }
+        let json = m.to_json();
+        assert!(json.contains("\"ok\":2"), "{json}");
+        assert!(json.contains("\"client_errors\":1"), "{json}");
+        assert!(json.contains("\"rejected_429\":1"), "{json}");
+        assert!(json.contains("\"unavailable_503\":1"), "{json}");
+        assert!(json.contains("\"timeouts_504\":1"), "{json}");
+        assert!(json.contains("\"server_errors\":1"), "{json}");
+    }
+}

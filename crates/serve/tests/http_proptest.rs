@@ -1,0 +1,141 @@
+//! Property tests for the incremental HTTP parser: no panic on arbitrary
+//! input, and read-boundary independence — a valid message parses to the
+//! same [`Request`] no matter how the bytes are split across `feed` calls.
+
+use proptest::prelude::*;
+use qca_serve::http::{Request, RequestParser};
+
+/// Parses `raw` in one `feed` call.
+fn parse_whole(raw: &[u8]) -> Option<Request> {
+    let mut parser = RequestParser::new();
+    parser.feed(raw).expect("reference message must be valid")
+}
+
+/// Parses `raw` fed in chunks whose sizes cycle through `cuts`.
+fn parse_chunked(raw: &[u8], cuts: &[usize]) -> Option<Request> {
+    let mut parser = RequestParser::new();
+    let mut offset = 0;
+    let mut cut_index = 0;
+    while offset < raw.len() {
+        let size = if cuts.is_empty() {
+            raw.len()
+        } else {
+            cuts[cut_index % cuts.len()].max(1)
+        };
+        cut_index += 1;
+        let end = (offset + size).min(raw.len());
+        if let Some(request) = parser
+            .feed(&raw[offset..end])
+            .expect("valid message must stay valid under splitting")
+        {
+            return Some(request);
+        }
+        offset = end;
+    }
+    None
+}
+
+/// One valid request rendered to raw bytes.
+fn render(method: &str, target: &str, body: &[u8], chunked: bool) -> Vec<u8> {
+    let mut raw = Vec::new();
+    if chunked {
+        raw.extend_from_slice(
+            format!(
+                "{method} {target} HTTP/1.1\r\nHost: test\r\nTransfer-Encoding: chunked\r\n\r\n"
+            )
+            .as_bytes(),
+        );
+        // Split the body into up-to-7-byte chunks so multi-chunk framing is
+        // exercised even for short bodies.
+        for piece in body.chunks(7) {
+            raw.extend_from_slice(format!("{:x}\r\n", piece.len()).as_bytes());
+            raw.extend_from_slice(piece);
+            raw.extend_from_slice(b"\r\n");
+        }
+        raw.extend_from_slice(b"0\r\n\r\n");
+    } else {
+        raw.extend_from_slice(
+            format!(
+                "{method} {target} HTTP/1.1\r\nHost: test\r\nContent-Length: {}\r\n\r\n",
+                body.len()
+            )
+            .as_bytes(),
+        );
+        raw.extend_from_slice(body);
+    }
+    raw
+}
+
+fn method_strategy() -> impl Strategy<Value = &'static str> {
+    prop_oneof![Just("GET"), Just("POST"), Just("PUT"), Just("DELETE")]
+}
+
+fn target_strategy() -> impl Strategy<Value = &'static str> {
+    prop_oneof![
+        Just("/"),
+        Just("/healthz"),
+        Just("/v1/adapt"),
+        Just("/v1/adapt?objective=idle&deadline_ms=50"),
+        Just("/v1/trace/req-7"),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn any_split_parses_identically(
+        method in method_strategy(),
+        target in target_strategy(),
+        body in collection::vec(0u8..=255, 0..200),
+        chunked in any::<bool>(),
+        cuts in collection::vec(1usize..20, 0..40),
+    ) {
+        let raw = render(method, target, &body, chunked);
+        let whole = parse_whole(&raw).expect("complete message must parse");
+        prop_assert_eq!(whole.method.as_str(), method);
+        prop_assert_eq!(whole.target.as_str(), target);
+        prop_assert_eq!(&whole.body, &body);
+        let split = parse_chunked(&raw, &cuts).expect("split message must parse");
+        prop_assert_eq!(whole, split);
+    }
+
+    #[test]
+    fn arbitrary_bytes_never_panic(
+        bytes in collection::vec(0u8..=255, 0..1024),
+        cuts in collection::vec(1usize..64, 1..16),
+    ) {
+        // feed() must always return — Ok or Err, never panic or spin. Two
+        // parsers: one fed whole, one fed in chunks (stopping at the first
+        // error, as a real connection would).
+        let mut parser = RequestParser::new();
+        let _ = parser.feed(&bytes);
+        let mut parser = RequestParser::new();
+        let mut offset = 0;
+        let mut cut_index = 0;
+        while offset < bytes.len() {
+            let end = (offset + cuts[cut_index % cuts.len()]).min(bytes.len());
+            cut_index += 1;
+            if parser.feed(&bytes[offset..end]).is_err() {
+                break;
+            }
+            offset = end;
+        }
+    }
+
+    #[test]
+    fn malformed_request_line_is_an_error_not_a_hang(
+        junk in collection::vec(32u8..127, 1..64),
+    ) {
+        // A request line starting with '%' can never be a valid method, so
+        // completing the head must produce Err — the connection answers 400
+        // instead of waiting forever.
+        let mut raw = b"%".to_vec();
+        raw.extend_from_slice(&junk);
+        // Strip any CR/LF the junk contributed, then terminate the head.
+        raw.retain(|&b| b != b'\r' && b != b'\n');
+        raw.extend_from_slice(b"\r\n\r\n");
+        let mut parser = RequestParser::new();
+        prop_assert!(parser.feed(&raw).is_err());
+    }
+}

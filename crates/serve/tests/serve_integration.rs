@@ -1,0 +1,286 @@
+//! End-to-end tests: a real `Server` on an ephemeral port, driven through
+//! the blocking client. Covers the happy path, parse errors, admission
+//! control (429), per-request deadlines degrading (not failing) the
+//! answer, request tracing, batch requests, and graceful drain.
+
+use qca_serve::client::Connection;
+use qca_serve::{ServeConfig, Server};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const GOOD_QASM: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncx q[0], q[1];\n";
+
+/// A circuit large enough that its solve cannot finish within a
+/// millisecond-scale deadline (distinct per test via `seed` so the
+/// engine's cache cannot short-circuit it).
+fn big_qasm(seed: usize) -> String {
+    let mut qasm = String::from("OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[5];\n");
+    for i in 0..48 {
+        let a = (i + seed) % 5;
+        let b = (i + seed + 1) % 5;
+        qasm.push_str(&format!("cx q[{a}], q[{b}];\n"));
+    }
+    qasm
+}
+
+struct TestServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: JoinHandle<std::io::Result<()>>,
+}
+
+impl TestServer {
+    fn start(config: ServeConfig) -> TestServer {
+        let server = Server::bind(config).expect("bind ephemeral port");
+        let addr = server.local_addr().expect("local addr");
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let flag = shutdown.clone();
+        let handle = std::thread::spawn(move || server.run(&flag));
+        TestServer {
+            addr,
+            shutdown,
+            handle,
+        }
+    }
+
+    fn connect(&self) -> Connection {
+        Connection::connect(self.addr, Duration::from_secs(60)).expect("connect")
+    }
+
+    fn stop(self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.handle
+            .join()
+            .expect("server thread")
+            .expect("clean drain");
+    }
+}
+
+fn small_config() -> ServeConfig {
+    ServeConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServeConfig::default()
+    }
+}
+
+/// Pulls `"request_id":"..."` out of a response body.
+fn request_id(body: &str) -> String {
+    let start = body
+        .find("\"request_id\":\"")
+        .expect("request_id in response")
+        + "\"request_id\":\"".len();
+    body[start..].chars().take_while(|&c| c != '"').collect()
+}
+
+#[test]
+fn adapt_roundtrip_and_errors() {
+    let server = TestServer::start(small_config());
+    let mut connection = server.connect();
+
+    // Happy path: valid QASM adapts to a native circuit.
+    let ok = connection
+        .request("POST", "/v1/adapt", GOOD_QASM.as_bytes())
+        .expect("adapt request");
+    assert_eq!(ok.status, 200, "{}", ok.body_text());
+    let body = ok.body_text();
+    assert!(body.contains("\"status\":"), "{body}");
+    assert!(body.contains("\"circuit_qasm\":"), "{body}");
+
+    // Malformed QASM: 400 with a JSON error, connection stays usable.
+    let bad = connection
+        .request("POST", "/v1/adapt", b"this is not qasm\n")
+        .expect("bad request");
+    assert_eq!(bad.status, 400, "{}", bad.body_text());
+    assert!(bad.body_text().contains("\"error\""), "{}", bad.body_text());
+
+    // Bad query parameter: also 400.
+    let bad_param = connection
+        .request("POST", "/v1/adapt?objective=bogus", GOOD_QASM.as_bytes())
+        .expect("bad param request");
+    assert_eq!(bad_param.status, 400);
+
+    // Unknown path: 404; wrong method: 405.
+    assert_eq!(connection.request("GET", "/nope", b"").unwrap().status, 404);
+    assert_eq!(
+        connection.request("PUT", "/v1/adapt", b"").unwrap().status,
+        405
+    );
+
+    // Health endpoint.
+    let health = connection.request("GET", "/healthz", b"").unwrap();
+    assert_eq!(health.status, 200);
+    assert!(health.body_text().contains("\"state\":\"running\""));
+
+    // Metrics show both layers.
+    let metrics = connection.request("GET", "/metrics", b"").unwrap();
+    assert_eq!(metrics.status, 200);
+    let text = metrics.body_text();
+    assert!(text.contains("\"server\":"), "{text}");
+    assert!(text.contains("\"engine\":"), "{text}");
+
+    server.stop();
+}
+
+#[test]
+fn full_queue_answers_429_without_blocking() {
+    let server = TestServer::start(small_config());
+
+    // Occupy the single worker for a while...
+    let addr = server.addr;
+    let holder = std::thread::spawn(move || {
+        let mut connection = Connection::connect(addr, Duration::from_secs(60)).unwrap();
+        connection
+            .request("POST", "/v1/adapt?hold_ms=1500", GOOD_QASM.as_bytes())
+            .expect("held request")
+            .status
+    });
+    std::thread::sleep(Duration::from_millis(300));
+    // ...fill the queue (capacity 1)...
+    let filler = std::thread::spawn(move || {
+        let mut connection = Connection::connect(addr, Duration::from_secs(60)).unwrap();
+        connection
+            .request("POST", "/v1/adapt", GOOD_QASM.as_bytes())
+            .expect("queued request")
+            .status
+    });
+    std::thread::sleep(Duration::from_millis(300));
+
+    // ...and the next submission must be rejected immediately.
+    let mut connection = server.connect();
+    let t0 = Instant::now();
+    let rejected = connection
+        .request("POST", "/v1/adapt", GOOD_QASM.as_bytes())
+        .expect("rejected request");
+    assert_eq!(rejected.status, 429, "{}", rejected.body_text());
+    assert_eq!(rejected.header("Retry-After"), Some("1"));
+    assert!(
+        t0.elapsed() < Duration::from_millis(500),
+        "429 must not wait for capacity (took {:?})",
+        t0.elapsed()
+    );
+
+    assert_eq!(holder.join().unwrap(), 200);
+    assert_eq!(filler.join().unwrap(), 200);
+    server.stop();
+}
+
+#[test]
+fn deadline_degrades_the_answer_instead_of_failing() {
+    let server = TestServer::start(ServeConfig {
+        workers: 1,
+        queue_capacity: 4,
+        ..ServeConfig::default()
+    });
+    let mut connection = server.connect();
+
+    let deadline = Duration::from_millis(1);
+    let t0 = Instant::now();
+    let response = connection
+        .request(
+            "POST",
+            "/v1/adapt?deadline_ms=1&exact=1",
+            big_qasm(1).as_bytes(),
+        )
+        .expect("deadline request");
+    let elapsed = t0.elapsed();
+    assert_eq!(response.status, 200, "{}", response.body_text());
+    let body = response.body_text();
+    // A 48-gate solve cannot finish within 1ms: the answer is the best
+    // incumbent (feasible) or a fallback — never an error, never optimal.
+    assert!(body.contains("\"optimal\":false"), "{body}");
+    assert!(
+        body.contains("\"status\":\"feasible\"") || body.contains("\"status\":\"fallback\""),
+        "{body}"
+    );
+    // Cancellation is cooperative but prompt: well within 2x the deadline
+    // plus scheduling slack.
+    assert!(
+        elapsed < deadline * 2 + Duration::from_secs(1),
+        "deadline request took {elapsed:?}"
+    );
+    server.stop();
+}
+
+#[test]
+fn trace_records_the_request_span_forest() {
+    let server = TestServer::start(small_config());
+    let mut connection = server.connect();
+    let response = connection
+        .request("POST", "/v1/adapt?trace=1", GOOD_QASM.as_bytes())
+        .expect("traced request");
+    assert_eq!(response.status, 200);
+    let id = request_id(&response.body_text());
+    let trace = connection
+        .request("GET", &format!("/v1/trace/{id}"), b"")
+        .expect("trace fetch");
+    assert_eq!(trace.status, 200, "{}", trace.body_text());
+    let text = trace.body_text();
+    assert!(text.contains("serve.request"), "{text}");
+    assert!(text.contains("engine.job"), "{text}");
+
+    // Unknown ids are a 404, and untraced requests record nothing.
+    let missing = connection
+        .request("GET", "/v1/trace/req-99999", b"")
+        .unwrap();
+    assert_eq!(missing.status, 404);
+    server.stop();
+}
+
+#[test]
+fn batch_adapts_several_circuits() {
+    let server = TestServer::start(ServeConfig {
+        workers: 2,
+        queue_capacity: 8,
+        ..ServeConfig::default()
+    });
+    let mut connection = server.connect();
+    let body = format!("{GOOD_QASM}// ---\n{}", big_qasm(2));
+    let response = connection
+        .request("POST", "/v1/batch?circuit=0", body.as_bytes())
+        .expect("batch request");
+    assert_eq!(response.status, 200, "{}", response.body_text());
+    let text = response.body_text();
+    assert_eq!(text.matches("\"status\":").count(), 2, "{text}");
+    server.stop();
+}
+
+#[test]
+fn drain_finishes_in_flight_work_and_writes_metrics() {
+    let metrics_path =
+        std::env::temp_dir().join(format!("qca-serve-metrics-{}.json", std::process::id()));
+    let _ = std::fs::remove_file(&metrics_path);
+    let server = TestServer::start(ServeConfig {
+        workers: 1,
+        queue_capacity: 2,
+        metrics_out: Some(metrics_path.clone()),
+        ..ServeConfig::default()
+    });
+
+    // An in-flight request that outlives the shutdown signal...
+    let addr = server.addr;
+    let in_flight = std::thread::spawn(move || {
+        let mut connection = Connection::connect(addr, Duration::from_secs(60)).unwrap();
+        connection
+            .request("POST", "/v1/adapt?hold_ms=800", GOOD_QASM.as_bytes())
+            .expect("in-flight request")
+            .status
+    });
+    std::thread::sleep(Duration::from_millis(250));
+
+    // ...must still complete successfully during the drain.
+    server.stop();
+    assert_eq!(in_flight.join().unwrap(), 200);
+
+    // The final metrics snapshot was flushed.
+    let metrics = std::fs::read_to_string(&metrics_path).expect("metrics file");
+    assert!(metrics.contains("\"server\":"), "{metrics}");
+    assert!(metrics.contains("\"engine\":"), "{metrics}");
+    let _ = std::fs::remove_file(&metrics_path);
+
+    // And the listener is gone: new connections are refused.
+    assert!(Connection::connect(addr, Duration::from_millis(500)).is_err());
+}

@@ -32,6 +32,29 @@ fn push_str_field(out: &mut String, key: &str, value: &str) {
     out.push('"');
 }
 
+/// Serialize a whole event stream as JSONL text (one event per line, with
+/// a trailing newline after each). Round-trips through [`parse_jsonl`].
+///
+/// # Examples
+///
+/// ```
+/// use qca_trace::{jsonl, Tracer};
+///
+/// let (tracer, sink) = Tracer::to_memory();
+/// tracer.counter("n", 3);
+/// let events = sink.take();
+/// let text = jsonl::to_jsonl_string(&events);
+/// assert_eq!(jsonl::parse_jsonl(&text).unwrap(), events);
+/// ```
+pub fn to_jsonl_string(events: &[TraceEvent]) -> String {
+    let mut out = String::with_capacity(events.len() * 96);
+    for event in events {
+        out.push_str(&to_jsonl(event));
+        out.push('\n');
+    }
+    out
+}
+
 /// Serialize one event as a single JSON line (no trailing newline).
 pub fn to_jsonl(event: &TraceEvent) -> String {
     let mut s = String::with_capacity(96);

@@ -53,7 +53,7 @@ pub mod jsonl;
 pub mod report;
 mod sink;
 
-pub use sink::{FanoutSink, JsonlSink, MemorySink};
+pub use sink::{FanoutSink, JsonlSink, MemorySink, ScopeGuard, ScopedSink};
 
 use std::borrow::Cow;
 use std::cell::RefCell;

@@ -87,6 +87,104 @@ impl TraceSink for JsonlSink {
     }
 }
 
+/// Routes events to whatever sink the *emitting thread* has entered via
+/// [`ScopedSink::enter`], falling back to an optional default sink when the
+/// thread has no active scope.
+///
+/// This is how `qca-serve` gets per-request traces out of a shared engine:
+/// the engine is built once with a `ScopedSink`-backed tracer, and each
+/// worker wraps one request's solve in a scope pointing at that request's
+/// buffer. The scope stack is thread-local and process-wide — every
+/// `ScopedSink` instance consults the same stack — so a single scoped
+/// tracer can serve any number of concurrently traced requests, one per
+/// thread at a time. Scopes nest: the innermost `enter` on a thread wins
+/// until its guard drops.
+///
+/// # Examples
+///
+/// ```
+/// use qca_trace::{MemorySink, ScopedSink, Tracer};
+/// use std::sync::Arc;
+///
+/// let tracer = Tracer::new(Arc::new(ScopedSink::new()));
+/// let request_buf = Arc::new(MemorySink::new());
+/// tracer.counter("dropped", 1); // no scope: discarded
+/// {
+///     let _scope = ScopedSink::enter(request_buf.clone());
+///     tracer.counter("kept", 1);
+/// }
+/// assert_eq!(request_buf.len(), 1);
+/// ```
+#[derive(Default)]
+pub struct ScopedSink {
+    fallback: Option<Arc<dyn TraceSink>>,
+}
+
+thread_local! {
+    static SCOPE_STACK: std::cell::RefCell<Vec<Arc<dyn TraceSink>>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+impl fmt::Debug for ScopedSink {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ScopedSink")
+            .field("has_fallback", &self.fallback.is_some())
+            .finish()
+    }
+}
+
+impl ScopedSink {
+    /// A scoped sink that discards events emitted outside any scope.
+    pub fn new() -> Self {
+        ScopedSink::default()
+    }
+
+    /// A scoped sink that forwards out-of-scope events to `fallback`.
+    pub fn with_fallback(fallback: Arc<dyn TraceSink>) -> Self {
+        ScopedSink {
+            fallback: Some(fallback),
+        }
+    }
+
+    /// Directs this thread's events into `target` until the returned guard
+    /// drops. Guards must drop in LIFO order on the entering thread.
+    #[must_use = "dropping the guard immediately ends the scope"]
+    pub fn enter(target: Arc<dyn TraceSink>) -> ScopeGuard {
+        SCOPE_STACK.with(|s| s.borrow_mut().push(target));
+        ScopeGuard { _private: () }
+    }
+}
+
+impl TraceSink for ScopedSink {
+    fn record(&self, event: &TraceEvent) {
+        // Clone the target out of the thread-local borrow before recording,
+        // so a sink that itself enters/leaves scopes cannot re-borrow.
+        let target = SCOPE_STACK.with(|s| s.borrow().last().cloned());
+        match target {
+            Some(sink) => sink.record(event),
+            None => {
+                if let Some(fallback) = &self.fallback {
+                    fallback.record(event);
+                }
+            }
+        }
+    }
+}
+
+/// Guard returned by [`ScopedSink::enter`]; ends the scope on drop.
+#[derive(Debug)]
+pub struct ScopeGuard {
+    _private: (),
+}
+
+impl Drop for ScopeGuard {
+    fn drop(&mut self) {
+        SCOPE_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
 /// Tees every event to several sinks in order.
 pub struct FanoutSink {
     sinks: Vec<Arc<dyn TraceSink>>,
@@ -119,6 +217,51 @@ impl TraceSink for FanoutSink {
 mod tests {
     use super::*;
     use crate::Tracer;
+
+    #[test]
+    fn scoped_sink_routes_per_thread() {
+        let tracer = Tracer::new(Arc::new(ScopedSink::new()));
+        let a = Arc::new(MemorySink::new());
+        let b = Arc::new(MemorySink::new());
+        tracer.counter("outside", 1); // no scope anywhere: dropped
+        {
+            let _scope = ScopedSink::enter(a.clone());
+            tracer.counter("for_a", 1);
+            {
+                let _nested = ScopedSink::enter(b.clone());
+                tracer.counter("for_b", 1);
+            }
+            tracer.counter("for_a", 1);
+        }
+        // Another thread with its own scope is isolated from this one.
+        let c = Arc::new(MemorySink::new());
+        let t = {
+            let tracer = tracer.clone();
+            let c = c.clone();
+            std::thread::spawn(move || {
+                let _scope = ScopedSink::enter(c);
+                tracer.counter("for_c", 1);
+            })
+        };
+        t.join().unwrap();
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 1);
+        assert_eq!(c.len(), 1);
+    }
+
+    #[test]
+    fn scoped_sink_fallback_takes_unscoped_events() {
+        let fallback = Arc::new(MemorySink::new());
+        let tracer = Tracer::new(Arc::new(ScopedSink::with_fallback(fallback.clone())));
+        tracer.counter("unscoped", 1);
+        let scoped = Arc::new(MemorySink::new());
+        {
+            let _scope = ScopedSink::enter(scoped.clone());
+            tracer.counter("scoped", 1);
+        }
+        assert_eq!(fallback.len(), 1);
+        assert_eq!(scoped.len(), 1);
+    }
 
     #[test]
     fn jsonl_sink_round_trips() {

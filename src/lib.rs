@@ -24,6 +24,7 @@
 //! | [`engine`] | `qca-engine` | parallel batch adaptation, result cache, metrics |
 //! | [`trace`] | `qca-trace` | hierarchical span tracing, JSONL sink, reports |
 //! | [`lint`] | `qca-lint` | static diagnostics: circuit, hardware, rule-coverage, encoding lints |
+//! | [`serve`] | `qca-serve` | HTTP adaptation service: admission control, deadlines, live drain |
 //!
 //! # Examples
 //!
@@ -55,6 +56,7 @@ pub use qca_hw as hw;
 pub use qca_lint as lint;
 pub use qca_num as num;
 pub use qca_sat as sat;
+pub use qca_serve as serve;
 pub use qca_sim as sim;
 pub use qca_smt as smt;
 pub use qca_synth as synth;
