@@ -126,6 +126,22 @@ grep -q 'ok200=5 status400=5 rejected429=0 other=0 errors=0' \
   kill "$serve_pid" 2>/dev/null; exit 1
 }
 
+# The same traffic with --json: one machine-readable object with latency
+# percentiles, no stdout scraping.
+target/release/qca-load --addr "$serve_addr" --connections 1 --requests 4 \
+  --json > "$trace_dir/load-json.txt" || {
+  echo "serve gate: --json load run failed" >&2
+  cat "$trace_dir/load-json.txt" >&2
+  kill "$serve_pid" 2>/dev/null; exit 1
+}
+for key in '"p50"' '"p95"' '"p99"' '"throughput_rps"' '"errors":0'; do
+  grep -q "$key" "$trace_dir/load-json.txt" || {
+    echo "serve gate: --json output missing $key" >&2
+    cat "$trace_dir/load-json.txt" >&2
+    kill "$serve_pid" 2>/dev/null; exit 1
+  }
+done
+
 # Saturate the 1-worker/1-slot pool with held requests from 4 connections:
 # admission control must shed load as 429s, never hang the acceptor.
 target/release/qca-load --addr "$serve_addr" --connections 4 --requests 3 \
@@ -164,5 +180,26 @@ grep -q 'ok200=1' "$trace_dir/load-drain.txt" || {
 }
 grep -q '"server":' "$serve_metrics" || {
   echo "serve gate: final metrics snapshot missing or malformed" >&2; exit 1; }
+
+echo "== perf gate: quick suite vs committed BENCH baseline =="
+# The committed baseline must itself be schema-valid and cover all three
+# layers (sat, engine, serve).
+baseline="$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)"
+test -n "$baseline" || {
+  echo "perf gate: no committed BENCH_*.json baseline" >&2; exit 1; }
+target/release/qca-perf check "$baseline" --require-layers || {
+  echo "perf gate: committed baseline $baseline is invalid" >&2; exit 1; }
+# Fresh quick-mode run, 3 merged repeats so the recorded dispersion is
+# cross-run, then gate. The 40% flat threshold is deliberately loose: CI
+# containers share cores, and run-to-run drift of 10-20% is routine — the
+# gate exists to catch real regressions (2x slowdowns fail it by a wide
+# margin), not to litigate scheduler noise.
+target/release/qca-perf run --quick --repeats 3 --out "$trace_dir/bench-ci.json" || {
+  echo "perf gate: suite run failed" >&2; exit 1; }
+target/release/qca-perf check "$trace_dir/bench-ci.json" --require-layers || {
+  echo "perf gate: fresh report failed schema validation" >&2; exit 1; }
+target/release/qca-perf compare "$baseline" "$trace_dir/bench-ci.json" \
+  --threshold 40 || {
+  echo "perf gate: significant regression against $baseline" >&2; exit 1; }
 
 echo "ci.sh: all checks passed"

@@ -1,7 +1,14 @@
 //! Microbenchmarks of the CDCL SAT core: random 3-SAT near/below threshold
 //! and pigeonhole UNSAT proofs.
+//!
+//! Re-expressed on the `qca-perf` harness (calibration, warmup with
+//! steady-state detection, outlier-trimmed robust statistics) instead of
+//! the vendored criterion subset; the numbers that are *recorded and
+//! gated* come from `qca-perf run`, which measures the same pigeonhole
+//! family — this target remains for interactive exploration
+//! (`cargo bench -p qca-bench --bench sat_solver`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qca_perf::harness::{measure, HarnessConfig};
 use qca_sat::{Lit, Solver, Var};
 use rand::Rng;
 use rand::SeedableRng;
@@ -56,28 +63,28 @@ fn pigeonhole(n: usize) -> (usize, Vec<Vec<i32>>) {
     (n * holes, clauses)
 }
 
-fn bench_sat(c: &mut Criterion) {
-    let mut group = c.benchmark_group("sat_solver");
-    group.sample_size(10);
+fn report(id: &str, config: &HarnessConfig, n: usize, clauses: &[Vec<i32>]) {
+    let m = measure(config, || solve(n, clauses));
+    let stats = m.stats(config.trim);
+    println!(
+        "{id:<24} median {:>12.1} ns  ±{:>5.1}%  ({} samples × {} iters{})",
+        stats.median_ns,
+        stats.rel_mad * 100.0,
+        stats.count,
+        m.iters,
+        if m.steady { "" } else { ", warmup not steady" },
+    );
+}
+
+fn main() {
+    let config = HarnessConfig::quick();
     for &n in &[60usize, 100] {
         let m = (n as f64 * 4.0) as usize;
         let clauses = random_3sat(n, m, 42);
-        group.bench_with_input(
-            BenchmarkId::new("random3sat_ratio4", n),
-            &clauses,
-            |b, cl| b.iter(|| solve(n, cl)),
-        );
+        report(&format!("random3sat_ratio4/{n}"), &config, n, &clauses);
     }
     for &n in &[7usize, 8] {
         let (nv, clauses) = pigeonhole(n);
-        group.bench_with_input(
-            BenchmarkId::new("pigeonhole_unsat", n),
-            &clauses,
-            |b, cl| b.iter(|| solve(nv, cl)),
-        );
+        report(&format!("pigeonhole_unsat/{n}"), &config, nv, &clauses);
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_sat);
-criterion_main!(benches);

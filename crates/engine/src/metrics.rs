@@ -301,7 +301,63 @@ mod tests {
     #[test]
     fn quantile_of_empty_is_zero() {
         let h = Histogram::new();
-        assert_eq!(h.quantile(0.5), 0);
+        // Every percentile of an empty histogram is 0, as are the moments.
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 0);
+        }
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.max(), 0);
+        assert_eq!(h.mean(), 0.0);
+        let json = h.to_json();
+        assert!(json.contains("\"p50\":0"), "{json}");
+        assert!(json.contains("\"p99\":0"), "{json}");
+    }
+
+    #[test]
+    fn quantiles_of_single_sample_all_answer_its_bucket() {
+        let h = Histogram::new();
+        h.record(1000);
+        // With one sample every percentile has rank 1: the lower edge of
+        // the sample's bucket ([512, 1024) for 1000).
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 512, "q={q}");
+        }
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max(), 1000);
+        // A single zero sample lands in bucket 0, whose lower edge is 0.
+        let z = Histogram::new();
+        z.record(0);
+        assert_eq!(z.quantile(0.5), 0);
+        assert_eq!(z.quantile(0.99), 0);
+        assert_eq!(z.count(), 1);
+    }
+
+    #[test]
+    fn quantiles_of_constant_samples_are_that_bucket_everywhere() {
+        let h = Histogram::new();
+        for _ in 0..1000 {
+            h.record(300);
+        }
+        // All mass in one bucket ([256, 512)): p50, p95, and p99 must
+        // agree exactly, and the moments are exact.
+        for q in [0.01, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 256, "q={q}");
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 300_000);
+        assert_eq!(h.mean(), 300.0);
+        assert_eq!(h.max(), 300);
+    }
+
+    #[test]
+    fn quantile_clamps_out_of_range_q() {
+        let h = Histogram::new();
+        h.record(5);
+        // q outside [0, 1] is clamped, not a panic or an out-of-range
+        // rank.
+        assert_eq!(h.quantile(-1.0), h.quantile(0.0));
+        assert_eq!(h.quantile(2.0), h.quantile(1.0));
     }
 
     #[test]

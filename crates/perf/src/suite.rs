@@ -1,0 +1,538 @@
+//! The benchmark suite: one set of measurements per stack layer.
+//!
+//! | id | layer | measures |
+//! |----|-------|----------|
+//! | `sat.pigeonhole/N` | sat | CDCL refutation wall time on the pigeonhole suite, plus conflicts/sec and propagations/sec |
+//! | `sat.random3sat/N` | sat | solve time at clause ratio 4 (full mode only) |
+//! | `engine.batch/w1` | engine | batch adaptation wall time at one worker, plus jobs/sec |
+//! | `engine.batch/wN` | engine | the same at N workers — marked unobservable when the machine has fewer than N cores |
+//! | `engine.cache_hit` | engine | latency of answering an adaptation from the warm cache |
+//! | `serve.adapt.p50` / `serve.adapt.p95` | serve | request latency percentiles against an in-process `qca-serve` instance, driven by the `qca-load` client machinery |
+//!
+//! Quick mode (the CI gate) shrinks instance sizes and request counts so
+//! the whole suite finishes in well under a minute; full mode is for
+//! recorded baselines.
+
+use crate::fingerprint::Fingerprint;
+use crate::harness::{measure, HarnessConfig, Measurement};
+use crate::report::{BenchResult, Direction};
+use qca_adapt::Objective;
+use qca_engine::{AdaptJob, Engine, EngineConfig};
+use qca_hw::{spin_qubit_model, GateTimes};
+use qca_sat::{Lit, Solver, Var};
+use qca_serve::client::Connection;
+use qca_serve::{ServeConfig, Server};
+use qca_workloads::{random_template_circuit, DEFAULT_TEMPLATE_GATES};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Worker count of the scaling benchmark (`engine.batch/w4`).
+pub const SCALE_WORKERS: usize = 4;
+
+/// Suite-wide settings.
+#[derive(Debug, Clone)]
+pub struct SuiteConfig {
+    /// `true` for the CI-sized suite, `false` for baseline recording.
+    pub quick: bool,
+    /// Only run benchmarks whose id contains this substring.
+    pub filter: Option<String>,
+    /// Fingerprint of the machine running the suite (drives the
+    /// `observable` honesty flag on scaling results).
+    pub fingerprint: Fingerprint,
+    /// Harness knobs (defaults follow `quick`).
+    pub harness: HarnessConfig,
+}
+
+impl SuiteConfig {
+    /// Standard configuration for the given mode on this machine.
+    pub fn new(quick: bool) -> SuiteConfig {
+        SuiteConfig {
+            quick,
+            filter: None,
+            fingerprint: Fingerprint::detect(),
+            harness: if quick {
+                HarnessConfig::quick()
+            } else {
+                HarnessConfig::full()
+            },
+        }
+    }
+
+    fn wants(&self, id: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| id.contains(f))
+    }
+}
+
+/// Runs every (non-filtered) benchmark and returns the results in suite
+/// order. Progress goes to stderr, one line per benchmark.
+pub fn run_suite(config: &SuiteConfig) -> Vec<BenchResult> {
+    let mut results = Vec::new();
+    let mut push = |result: Option<BenchResult>| {
+        if let Some(result) = result {
+            eprintln!(
+                "  {:<24} {:>14.1} {} ±{:.1}% ({} samples{})",
+                result.id,
+                result.value,
+                result.unit,
+                result.dispersion * 100.0,
+                result.samples,
+                if result.observable {
+                    ""
+                } else {
+                    ", UNOBSERVABLE on this machine"
+                },
+            );
+            results.push(result);
+        }
+    };
+
+    let pigeons = if config.quick { 7 } else { 8 };
+    push(bench_pigeonhole(config, pigeons));
+    if !config.quick {
+        push(bench_random3sat(config, 100));
+    }
+    push(bench_engine_batch(config, 1));
+    push(bench_engine_batch(config, SCALE_WORKERS));
+    push(bench_cache_hit(config));
+    for result in bench_serve(config) {
+        push(Some(result));
+    }
+    results
+}
+
+/// Builds a timing [`BenchResult`] (unit `ns`, lower is better) from a
+/// measurement.
+fn timing_result(
+    config: &SuiteConfig,
+    id: &str,
+    layer: &str,
+    measurement: &Measurement,
+    observable: bool,
+    metrics: BTreeMap<String, f64>,
+) -> BenchResult {
+    let stats = measurement.stats(config.harness.trim);
+    BenchResult {
+        id: id.to_string(),
+        layer: layer.to_string(),
+        unit: "ns".to_string(),
+        better: Direction::LowerIsBetter,
+        value: stats.median_ns,
+        dispersion: stats.rel_mad,
+        samples: stats.count,
+        iters_per_sample: measurement.iters,
+        observable,
+        metrics,
+    }
+}
+
+/// The pigeonhole principle for `n` pigeons and `n - 1` holes (UNSAT).
+fn pigeonhole_clauses(n: usize) -> (usize, Vec<Vec<i32>>) {
+    let holes = n - 1;
+    let var = |p: usize, h: usize| (p * holes + h + 1) as i32;
+    let mut clauses = Vec::new();
+    for p in 0..n {
+        clauses.push((0..holes).map(|h| var(p, h)).collect());
+    }
+    for h in 0..holes {
+        for p1 in 0..n {
+            for p2 in (p1 + 1)..n {
+                clauses.push(vec![-var(p1, h), -var(p2, h)]);
+            }
+        }
+    }
+    (n * holes, clauses)
+}
+
+/// Solves a clause set with a fresh solver; returns its lifetime stats.
+fn solve_fresh(num_vars: usize, clauses: &[Vec<i32>]) -> qca_sat::SolverStats {
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..num_vars).map(|_| solver.new_var()).collect();
+    for clause in clauses {
+        let lits: Vec<Lit> = clause
+            .iter()
+            .map(|&d| vars[(d.unsigned_abs() - 1) as usize].lit(d > 0))
+            .collect();
+        if !solver.add_clause(&lits) {
+            break;
+        }
+    }
+    solver.solve();
+    solver.stats().clone()
+}
+
+fn bench_pigeonhole(config: &SuiteConfig, n: usize) -> Option<BenchResult> {
+    let id = format!("sat.pigeonhole/{n}");
+    if !config.wants(&id) {
+        return None;
+    }
+    let (num_vars, clauses) = pigeonhole_clauses(n);
+    // The solver is deterministic, so one probe run yields the exact
+    // per-solve conflict and propagation counts behind the rates.
+    let stats = solve_fresh(num_vars, &clauses);
+    let measurement = measure(&config.harness, || solve_fresh(num_vars, &clauses));
+    let median_s = measurement.stats(config.harness.trim).median_ns / 1e9;
+    let mut metrics = BTreeMap::new();
+    if median_s > 0.0 {
+        metrics.insert(
+            "conflicts_per_sec".to_string(),
+            stats.conflicts as f64 / median_s,
+        );
+        metrics.insert(
+            "propagations_per_sec".to_string(),
+            stats.propagations as f64 / median_s,
+        );
+    }
+    metrics.insert("conflicts".to_string(), stats.conflicts as f64);
+    metrics.insert("propagations".to_string(), stats.propagations as f64);
+    Some(timing_result(
+        config,
+        &id,
+        "sat",
+        &measurement,
+        true,
+        metrics,
+    ))
+}
+
+fn bench_random3sat(config: &SuiteConfig, n: usize) -> Option<BenchResult> {
+    let id = format!("sat.random3sat/{n}");
+    if !config.wants(&id) {
+        return None;
+    }
+    // A fixed xorshift stream keeps the instance identical across runs
+    // without depending on a RNG crate.
+    let mut state = 0x9e37_79b9_7f4a_7c15u64;
+    let mut next = || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    let m = n * 4;
+    let clauses: Vec<Vec<i32>> = (0..m)
+        .map(|_| {
+            let mut clause: Vec<i32> = Vec::new();
+            while clause.len() < 3 {
+                let v = (next() % n as u64) as i32 + 1;
+                let lit = if next() % 2 == 0 { v } else { -v };
+                if !clause.iter().any(|l| l.abs() == v) {
+                    clause.push(lit);
+                }
+            }
+            clause
+        })
+        .collect();
+    let stats = solve_fresh(n, &clauses);
+    let measurement = measure(&config.harness, || solve_fresh(n, &clauses));
+    let median_s = measurement.stats(config.harness.trim).median_ns / 1e9;
+    let mut metrics = BTreeMap::new();
+    if median_s > 0.0 {
+        metrics.insert(
+            "propagations_per_sec".to_string(),
+            stats.propagations as f64 / median_s,
+        );
+    }
+    Some(timing_result(
+        config,
+        &id,
+        "sat",
+        &measurement,
+        true,
+        metrics,
+    ))
+}
+
+/// The fixed job batch the engine benchmarks adapt.
+fn engine_jobs(config: &SuiteConfig) -> Vec<AdaptJob> {
+    let (jobs, depth) = if config.quick { (4, 8) } else { (8, 12) };
+    (0..jobs)
+        .map(|i| {
+            let circuit =
+                random_template_circuit(3, depth, 70 + i as u64, &DEFAULT_TEMPLATE_GATES, true);
+            AdaptJob::with_objective(circuit, Objective::Fidelity)
+        })
+        .collect()
+}
+
+fn bench_engine_batch(config: &SuiteConfig, workers: usize) -> Option<BenchResult> {
+    let id = format!("engine.batch/w{workers}");
+    if !config.wants(&id) {
+        return None;
+    }
+    let hw = spin_qubit_model(GateTimes::D0);
+    let jobs = engine_jobs(config);
+    // Caching off: every iteration pays the full solve cost, so the number
+    // measured is the pool's, not the cache's.
+    let engine = Engine::new(EngineConfig {
+        workers,
+        cache_capacity: 0,
+        ..EngineConfig::default()
+    });
+    let measurement = measure(&config.harness, || engine.adapt_batch(&hw, &jobs));
+    let stats = measurement.stats(config.harness.trim);
+    let mut metrics = BTreeMap::new();
+    if stats.median_ns > 0.0 {
+        metrics.insert(
+            "jobs_per_sec".to_string(),
+            jobs.len() as f64 / (stats.median_ns / 1e9),
+        );
+    }
+    metrics.insert("jobs".to_string(), jobs.len() as f64);
+    metrics.insert("workers".to_string(), workers as f64);
+    // Honesty: a scaling configuration on fewer cores than workers
+    // measures scheduling overhead, not parallel speedup.
+    let observable = config.fingerprint.cores >= workers;
+    Some(timing_result(
+        config,
+        &id,
+        "engine",
+        &measurement,
+        observable,
+        metrics,
+    ))
+}
+
+fn bench_cache_hit(config: &SuiteConfig) -> Option<BenchResult> {
+    let id = "engine.cache_hit";
+    if !config.wants(id) {
+        return None;
+    }
+    let hw = spin_qubit_model(GateTimes::D0);
+    let job = engine_jobs(config).remove(0);
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        cache_capacity: 64,
+        ..EngineConfig::default()
+    });
+    // Warm the cache, then every adapt_one is answered without solving.
+    let warm = engine.adapt_one(&hw, &job);
+    assert!(
+        hw.supports_circuit(&warm.circuit),
+        "cache warmup produced an unsupported circuit"
+    );
+    let measurement = measure(&config.harness, || engine.adapt_one(&hw, &job));
+    let hits = engine
+        .metrics()
+        .cache_hits
+        .load(std::sync::atomic::Ordering::Relaxed);
+    assert!(hits > 0, "cache-hit benchmark never hit the cache");
+    Some(timing_result(
+        config,
+        id,
+        "engine",
+        &measurement,
+        true,
+        BTreeMap::new(),
+    ))
+}
+
+/// Exact nearest-rank percentile over an ascending-sorted slice.
+fn percentile_ns(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// Relative dispersion of a percentile statistic: the latency stream is
+/// split into sequential chunks, the percentile computed per chunk, and the
+/// spread of those estimates reported (MAD / median). Tail percentiles on
+/// small chunks wobble — that widens the compare gate's noise bound, which
+/// is exactly the honest outcome.
+fn percentile_dispersion(latencies: &[f64], q: f64, chunks: usize) -> f64 {
+    let chunk = latencies.len() / chunks.max(1);
+    if chunk == 0 {
+        return 0.0;
+    }
+    let mut estimates: Vec<f64> = latencies
+        .chunks(chunk)
+        .filter(|c| c.len() == chunk)
+        .map(|c| {
+            let mut sorted = c.to_vec();
+            sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+            percentile_ns(&sorted, q)
+        })
+        .collect();
+    estimates.sort_by(|a, b| a.partial_cmp(b).expect("finite estimate"));
+    let n = estimates.len();
+    if n == 0 {
+        return 0.0;
+    }
+    let median = if n % 2 == 1 {
+        estimates[n / 2]
+    } else {
+        (estimates[n / 2 - 1] + estimates[n / 2]) / 2.0
+    };
+    if median <= 0.0 {
+        return 0.0;
+    }
+    let mut deviations: Vec<f64> = estimates.iter().map(|e| (e - median).abs()).collect();
+    deviations.sort_by(|a, b| a.partial_cmp(b).expect("finite deviation"));
+    let mad = if n % 2 == 1 {
+        deviations[n / 2]
+    } else {
+        (deviations[n / 2 - 1] + deviations[n / 2]) / 2.0
+    };
+    mad / median
+}
+
+/// QASM body the serve benchmark posts (same as `qca-load`'s well-formed
+/// body).
+const SERVE_QASM: &str = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncx q[0], q[1];\n";
+
+fn bench_serve(config: &SuiteConfig) -> Vec<BenchResult> {
+    let p50_id = "serve.adapt.p50";
+    let p95_id = "serve.adapt.p95";
+    if !config.wants(p50_id) && !config.wants(p95_id) {
+        return Vec::new();
+    }
+    let (warmup_requests, requests) = if config.quick { (10, 80) } else { (50, 400) };
+
+    // An in-process server on an ephemeral port, driven over the same
+    // keep-alive client `qca-load` uses.
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 1,
+        queue_capacity: 16,
+        cache_capacity: 256,
+        ..ServeConfig::default()
+    })
+    .expect("bind in-process qca-serve");
+    let addr = server.local_addr().expect("server local addr");
+    let shutdown = Arc::new(AtomicBool::new(false));
+    let server_shutdown = shutdown.clone();
+    let server_thread = std::thread::spawn(move || server.run(&server_shutdown));
+
+    let mut connection =
+        Connection::connect(addr, Duration::from_secs(30)).expect("connect to in-process server");
+    let target = "/v1/adapt?circuit=0";
+    let mut latencies_ns: Vec<f64> = Vec::with_capacity(requests);
+    let run_start = Instant::now();
+    for i in 0..warmup_requests + requests {
+        let t0 = Instant::now();
+        let response = connection
+            .request("POST", target, SERVE_QASM.as_bytes())
+            .expect("in-process request failed");
+        assert_eq!(response.status, 200, "serve benchmark got a non-200");
+        if i >= warmup_requests {
+            latencies_ns.push(t0.elapsed().as_nanos() as f64);
+        }
+    }
+    let wall = run_start.elapsed();
+    drop(connection);
+    shutdown.store(true, Ordering::SeqCst);
+    server_thread
+        .join()
+        .expect("server thread panicked")
+        .expect("server drain failed");
+
+    let mut sorted = latencies_ns.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    let throughput = (warmup_requests + requests) as f64 / wall.as_secs_f64().max(1e-9);
+    let mut results = Vec::new();
+    for (id, q) in [(p50_id, 0.50), (p95_id, 0.95)] {
+        if !config.wants(id) {
+            continue;
+        }
+        let mut metrics = BTreeMap::new();
+        metrics.insert("p99_ns".to_string(), percentile_ns(&sorted, 0.99));
+        metrics.insert("throughput_rps".to_string(), throughput);
+        metrics.insert("requests".to_string(), requests as f64);
+        results.push(BenchResult {
+            id: id.to_string(),
+            layer: "serve".to_string(),
+            unit: "ns".to_string(),
+            better: Direction::LowerIsBetter,
+            value: percentile_ns(&sorted, q),
+            dispersion: percentile_dispersion(&latencies_ns, q, 5),
+            samples: requests,
+            iters_per_sample: 1,
+            observable: true,
+            metrics,
+        });
+    }
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    /// A tiny harness configuration so suite tests stay fast.
+    fn tiny() -> SuiteConfig {
+        let mut config = SuiteConfig::new(true);
+        config.harness = HarnessConfig {
+            samples: 3,
+            target_sample: Duration::from_millis(2),
+            min_warmup: Duration::from_millis(1),
+            max_warmup: Duration::from_millis(10),
+            steady_tolerance: 0.5,
+            trim: 0.0,
+        };
+        config
+    }
+
+    #[test]
+    fn pigeonhole_bench_reports_rates() {
+        let result = bench_pigeonhole(&tiny(), 5).unwrap();
+        assert_eq!(result.layer, "sat");
+        assert!(result.value > 0.0);
+        assert!(result.metrics["conflicts"] > 0.0);
+        assert!(result.metrics["conflicts_per_sec"] > 0.0);
+        assert!(result.metrics["propagations_per_sec"] > 0.0);
+    }
+
+    #[test]
+    fn scaling_bench_is_honest_about_cores() {
+        let mut config = tiny();
+        config.fingerprint.cores = 1;
+        let result = bench_engine_batch(&config, SCALE_WORKERS).unwrap();
+        assert!(
+            !result.observable,
+            "4-worker result claimed observable on 1 core"
+        );
+        config.fingerprint.cores = 64;
+        let result = bench_engine_batch(&config, SCALE_WORKERS).unwrap();
+        assert!(result.observable);
+        let single = bench_engine_batch(&config, 1).unwrap();
+        assert!(single.observable);
+        assert!(single.metrics["jobs_per_sec"].is_finite());
+    }
+
+    #[test]
+    fn filter_skips_benchmarks() {
+        let mut config = tiny();
+        config.filter = Some("nothing-matches-this".to_string());
+        assert!(bench_pigeonhole(&config, 5).is_none());
+        assert!(bench_engine_batch(&config, 1).is_none());
+        assert!(bench_cache_hit(&config).is_none());
+        assert!(bench_serve(&config).is_empty());
+    }
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile_ns(&sorted, 0.50), 50.0);
+        assert_eq!(percentile_ns(&sorted, 0.95), 95.0);
+        assert_eq!(percentile_ns(&sorted, 0.99), 99.0);
+        assert_eq!(percentile_ns(&sorted, 1.0), 100.0);
+        assert_eq!(percentile_ns(&[], 0.5), 0.0);
+        assert_eq!(percentile_ns(&[7.0], 0.5), 7.0);
+        assert_eq!(percentile_ns(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn percentile_dispersion_is_zero_for_constant_stream() {
+        let constant = vec![5.0; 50];
+        assert_eq!(percentile_dispersion(&constant, 0.5, 5), 0.0);
+        // And positive when the stream drifts across chunks.
+        let drifting: Vec<f64> = (0..50).map(|i| i as f64 + 1.0).collect();
+        assert!(percentile_dispersion(&drifting, 0.5, 5) > 0.0);
+        // Degenerate: fewer samples than chunks.
+        assert_eq!(percentile_dispersion(&[1.0], 0.5, 5), 0.0);
+    }
+}

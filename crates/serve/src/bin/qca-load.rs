@@ -3,7 +3,7 @@
 //! ```text
 //! qca-load --addr HOST:PORT [--connections N] [--requests M] [--mixed]
 //!          [--hold-ms N] [--deadline-ms N] [--objective NAME]
-//!          [--timeout-s N]
+//!          [--timeout-s N] [--json]
 //! ```
 //!
 //! Opens `N` keep-alive connections, issues `M` `POST /v1/adapt` requests
@@ -11,8 +11,11 @@
 //! and exact p50/p95/p99 latency percentiles. `--mixed` alternates valid
 //! and malformed QASM bodies (exercising the 400 path); `--hold-ms` holds
 //! each job on its worker (saturating small pools deterministically, the
-//! CI recipe for exercising 429s). Exits non-zero only on transport
-//! errors — 4xx/5xx responses are counted, not fatal.
+//! CI recipe for exercising 429s). `--json` replaces the text summary
+//! with a single machine-readable JSON object (counts, throughput, and
+//! latency percentiles) so the perf suite and scripts need not scrape
+//! stdout. Exits non-zero only on transport errors — 4xx/5xx responses
+//! are counted, not fatal.
 
 use qca_serve::client::Connection;
 use std::net::{SocketAddr, ToSocketAddrs};
@@ -31,11 +34,13 @@ struct Args {
     deadline_ms: Option<u64>,
     objective: Option<String>,
     timeout: Duration,
+    json: bool,
 }
 
 fn usage() -> &'static str {
     "usage: qca-load --addr HOST:PORT [--connections N] [--requests M] [--mixed]\n\
-     \x20               [--hold-ms N] [--deadline-ms N] [--objective NAME] [--timeout-s N]"
+     \x20               [--hold-ms N] [--deadline-ms N] [--objective NAME] [--timeout-s N]\n\
+     \x20               [--json]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +52,7 @@ fn parse_args() -> Result<Args, String> {
     let mut deadline_ms = None;
     let mut objective = None;
     let mut timeout = Duration::from_secs(60);
+    let mut json = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -73,6 +79,7 @@ fn parse_args() -> Result<Args, String> {
             "--timeout-s" => {
                 timeout = Duration::from_secs(parse(&value("--timeout-s")?, "--timeout-s")?)
             }
+            "--json" => json = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -89,6 +96,7 @@ fn parse_args() -> Result<Args, String> {
         deadline_ms,
         objective,
         timeout,
+        json,
     })
 }
 
@@ -206,18 +214,39 @@ fn main() -> ExitCode {
     let completed = total.latencies.len() as u64;
     let rps = completed as f64 / wall.as_secs_f64().max(1e-9);
     let ms = |d: Duration| d.as_secs_f64() * 1e3;
-    println!(
-        "requests={completed} ok200={} status400={} rejected429={} other={} errors={}",
-        total.ok200, total.status400, total.rejected429, total.other, total.transport_errors
-    );
-    println!("wall_s={:.3} throughput_rps={rps:.1}", wall.as_secs_f64());
-    println!(
-        "latency_ms p50={:.1} p95={:.1} p99={:.1} max={:.1}",
-        ms(percentile(&total.latencies, 0.50)),
-        ms(percentile(&total.latencies, 0.95)),
-        ms(percentile(&total.latencies, 0.99)),
-        ms(total.latencies.last().copied().unwrap_or_default()),
-    );
+    if args.json {
+        // One self-contained object, keys stable, no stdout scraping
+        // needed. `errors` keeps its own key so `jq .errors` is the whole
+        // health check.
+        println!(
+            "{{\"requests\":{completed},\"ok200\":{},\"status400\":{},\"rejected429\":{},\
+             \"other\":{},\"errors\":{},\"wall_s\":{:.3},\"throughput_rps\":{rps:.1},\
+             \"latency_ms\":{{\"p50\":{:.3},\"p95\":{:.3},\"p99\":{:.3},\"max\":{:.3}}}}}",
+            total.ok200,
+            total.status400,
+            total.rejected429,
+            total.other,
+            total.transport_errors,
+            wall.as_secs_f64(),
+            ms(percentile(&total.latencies, 0.50)),
+            ms(percentile(&total.latencies, 0.95)),
+            ms(percentile(&total.latencies, 0.99)),
+            ms(total.latencies.last().copied().unwrap_or_default()),
+        );
+    } else {
+        println!(
+            "requests={completed} ok200={} status400={} rejected429={} other={} errors={}",
+            total.ok200, total.status400, total.rejected429, total.other, total.transport_errors
+        );
+        println!("wall_s={:.3} throughput_rps={rps:.1}", wall.as_secs_f64());
+        println!(
+            "latency_ms p50={:.1} p95={:.1} p99={:.1} max={:.1}",
+            ms(percentile(&total.latencies, 0.50)),
+            ms(percentile(&total.latencies, 0.95)),
+            ms(percentile(&total.latencies, 0.99)),
+            ms(total.latencies.last().copied().unwrap_or_default()),
+        );
+    }
     if total.transport_errors > 0 {
         ExitCode::FAILURE
     } else {

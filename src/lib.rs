@@ -25,6 +25,7 @@
 //! | [`trace`] | `qca-trace` | hierarchical span tracing, JSONL sink, reports |
 //! | [`lint`] | `qca-lint` | static diagnostics: circuit, hardware, rule-coverage, encoding lints |
 //! | [`serve`] | `qca-serve` | HTTP adaptation service: admission control, deadlines, live drain |
+//! | [`perf`] | `qca-perf` | benchmark telemetry: measurement harness, `BENCH_<pr>.json`, regression gating |
 //!
 //! # Examples
 //!
@@ -55,6 +56,7 @@ pub use qca_engine as engine;
 pub use qca_hw as hw;
 pub use qca_lint as lint;
 pub use qca_num as num;
+pub use qca_perf as perf;
 pub use qca_sat as sat;
 pub use qca_serve as serve;
 pub use qca_sim as sim;
