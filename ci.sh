@@ -181,6 +181,32 @@ grep -q 'ok200=1' "$trace_dir/load-drain.txt" || {
 grep -q '"server":' "$serve_metrics" || {
   echo "serve gate: final metrics snapshot missing or malformed" >&2; exit 1; }
 
+echo "== recalibration gate: qca-engine --recalibrate --perturb 2 on examples/qasm =="
+# Adapt the example corpus, drift every gate fidelity, and walk the cached
+# corpus: nothing may fail, and at least one cached optimum must re-certify
+# (certificate-backed reuse, not a blanket re-solve).
+target/release/qca-engine --workers 2 --verify --recalibrate --perturb 2 \
+  examples/qasm > "$trace_dir/recalib.txt" || {
+  echo "recalibration gate: qca-engine --recalibrate failed" >&2
+  cat "$trace_dir/recalib.txt" >&2
+  exit 1
+}
+grep -Eq '^recalib: entries=[1-9][0-9]* ' "$trace_dir/recalib.txt" || {
+  echo "recalibration gate: corpus was empty after the batch" >&2
+  cat "$trace_dir/recalib.txt" >&2
+  exit 1
+}
+grep -Eq '^recalib: .*reused=[1-9]' "$trace_dir/recalib.txt" || {
+  echo "recalibration gate: no cached optimum was reused under drift" >&2
+  cat "$trace_dir/recalib.txt" >&2
+  exit 1
+}
+grep -Eq '^recalib: .*failed=0$' "$trace_dir/recalib.txt" || {
+  echo "recalibration gate: recalibration failures" >&2
+  cat "$trace_dir/recalib.txt" >&2
+  exit 1
+}
+
 echo "== perf gate: quick suite vs committed BENCH baseline =="
 # The committed baseline must itself be schema-valid and cover all three
 # layers (sat, engine, serve).

@@ -307,6 +307,100 @@ fn adapt_inner(
     })
 }
 
+/// Outcome of [`recalibrate_adaptation`].
+#[derive(Debug, Clone)]
+pub enum Recalibration {
+    /// The previous selection is still optimal under the new hardware data:
+    /// the adaptation was refreshed (re-scored objective, fresh
+    /// verification data) without a full OMT search.
+    Reused(Adaptation),
+    /// The previous optimum no longer held; a warm-started solve produced
+    /// a new adaptation.
+    Resolved(Adaptation),
+}
+
+impl Recalibration {
+    /// The refreshed adaptation, however it was obtained.
+    pub fn into_adaptation(self) -> Adaptation {
+        match self {
+            Recalibration::Reused(a) | Recalibration::Resolved(a) => a,
+        }
+    }
+
+    /// `true` when the previous optimum was reused without a re-solve.
+    pub fn reused(&self) -> bool {
+        matches!(self, Recalibration::Reused(_))
+    }
+}
+
+/// Re-validates a previously computed adaptation against (possibly drifted)
+/// hardware data. The cached selection's optimality is re-checked with
+/// [`recheck_optimum`](crate::model::recheck_optimum) — two SAT queries
+/// when it still holds — and only entries whose certificate no longer
+/// holds pay for a fresh OMT search, warm-started from the previous
+/// selection.
+///
+/// # Errors
+///
+/// Propagates [`AdaptError`] from preprocessing, rule evaluation, the
+/// re-check, or the fallback solve.
+pub fn recalibrate_adaptation(
+    circuit: &Circuit,
+    hw: &HardwareModel,
+    prev: &Adaptation,
+    ctx: &AdaptContext,
+    recheck_budget: Option<u64>,
+) -> Result<Recalibration, AdaptError> {
+    let mut root = ctx.tracer.span_with("recalibrate", || {
+        format!(
+            "objective={} qubits={} gates={}",
+            ctx.options.objective,
+            circuit.num_qubits(),
+            circuit.len()
+        )
+    });
+    let pre = {
+        let _span = ctx.tracer.span("preprocess");
+        preprocess(circuit, hw)?
+    };
+    let catalog = {
+        let _span = ctx.tracer.span("rules");
+        evaluate_substitutions(&pre, hw, &ctx.options.rules)?
+    };
+    // Note the previous solve need not carry an optimality claim: the
+    // exact re-check also confirms (and upgrades) a gap-degraded result
+    // whose value happens to be the true optimum.
+    let outcome = crate::model::recheck_optimum(
+        &pre,
+        hw,
+        &catalog,
+        ctx,
+        &prev.solver.chosen,
+        recheck_budget,
+    )?;
+    match outcome {
+        crate::model::RecheckOutcome::StillOptimal(solver) => {
+            root.set_note("reused");
+            let solver = *solver;
+            let circuit = extract_circuit(&pre, &catalog, &solver.chosen);
+            let chosen = solver.chosen.iter().map(|&i| catalog[i].clone()).collect();
+            Ok(Recalibration::Reused(Adaptation {
+                circuit,
+                reference: pre.reference_circuit(),
+                chosen,
+                catalog_size: catalog.len(),
+                solver,
+            }))
+        }
+        crate::model::RecheckOutcome::Changed => {
+            root.set_note("resolved");
+            let mut warm_ctx = ctx.clone();
+            warm_ctx.warm_hint = Some(prev.solver.chosen.clone());
+            adapt(circuit, hw, &warm_ctx).map(Recalibration::Resolved)
+        }
+    }
+}
+
 /// [`adapt`] taking bare [`AdaptOptions`].
 #[deprecated(
     since = "0.2.0",
@@ -356,6 +450,64 @@ mod tests {
         c.push(Gate::Cx, &[1, 2]);
         c.push(Gate::Rz(0.3), &[2]);
         c
+    }
+
+    #[test]
+    fn recalibrate_reuses_on_unchanged_hardware() {
+        let c = swap_chain();
+        let hw = spin_qubit_model(GateTimes::D0);
+        let ctx = AdaptContext::with_objective(Objective::Fidelity);
+        let first = adapt(&c, &hw, &ctx).unwrap();
+        let r = recalibrate_adaptation(&c, &hw, &first, &ctx, None).unwrap();
+        assert!(r.reused(), "unchanged hardware must reuse the optimum");
+        let again = r.into_adaptation();
+        assert_eq!(again.solver.chosen, first.solver.chosen);
+        assert_eq!(again.solver.objective_value, first.solver.objective_value);
+        assert!(again.solver.optimal);
+        assert!(again.solver.queries <= 2, "took {}", again.solver.queries);
+        assert!(approx_eq_up_to_phase(
+            &again.circuit.unitary(),
+            &c.unitary(),
+            1e-6
+        ));
+    }
+
+    #[test]
+    fn recalibrate_matches_fresh_solve_after_drift() {
+        let c = swap_chain();
+        let d0 = spin_qubit_model(GateTimes::D0);
+        let ctx = AdaptOptions::builder()
+            .objective(Objective::Combined)
+            .exact()
+            .context();
+        let first = adapt(&c, &d0, &ctx).unwrap();
+        let drifted = d0.with_scaled_infidelity(4.0);
+        let r = recalibrate_adaptation(&c, &drifted, &first, &ctx, None).unwrap();
+        let recal = r.into_adaptation();
+        let fresh = adapt(&c, &drifted, &ctx).unwrap();
+        assert_eq!(recal.solver.objective_value, fresh.solver.objective_value);
+        assert!(recal.solver.optimal);
+        assert!(drifted.supports_circuit(&recal.circuit));
+        assert!(approx_eq_up_to_phase(
+            &recal.circuit.unitary(),
+            &c.unitary(),
+            1e-6
+        ));
+    }
+
+    #[test]
+    fn recalibrate_with_stale_ids_resolves() {
+        let c = swap_chain();
+        let hw = spin_qubit_model(GateTimes::D0);
+        let ctx = AdaptContext::with_objective(Objective::Fidelity);
+        let mut prev = adapt(&c, &hw, &ctx).unwrap();
+        let expected = prev.solver.objective_value;
+        prev.solver.chosen = vec![usize::MAX];
+        let r = recalibrate_adaptation(&c, &hw, &prev, &ctx, None).unwrap();
+        assert!(!r.reused(), "stale ids cannot be reused");
+        let a = r.into_adaptation();
+        assert_eq!(a.solver.objective_value, expected);
+        assert!(a.solver.optimal);
     }
 
     #[test]

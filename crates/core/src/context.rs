@@ -13,7 +13,7 @@ use crate::adapt::AdaptOptions;
 use crate::error::AdaptError;
 use crate::model::{AdaptLimits, Objective};
 use crate::rules::RuleOptions;
-use qca_smt::omt::Strategy;
+use qca_smt::omt::{PortfolioProbe, Strategy};
 use qca_trace::Tracer;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -51,6 +51,15 @@ pub struct AdaptContext {
     /// decision and conflict. Tripping it degrades the search to the best
     /// incumbent, or [`AdaptError::Cancelled`] if none exists yet.
     pub cancel: Option<Arc<AtomicBool>>,
+    /// Warm-start hint: catalog ids of a known-good substitution selection
+    /// (e.g. a previously cached optimum during recalibration). When
+    /// present and still valid for the evaluated catalog it replaces the
+    /// greedy warm start; stale hints fall back to greedy.
+    pub warm_hint: Option<Vec<usize>>,
+    /// Escalate budget-exhausted OMT probes to a racing solver portfolio
+    /// (`qca-portfolio`) on spare workers; `None` (the default) keeps the
+    /// single-configuration search.
+    pub portfolio: Option<PortfolioProbe>,
 }
 
 impl AdaptContext {
@@ -127,6 +136,8 @@ pub struct AdaptContextBuilder {
     pub(crate) limits: AdaptLimits,
     pub(crate) tracer: Tracer,
     pub(crate) cancel: Option<Arc<AtomicBool>>,
+    pub(crate) warm_hint: Option<Vec<usize>>,
+    pub(crate) portfolio: Option<PortfolioProbe>,
 }
 
 impl AdaptContextBuilder {
@@ -173,6 +184,20 @@ impl AdaptContextBuilder {
         self
     }
 
+    /// Installs a warm-start hint: catalog ids of a known-good substitution
+    /// selection to seed the search from instead of the greedy warm start.
+    pub fn warm_hint(mut self, hint: Vec<usize>) -> Self {
+        self.warm_hint = Some(hint);
+        self
+    }
+
+    /// Enables portfolio escalation: budget-exhausted OMT probes race a
+    /// small set of diverse solver configurations instead of giving up.
+    pub fn portfolio(mut self, probe: PortfolioProbe) -> Self {
+        self.portfolio = Some(probe);
+        self
+    }
+
     /// Validates and builds, returning [`AdaptError::InvalidOptions`] on a
     /// nonsensical configuration (zero pattern window, zero conflict
     /// budget).
@@ -183,11 +208,21 @@ impl AdaptContextBuilder {
                     .to_string(),
             ));
         }
+        if let Some(probe) = self.portfolio {
+            if probe.members < 2 {
+                return Err(AdaptError::InvalidOptions(
+                    "portfolio with fewer than 2 members is not a race; omit it instead"
+                        .to_string(),
+                ));
+            }
+        }
         Ok(AdaptContext {
             options: self.options.try_build()?,
             limits: self.limits,
             tracer: self.tracer,
             cancel: self.cancel,
+            warm_hint: self.warm_hint,
+            portfolio: self.portfolio,
         })
     }
 
@@ -239,6 +274,29 @@ mod tests {
         assert!(!ctx.cancelled());
         flag.store(true, Ordering::Relaxed);
         assert!(ctx.cancelled());
+    }
+
+    #[test]
+    fn warm_hint_and_portfolio_round_trip() {
+        let ctx = AdaptContext::builder()
+            .warm_hint(vec![0, 2])
+            .portfolio(PortfolioProbe::default())
+            .build();
+        assert_eq!(ctx.warm_hint.as_deref(), Some(&[0, 2][..]));
+        assert_eq!(ctx.portfolio, Some(PortfolioProbe::default()));
+        assert!(AdaptContext::default().warm_hint.is_none());
+        assert!(AdaptContext::default().portfolio.is_none());
+    }
+
+    #[test]
+    fn single_member_portfolio_rejected() {
+        let err = AdaptContext::builder()
+            .portfolio(PortfolioProbe {
+                members: 1,
+                ..PortfolioProbe::default()
+            })
+            .try_build();
+        assert!(matches!(err, Err(AdaptError::InvalidOptions(_))));
     }
 
     #[test]

@@ -78,11 +78,18 @@ pub mod rules;
 
 #[allow(deprecated)]
 pub use adapt::adapt_with_options;
-pub use adapt::{adapt, extract_circuit, AdaptOptions, AdaptOptionsBuilder, Adaptation};
+pub use adapt::{
+    adapt, extract_circuit, recalibrate_adaptation, AdaptOptions, AdaptOptionsBuilder, Adaptation,
+    Recalibration,
+};
 pub use context::{AdaptContext, AdaptContextBuilder};
 pub use error::AdaptError;
-pub use model::{AdaptLimits, Objective, SmtAdaptation, VerificationData, LOG_SCALE};
+pub use model::{
+    evaluate_selection, recheck_optimum, AdaptLimits, Objective, RecheckOutcome, SmtAdaptation,
+    VerificationData, LOG_SCALE,
+};
 pub use preflight::{preflight, Diagnostic, RuleToggles};
+pub use qca_smt::omt::PortfolioProbe;
 pub use rules::{RuleOptions, Substitution, SubstitutionKind};
 
 #[cfg(test)]

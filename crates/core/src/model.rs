@@ -364,21 +364,25 @@ pub fn solve_model(
     solve_model_with_budget(pre, hw, catalog, ctx, budget)
 }
 
-/// [`solve_model`] with an explicit per-probe conflict budget (`None` for an
-/// exact, unbudgeted search), overriding what `ctx.options.exact` implies.
-///
-/// # Errors
-///
-/// As [`solve_model`].
-pub fn solve_model_with_budget(
+/// The bit-blasted adaptation model, ready to search: the solver with every
+/// constraint asserted, the per-substitution choice literals, the objective
+/// expression, and the integer cost tables behind them.
+struct EncodedModel {
+    smt: SmtSolver,
+    choice: Vec<qca_sat::Lit>,
+    objective_expr: IntExpr,
+    cost: CostData,
+}
+
+/// Encodes the adaptation model (Eqs. 1–9) into a fresh SMT solver wired
+/// with the context's run controls, certificate recording, and tracer.
+fn encode_model(
     pre: &Preprocessed,
     hw: &HardwareModel,
     catalog: &[Substitution],
     ctx: &AdaptContext,
-    probe_budget: Option<u64>,
-) -> Result<SmtAdaptation, AdaptError> {
+) -> EncodedModel {
     let objective = ctx.options.objective;
-    let strategy = ctx.options.strategy;
     let mut smt = SmtSolver::new();
     smt.set_control(ctx.solve_control());
     if ctx.options.certify {
@@ -522,12 +526,57 @@ pub fn solve_model_with_budget(
 
     drop(encode_span);
     ctx.tracer.gauge("smt.sat_vars", smt.num_sat_vars() as i64);
+    EncodedModel {
+        smt,
+        choice,
+        objective_expr,
+        cost,
+    }
+}
 
-    // Greedy warm start: seed the solver's phases with a good selection and
-    // assert its objective value as a sound lower bound, so the OMT search
-    // only explores the region above it.
+/// [`solve_model`] with an explicit per-probe conflict budget (`None` for an
+/// exact, unbudgeted search), overriding what `ctx.options.exact` implies.
+///
+/// # Errors
+///
+/// As [`solve_model`].
+pub fn solve_model_with_budget(
+    pre: &Preprocessed,
+    hw: &HardwareModel,
+    catalog: &[Substitution],
+    ctx: &AdaptContext,
+    probe_budget: Option<u64>,
+) -> Result<SmtAdaptation, AdaptError> {
+    let objective = ctx.options.objective;
+    let strategy = ctx.options.strategy;
+    let EncodedModel {
+        mut smt,
+        choice,
+        objective_expr,
+        cost,
+    } = encode_model(pre, hw, catalog, ctx);
+
+    // Warm start: the context's hint (a known-good selection, when still
+    // valid for this catalog) or the greedy selection — whichever scores
+    // better — seeds the solver's phases, and its objective value is
+    // asserted as a sound lower bound so the OMT search only explores the
+    // region above it.
     let mut warm_span = ctx.tracer.span("warm_start");
-    let (warm, warm_value) = greedy_selection(pre, catalog, &cost, objective);
+    let (warm, warm_value, warm_source) = {
+        let hinted = ctx
+            .warm_hint
+            .as_deref()
+            .and_then(|ids| selection_from_ids(catalog, ids))
+            .map(|sel| {
+                let v = cost.evaluate(pre, catalog, &sel, objective);
+                (sel, v)
+            });
+        let (greedy, greedy_value) = greedy_selection(pre, catalog, &cost, objective);
+        match hinted {
+            Some((sel, v)) if v >= greedy_value => (sel, v, "hint"),
+            _ => (greedy, greedy_value, "greedy"),
+        }
+    };
     let mut hint: Vec<qca_sat::Lit> = Vec::with_capacity(choice.len());
     for (i, &sel) in warm.iter().enumerate() {
         smt.sat_mut().set_phase(choice[i].var(), sel);
@@ -535,12 +584,13 @@ pub fn solve_model_with_budget(
     }
     let warm_bound = smt.int_const(warm_value);
     smt.assert_ge(&objective_expr, &warm_bound);
-    warm_span.set_note(format!("value={warm_value}"));
+    warm_span.set_note(format!("value={warm_value} source={warm_source}"));
     drop(warm_span);
 
     // Size-adaptive search effort: bigger bit-blasted models get smaller
-    // probe budgets and a coarser gap — the greedy warm start already pins
-    // the incumbent, so late probes only chase small refinements.
+    // probe budgets and a coarser gap — the warm start already pins the
+    // incumbent, so late probes only chase small refinements.
+    let nblocks = pre.partition.blocks.len();
     let relative_gap = if probe_budget.is_none() {
         0.0
     } else if nblocks > 16 {
@@ -553,6 +603,7 @@ pub fn solve_model_with_budget(
         probe_conflict_budget: adaptive_budget,
         relative_gap,
         certify: ctx.options.certify,
+        portfolio: ctx.portfolio,
     };
     let best = omt::maximize_with(&mut smt, &objective_expr, strategy, omt_options, &hint)
         .ok_or_else(|| {
@@ -595,6 +646,148 @@ pub fn solve_model_with_budget(
         solver_stats: smt.stats().clone(),
         verification,
     })
+}
+
+/// Converts catalog ids into a selection mask, rejecting stale hints: ids
+/// out of range or a selection violating a conflict constraint yield `None`.
+fn selection_from_ids(catalog: &[Substitution], ids: &[usize]) -> Option<Vec<bool>> {
+    let mut selection = vec![false; catalog.len()];
+    for &i in ids {
+        if i >= catalog.len() {
+            return None;
+        }
+        selection[i] = true;
+    }
+    for (i, a) in catalog.iter().enumerate() {
+        if !selection[i] {
+            continue;
+        }
+        for (j, b) in catalog.iter().enumerate().skip(i + 1) {
+            if selection[j] && a.conflicts_with(b) {
+                return None;
+            }
+        }
+    }
+    Some(selection)
+}
+
+/// Evaluates the exact fixed-point objective of a concrete substitution
+/// selection (catalog ids) under `hw` — the same integer arithmetic the SMT
+/// encoding bit-blasts. Recalibration uses this to re-score a cached
+/// optimum under a drifted fidelity table without re-solving; ids out of
+/// range are ignored.
+pub fn evaluate_selection(
+    pre: &Preprocessed,
+    hw: &HardwareModel,
+    catalog: &[Substitution],
+    chosen: &[usize],
+    objective: Objective,
+) -> i64 {
+    let cost = CostData::new(pre, hw, catalog);
+    let mut selection = vec![false; catalog.len()];
+    for &i in chosen {
+        if i < selection.len() {
+            selection[i] = true;
+        }
+    }
+    cost.evaluate(pre, catalog, &selection, objective)
+}
+
+/// Outcome of [`recheck_optimum`].
+#[derive(Debug)]
+pub enum RecheckOutcome {
+    /// The probe for a strictly better value was refuted: the cached
+    /// selection is still optimal under this hardware model. Carries the
+    /// refreshed solve result (re-scored objective value, fresh
+    /// verification data when certifying).
+    StillOptimal(Box<SmtAdaptation>),
+    /// The cached selection is stale (invalid for the re-evaluated
+    /// catalog), a strictly better selection exists, or the re-check budget
+    /// ran out before a verdict: a full warm-started re-solve is needed.
+    Changed,
+}
+
+/// Re-checks a cached optimum under (possibly drifted) hardware data
+/// without a full OMT search: re-encodes the model, re-scores `chosen`,
+/// anchors the search at that value, and runs one linear-search step. When
+/// the cached selection is still optimal this costs exactly two SAT queries
+/// — the hinted model, then the refuted `objective >= value + 1` probe,
+/// which doubles as the optimality certificate when certifying.
+///
+/// # Errors
+///
+/// [`AdaptError::Cancelled`] when a limit or the cancellation flag trips
+/// before a verdict.
+pub fn recheck_optimum(
+    pre: &Preprocessed,
+    hw: &HardwareModel,
+    catalog: &[Substitution],
+    ctx: &AdaptContext,
+    chosen: &[usize],
+    recheck_budget: Option<u64>,
+) -> Result<RecheckOutcome, AdaptError> {
+    let objective = ctx.options.objective;
+    let Some(selection) = selection_from_ids(catalog, chosen) else {
+        return Ok(RecheckOutcome::Changed);
+    };
+    let EncodedModel {
+        mut smt,
+        choice,
+        objective_expr,
+        cost,
+    } = encode_model(pre, hw, catalog, ctx);
+    let expected = cost.evaluate(pre, catalog, &selection, objective);
+    // Anchor at the incumbent: sound because `selection` realizes it.
+    let anchor = smt.int_const(expected);
+    smt.assert_ge(&objective_expr, &anchor);
+    let mut hint: Vec<qca_sat::Lit> = Vec::with_capacity(choice.len());
+    for (i, &sel) in selection.iter().enumerate() {
+        smt.sat_mut().set_phase(choice[i].var(), sel);
+        hint.push(if sel { choice[i] } else { !choice[i] });
+    }
+    let omt_options = omt::OmtOptions {
+        probe_conflict_budget: recheck_budget,
+        relative_gap: 0.0,
+        certify: ctx.options.certify,
+        portfolio: ctx.portfolio,
+    };
+    let best = omt::maximize_with(
+        &mut smt,
+        &objective_expr,
+        omt::Strategy::LinearSearch,
+        omt_options,
+        &hint,
+    )
+    // The anchored model with its hint is feasible by construction, so
+    // `None` can only mean the search was interrupted before a model.
+    .ok_or(AdaptError::Cancelled)?;
+    if !best.optimal || best.value != expected {
+        return Ok(RecheckOutcome::Changed);
+    }
+    let chosen_now: Vec<usize> = choice
+        .iter()
+        .enumerate()
+        .filter(|&(_, &lit)| best.model.lit_is_true(lit))
+        .map(|(i, _)| i)
+        .collect();
+    let verification = if ctx.options.certify {
+        smt.audit_bundle(best.model.clone())
+            .map(|bundle| VerificationData {
+                bundle,
+                certificate: best.certificate.clone(),
+            })
+    } else {
+        None
+    };
+    Ok(RecheckOutcome::StillOptimal(Box::new(SmtAdaptation {
+        chosen: chosen_now,
+        objective_value: best.value,
+        queries: best.queries,
+        sat_vars: smt.num_sat_vars(),
+        optimal: true,
+        solver_stats: smt.stats().clone(),
+        verification,
+    })))
 }
 
 #[cfg(test)]
@@ -654,6 +847,83 @@ mod tests {
                 .sum::<f64>();
         let got = r.objective_value as f64 / 29_000.0;
         assert!((got - expect).abs() < 1e-3, "got {got} expect {expect}");
+    }
+
+    #[test]
+    fn warm_hint_preserves_answer_and_survives_stale_ids() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[1, 0]);
+        c.push(Gate::Cx, &[0, 1]);
+        let (pre, subs, hw) = setup(&c);
+        let base = solve_model(
+            &pre,
+            &hw,
+            &subs,
+            &AdaptContext::with_objective(Objective::Fidelity),
+        )
+        .unwrap();
+        let mut ctx = AdaptContext::with_objective(Objective::Fidelity);
+        ctx.warm_hint = Some(base.chosen.clone());
+        let hinted = solve_model(&pre, &hw, &subs, &ctx).unwrap();
+        assert_eq!(hinted.objective_value, base.objective_value);
+        // An out-of-range hint falls back to the greedy warm start.
+        ctx.warm_hint = Some(vec![subs.len() + 7]);
+        let fallback = solve_model(&pre, &hw, &subs, &ctx).unwrap();
+        assert_eq!(fallback.objective_value, base.objective_value);
+    }
+
+    #[test]
+    fn evaluate_selection_matches_solver_objective() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[1, 0]);
+        c.push(Gate::Cx, &[0, 1]);
+        let (pre, subs, hw) = setup(&c);
+        for obj in [
+            Objective::Fidelity,
+            Objective::IdleTime,
+            Objective::Combined,
+        ] {
+            let r = solve_model(&pre, &hw, &subs, &AdaptContext::with_objective(obj)).unwrap();
+            assert_eq!(
+                evaluate_selection(&pre, &hw, &subs, &r.chosen, obj),
+                r.objective_value,
+                "{obj}"
+            );
+        }
+    }
+
+    #[test]
+    fn recheck_confirms_optimum_in_two_queries_and_flags_suboptimal() {
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[1, 0]);
+        c.push(Gate::Cx, &[0, 1]);
+        let (pre, subs, hw) = setup(&c);
+        let ctx = AdaptContext::with_objective(Objective::Fidelity);
+        let best = solve_model(&pre, &hw, &subs, &ctx).unwrap();
+        match recheck_optimum(&pre, &hw, &subs, &ctx, &best.chosen, None).unwrap() {
+            RecheckOutcome::StillOptimal(r) => {
+                assert_eq!(r.objective_value, best.objective_value);
+                assert!(r.optimal);
+                assert_eq!(r.chosen, best.chosen);
+                // One query when the interval upper bound already pins the
+                // optimum, two when an explicit refutation probe is needed.
+                assert!(r.queries <= 2, "recheck took {} queries", r.queries);
+            }
+            RecheckOutcome::Changed => panic!("optimal selection reported as changed"),
+        }
+        // The (suboptimal) empty selection is detected as changed, as is a
+        // selection with out-of-range ids.
+        assert!(matches!(
+            recheck_optimum(&pre, &hw, &subs, &ctx, &[], None).unwrap(),
+            RecheckOutcome::Changed
+        ));
+        assert!(matches!(
+            recheck_optimum(&pre, &hw, &subs, &ctx, &[usize::MAX], None).unwrap(),
+            RecheckOutcome::Changed
+        ));
     }
 
     #[test]

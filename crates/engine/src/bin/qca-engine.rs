@@ -20,6 +20,12 @@
 //!   --lint               run the qca-lint preflight before each solve and
 //!                        reject statically infeasible jobs
 //!   --deny-warnings      like --lint, but escalate warnings to errors
+//!   --portfolio N        race N diverse solver configs on spare workers
+//!                        when a job escalates (2..=4; default: off)
+//!   --recalibrate        after the batch, re-check every cached optimum
+//!                        against the (optionally perturbed) fidelity table
+//!   --perturb F          scale all gate infidelities by F for the
+//!                        recalibration pass (default: 1.0, i.e. unchanged)
 //! ```
 //!
 //! Prints one line per job (`file status cache objective wall`) and the
@@ -62,13 +68,17 @@ struct Args {
     verify: bool,
     lint: bool,
     deny_warnings: bool,
+    portfolio: usize,
+    recalibrate: bool,
+    perturb: f64,
 }
 
 fn usage() -> &'static str {
     "usage: qca-engine [--workers N] [--objective fidelity|idle|combined] \
      [--times d0|d1] [--budget N] [--timeout-ms N] [--cache-capacity N] \
      [--repeat N] [--out-dir DIR] [--metrics-out FILE] [--trace FILE] \
-     [--trace-report] [--verify] [--lint] [--deny-warnings] <QASM_DIR>"
+     [--trace-report] [--verify] [--lint] [--deny-warnings] [--portfolio N] \
+     [--recalibrate] [--perturb F] <QASM_DIR>"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -88,6 +98,9 @@ fn parse_args() -> Result<Args, String> {
         verify: false,
         lint: false,
         deny_warnings: false,
+        portfolio: 0,
+        recalibrate: false,
+        perturb: 1.0,
     };
     let mut dir = None;
     let mut it = std::env::args().skip(1);
@@ -145,6 +158,21 @@ fn parse_args() -> Result<Args, String> {
             "--verify" => args.verify = true,
             "--lint" => args.lint = true,
             "--deny-warnings" => args.deny_warnings = true,
+            "--portfolio" => {
+                args.portfolio = value("--portfolio")?
+                    .parse()
+                    .map_err(|e| format!("--portfolio: {e}"))?
+            }
+            "--recalibrate" => args.recalibrate = true,
+            "--perturb" => {
+                let f: f64 = value("--perturb")?
+                    .parse()
+                    .map_err(|e| format!("--perturb: {e}"))?;
+                if !f.is_finite() || f < 0.0 {
+                    return Err(format!("--perturb must be a finite factor >= 0, got {f}"));
+                }
+                args.perturb = f;
+            }
             "--help" | "-h" => return Err(String::new()),
             other if other.starts_with('-') => return Err(format!("unknown option '{other}'")),
             other => {
@@ -223,6 +251,7 @@ fn run() -> Result<ExitCode, String> {
         .verify(args.verify)
         .lint(args.lint)
         .deny_warnings(args.deny_warnings)
+        .portfolio_members(args.portfolio)
         .tracer(tracer);
     if let Some(budget) = args.budget {
         config = config.job_conflict_budget(budget);
@@ -312,6 +341,17 @@ fn run() -> Result<ExitCode, String> {
         }
     }
 
+    let mut recalib_failures = 0usize;
+    if args.recalibrate {
+        let drifted = hw.with_scaled_infidelity(args.perturb);
+        let report = engine.recalibrate(&drifted);
+        recalib_failures = report.failed;
+        println!(
+            "recalib: entries={} reused={} resolved={} failed={}",
+            report.entries, report.reused, report.resolved, report.failed
+        );
+    }
+
     let json = engine.metrics().to_json();
     match &args.metrics_out {
         Some(path) => std::fs::write(path, json + "\n")
@@ -342,6 +382,10 @@ fn run() -> Result<ExitCode, String> {
     }
     if lint_rejections > 0 {
         eprintln!("qca-engine: {lint_rejections} job(s) rejected by lint preflight");
+        return Ok(ExitCode::FAILURE);
+    }
+    if recalib_failures > 0 {
+        eprintln!("qca-engine: {recalib_failures} recalibration failure(s)");
         return Ok(ExitCode::FAILURE);
     }
     if load_errors > 0 {

@@ -5,7 +5,8 @@ use crate::metrics::MetricsRegistry;
 use crossbeam::channel;
 use qca_adapt::deadline::Watchdog;
 use qca_adapt::{
-    adapt, AdaptContext, AdaptError, AdaptLimits, AdaptOptions, Adaptation, Objective,
+    adapt, recalibrate_adaptation, AdaptContext, AdaptError, AdaptLimits, AdaptOptions, Adaptation,
+    Objective, PortfolioProbe, Recalibration,
 };
 use qca_baselines::{direct_translation, template_optimization, TemplateObjective};
 use qca_circuit::Circuit;
@@ -13,10 +14,8 @@ use qca_hw::HardwareModel;
 use qca_trace::Tracer;
 use qca_verify::{audit_adaptation, audit_baseline};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::AtomicBool;
-#[cfg(test)]
-use std::sync::atomic::Ordering;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// One adaptation request: a circuit plus its solve options and per-job
@@ -170,6 +169,12 @@ pub struct EngineConfig {
     /// Escalate warning-severity preflight findings to errors (implies
     /// [`EngineConfig::lint`]): a job with any warning is rejected.
     pub deny_warnings: bool,
+    /// Racing-portfolio escalation: when a solve exhausts a probe's
+    /// conflict budget and at least two workers are spare, race this many
+    /// diverse solver configurations (`qca-portfolio`) instead of giving
+    /// up on the bound. `0` (the default) disables escalation; accepted
+    /// values are 2–4.
+    pub portfolio_members: usize,
 }
 
 impl Default for EngineConfig {
@@ -183,6 +188,7 @@ impl Default for EngineConfig {
             verify: false,
             lint: false,
             deny_warnings: false,
+            portfolio_members: 0,
         }
     }
 }
@@ -271,6 +277,13 @@ impl EngineConfigBuilder {
         self
     }
 
+    /// Enables racing-portfolio escalation with `members` diverse solver
+    /// configurations (2–4; 0 disables).
+    pub fn portfolio_members(mut self, members: usize) -> Self {
+        self.config.portfolio_members = members;
+        self
+    }
+
     /// Validates and builds, rejecting worker counts beyond
     /// [`EngineConfig::MAX_WORKERS`], a zero deadline, and a zero conflict
     /// budget.
@@ -292,6 +305,12 @@ impl EngineConfigBuilder {
                  unlimited"
                     .to_string(),
             );
+        }
+        if c.portfolio_members == 1 || c.portfolio_members > 4 {
+            return Err(format!(
+                "portfolio_members = {} is not a race; use 0 to disable or 2-4 members",
+                c.portfolio_members
+            ));
         }
         Ok(self.config)
     }
@@ -367,6 +386,56 @@ pub struct Engine {
     /// `engine.*` counter lands in the registry even when the caller's
     /// tracer is disabled.
     tracer: Tracer,
+    /// Jobs currently inside [`Engine::run_job`]; spare-worker accounting
+    /// for portfolio escalation.
+    inflight: AtomicUsize,
+    /// Every successfully solved job, remembered for
+    /// [`Engine::recalibrate`]. Bounded by the cache capacity; deduplicated
+    /// by cache key.
+    corpus: Mutex<Vec<CorpusEntry>>,
+}
+
+/// One recalibratable solve: the job inputs and the adaptation they
+/// produced, as cached.
+#[derive(Debug, Clone)]
+struct CorpusEntry {
+    key: u64,
+    circuit: Circuit,
+    options: AdaptOptions,
+    limits: AdaptLimits,
+    adaptation: Arc<Adaptation>,
+}
+
+/// Panic-safe in-flight job counter: increments on entry, decrements on
+/// drop (including during unwinding through the panic shield).
+struct InflightGuard<'a>(&'a AtomicUsize);
+
+impl<'a> InflightGuard<'a> {
+    fn enter(counter: &'a AtomicUsize) -> InflightGuard<'a> {
+        counter.fetch_add(1, Ordering::Relaxed);
+        InflightGuard(counter)
+    }
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// What [`Engine::recalibrate`] did, entry by entry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecalibrationReport {
+    /// Corpus entries visited.
+    pub entries: usize,
+    /// Entries whose cached optimum still held under the new hardware data
+    /// (certificate-backed re-check; no OMT search).
+    pub reused: usize,
+    /// Entries re-solved (warm-started from the previous selection).
+    pub resolved: usize,
+    /// Entries whose re-check or re-solve errored; their cache entries are
+    /// left untouched.
+    pub failed: usize,
 }
 
 impl Engine {
@@ -380,6 +449,8 @@ impl Engine {
             cache,
             metrics,
             tracer,
+            inflight: AtomicUsize::new(0),
+            corpus: Mutex::new(Vec::new()),
         }
     }
 
@@ -524,6 +595,7 @@ impl Engine {
         policy: JobPolicy,
     ) -> AdaptReport {
         let t0 = Instant::now();
+        let _inflight = InflightGuard::enter(&self.inflight);
         let mut job_span = self.tracer.span_with("engine.job", || {
             format!("job={index} qubits={}", job.circuit.num_qubits())
         });
@@ -632,11 +704,29 @@ impl Engine {
             cancel = Some(flag);
         }
 
+        // Portfolio escalation rides on spare pool capacity: only when at
+        // least two workers are idle do budget-exhausted probes race a
+        // portfolio, so a saturated pool never oversubscribes its cores.
+        let spare = self
+            .effective_workers()
+            .saturating_sub(self.inflight.load(Ordering::Relaxed));
+        let portfolio = (self.config.portfolio_members >= 2 && spare >= 2).then(|| {
+            self.tracer.counter("portfolio.eligible_jobs", 1);
+            PortfolioProbe {
+                members: self.config.portfolio_members,
+                threads: spare,
+                seed: key,
+                member_budget: None,
+            }
+        });
+
         let ctx = AdaptContext {
             options,
             limits,
             tracer: self.tracer.clone(),
             cancel,
+            warm_hint: None,
+            portfolio,
         };
         let mut report = match adapt(&job.circuit, hw, &ctx) {
             Ok(adaptation) => {
@@ -655,6 +745,13 @@ impl Engine {
                 // the conflict budget, so a budget-degraded incumbent is only
                 // reused for jobs that would re-run the identical search.
                 self.cache.insert(key, adaptation.clone());
+                self.remember(
+                    key,
+                    &job.circuit,
+                    &ctx.options,
+                    &ctx.limits,
+                    adaptation.clone(),
+                );
                 AdaptReport {
                     job: index,
                     status,
@@ -675,6 +772,124 @@ impl Engine {
             }
         };
         self.audit_report(hw, &job.circuit, job.options.objective, &mut report, policy);
+        report
+    }
+
+    /// Records a solved job for later recalibration, deduplicating by
+    /// cache key and honoring the cache-capacity bound (oldest entry out).
+    fn remember(
+        &self,
+        key: u64,
+        circuit: &Circuit,
+        options: &AdaptOptions,
+        limits: &AdaptLimits,
+        adaptation: Arc<Adaptation>,
+    ) {
+        if self.config.cache_capacity == 0 {
+            return;
+        }
+        let mut corpus = self.corpus.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = corpus.iter_mut().find(|e| e.key == key) {
+            entry.adaptation = adaptation;
+            return;
+        }
+        if corpus.len() >= self.config.cache_capacity {
+            corpus.remove(0);
+        }
+        corpus.push(CorpusEntry {
+            key,
+            circuit: circuit.clone(),
+            options: options.clone(),
+            limits: limits.clone(),
+            adaptation,
+        });
+    }
+
+    /// Re-validates every remembered solve against `hw` — typically a
+    /// drifted calibration snapshot of the hardware the corpus was solved
+    /// on. Each entry's cached optimum is re-checked under the new fidelity
+    /// table (at most two SAT queries when it still holds, via
+    /// [`qca_adapt::recheck_optimum`]); only entries whose optimality no
+    /// longer holds pay for a fresh OMT search, warm-started from the
+    /// previous selection. Refreshed adaptations land in the result cache
+    /// under the new hardware's keys, so a subsequent batch against `hw`
+    /// hits the cache instead of solving.
+    ///
+    /// Emits `recalib.entries` / `recalib.reused` / `recalib.resolved` /
+    /// `recalib.failed` counters under an `engine.recalibrate` span; a
+    /// verifying engine additionally audits every refreshed adaptation.
+    pub fn recalibrate(&self, hw: &HardwareModel) -> RecalibrationReport {
+        let entries: Vec<CorpusEntry> = self
+            .corpus
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone();
+        let mut report = RecalibrationReport {
+            entries: entries.len(),
+            ..RecalibrationReport::default()
+        };
+        let mut span = self.tracer.span_with("engine.recalibrate", || {
+            format!("entries={}", entries.len())
+        });
+        self.tracer.counter("recalib.entries", entries.len() as u64);
+        for entry in entries {
+            let mut options = entry.options.clone();
+            if self.config.verify {
+                options.certify = true;
+            }
+            let ctx = AdaptContext {
+                options,
+                limits: entry.limits.clone(),
+                tracer: self.tracer.clone(),
+                cancel: None,
+                warm_hint: None,
+                portfolio: None,
+            };
+            match recalibrate_adaptation(&entry.circuit, hw, &entry.adaptation, &ctx, None) {
+                Ok(recal) => {
+                    if recal.reused() {
+                        report.reused += 1;
+                        self.tracer.counter("recalib.reused", 1);
+                    } else {
+                        report.resolved += 1;
+                        self.tracer.counter("recalib.resolved", 1);
+                    }
+                    let adaptation = Arc::new(match recal {
+                        Recalibration::Reused(a) | Recalibration::Resolved(a) => a,
+                    });
+                    if self.config.verify {
+                        self.tracer.counter("verify.audits", 1);
+                        match audit_adaptation(
+                            &entry.circuit,
+                            &adaptation,
+                            hw,
+                            ctx.options.objective,
+                        ) {
+                            Ok(_) => self.tracer.counter("verify.passed", 1),
+                            Err(_) => self.tracer.counter("verify.failures", 1),
+                        }
+                    }
+                    let new_key = AdaptCache::key(&entry.circuit, hw, &ctx.options, &ctx.limits);
+                    self.cache.insert(new_key, adaptation.clone());
+                    // Re-key the corpus entry in place so repeated
+                    // recalibrations track the latest hardware snapshot
+                    // instead of accumulating duplicates.
+                    let mut corpus = self.corpus.lock().unwrap_or_else(|e| e.into_inner());
+                    if let Some(e) = corpus.iter_mut().find(|e| e.key == entry.key) {
+                        e.key = new_key;
+                        e.adaptation = adaptation;
+                    }
+                }
+                Err(_) => {
+                    report.failed += 1;
+                    self.tracer.counter("recalib.failed", 1);
+                }
+            }
+        }
+        span.set_note(format!(
+            "reused={} resolved={} failed={}",
+            report.reused, report.resolved, report.failed
+        ));
         report
     }
 
@@ -869,6 +1084,116 @@ mod tests {
             workers,
             ..EngineConfig::default()
         }
+    }
+
+    #[test]
+    fn recalibrate_reuses_certified_optima_after_drift() {
+        let d0 = spin_qubit_model(GateTimes::D0);
+        let jobs = workload(4);
+        let (tracer, sink) = qca_trace::Tracer::to_memory();
+        let engine = Engine::new(EngineConfig::builder().workers(2).tracer(tracer).build());
+        let reports = engine.adapt_batch(&d0, &jobs);
+        assert!(reports.iter().all(|r| r.error.is_none()));
+
+        let drifted = d0.with_scaled_infidelity(2.0);
+        let recal = engine.recalibrate(&drifted);
+        assert!(recal.entries > 0, "solved jobs must populate the corpus");
+        assert_eq!(recal.failed, 0);
+        assert_eq!(recal.reused + recal.resolved, recal.entries);
+        assert!(recal.reused >= 1, "no certificate-backed reuse: {recal:?}");
+
+        // Recalibration pre-warmed the cache for the drifted hardware: a
+        // batch against it is pure cache hits, no fresh solves.
+        let again = engine.adapt_batch(&drifted, &jobs);
+        assert!(again.iter().all(|r| r.cache_hit && r.error.is_none()));
+        // Cached answers match what a cold engine would compute.
+        let cold = Engine::new(config(2));
+        let fresh = cold.adapt_batch(&drifted, &jobs);
+        for (a, b) in again.iter().zip(&fresh) {
+            assert_eq!(a.objective_value, b.objective_value);
+        }
+
+        // Counters flowed through the teed tracer into the registry.
+        assert_eq!(
+            engine.metrics().recalib_entries.load(Ordering::Relaxed),
+            recal.entries as u64
+        );
+        assert_eq!(
+            engine.metrics().recalib_reused.load(Ordering::Relaxed),
+            recal.reused as u64
+        );
+        assert_eq!(
+            engine.metrics().recalib_resolved.load(Ordering::Relaxed),
+            recal.resolved as u64
+        );
+        let totals = qca_trace::report::counter_totals(&sink.take());
+        assert_eq!(totals.get("recalib.entries"), Some(&(recal.entries as u64)));
+
+        // Recalibrating onto unchanged hardware reuses every entry that
+        // carries an optimality claim (gap-degraded solves re-resolve).
+        let steady = engine.recalibrate(&drifted);
+        assert_eq!(steady.failed, 0);
+        assert!(
+            steady.reused >= recal.reused,
+            "steady-state lost reuse: {steady:?} vs {recal:?}"
+        );
+    }
+
+    #[test]
+    fn recalibrate_audits_under_verify_mode() {
+        let d0 = spin_qubit_model(GateTimes::D0);
+        let engine = Engine::new(EngineConfig::builder().workers(1).verify(true).build());
+        let reports = engine.adapt_batch(&d0, &workload(2));
+        assert!(reports.iter().all(|r| r.error.is_none()));
+        let audits_before = engine.metrics().verify_audits.load(Ordering::Relaxed);
+        let recal = engine.recalibrate(&d0.with_scaled_infidelity(3.0));
+        assert_eq!(recal.failed, 0);
+        let audits_after = engine.metrics().verify_audits.load(Ordering::Relaxed);
+        assert_eq!(
+            audits_after - audits_before,
+            recal.entries as u64,
+            "every refreshed adaptation must be audited"
+        );
+        assert_eq!(engine.metrics().verify_failures.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn portfolio_config_gates_on_spare_workers() {
+        assert!(EngineConfig::builder()
+            .portfolio_members(1)
+            .try_build()
+            .is_err());
+        assert!(EngineConfig::builder()
+            .portfolio_members(5)
+            .try_build()
+            .is_err());
+        let hw = spin_qubit_model(GateTimes::D0);
+        // Plenty of spare workers: the job runs portfolio-eligible.
+        let (tracer, sink) = qca_trace::Tracer::to_memory();
+        let engine = Engine::new(
+            EngineConfig::builder()
+                .workers(4)
+                .portfolio_members(3)
+                .tracer(tracer)
+                .build(),
+        );
+        let reports = engine.adapt_batch(&hw, &workload(1));
+        assert!(reports[0].error.is_none());
+        let totals = qca_trace::report::counter_totals(&sink.take());
+        assert_eq!(totals.get("portfolio.eligible_jobs"), Some(&1));
+        // A single-worker pool never has the two spare workers a race
+        // needs, so the job solves single-config.
+        let (tracer, sink) = qca_trace::Tracer::to_memory();
+        let engine = Engine::new(
+            EngineConfig::builder()
+                .workers(1)
+                .portfolio_members(3)
+                .tracer(tracer)
+                .build(),
+        );
+        let _ = engine.adapt_batch(&hw, &workload(1));
+        let totals = qca_trace::report::counter_totals(&sink.take());
+        assert_eq!(totals.get("portfolio.eligible_jobs"), None);
     }
 
     #[test]

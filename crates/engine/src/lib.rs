@@ -53,7 +53,7 @@ pub mod pool;
 
 pub use engine::{
     AdaptJob, AdaptReport, AdaptStatus, AuditOutcome, Engine, EngineConfig, EngineConfigBuilder,
-    JobPolicy,
+    JobPolicy, RecalibrationReport,
 };
 pub use pool::{EnginePool, SubmitError};
 

@@ -149,6 +149,16 @@ pub struct MetricsRegistry {
     pub lint_warnings: AtomicU64,
     /// Jobs rejected by preflight (degraded to a baseline result).
     pub lint_rejections: AtomicU64,
+    /// Corpus entries visited by recalibration.
+    pub recalib_entries: AtomicU64,
+    /// Recalibrated entries whose cached optimum still held (no re-solve).
+    pub recalib_reused: AtomicU64,
+    /// Recalibrated entries that needed a warm-started re-solve.
+    pub recalib_resolved: AtomicU64,
+    /// Recalibrated entries whose re-check or re-solve errored.
+    pub recalib_failed: AtomicU64,
+    /// Solver-portfolio races launched by budget-exhausted probes.
+    pub portfolio_races: AtomicU64,
     /// Total SAT conflicts across all solved jobs.
     pub sat_conflicts: AtomicU64,
     /// Total SAT restarts across all solved jobs.
@@ -203,6 +213,11 @@ impl MetricsRegistry {
                 "  \"lint_errors\": {},\n",
                 "  \"lint_warnings\": {},\n",
                 "  \"lint_rejections\": {},\n",
+                "  \"recalib_entries\": {},\n",
+                "  \"recalib_reused\": {},\n",
+                "  \"recalib_resolved\": {},\n",
+                "  \"recalib_failed\": {},\n",
+                "  \"portfolio_races\": {},\n",
                 "  \"sat_conflicts\": {},\n",
                 "  \"sat_restarts\": {},\n",
                 "  \"sat_learnt_clauses\": {},\n",
@@ -227,6 +242,11 @@ impl MetricsRegistry {
             load(&self.lint_errors),
             load(&self.lint_warnings),
             load(&self.lint_rejections),
+            load(&self.recalib_entries),
+            load(&self.recalib_reused),
+            load(&self.recalib_resolved),
+            load(&self.recalib_failed),
+            load(&self.portfolio_races),
             load(&self.sat_conflicts),
             load(&self.sat_restarts),
             load(&self.sat_learnt_clauses),
@@ -261,6 +281,11 @@ impl TraceSink for MetricsRegistry {
             "lint.errors" => &self.lint_errors,
             "lint.warnings" => &self.lint_warnings,
             "lint.rejections" => &self.lint_rejections,
+            "recalib.entries" => &self.recalib_entries,
+            "recalib.reused" => &self.recalib_reused,
+            "recalib.resolved" => &self.recalib_resolved,
+            "recalib.failed" => &self.recalib_failed,
+            "portfolio.races" => &self.portfolio_races,
             "engine.sat_conflicts" => {
                 self.conflicts_per_job.record(*value);
                 &self.sat_conflicts

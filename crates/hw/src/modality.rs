@@ -227,6 +227,38 @@ impl HardwareModel {
         self.table.iter()
     }
 
+    /// A copy of this model with every gate infidelity scaled by `factor`
+    /// (`f ← 1 − factor·(1 − f)`, clamped into `(0, 1]`); durations and
+    /// coherence times are unchanged. This simulates a drifted calibration
+    /// snapshot: `factor > 1` degrades every gate, `factor < 1` improves
+    /// them, and `factor == 1` is an exact copy (same
+    /// [`fingerprint`](Self::fingerprint)). Recalibration smoke tests use
+    /// it to perturb a fidelity table without hand-editing cost entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `factor` is negative, NaN, or infinite.
+    pub fn with_scaled_infidelity(&self, factor: f64) -> HardwareModel {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "infidelity scale factor must be finite and non-negative"
+        );
+        let table = self
+            .table
+            .iter()
+            .map(|(class, cost)| {
+                let fid = (1.0 - factor * (1.0 - cost.fidelity)).clamp(f64::MIN_POSITIVE, 1.0);
+                (*class, GateCost::new(fid, cost.duration))
+            })
+            .collect();
+        HardwareModel {
+            name: self.name.clone(),
+            table,
+            t1: self.t1,
+            t2: self.t2,
+        }
+    }
+
     /// Semantic fingerprint of the model: a stable 64-bit hash of the cost
     /// table and coherence times.
     ///
@@ -450,6 +482,29 @@ mod tests {
         }
         let renamed = HardwareModel::new("other-name", table, d0.t1(), d0.t2());
         assert_eq!(renamed.fingerprint(), d0.fingerprint());
+    }
+
+    #[test]
+    fn scaled_infidelity_perturbs_and_round_trips() {
+        let d0 = spin_qubit_model(GateTimes::D0);
+        // factor 1 is an exact copy — same fingerprint, same costs.
+        assert_eq!(
+            d0.with_scaled_infidelity(1.0).fingerprint(),
+            d0.fingerprint()
+        );
+        let worse = d0.with_scaled_infidelity(2.0);
+        assert_ne!(worse.fingerprint(), d0.fingerprint());
+        for (class, cost) in worse.cost_classes() {
+            let orig = d0.cost_classes().find(|(c, _)| *c == class).unwrap().1;
+            assert!(cost.fidelity > 0.0 && cost.fidelity <= 1.0);
+            assert!(cost.fidelity <= orig.fidelity, "{class:?} got better");
+            assert_eq!(cost.duration, orig.duration);
+        }
+        // Extreme factors stay in-range instead of panicking.
+        let floor = d0.with_scaled_infidelity(1e20);
+        for (_, cost) in floor.cost_classes() {
+            assert!(cost.fidelity > 0.0 && cost.fidelity <= 1.0);
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@
 //!   unless `--ignore-fingerprint` downgrades gating to report-only.
 //! * `check` validates report files against the schema; with
 //!   `--require-layers` it additionally demands at least one result from
-//!   each of the sat, engine, and serve layers.
+//!   each of the sat, engine, portfolio, and serve layers.
 
 use qca_perf::compare::{self, CompareConfig};
 use qca_perf::report::BenchReport;

@@ -14,7 +14,7 @@
 //! | [`fingerprint`] | Machine identity (cores, arch, rustc, git SHA, profile) recorded in every report |
 //! | [`report`] | The `BENCH_<pr>.json` schema: model, rendering, parsing, validation |
 //! | [`mod@compare`] | Noise-aware old-vs-new gating (flat bound **and** measured dispersion) |
-//! | [`suite`] | The benchmark suite spanning `qca-sat`, `qca-engine`, and `qca-serve` |
+//! | [`suite`] | The benchmark suite spanning `qca-sat`, `qca-engine`, `qca-portfolio`, and `qca-serve` |
 //! | [`json`] | Dependency-free general JSON parser/writer underneath it all |
 //!
 //! The `qca-perf` binary exposes three subcommands: `run` (measure and

@@ -42,8 +42,8 @@ pub const SCHEMA_VERSION: u64 = 1;
 /// The `kind` discriminator every report carries.
 pub const REPORT_KIND: &str = "qca-bench-report";
 
-/// The three measured layers of the stack.
-pub const LAYERS: [&str; 3] = ["sat", "engine", "serve"];
+/// The measured layers of the stack.
+pub const LAYERS: [&str; 4] = ["sat", "engine", "portfolio", "serve"];
 
 /// Whether a larger or smaller [`BenchResult::value`] is an improvement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -77,7 +77,8 @@ pub struct BenchResult {
     /// Stable identifier, e.g. `engine.batch/w1`. Unique within a report;
     /// `compare` joins old and new reports on it.
     pub id: String,
-    /// Which layer the benchmark exercises: `sat`, `engine`, or `serve`.
+    /// Which layer the benchmark exercises: `sat`, `engine`, `portfolio`,
+    /// or `serve`.
     pub layer: String,
     /// Unit of [`BenchResult::value`] (`ns`, `jobs_per_sec`, ...).
     pub unit: String,
@@ -439,6 +440,7 @@ mod tests {
             results: vec![
                 result("sat.pigeonhole/7", "sat", 5.0e6),
                 result("engine.batch/w1", "engine", 2.0e8),
+                result("portfolio.race/6", "portfolio", 6.0e5),
                 result("serve.adapt.p50", "serve", 1.1e6),
             ],
         }

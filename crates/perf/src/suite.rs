@@ -7,6 +7,8 @@
 //! | `engine.batch/w1` | engine | batch adaptation wall time at one worker, plus jobs/sec |
 //! | `engine.batch/wN` | engine | the same at N workers — marked unobservable when the machine has fewer than N cores |
 //! | `engine.cache_hit` | engine | latency of answering an adaptation from the warm cache |
+//! | `engine.recalibrate` | engine | walking the cached corpus against a drifted fidelity table, re-certifying each cached optimum |
+//! | `portfolio.race/N` | portfolio | racing the diverse preset portfolio (with clause sharing) to an UNSAT verdict on the pigeonhole suite |
 //! | `serve.adapt.p50` / `serve.adapt.p95` | serve | request latency percentiles against an in-process `qca-serve` instance, driven by the `qca-load` client machinery |
 //!
 //! Quick mode (the CI gate) shrinks instance sizes and request counts so
@@ -19,7 +21,8 @@ use crate::report::{BenchResult, Direction};
 use qca_adapt::Objective;
 use qca_engine::{AdaptJob, Engine, EngineConfig};
 use qca_hw::{spin_qubit_model, GateTimes};
-use qca_sat::{Lit, Solver, Var};
+use qca_portfolio::{presets, race, RaceOptions};
+use qca_sat::{Lit, SolveOutcome, Solver, Var};
 use qca_serve::client::Connection;
 use qca_serve::{ServeConfig, Server};
 use qca_workloads::{random_template_circuit, DEFAULT_TEMPLATE_GATES};
@@ -96,6 +99,11 @@ pub fn run_suite(config: &SuiteConfig) -> Vec<BenchResult> {
     push(bench_engine_batch(config, 1));
     push(bench_engine_batch(config, SCALE_WORKERS));
     push(bench_cache_hit(config));
+    push(bench_recalibrate(config));
+    push(bench_portfolio_race(
+        config,
+        if config.quick { 6 } else { 7 },
+    ));
     for result in bench_serve(config) {
         push(Some(result));
     }
@@ -328,6 +336,89 @@ fn bench_cache_hit(config: &SuiteConfig) -> Option<BenchResult> {
     ))
 }
 
+fn bench_recalibrate(config: &SuiteConfig) -> Option<BenchResult> {
+    let id = "engine.recalibrate";
+    if !config.wants(id) {
+        return None;
+    }
+    let hw = spin_qubit_model(GateTimes::D0);
+    let jobs = engine_jobs(config);
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        cache_capacity: 64,
+        ..EngineConfig::default()
+    });
+    // Populate the corpus, then measure the steady-state walk: every
+    // iteration re-certifies each cached optimum against the drifted table.
+    engine.adapt_batch(&hw, &jobs);
+    let drifted = hw.with_scaled_infidelity(1.02);
+    let probe = engine.recalibrate(&drifted);
+    assert_eq!(probe.entries, jobs.len(), "corpus missed cached jobs");
+    assert_eq!(probe.failed, 0, "recalibration benchmark hit failures");
+    let measurement = measure(&config.harness, || engine.recalibrate(&drifted));
+    let mut metrics = BTreeMap::new();
+    metrics.insert("entries".to_string(), probe.entries as f64);
+    metrics.insert("reused".to_string(), probe.reused as f64);
+    metrics.insert("resolved".to_string(), probe.resolved as f64);
+    Some(timing_result(
+        config,
+        id,
+        "engine",
+        &measurement,
+        true,
+        metrics,
+    ))
+}
+
+fn bench_portfolio_race(config: &SuiteConfig, n: usize) -> Option<BenchResult> {
+    let id = format!("portfolio.race/{n}");
+    if !config.wants(&id) {
+        return None;
+    }
+    // Export the pigeonhole instance through a solver so the race sees the
+    // same canonical CNF the escalation path would hand it.
+    let (num_vars, clauses) = pigeonhole_clauses(n);
+    let mut solver = Solver::new();
+    let vars: Vec<Var> = (0..num_vars).map(|_| solver.new_var()).collect();
+    for clause in &clauses {
+        let lits: Vec<Lit> = clause
+            .iter()
+            .map(|&d| vars[(d.unsigned_abs() - 1) as usize].lit(d > 0))
+            .collect();
+        solver.add_clause(&lits);
+    }
+    let cnf = solver.export_formula();
+    let configs = presets(3, 1);
+    let opts = RaceOptions::default();
+    let probe = race(&cnf, &[], &configs, &opts);
+    assert_eq!(
+        probe.outcome,
+        SolveOutcome::Unsat,
+        "pigeonhole race must refute"
+    );
+    let measurement = measure(&config.harness, || race(&cnf, &[], &configs, &opts));
+    let mut metrics = BTreeMap::new();
+    metrics.insert("members".to_string(), configs.len() as f64);
+    metrics.insert(
+        "shared_exported".to_string(),
+        probe.members.iter().map(|m| m.exported).sum::<u64>() as f64,
+    );
+    metrics.insert(
+        "shared_imported".to_string(),
+        probe.members.iter().map(|m| m.imported).sum::<u64>() as f64,
+    );
+    // Honesty: racing 3 member threads on fewer cores measures contention.
+    let observable = config.fingerprint.cores >= configs.len();
+    Some(timing_result(
+        config,
+        &id,
+        "portfolio",
+        &measurement,
+        observable,
+        metrics,
+    ))
+}
+
 /// Exact nearest-rank percentile over an ascending-sorted slice.
 fn percentile_ns(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
@@ -510,7 +601,35 @@ mod tests {
         assert!(bench_pigeonhole(&config, 5).is_none());
         assert!(bench_engine_batch(&config, 1).is_none());
         assert!(bench_cache_hit(&config).is_none());
+        assert!(bench_recalibrate(&config).is_none());
+        assert!(bench_portfolio_race(&config, 5).is_none());
         assert!(bench_serve(&config).is_empty());
+    }
+
+    #[test]
+    fn portfolio_race_bench_reports_members() {
+        let mut config = tiny();
+        config.fingerprint.cores = 1;
+        let result = bench_portfolio_race(&config, 5).unwrap();
+        assert_eq!(result.layer, "portfolio");
+        assert!(result.value > 0.0);
+        assert_eq!(result.metrics["members"], 3.0);
+        assert!(
+            !result.observable,
+            "3-member race claimed observable on 1 core"
+        );
+    }
+
+    #[test]
+    fn recalibrate_bench_covers_the_whole_corpus() {
+        let result = bench_recalibrate(&tiny()).unwrap();
+        assert_eq!(result.layer, "engine");
+        assert!(result.value > 0.0);
+        assert!(result.metrics["entries"] >= 1.0);
+        assert_eq!(
+            result.metrics["reused"] + result.metrics["resolved"],
+            result.metrics["entries"],
+        );
     }
 
     #[test]

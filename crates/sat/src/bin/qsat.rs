@@ -3,9 +3,14 @@
 //! Usage:
 //!
 //! ```text
-//! qsat [--stats] [--conflicts N] [--proof FILE] <file.cnf>   # solve a DIMACS file
-//! qsat [--stats] [--conflicts N] [--proof FILE] -            # read DIMACS from stdin
+//! qsat [--stats] [--conflicts N] [--proof FILE] [--config SPEC] <file.cnf>
+//! qsat [--stats] [--conflicts N] [--proof FILE] [--config SPEC] -   # stdin
 //! ```
+//!
+//! `--config` takes a `key=value,...` spec mapping 1:1 onto
+//! [`SolverConfig`] — e.g. `--config decay=0.95,restart=luby` or
+//! `--config restart=geometric:128:1.3,phase=random,seed=7` — so a racing
+//! portfolio's member presets are reproducible from the CLI.
 //!
 //! Prints `s SATISFIABLE` with a `v ...` model line, `s UNSATISFIABLE`, or —
 //! when the `--conflicts` cap aborts the solve — `s UNKNOWN`, following the
@@ -20,7 +25,7 @@
 //! code 10 for SAT, 20 for UNSAT, 0 for UNKNOWN, 1 on input errors.
 
 use qca_sat::dimacs::parse_dimacs;
-use qca_sat::{FileProof, SolveControl, SolveOutcome, Solver, Var};
+use qca_sat::{FileProof, SolveControl, SolveOutcome, Solver, SolverConfig, Var};
 use qca_trace::{report, MemorySink, Tracer};
 use std::process::ExitCode;
 use std::sync::Arc;
@@ -40,7 +45,9 @@ fn print_stats(events: &[qca_trace::TraceEvent]) {
 }
 
 fn usage() -> ExitCode {
-    eprintln!("usage: qsat [--stats] [--conflicts N] [--proof FILE] <file.cnf | ->");
+    eprintln!(
+        "usage: qsat [--stats] [--conflicts N] [--proof FILE] [--config SPEC] <file.cnf | ->"
+    );
     ExitCode::from(1)
 }
 
@@ -48,6 +55,7 @@ fn main() -> ExitCode {
     let mut stats = false;
     let mut conflict_cap: Option<u64> = None;
     let mut proof_path: Option<String> = None;
+    let mut config = SolverConfig::default();
     let mut input: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -64,6 +72,18 @@ fn main() -> ExitCode {
                     return usage();
                 };
                 proof_path = Some(path);
+            }
+            "--config" => {
+                let Some(spec) = args.next() else {
+                    return usage();
+                };
+                config = match SolverConfig::parse(&spec) {
+                    Ok(c) => c,
+                    Err(e) => {
+                        eprintln!("c bad --config: {e}");
+                        return ExitCode::from(1);
+                    }
+                };
             }
             other => {
                 if input.replace(other.to_string()).is_some() {
@@ -97,7 +117,7 @@ fn main() -> ExitCode {
     let num_vars = cnf.num_vars;
     // The proof sink must be installed *before* clauses are loaded so that
     // input simplification (and input-level conflicts) are logged too.
-    let mut solver = Solver::new();
+    let mut solver = Solver::with_config(config);
     if let Some(path) = &proof_path {
         match FileProof::create(std::path::Path::new(path)) {
             Ok(p) => solver.set_proof(Box::new(p)),

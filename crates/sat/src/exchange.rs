@@ -1,0 +1,300 @@
+//! Learnt-clause exchange between portfolio members.
+//!
+//! A [`ClauseExchange`] is a bounded ring of slots shared by the members of
+//! a racing portfolio. Exporters publish *short* learnt clauses (length and
+//! LBD capped) with a `try_lock` — a contended slot simply drops the clause,
+//! so no solver ever blocks on sharing. Importers scan the ring at restarts
+//! and pull every clause newer than their cursor that passes their
+//! [`ImportFilter`] and was published by a *different* member.
+//!
+//! Soundness: every published clause is a learnt clause of some member, i.e.
+//! a logical consequence of the shared formula (all members solve clause-for
+//! -clause identical CNFs — see [`Solver::export_formula`]), so importing it
+//! can never change the SAT/UNSAT answer or exclude a model.
+//!
+//! [`Solver::export_formula`]: crate::Solver::export_formula
+
+use crate::lit::Lit;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Per-member admission caps for imported (and exported) clauses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImportFilter {
+    /// Maximum literal count of an admitted clause.
+    pub max_len: usize,
+    /// Maximum LBD (number of distinct decision levels at learning time)
+    /// of an admitted clause. Units are always admitted (LBD 0).
+    pub max_lbd: u32,
+}
+
+impl Default for ImportFilter {
+    fn default() -> Self {
+        ImportFilter {
+            max_len: 8,
+            max_lbd: 4,
+        }
+    }
+}
+
+impl ImportFilter {
+    /// `true` when a clause with this length/LBD passes the caps.
+    pub fn admits(&self, len: usize, lbd: u32) -> bool {
+        len <= self.max_len && lbd <= self.max_lbd
+    }
+}
+
+#[derive(Debug, Default)]
+struct Slot {
+    /// Publication sequence number (0 = empty).
+    seq: u64,
+    /// Member that published the clause.
+    source: usize,
+    lbd: u32,
+    lits: Vec<Lit>,
+}
+
+/// Bounded lock-light shared clause buffer; see the module docs.
+#[derive(Debug)]
+pub struct ClauseExchange {
+    slots: Vec<Mutex<Slot>>,
+    head: AtomicU64,
+}
+
+impl ClauseExchange {
+    /// Creates an exchange with `capacity` slots (minimum 1).
+    pub fn new(capacity: usize) -> Arc<ClauseExchange> {
+        let capacity = capacity.max(1);
+        Arc::new(ClauseExchange {
+            slots: (0..capacity).map(|_| Mutex::new(Slot::default())).collect(),
+            head: AtomicU64::new(0),
+        })
+    }
+
+    /// Number of slots.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Total clauses ever published (publications that lost their slot's
+    /// `try_lock` still count — the sequence number was consumed).
+    pub fn published(&self) -> u64 {
+        self.head.load(Ordering::Relaxed)
+    }
+
+    /// Publishes a clause from `source`. Returns `false` if the slot was
+    /// contended and the clause dropped (never blocks).
+    pub fn publish(&self, source: usize, lits: &[Lit], lbd: u32) -> bool {
+        let seq = self.head.fetch_add(1, Ordering::Relaxed) + 1;
+        let idx = (seq % self.slots.len() as u64) as usize;
+        match self.slots[idx].try_lock() {
+            Ok(mut slot) => {
+                slot.seq = seq;
+                slot.source = source;
+                slot.lbd = lbd;
+                slot.lits.clear();
+                slot.lits.extend_from_slice(lits);
+                true
+            }
+            Err(_) => false,
+        }
+    }
+
+    /// Collects every clause published after `*cursor` that passes `filter`
+    /// and was not published by `member`, appending to `out`; advances
+    /// `*cursor` to the current head. Overwritten slots (ring wrapped) are
+    /// silently skipped — the buffer is bounded by design.
+    pub fn collect(
+        &self,
+        member: usize,
+        cursor: &mut u64,
+        filter: &ImportFilter,
+        out: &mut Vec<Vec<Lit>>,
+    ) {
+        let head = self.head.load(Ordering::Relaxed);
+        let cap = self.slots.len() as u64;
+        let start = (*cursor + 1).max(head.saturating_sub(cap) + 1);
+        for seq in start..=head {
+            let idx = (seq % cap) as usize;
+            let Ok(slot) = self.slots[idx].try_lock() else {
+                continue;
+            };
+            // The slot may have been overwritten by a newer publication (or
+            // not written at all if the publisher lost the try_lock): only a
+            // matching sequence number is this clause.
+            if slot.seq == seq && slot.source != member && filter.admits(slot.lits.len(), slot.lbd)
+            {
+                out.push(slot.lits.clone());
+            }
+        }
+        *cursor = head;
+    }
+}
+
+/// One member's connection to a [`ClauseExchange`]: identity, caps, cursor,
+/// and export/import accounting. Installed on a solver with
+/// [`Solver::set_exchange`](crate::Solver::set_exchange).
+#[derive(Debug)]
+pub struct ExchangeHandle {
+    shared: Arc<ClauseExchange>,
+    member: usize,
+    filter: ImportFilter,
+    cursor: u64,
+    exported: u64,
+    imported: u64,
+    imported_log: Vec<Vec<Lit>>,
+}
+
+impl ExchangeHandle {
+    /// Connects `member` to `shared` with the given admission caps (the
+    /// same caps gate both export and import on this member's side).
+    pub fn new(shared: Arc<ClauseExchange>, member: usize, filter: ImportFilter) -> Self {
+        ExchangeHandle {
+            shared,
+            member,
+            filter,
+            cursor: 0,
+            exported: 0,
+            imported: 0,
+            imported_log: Vec::new(),
+        }
+    }
+
+    /// The member index this handle publishes as.
+    pub fn member(&self) -> usize {
+        self.member
+    }
+
+    /// Clauses this member exported so far.
+    pub fn exported(&self) -> u64 {
+        self.exported
+    }
+
+    /// Clauses this member imported so far.
+    pub fn imported(&self) -> u64 {
+        self.imported
+    }
+
+    /// Every clause imported through this handle, in import order — the
+    /// audit trail for the import-soundness regression tests.
+    pub fn imported_clauses(&self) -> &[Vec<Lit>] {
+        &self.imported_log
+    }
+
+    /// Offers a freshly learnt clause for export; published only when it
+    /// passes the caps.
+    pub(crate) fn offer(&mut self, lits: &[Lit], lbd: u32) {
+        if self.filter.admits(lits.len(), lbd) && self.shared.publish(self.member, lits, lbd) {
+            self.exported += 1;
+        }
+    }
+
+    /// Pulls all admissible foreign clauses newer than the cursor.
+    pub(crate) fn pull(&mut self, out: &mut Vec<Vec<Lit>>) {
+        let before = out.len();
+        self.shared
+            .collect(self.member, &mut self.cursor, &self.filter, out);
+        let n = out.len() - before;
+        self.imported += n as u64;
+        self.imported_log.extend_from_slice(&out[before..]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Var;
+
+    fn lits(codes: &[usize]) -> Vec<Lit> {
+        codes
+            .iter()
+            .map(|&i| Var::from_index(i).positive())
+            .collect()
+    }
+
+    #[test]
+    fn publish_and_collect_skips_own_clauses() {
+        let ex = ClauseExchange::new(8);
+        assert!(ex.publish(0, &lits(&[1, 2]), 2));
+        assert!(ex.publish(1, &lits(&[3, 4]), 2));
+        let mut h0 = ExchangeHandle::new(ex.clone(), 0, ImportFilter::default());
+        let mut out = Vec::new();
+        h0.pull(&mut out);
+        assert_eq!(out, vec![lits(&[3, 4])]);
+        assert_eq!(h0.imported(), 1);
+        // A second pull with nothing new is empty.
+        out.clear();
+        h0.pull(&mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn filter_caps_length_and_lbd() {
+        let f = ImportFilter {
+            max_len: 3,
+            max_lbd: 2,
+        };
+        let ex = ClauseExchange::new(8);
+        ex.publish(0, &lits(&[1, 2, 3, 4]), 1); // too long
+        ex.publish(0, &lits(&[1, 2]), 5); // lbd too high
+        ex.publish(0, &lits(&[1, 2]), 2); // admitted
+        let mut h = ExchangeHandle::new(ex, 1, f);
+        let mut out = Vec::new();
+        h.pull(&mut out);
+        assert_eq!(out, vec![lits(&[1, 2])]);
+    }
+
+    #[test]
+    fn ring_is_bounded_and_drops_oldest() {
+        let ex = ClauseExchange::new(4);
+        for i in 0..10 {
+            ex.publish(0, &lits(&[i]), 1);
+        }
+        assert_eq!(ex.published(), 10);
+        let mut h = ExchangeHandle::new(ex, 1, ImportFilter::default());
+        let mut out = Vec::new();
+        h.pull(&mut out);
+        // Only the last `capacity` publications survive.
+        assert_eq!(out.len(), 4);
+        assert_eq!(out, vec![lits(&[6]), lits(&[7]), lits(&[8]), lits(&[9])]);
+    }
+
+    #[test]
+    fn export_side_caps_apply_in_offer() {
+        let ex = ClauseExchange::new(8);
+        let mut h = ExchangeHandle::new(
+            ex.clone(),
+            0,
+            ImportFilter {
+                max_len: 2,
+                max_lbd: 2,
+            },
+        );
+        h.offer(&lits(&[1, 2, 3]), 1); // too long: not published
+        h.offer(&lits(&[1, 2]), 1); // published
+        assert_eq!(h.exported(), 1);
+        assert_eq!(ex.published(), 1);
+    }
+
+    #[test]
+    fn concurrent_publish_collect_is_safe() {
+        let ex = ClauseExchange::new(16);
+        std::thread::scope(|scope| {
+            for m in 0..4 {
+                let ex = ex.clone();
+                scope.spawn(move || {
+                    let mut h = ExchangeHandle::new(ex, m, ImportFilter::default());
+                    let mut out = Vec::new();
+                    for i in 0..200 {
+                        h.offer(&lits(&[m * 1000 + i]), 1);
+                        if i % 16 == 0 {
+                            out.clear();
+                            h.pull(&mut out);
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(ex.published(), 800);
+    }
+}

@@ -32,13 +32,17 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod config;
 pub mod dimacs;
 pub mod encode;
+pub mod exchange;
 mod heap;
 mod lit;
 pub mod proof;
 mod solver;
 
+pub use config::{ConfigError, PhasePolicy, RestartSchedule, SolverConfig, SolverConfigBuilder};
+pub use exchange::{ClauseExchange, ExchangeHandle, ImportFilter};
 pub use lit::{LBool, Lit, Var};
 pub use proof::{FileProof, MemoryProof, ProofSink, ProofStep};
 pub use solver::{SolveControl, SolveOutcome, Solver, SolverStats};

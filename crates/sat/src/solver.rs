@@ -11,6 +11,8 @@
 //! * incremental solving under assumptions with failed-assumption
 //!   (unsat-core) extraction.
 
+use crate::config::{PhasePolicy, SolverConfig, XorShift64};
+use crate::exchange::ExchangeHandle;
 use crate::heap::ActivityHeap;
 use crate::lit::{LBool, Lit, Var};
 use crate::proof::ProofSink;
@@ -158,16 +160,13 @@ pub struct Solver {
     conflict_core: Vec<Lit>,
     stats: SolverStats,
     max_learnts: f64,
-    conflict_budget: Option<u64>,
-    control: SolveControl,
+    config: SolverConfig,
+    rng: XorShift64,
+    exchange: Option<ExchangeHandle>,
     n_original_clauses: usize,
     proof: Option<Box<dyn ProofSink>>,
     recorded: Option<Vec<Vec<Lit>>>,
 }
-
-const VAR_DECAY: f64 = 0.95;
-const CLAUSE_DECAY: f64 = 0.999;
-const RESTART_BASE: u64 = 100;
 
 impl Default for Solver {
     fn default() -> Self {
@@ -176,8 +175,16 @@ impl Default for Solver {
 }
 
 impl Solver {
-    /// Creates an empty solver.
+    /// Creates an empty solver with the default [`SolverConfig`].
     pub fn new() -> Self {
+        Solver::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver searching as described by `config` (assumed
+    /// already validated — construct it with [`SolverConfig::builder`] or
+    /// [`SolverConfig::parse`]).
+    pub fn with_config(config: SolverConfig) -> Self {
+        let rng = XorShift64::new(config.seed);
         Solver {
             clauses: Vec::new(),
             free_slots: Vec::new(),
@@ -201,12 +208,18 @@ impl Solver {
             conflict_core: Vec::new(),
             stats: SolverStats::default(),
             max_learnts: 0.0,
-            conflict_budget: None,
-            control: SolveControl::default(),
+            config,
+            rng,
+            exchange: None,
             n_original_clauses: 0,
             proof: None,
             recorded: None,
         }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &SolverConfig {
+        &self.config
     }
 
     /// Allocates a fresh variable.
@@ -262,52 +275,58 @@ impl Solver {
     }
 
     /// Limits the next `solve*` call to roughly `budget` conflicts; `None`
-    /// removes the limit. The budget is consumed per call.
+    /// removes the limit. The budget is consumed per call. Equivalent to
+    /// setting [`SolverConfig::conflict_budget`].
     pub fn set_conflict_budget(&mut self, budget: Option<u64>) {
-        self.conflict_budget = budget;
+        self.config.conflict_budget = budget;
     }
 
     /// Installs the caller-side run controls (lifetime conflict cap,
     /// cancellation flag, tracer) in one call. See [`SolveControl`].
+    /// Equivalent to setting [`SolverConfig::control`].
     pub fn set_control(&mut self, control: SolveControl) {
-        self.control = control;
+        self.config.control = control;
     }
 
     /// The currently installed run controls.
     pub fn control(&self) -> &SolveControl {
-        &self.control
+        &self.config.control
     }
 
     /// Caps the solver's *lifetime* conflict count. `None` removes the cap.
     #[deprecated(
         since = "0.1.0",
-        note = "set `SolveControl::conflict_cap` via `set_control`"
+        note = "set `SolverConfig::builder().conflict_cap(..)` or `SolveControl::conflict_cap` via `set_control`"
     )]
     pub fn set_conflict_cap(&mut self, cap: Option<u64>) {
-        self.control.conflict_cap = cap;
+        self.config.control.conflict_cap = cap;
     }
 
     /// Installs a cooperative cancellation flag. `None` detaches the flag.
-    #[deprecated(since = "0.1.0", note = "set `SolveControl::stop` via `set_control`")]
+    #[deprecated(
+        since = "0.1.0",
+        note = "set `SolverConfig::builder().stop(..)` or `SolveControl::stop` via `set_control`"
+    )]
     pub fn set_stop_flag(&mut self, stop: Option<Arc<AtomicBool>>) {
-        self.control.stop = stop;
+        self.config.control.stop = stop;
     }
 
     /// `true` when the attached stop flag (if any) requests cancellation.
     #[inline]
     fn stop_requested(&self) -> bool {
-        self.control
+        self.config
+            .control
             .stop
             .as_ref()
             .is_some_and(|s| s.load(Ordering::Relaxed))
     }
 
-    /// `true` when the lifetime conflict cap (if any) is exhausted.
+    /// `true` once the lifetime conflict count has reached `halt_at` (the
+    /// single unified limit computed per solve from the per-call budget and
+    /// the lifetime cap — see [`Solver::solve_limited`]).
     #[inline]
-    fn cap_exhausted(&self) -> bool {
-        self.control
-            .conflict_cap
-            .is_some_and(|cap| self.stats.conflicts >= cap)
+    fn halted(&self, halt_at: Option<u64>) -> bool {
+        halt_at.is_some_and(|h| self.stats.conflicts >= h) || self.stop_requested()
     }
 
     /// Installs a DRAT proof sink; every clause the solver derives from now
@@ -379,6 +398,56 @@ impl Solver {
     fn proof_delete(&mut self, lits: &[Lit]) {
         if let Some(p) = self.proof.as_mut() {
             p.delete_clause(lits);
+        }
+    }
+
+    /// Connects this solver to a shared [`ClauseExchange`] as one portfolio
+    /// member: short learnt clauses passing the handle's caps are published,
+    /// and foreign clauses are imported at every restart. Import is
+    /// suppressed while a proof sink is installed (an imported clause is a
+    /// consequence of the *shared* formula, but not necessarily RUP at this
+    /// point of *this* solver's derivation, which would break DRAT
+    /// checking).
+    ///
+    /// [`ClauseExchange`]: crate::ClauseExchange
+    pub fn set_exchange(&mut self, handle: ExchangeHandle) {
+        self.exchange = Some(handle);
+    }
+
+    /// The installed exchange handle, if any (accounting and import log).
+    pub fn exchange(&self) -> Option<&ExchangeHandle> {
+        self.exchange.as_ref()
+    }
+
+    /// Removes and returns the installed exchange handle, if any.
+    pub fn take_exchange(&mut self) -> Option<ExchangeHandle> {
+        self.exchange.take()
+    }
+
+    /// Exports the solver's current formula as a CNF over the same variable
+    /// numbering: the level-0 trail as unit clauses (units are enqueued
+    /// directly and never stored in the clause database) plus every live
+    /// stored clause — original, derived, and learnt alike. Learnt and
+    /// derived clauses are consequences of the rest, so the export is
+    /// equisatisfiable with the solver's formula and every model of it maps
+    /// back verbatim; this is what portfolio members race on.
+    pub fn export_formula(&self) -> crate::dimacs::Cnf {
+        let mut clauses = Vec::new();
+        if !self.ok {
+            clauses.push(Vec::new());
+        }
+        let root = self.trail_lim.first().copied().unwrap_or(self.trail.len());
+        for &l in &self.trail[..root] {
+            clauses.push(vec![l]);
+        }
+        for c in &self.clauses {
+            if !c.deleted {
+                clauses.push(c.lits.clone());
+            }
+        }
+        crate::dimacs::Cnf {
+            num_vars: self.num_vars(),
+            clauses,
         }
     }
 
@@ -650,8 +719,92 @@ impl Solver {
     }
 
     fn decay_activities(&mut self) {
-        self.var_inc /= VAR_DECAY;
-        self.cla_inc /= CLAUSE_DECAY;
+        self.var_inc /= self.config.var_decay();
+        self.cla_inc /= self.config.cla_decay();
+    }
+
+    /// Literal Block Distance of a clause under the current assignment: the
+    /// number of distinct non-zero decision levels among its literals. Low
+    /// LBD ("glue") clauses are the ones worth sharing.
+    fn clause_lbd(&mut self, lits: &[Lit]) -> u32 {
+        let mut lbd = 0u32;
+        for &l in lits {
+            let level = self.level[l.var().index()];
+            if level > 0 && !self.seen[l.var().index()] {
+                self.seen[l.var().index()] = true;
+                lbd += 1;
+            }
+        }
+        for &l in lits {
+            self.seen[l.var().index()] = false;
+        }
+        lbd
+    }
+
+    /// Imports one foreign clause at decision level 0, attaching it as a
+    /// learnt clause (so database reduction may drop it again). The clause
+    /// must be a consequence of the formula; see [`Solver::set_exchange`].
+    fn import_clause(&mut self, lits: &[Lit]) {
+        debug_assert_eq!(self.decision_level(), 0);
+        let mut ls: Vec<Lit> = lits.to_vec();
+        ls.sort_unstable();
+        ls.dedup();
+        let mut simplified = Vec::with_capacity(ls.len());
+        for (i, &l) in ls.iter().enumerate() {
+            if i + 1 < ls.len() && ls[i + 1] == !l {
+                return; // tautology
+            }
+            match self.lit_value(l) {
+                LBool::True => return, // already satisfied at level 0
+                LBool::False => {}     // falsified at level 0: drop literal
+                LBool::Undef => simplified.push(l),
+            }
+        }
+        match simplified.len() {
+            0 => self.ok = false,
+            1 => {
+                self.unchecked_enqueue(simplified[0], None);
+                if self.propagate().is_some() {
+                    self.ok = false;
+                }
+            }
+            _ => {
+                self.attach_clause(simplified, true);
+            }
+        }
+    }
+
+    /// Pulls every admissible foreign clause from the exchange (restart-time
+    /// hook; no-op without an exchange or while a proof sink is installed).
+    fn import_shared(&mut self) {
+        if self.proof.is_some() {
+            return;
+        }
+        let Some(mut ex) = self.exchange.take() else {
+            return;
+        };
+        let mut batch = Vec::new();
+        ex.pull(&mut batch);
+        self.exchange = Some(ex);
+        for lits in &batch {
+            if !self.ok {
+                break;
+            }
+            self.import_clause(lits);
+        }
+    }
+
+    /// Offers a freshly learnt clause to the exchange (no-op without one).
+    #[inline]
+    fn export_learnt(&mut self, learnt: &[Lit]) {
+        if self.exchange.is_none() {
+            return;
+        }
+        let lbd = self.clause_lbd(learnt);
+        if let Some(mut ex) = self.exchange.take() {
+            ex.offer(learnt, lbd);
+            self.exchange = Some(ex);
+        }
     }
 
     /// First-UIP conflict analysis. Returns the learnt clause (asserting
@@ -862,19 +1015,10 @@ impl Solver {
 
     /// The Luby restart sequence value for restart index `x` (0-based):
     /// 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, ...
-    fn luby(mut x: u64) -> u64 {
-        let mut size: u64 = 1;
-        let mut seq: u32 = 0;
-        while size < x + 1 {
-            seq += 1;
-            size = 2 * size + 1;
-        }
-        while size - 1 != x {
-            size = (size - 1) / 2;
-            seq -= 1;
-            x %= size;
-        }
-        1u64 << seq
+    /// (Lives in [`crate::config`] now; kept here for the unit tests.)
+    #[cfg(test)]
+    fn luby(x: u64) -> u64 {
+        crate::config::luby(x)
     }
 
     /// Solves the formula with no assumptions. Returns `true` when
@@ -897,10 +1041,10 @@ impl Solver {
     /// lifetime [`SolverStats`] are emitted as `sat.*` gauges when the call
     /// returns, so aborted solves still report their work.
     pub fn solve_limited(&mut self, assumptions: &[Lit]) -> SolveOutcome {
-        if !self.control.tracer.enabled() {
+        if !self.config.control.tracer.enabled() {
             return self.solve_limited_inner(assumptions);
         }
-        let tracer = self.control.tracer.clone();
+        let tracer = self.config.control.tracer.clone();
         let mut span = tracer.span("sat.solve");
         let outcome = self.solve_limited_inner(assumptions);
         span.set_note(match outcome {
@@ -939,12 +1083,29 @@ impl Solver {
             return SolveOutcome::Unsat;
         }
         self.max_learnts = (self.n_original_clauses as f64 * 0.3).max(1000.0);
-        let budget_start = self.stats.conflicts;
+        // One source of truth for budget accounting: the per-call budget
+        // (counted from this call's starting conflicts) and the lifetime cap
+        // fold into a single lifetime conflict count to halt at.
+        let halt_at = {
+            let from_budget = self
+                .config
+                .conflict_budget
+                .map(|b| self.stats.conflicts.saturating_add(b));
+            let cap = self.config.control.conflict_cap;
+            match (from_budget, cap) {
+                (Some(b), Some(c)) => Some(b.min(c)),
+                (b, c) => b.or(c),
+            }
+        };
+        self.import_shared();
+        if !self.ok {
+            return SolveOutcome::Unsat;
+        }
         let mut restart_num: u64 = 0;
         loop {
             restart_num += 1;
-            let limit = Self::luby(restart_num - 1) * RESTART_BASE;
-            match self.search(limit, assumptions, budget_start) {
+            let limit = self.config.restart.limit(restart_num - 1);
+            match self.search(limit, assumptions, halt_at) {
                 SearchResult::Sat => {
                     self.model = self.assigns.clone();
                     self.cancel_until(0);
@@ -960,8 +1121,12 @@ impl Solver {
                 }
                 SearchResult::Restart => {
                     self.stats.restarts += 1;
-                    self.control.tracer.counter("sat.restart", 1);
+                    self.config.control.tracer.counter("sat.restart", 1);
                     self.cancel_until(0);
+                    self.import_shared();
+                    if !self.ok {
+                        return SolveOutcome::Unsat;
+                    }
                 }
                 SearchResult::BudgetExhausted => {
                     self.cancel_until(0);
@@ -975,7 +1140,7 @@ impl Solver {
         &mut self,
         conflict_limit: u64,
         assumptions: &[Lit],
-        budget_start: u64,
+        halt_at: Option<u64>,
     ) -> SearchResult {
         let mut conflicts_here: u64 = 0;
         loop {
@@ -984,8 +1149,10 @@ impl Solver {
                 conflicts_here += 1;
                 // Milestone checkpoint for long solves; the `enabled` check
                 // keeps the disabled-tracer hot path to a single branch.
-                if self.control.tracer.enabled() && self.stats.conflicts.is_multiple_of(4096) {
-                    self.control
+                if self.config.control.tracer.enabled() && self.stats.conflicts.is_multiple_of(4096)
+                {
+                    self.config
+                        .control
                         .tracer
                         .gauge("sat.conflicts.checkpoint", self.stats.conflicts as i64);
                 }
@@ -995,6 +1162,9 @@ impl Solver {
                     return SearchResult::Unsat;
                 }
                 let (learnt, bt) = self.analyze(confl);
+                // Share the fresh clause before backjumping clears the
+                // levels its LBD is computed from.
+                self.export_learnt(&learnt);
                 if self.proof.is_some() {
                     let emit = learnt.clone();
                     self.proof_add(&emit);
@@ -1011,12 +1181,7 @@ impl Solver {
                     self.unchecked_enqueue(first, Some(cref));
                 }
                 self.decay_activities();
-                if let Some(budget) = self.conflict_budget {
-                    if self.stats.conflicts - budget_start >= budget {
-                        return SearchResult::BudgetExhausted;
-                    }
-                }
-                if self.stop_requested() || self.cap_exhausted() {
+                if self.halted(halt_at) {
                     return SearchResult::BudgetExhausted;
                 }
             } else {
@@ -1027,7 +1192,7 @@ impl Solver {
                 // propagation-heavy instances with few conflicts still
                 // stop promptly (and a pre-tripped flag or exhausted cap
                 // aborts before any search work).
-                if self.stop_requested() || self.cap_exhausted() {
+                if self.halted(halt_at) {
                     return SearchResult::BudgetExhausted;
                 }
                 if self.stats.learnt_clauses as f64 >= self.max_learnts {
@@ -1055,7 +1220,13 @@ impl Solver {
                             None => return SearchResult::Sat,
                             Some(v) => {
                                 self.stats.decisions += 1;
-                                break Some(v.lit(self.phase[v.index()]));
+                                let polarity = match self.config.phase {
+                                    PhasePolicy::Saved => self.phase[v.index()],
+                                    PhasePolicy::Positive => true,
+                                    PhasePolicy::Negative => false,
+                                    PhasePolicy::Random => self.rng.next_bool(),
+                                };
+                                break Some(v.lit(polarity));
                             }
                         }
                     }
@@ -1546,6 +1717,202 @@ mod tests {
             SolveOutcome::Unknown | SolveOutcome::Unsat
         ));
         killer.join().unwrap();
+    }
+
+    #[test]
+    fn with_config_steers_search_knobs() {
+        use crate::config::{PhasePolicy, RestartSchedule, SolverConfig};
+        // Geometric restarts + positive phase still refute pigeonhole...
+        let cfg = SolverConfig::builder()
+            .decay(0.9)
+            .restart(RestartSchedule::Geometric {
+                initial: 50,
+                factor: 1.5,
+            })
+            .phase(PhasePolicy::Positive)
+            .build()
+            .unwrap();
+        let mut s = Solver::with_config(cfg.clone());
+        let vs: Vec<Var> = (0..72).map(|_| s.new_var()).collect();
+        let var = |p: usize, h: usize| vs[p * 8 + h];
+        for p in 0..9 {
+            let clause: Vec<Lit> = (0..8).map(|h| var(p, h).positive()).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..8 {
+            for p1 in 0..9 {
+                for p2 in (p1 + 1)..9 {
+                    s.add_clause(&[var(p1, h).negative(), var(p2, h).negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve_limited(&[]), SolveOutcome::Unsat);
+        assert_eq!(s.config().var_decay(), 0.9);
+        // ...and so does a random-phase member with a seed.
+        let mut s = Solver::with_config(
+            SolverConfig::builder()
+                .phase(PhasePolicy::Random)
+                .seed(7)
+                .build()
+                .unwrap(),
+        );
+        let vs: Vec<Var> = (0..30).map(|_| s.new_var()).collect();
+        let var = |p: usize, h: usize| vs[p * 5 + h];
+        for p in 0..6 {
+            let clause: Vec<Lit> = (0..5).map(|h| var(p, h).positive()).collect();
+            s.add_clause(&clause);
+        }
+        for h in 0..5 {
+            for p1 in 0..6 {
+                for p2 in (p1 + 1)..6 {
+                    s.add_clause(&[var(p1, h).negative(), var(p2, h).negative()]);
+                }
+            }
+        }
+        assert_eq!(s.solve_limited(&[]), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn phase_policies_fix_unconstrained_polarity() {
+        use crate::config::{PhasePolicy, SolverConfig};
+        for (policy, expect) in [
+            (PhasePolicy::Positive, true),
+            (PhasePolicy::Negative, false),
+        ] {
+            let mut s = Solver::with_config(SolverConfig::builder().phase(policy).build().unwrap());
+            let a = s.new_var();
+            let b = s.new_var();
+            s.add_clause(&[a.positive(), b.positive()]);
+            assert!(s.solve());
+            assert_eq!(s.value(a), Some(expect), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn config_budget_and_cap_share_one_accounting() {
+        use crate::config::SolverConfig;
+        // Budget via the builder behaves exactly like set_conflict_budget.
+        let cfg = SolverConfig::builder()
+            .conflict_budget(Some(10))
+            .build()
+            .unwrap();
+        let mut s = pigeonhole(9, 8);
+        s.set_conflict_budget(cfg.conflict_budget);
+        assert_eq!(s.solve_limited(&[]), SolveOutcome::Unknown);
+        // The tighter of (budget, cap) wins: a huge budget with a small cap
+        // still halts at the cap.
+        s.set_conflict_budget(Some(1_000_000));
+        s.set_control(SolveControl {
+            conflict_cap: Some(s.stats().conflicts + 5),
+            ..SolveControl::default()
+        });
+        assert_eq!(s.solve_limited(&[]), SolveOutcome::Unknown);
+        // And clearing both lets the refutation finish.
+        s.set_conflict_budget(None);
+        s.set_control(SolveControl::default());
+        assert_eq!(s.solve_limited(&[]), SolveOutcome::Unsat);
+    }
+
+    #[test]
+    fn export_formula_preserves_answers_and_units() {
+        // UNSAT instance round-trips through export.
+        let s = {
+            let mut s = pigeonhole(5, 4);
+            assert_eq!(s.solve_limited(&[]), SolveOutcome::Unsat);
+            s
+        };
+        let cnf = s.export_formula();
+        let mut racer = Solver::new();
+        for _ in 0..cnf.num_vars {
+            racer.new_var();
+        }
+        let mut ok = true;
+        for c in &cnf.clauses {
+            ok = racer.add_clause(c);
+            if !ok {
+                break;
+            }
+        }
+        assert!(!ok || !racer.solve());
+
+        // SAT instance with level-0 units: the units must appear in the
+        // export (they are never stored in the clause database).
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive()]);
+        s.add_clause(&[a.negative(), b.positive()]);
+        let cnf = s.export_formula();
+        assert!(cnf.clauses.contains(&vec![a.positive()]));
+        let mut racer = Solver::new();
+        for _ in 0..cnf.num_vars {
+            racer.new_var();
+        }
+        for c in &cnf.clauses {
+            racer.add_clause(c);
+        }
+        assert!(racer.solve());
+        assert_eq!(racer.value(a), Some(true));
+        assert_eq!(racer.value(b), Some(true));
+    }
+
+    #[test]
+    fn exchange_import_keeps_answers_and_logs_clauses() {
+        use crate::exchange::{ClauseExchange, ExchangeHandle, ImportFilter};
+        // Pre-seed the exchange with consequences of the pigeonhole CNF
+        // learnt by "member 0", then let member 1 import them mid-solve.
+        let exchange = ClauseExchange::new(64);
+        let mut exporter = pigeonhole(7, 6);
+        exporter.set_exchange(ExchangeHandle::new(
+            exchange.clone(),
+            0,
+            ImportFilter::default(),
+        ));
+        assert_eq!(exporter.solve_limited(&[]), SolveOutcome::Unsat);
+        assert!(exporter.exchange().unwrap().exported() > 0);
+
+        let mut importer = pigeonhole(7, 6);
+        importer.set_exchange(ExchangeHandle::new(
+            exchange.clone(),
+            1,
+            ImportFilter::default(),
+        ));
+        assert_eq!(importer.solve_limited(&[]), SolveOutcome::Unsat);
+        let handle = importer.take_exchange().unwrap();
+        assert!(handle.imported() > 0);
+        assert_eq!(handle.imported() as usize, handle.imported_clauses().len());
+
+        // A SAT instance stays SAT (and the model satisfies every imported
+        // clause — they are consequences, so this must hold by soundness).
+        let exchange = ClauseExchange::new(64);
+        let build_sat = || {
+            let mut s = Solver::new();
+            let v: Vec<Var> = (0..40).map(|_| s.new_var()).collect();
+            for i in 0..39 {
+                s.add_clause(&[v[i].negative(), v[i + 1].positive()]);
+            }
+            s.add_clause(&[v[0].positive(), v[20].positive()]);
+            (s, v)
+        };
+        let (mut m0, _) = build_sat();
+        m0.set_exchange(ExchangeHandle::new(
+            exchange.clone(),
+            0,
+            ImportFilter::default(),
+        ));
+        assert!(m0.solve());
+        let (mut m1, _) = build_sat();
+        m1.set_exchange(ExchangeHandle::new(exchange, 1, ImportFilter::default()));
+        assert!(m1.solve());
+        let handle = m1.take_exchange().unwrap();
+        for clause in handle.imported_clauses() {
+            assert!(
+                clause
+                    .iter()
+                    .any(|&l| m1.lit_value_in_model(l).unwrap_or(false)),
+                "model violates imported clause {clause:?}"
+            );
+        }
     }
 
     #[test]

@@ -94,6 +94,9 @@ pub struct ServeConfig {
     pub trace_capacity: usize,
     /// Where to write the final metrics JSON during drain.
     pub metrics_out: Option<PathBuf>,
+    /// Racing-portfolio escalation members (see
+    /// [`EngineConfig::portfolio_members`]; 0 disables).
+    pub portfolio_members: usize,
 }
 
 impl Default for ServeConfig {
@@ -113,6 +116,7 @@ impl Default for ServeConfig {
             max_body: crate::http::DEFAULT_MAX_BODY,
             trace_capacity: 64,
             metrics_out: None,
+            portfolio_members: 0,
         }
     }
 }
@@ -250,6 +254,7 @@ impl Server {
             verify: config.verify,
             lint: config.lint,
             deny_warnings: config.deny_warnings,
+            portfolio_members: config.portfolio_members,
         }));
         let workers = if config.workers == 0 {
             std::thread::available_parallelism()
@@ -428,7 +433,8 @@ impl Server {
             }
             ("POST", "/v1/adapt") => self.adapt(request, false),
             ("POST", "/v1/batch") => self.adapt(request, true),
-            (_, "/healthz" | "/metrics" | "/v1/adapt" | "/v1/batch") => {
+            ("POST", "/v1/recalibrate") => self.recalibrate(request),
+            (_, "/healthz" | "/metrics" | "/v1/adapt" | "/v1/batch" | "/v1/recalibrate") => {
                 Response::json(405, json::error_body("method not allowed"))
             }
             (_, path) if path.starts_with("/v1/trace/") => {
@@ -450,6 +456,43 @@ impl Server {
                 "{{\"status\":\"ok\",\"state\":\"{state}\",\"queued\":{},\"queue_capacity\":{}}}\n",
                 self.pool.queued(),
                 self.pool.capacity(),
+            ),
+        )
+    }
+
+    /// `POST /v1/recalibrate` — walk the engine's cached corpus against a
+    /// (possibly perturbed) hardware model, reusing entries whose optimum
+    /// still certifies and warm-re-solving the rest.
+    fn recalibrate(&self, request: &Request) -> Response {
+        if self.draining.load(Ordering::SeqCst) {
+            return Response::json(503, json::error_body("server is draining"));
+        }
+        let bad = |msg: String| Response::json(400, json::error_body(&msg));
+        let hw = match request.query_param("times") {
+            None | Some("d0") => self.hw_d0.clone(),
+            Some("d1") => self.hw_d1.clone(),
+            Some(other) => return bad(format!("unknown times column {other:?}")),
+        };
+        let hw = match request.query_param("perturb") {
+            None => hw,
+            Some(raw) => match raw.parse::<f64>() {
+                Ok(factor) if factor.is_finite() && factor >= 0.0 => {
+                    Arc::new(hw.with_scaled_infidelity(factor))
+                }
+                _ => return bad(format!("bad perturbation factor {raw:?}")),
+            },
+        };
+        let mut root = self.tracer.span("serve.recalibrate");
+        let report = self.engine.recalibrate(&hw);
+        root.set_note(format!(
+            "entries={} reused={} resolved={} failed={}",
+            report.entries, report.reused, report.resolved, report.failed
+        ));
+        Response::json(
+            200,
+            format!(
+                "{{\"entries\":{},\"reused\":{},\"resolved\":{},\"failed\":{}}}\n",
+                report.entries, report.reused, report.resolved, report.failed
             ),
         )
     }

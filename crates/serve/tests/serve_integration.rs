@@ -249,6 +249,64 @@ fn batch_adapts_several_circuits() {
 }
 
 #[test]
+fn recalibrate_walks_the_cached_corpus() {
+    let server = TestServer::start(small_config());
+    let mut connection = server.connect();
+
+    // An empty corpus recalibrates trivially.
+    let empty = connection
+        .request("POST", "/v1/recalibrate", b"")
+        .expect("empty recalibrate");
+    assert_eq!(empty.status, 200, "{}", empty.body_text());
+    assert!(
+        empty.body_text().contains("\"entries\":0"),
+        "{}",
+        empty.body_text()
+    );
+
+    // Populate the corpus, then recalibrate against drifted fidelities.
+    let ok = connection
+        .request("POST", "/v1/adapt", GOOD_QASM.as_bytes())
+        .expect("adapt request");
+    assert_eq!(ok.status, 200, "{}", ok.body_text());
+    let recal = connection
+        .request("POST", "/v1/recalibrate?perturb=2", b"")
+        .expect("recalibrate request");
+    assert_eq!(recal.status, 200, "{}", recal.body_text());
+    let body = recal.body_text();
+    assert!(body.contains("\"entries\":1"), "{body}");
+    assert!(body.contains("\"failed\":0"), "{body}");
+
+    // A re-submission against the drifted table now hits the refreshed cache.
+    let again = connection
+        .request("POST", "/v1/recalibrate?perturb=2", b"")
+        .expect("second recalibrate");
+    assert!(
+        again.body_text().contains("\"failed\":0"),
+        "{}",
+        again.body_text()
+    );
+
+    // Malformed perturbation factors are rejected up front.
+    let bad = connection
+        .request("POST", "/v1/recalibrate?perturb=-1", b"")
+        .expect("bad perturb");
+    assert_eq!(bad.status, 400, "{}", bad.body_text());
+    let nan = connection
+        .request("POST", "/v1/recalibrate?perturb=wat", b"")
+        .expect("nan perturb");
+    assert_eq!(nan.status, 400);
+    assert_eq!(
+        connection
+            .request("GET", "/v1/recalibrate", b"")
+            .unwrap()
+            .status,
+        405
+    );
+    server.stop();
+}
+
+#[test]
 fn drain_finishes_in_flight_work_and_writes_metrics() {
     let metrics_path =
         std::env::temp_dir().join(format!("qca-serve-metrics-{}.json", std::process::id()));

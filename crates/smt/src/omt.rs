@@ -61,6 +61,32 @@ pub struct OptimalityCertificate {
     pub refuted_bound: i64,
 }
 
+/// Portfolio escalation for budget-exhausted probes; see
+/// [`OmtOptions::portfolio`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PortfolioProbe {
+    /// Number of diverse members raced (from [`qca_portfolio::presets`]).
+    pub members: usize,
+    /// Thread cap for the race (0 = one thread per member).
+    pub threads: usize,
+    /// Base seed for per-member jitter.
+    pub seed: u64,
+    /// Per-member conflict budget; `None` (the default) races until some
+    /// member reaches a definitive answer, keeping escalated searches exact.
+    pub member_budget: Option<u64>,
+}
+
+impl Default for PortfolioProbe {
+    fn default() -> Self {
+        PortfolioProbe {
+            members: 3,
+            threads: 0,
+            seed: 0,
+            member_budget: None,
+        }
+    }
+}
+
 /// Tuning knobs for [`maximize_with`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct OmtOptions {
@@ -68,6 +94,12 @@ pub struct OmtOptions {
     /// When a probe exhausts its budget it is treated as a failed probe, so
     /// the result may be suboptimal (`Optimum::optimal` reports this).
     pub probe_conflict_budget: Option<u64>,
+    /// Escalate budget-exhausted probes to a racing solver portfolio
+    /// ([`qca_portfolio::race`]) over the exported formula before giving up
+    /// on that part of the bracket. `None` (the default) keeps the
+    /// single-config behavior. Escalation is skipped when the caller's stop
+    /// flag has tripped or the lifetime conflict cap is exhausted.
+    pub portfolio: Option<PortfolioProbe>,
     /// Early-termination gap: the binary search stops once the remaining
     /// bracket is below `relative_gap * max(1, |best|)`. Zero (the default)
     /// searches to exact optimality. A gap-stop reports
@@ -190,6 +222,57 @@ fn certify_bound(
     })
 }
 
+/// Escalates a budget-exhausted bound probe to a racing solver portfolio:
+/// the current formula (with every clause learnt so far) is exported and
+/// 2–4 diverse members race it under the probe assumption `ge`, sharing
+/// short learnt clauses. A definitive SAT/UNSAT verdict from the race
+/// settles the probe exactly as a direct solver answer would; `None` means
+/// the race was skipped or also came back unknown.
+fn escalate_probe(
+    smt: &mut SmtSolver,
+    ge: qca_sat::Lit,
+    options: OmtOptions,
+) -> Option<(SolveOutcome, Option<SmtModel>)> {
+    let probe = options.portfolio?;
+    if probe.members < 2 {
+        return None;
+    }
+    let stopped = smt
+        .control()
+        .stop
+        .as_ref()
+        .is_some_and(|s| s.load(std::sync::atomic::Ordering::Relaxed));
+    let capped = smt
+        .control()
+        .conflict_cap
+        .is_some_and(|cap| smt.stats().conflicts >= cap);
+    if stopped || capped {
+        return None;
+    }
+    let tracer = smt.tracer().clone();
+    tracer.counter("portfolio.escalations", 1);
+    let cnf = smt.sat.export_formula();
+    let mut configs = qca_portfolio::presets(probe.members, probe.seed);
+    for c in &mut configs {
+        c.conflict_budget = probe.member_budget;
+    }
+    let race_opts = qca_portfolio::RaceOptions {
+        max_threads: probe.threads,
+        stop: smt.control().stop.clone(),
+        tracer,
+        ..qca_portfolio::RaceOptions::default()
+    };
+    let result = qca_portfolio::race(&cnf, &[ge], &configs, &race_opts);
+    match result.outcome {
+        SolveOutcome::Sat => Some((
+            SolveOutcome::Sat,
+            Some(SmtModel::from_values(result.model?)),
+        )),
+        SolveOutcome::Unsat => Some((SolveOutcome::Unsat, None)),
+        _ => None,
+    }
+}
+
 /// First model: try the warm-start hint (cheap propagation-only solve),
 /// fall back to an unconstrained search.
 fn first_model(smt: &mut SmtSolver, hint: &[qca_sat::Lit]) -> Option<SmtModel> {
@@ -278,9 +361,24 @@ fn maximize_binary(
                 }
                 probe_span.set_note("unknown");
                 drop(probe_span);
-                // Budget exhausted: give up on this half of the bracket.
-                optimal = false;
-                hi = mid - 1;
+                // Budget exhausted: escalate to a racing portfolio on
+                // spare workers before giving up on this half.
+                match escalate_probe(smt, ge, options) {
+                    Some((SolveOutcome::Sat, Some(m))) => {
+                        best_val = m.int_value(objective);
+                        best_model = m;
+                        smt.tracer().gauge("omt.best", best_val);
+                    }
+                    Some((SolveOutcome::Unsat, _)) => {
+                        smt.add_clause_derived(&[!ge]);
+                        hi = mid - 1;
+                        smt.tracer().gauge("omt.bound_hi", hi);
+                    }
+                    _ => {
+                        optimal = false;
+                        hi = mid - 1;
+                    }
+                }
             }
         }
     }
@@ -339,8 +437,22 @@ fn maximize_linear(
             _ => {
                 probe_span.set_note("unknown");
                 drop(probe_span);
-                optimal = false;
-                break;
+                match escalate_probe(smt, ge, options) {
+                    Some((SolveOutcome::Sat, Some(m))) => {
+                        best_val = m.int_value(objective);
+                        best_model = m;
+                        smt.tracer().gauge("omt.best", best_val);
+                    }
+                    Some((SolveOutcome::Unsat, _)) => {
+                        smt.add_clause_derived(&[!ge]);
+                        smt.tracer().gauge("omt.bound_hi", best_val);
+                        break;
+                    }
+                    _ => {
+                        optimal = false;
+                        break;
+                    }
+                }
             }
         }
     }
@@ -588,6 +700,99 @@ mod tests {
         assert_eq!(best.value, 50);
         assert!(best.optimal);
         assert!(best.certificate.is_some());
+    }
+
+    #[test]
+    fn exhausted_probes_escalate_to_portfolio_and_stay_exact() {
+        use qca_trace::{TraceEvent, Tracer};
+        for strategy in [Strategy::BinarySearch, Strategy::LinearSearch] {
+            let (tracer, sink) = Tracer::to_memory();
+            let mut smt = SmtSolver::new();
+            smt.set_control(qca_sat::SolveControl {
+                tracer,
+                ..qca_sat::SolveControl::default()
+            });
+            let x: Vec<_> = (0..3).map(|_| smt.new_bool()).collect();
+            let weight = smt.pb_sum(0, &[(3, x[0]), (4, x[1]), (5, x[2])]);
+            let cap = smt.int_const(7);
+            smt.assert_ge(&cap, &weight);
+            let value = smt.pb_sum(0, &[(4, x[0]), (5, x[1]), (6, x[2])]);
+            // A zero probe budget exhausts every probe immediately, so each
+            // bound is decided by the racing portfolio alone — and the
+            // search must still land on the exact optimum.
+            let opts = OmtOptions {
+                probe_conflict_budget: Some(0),
+                portfolio: Some(PortfolioProbe::default()),
+                ..OmtOptions::default()
+            };
+            let best = maximize_with(&mut smt, &value, strategy, opts, &[]).expect("sat");
+            assert_eq!(best.value, 9, "{strategy:?}");
+            assert!(best.optimal, "portfolio verdicts are definitive");
+            let events = sink.take();
+            let escalations: u64 = events
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::Counter { name, value, .. }
+                        if name.as_ref() == "portfolio.escalations" =>
+                    {
+                        Some(*value)
+                    }
+                    _ => None,
+                })
+                .sum();
+            assert!(escalations > 0, "{strategy:?}: no escalation happened");
+            let races: u64 = events
+                .iter()
+                .filter_map(|e| match e {
+                    TraceEvent::Counter { name, value, .. }
+                        if name.as_ref() == "portfolio.races" =>
+                    {
+                        Some(*value)
+                    }
+                    _ => None,
+                })
+                .sum();
+            assert_eq!(races, escalations);
+        }
+    }
+
+    #[test]
+    fn portfolio_matches_single_config_on_random_instances() {
+        use rand::Rng;
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for round in 0u64..8 {
+            let n = 6;
+            let weights: Vec<i64> = (0..n).map(|_| rng.gen_range(-10..10)).collect();
+            let conflicts: Vec<(usize, usize)> = (0..4)
+                .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+                .collect();
+            let build = |weights: &[i64], conflicts: &[(usize, usize)]| {
+                let mut smt = SmtSolver::new();
+                let xs: Vec<_> = (0..n).map(|_| smt.new_bool()).collect();
+                for &(i, j) in conflicts {
+                    smt.add_clause(&[!xs[i], !xs[j]]);
+                }
+                let terms: Vec<_> = weights.iter().zip(&xs).map(|(&w, &x)| (w, x)).collect();
+                let obj = smt.pb_sum(0, &terms);
+                (smt, obj)
+            };
+            let (mut s1, o1) = build(&weights, &conflicts);
+            let (mut s2, o2) = build(&weights, &conflicts);
+            let exact = maximize(&mut s1, &o1, Strategy::BinarySearch).unwrap();
+            let opts = OmtOptions {
+                probe_conflict_budget: Some(0),
+                portfolio: Some(PortfolioProbe {
+                    members: 3,
+                    seed: round,
+                    ..PortfolioProbe::default()
+                }),
+                ..OmtOptions::default()
+            };
+            let raced = maximize_with(&mut s2, &o2, Strategy::BinarySearch, opts, &[]).unwrap();
+            assert_eq!(raced.value, exact.value, "round {round}");
+            assert!(raced.optimal, "round {round}");
+        }
     }
 
     #[test]

@@ -50,6 +50,13 @@ pub struct SmtModel {
 }
 
 impl SmtModel {
+    /// Wraps raw per-variable values (e.g. a winning portfolio member's
+    /// model over the exported formula, which shares this solver's variable
+    /// numbering) as a model snapshot.
+    pub(crate) fn from_values(values: Vec<Option<bool>>) -> SmtModel {
+        SmtModel { values }
+    }
+
     /// Truth value of a literal in the model (`false` for unassigned).
     pub fn lit_is_true(&self, l: Lit) -> bool {
         self.lit_value(l).unwrap_or(false)
