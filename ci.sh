@@ -63,6 +63,27 @@ if grep -q 'audit=FAIL' "$trace_dir/verify.txt"; then
   exit 1
 fi
 
+echo "== topology gate: qca-engine --coupling line|ring|star --verify =="
+for topo in line ring star; do
+  target/release/qca-engine --workers 2 --coupling "$topo" --verify examples/qasm \
+    > "$trace_dir/topo-$topo.txt" || {
+    echo "topology gate: --coupling $topo run failed" >&2
+    cat "$trace_dir/topo-$topo.txt" >&2
+    exit 1
+  }
+  if grep -q 'audit=FAIL' "$trace_dir/topo-$topo.txt"; then
+    echo "topology gate: audit failures under --coupling $topo" >&2
+    grep 'audit=FAIL' "$trace_dir/topo-$topo.txt" >&2
+    exit 1
+  fi
+done
+# At least one sparse topology must actually exercise the routing model
+# (ghz3's cx q[1],q[2] is uncoupled on the hub-0 star, for one).
+grep -hEq 'routed=[1-9]' "$trace_dir"/topo-*.txt || {
+  echo "topology gate: no job needed SWAP-insertion routing" >&2
+  exit 1
+}
+
 echo "== lint gate: qca-lint --deny-warnings on examples/qasm (must be clean) =="
 target/release/qca-lint --deny-warnings examples/qasm || {
   echo "lint gate: examples/qasm is not lint-clean" >&2; exit 1; }

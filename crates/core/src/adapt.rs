@@ -7,9 +7,11 @@ use crate::context::{AdaptContext, AdaptContextBuilder};
 use crate::error::AdaptError;
 use crate::model::{Objective, SmtAdaptation};
 use crate::preprocess::{preprocess, Preprocessed};
-use crate::rules::{apply_to_block, evaluate_substitutions, RuleOptions, Substitution};
+use crate::rules::{
+    append_routing_substitutions, apply_to_block, evaluate_substitutions, RuleOptions, Substitution,
+};
 use qca_circuit::Circuit;
-use qca_hw::HardwareModel;
+use qca_hw::{CouplingMap, HardwareModel};
 use qca_smt::omt::Strategy;
 use qca_synth::consolidate::consolidate_1q;
 
@@ -37,6 +39,14 @@ pub struct AdaptOptions {
     /// searches) a DRAT optimality certificate. Costs extra memory and, for
     /// the certificate, one proof-logged re-solve.
     pub certify: bool,
+    /// Target qubit connectivity. `None` (the default) keeps the paper's
+    /// all-to-all assumption. With a map, every two-qubit block on an
+    /// uncoupled pair gains routing substitutions (SWAP insertion along the
+    /// BFS-shortest path, priced from Table I's swap realizations) and the
+    /// OMT objective trades routing overhead against fidelity. An
+    /// all-to-all map generates no routing substitutions and is
+    /// bit-identical to `None`.
+    pub coupling: Option<CouplingMap>,
 }
 
 impl AdaptOptions {
@@ -103,6 +113,7 @@ pub struct AdaptOptionsBuilder {
     strategy: Strategy,
     exact: bool,
     certify: bool,
+    coupling: Option<CouplingMap>,
 }
 
 impl AdaptOptionsBuilder {
@@ -134,6 +145,12 @@ impl AdaptOptionsBuilder {
     /// [`AdaptOptions::certify`]).
     pub fn certify(mut self) -> Self {
         self.certify = true;
+        self
+    }
+
+    /// Sets the target qubit connectivity (see [`AdaptOptions::coupling`]).
+    pub fn coupling(mut self, coupling: CouplingMap) -> Self {
+        self.coupling = Some(coupling);
         self
     }
 
@@ -188,6 +205,7 @@ impl AdaptOptionsBuilder {
             strategy: self.strategy,
             exact: self.exact,
             certify: self.certify,
+            coupling: self.coupling,
         })
     }
 
@@ -286,7 +304,7 @@ fn adapt_inner(
     };
     let catalog = {
         let mut span = ctx.tracer.span("rules");
-        let catalog = evaluate_substitutions(&pre, hw, &ctx.options.rules)?;
+        let catalog = build_catalog(&pre, hw, ctx)?;
         ctx.tracer
             .counter("rules.catalog_size", catalog.len() as u64);
         span.set_note(format!("catalog={}", catalog.len()));
@@ -365,7 +383,7 @@ pub fn recalibrate_adaptation(
     };
     let catalog = {
         let _span = ctx.tracer.span("rules");
-        evaluate_substitutions(&pre, hw, &ctx.options.rules)?
+        build_catalog(&pre, hw, ctx)?
     };
     // Note the previous solve need not carry an optimality claim: the
     // exact re-check also confirms (and upgrades) a gap-degraded result
@@ -414,20 +432,70 @@ pub fn adapt_with_options(
     adapt(circuit, hw, &AdaptContext::new(options.clone()))
 }
 
+/// Evaluates the full substitution catalog for one solve: the gate
+/// substitution rules, then — when the context carries a coupling map —
+/// the routing substitutions, appended with continuing dense ids so the
+/// catalog is identical across [`adapt`] and [`recalibrate_adaptation`].
+fn build_catalog(
+    pre: &Preprocessed,
+    hw: &HardwareModel,
+    ctx: &AdaptContext,
+) -> Result<Vec<Substitution>, AdaptError> {
+    let mut catalog = evaluate_substitutions(pre, hw, &ctx.options.rules)?;
+    if let Some(coupling) = &ctx.options.coupling {
+        append_routing_substitutions(&mut catalog, pre, hw, coupling)?;
+    }
+    Ok(catalog)
+}
+
 /// Assembles the global adapted circuit from the chosen substitutions.
+///
+/// A chosen routing substitution wraps its block in a SWAP ladder: the
+/// block's first operand walks the route's path to the qubit adjacent to
+/// the second operand, the (substituted) block body executes there, and the
+/// swaps walk back — net identity on every intermediate qubit.
 pub fn extract_circuit(pre: &Preprocessed, catalog: &[Substitution], chosen: &[usize]) -> Circuit {
     let mut out = Circuit::new(pre.source.num_qubits());
     for id in pre.partition.topological_order() {
         let block = &pre.partition.blocks[id];
-        let subs: Vec<&Substitution> = chosen
+        let all: Vec<&Substitution> = chosen
             .iter()
             .map(|&i| &catalog[i])
             .filter(|s| s.block == id)
             .collect();
+        let route = all.iter().find_map(|s| s.route.as_ref());
+        let subs: Vec<&Substitution> = all.iter().filter(|s| s.route.is_none()).copied().collect();
         let local = apply_to_block(pre, id, &subs);
-        for instr in local.iter() {
-            let mapped: Vec<usize> = instr.qubits.iter().map(|&q| block.qubits[q]).collect();
-            out.push(instr.gate, &mapped);
+        match route {
+            None => {
+                for instr in local.iter() {
+                    let mapped: Vec<usize> =
+                        instr.qubits.iter().map(|&q| block.qubits[q]).collect();
+                    out.push(instr.gate, &mapped);
+                }
+            }
+            Some(route) => {
+                // path[0] is block.qubits[0]; the body runs on the
+                // penultimate path node (adjacent to block.qubits[1]).
+                let path = &route.path;
+                debug_assert_eq!(path[0], block.qubits[0]);
+                debug_assert_eq!(*path.last().unwrap(), block.qubits[1]);
+                let host = path[path.len() - 2];
+                for w in path[..path.len() - 1].windows(2) {
+                    out.push(route.gate, &[w[0], w[1]]);
+                }
+                for instr in local.iter() {
+                    let mapped: Vec<usize> = instr
+                        .qubits
+                        .iter()
+                        .map(|&q| if q == 0 { host } else { block.qubits[q] })
+                        .collect();
+                    out.push(instr.gate, &mapped);
+                }
+                for w in path[..path.len() - 1].windows(2).rev() {
+                    out.push(route.gate, &[w[0], w[1]]);
+                }
+            }
         }
     }
     consolidate_1q(&out)
@@ -725,5 +793,161 @@ mod tests {
         assert_eq!(rpt.roots.len(), 1);
         assert_eq!(rpt.roots[0].name, "adapt");
         assert_eq!(rpt.roots[0].note.as_deref(), Some("ok"));
+    }
+
+    fn coupled_2q_gates_ok(c: &Circuit, cm: &CouplingMap) -> bool {
+        c.iter()
+            .filter(|i| i.qubits.len() == 2)
+            .all(|i| cm.is_coupled(i.qubits[0], i.qubits[1]))
+    }
+
+    #[test]
+    fn star_coupling_forces_swap_insertion() {
+        // Star centered on qubit 0: the (1,2) block of swap_chain sits on an
+        // uncoupled pair and must be routed through the hub.
+        let hw = spin_qubit_model(GateTimes::D0);
+        let c = swap_chain();
+        let star = CouplingMap::star(3);
+        let ctx = AdaptOptions::builder()
+            .objective(Objective::Fidelity)
+            .coupling(star.clone())
+            .context();
+        let r = adapt(&c, &hw, &ctx).unwrap();
+        assert!(
+            r.chosen.iter().any(|s| s.route.is_some()),
+            "uncoupled block must select a routing substitution"
+        );
+        assert!(
+            coupled_2q_gates_ok(&r.circuit, &star),
+            "adapted circuit has a 2q gate on an uncoupled pair"
+        );
+        assert!(hw.supports_circuit(&r.circuit));
+        assert!(
+            approx_eq_up_to_phase(&r.circuit.unitary(), &c.unitary(), 1e-6),
+            "routing broke circuit equivalence"
+        );
+    }
+
+    #[test]
+    fn all_to_all_coupling_bit_identical_to_none() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let c = swap_chain();
+        for obj in [
+            Objective::Fidelity,
+            Objective::IdleTime,
+            Objective::Combined,
+        ] {
+            let plain = adapt(&c, &hw, &AdaptContext::with_objective(obj)).unwrap();
+            let ctx = AdaptOptions::builder()
+                .objective(obj)
+                .coupling(CouplingMap::all_to_all(3))
+                .context();
+            let full = adapt(&c, &hw, &ctx).unwrap();
+            assert_eq!(plain.solver.chosen, full.solver.chosen, "{obj}");
+            assert_eq!(
+                plain.solver.objective_value, full.solver.objective_value,
+                "{obj}"
+            );
+            assert_eq!(plain.solver.sat_vars, full.solver.sat_vars, "{obj}");
+            assert_eq!(plain.catalog_size, full.catalog_size, "{obj}");
+            assert_eq!(plain.circuit, full.circuit, "{obj}");
+        }
+    }
+
+    #[test]
+    fn line_coupling_routes_and_preserves_unitary() {
+        // On a line 0-1-2 the (1,2) block is native but a circuit touching
+        // (0,2) must route. Build one explicitly.
+        let hw = spin_qubit_model(GateTimes::D0);
+        let mut c = Circuit::new(3);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Cx, &[0, 2]);
+        c.push(Gate::Rz(0.7), &[2]);
+        let line = CouplingMap::line(3);
+        let ctx = AdaptOptions::builder()
+            .objective(Objective::Combined)
+            .coupling(line.clone())
+            .context();
+        let r = adapt(&c, &hw, &ctx).unwrap();
+        assert!(r.chosen.iter().any(|s| s.route.is_some()));
+        assert!(coupled_2q_gates_ok(&r.circuit, &line));
+        assert!(approx_eq_up_to_phase(
+            &r.circuit.unitary(),
+            &c.unitary(),
+            1e-6
+        ));
+    }
+
+    #[test]
+    fn coupling_smaller_than_circuit_rejected() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let c = swap_chain(); // 3 qubits
+        let ctx = AdaptOptions::builder()
+            .coupling(CouplingMap::line(2))
+            .context();
+        assert!(matches!(
+            adapt(&c, &hw, &ctx),
+            Err(AdaptError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn disconnected_coupling_rejected_when_block_needs_path() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let c = swap_chain(); // has a block on (1, 2)
+        let cm = CouplingMap::new(3, [(0, 1)]).unwrap(); // qubit 2 isolated
+        let ctx = AdaptOptions::builder().coupling(cm).context();
+        match adapt(&c, &hw, &ctx) {
+            Err(AdaptError::InvalidOptions(msg)) => {
+                assert!(msg.contains("no path"), "{msg}");
+            }
+            other => panic!("expected InvalidOptions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn recalibrate_with_coupling_survives_drift() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let c = swap_chain();
+        let star = CouplingMap::star(3);
+        let ctx = AdaptOptions::builder()
+            .objective(Objective::Fidelity)
+            .coupling(star.clone())
+            .context();
+        let first = adapt(&c, &hw, &ctx).unwrap();
+        // Unchanged hardware: reuse.
+        let r = recalibrate_adaptation(&c, &hw, &first, &ctx, None).unwrap();
+        assert!(r.reused());
+        // Drifted hardware: warm re-solve stays routed and equivalent.
+        let drifted = hw.with_scaled_infidelity(3.0);
+        let r = recalibrate_adaptation(&c, &drifted, &first, &ctx, None).unwrap();
+        let a = r.into_adaptation();
+        assert!(a.chosen.iter().any(|s| s.route.is_some()));
+        assert!(coupled_2q_gates_ok(&a.circuit, &star));
+        assert!(approx_eq_up_to_phase(
+            &a.circuit.unitary(),
+            &c.unitary(),
+            1e-6
+        ));
+    }
+
+    #[test]
+    fn stale_uncoupled_hint_falls_back_to_fresh_solve() {
+        // A cached selection computed without a coupling map (no routing
+        // subs) must not be "reused" once a map is in force: the re-check
+        // sees an incomplete routed selection and re-solves.
+        let hw = spin_qubit_model(GateTimes::D0);
+        let c = swap_chain();
+        let flat = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Fidelity)).unwrap();
+        let star = CouplingMap::star(3);
+        let ctx = AdaptOptions::builder()
+            .objective(Objective::Fidelity)
+            .coupling(star.clone())
+            .context();
+        let r = recalibrate_adaptation(&c, &hw, &flat, &ctx, None).unwrap();
+        assert!(!r.reused(), "route-incomplete selection must not be reused");
+        let a = r.into_adaptation();
+        assert!(a.chosen.iter().any(|s| s.route.is_some()));
+        assert!(coupled_2q_gates_ok(&a.circuit, &star));
     }
 }

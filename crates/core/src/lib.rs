@@ -88,9 +88,9 @@ pub use model::{
     evaluate_selection, recheck_optimum, AdaptLimits, Objective, RecheckOutcome, SmtAdaptation,
     VerificationData, LOG_SCALE,
 };
-pub use preflight::{preflight, Diagnostic, RuleToggles};
+pub use preflight::{preflight, preflight_with_coupling, Diagnostic, RuleToggles};
 pub use qca_smt::omt::PortfolioProbe;
-pub use rules::{RuleOptions, Substitution, SubstitutionKind};
+pub use rules::{append_routing_substitutions, Route, RuleOptions, Substitution, SubstitutionKind};
 
 #[cfg(test)]
 mod proptests {
@@ -144,6 +144,52 @@ mod proptests {
             let fa = hw.circuit_fidelity(&r.circuit).unwrap();
             let fr = hw.circuit_fidelity(&r.reference).unwrap();
             prop_assert!(fa >= fr - 1e-9, "adapted {fa} < reference {fr}");
+        }
+
+        /// An explicit all-to-all coupling map is bit-identical to the
+        /// default (no map): same encoding size, same selection, same
+        /// objective value, same output circuit.
+        #[test]
+        fn all_to_all_coupling_is_bit_identical(c in arb_ibm_circuit(3)) {
+            use qca_hw::CouplingMap;
+            let hw = spin_qubit_model(GateTimes::D0);
+            for obj in [Objective::Fidelity, Objective::Combined] {
+                let plain = adapt(&c, &hw, &AdaptContext::with_objective(obj)).unwrap();
+                let ctx = AdaptOptions::builder()
+                    .objective(obj)
+                    .coupling(CouplingMap::all_to_all(3))
+                    .context();
+                let full = adapt(&c, &hw, &ctx).unwrap();
+                prop_assert_eq!(plain.solver.chosen, full.solver.chosen);
+                prop_assert_eq!(plain.solver.objective_value, full.solver.objective_value);
+                prop_assert_eq!(plain.solver.sat_vars, full.solver.sat_vars);
+                prop_assert_eq!(plain.catalog_size, full.catalog_size);
+                prop_assert_eq!(plain.circuit, full.circuit);
+            }
+        }
+
+        /// Topology-constrained adaptation on a star stays sound: every
+        /// two-qubit gate in the output lands on a coupled pair and the
+        /// unitary is preserved.
+        #[test]
+        fn star_routed_adaptation_is_sound(c in arb_ibm_circuit(3)) {
+            use qca_hw::CouplingMap;
+            let hw = spin_qubit_model(GateTimes::D0);
+            let star = CouplingMap::star(3);
+            let ctx = AdaptOptions::builder()
+                .objective(Objective::Fidelity)
+                .coupling(star.clone())
+                .context();
+            let r = adapt(&c, &hw, &ctx).unwrap();
+            prop_assert!(hw.supports_circuit(&r.circuit));
+            for i in r.circuit.iter().filter(|i| i.qubits.len() == 2) {
+                prop_assert!(star.is_coupled(i.qubits[0], i.qubits[1]),
+                    "2q gate on uncoupled pair {:?}", i.qubits);
+            }
+            prop_assert!(
+                approx_eq_up_to_phase(&r.circuit.unitary(), &c.unitary(), 1e-6),
+                "routing broke equivalence"
+            );
         }
     }
 }

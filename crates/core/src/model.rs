@@ -296,9 +296,30 @@ fn block_subset_upper_bound(
     ub
 }
 
+/// Per-block routing-choice literals: for every block that carries routing
+/// substitutions, the literals of those choices (ascending block id).
+fn routing_choices(
+    catalog: &[Substitution],
+    choice: &[qca_sat::Lit],
+) -> Vec<(usize, Vec<qca_sat::Lit>)> {
+    let mut groups: std::collections::BTreeMap<usize, Vec<qca_sat::Lit>> =
+        std::collections::BTreeMap::new();
+    for (i, s) in catalog.iter().enumerate() {
+        if s.route.is_some() {
+            groups.entry(s.block).or_default().push(choice[i]);
+        }
+    }
+    groups.into_iter().collect()
+}
+
 /// Greedy warm start: repeatedly accept the substitution with the best
 /// marginal objective improvement (skipping conflicts) until no candidate
 /// improves. Returns the selection and its exact model objective value.
+///
+/// Routed blocks are seeded with their best routing variant first: the
+/// all-false selection is infeasible when routing clauses demand a choice
+/// per routed block, and the asserted warm-start lower bound must come from
+/// a feasible selection.
 fn greedy_selection(
     pre: &Preprocessed,
     catalog: &[Substitution],
@@ -307,6 +328,30 @@ fn greedy_selection(
 ) -> (Vec<bool>, i64) {
     let n = catalog.len();
     let mut selection = vec![false; n];
+    let weight = |i: usize| -> i64 {
+        match objective {
+            Objective::IdleTime => cost.busy_w[i],
+            Objective::Combined => cost.busy_w[i] + cost.fid_w[i],
+            Objective::Fidelity => cost.fid_w[i],
+        }
+    };
+    let mut route_best: std::collections::BTreeMap<usize, usize> =
+        std::collections::BTreeMap::new();
+    for (i, s) in catalog.iter().enumerate() {
+        if s.route.is_some() {
+            route_best
+                .entry(s.block)
+                .and_modify(|best| {
+                    if weight(i) > weight(*best) {
+                        *best = i;
+                    }
+                })
+                .or_insert(i);
+        }
+    }
+    for &i in route_best.values() {
+        selection[i] = true;
+    }
     let mut best = cost.evaluate(pre, catalog, &selection, objective);
     loop {
         let mut improved: Option<(usize, i64)> = None;
@@ -400,6 +445,16 @@ fn encode_model(
                 smt.add_clause(&[!choice[i], !choice[jj]]);
             }
         }
+    }
+
+    // Topology routing: a block whose operand pair is uncoupled carries
+    // routing substitutions, and must select at least one of them (the
+    // pairwise conflicts above already forbid picking two). Catalogs built
+    // without a coupling map have no routing entries, so this adds nothing
+    // and the encoding stays bit-identical to the topology-free model.
+    for (block, lits) in routing_choices(catalog, &choice) {
+        debug_assert!(!lits.is_empty(), "routed block {block} has no choices");
+        smt.add_clause(&lits);
     }
 
     let nblocks = pre.partition.blocks.len();
@@ -649,7 +704,9 @@ pub fn solve_model_with_budget(
 }
 
 /// Converts catalog ids into a selection mask, rejecting stale hints: ids
-/// out of range or a selection violating a conflict constraint yield `None`.
+/// out of range, a selection violating a conflict constraint, or a routed
+/// block left without a routing choice (e.g. a hint computed before a
+/// coupling map was configured) yield `None`.
 fn selection_from_ids(catalog: &[Substitution], ids: &[usize]) -> Option<Vec<bool>> {
     let mut selection = vec![false; catalog.len()];
     for &i in ids {
@@ -666,6 +723,22 @@ fn selection_from_ids(catalog: &[Substitution], ids: &[usize]) -> Option<Vec<boo
             if selection[j] && a.conflicts_with(b) {
                 return None;
             }
+        }
+    }
+    let mut routed_blocks: Vec<usize> = catalog
+        .iter()
+        .filter(|s| s.route.is_some())
+        .map(|s| s.block)
+        .collect();
+    routed_blocks.sort_unstable();
+    routed_blocks.dedup();
+    for block in routed_blocks {
+        let chosen_route = catalog
+            .iter()
+            .enumerate()
+            .any(|(i, s)| selection[i] && s.block == block && s.route.is_some());
+        if !chosen_route {
+            return None;
         }
     }
     Some(selection)

@@ -14,8 +14,10 @@
 use crate::error::AdaptError;
 use crate::rules::RuleOptions;
 use qca_circuit::Circuit;
-use qca_hw::HardwareModel;
-use qca_lint::{has_errors, lint_circuit, lint_hardware, lint_rule_coverage};
+use qca_hw::{CouplingMap, HardwareModel};
+use qca_lint::{
+    has_errors, lint_circuit, lint_circuit_coupling, lint_hardware, lint_rule_coverage,
+};
 pub use qca_lint::{Diagnostic, RuleToggles};
 
 impl From<&RuleOptions> for RuleToggles {
@@ -58,9 +60,26 @@ pub fn preflight(
     hw: &HardwareModel,
     rules: &RuleOptions,
 ) -> Result<Vec<Diagnostic>, AdaptError> {
+    preflight_with_coupling(circuit, hw, rules, None)
+}
+
+/// [`preflight`] for a topology-constrained request: additionally runs the
+/// coupling lints (`QCA0209`–`QCA0211`). An uncoupled pair the map can
+/// still route is a warning; an unroutable pair (no path, or no priced swap
+/// realization) is an error and rejects the request, matching where
+/// [`adapt`](crate::adapt) would fail during rule evaluation.
+pub fn preflight_with_coupling(
+    circuit: &Circuit,
+    hw: &HardwareModel,
+    rules: &RuleOptions,
+    coupling: Option<&CouplingMap>,
+) -> Result<Vec<Diagnostic>, AdaptError> {
     let mut diags = lint_circuit(circuit);
     diags.extend(lint_hardware(hw));
     diags.extend(lint_rule_coverage(circuit, hw, &rules.into()));
+    if let Some(cm) = coupling {
+        diags.extend(lint_circuit_coupling(circuit, cm, hw));
+    }
     if has_errors(&diags) {
         Err(AdaptError::Rejected(diags))
     } else {
@@ -126,6 +145,61 @@ mod tests {
         let hw = ibm_source_model();
         let err = crate::adapt(&swap_circuit(), &hw, &AdaptContext::default());
         assert!(matches!(err, Err(AdaptError::UnsupportedGate(_))));
+    }
+
+    #[test]
+    fn coupling_preflight_warns_on_routable_pairs() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cx, &[0, 2]);
+        let line = CouplingMap::line(3);
+        let diags = preflight_with_coupling(&c, &hw, &RuleOptions::default(), Some(&line)).unwrap();
+        assert!(diags
+            .iter()
+            .any(|d| d.code == LintCode::UncoupledGate && d.severity == Severity::Warn));
+    }
+
+    #[test]
+    fn coupling_preflight_rejects_unroutable_pairs() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cx, &[0, 2]);
+        let cm = CouplingMap::new(3, [(0, 1)]).unwrap(); // qubit 2 isolated
+        let err = preflight_with_coupling(&c, &hw, &RuleOptions::default(), Some(&cm));
+        let Err(AdaptError::Rejected(diags)) = err else {
+            panic!("expected rejection, got {err:?}");
+        };
+        assert!(diags
+            .iter()
+            .any(|d| d.code == LintCode::UncoupledGate && d.severity == Severity::Error));
+        assert!(diags
+            .iter()
+            .any(|d| d.code == LintCode::CouplingDisconnected));
+    }
+
+    #[test]
+    fn coupling_preflight_rejects_undersized_map() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let line = CouplingMap::line(2);
+        let err = preflight_with_coupling(
+            &swap_circuit_3q(),
+            &hw,
+            &RuleOptions::default(),
+            Some(&line),
+        );
+        let Err(AdaptError::Rejected(diags)) = err else {
+            panic!("expected rejection, got {err:?}");
+        };
+        assert!(diags
+            .iter()
+            .any(|d| d.code == LintCode::CouplingQubitMismatch));
+    }
+
+    fn swap_circuit_3q() -> Circuit {
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[1, 2]);
+        c
     }
 
     #[test]

@@ -18,7 +18,7 @@
 use crate::error::AdaptError;
 use crate::preprocess::{circuit_cost, Preprocessed};
 use qca_circuit::{Circuit, Gate};
-use qca_hw::HardwareModel;
+use qca_hw::{CouplingMap, HardwareModel};
 use qca_num::phase::phase_insensitive_distance;
 use qca_synth::consolidate::consolidate_1q;
 use qca_synth::kak::kak_decompose;
@@ -38,6 +38,10 @@ pub enum SubstitutionKind {
     SwapDiabatic,
     /// Composite-pulse swap realization of a swap-equivalent run.
     SwapComposite,
+    /// SWAP-insertion routing of an uncoupled block via the diabatic swap.
+    RouteSwapDiabatic,
+    /// SWAP-insertion routing of an uncoupled block via the composite swap.
+    RouteSwapComposite,
 }
 
 impl std::fmt::Display for SubstitutionKind {
@@ -48,8 +52,34 @@ impl std::fmt::Display for SubstitutionKind {
             SubstitutionKind::ConditionalRotation => "crot",
             SubstitutionKind::SwapDiabatic => "swap_d",
             SubstitutionKind::SwapComposite => "swap_c",
+            SubstitutionKind::RouteSwapDiabatic => "route(swap_d)",
+            SubstitutionKind::RouteSwapComposite => "route(swap_c)",
         };
         write!(f, "{s}")
+    }
+}
+
+/// A SWAP-insertion routing plan for a two-qubit block whose operand pair
+/// is not directly coupled on the target topology.
+///
+/// The plan moves the block's first operand along `path` to the qubit
+/// adjacent to the second operand, executes the block there, and walks the
+/// swaps back — net identity on every intermediate qubit, so the global
+/// unitary is preserved. Both directions use the same swap realization.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Route {
+    /// Global qubit path from the block's first operand to its second
+    /// (BFS-shortest, smallest-index tie-breaking); at least three nodes.
+    pub path: Vec<usize>,
+    /// The native swap realization inserted along the path
+    /// ([`Gate::SwapDiabatic`] or [`Gate::SwapComposite`]).
+    pub gate: Gate,
+}
+
+impl Route {
+    /// Number of swap gates the plan inserts: `2 * (path edges - 1)`.
+    pub fn swap_count(&self) -> usize {
+        2 * (self.path.len() - 2)
     }
 }
 
@@ -63,10 +93,19 @@ pub struct Substitution {
     pub kind: SubstitutionKind,
     /// Affected block (`b_s`).
     pub block: usize,
-    /// Global instruction indices replaced (`p_s`), ascending.
+    /// Global instruction indices replaced (`p_s`), ascending. Empty for
+    /// routing substitutions: they wrap the block rather than replacing
+    /// gates inside it.
     pub ops: Vec<usize>,
-    /// Replacement circuit over the block's local qubits (`g_s`).
+    /// Replacement circuit over the block's local qubits (`g_s`). Empty for
+    /// routing substitutions.
     pub replacement: Circuit,
+    /// SWAP-insertion plan, present only on routing substitutions
+    /// ([`SubstitutionKind::RouteSwapDiabatic`] /
+    /// [`SubstitutionKind::RouteSwapComposite`]). Routing composes
+    /// additively with the block's gate substitutions; two routing plans
+    /// for the same block conflict.
+    pub route: Option<Route>,
     /// Change in block duration when applied alone (ns): `𝔻(s)`.
     pub delta_duration: f64,
     /// Change in block log-fidelity when applied alone: `𝔽(s)`.
@@ -80,10 +119,14 @@ impl Substitution {
     }
 
     /// `true` when `self` and `other` substitute at least one common gate
-    /// (and hence conflict per Eq. 1).
+    /// (and hence conflict per Eq. 1), or when both are routing plans for
+    /// the same block (a block travels one path, with one realization).
     pub fn conflicts_with(&self, other: &Substitution) -> bool {
         if self.block != other.block {
             return false;
+        }
+        if self.route.is_some() && other.route.is_some() {
+            return true;
         }
         self.ops
             .iter()
@@ -310,6 +353,83 @@ pub fn evaluate_substitutions(
     Ok(catalog)
 }
 
+/// Appends one routing substitution per priced swap realization for every
+/// two-qubit block whose operand pair is not directly coupled on
+/// `coupling`. Ids continue the catalog's dense numbering.
+///
+/// Paths are BFS-shortest with smallest-index tie-breaking, restricted to
+/// the circuit's own qubits (a device larger than the circuit never routes
+/// through out-of-range wires), so the generated catalog is deterministic.
+/// An all-to-all map (or one coupling every pair the circuit uses) appends
+/// nothing, keeping the encoding bit-identical to the topology-free model.
+///
+/// # Errors
+///
+/// [`AdaptError::InvalidOptions`] when the map has fewer qubits than the
+/// circuit or provides no path between a block's operands;
+/// [`AdaptError::UnsupportedGate`] when an uncoupled block must be routed
+/// but the hardware prices neither swap realization.
+pub fn append_routing_substitutions(
+    catalog: &mut Vec<Substitution>,
+    pre: &Preprocessed,
+    hw: &HardwareModel,
+    coupling: &CouplingMap,
+) -> Result<(), AdaptError> {
+    let nq = pre.source.num_qubits();
+    if coupling.num_qubits() < nq {
+        return Err(AdaptError::InvalidOptions(format!(
+            "coupling map covers {} qubits but the circuit uses {nq}",
+            coupling.num_qubits()
+        )));
+    }
+    let cm = coupling.restrict(nq);
+    for block in &pre.partition.blocks {
+        if block.qubits.len() != 2 {
+            continue;
+        }
+        let (a, b) = (block.qubits[0], block.qubits[1]);
+        if cm.is_coupled(a, b) {
+            continue;
+        }
+        let path = cm.path(a, b).ok_or_else(|| {
+            AdaptError::InvalidOptions(format!(
+                "coupling map provides no path between qubits {a} and {b}"
+            ))
+        })?;
+        let swaps = 2.0 * (path.len() - 2) as f64;
+        let mut routable = false;
+        for (kind, gate) in [
+            (SubstitutionKind::RouteSwapDiabatic, Gate::SwapDiabatic),
+            (SubstitutionKind::RouteSwapComposite, Gate::SwapComposite),
+        ] {
+            let Some(cost) = hw.cost(&gate) else {
+                continue;
+            };
+            routable = true;
+            catalog.push(Substitution {
+                id: catalog.len(),
+                kind,
+                block: block.id,
+                ops: Vec::new(),
+                replacement: Circuit::new(2),
+                route: Some(Route {
+                    path: path.clone(),
+                    gate,
+                }),
+                delta_duration: swaps * cost.duration,
+                delta_log_fidelity: swaps * cost.fidelity.ln(),
+            });
+        }
+        if !routable {
+            return Err(AdaptError::UnsupportedGate(format!(
+                "qubits {a} and {b} are uncoupled and no native swap \
+                 realization is priced to route between them"
+            )));
+        }
+    }
+    Ok(())
+}
+
 /// Extracts the local circuit of a contiguous op range within a block.
 fn subrange_circuit(pre: &Preprocessed, block_id: usize, range: &[usize]) -> Circuit {
     let block = &pre.partition.blocks[block_id];
@@ -356,6 +476,7 @@ fn push_candidate(
         block,
         ops,
         replacement,
+        route: None,
         delta_duration: 0.0,
         delta_log_fidelity: 0.0,
     };
@@ -550,5 +671,98 @@ mod tests {
         assert!(subs
             .iter()
             .any(|s| s.kind == SubstitutionKind::SwapDiabatic && s.ops.len() == 1));
+    }
+
+    #[test]
+    fn routing_subs_priced_from_swap_realizations() {
+        use qca_hw::CouplingMap;
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cx, &[0, 2]); // distance 2 on a line
+        let (pre, hw) = pre_of(&c);
+        let mut subs = evaluate_substitutions(&pre, &hw, &RuleOptions::default()).unwrap();
+        let before = subs.len();
+        append_routing_substitutions(&mut subs, &pre, &hw, &CouplingMap::line(3)).unwrap();
+        let routed: Vec<&Substitution> = subs[before..].iter().collect();
+        assert_eq!(routed.len(), 2, "one per priced swap realization");
+        for (i, s) in routed.iter().enumerate() {
+            assert_eq!(s.id, before + i, "ids stay dense");
+            assert!(s.ops.is_empty() && s.replacement.is_empty());
+            let route = s.route.as_ref().unwrap();
+            assert_eq!(route.path, vec![0, 1, 2]);
+            assert_eq!(route.swap_count(), 2);
+            let cost = hw.cost(&route.gate).unwrap();
+            assert!((s.delta_duration - 2.0 * cost.duration).abs() < 1e-9);
+            assert!((s.delta_log_fidelity - 2.0 * cost.fidelity.ln()).abs() < 1e-12);
+        }
+        let kinds: Vec<SubstitutionKind> = routed.iter().map(|s| s.kind).collect();
+        assert!(kinds.contains(&SubstitutionKind::RouteSwapDiabatic));
+        assert!(kinds.contains(&SubstitutionKind::RouteSwapComposite));
+    }
+
+    #[test]
+    fn coupled_blocks_gain_no_routing_subs() {
+        use qca_hw::CouplingMap;
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[0, 1]);
+        let (pre, hw) = pre_of(&c);
+        let mut subs = evaluate_substitutions(&pre, &hw, &RuleOptions::default()).unwrap();
+        let before = subs.len();
+        append_routing_substitutions(&mut subs, &pre, &hw, &CouplingMap::line(2)).unwrap();
+        assert_eq!(subs.len(), before);
+    }
+
+    #[test]
+    fn routing_subs_conflict_only_with_each_other() {
+        use qca_hw::CouplingMap;
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cx, &[0, 2]);
+        c.push(Gate::Cx, &[2, 0]);
+        c.push(Gate::Cx, &[0, 2]);
+        let (pre, hw) = pre_of(&c);
+        let mut subs = evaluate_substitutions(&pre, &hw, &RuleOptions::default()).unwrap();
+        append_routing_substitutions(&mut subs, &pre, &hw, &CouplingMap::line(3)).unwrap();
+        let routed: Vec<&Substitution> = subs.iter().filter(|s| s.route.is_some()).collect();
+        assert_eq!(routed.len(), 2);
+        // The two routing variants of one block are mutually exclusive...
+        assert!(routed[0].conflicts_with(routed[1]));
+        // ...but compose freely with the block's gate substitutions.
+        for s in subs.iter().filter(|s| s.route.is_none()) {
+            if s.block == routed[0].block {
+                assert!(!routed[0].conflicts_with(s), "route vs {:?}", s.kind);
+            }
+        }
+    }
+
+    #[test]
+    fn oversized_circuit_for_coupling_rejected() {
+        use qca_hw::CouplingMap;
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cx, &[0, 2]);
+        let (pre, hw) = pre_of(&c);
+        let mut subs = evaluate_substitutions(&pre, &hw, &RuleOptions::default()).unwrap();
+        let err = append_routing_substitutions(&mut subs, &pre, &hw, &CouplingMap::line(2));
+        assert!(matches!(
+            err,
+            Err(crate::error::AdaptError::InvalidOptions(_))
+        ));
+    }
+
+    #[test]
+    fn device_larger_than_circuit_routes_in_range() {
+        // A 5-qubit device hosting a 3-qubit circuit: routing must stay on
+        // the first three qubits (the induced subgraph), never through the
+        // device's extra qubits.
+        use qca_hw::CouplingMap;
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cx, &[0, 2]);
+        let (pre, hw) = pre_of(&c);
+        let mut subs = evaluate_substitutions(&pre, &hw, &RuleOptions::default()).unwrap();
+        append_routing_substitutions(&mut subs, &pre, &hw, &CouplingMap::ring(5)).unwrap();
+        let route = subs
+            .iter()
+            .find_map(|s| s.route.as_ref())
+            .expect("0-2 uncoupled on the induced line");
+        assert!(route.path.iter().all(|&q| q < 3), "{:?}", route.path);
+        assert_eq!(route.path, vec![0, 1, 2]);
     }
 }

@@ -7,6 +7,10 @@
 //!   --workers N          worker threads (default: one per CPU)
 //!   --objective NAME     fidelity | idle | combined   (default: fidelity)
 //!   --times COL          d0 | d1                       (default: d0)
+//!   --coupling TOPO      line | ring | star | starmon5 | all  (default:
+//!                        none — the paper's all-to-all assumption); sized
+//!                        per job from the circuit's qubit count (starmon5
+//!                        is fixed at 5 qubits)
 //!   --budget N           per-job total SAT conflict cap
 //!   --timeout-ms N       per-job wall-clock deadline (nondeterministic)
 //!   --cache-capacity N   cached adaptations (default: 256)
@@ -28,6 +32,9 @@
 //!                        recalibration pass (default: 1.0, i.e. unchanged)
 //! ```
 //!
+//! With `--coupling`, each adapted job line gains a `routed=N` marker
+//! counting the SWAP-insertion substitutions the solver chose.
+//!
 //! Prints one line per job (`file status cache objective wall`) and the
 //! engine metrics as JSON. With `--trace-report` alone the trace is kept in
 //! memory; combined with `--trace FILE` the report is rebuilt by re-parsing
@@ -42,10 +49,10 @@
 //! line, the remaining circuits are adapted normally, and the process exits
 //! 1 at the end.
 
-use qca_adapt::Objective;
+use qca_adapt::{AdaptOptions, Objective};
 use qca_circuit::qasm;
 use qca_engine::{AdaptJob, Engine, EngineConfig};
-use qca_hw::{spin_qubit_model, GateTimes};
+use qca_hw::{spin_qubit_model, CouplingMap, GateTimes};
 use qca_trace::{jsonl, report, JsonlSink, MemorySink, Tracer};
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -57,6 +64,7 @@ struct Args {
     workers: usize,
     objective: Objective,
     times: GateTimes,
+    coupling: Option<CouplingKind>,
     budget: Option<u64>,
     timeout_ms: Option<u64>,
     cache_capacity: usize,
@@ -75,7 +83,7 @@ struct Args {
 
 fn usage() -> &'static str {
     "usage: qca-engine [--workers N] [--objective fidelity|idle|combined] \
-     [--times d0|d1] [--budget N] [--timeout-ms N] [--cache-capacity N] \
+     [--times d0|d1] [--coupling line|ring|star|starmon5|all] [--budget N] [--timeout-ms N] [--cache-capacity N] \
      [--repeat N] [--out-dir DIR] [--metrics-out FILE] [--trace FILE] \
      [--trace-report] [--verify] [--lint] [--deny-warnings] [--portfolio N] \
      [--recalibrate] [--perturb F] <QASM_DIR>"
@@ -87,6 +95,7 @@ fn parse_args() -> Result<Args, String> {
         workers: 0,
         objective: Objective::Fidelity,
         times: GateTimes::D0,
+        coupling: None,
         budget: None,
         timeout_ms: None,
         cache_capacity: 256,
@@ -126,6 +135,16 @@ fn parse_args() -> Result<Args, String> {
                     "d1" | "D1" => GateTimes::D1,
                     other => return Err(format!("unknown times column '{other}'")),
                 }
+            }
+            "--coupling" => {
+                args.coupling = Some(match value("--coupling")?.as_str() {
+                    "line" => CouplingKind::Line,
+                    "ring" => CouplingKind::Ring,
+                    "star" => CouplingKind::Star,
+                    "starmon5" => CouplingKind::Starmon5,
+                    "all" => CouplingKind::AllToAll,
+                    other => return Err(format!("unknown coupling topology '{other}'")),
+                })
             }
             "--budget" => {
                 args.budget = Some(
@@ -189,6 +208,29 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
+/// A named coupling-topology family, sized per job from the circuit's
+/// qubit count (Starmon-5 is a fixed 5-qubit device).
+#[derive(Clone, Copy)]
+enum CouplingKind {
+    Line,
+    Ring,
+    Star,
+    Starmon5,
+    AllToAll,
+}
+
+impl CouplingKind {
+    fn build(self, num_qubits: usize) -> CouplingMap {
+        match self {
+            CouplingKind::Line => CouplingMap::line(num_qubits),
+            CouplingKind::Ring => CouplingMap::ring(num_qubits),
+            CouplingKind::Star => CouplingMap::star(num_qubits),
+            CouplingKind::Starmon5 => CouplingMap::starmon5(),
+            CouplingKind::AllToAll => CouplingMap::all_to_all(num_qubits),
+        }
+    }
+}
+
 /// One input file: its display name and either a loaded job or the
 /// per-file load/parse error.
 type NamedJob = (String, Result<AdaptJob, String>);
@@ -217,7 +259,15 @@ fn load_jobs(args: &Args) -> Result<Vec<NamedJob>, String> {
         let job = std::fs::read_to_string(&path)
             .map_err(|e| format!("cannot read: {e}"))
             .and_then(|src| qasm::parse_qasm(&src).map_err(|e| e.to_string()))
-            .map(|circuit| AdaptJob::with_objective(circuit, args.objective));
+            .map(|circuit| {
+                let coupling = args.coupling.map(|k| k.build(circuit.num_qubits()));
+                let mut job = AdaptJob::with_objective(circuit, args.objective);
+                job.options = AdaptOptions {
+                    coupling,
+                    ..job.options
+                };
+                job
+            });
         jobs.push((name, job));
     }
     Ok(jobs)
@@ -310,8 +360,17 @@ fn run() -> Result<ExitCode, String> {
             } else {
                 String::new()
             };
+            let routed = if args.coupling.is_some() {
+                let n = report
+                    .adaptation
+                    .as_deref()
+                    .map_or(0, |a| a.chosen.iter().filter(|s| s.route.is_some()).count());
+                format!(" routed={n}")
+            } else {
+                String::new()
+            };
             println!(
-                "{name:30} {status:8} {cache:5} obj={obj:>12} wall={wall:.1}ms{audit}{lint}",
+                "{name:30} {status:8} {cache:5} obj={obj:>12} wall={wall:.1}ms{audit}{lint}{routed}",
                 status = report.status.to_string(),
                 cache = if report.cache_hit { "hit" } else { "miss" },
                 obj = report

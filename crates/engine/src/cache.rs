@@ -98,6 +98,15 @@ impl AdaptCache {
                 h.write_u64(budget);
             }
         }
+        // Topology: the all-to-all default (None) and every explicit map
+        // hash differently, since routing changes the solved model.
+        match &options.coupling {
+            None => h.write_u64(0),
+            Some(cm) => {
+                h.write_u64(1);
+                h.write_u64(cm.fingerprint());
+            }
+        }
         h.finish()
     }
 
@@ -250,6 +259,34 @@ mod tests {
         );
         assert_ne!(unlimited, small);
         assert_ne!(small, large);
+    }
+
+    #[test]
+    fn key_depends_on_coupling_map() {
+        use qca_hw::CouplingMap;
+        let (c, hw) = sample();
+        let l = AdaptLimits::default();
+        let base = AdaptCache::key(&c, &hw, &AdaptOptions::default(), &l);
+        let line = AdaptOptions {
+            coupling: Some(CouplingMap::line(3)),
+            ..AdaptOptions::default()
+        };
+        let star = AdaptOptions {
+            coupling: Some(CouplingMap::star(3)),
+            ..AdaptOptions::default()
+        };
+        let line_key = AdaptCache::key(&c, &hw, &line, &l);
+        let star_key = AdaptCache::key(&c, &hw, &star, &l);
+        assert_ne!(base, line_key);
+        assert_ne!(base, star_key);
+        assert_ne!(line_key, star_key);
+        // An explicit all-to-all map is a different key from None: the
+        // results are bit-identical, but key conservatism is cheap.
+        let full = AdaptOptions {
+            coupling: Some(CouplingMap::all_to_all(3)),
+            ..AdaptOptions::default()
+        };
+        assert_ne!(base, AdaptCache::key(&c, &hw, &full, &l));
     }
 
     #[test]

@@ -12,7 +12,7 @@ use qca_baselines::{direct_translation, template_optimization, TemplateObjective
 use qca_circuit::Circuit;
 use qca_hw::HardwareModel;
 use qca_trace::Tracer;
-use qca_verify::{audit_adaptation, audit_baseline};
+use qca_verify::{audit_adaptation_with_coupling, audit_baseline_with_coupling};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -619,7 +619,12 @@ impl Engine {
             let mut span = self
                 .tracer
                 .span_with("engine.preflight", || format!("job={index}"));
-            let outcome = qca_adapt::preflight(&job.circuit, hw, &options.rules);
+            let outcome = qca_adapt::preflight_with_coupling(
+                &job.circuit,
+                hw,
+                &options.rules,
+                options.coupling.as_ref(),
+            );
             let mut diags = match outcome {
                 Ok(diags) => diags,
                 Err(AdaptError::Rejected(diags)) => diags,
@@ -688,7 +693,7 @@ impl Engine {
             };
             // Cache hits are audited like fresh solves: a corrupted cache
             // entry must not dodge verification.
-            self.audit_report(hw, &job.circuit, job.options.objective, &mut report, policy);
+            self.audit_report(hw, &job.circuit, &job.options, &mut report, policy);
             return report;
         }
         self.tracer.counter("engine.cache_miss", 1);
@@ -771,7 +776,7 @@ impl Engine {
                 return self.fallback_report(hw, index, job, error, diagnostics, t0, policy);
             }
         };
-        self.audit_report(hw, &job.circuit, job.options.objective, &mut report, policy);
+        self.audit_report(hw, &job.circuit, &job.options, &mut report, policy);
         report
     }
 
@@ -859,11 +864,12 @@ impl Engine {
                     });
                     if self.config.verify {
                         self.tracer.counter("verify.audits", 1);
-                        match audit_adaptation(
+                        match audit_adaptation_with_coupling(
                             &entry.circuit,
                             &adaptation,
                             hw,
                             ctx.options.objective,
+                            ctx.options.coupling.as_ref(),
                         ) {
                             Ok(_) => self.tracer.counter("verify.passed", 1),
                             Err(_) => self.tracer.counter("verify.failures", 1),
@@ -928,7 +934,7 @@ impl Engine {
             audit: None,
             diagnostics,
         };
-        self.audit_report(hw, &job.circuit, job.options.objective, &mut report, policy);
+        self.audit_report(hw, &job.circuit, &job.options, &mut report, policy);
         report
     }
 
@@ -995,7 +1001,7 @@ impl Engine {
             audit: None,
             diagnostics: Vec::new(),
         };
-        self.audit_report(hw, &job.circuit, job.options.objective, &mut report, policy);
+        self.audit_report(hw, &job.circuit, &job.options, &mut report, policy);
         report
     }
 
@@ -1006,7 +1012,7 @@ impl Engine {
         &self,
         hw: &HardwareModel,
         source: &Circuit,
-        objective: Objective,
+        options: &AdaptOptions,
         report: &mut AdaptReport,
         policy: JobPolicy,
     ) {
@@ -1015,9 +1021,13 @@ impl Engine {
         }
         let mut span = self.tracer.span("verify.audit");
         self.tracer.counter("verify.audits", 1);
+        let coupling = options.coupling.as_ref();
         let outcome = match report.adaptation.as_deref() {
-            Some(adaptation) => audit_adaptation(source, adaptation, hw, objective).map(|_| ()),
-            None => audit_baseline(source, &report.circuit, hw).map(|_| ()),
+            Some(adaptation) => {
+                audit_adaptation_with_coupling(source, adaptation, hw, options.objective, coupling)
+                    .map(|_| ())
+            }
+            None => audit_baseline_with_coupling(source, &report.circuit, hw, coupling).map(|_| ()),
         };
         report.audit = Some(match outcome {
             Ok(()) => {

@@ -9,7 +9,9 @@
 //!   [`GateTimes::D1`]),
 //! * [`ibm_source_model`] — the CX-basis source modality,
 //! * [`CircuitSchedule`] — ASAP scheduling and the qubit idle-time metric
-//!   (Eq. 9 / Fig. 6 of the paper).
+//!   (Eq. 9 / Fig. 6 of the paper),
+//! * [`CouplingMap`] — qubit connectivity graphs (line/ring/grid/star,
+//!   Starmon-5, JSON-described devices) for topology-aware adaptation.
 //!
 //! # Examples
 //!
@@ -28,11 +30,13 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+mod coupling;
 mod modality;
 mod schedule;
 
+pub use coupling::CouplingMap;
 pub use modality::{
     ibm_source_model, spin_qubit_model, CostClass, GateCost, GateTimes, HardwareModel, SPIN_T1_NS,
     SPIN_T2_NS,
 };
-pub use schedule::CircuitSchedule;
+pub use schedule::{CircuitSchedule, ScheduleError};

@@ -7,6 +7,30 @@
 use crate::modality::HardwareModel;
 use qca_circuit::Circuit;
 
+/// Why a circuit admits no schedule: the first instruction whose gate has
+/// no cost entry in the hardware table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleError {
+    /// Display name of the unpriced gate.
+    pub gate: String,
+    /// Operand qubits of the offending instruction.
+    pub qubits: Vec<usize>,
+    /// Index of the offending instruction in the circuit.
+    pub index: usize,
+}
+
+impl std::fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "gate {} on qubit(s) {:?} (instruction {}) has no cost entry in the gate table",
+            self.gate, self.qubits, self.index
+        )
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
 /// An as-soon-as-possible schedule of a circuit on a hardware model.
 #[derive(Debug, Clone)]
 pub struct CircuitSchedule {
@@ -27,15 +51,34 @@ impl CircuitSchedule {
     /// its operands are free.
     ///
     /// Returns `None` if the circuit contains gates the model does not
-    /// support.
+    /// support. Callers that need to *report* which gate blocked the
+    /// schedule should use [`asap_checked`](Self::asap_checked) instead.
     pub fn asap(circuit: &Circuit, model: &HardwareModel) -> Option<CircuitSchedule> {
+        Self::asap_checked(circuit, model).ok()
+    }
+
+    /// [`asap`](Self::asap), but a failure names the offending gate, its
+    /// qubits, and its instruction index instead of collapsing to `None`.
+    ///
+    /// # Errors
+    ///
+    /// [`ScheduleError`] for the first instruction whose gate the model
+    /// does not price.
+    pub fn asap_checked(
+        circuit: &Circuit,
+        model: &HardwareModel,
+    ) -> Result<CircuitSchedule, ScheduleError> {
         let nq = circuit.num_qubits();
         let mut qubit_free = vec![0.0f64; nq];
         let mut busy = vec![0.0f64; nq];
         let mut start = Vec::with_capacity(circuit.len());
         let mut duration = Vec::with_capacity(circuit.len());
-        for instr in circuit.iter() {
-            let cost = model.cost(&instr.gate)?;
+        for (index, instr) in circuit.iter().enumerate() {
+            let cost = model.cost(&instr.gate).ok_or_else(|| ScheduleError {
+                gate: instr.gate.to_string(),
+                qubits: instr.qubits.clone(),
+                index,
+            })?;
             let s = instr
                 .qubits
                 .iter()
@@ -49,7 +92,7 @@ impl CircuitSchedule {
             duration.push(cost.duration);
         }
         let total_duration = qubit_free.iter().copied().fold(0.0f64, f64::max);
-        Some(CircuitSchedule {
+        Ok(CircuitSchedule {
             start,
             duration,
             total_duration,
@@ -181,6 +224,23 @@ mod tests {
         let mut c = Circuit::new(2);
         c.push(Gate::Cx, &[0, 1]);
         assert!(CircuitSchedule::asap(&c, &hw()).is_none());
+    }
+
+    #[test]
+    fn asap_checked_names_the_offending_gate() {
+        let mut c = Circuit::new(3);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Cz, &[0, 1]);
+        c.push(Gate::Cx, &[1, 2]); // not native to spins
+        let err = CircuitSchedule::asap_checked(&c, &hw()).unwrap_err();
+        assert_eq!(err.qubits, vec![1, 2]);
+        assert_eq!(err.index, 2);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("cx") || msg.contains("Cx") || msg.contains("CX"),
+            "{msg}"
+        );
+        assert!(msg.contains("[1, 2]"), "{msg}");
     }
 
     #[test]

@@ -63,6 +63,18 @@ pub enum LintCode {
     NoTwoQubitClass,
     /// QCA0207: a gate priced at exactly fidelity 1.0.
     PerfectFidelity,
+    /// QCA0208: a circuit gate with no cost entry, so ASAP scheduling (and
+    /// the idle-time objective) cannot run on this model.
+    UnschedulableGate,
+    /// QCA0209: the coupling graph is disconnected — some qubit pairs can
+    /// never interact, even through SWAP routing.
+    CouplingDisconnected,
+    /// QCA0210: a two-qubit gate acts on a pair the coupling map does not
+    /// connect directly.
+    UncoupledGate,
+    /// QCA0211: the coupling map declares fewer qubits than the circuit
+    /// uses.
+    CouplingQubitMismatch,
     /// QCA0301: a block's reference translation needs unpriced gate
     /// classes, so adaptation is statically infeasible.
     BlockUnadaptable,
@@ -93,7 +105,7 @@ pub enum LintCode {
 impl LintCode {
     /// Every code, in numeric order. The registry and `--list` output are
     /// built from this table.
-    pub const ALL: [LintCode; 24] = [
+    pub const ALL: [LintCode; 28] = [
         LintCode::ParseError,
         LintCode::UnusedQubit,
         LintCode::OpAfterMeasure,
@@ -107,6 +119,10 @@ impl LintCode {
         LintCode::NoOneQubitClass,
         LintCode::NoTwoQubitClass,
         LintCode::PerfectFidelity,
+        LintCode::UnschedulableGate,
+        LintCode::CouplingDisconnected,
+        LintCode::UncoupledGate,
+        LintCode::CouplingQubitMismatch,
         LintCode::BlockUnadaptable,
         LintCode::BlockNoRules,
         LintCode::RuleNeverApplies,
@@ -136,6 +152,10 @@ impl LintCode {
             LintCode::NoOneQubitClass => "QCA0205",
             LintCode::NoTwoQubitClass => "QCA0206",
             LintCode::PerfectFidelity => "QCA0207",
+            LintCode::UnschedulableGate => "QCA0208",
+            LintCode::CouplingDisconnected => "QCA0209",
+            LintCode::UncoupledGate => "QCA0210",
+            LintCode::CouplingQubitMismatch => "QCA0211",
             LintCode::BlockUnadaptable => "QCA0301",
             LintCode::BlockNoRules => "QCA0302",
             LintCode::RuleNeverApplies => "QCA0303",
@@ -166,6 +186,10 @@ impl LintCode {
             LintCode::NoOneQubitClass => "no-one-qubit-class",
             LintCode::NoTwoQubitClass => "no-two-qubit-class",
             LintCode::PerfectFidelity => "perfect-fidelity",
+            LintCode::UnschedulableGate => "unschedulable-gate",
+            LintCode::CouplingDisconnected => "coupling-disconnected",
+            LintCode::UncoupledGate => "uncoupled-gate",
+            LintCode::CouplingQubitMismatch => "coupling-qubit-mismatch",
             LintCode::BlockUnadaptable => "block-unadaptable",
             LintCode::BlockNoRules => "block-without-rules",
             LintCode::RuleNeverApplies => "rule-never-applies",
@@ -188,6 +212,7 @@ impl LintCode {
             | LintCode::OpAfterMeasure
             | LintCode::FidelityRange
             | LintCode::NegativeDuration
+            | LintCode::CouplingQubitMismatch
             | LintCode::BlockUnadaptable
             | LintCode::LitOutOfRange
             | LintCode::EmptyClause => Severity::Error,

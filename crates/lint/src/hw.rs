@@ -7,8 +7,9 @@
 //! would have rejected, plus physics-level sanity the constructor does not
 //! check.
 
-use crate::diag::{Diagnostic, LintCode};
-use qca_hw::{CostClass, HardwareModel};
+use crate::diag::{Diagnostic, LintCode, Severity};
+use qca_circuit::{Circuit, Gate};
+use qca_hw::{CircuitSchedule, CostClass, CouplingMap, HardwareModel};
 
 /// Lints a hardware model's cost table and coherence times.
 pub fn lint_hardware(hw: &HardwareModel) -> Vec<Diagnostic> {
@@ -100,6 +101,117 @@ pub fn lint_hardware(hw: &HardwareModel) -> Vec<Diagnostic> {
         ));
     }
 
+    diags
+}
+
+/// Lints a circuit's schedulability on a hardware model (`QCA0208`).
+///
+/// Run this on *adapted* (target-native) circuits, where every gate must be
+/// priced for the idle-time objective and the verification audits to work.
+/// Source circuits legitimately contain unpriced gates — that is what
+/// adaptation exists to fix — so this pass is not part of the default
+/// source-circuit lint set.
+pub fn lint_schedulability(circuit: &Circuit, hw: &HardwareModel) -> Vec<Diagnostic> {
+    match CircuitSchedule::asap_checked(circuit, hw) {
+        Ok(_) => Vec::new(),
+        Err(e) => vec![Diagnostic::new(
+            LintCode::UnschedulableGate,
+            format!("{}: ASAP scheduling on {} is impossible", e, hw.name()),
+        )
+        .with_help("adapt the circuit to the target gate set, or price the class")],
+    }
+}
+
+/// Lints a coupling map in isolation (`QCA0209`).
+pub fn lint_coupling(coupling: &CouplingMap) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+    if coupling.num_qubits() > 1 && !coupling.is_connected() {
+        diags.push(
+            Diagnostic::new(
+                LintCode::CouplingDisconnected,
+                format!(
+                    "coupling graph over {} qubits is disconnected",
+                    coupling.num_qubits()
+                ),
+            )
+            .with_help("blocks spanning components cannot be routed"),
+        );
+    }
+    diags
+}
+
+/// Lints a circuit against a coupling map (`QCA0209`–`QCA0211`).
+///
+/// Flags two-qubit gates on uncoupled pairs. A pair the map can still
+/// connect through SWAP routing is a warning (routing costs fidelity and
+/// time); a pair with no path at all, or one whose routing would need a
+/// swap realization `hw` does not price, is an error because adaptation is
+/// statically guaranteed to fail.
+pub fn lint_circuit_coupling(
+    circuit: &Circuit,
+    coupling: &CouplingMap,
+    hw: &HardwareModel,
+) -> Vec<Diagnostic> {
+    let mut diags = lint_coupling(coupling);
+    let nq = circuit.num_qubits();
+    if coupling.num_qubits() < nq {
+        diags.push(
+            Diagnostic::new(
+                LintCode::CouplingQubitMismatch,
+                format!(
+                    "coupling map declares {} qubits but the circuit uses {nq}",
+                    coupling.num_qubits()
+                ),
+            )
+            .with_help("load the map for the device the circuit targets"),
+        );
+        return diags; // pair checks below would index out of range
+    }
+    let cm = coupling.restrict(nq);
+    let swap_priced = hw.supports(&Gate::SwapDiabatic) || hw.supports(&Gate::SwapComposite);
+    let mut seen: std::collections::BTreeSet<(usize, usize)> = std::collections::BTreeSet::new();
+    for instr in circuit.iter().filter(|i| i.qubits.len() == 2) {
+        let (a, b) = (
+            instr.qubits[0].min(instr.qubits[1]),
+            instr.qubits[0].max(instr.qubits[1]),
+        );
+        if cm.is_coupled(a, b) || !seen.insert((a, b)) {
+            continue;
+        }
+        let mut d = match cm.distance(a, b) {
+            None => Diagnostic::new(
+                LintCode::UncoupledGate,
+                format!(
+                    "{instr} acts on qubits {a} and {b}, which the coupling graph \
+                     does not connect at all"
+                ),
+            )
+            .with_help("no SWAP route exists; adaptation will fail"),
+            Some(dist) if !swap_priced => Diagnostic::new(
+                LintCode::UncoupledGate,
+                format!(
+                    "{instr} acts on uncoupled qubits {a} and {b} (distance {dist}), \
+                     and {} prices no swap realization to route it",
+                    hw.name()
+                ),
+            )
+            .with_help("price SwapDiabatic or SwapComposite, or use a connected pair"),
+            Some(dist) => Diagnostic::new(
+                LintCode::UncoupledGate,
+                format!(
+                    "{instr} acts on uncoupled qubits {a} and {b}: routing inserts \
+                     {} swaps (distance {dist})",
+                    2 * (dist - 1)
+                ),
+            )
+            .with_help("routing costs fidelity and duration; prefer coupled operands"),
+        };
+        // Unroutable pairs make adaptation statically infeasible.
+        if !cm.is_coupled(a, b) && (cm.distance(a, b).is_none() || !swap_priced) {
+            d.severity = Severity::Error;
+        }
+        diags.push(d);
+    }
     diags
 }
 
@@ -213,5 +325,101 @@ mod tests {
         let diags = lint_hardware(&model_with(table, 1e6, 1e3));
         assert_eq!(codes(&diags), vec![LintCode::PerfectFidelity]);
         assert_eq!(diags[0].severity, Severity::Info);
+    }
+
+    #[test]
+    fn unschedulable_gate_names_the_instruction() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let mut c = Circuit::new(2);
+        c.push(Gate::H, &[0]);
+        c.push(Gate::Cx, &[0, 1]); // unpriced on spins
+        let diags = lint_schedulability(&c, &hw);
+        assert_eq!(codes(&diags), vec![LintCode::UnschedulableGate]);
+        assert!(diags[0].message.contains("[0, 1]"), "{}", diags[0].message);
+        // A native circuit is clean.
+        let mut native = Circuit::new(2);
+        native.push(Gate::Cz, &[0, 1]);
+        assert!(lint_schedulability(&native, &hw).is_empty());
+    }
+
+    #[test]
+    fn disconnected_coupling_flagged() {
+        let cm = CouplingMap::new(4, [(0, 1), (2, 3)]).unwrap();
+        let diags = lint_coupling(&cm);
+        assert_eq!(codes(&diags), vec![LintCode::CouplingDisconnected]);
+        assert!(lint_coupling(&CouplingMap::line(4)).is_empty());
+    }
+
+    #[test]
+    fn uncoupled_gate_warns_when_routable() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cz, &[0, 2]);
+        let diags = lint_circuit_coupling(&c, &CouplingMap::line(3), &hw);
+        assert_eq!(codes(&diags), vec![LintCode::UncoupledGate]);
+        assert_eq!(diags[0].severity, Severity::Warn);
+        assert!(diags[0].message.contains("2 swaps"), "{}", diags[0].message);
+    }
+
+    #[test]
+    fn uncoupled_gate_errors_without_path_or_swaps() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cz, &[0, 2]);
+        // No path: qubit 2 is isolated.
+        let cm = CouplingMap::new(3, [(0, 1)]).unwrap();
+        let diags = lint_circuit_coupling(&c, &cm, &hw);
+        let uncoupled: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == LintCode::UncoupledGate)
+            .collect();
+        assert_eq!(uncoupled.len(), 1);
+        assert_eq!(uncoupled[0].severity, Severity::Error);
+        // Path exists but the model prices no swap realization.
+        let diags = lint_circuit_coupling(&c, &CouplingMap::line(3), &ibm_source_model());
+        assert_eq!(codes(&diags), vec![LintCode::UncoupledGate]);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn coupling_qubit_mismatch_is_an_error() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cz, &[0, 2]);
+        let diags = lint_circuit_coupling(&c, &CouplingMap::line(2), &hw);
+        assert_eq!(codes(&diags), vec![LintCode::CouplingQubitMismatch]);
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn coupled_circuit_is_clean_and_pairs_dedup() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cz, &[0, 1]);
+        c.push(Gate::Cz, &[1, 2]);
+        assert!(lint_circuit_coupling(&c, &CouplingMap::line(3), &hw).is_empty());
+        // The same uncoupled pair fires once, not per instruction.
+        let mut rep = Circuit::new(3);
+        rep.push(Gate::Cz, &[0, 2]);
+        rep.push(Gate::Cz, &[2, 0]);
+        let diags = lint_circuit_coupling(&rep, &CouplingMap::line(3), &hw);
+        assert_eq!(diags.len(), 1);
+    }
+
+    #[test]
+    fn device_larger_than_circuit_is_fine() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        // Starmon-5 restricted to 3 qubits keeps edges (0,2) and (1,2).
+        let mut c = Circuit::new(3);
+        c.push(Gate::Cz, &[0, 2]);
+        c.push(Gate::Cz, &[1, 2]);
+        assert!(lint_circuit_coupling(&c, &CouplingMap::starmon5(), &hw).is_empty());
+        // Qubits 0 and 1 connect only through the out-of-range hub 2 once
+        // the circuit shrinks to two qubits: no path, hence an error.
+        let mut two = Circuit::new(2);
+        two.push(Gate::Cz, &[0, 1]);
+        let diags = lint_circuit_coupling(&two, &CouplingMap::starmon5(), &hw);
+        assert_eq!(codes(&diags), vec![LintCode::UncoupledGate]);
+        assert_eq!(diags[0].severity, Severity::Error);
     }
 }

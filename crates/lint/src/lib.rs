@@ -46,7 +46,7 @@ pub use diag::{
     Severity,
 };
 pub use encoding::{lint_cnf, lint_encoding, lint_records};
-pub use hw::lint_hardware;
+pub use hw::{lint_circuit_coupling, lint_coupling, lint_hardware, lint_schedulability};
 pub use registry::{LintInfo, LintRegistry};
 pub use render::{render_human, render_json};
 pub use rules::{lint_rule_coverage, RuleToggles};

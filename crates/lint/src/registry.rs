@@ -72,6 +72,10 @@ fn summary(code: LintCode) -> &'static str {
         LintCode::NoOneQubitClass => "model prices no single-qubit gate class",
         LintCode::NoTwoQubitClass => "model prices no two-qubit gate class",
         LintCode::PerfectFidelity => "gate priced at exactly fidelity 1.0",
+        LintCode::UnschedulableGate => "circuit gate has no cost entry, blocking ASAP scheduling",
+        LintCode::CouplingDisconnected => "coupling graph is disconnected",
+        LintCode::UncoupledGate => "two-qubit gate on a pair the coupling map does not connect",
+        LintCode::CouplingQubitMismatch => "coupling map declares fewer qubits than the circuit",
         LintCode::BlockUnadaptable => "block's reference translation needs unpriced gate classes",
         LintCode::BlockNoRules => "no enabled substitution rule can target the block",
         LintCode::RuleNeverApplies => "enabled rule targets classes the hardware never prices",
@@ -105,6 +109,17 @@ fn rationale(code: LintCode) -> &'static str {
         LintCode::NoOneQubitClass => "every substitution rule emits single-qubit corrections",
         LintCode::NoTwoQubitClass => "entangling circuits cannot be priced at all",
         LintCode::PerfectFidelity => "fidelity 1.0 removes the gate from the objective entirely",
+        LintCode::UnschedulableGate => {
+            "the idle-time objective and verification audits need a full ASAP schedule"
+        }
+        LintCode::CouplingDisconnected => {
+            "blocks spanning components are unroutable; adaptation fails at rule evaluation"
+        }
+        LintCode::UncoupledGate => {
+            "the gate needs SWAP routing, which costs fidelity and duration — or fails if \
+             no swap realization is priced"
+        }
+        LintCode::CouplingQubitMismatch => "routing cannot place qubits the device lacks",
         LintCode::BlockUnadaptable => {
             "preprocessing requires a native reference translation; failure is provable statically"
         }

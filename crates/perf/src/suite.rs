@@ -7,6 +7,7 @@
 //! | `engine.batch/w1` | engine | batch adaptation wall time at one worker, plus jobs/sec |
 //! | `engine.batch/wN` | engine | the same at N workers — marked unobservable when the machine has fewer than N cores |
 //! | `engine.cache_hit` | engine | latency of answering an adaptation from the warm cache |
+//! | `engine.adapt_routed` | engine | batch adaptation of topology-stress circuits under a line coupling map, where the solver must choose SWAP-insertion routing substitutions |
 //! | `engine.recalibrate` | engine | walking the cached corpus against a drifted fidelity table, re-certifying each cached optimum |
 //! | `portfolio.race/N` | portfolio | racing the diverse preset portfolio (with clause sharing) to an UNSAT verdict on the pigeonhole suite |
 //! | `serve.adapt.p50` / `serve.adapt.p95` | serve | request latency percentiles against an in-process `qca-serve` instance, driven by the `qca-load` client machinery |
@@ -20,12 +21,12 @@ use crate::harness::{measure, HarnessConfig, Measurement};
 use crate::report::{BenchResult, Direction};
 use qca_adapt::Objective;
 use qca_engine::{AdaptJob, Engine, EngineConfig};
-use qca_hw::{spin_qubit_model, GateTimes};
+use qca_hw::{spin_qubit_model, CouplingMap, GateTimes};
 use qca_portfolio::{presets, race, RaceOptions};
 use qca_sat::{Lit, SolveOutcome, Solver, Var};
 use qca_serve::client::Connection;
 use qca_serve::{ServeConfig, Server};
-use qca_workloads::{random_template_circuit, DEFAULT_TEMPLATE_GATES};
+use qca_workloads::{random_template_circuit, topology_stress, DEFAULT_TEMPLATE_GATES};
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -99,6 +100,7 @@ pub fn run_suite(config: &SuiteConfig) -> Vec<BenchResult> {
     push(bench_engine_batch(config, 1));
     push(bench_engine_batch(config, SCALE_WORKERS));
     push(bench_cache_hit(config));
+    push(bench_adapt_routed(config));
     push(bench_recalibrate(config));
     push(bench_portfolio_race(
         config,
@@ -333,6 +335,63 @@ fn bench_cache_hit(config: &SuiteConfig) -> Option<BenchResult> {
         &measurement,
         true,
         BTreeMap::new(),
+    ))
+}
+
+/// Topology-constrained adaptation: every job carries a line coupling map
+/// and the workload deliberately spans non-adjacent pairs, so the measured
+/// solves include the SWAP-insertion routing substitutions.
+fn bench_adapt_routed(config: &SuiteConfig) -> Option<BenchResult> {
+    let id = "engine.adapt_routed";
+    if !config.wants(id) {
+        return None;
+    }
+    let hw = spin_qubit_model(GateTimes::D0);
+    let (jobs_n, depth) = if config.quick { (3, 5) } else { (6, 8) };
+    let jobs: Vec<AdaptJob> = (0..jobs_n)
+        .map(|i| {
+            let circuit = topology_stress(4, depth, 170 + i as u64);
+            let mut job = AdaptJob::with_objective(circuit, Objective::Fidelity);
+            job.options.coupling = Some(CouplingMap::line(4));
+            job
+        })
+        .collect();
+    // Caching off for the same reason as `engine.batch`: each iteration
+    // must pay the full routed solve.
+    let engine = Engine::new(EngineConfig {
+        workers: 1,
+        cache_capacity: 0,
+        ..EngineConfig::default()
+    });
+    // Probe once: the workload must actually exercise the routing model.
+    let routed: usize = engine
+        .adapt_batch(&hw, &jobs)
+        .iter()
+        .filter_map(|r| r.adaptation.as_deref())
+        .map(|a| a.chosen.iter().filter(|s| s.route.is_some()).count())
+        .sum();
+    assert!(
+        routed > 0,
+        "routed benchmark chose no routing substitutions"
+    );
+    let measurement = measure(&config.harness, || engine.adapt_batch(&hw, &jobs));
+    let stats = measurement.stats(config.harness.trim);
+    let mut metrics = BTreeMap::new();
+    metrics.insert("jobs".to_string(), jobs.len() as f64);
+    metrics.insert("routed_substitutions".to_string(), routed as f64);
+    if stats.median_ns > 0.0 {
+        metrics.insert(
+            "jobs_per_sec".to_string(),
+            jobs.len() as f64 / (stats.median_ns / 1e9),
+        );
+    }
+    Some(timing_result(
+        config,
+        id,
+        "engine",
+        &measurement,
+        true,
+        metrics,
     ))
 }
 
@@ -601,6 +660,7 @@ mod tests {
         assert!(bench_pigeonhole(&config, 5).is_none());
         assert!(bench_engine_batch(&config, 1).is_none());
         assert!(bench_cache_hit(&config).is_none());
+        assert!(bench_adapt_routed(&config).is_none());
         assert!(bench_recalibrate(&config).is_none());
         assert!(bench_portfolio_race(&config, 5).is_none());
         assert!(bench_serve(&config).is_empty());
@@ -618,6 +678,15 @@ mod tests {
             !result.observable,
             "3-member race claimed observable on 1 core"
         );
+    }
+
+    #[test]
+    fn adapt_routed_bench_exercises_routing() {
+        let result = bench_adapt_routed(&tiny()).unwrap();
+        assert_eq!(result.layer, "engine");
+        assert!(result.value > 0.0);
+        assert!(result.metrics["routed_substitutions"] >= 1.0);
+        assert!(result.metrics["jobs"] >= 1.0);
     }
 
     #[test]

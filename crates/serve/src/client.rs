@@ -114,7 +114,9 @@ impl Connection {
             if self.buf.len() > 64 * 1024 {
                 return Err(ClientError::Malformed("response head too large"));
             }
-            self.fill()?;
+            if !self.fill()? {
+                return Err(ClientError::Malformed("connection closed mid-response"));
+            }
         };
         let head = String::from_utf8_lossy(&self.buf[..head_end]).into_owned();
         let mut lines = head.lines();
@@ -138,16 +140,33 @@ impl Connection {
                 .ok_or(ClientError::Malformed("bad header"))?;
             headers.push((name.trim().to_string(), value.trim().to_string()));
         }
-        let content_length: usize = headers
+        let content_length: Option<usize> = match headers
             .iter()
             .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
-            .and_then(|(_, v)| v.parse().ok())
-            .ok_or(ClientError::Malformed("missing content-length"))?;
+        {
+            Some((_, v)) => Some(
+                v.parse()
+                    .map_err(|_| ClientError::Malformed("bad content-length"))?,
+            ),
+            None => None,
+        };
         self.buf.drain(..head_end);
-        while self.buf.len() < content_length {
-            self.fill()?;
-        }
-        let body: Vec<u8> = self.buf.drain(..content_length).collect();
+        // RFC 9112 §6.3: 1xx, 204, and 304 responses never carry a body,
+        // regardless of headers. Otherwise Content-Length delimits the body;
+        // without it the body runs until the server closes the connection.
+        let body: Vec<u8> = if status / 100 == 1 || status == 204 || status == 304 {
+            Vec::new()
+        } else if let Some(len) = content_length {
+            while self.buf.len() < len {
+                if !self.fill()? {
+                    return Err(ClientError::Malformed("connection closed mid-response"));
+                }
+            }
+            self.buf.drain(..len).collect()
+        } else {
+            while self.fill()? {}
+            self.buf.drain(..).collect()
+        };
         Ok(HttpResponse {
             status,
             headers,
@@ -155,13 +174,14 @@ impl Connection {
         })
     }
 
-    fn fill(&mut self) -> Result<(), ClientError> {
+    /// Reads one chunk into the buffer. Returns `Ok(false)` on clean EOF.
+    fn fill(&mut self) -> Result<bool, ClientError> {
         let mut chunk = [0u8; 8192];
         match self.stream.read(&mut chunk)? {
-            0 => Err(ClientError::Malformed("connection closed mid-response")),
+            0 => Ok(false),
             n => {
                 self.buf.extend_from_slice(&chunk[..n]);
-                Ok(())
+                Ok(true)
             }
         }
     }
@@ -184,5 +204,72 @@ mod tests {
         assert_eq!(find_head_end(b"HTTP/1.1 200 OK\r\n\r\nbody"), Some(19));
         assert_eq!(find_head_end(b"HTTP/1.1 200 OK\n\nbody"), Some(17));
         assert_eq!(find_head_end(b"HTTP/1.1 200 OK\r\n"), None);
+    }
+
+    /// Serves one connection with the canned bytes, then closes it.
+    fn canned_server(response: &'static [u8]) -> SocketAddr {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut sink = [0u8; 4096];
+            let _ = stream.read(&mut sink);
+            stream.write_all(response).unwrap();
+        });
+        addr
+    }
+
+    fn connect(addr: SocketAddr) -> Connection {
+        Connection::connect(addr, Duration::from_secs(5)).unwrap()
+    }
+
+    #[test]
+    fn accepts_204_without_content_length() {
+        let addr = canned_server(b"HTTP/1.1 204 No Content\r\nServer: canned\r\n\r\n");
+        let resp = connect(addr).request("GET", "/healthz", b"").unwrap();
+        assert_eq!(resp.status, 204);
+        assert!(resp.body.is_empty());
+        assert_eq!(resp.header("server"), Some("canned"));
+    }
+
+    #[test]
+    fn accepts_304_without_content_length() {
+        let addr = canned_server(b"HTTP/1.1 304 Not Modified\r\n\r\n");
+        let resp = connect(addr).request("GET", "/jobs/1", b"").unwrap();
+        assert_eq!(resp.status, 304);
+        assert!(resp.body.is_empty());
+    }
+
+    #[test]
+    fn reads_close_delimited_body_to_eof() {
+        let addr = canned_server(b"HTTP/1.1 200 OK\r\nConnection: close\r\n\r\n{\"ok\":true}");
+        let resp = connect(addr).request("GET", "/metrics", b"").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_text(), "{\"ok\":true}");
+    }
+
+    #[test]
+    fn content_length_still_delimits_keep_alive_bodies() {
+        let addr = canned_server(b"HTTP/1.1 200 OK\r\nContent-Length: 4\r\n\r\nbodytrailing");
+        let resp = connect(addr).request("GET", "/", b"").unwrap();
+        assert_eq!(resp.status, 200);
+        assert_eq!(resp.body_text(), "body");
+    }
+
+    #[test]
+    fn rejects_unparsable_content_length() {
+        let addr = canned_server(b"HTTP/1.1 200 OK\r\nContent-Length: nope\r\n\r\n");
+        let err = connect(addr).request("GET", "/", b"").unwrap_err();
+        assert!(matches!(err, ClientError::Malformed("bad content-length")));
+    }
+
+    #[test]
+    fn rejects_eof_mid_head() {
+        let addr = canned_server(b"HTTP/1.1 200 OK\r\nCont");
+        let err = connect(addr).request("GET", "/", b"").unwrap_err();
+        assert!(matches!(
+            err,
+            ClientError::Malformed("connection closed mid-response")
+        ));
     }
 }

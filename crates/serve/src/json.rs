@@ -64,6 +64,22 @@ pub fn report_to_json(id: &str, report: &AdaptReport, include_circuit: bool) -> 
     );
     push_kv(&mut out, "gates", &report.circuit.len().to_string());
     push_kv(&mut out, "qubits", &report.circuit.num_qubits().to_string());
+    // SWAP-insertion routing substitutions the solver chose (null for
+    // fallbacks, which never went through the solver).
+    push_kv(
+        &mut out,
+        "routed",
+        &report.adaptation.as_deref().map_or_else(
+            || "null".to_string(),
+            |a| {
+                a.chosen
+                    .iter()
+                    .filter(|s| s.route.is_some())
+                    .count()
+                    .to_string()
+            },
+        ),
+    );
     push_kv(
         &mut out,
         "error",
@@ -142,6 +158,7 @@ mod tests {
         assert!(json.contains("\"optimal\":false"));
         assert!(json.contains("\"objective_value\":42"));
         assert!(json.contains("\"audit\":\"passed\""));
+        assert!(json.contains("\"routed\":null"));
         assert!(json.contains("\"circuit_qasm\":\""));
         assert!(!json.contains(",}"));
     }

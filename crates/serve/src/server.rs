@@ -14,6 +14,10 @@
 //!
 //! * `objective=fidelity|idle|combined` — solver objective
 //! * `times=d0|d1` — hardware gate-time column
+//! * `coupling=line|ring|star|starmon5|all` — constrain two-qubit gates to
+//!   a coupling topology sized per circuit (`starmon5` is the fixed
+//!   5-qubit Starmon-5 device); the solver routes uncoupled gates with
+//!   SWAP insertions and the response gains a `routed` count
 //! * `exact=1` — run the search to proven optimality
 //! * `budget=N` — total SAT conflict cap
 //! * `deadline_ms=N` — wall-clock deadline: maps to a deterministic
@@ -31,10 +35,12 @@
 //! # Admission control and drain
 //!
 //! The submission queue is bounded. A request that finds it full is
-//! answered `429` with `Retry-After` immediately — the acceptor never
-//! blocks on solver capacity. On shutdown the server stops accepting
-//! connections, answers new adaptation requests on live connections with
-//! `503`, finishes every job already admitted, then flushes metrics. See
+//! answered `429` immediately — the acceptor never blocks on solver
+//! capacity. The `Retry-After` hint is derived from the current queue
+//! depth and the observed mean per-job wall time (floor 1 s, cap 600 s).
+//! On shutdown the server stops accepting connections, answers new
+//! adaptation requests on live connections with `503`, finishes every job
+//! already admitted, then flushes metrics. See
 //! `DESIGN.md` for the full state machine.
 
 use crate::http::{Request, RequestParser, Response, DEFAULT_MAX_HEAD};
@@ -44,7 +50,7 @@ use qca_adapt::AdaptLimits;
 use qca_adapt::Objective;
 use qca_circuit::qasm;
 use qca_engine::{AdaptJob, AdaptReport, Engine, EngineConfig, EnginePool, JobPolicy, SubmitError};
-use qca_hw::{spin_qubit_model, GateTimes, HardwareModel};
+use qca_hw::{spin_qubit_model, CouplingMap, GateTimes, HardwareModel};
 use qca_trace::{jsonl, MemorySink, ScopeGuard, ScopedSink, Tracer};
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -203,10 +209,35 @@ impl TraceStore {
     }
 }
 
+/// A named coupling-topology family from the `coupling=` query parameter,
+/// sized per circuit at submission time (Starmon-5 is a fixed 5-qubit
+/// device).
+#[derive(Clone, Copy)]
+enum CouplingKind {
+    Line,
+    Ring,
+    Star,
+    Starmon5,
+    AllToAll,
+}
+
+impl CouplingKind {
+    fn build(self, num_qubits: usize) -> CouplingMap {
+        match self {
+            CouplingKind::Line => CouplingMap::line(num_qubits),
+            CouplingKind::Ring => CouplingMap::ring(num_qubits),
+            CouplingKind::Star => CouplingMap::star(num_qubits),
+            CouplingKind::Starmon5 => CouplingMap::starmon5(),
+            CouplingKind::AllToAll => CouplingMap::all_to_all(num_qubits),
+        }
+    }
+}
+
 /// Per-request knobs decoded from the query string.
 struct RequestOptions {
     objective: Objective,
     times: GateTimes,
+    coupling: Option<CouplingKind>,
     exact: bool,
     budget: Option<u64>,
     deadline: Option<Duration>,
@@ -234,6 +265,10 @@ pub struct Server {
     tracer: Tracer,
     next_id: AtomicU64,
     draining: AtomicBool,
+    /// Total wall time of completed jobs (ms) and their count, feeding the
+    /// derived `Retry-After` hint on 429 responses.
+    job_wall_ms: AtomicU64,
+    jobs_done: AtomicU64,
 }
 
 impl Server {
@@ -280,6 +315,8 @@ impl Server {
             tracer,
             next_id: AtomicU64::new(0),
             draining: AtomicBool::new(false),
+            job_wall_ms: AtomicU64::new(0),
+            jobs_done: AtomicU64::new(0),
         })
     }
 
@@ -531,10 +568,20 @@ impl Server {
             Some(ms) => Some(Duration::from_millis(ms.max(1))),
             None => self.config.default_deadline,
         };
+        let coupling = match request.query_param("coupling") {
+            None => None,
+            Some("line") => Some(CouplingKind::Line),
+            Some("ring") => Some(CouplingKind::Ring),
+            Some("star") => Some(CouplingKind::Star),
+            Some("starmon5") => Some(CouplingKind::Starmon5),
+            Some("all") => Some(CouplingKind::AllToAll),
+            Some(other) => return Err(bad(format!("unknown coupling topology {other:?}"))),
+        };
         let deny_warnings = parse_bool("deny_warnings", self.config.deny_warnings)?;
         Ok(RequestOptions {
             objective,
             times,
+            coupling,
             exact: parse_bool("exact", false)?,
             budget: parse_u64("budget")?,
             deadline,
@@ -607,6 +654,22 @@ impl Server {
         response
     }
 
+    /// The `Retry-After` hint for 429 responses: the backlog (at least one
+    /// job — the one just rejected) times the observed mean per-job wall
+    /// time, defaulting to one second before any job has completed.
+    /// Floored at 1 s so clients never busy-loop, capped at 600 s so a few
+    /// pathological solves cannot push the hint into absurdity.
+    fn retry_after_secs(&self) -> u64 {
+        let done = self.jobs_done.load(Ordering::Relaxed);
+        let avg_ms = self
+            .job_wall_ms
+            .load(Ordering::Relaxed)
+            .checked_div(done)
+            .map_or(1000, |avg| avg.max(1));
+        let backlog = (self.pool.queued() as u64).max(1);
+        (backlog * avg_ms).div_ceil(1000).clamp(1, 600)
+    }
+
     /// Submits the parsed circuits through the pool and waits for their
     /// completions (or the request timeout).
     fn solve(
@@ -626,9 +689,11 @@ impl Server {
         let mut cancels: Vec<Arc<AtomicBool>> = Vec::new();
         let mut submitted = 0usize;
         for (index, circuit) in circuits.into_iter().enumerate() {
+            let num_qubits = circuit.num_qubits();
             let mut job = AdaptJob::new(circuit);
             job.options.objective = options.objective;
             job.options.exact = options.exact;
+            job.options.coupling = options.coupling.map(|k| k.build(num_qubits));
             // Deadline → deterministic conflict budget; an explicit budget
             // param wins. The wall-clock side is the watchdog-armed flag.
             job.limits.total_conflicts = match (options.budget, options.deadline) {
@@ -666,7 +731,7 @@ impl Server {
                     self.tracer.counter("serve.rejected", 1);
                     if !batch {
                         return Response::json(429, json::error_body("submission queue is full"))
-                            .with_header("Retry-After", "1");
+                            .with_header("Retry-After", &self.retry_after_secs().to_string());
                     }
                     // Batch: the item keeps its `None` report slot and is
                     // reported as rejected in the results array.
@@ -679,7 +744,7 @@ impl Server {
         drop(tx);
         if batch && submitted == 0 {
             return Response::json(429, json::error_body("submission queue is full"))
-                .with_header("Retry-After", "1");
+                .with_header("Retry-After", &self.retry_after_secs().to_string());
         }
 
         let mut reports: Vec<Option<AdaptReport>> = (0..total).map(|_| None).collect();
@@ -687,7 +752,12 @@ impl Server {
         for _ in 0..submitted {
             let remaining = wait_deadline.saturating_duration_since(Instant::now());
             match rx.recv_timeout(remaining) {
-                Ok((index, report)) => reports[index] = Some(report),
+                Ok((index, report)) => {
+                    self.jobs_done.fetch_add(1, Ordering::Relaxed);
+                    self.job_wall_ms
+                        .fetch_add(report.wall.as_millis() as u64, Ordering::Relaxed);
+                    reports[index] = Some(report)
+                }
                 Err(_) => {
                     // Give up on this request: cancel whatever is still
                     // running or queued so the pool frees up quickly.
@@ -785,6 +855,25 @@ mod tests {
         let disabled = TraceStore::new(0);
         disabled.insert("a".into(), "1".into());
         assert_eq!(disabled.get("a"), None);
+    }
+
+    #[test]
+    fn retry_after_derives_from_backlog_and_latency() {
+        let server = Server::bind(ServeConfig::default()).expect("bind");
+        // No history, empty queue: the floor.
+        assert_eq!(server.retry_after_secs(), 1);
+        // Four jobs averaging 2.5 s each: ceil(1 × 2.5 s) = 3 s.
+        server.jobs_done.store(4, Ordering::Relaxed);
+        server.job_wall_ms.store(4 * 2500, Ordering::Relaxed);
+        assert_eq!(server.retry_after_secs(), 3);
+        // Sub-second jobs still round up to the 1 s floor.
+        server.jobs_done.store(10, Ordering::Relaxed);
+        server.job_wall_ms.store(10 * 40, Ordering::Relaxed);
+        assert_eq!(server.retry_after_secs(), 1);
+        // Pathologically slow history is capped.
+        server.jobs_done.store(1, Ordering::Relaxed);
+        server.job_wall_ms.store(10_000_000, Ordering::Relaxed);
+        assert_eq!(server.retry_after_secs(), 600);
     }
 
     #[test]

@@ -156,7 +156,14 @@ fn full_queue_answers_429_without_blocking() {
         .request("POST", "/v1/adapt", GOOD_QASM.as_bytes())
         .expect("rejected request");
     assert_eq!(rejected.status, 429, "{}", rejected.body_text());
-    assert_eq!(rejected.header("Retry-After"), Some("1"));
+    // Retry-After is derived from backlog and observed latency; it must be
+    // a positive integer number of seconds.
+    let retry: u64 = rejected
+        .header("Retry-After")
+        .expect("Retry-After header")
+        .parse()
+        .expect("integer Retry-After");
+    assert!((1..=600).contains(&retry), "Retry-After {retry}");
     assert!(
         t0.elapsed() < Duration::from_millis(500),
         "429 must not wait for capacity (took {:?})",
@@ -245,6 +252,44 @@ fn batch_adapts_several_circuits() {
     assert_eq!(response.status, 200, "{}", response.body_text());
     let text = response.body_text();
     assert_eq!(text.matches("\"status\":").count(), 2, "{text}");
+    server.stop();
+}
+
+#[test]
+fn coupling_param_routes_uncoupled_gates() {
+    let server = TestServer::start(small_config());
+    let mut connection = server.connect();
+
+    // cx q[0], q[2] on a 3-qubit line device must be routed via SWAPs, and
+    // the audited result still passes under the coupling-aware checker.
+    let qasm = "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[3];\ncx q[0], q[2];\n";
+    let ok = connection
+        .request(
+            "POST",
+            "/v1/adapt?coupling=line&verify=1&circuit=0",
+            qasm.as_bytes(),
+        )
+        .expect("routed request");
+    assert_eq!(ok.status, 200, "{}", ok.body_text());
+    let body = ok.body_text();
+    assert!(body.contains("\"audit\":\"passed\""), "{body}");
+    assert!(body.contains("\"routed\":1"), "{body}");
+
+    // The same circuit without a coupling map needs no routing.
+    let flat = connection
+        .request("POST", "/v1/adapt?circuit=0", qasm.as_bytes())
+        .expect("flat request");
+    assert!(
+        flat.body_text().contains("\"routed\":0"),
+        "{}",
+        flat.body_text()
+    );
+
+    // Unknown topologies are rejected up front.
+    let bad = connection
+        .request("POST", "/v1/adapt?coupling=torus", qasm.as_bytes())
+        .expect("bad topology");
+    assert_eq!(bad.status, 400, "{}", bad.body_text());
     server.stop();
 }
 

@@ -17,7 +17,7 @@
 
 use qca_adapt::{Adaptation, Objective, VerificationData, LOG_SCALE};
 use qca_circuit::Circuit;
-use qca_hw::{CircuitSchedule, HardwareModel};
+use qca_hw::{CircuitSchedule, CouplingMap, HardwareModel};
 use qca_num::phase::approx_eq_up_to_phase;
 
 use crate::drat::DratError;
@@ -39,6 +39,19 @@ pub enum AdaptationAuditError {
     Unschedulable {
         /// Which circuit: `"adapted"` or `"reference"`.
         which: &'static str,
+        /// The offending instruction, from
+        /// [`ScheduleError`](qca_hw::ScheduleError).
+        detail: String,
+    },
+    /// A two-qubit gate in the adapted circuit acts on a pair the coupling
+    /// map does not connect.
+    UncoupledGate {
+        /// Which circuit: `"adapted"` or `"reference"`.
+        which: &'static str,
+        /// The offending instruction, rendered.
+        instr: String,
+        /// The uncoupled operand pair.
+        qubits: (usize, usize),
     },
     /// The adapted or reference circuit does not implement the source
     /// unitary (up to global phase).
@@ -83,9 +96,21 @@ impl std::fmt::Display for AdaptationAuditError {
             AdaptationAuditError::NonNative { which } => {
                 write!(f, "{which} circuit uses non-native gates")
             }
-            AdaptationAuditError::Unschedulable { which } => {
-                write!(f, "{which} circuit is unschedulable under the gate tables")
+            AdaptationAuditError::Unschedulable { which, detail } => {
+                write!(
+                    f,
+                    "{which} circuit is unschedulable under the gate tables: {detail}"
+                )
             }
+            AdaptationAuditError::UncoupledGate {
+                which,
+                instr,
+                qubits,
+            } => write!(
+                f,
+                "{which} circuit places {instr} on uncoupled qubits {} and {}",
+                qubits.0, qubits.1
+            ),
             AdaptationAuditError::UnitaryMismatch { which } => {
                 write!(f, "{which} circuit does not implement the source unitary")
             }
@@ -174,13 +199,34 @@ pub fn audit_baseline(
     adapted: &Circuit,
     hw: &HardwareModel,
 ) -> Result<AdaptationAuditStats, AdaptationAuditError> {
+    audit_baseline_with_coupling(source, adapted, hw, None)
+}
+
+/// [`audit_baseline`] for a topology-constrained adaptation: additionally
+/// checks every two-qubit gate of the adapted circuit lands on a coupled
+/// pair.
+pub fn audit_baseline_with_coupling(
+    source: &Circuit,
+    adapted: &Circuit,
+    hw: &HardwareModel,
+    coupling: Option<&CouplingMap>,
+) -> Result<AdaptationAuditStats, AdaptationAuditError> {
     let mut stats = AdaptationAuditStats::default();
     if !hw.supports_circuit(adapted) {
         return Err(AdaptationAuditError::NonNative { which: "adapted" });
     }
-    let Some(schedule) = CircuitSchedule::asap(adapted, hw) else {
-        return Err(AdaptationAuditError::Unschedulable { which: "adapted" });
+    let schedule = match CircuitSchedule::asap_checked(adapted, hw) {
+        Ok(s) => s,
+        Err(e) => {
+            return Err(AdaptationAuditError::Unschedulable {
+                which: "adapted",
+                detail: e.to_string(),
+            })
+        }
     };
+    if let Some(cm) = coupling {
+        check_coupling("adapted", adapted, cm)?;
+    }
     stats.adapted_duration = schedule.total_duration;
     stats.adapted_fidelity = hw
         .circuit_fidelity(adapted)
@@ -203,6 +249,21 @@ pub fn audit_adaptation(
     hw: &HardwareModel,
     objective: Objective,
 ) -> Result<AdaptationAuditStats, AdaptationAuditError> {
+    audit_adaptation_with_coupling(source, result, hw, objective, None)
+}
+
+/// [`audit_adaptation`] for a topology-constrained adaptation: additionally
+/// checks every two-qubit gate of the *adapted* circuit lands on a coupled
+/// pair of the given map. The reference circuit is exempt — it is the
+/// paper's all-to-all basis translation, kept for fidelity comparison, not
+/// an executable artifact for the constrained device.
+pub fn audit_adaptation_with_coupling(
+    source: &Circuit,
+    result: &Adaptation,
+    hw: &HardwareModel,
+    objective: Objective,
+    coupling: Option<&CouplingMap>,
+) -> Result<AdaptationAuditStats, AdaptationAuditError> {
     let mut stats = AdaptationAuditStats::default();
 
     // Native gate sets and schedulability, from the gate tables alone.
@@ -213,9 +274,15 @@ pub fn audit_adaptation(
         if !hw.supports_circuit(circuit) {
             return Err(AdaptationAuditError::NonNative { which });
         }
-        if CircuitSchedule::asap(circuit, hw).is_none() {
-            return Err(AdaptationAuditError::Unschedulable { which });
+        if let Err(e) = CircuitSchedule::asap_checked(circuit, hw) {
+            return Err(AdaptationAuditError::Unschedulable {
+                which,
+                detail: e.to_string(),
+            });
         }
+    }
+    if let Some(cm) = coupling {
+        check_coupling("adapted", &result.circuit, cm)?;
     }
     stats.adapted_fidelity = hw
         .circuit_fidelity(&result.circuit)
@@ -313,6 +380,25 @@ pub fn audit_adaptation(
     Ok(stats)
 }
 
+/// Every two-qubit gate of `circuit` must land on a coupled pair.
+fn check_coupling(
+    which: &'static str,
+    circuit: &Circuit,
+    coupling: &CouplingMap,
+) -> Result<(), AdaptationAuditError> {
+    for instr in circuit.iter().filter(|i| i.qubits.len() == 2) {
+        let (a, b) = (instr.qubits[0], instr.qubits[1]);
+        if a >= coupling.num_qubits() || b >= coupling.num_qubits() || !coupling.is_coupled(a, b) {
+            return Err(AdaptationAuditError::UncoupledGate {
+                which,
+                instr: instr.to_string(),
+                qubits: (a.min(b), a.max(b)),
+            });
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -379,6 +465,72 @@ mod tests {
             err,
             AdaptationAuditError::ObjectiveMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn swap_realizations_share_the_swap_unitary() {
+        // Routing correctness leans on SwapDiabatic and SwapComposite
+        // implementing exactly the SWAP unitary; the dense-simulation audit
+        // would silently weaken if that ever changed.
+        let swap = Gate::Swap.matrix();
+        for g in [Gate::SwapDiabatic, Gate::SwapComposite] {
+            assert!(
+                approx_eq_up_to_phase(&g.matrix(), &swap, 1e-12),
+                "{g:?} is not a SWAP"
+            );
+        }
+    }
+
+    #[test]
+    fn audits_star_routed_adaptation_end_to_end() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let c = swap_chain();
+        let star = CouplingMap::star(3);
+        let ctx: AdaptContext = AdaptOptions::builder()
+            .objective(Objective::Fidelity)
+            .coupling(star.clone())
+            .context();
+        let r = adapt(&c, &hw, &ctx).unwrap();
+        assert!(
+            r.chosen.iter().any(|s| s.route.is_some()),
+            "star topology must force routing"
+        );
+        let stats =
+            audit_adaptation_with_coupling(&c, &r, &hw, Objective::Fidelity, Some(&star)).unwrap();
+        assert!(stats.unitary_checked);
+        assert!(stats.objective_cross_checked);
+    }
+
+    #[test]
+    fn detects_uncoupled_gate_in_adapted_circuit() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let c = swap_chain();
+        // Adapt without a map, then audit against a star: the flat result
+        // keeps the (1,2) gate, which the star does not couple.
+        let r = adapt(&c, &hw, &AdaptContext::with_objective(Objective::Fidelity)).unwrap();
+        let star = CouplingMap::star(3);
+        let err = audit_adaptation_with_coupling(&c, &r, &hw, Objective::Fidelity, Some(&star))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            AdaptationAuditError::UncoupledGate {
+                which: "adapted",
+                qubits: (1, 2),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unschedulable_audit_names_the_gate() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let mut bad = Circuit::new(2);
+        bad.push(Gate::Cx, &[0, 1]); // unpriced on spins
+        let err = audit_baseline(&bad, &bad, &hw).unwrap_err();
+        // Cx is not even in the native set, so NonNative fires first; an
+        // unschedulable-but-native case needs a model that supports a gate
+        // it cannot price, which the audit reports with the instruction.
+        assert!(matches!(err, AdaptationAuditError::NonNative { .. }));
     }
 
     #[test]

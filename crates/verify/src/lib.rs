@@ -23,7 +23,8 @@ pub mod drat;
 pub mod model;
 
 pub use adaptation::{
-    audit_adaptation, audit_baseline, AdaptationAuditError, AdaptationAuditStats,
+    audit_adaptation, audit_adaptation_with_coupling, audit_baseline, audit_baseline_with_coupling,
+    AdaptationAuditError, AdaptationAuditStats,
 };
 pub use drat::{check_drat, check_drat_dimacs, DratError, DratStats};
 pub use model::{audit_model, check_certificate, ModelAuditError};

@@ -144,6 +144,61 @@ pub fn random_template_circuit(
     c
 }
 
+/// Generates a topology-stress circuit: `depth` two-qubit gates on
+/// uniformly random *distinct* qubit pairs, deliberately ignoring device
+/// connectivity.
+///
+/// Adapted against a sparse coupling map (line, ring, star), a large
+/// fraction of its gates land on uncoupled pairs and must be routed with
+/// SWAP insertions — this is the workload family behind the
+/// `adapt_routed` benchmark. The first gate is pinned to the maximally
+/// distant pair `(0, num_qubits - 1)` so at least one gate is guaranteed
+/// uncoupled on a line device of three or more qubits. Deterministic in
+/// the seed.
+///
+/// # Panics
+///
+/// Panics if `num_qubits < 2`.
+///
+/// # Examples
+///
+/// ```
+/// use qca_workloads::topology_stress;
+/// let c = topology_stress(4, 6, 42);
+/// assert_eq!(c.num_qubits(), 4);
+/// assert!(c.two_qubit_gate_count() >= 6);
+/// ```
+pub fn topology_stress(num_qubits: usize, depth: usize, seed: u64) -> Circuit {
+    assert!(num_qubits >= 2, "need at least 2 qubits");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut c = Circuit::new(num_qubits);
+    for layer in 0..depth {
+        let (a, b) = if layer == 0 {
+            (0, num_qubits - 1)
+        } else {
+            let a = rng.gen_range(0..num_qubits);
+            let mut b = rng.gen_range(0..num_qubits - 1);
+            if b >= a {
+                b += 1;
+            }
+            (a, b)
+        };
+        match rng.gen_range(0..3) {
+            0 => c.push(Gate::Cx, &[a, b]),
+            1 => c.push(Gate::Cz, &[a, b]),
+            _ => {
+                let t: f64 = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+                c.push(Gate::CPhase(t), &[a, b]);
+            }
+        }
+        if rng.gen_bool(0.3) {
+            let t: f64 = rng.gen_range(-std::f64::consts::PI..std::f64::consts::PI);
+            c.push(Gate::Rz(t), &[a]);
+        }
+    }
+    c
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,5 +285,27 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn single_qubit_rejected() {
         let _ = quantum_volume(1, 1, 0);
+    }
+
+    #[test]
+    fn topology_stress_deterministic_and_in_range() {
+        let a = topology_stress(5, 20, 3);
+        let b = topology_stress(5, 20, 3);
+        assert_eq!(a.instrs(), b.instrs());
+        assert_ne!(a.instrs(), topology_stress(5, 20, 4).instrs());
+        for i in a.iter() {
+            assert!(i.qubits.iter().all(|&q| q < 5), "{:?}", i.qubits);
+            if i.qubits.len() == 2 {
+                assert_ne!(i.qubits[0], i.qubits[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn topology_stress_pins_a_maximally_distant_pair() {
+        let c = topology_stress(6, 10, 9);
+        let first = &c.instrs()[0];
+        assert_eq!(first.qubits, vec![0, 5]);
+        // On a line device that pair is uncoupled, so routing is exercised.
     }
 }
