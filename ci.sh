@@ -46,6 +46,21 @@ for cnf in examples/cnf/*.cnf; do
     target/release/qca-drat-check "$cnf" "$proof" > /dev/null || {
       echo "proof gate: checker rejected proof for $cnf" >&2; exit 1; }
   fi
+
+  # The same instance through the proof-logging preprocessor: the verdict
+  # must be identical, and the combined preprocessor + solver proof must
+  # still verify against the ORIGINAL formula.
+  pproof="$trace_dir/$(basename "$cnf" .cnf).pre.drat"
+  pcode=0
+  target/release/qsat --preprocess --proof "$pproof" "$cnf" > /dev/null || pcode=$?
+  if [ "$pcode" != "$code" ]; then
+    echo "proof gate: --preprocess changed the verdict on $cnf ($code vs $pcode)" >&2
+    exit 1
+  fi
+  if [ "$pcode" = 20 ]; then
+    target/release/qca-drat-check "$cnf" "$pproof" > /dev/null || {
+      echo "proof gate: checker rejected preprocessed proof for $cnf" >&2; exit 1; }
+  fi
 done
 
 echo "== verify gate: qca-engine --verify on examples/qasm =="
@@ -103,6 +118,25 @@ for qasm in examples/qasm-bad/*.qasm; do
     exit 1
   }
 done
+
+echo "== lint gate: qca-lint on examples/cnf-bad (every seeded CNF defect flagged) =="
+if target/release/qca-lint --deny-warnings --json examples/cnf-bad \
+    > "$trace_dir/lint-cnf-bad.jsonl"; then
+  echo "lint gate: qca-lint exited 0 on the bad CNF corpus" >&2; exit 1
+fi
+for cnf in examples/cnf-bad/*.cnf; do
+  expect="$(sed -n 's|^c lint-expect: ||p' "$cnf")"
+  test -n "$expect" || {
+    echo "lint gate: $cnf has no lint-expect header" >&2; exit 1; }
+  grep -q "\"file\":\"$cnf\".*\"code\":\"$expect\"" "$trace_dir/lint-cnf-bad.jsonl" || {
+    echo "lint gate: $cnf did not produce expected $expect" >&2
+    cat "$trace_dir/lint-cnf-bad.jsonl" >&2
+    exit 1
+  }
+done
+# The clean corpus must stay quiet under the same analysis.
+target/release/qca-lint examples/cnf || {
+  echo "lint gate: examples/cnf is not lint-clean" >&2; exit 1; }
 
 echo "== lint gate: qca-engine --deny-warnings preflight on examples/qasm =="
 target/release/qca-engine --workers 2 --deny-warnings examples/qasm \

@@ -175,6 +175,14 @@ pub struct EngineConfig {
     /// up on the bound. `0` (the default) disables escalation; accepted
     /// values are 2–4.
     pub portfolio_members: usize,
+    /// Preprocess the exported formula before portfolio races
+    /// (`qca_sat::analyze`): simplify once, race every member on the
+    /// simplified formula, extend the winner's model back. On by default —
+    /// preprocessing is proof-logged and verdict-preserving, so there is
+    /// no soundness cost; `sat.pre.*` counters land in the metrics
+    /// registry. Only consulted when [`EngineConfig::portfolio_members`]
+    /// enables racing.
+    pub preprocess: bool,
 }
 
 impl Default for EngineConfig {
@@ -189,6 +197,7 @@ impl Default for EngineConfig {
             lint: false,
             deny_warnings: false,
             portfolio_members: 0,
+            preprocess: true,
         }
     }
 }
@@ -281,6 +290,13 @@ impl EngineConfigBuilder {
     /// configurations (2–4; 0 disables).
     pub fn portfolio_members(mut self, members: usize) -> Self {
         self.config.portfolio_members = members;
+        self
+    }
+
+    /// Toggles formula preprocessing ahead of portfolio races (on by
+    /// default).
+    pub fn preprocess(mut self, preprocess: bool) -> Self {
+        self.config.preprocess = preprocess;
         self
     }
 
@@ -722,6 +738,7 @@ impl Engine {
                 threads: spare,
                 seed: key,
                 member_budget: None,
+                preprocess: self.config.preprocess,
             }
         });
 

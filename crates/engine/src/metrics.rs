@@ -159,6 +159,15 @@ pub struct MetricsRegistry {
     pub recalib_failed: AtomicU64,
     /// Solver-portfolio races launched by budget-exhausted probes.
     pub portfolio_races: AtomicU64,
+    /// Unit clauses fixed by the pre-race formula preprocessor.
+    pub pre_units: AtomicU64,
+    /// Pure literals eliminated by the preprocessor.
+    pub pre_pures: AtomicU64,
+    /// Clauses removed as subsumed (duplicates included) by the
+    /// preprocessor.
+    pub pre_subsumed: AtomicU64,
+    /// Variables removed by bounded variable elimination.
+    pub pre_eliminated: AtomicU64,
     /// Total SAT conflicts across all solved jobs.
     pub sat_conflicts: AtomicU64,
     /// Total SAT restarts across all solved jobs.
@@ -218,6 +227,10 @@ impl MetricsRegistry {
                 "  \"recalib_resolved\": {},\n",
                 "  \"recalib_failed\": {},\n",
                 "  \"portfolio_races\": {},\n",
+                "  \"pre_units\": {},\n",
+                "  \"pre_pures\": {},\n",
+                "  \"pre_subsumed\": {},\n",
+                "  \"pre_eliminated\": {},\n",
                 "  \"sat_conflicts\": {},\n",
                 "  \"sat_restarts\": {},\n",
                 "  \"sat_learnt_clauses\": {},\n",
@@ -247,6 +260,10 @@ impl MetricsRegistry {
             load(&self.recalib_resolved),
             load(&self.recalib_failed),
             load(&self.portfolio_races),
+            load(&self.pre_units),
+            load(&self.pre_pures),
+            load(&self.pre_subsumed),
+            load(&self.pre_eliminated),
             load(&self.sat_conflicts),
             load(&self.sat_restarts),
             load(&self.sat_learnt_clauses),
@@ -286,6 +303,10 @@ impl TraceSink for MetricsRegistry {
             "recalib.resolved" => &self.recalib_resolved,
             "recalib.failed" => &self.recalib_failed,
             "portfolio.races" => &self.portfolio_races,
+            "sat.pre.units" => &self.pre_units,
+            "sat.pre.pures" => &self.pre_pures,
+            "sat.pre.subsumed" => &self.pre_subsumed,
+            "sat.pre.eliminated" => &self.pre_eliminated,
             "engine.sat_conflicts" => {
                 self.conflicts_per_job.record(*value);
                 &self.sat_conflicts
@@ -433,6 +454,23 @@ mod tests {
         assert_eq!(m.jobs_completed.load(Ordering::Relaxed), 2);
         assert_eq!(m.solve_wall_us.count(), 2);
         assert_eq!(m.conflicts_per_job.count(), 2);
+    }
+
+    #[test]
+    fn preprocessor_counters_land_in_the_registry() {
+        let m = std::sync::Arc::new(MetricsRegistry::new());
+        let tracer = qca_trace::Tracer::new(m.clone());
+        tracer.counter("sat.pre.units", 3);
+        tracer.counter("sat.pre.pures", 2);
+        tracer.counter("sat.pre.subsumed", 5);
+        tracer.counter("sat.pre.eliminated", 1);
+        assert_eq!(m.pre_units.load(Ordering::Relaxed), 3);
+        assert_eq!(m.pre_pures.load(Ordering::Relaxed), 2);
+        assert_eq!(m.pre_subsumed.load(Ordering::Relaxed), 5);
+        assert_eq!(m.pre_eliminated.load(Ordering::Relaxed), 1);
+        let json = m.to_json();
+        assert!(json.contains("\"pre_units\": 3"), "{json}");
+        assert!(json.contains("\"pre_eliminated\": 1"), "{json}");
     }
 
     #[test]

@@ -16,15 +16,22 @@
 //! itself is linted once per run. Parse failures are reported as QCA0001
 //! diagnostics, not process errors.
 //!
+//! Every `.cnf` file is parsed as DIMACS and run through the per-clause
+//! encoding lints (`QCA04xx`) and the whole-formula analysis pass
+//! (`QCA05xx`, backed by `qca_sat::analyze`); DIMACS parse-level warnings
+//! (duplicate literals, contradictory units) surface through the same
+//! passes.
+//!
 //! Exit status: 0 when no error-severity diagnostics were produced, 1 when
 //! at least one was (after `--deny-warnings` escalation), 2 on usage errors.
 
 use qca_circuit::qasm::parse_qasm_program;
 use qca_hw::{spin_qubit_model, GateTimes};
 use qca_lint::{
-    count_severities, escalate_warnings, lint_hardware, lint_qasm_source, lint_rule_coverage,
-    render_human, render_json, Diagnostic, LintRegistry, RuleToggles,
+    count_severities, escalate_warnings, lint_cnf, lint_formula, lint_hardware, lint_qasm_source,
+    lint_rule_coverage, render_human, render_json, Diagnostic, LintCode, LintRegistry, RuleToggles,
 };
+use qca_sat::dimacs::parse_dimacs;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
@@ -93,11 +100,11 @@ fn collect_files(paths: &[PathBuf]) -> Result<Vec<PathBuf>, String> {
             let mut entries: Vec<PathBuf> = std::fs::read_dir(path)
                 .map_err(|e| format!("cannot read {}: {e}", path.display()))?
                 .filter_map(|entry| entry.ok().map(|e| e.path()))
-                .filter(|p| p.extension().is_some_and(|x| x == "qasm"))
+                .filter(|p| p.extension().is_some_and(|x| x == "qasm" || x == "cnf"))
                 .collect();
             entries.sort();
             if entries.is_empty() {
-                return Err(format!("no .qasm files in {}", path.display()));
+                return Err(format!("no .qasm or .cnf files in {}", path.display()));
             }
             files.extend(entries);
         } else if path.is_file() {
@@ -148,14 +155,29 @@ fn run() -> Result<ExitCode, String> {
     for path in &files {
         let name = path.display().to_string();
         let src = std::fs::read_to_string(path).map_err(|e| format!("cannot read {name}: {e}"))?;
-        let mut diags = lint_qasm_source(&src);
-        if let Ok(program) = parse_qasm_program(&src) {
-            diags.extend(lint_rule_coverage(
-                &program.circuit,
-                &hw,
-                &RuleToggles::default(),
-            ));
-        }
+        let mut diags = if path.extension().is_some_and(|x| x == "cnf") {
+            match parse_dimacs(src.as_bytes()) {
+                Ok(cnf) => {
+                    let mut d = lint_cnf(&cnf);
+                    d.extend(lint_formula(&cnf));
+                    d
+                }
+                Err(e) => vec![Diagnostic::new(
+                    LintCode::ParseError,
+                    format!("dimacs parse failed: {e}"),
+                )],
+            }
+        } else {
+            let mut d = lint_qasm_source(&src);
+            if let Ok(program) = parse_qasm_program(&src) {
+                d.extend(lint_rule_coverage(
+                    &program.circuit,
+                    &hw,
+                    &RuleToggles::default(),
+                ));
+            }
+            d
+        };
         tally(&mut diags);
         emit(&args, Some(&name), &diags);
     }

@@ -3,8 +3,8 @@
 //!
 //! Codes are grouped by hundreds: `QCA00xx` parsing, `QCA01xx` circuit
 //! shape, `QCA02xx` hardware models, `QCA03xx` rule coverage, `QCA04xx`
-//! encodings. Codes are append-only and never renumbered — CI gates and
-//! downstream tooling key on them.
+//! encodings, `QCA05xx` whole-formula analysis. Codes are append-only and
+//! never renumbered — CI gates and downstream tooling key on them.
 
 use qca_circuit::qasm::SrcSpan;
 use std::fmt;
@@ -100,12 +100,23 @@ pub enum LintCode {
     UnusedVariable,
     /// QCA0407: a pseudo-Boolean term with weight zero.
     ZeroWeightTerm,
+    /// QCA0501: the formula splits into independent connected components.
+    DisconnectedFormula,
+    /// QCA0502: a literal forced in every model (unit clause or failed
+    /// negation under probing).
+    BackboneLiteral,
+    /// QCA0503: a clause subsumed by another clause at load time.
+    SubsumedClause,
+    /// QCA0504: a variable occurring in only one polarity (pure literal).
+    SinglePolarity,
+    /// QCA0505: unit clauses asserting both polarities of one variable.
+    ContradictoryUnits,
 }
 
 impl LintCode {
     /// Every code, in numeric order. The registry and `--list` output are
     /// built from this table.
-    pub const ALL: [LintCode; 28] = [
+    pub const ALL: [LintCode; 33] = [
         LintCode::ParseError,
         LintCode::UnusedQubit,
         LintCode::OpAfterMeasure,
@@ -134,6 +145,11 @@ impl LintCode {
         LintCode::DuplicateLiteral,
         LintCode::UnusedVariable,
         LintCode::ZeroWeightTerm,
+        LintCode::DisconnectedFormula,
+        LintCode::BackboneLiteral,
+        LintCode::SubsumedClause,
+        LintCode::SinglePolarity,
+        LintCode::ContradictoryUnits,
     ];
 
     /// The stable `QCAxxxx` code string.
@@ -167,6 +183,11 @@ impl LintCode {
             LintCode::DuplicateLiteral => "QCA0405",
             LintCode::UnusedVariable => "QCA0406",
             LintCode::ZeroWeightTerm => "QCA0407",
+            LintCode::DisconnectedFormula => "QCA0501",
+            LintCode::BackboneLiteral => "QCA0502",
+            LintCode::SubsumedClause => "QCA0503",
+            LintCode::SinglePolarity => "QCA0504",
+            LintCode::ContradictoryUnits => "QCA0505",
         }
     }
 
@@ -201,6 +222,11 @@ impl LintCode {
             LintCode::DuplicateLiteral => "duplicate-literal",
             LintCode::UnusedVariable => "unconstrained-variable",
             LintCode::ZeroWeightTerm => "zero-weight-term",
+            LintCode::DisconnectedFormula => "disconnected-formula",
+            LintCode::BackboneLiteral => "backbone-literal",
+            LintCode::SubsumedClause => "subsumed-clause",
+            LintCode::SinglePolarity => "single-polarity",
+            LintCode::ContradictoryUnits => "contradictory-units",
         }
     }
 
@@ -215,8 +241,11 @@ impl LintCode {
             | LintCode::CouplingQubitMismatch
             | LintCode::BlockUnadaptable
             | LintCode::LitOutOfRange
-            | LintCode::EmptyClause => Severity::Error,
-            LintCode::PerfectFidelity | LintCode::UnusedVariable => Severity::Info,
+            | LintCode::EmptyClause
+            | LintCode::ContradictoryUnits => Severity::Error,
+            LintCode::PerfectFidelity | LintCode::UnusedVariable | LintCode::BackboneLiteral => {
+                Severity::Info
+            }
             _ => Severity::Warn,
         }
     }

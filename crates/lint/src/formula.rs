@@ -1,0 +1,265 @@
+//! Whole-formula CNF analysis lints (`QCA05xx`).
+//!
+//! The `QCA04xx` encoding lints in [`crate::encoding`] are local: each
+//! fires from a single clause or record in isolation. This pass consumes
+//! the global [`FormulaReport`] computed by [`qca_sat::analyze()`] — the same
+//! analysis that drives the proof-logging preprocessor — and flags
+//! structural properties only visible across the whole formula:
+//!
+//! | code | finding |
+//! |------|---------|
+//! | `QCA0501` | the formula splits into independent connected components |
+//! | `QCA0502` | a backbone literal (unit clause, or failed-literal probe) |
+//! | `QCA0503` | a clause subsumed by another clause at load time |
+//! | `QCA0504` | a variable occurring in only one polarity (pure literal) |
+//! | `QCA0505` | unit clauses asserting both polarities of one variable |
+//!
+//! For encoder output these are all suspicious: the paper's SMT encoding
+//! couples every block-variable to its predecessor constraints, so a
+//! disconnected or backbone-heavy formula usually means constraints were
+//! dropped, and contradictory units mean the generator refuted itself.
+
+use crate::diag::{Diagnostic, LintCode};
+use qca_sat::analyze::{analyze, FormulaReport};
+use qca_sat::dimacs::Cnf;
+
+/// Upper bound on per-item `QCA0502`/`QCA0503`/`QCA0504` diagnostics; the
+/// remainder is summarized in one trailing diagnostic so a degenerate
+/// formula cannot flood the report.
+const MAX_PER_CODE: usize = 20;
+
+/// Runs [`qca_sat::analyze()`] on `cnf` and reports the `QCA05xx` findings.
+///
+/// Use [`lint_formula_report`] when a [`FormulaReport`] is already at hand.
+///
+/// # Examples
+///
+/// ```
+/// use qca_lint::{lint_formula, LintCode};
+/// use qca_sat::dimacs::parse_dimacs;
+///
+/// // Units assert both 1 and -1: refutable without search.
+/// let cnf = parse_dimacs("p cnf 2 3\n1 0\n-1 0\n2 0\n".as_bytes()).unwrap();
+/// let diags = lint_formula(&cnf);
+/// assert!(diags.iter().any(|d| d.code == LintCode::ContradictoryUnits));
+/// ```
+pub fn lint_formula(cnf: &Cnf) -> Vec<Diagnostic> {
+    lint_formula_report(&analyze(cnf))
+}
+
+/// The `QCA05xx` pass over an existing [`FormulaReport`].
+pub fn lint_formula_report(report: &FormulaReport) -> Vec<Diagnostic> {
+    let mut diags = Vec::new();
+
+    // QCA0505 first: everything else is noise once the formula is known
+    // root-refutable.
+    for &var in &report.contradictory_units {
+        diags.push(Diagnostic::new(
+            LintCode::ContradictoryUnits,
+            format!(
+                "unit clauses assert both {} and {}",
+                var.positive().to_dimacs(),
+                var.negative().to_dimacs()
+            ),
+        ));
+    }
+
+    if report.components.len() > 1 {
+        let mut sizes: Vec<usize> = report.components.iter().map(|c| c.len()).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        diags.push(
+            Diagnostic::new(
+                LintCode::DisconnectedFormula,
+                format!(
+                    "formula splits into {} independent components (sizes {:?})",
+                    report.components.len(),
+                    sizes
+                ),
+            )
+            .with_help("solve components separately, or check for dropped coupling constraints"),
+        );
+    }
+
+    // QCA0502: backbone literals from unit clauses and from the bounded
+    // failed-literal probe. Skipped entirely when the units contradict —
+    // the "backbone" of an unsatisfiable formula is meaningless.
+    if report.contradictory_units.is_empty() {
+        let mut emitted = 0usize;
+        let mut extra = 0usize;
+        for &lit in &report.units {
+            if emitted < MAX_PER_CODE {
+                diags.push(Diagnostic::new(
+                    LintCode::BackboneLiteral,
+                    format!("unit clause forces {}", lit.to_dimacs()),
+                ));
+                emitted += 1;
+            } else {
+                extra += 1;
+            }
+        }
+        for &lit in &report.failed_literals {
+            if emitted < MAX_PER_CODE {
+                diags.push(Diagnostic::new(
+                    LintCode::BackboneLiteral,
+                    format!(
+                        "asserting {} propagates to conflict, forcing {}",
+                        lit.to_dimacs(),
+                        (!lit).to_dimacs()
+                    ),
+                ));
+                emitted += 1;
+            } else {
+                extra += 1;
+            }
+        }
+        if extra > 0 {
+            diags.push(Diagnostic::new(
+                LintCode::BackboneLiteral,
+                format!("...and {extra} more backbone literals"),
+            ));
+        }
+    }
+
+    let mut emitted = 0usize;
+    for &idx in &report.subsumed {
+        if emitted < MAX_PER_CODE {
+            diags.push(Diagnostic::new(
+                LintCode::SubsumedClause,
+                format!("clause {idx} is subsumed by another clause"),
+            ));
+        }
+        emitted += 1;
+    }
+    if emitted > MAX_PER_CODE {
+        diags.push(Diagnostic::new(
+            LintCode::SubsumedClause,
+            format!("...and {} more subsumed clauses", emitted - MAX_PER_CODE),
+        ));
+    }
+
+    let mut emitted = 0usize;
+    for &lit in &report.pure_literals {
+        if emitted < MAX_PER_CODE {
+            diags.push(Diagnostic::new(
+                LintCode::SinglePolarity,
+                format!(
+                    "variable {} occurs only as {}",
+                    lit.var().index() + 1,
+                    lit.to_dimacs()
+                ),
+            ));
+        }
+        emitted += 1;
+    }
+    if emitted > MAX_PER_CODE {
+        diags.push(Diagnostic::new(
+            LintCode::SinglePolarity,
+            format!("...and {} more pure literals", emitted - MAX_PER_CODE),
+        ));
+    }
+
+    diags
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+    use qca_sat::dimacs::parse_dimacs;
+
+    fn codes(diags: &[Diagnostic]) -> Vec<LintCode> {
+        diags.iter().map(|d| d.code).collect()
+    }
+
+    #[test]
+    fn clean_formula_is_quiet() {
+        // Connected, no units/pures/subsumption: both polarities of every
+        // var, chained so the interaction graph is one component.
+        let cnf =
+            parse_dimacs("p cnf 3 4\n1 2 0\n-1 -2 3 0\n-3 1 0\n2 -3 -1 0\n".as_bytes()).unwrap();
+        let diags = lint_formula(&cnf);
+        // The probe may legitimately find backbone literals; anything else
+        // would be a false positive.
+        assert!(
+            diags.iter().all(|d| d.code == LintCode::BackboneLiteral),
+            "unexpected findings: {diags:?}"
+        );
+    }
+
+    #[test]
+    fn disconnected_formula_fires_once() {
+        let cnf = parse_dimacs("p cnf 4 2\n1 -2 0\n3 4 0\n".as_bytes()).unwrap();
+        let diags = lint_formula(&cnf);
+        let hits: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == LintCode::DisconnectedFormula)
+            .collect();
+        assert_eq!(hits.len(), 1);
+        assert!(hits[0].message.contains("2 independent components"));
+        assert_eq!(hits[0].severity, Severity::Warn);
+    }
+
+    #[test]
+    fn backbone_from_unit_and_probe() {
+        // Unit 1; and asserting -3 conflicts via (1) (−1 2) ... pick a
+        // formula where probing finds a failed literal: binary clauses
+        // (2 3)(2 -3) force 2.
+        let cnf = parse_dimacs("p cnf 3 3\n1 0\n2 3 0\n2 -3 0\n".as_bytes()).unwrap();
+        let diags = lint_formula(&cnf);
+        let msgs: Vec<&str> = diags
+            .iter()
+            .filter(|d| d.code == LintCode::BackboneLiteral)
+            .map(|d| d.message.as_str())
+            .collect();
+        assert!(msgs.iter().any(|m| m.contains("unit clause forces 1")));
+        assert!(msgs.iter().any(|m| m.contains("forcing 2")), "{msgs:?}");
+    }
+
+    #[test]
+    fn subsumed_and_pure_fire() {
+        let cnf = parse_dimacs("p cnf 3 2\n1 -2 0\n1 -2 3 0\n".as_bytes()).unwrap();
+        let diags = lint_formula(&cnf);
+        assert!(codes(&diags).contains(&LintCode::SubsumedClause));
+        // 1, -2, 3 are all pure here.
+        assert_eq!(
+            diags
+                .iter()
+                .filter(|d| d.code == LintCode::SinglePolarity)
+                .count(),
+            3
+        );
+    }
+
+    #[test]
+    fn contradictory_units_suppress_backbone() {
+        let cnf = parse_dimacs("p cnf 2 3\n1 0\n-1 0\n2 0\n".as_bytes()).unwrap();
+        let diags = lint_formula(&cnf);
+        assert!(codes(&diags).contains(&LintCode::ContradictoryUnits));
+        assert!(!codes(&diags).contains(&LintCode::BackboneLiteral));
+        assert_eq!(
+            diags
+                .iter()
+                .find(|d| d.code == LintCode::ContradictoryUnits)
+                .unwrap()
+                .severity,
+            Severity::Error
+        );
+    }
+
+    #[test]
+    fn flood_is_capped() {
+        // 30 pure variables, each in its own unit-free clause pair.
+        let mut text = String::from("p cnf 60 30\n");
+        for v in 1..=30 {
+            text.push_str(&format!("{} {} 0\n", v, v + 30));
+        }
+        let cnf = parse_dimacs(text.as_bytes()).unwrap();
+        let diags = lint_formula(&cnf);
+        let pures: Vec<_> = diags
+            .iter()
+            .filter(|d| d.code == LintCode::SinglePolarity)
+            .collect();
+        assert_eq!(pures.len(), MAX_PER_CODE + 1);
+        assert!(pures.last().unwrap().message.starts_with("...and"));
+    }
+}

@@ -7,7 +7,7 @@
 //! statically decidable from the paper's model — this crate proves them
 //! up front and reports them as stable, coded [`Diagnostic`]s.
 //!
-//! Four analysis passes share one diagnostics framework:
+//! Five analysis passes share one diagnostics framework:
 //!
 //! | pass | entry point | codes |
 //! |------|-------------|-------|
@@ -15,6 +15,7 @@
 //! | hardware models | [`hw::lint_hardware`] | `QCA02xx` |
 //! | rule coverage | [`rules::lint_rule_coverage`] | `QCA03xx` |
 //! | encodings | [`encoding::lint_encoding`] | `QCA04xx` |
+//! | whole-formula analysis | [`formula::lint_formula`] | `QCA05xx` |
 //!
 //! Severities follow the compiler convention: `Error` findings make the
 //! input unusable (preflight rejects it), `Warn` findings are suspicious
@@ -35,6 +36,7 @@
 pub mod circuit;
 pub mod diag;
 pub mod encoding;
+pub mod formula;
 pub mod hw;
 pub mod registry;
 pub mod render;
@@ -46,6 +48,7 @@ pub use diag::{
     Severity,
 };
 pub use encoding::{lint_cnf, lint_encoding, lint_records};
+pub use formula::{lint_formula, lint_formula_report};
 pub use hw::{lint_circuit_coupling, lint_coupling, lint_hardware, lint_schedulability};
 pub use registry::{LintInfo, LintRegistry};
 pub use render::{render_human, render_json};

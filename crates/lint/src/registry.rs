@@ -87,6 +87,11 @@ fn summary(code: LintCode) -> &'static str {
         LintCode::DuplicateLiteral => "clause lists the same literal twice",
         LintCode::UnusedVariable => "declared variables appear in no clause",
         LintCode::ZeroWeightTerm => "pseudo-Boolean term with weight zero",
+        LintCode::DisconnectedFormula => "formula splits into independent components",
+        LintCode::BackboneLiteral => "literal is forced in every model",
+        LintCode::SubsumedClause => "clause is subsumed by another clause at load time",
+        LintCode::SinglePolarity => "variable occurs in only one polarity",
+        LintCode::ContradictoryUnits => "unit clauses assert both polarities of a variable",
     }
 }
 
@@ -133,6 +138,21 @@ fn rationale(code: LintCode) -> &'static str {
         LintCode::DuplicateLiteral => "repeated literals signal an encoder indexing slip",
         LintCode::UnusedVariable => "unconstrained variables inflate the search space",
         LintCode::ZeroWeightTerm => "zero-weight terms add a literal with no objective effect",
+        LintCode::DisconnectedFormula => {
+            "components are independent subproblems; one encoder emitting several usually \
+             means a coupling constraint was dropped"
+        }
+        LintCode::BackboneLiteral => {
+            "forced literals are free simplifications — and an encoder forcing many of them \
+             is encoding decisions, not constraints"
+        }
+        LintCode::SubsumedClause => "subsumed clauses bloat the formula without constraining it",
+        LintCode::SinglePolarity => {
+            "pure literals are satisfiable for free; encoders rarely mean to emit them"
+        }
+        LintCode::ContradictoryUnits => {
+            "the formula is refutable without search — a generator bug, not a hard instance"
+        }
     }
 }
 

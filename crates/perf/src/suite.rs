@@ -4,6 +4,7 @@
 //! |----|-------|----------|
 //! | `sat.pigeonhole/N` | sat | CDCL refutation wall time on the pigeonhole suite, plus conflicts/sec and propagations/sec |
 //! | `sat.random3sat/N` | sat | solve time at clause ratio 4 (full mode only) |
+//! | `sat.preprocess/N` | sat | preprocess-then-solve wall time on a selector-guarded pigeonhole instance, plus the conflict count on the simplified formula versus the raw solve |
 //! | `engine.batch/w1` | engine | batch adaptation wall time at one worker, plus jobs/sec |
 //! | `engine.batch/wN` | engine | the same at N workers — marked unobservable when the machine has fewer than N cores |
 //! | `engine.cache_hit` | engine | latency of answering an adaptation from the warm cache |
@@ -23,6 +24,8 @@ use qca_adapt::Objective;
 use qca_engine::{AdaptJob, Engine, EngineConfig};
 use qca_hw::{spin_qubit_model, CouplingMap, GateTimes};
 use qca_portfolio::{presets, race, RaceOptions};
+use qca_sat::analyze::{preprocess, PreprocessOptions};
+use qca_sat::dimacs::Cnf;
 use qca_sat::{Lit, SolveOutcome, Solver, Var};
 use qca_serve::client::Connection;
 use qca_serve::{ServeConfig, Server};
@@ -97,6 +100,7 @@ pub fn run_suite(config: &SuiteConfig) -> Vec<BenchResult> {
     if !config.quick {
         push(bench_random3sat(config, 100));
     }
+    push(bench_preprocess(config, pigeons));
     push(bench_engine_batch(config, 1));
     push(bench_engine_batch(config, SCALE_WORKERS));
     push(bench_cache_hit(config));
@@ -196,6 +200,101 @@ fn bench_pigeonhole(config: &SuiteConfig, n: usize) -> Option<BenchResult> {
     }
     metrics.insert("conflicts".to_string(), stats.conflicts as f64);
     metrics.insert("propagations".to_string(), stats.propagations as f64);
+    Some(timing_result(
+        config,
+        &id,
+        "sat",
+        &measurement,
+        true,
+        metrics,
+    ))
+}
+
+/// Solves an already-built [`Cnf`] with a fresh solver; returns its
+/// lifetime stats.
+fn solve_cnf(cnf: &Cnf) -> qca_sat::SolverStats {
+    let mut solver = Solver::new();
+    while solver.num_vars() < cnf.num_vars {
+        solver.new_var();
+    }
+    for clause in &cnf.clauses {
+        if !solver.add_clause(clause) {
+            break;
+        }
+    }
+    solver.solve();
+    solver.stats().clone()
+}
+
+/// The pigeonhole principle plus a *guarded* copy of itself: the copy's
+/// clauses all carry one fresh selector literal `z`, so `z` is pure and the
+/// preprocessor deletes the entire dead block before search. A raw CDCL
+/// run (default phase `false`) instead refutes both copies. This mirrors
+/// selector-guarded constraint groups whose selector is never asserted —
+/// the structure the preprocessor exists to strip.
+fn guarded_pigeonhole(n: usize) -> Cnf {
+    let (core_vars, core) = pigeonhole_clauses(n);
+    let z = (2 * core_vars + 1) as i32;
+    let mut clauses = core.clone();
+    for clause in &core {
+        let mut guarded: Vec<i32> = clause
+            .iter()
+            .map(|&d| d.signum() * (d.abs() + core_vars as i32))
+            .collect();
+        guarded.push(z);
+        clauses.push(guarded);
+    }
+    Cnf {
+        num_vars: 2 * core_vars + 1,
+        clauses: clauses
+            .iter()
+            .map(|c| {
+                c.iter()
+                    .map(|&d| Var::from_index((d.unsigned_abs() - 1) as usize).lit(d > 0))
+                    .collect()
+            })
+            .collect(),
+    }
+}
+
+/// Preprocess-then-solve on the guarded pigeonhole instance: measures the
+/// combined wall time and reports how many search conflicts the simplified
+/// formula costs compared with the raw solve.
+fn bench_preprocess(config: &SuiteConfig, n: usize) -> Option<BenchResult> {
+    let id = format!("sat.preprocess/{n}");
+    if !config.wants(&id) {
+        return None;
+    }
+    let cnf = guarded_pigeonhole(n);
+    let opts = PreprocessOptions::default();
+    // Deterministic probe for the conflict comparison behind the gate: the
+    // preprocessor must pay for itself in search effort, not just shuffle
+    // work around.
+    let raw = solve_cnf(&cnf);
+    let probe = preprocess(&cnf, &opts, None);
+    let pre = if probe.unsat {
+        // Refuted during preprocessing: zero search conflicts by definition.
+        qca_sat::SolverStats::default()
+    } else {
+        solve_cnf(&probe.cnf)
+    };
+    assert!(
+        (pre.conflicts as f64) <= 0.8 * (raw.conflicts as f64).max(1.0),
+        "preprocessing failed to cut conflicts: raw {} vs preprocessed {}",
+        raw.conflicts,
+        pre.conflicts
+    );
+    let measurement = measure(&config.harness, || {
+        let result = preprocess(&cnf, &opts, None);
+        if !result.unsat {
+            solve_cnf(&result.cnf);
+        }
+    });
+    let mut metrics = BTreeMap::new();
+    metrics.insert("conflicts_raw".to_string(), raw.conflicts as f64);
+    metrics.insert("conflicts_preprocessed".to_string(), pre.conflicts as f64);
+    metrics.insert("eliminated".to_string(), probe.stats.eliminated as f64);
+    metrics.insert("subsumed".to_string(), probe.stats.subsumed as f64);
     Some(timing_result(
         config,
         &id,
@@ -637,6 +736,19 @@ mod tests {
     }
 
     #[test]
+    fn preprocess_bench_cuts_conflicts() {
+        let result = bench_preprocess(&tiny(), 5).unwrap();
+        assert_eq!(result.layer, "sat");
+        assert!(result.value > 0.0);
+        // The bench's own probe asserts the 0.8x cut; re-check the
+        // reported metrics here so a silent metric rename can't hide it.
+        assert!(
+            result.metrics["conflicts_preprocessed"]
+                <= 0.8 * result.metrics["conflicts_raw"].max(1.0)
+        );
+    }
+
+    #[test]
     fn scaling_bench_is_honest_about_cores() {
         let mut config = tiny();
         config.fingerprint.cores = 1;
@@ -658,6 +770,7 @@ mod tests {
         let mut config = tiny();
         config.filter = Some("nothing-matches-this".to_string());
         assert!(bench_pigeonhole(&config, 5).is_none());
+        assert!(bench_preprocess(&config, 5).is_none());
         assert!(bench_engine_batch(&config, 1).is_none());
         assert!(bench_cache_hit(&config).is_none());
         assert!(bench_adapt_routed(&config).is_none());

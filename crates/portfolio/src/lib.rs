@@ -38,6 +38,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+use qca_sat::analyze::{preprocess, PreprocessOptions, Reconstruction};
 use qca_sat::dimacs::Cnf;
 use qca_sat::{
     ClauseExchange, ExchangeHandle, ImportFilter, Lit, PhasePolicy, RestartSchedule, SolveOutcome,
@@ -62,6 +63,14 @@ pub struct RaceOptions {
     pub stop: Option<Arc<AtomicBool>>,
     /// Receives `portfolio.*` counters and the `portfolio.race` span.
     pub tracer: Tracer,
+    /// Run the proof-logging preprocessor (`qca_sat::analyze`) once up
+    /// front and race every member on the simplified formula. Assumption
+    /// variables are frozen so incremental semantics survive, the winning
+    /// model is extended back to the original variables, and
+    /// `sat.pre.*` counters land on [`RaceOptions::tracer`]. Soundness is
+    /// unchanged: the simplified formula is equisatisfiable under the
+    /// frozen assumptions.
+    pub preprocess: bool,
 }
 
 /// Per-member outcome of a race.
@@ -153,18 +162,42 @@ pub fn presets(n: usize, seed: u64) -> Vec<SolverConfig> {
 /// Emits `portfolio.races`, `portfolio.wins`, `portfolio.exported`, and
 /// `portfolio.imported` counters plus a `portfolio.race` span on
 /// [`RaceOptions::tracer`].
+///
+/// # Panics
+///
+/// Panics when `configs` is empty: a zero-member race can only ever
+/// report [`SolveOutcome::Unknown`], which silently masks a caller bug.
 pub fn race(
     cnf: &Cnf,
     assumptions: &[Lit],
     configs: &[SolverConfig],
     opts: &RaceOptions,
 ) -> RaceResult {
+    assert!(
+        !configs.is_empty(),
+        "race() needs at least one SolverConfig (use presets(n, seed) to build a field)"
+    );
     let n = match opts.max_threads {
         0 => configs.len(),
         t => configs.len().min(t),
     };
     let tracer = opts.tracer.clone();
     tracer.counter("portfolio.races", 1);
+    let mut reconstruction: Option<Reconstruction> = None;
+    let simplified: Cnf;
+    let cnf = if opts.preprocess {
+        let pre_opts = PreprocessOptions {
+            frozen: assumptions.iter().map(|l| l.var()).collect(),
+            ..PreprocessOptions::default()
+        };
+        let result = preprocess(cnf, &pre_opts, None);
+        result.stats.emit(&tracer);
+        reconstruction = Some(result.reconstruction);
+        simplified = result.cnf;
+        &simplified
+    } else {
+        cnf
+    };
     let mut span = tracer.clone().span_with("portfolio.race", || {
         format!("members={n} clauses={}", cnf.clauses.len())
     });
@@ -254,10 +287,13 @@ pub fn race(
     let mut members: Vec<(usize, MemberReport)> = reports.into_inner().unwrap();
     members.sort_by_key(|(i, _)| *i);
     let members: Vec<MemberReport> = members.into_iter().map(|(_, r)| r).collect();
-    let (outcome, model) = outcome_slot
+    let (outcome, mut model) = outcome_slot
         .into_inner()
         .unwrap()
         .unwrap_or((SolveOutcome::Unknown, None));
+    if let (Some(recon), Some(m)) = (&reconstruction, model.as_mut()) {
+        recon.extend(m);
+    }
     let winner = match winner.load(Ordering::Acquire) {
         usize::MAX => None,
         w => Some(w),
@@ -417,6 +453,103 @@ mod tests {
         );
         assert_eq!(result.outcome, SolveOutcome::Unsat);
         assert_eq!(result.members.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "race() needs at least one SolverConfig")]
+    fn zero_member_race_is_rejected() {
+        let cnf = pigeonhole(3, 2);
+        race(&cnf, &[], &[], &RaceOptions::default());
+    }
+
+    #[test]
+    fn preprocessed_race_agrees_and_extends_the_model() {
+        // UNSAT: pigeonhole refutes identically with preprocessing on.
+        let cnf = pigeonhole(6, 5);
+        let opts = RaceOptions {
+            preprocess: true,
+            ..RaceOptions::default()
+        };
+        let result = race(&cnf, &[], &presets(3, 0), &opts);
+        assert_eq!(result.outcome, SolveOutcome::Unsat);
+
+        // SAT: a chain with pure literals and a definition BVE can
+        // eliminate; the winning model must still satisfy the ORIGINAL.
+        let mut s = Solver::new();
+        let v: Vec<Var> = (0..20).map(|_| s.new_var()).collect();
+        for i in 0..19 {
+            s.add_clause(&[v[i].negative(), v[i + 1].positive()]);
+        }
+        s.add_clause(&[v[0].positive()]);
+        let cnf = s.export_formula();
+        let result = race(&cnf, &[], &presets(2, 7), &opts);
+        assert_eq!(result.outcome, SolveOutcome::Sat);
+        let model = result.model.unwrap();
+        for clause in &cnf.clauses {
+            assert!(
+                clause.iter().any(|&l| {
+                    model[l.var().index()]
+                        .map(|b| b == l.is_positive())
+                        .unwrap_or(false)
+                }),
+                "extended model violates {clause:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn preprocessed_race_respects_frozen_assumptions() {
+        // b is pure (only positive) but assumed negative: freezing must
+        // keep the assumption meaningful.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.negative(), b.positive()]); // a -> b
+        let cnf = s.export_formula();
+        let opts = RaceOptions {
+            preprocess: true,
+            ..RaceOptions::default()
+        };
+        let unsat = race(&cnf, &[a.positive(), b.negative()], &presets(2, 0), &opts);
+        assert_eq!(unsat.outcome, SolveOutcome::Unsat);
+        let sat = race(&cnf, &[a.positive()], &presets(2, 0), &opts);
+        assert_eq!(sat.outcome, SolveOutcome::Sat);
+        assert_eq!(sat.model.unwrap()[b.index()], Some(true));
+    }
+
+    #[test]
+    fn preprocessed_race_emits_pre_counters() {
+        use qca_trace::{TraceEvent, Tracer};
+        let (tracer, sink) = Tracer::to_memory();
+        // A unit clause guarantees sat.pre.units > 0.
+        let mut s = Solver::new();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[a.positive()]);
+        s.add_clause(&[a.negative(), b.positive()]);
+        let cnf = s.export_formula();
+        let result = race(
+            &cnf,
+            &[],
+            &presets(2, 0),
+            &RaceOptions {
+                preprocess: true,
+                tracer,
+                ..RaceOptions::default()
+            },
+        );
+        assert_eq!(result.outcome, SolveOutcome::Sat);
+        let events = sink.take();
+        let units: u64 = events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Counter { name, value, .. } if name.as_ref() == "sat.pre.units" => {
+                    Some(*value)
+                }
+                _ => None,
+            })
+            .sum();
+        assert!(units >= 1, "expected sat.pre.units >= 1");
     }
 
     #[test]

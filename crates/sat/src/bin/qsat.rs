@@ -3,9 +3,16 @@
 //! Usage:
 //!
 //! ```text
-//! qsat [--stats] [--conflicts N] [--proof FILE] [--config SPEC] <file.cnf>
-//! qsat [--stats] [--conflicts N] [--proof FILE] [--config SPEC] -   # stdin
+//! qsat [--stats] [--conflicts N] [--proof FILE] [--config SPEC] [--preprocess] <file.cnf>
+//! qsat [--stats] [--conflicts N] [--proof FILE] [--config SPEC] [--preprocess] -   # stdin
 //! ```
+//!
+//! `--preprocess` (or `--config preprocess=true`) runs the proof-logging
+//! static preprocessor (`qca_sat::analyze`) before search: the solver then
+//! races the simplified formula, SAT models are extended back to the
+//! original variables before the `v` lines are printed, and with `--proof`
+//! the preprocessor's derivations prefix the solver's DRAT stream so the
+//! combined proof still checks against the ORIGINAL formula.
 //!
 //! `--config` takes a `key=value,...` spec mapping 1:1 onto
 //! [`SolverConfig`] — e.g. `--config decay=0.95,restart=luby` or
@@ -24,7 +31,9 @@
 //! complete refutation checkable with `qca-drat-check` (or drat-trim). Exit
 //! code 10 for SAT, 20 for UNSAT, 0 for UNKNOWN, 1 on input errors.
 
+use qca_sat::analyze::{preprocess, PreprocessOptions, PreprocessStats, Reconstruction};
 use qca_sat::dimacs::parse_dimacs;
+use qca_sat::proof::ProofSink;
 use qca_sat::{FileProof, SolveControl, SolveOutcome, Solver, SolverConfig, Var};
 use qca_trace::{report, MemorySink, Tracer};
 use std::process::ExitCode;
@@ -44,9 +53,19 @@ fn print_stats(events: &[qca_trace::TraceEvent]) {
     println!("c minimized lits   {}", get("sat.minimized_literals"));
 }
 
+/// Print the preprocessor's counters as comment lines.
+fn print_pre_stats(stats: &PreprocessStats) {
+    println!("c pre units        {}", stats.units);
+    println!("c pre pures        {}", stats.pures);
+    println!("c pre subsumed     {}", stats.subsumed);
+    println!("c pre strengthened {}", stats.strengthened);
+    println!("c pre eliminated   {}", stats.eliminated);
+}
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: qsat [--stats] [--conflicts N] [--proof FILE] [--config SPEC] <file.cnf | ->"
+        "usage: qsat [--stats] [--conflicts N] [--proof FILE] [--config SPEC] [--preprocess] \
+         <file.cnf | ->"
     );
     ExitCode::from(1)
 }
@@ -55,12 +74,14 @@ fn main() -> ExitCode {
     let mut stats = false;
     let mut conflict_cap: Option<u64> = None;
     let mut proof_path: Option<String> = None;
+    let mut run_preprocess = false;
     let mut config = SolverConfig::default();
     let mut input: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--stats" => stats = true,
+            "--preprocess" => run_preprocess = true,
             "--conflicts" => {
                 let Some(n) = args.next().and_then(|v| v.parse().ok()) else {
                     return usage();
@@ -115,17 +136,37 @@ fn main() -> ExitCode {
         }
     };
     let num_vars = cnf.num_vars;
-    // The proof sink must be installed *before* clauses are loaded so that
-    // input simplification (and input-level conflicts) are logged too.
-    let mut solver = Solver::with_config(config);
+    let run_preprocess = run_preprocess || config.preprocess;
+    // The proof sink is created *before* anything consumes clauses so that
+    // both the preprocessor's derivations and the solver's input
+    // simplification are logged into one stream.
+    let mut proof_sink: Option<FileProof> = None;
     if let Some(path) = &proof_path {
         match FileProof::create(std::path::Path::new(path)) {
-            Ok(p) => solver.set_proof(Box::new(p)),
+            Ok(p) => proof_sink = Some(p),
             Err(e) => {
                 eprintln!("c cannot create proof file {path}: {e}");
                 return ExitCode::from(1);
             }
         }
+    }
+    let mut reconstruction: Option<Reconstruction> = None;
+    let mut pre_stats: Option<PreprocessStats> = None;
+    let cnf = if run_preprocess {
+        let result = preprocess(
+            &cnf,
+            &PreprocessOptions::default(),
+            proof_sink.as_mut().map(|s| s as &mut dyn ProofSink),
+        );
+        reconstruction = Some(result.reconstruction);
+        pre_stats = Some(result.stats);
+        result.cnf
+    } else {
+        cnf
+    };
+    let mut solver = Solver::with_config(config);
+    if let Some(sink) = proof_sink {
+        solver.set_proof(Box::new(sink));
     }
     while solver.num_vars() < num_vars {
         solver.new_var();
@@ -151,10 +192,17 @@ fn main() -> ExitCode {
     match outcome {
         SolveOutcome::Sat => {
             println!("s SATISFIABLE");
+            // With preprocessing on, eliminated variables are extended
+            // back to a model of the ORIGINAL formula before printing.
+            let mut model: Vec<Option<bool>> = (0..num_vars)
+                .map(|i| solver.value(Var::from_index(i)))
+                .collect();
+            if let Some(recon) = &reconstruction {
+                recon.extend(&mut model);
+            }
             let mut line = String::from("v");
-            for i in 0..num_vars {
-                let v = Var::from_index(i);
-                let val = solver.value(v).unwrap_or(false);
+            for (i, val) in model.iter().enumerate() {
+                let val = val.unwrap_or(false);
                 line.push_str(&format!(
                     " {}",
                     if val {
@@ -171,6 +219,9 @@ fn main() -> ExitCode {
             println!("{line} 0");
             if stats {
                 print_stats(&sink.events());
+                if let Some(pre) = &pre_stats {
+                    print_pre_stats(pre);
+                }
             }
             ExitCode::from(10)
         }
@@ -178,6 +229,9 @@ fn main() -> ExitCode {
             println!("s UNSATISFIABLE");
             if stats {
                 print_stats(&sink.events());
+                if let Some(pre) = &pre_stats {
+                    print_pre_stats(pre);
+                }
             }
             ExitCode::from(20)
         }
@@ -185,6 +239,9 @@ fn main() -> ExitCode {
             println!("s UNKNOWN");
             if stats {
                 print_stats(&sink.events());
+                if let Some(pre) = &pre_stats {
+                    print_pre_stats(pre);
+                }
             }
             ExitCode::SUCCESS
         }

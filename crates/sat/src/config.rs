@@ -145,6 +145,12 @@ pub struct SolverConfig {
     /// Per-call conflict budget: each `solve*` call gives up with
     /// `Unknown` after roughly this many conflicts *of its own*.
     pub conflict_budget: Option<u64>,
+    /// Ask front ends that hold a whole formula (`qsat`, the portfolio
+    /// race, the engine's OMT probes) to run the proof-logging
+    /// preprocessor ([`crate::analyze::preprocess`]) before search. The
+    /// solver itself ignores the flag — preprocessing needs the full CNF,
+    /// which the incremental `add_clause` API never sees at once.
+    pub preprocess: bool,
     /// Caller-side run controls: lifetime conflict cap, cooperative stop
     /// flag, tracer.
     pub control: SolveControl,
@@ -176,6 +182,8 @@ impl SolverConfig {
     /// * `phase=saved|positive|negative|random`
     /// * `seed=N`
     /// * `budget=N` — per-call conflict budget
+    /// * `preprocess=true|false` — run the proof-logging preprocessor
+    ///   before search (honored by whole-formula front ends)
     ///
     /// # Errors
     ///
@@ -241,6 +249,13 @@ impl SolverConfig {
                 }
                 "seed" => b = b.seed(value.parse().map_err(|_| bad("seed"))?),
                 "budget" => b = b.conflict_budget(Some(value.parse().map_err(|_| bad("budget"))?)),
+                "preprocess" => {
+                    b = b.preprocess(match value {
+                        "true" | "on" | "1" => true,
+                        "false" | "off" | "0" => false,
+                        _ => return Err(bad("preprocess")),
+                    })
+                }
                 other => return Err(ConfigError::Parse(format!("unknown config key `{other}`"))),
             }
         }
@@ -262,8 +277,13 @@ impl SolverConfig {
             PhasePolicy::Negative => "negative",
             PhasePolicy::Random => "random",
         };
+        let pre = if self.preprocess {
+            " preprocess=on"
+        } else {
+            ""
+        };
         format!(
-            "decay={} restart={restart} phase={phase} seed={}",
+            "decay={} restart={restart} phase={phase} seed={}{pre}",
             self.var_decay(),
             self.seed
         )
@@ -365,6 +385,14 @@ impl SolverConfigBuilder {
     #[must_use]
     pub fn conflict_budget(mut self, budget: Option<u64>) -> Self {
         self.config.conflict_budget = budget;
+        self
+    }
+
+    /// Asks whole-formula front ends to run the proof-logging
+    /// preprocessor before search (see [`SolverConfig::preprocess`]).
+    #[must_use]
+    pub fn preprocess(mut self, preprocess: bool) -> Self {
+        self.config.preprocess = preprocess;
         self
     }
 
@@ -535,6 +563,13 @@ mod tests {
         );
         assert_eq!(c.conflict_budget, Some(1000));
 
+        let c = SolverConfig::parse("preprocess=true,seed=3").unwrap();
+        assert!(c.preprocess);
+        assert!(c.describe().contains("preprocess=on"), "{}", c.describe());
+        let c = SolverConfig::parse("preprocess=off").unwrap();
+        assert!(!c.preprocess);
+        assert!(!c.describe().contains("preprocess"), "{}", c.describe());
+
         // Bare schedule names pick their documented defaults.
         let c = SolverConfig::parse("restart=geometric").unwrap();
         assert!(matches!(c.restart, RestartSchedule::Geometric { .. }));
@@ -556,6 +591,7 @@ mod tests {
             "phase=sticky",
             "seed=-1",
             "budget=abc",
+            "preprocess=maybe",
             "unknown=1",
         ] {
             assert!(SolverConfig::parse(bad).is_err(), "accepted `{bad}`");

@@ -3,7 +3,7 @@
 //! Supports the standard `p cnf <vars> <clauses>` header, `c` comment lines,
 //! and zero-terminated clause lines (possibly spanning multiple lines).
 
-use crate::lit::Lit;
+use crate::lit::{Lit, Var};
 use crate::solver::Solver;
 use std::error::Error;
 use std::fmt;
@@ -70,7 +70,53 @@ impl Cnf {
     }
 }
 
+/// A parse-level observation that does not prevent parsing.
+///
+/// These are the conditions a solver would otherwise discover (or silently
+/// absorb) at load time; reporting them from the parser lets tooling point
+/// at the *input* rather than at solver behaviour.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DimacsWarning {
+    /// Clause `clause` (0-based) listed `lit` more than once; the extra
+    /// copies were canonicalized away.
+    DuplicateLiteral {
+        /// 0-based index of the clause in the parsed formula.
+        clause: usize,
+        /// The repeated literal.
+        lit: Lit,
+    },
+    /// Unit clauses assert both polarities of `var`: the formula is
+    /// trivially unsatisfiable at the root, which almost always means a
+    /// generator bug rather than a genuinely hard instance.
+    ContradictoryUnits {
+        /// The doubly-asserted variable.
+        var: Var,
+    },
+}
+
+impl fmt::Display for DimacsWarning {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DimacsWarning::DuplicateLiteral { clause, lit } => {
+                write!(f, "clause {} repeats literal {}", clause, lit.to_dimacs())
+            }
+            DimacsWarning::ContradictoryUnits { var } => {
+                write!(
+                    f,
+                    "unit clauses assert both {} and {}",
+                    var.positive().to_dimacs(),
+                    var.negative().to_dimacs()
+                )
+            }
+        }
+    }
+}
+
 /// Parses a DIMACS CNF stream.
+///
+/// Duplicate literals within a clause are canonicalized away (first
+/// occurrence kept); use [`parse_dimacs_with_report`] to observe them and
+/// other parse-level diagnostics.
 ///
 /// # Errors
 ///
@@ -88,10 +134,40 @@ impl Cnf {
 /// # Ok::<(), qca_sat::dimacs::ParseDimacsError>(())
 /// ```
 pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<Cnf, ParseDimacsError> {
+    parse_dimacs_with_report(reader).map(|(cnf, _)| cnf)
+}
+
+/// [`parse_dimacs`] plus the parse-level diagnostics: duplicate literals
+/// inside a clause (canonicalized away) and contradictory unit clauses
+/// (reported here instead of being left for the solver to "solve" to
+/// UNSAT).
+///
+/// # Errors
+///
+/// Same as [`parse_dimacs`].
+///
+/// # Examples
+///
+/// ```
+/// use qca_sat::dimacs::{parse_dimacs_with_report, DimacsWarning};
+/// let text = "p cnf 2 3\n1 1 -2 0\n2 0\n-2 0\n";
+/// let (cnf, warnings) = parse_dimacs_with_report(text.as_bytes())?;
+/// assert_eq!(cnf.clauses[0].len(), 2); // duplicate 1 canonicalized
+/// assert_eq!(warnings.len(), 2);
+/// assert!(matches!(warnings[1], DimacsWarning::ContradictoryUnits { .. }));
+/// # Ok::<(), qca_sat::dimacs::ParseDimacsError>(())
+/// ```
+pub fn parse_dimacs_with_report<R: BufRead>(
+    reader: R,
+) -> Result<(Cnf, Vec<DimacsWarning>), ParseDimacsError> {
     let mut cnf = Cnf::default();
+    let mut warnings = Vec::new();
     let mut current: Vec<Lit> = Vec::new();
     let mut declared_vars: Option<usize> = None;
     let mut max_var = 0usize;
+    // Unit-clause polarity per variable: +1, -1, or 2 once contradictory
+    // (so each variable is reported once).
+    let mut unit_sign: Vec<i8> = Vec::new();
     for line in reader.lines() {
         let line = line?;
         let trimmed = line.trim();
@@ -116,7 +192,40 @@ pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<Cnf, ParseDimacsError> {
                 .parse()
                 .map_err(|_| ParseDimacsError::Malformed(format!("bad token {tok:?}")))?;
             if val == 0 {
-                cnf.clauses.push(std::mem::take(&mut current));
+                // Canonicalize: drop repeated literals, keeping first
+                // occurrences in order.
+                let mut canonical: Vec<Lit> = Vec::with_capacity(current.len());
+                for &lit in &current {
+                    if canonical.contains(&lit) {
+                        if !warnings.contains(&DimacsWarning::DuplicateLiteral {
+                            clause: cnf.clauses.len(),
+                            lit,
+                        }) {
+                            warnings.push(DimacsWarning::DuplicateLiteral {
+                                clause: cnf.clauses.len(),
+                                lit,
+                            });
+                        }
+                    } else {
+                        canonical.push(lit);
+                    }
+                }
+                current.clear();
+                if canonical.len() == 1 {
+                    let l = canonical[0];
+                    let idx = l.var().index();
+                    if idx >= unit_sign.len() {
+                        unit_sign.resize(idx + 1, 0);
+                    }
+                    let s: i8 = if l.is_positive() { 1 } else { -1 };
+                    if unit_sign[idx] == -s {
+                        warnings.push(DimacsWarning::ContradictoryUnits { var: l.var() });
+                        unit_sign[idx] = 2;
+                    } else if unit_sign[idx] != 2 {
+                        unit_sign[idx] = s;
+                    }
+                }
+                cnf.clauses.push(canonical);
             } else {
                 let lit = Lit::from_dimacs(val);
                 max_var = max_var.max(lit.var().index() + 1);
@@ -130,7 +239,7 @@ pub fn parse_dimacs<R: BufRead>(reader: R) -> Result<Cnf, ParseDimacsError> {
         ));
     }
     cnf.num_vars = declared_vars.unwrap_or(max_var).max(max_var);
-    Ok(cnf)
+    Ok((cnf, warnings))
 }
 
 /// Writes a formula in DIMACS CNF format.
@@ -207,5 +316,124 @@ mod tests {
         let text = "1 -4 0\n";
         let cnf = parse_dimacs(text.as_bytes()).unwrap();
         assert_eq!(cnf.num_vars, 4);
+    }
+
+    #[test]
+    fn duplicate_literals_are_canonicalized() {
+        let text = "p cnf 3 2\n1 2 1 1 0\n-3 -3 0\n";
+        let (cnf, warnings) = parse_dimacs_with_report(text.as_bytes()).unwrap();
+        assert_eq!(
+            cnf.clauses[0],
+            vec![Lit::from_dimacs(1), Lit::from_dimacs(2)]
+        );
+        assert_eq!(cnf.clauses[1], vec![Lit::from_dimacs(-3)]);
+        // One warning per (clause, literal) pair, not per extra copy.
+        assert_eq!(
+            warnings,
+            vec![
+                DimacsWarning::DuplicateLiteral {
+                    clause: 0,
+                    lit: Lit::from_dimacs(1)
+                },
+                DimacsWarning::DuplicateLiteral {
+                    clause: 1,
+                    lit: Lit::from_dimacs(-3)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn opposite_polarities_are_not_duplicates() {
+        // (x | !x) is a tautology, not a duplicate: both literals survive.
+        let text = "p cnf 1 1\n1 -1 0\n";
+        let (cnf, warnings) = parse_dimacs_with_report(text.as_bytes()).unwrap();
+        assert_eq!(cnf.clauses[0].len(), 2);
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn contradictory_units_are_reported_once() {
+        let text = "p cnf 2 5\n1 0\n-1 0\n1 0\n-1 0\n2 0\n";
+        let (cnf, warnings) = parse_dimacs_with_report(text.as_bytes()).unwrap();
+        assert_eq!(cnf.clauses.len(), 5);
+        assert_eq!(
+            warnings,
+            vec![DimacsWarning::ContradictoryUnits {
+                var: Var::from_index(0)
+            }]
+        );
+    }
+
+    #[test]
+    fn clean_file_has_no_warnings() {
+        let text = "p cnf 3 3\n1 -3 0\n2 3 -1 0\n-2 0\n";
+        let (_, warnings) = parse_dimacs_with_report(text.as_bytes()).unwrap();
+        assert!(warnings.is_empty());
+    }
+
+    #[test]
+    fn warning_display_is_dimacs_flavoured() {
+        let w = DimacsWarning::DuplicateLiteral {
+            clause: 3,
+            lit: Lit::from_dimacs(-2),
+        };
+        assert_eq!(w.to_string(), "clause 3 repeats literal -2");
+        let w = DimacsWarning::ContradictoryUnits {
+            var: Var::from_index(4),
+        };
+        assert_eq!(w.to_string(), "unit clauses assert both 5 and -5");
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Arbitrary DIMACS text for a well-formed CNF (clauses may repeat
+    /// literals, which the parser canonicalizes).
+    fn arb_dimacs() -> impl Strategy<Value = String> {
+        let clause = proptest::collection::vec(
+            (1i64..=6).prop_flat_map(|v| prop_oneof![Just(v), Just(-v)]),
+            1..=4,
+        );
+        proptest::collection::vec(clause, 0..=12).prop_map(|clauses| {
+            let mut s = String::from("p cnf 6 0\n");
+            for c in &clauses {
+                for l in c {
+                    s.push_str(&format!("{l} "));
+                }
+                s.push_str("0\n");
+            }
+            s
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+
+        /// export → parse is the identity on already-canonical formulas:
+        /// one parse canonicalizes, and the canonical form is a fixpoint.
+        #[test]
+        fn write_then_parse_round_trips(text in arb_dimacs()) {
+            let (cnf, _) = parse_dimacs_with_report(text.as_bytes()).unwrap();
+            let mut out = Vec::new();
+            write_dimacs(&mut out, &cnf).unwrap();
+            let (reparsed, warnings) = parse_dimacs_with_report(&out[..]).unwrap();
+            prop_assert_eq!(&cnf, &reparsed);
+            prop_assert!(
+                warnings
+                    .iter()
+                    .all(|w| !matches!(w, DimacsWarning::DuplicateLiteral { .. })),
+                "canonical output reparsed with duplicate warnings: {:?}",
+                warnings
+            );
+            for c in &reparsed.clauses {
+                for (i, l) in c.iter().enumerate() {
+                    prop_assert!(!c[..i].contains(l), "duplicate literal survived");
+                }
+            }
+        }
     }
 }

@@ -277,6 +277,91 @@ mod tests {
     }
 
     #[test]
+    fn default_caps_admit_at_exact_boundary() {
+        // The caps are inclusive: len == max_len and lbd == max_lbd pass,
+        // one past either cap is rejected.
+        let f = ImportFilter::default();
+        let ex = ClauseExchange::new(8);
+        let at_len: Vec<usize> = (0..f.max_len).collect();
+        let over_len: Vec<usize> = (0..f.max_len + 1).collect();
+        assert!(ex.publish(0, &lits(&at_len), f.max_lbd));
+        assert!(ex.publish(0, &lits(&over_len), f.max_lbd)); // publish doesn't filter...
+        assert!(ex.publish(0, &lits(&[1]), f.max_lbd + 1));
+        let mut h = ExchangeHandle::new(ex.clone(), 1, f);
+        let mut out = Vec::new();
+        h.pull(&mut out);
+        // ...but import does: only the exactly-at-cap clause arrives.
+        assert_eq!(out, vec![lits(&at_len)]);
+        // The export side rejects past-cap offers before publishing.
+        let mut h0 = ExchangeHandle::new(ex.clone(), 0, f);
+        h0.offer(&lits(&at_len), f.max_lbd);
+        h0.offer(&lits(&over_len), f.max_lbd);
+        h0.offer(&lits(&at_len), f.max_lbd + 1);
+        assert_eq!(h0.exported(), 1);
+    }
+
+    #[test]
+    fn stale_cursor_survives_ring_wraparound() {
+        let ex = ClauseExchange::new(4);
+        let mut h = ExchangeHandle::new(ex.clone(), 1, ImportFilter::default());
+        ex.publish(0, &lits(&[0]), 1);
+        let mut out = Vec::new();
+        h.pull(&mut out); // cursor = 1
+        assert_eq!(out.len(), 1);
+        // The ring wraps several times past the cursor; the next pull must
+        // recover exactly the surviving window, never duplicate, and leave
+        // the cursor caught up.
+        for i in 1..=11 {
+            ex.publish(0, &lits(&[i]), 1);
+        }
+        out.clear();
+        h.pull(&mut out);
+        assert_eq!(out, vec![lits(&[8]), lits(&[9]), lits(&[10]), lits(&[11])]);
+        out.clear();
+        h.pull(&mut out);
+        assert!(out.is_empty(), "cursor not caught up after wraparound");
+    }
+
+    #[test]
+    fn contended_single_slot_ring_never_yields_garbage() {
+        // Two publishers hammer a one-slot ring while a reader pulls: lost
+        // try_locks drop clauses (that's the design), but every clause the
+        // reader does import must be one that was actually published.
+        let ex = ClauseExchange::new(1);
+        let collected = std::thread::scope(|scope| {
+            for m in 0..2 {
+                let ex = ex.clone();
+                scope.spawn(move || {
+                    for i in 0..500 {
+                        ex.publish(m, &lits(&[m * 1000 + i]), 1);
+                    }
+                });
+            }
+            let ex = ex.clone();
+            scope
+                .spawn(move || {
+                    let mut h = ExchangeHandle::new(ex, 2, ImportFilter::default());
+                    let mut out = Vec::new();
+                    for _ in 0..200 {
+                        h.pull(&mut out);
+                    }
+                    out
+                })
+                .join()
+                .unwrap()
+        });
+        assert_eq!(ex.published(), 1000);
+        for c in &collected {
+            assert_eq!(c.len(), 1, "torn clause imported: {c:?}");
+            let idx = c[0].var().index();
+            assert!(
+                idx % 1000 < 500,
+                "imported a clause nobody published: {c:?}"
+            );
+        }
+    }
+
+    #[test]
     fn concurrent_publish_collect_is_safe() {
         let ex = ClauseExchange::new(16);
         std::thread::scope(|scope| {

@@ -12,7 +12,10 @@
 //! * Luby restarts and learnt-clause database reduction,
 //! * incremental solving under assumptions with unsat-core extraction,
 //! * DIMACS CNF I/O ([`dimacs`]) and CNF encoding helpers ([`encode`]),
-//! * DRAT proof logging ([`proof`]) for independent UNSAT certification.
+//! * DRAT proof logging ([`proof`]) for independent UNSAT certification,
+//! * static formula analysis and a proof-logging, model-reconstructing
+//!   preprocessor ([`mod@analyze`]) whose derivations verify against the
+//!   original formula.
 //!
 //! # Examples
 //!
@@ -32,6 +35,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod analyze;
 pub mod config;
 pub mod dimacs;
 pub mod encode;
@@ -41,6 +45,10 @@ mod lit;
 pub mod proof;
 mod solver;
 
+pub use analyze::{
+    analyze, preprocess, FormulaReport, PreprocessOptions, PreprocessResult, PreprocessStats,
+    Reconstruction,
+};
 pub use config::{ConfigError, PhasePolicy, RestartSchedule, SolverConfig, SolverConfigBuilder};
 pub use exchange::{ClauseExchange, ExchangeHandle, ImportFilter};
 pub use lit::{LBool, Lit, Var};

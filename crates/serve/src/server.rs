@@ -290,6 +290,7 @@ impl Server {
             lint: config.lint,
             deny_warnings: config.deny_warnings,
             portfolio_members: config.portfolio_members,
+            preprocess: true,
         }));
         let workers = if config.workers == 0 {
             std::thread::available_parallelism()

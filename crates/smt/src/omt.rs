@@ -74,6 +74,13 @@ pub struct PortfolioProbe {
     /// Per-member conflict budget; `None` (the default) races until some
     /// member reaches a definitive answer, keeping escalated searches exact.
     pub member_budget: Option<u64>,
+    /// Preprocess the exported formula once before racing
+    /// ([`qca_portfolio::RaceOptions::preprocess`]). The probe literal is
+    /// frozen, so the assumption stays meaningful; the winning model is
+    /// extended back to the exported numbering. Certificates are
+    /// unaffected: `certify` re-refutes the *recorded* shadow CNF with a
+    /// fresh solver, never the simplified race input.
+    pub preprocess: bool,
 }
 
 impl Default for PortfolioProbe {
@@ -83,6 +90,7 @@ impl Default for PortfolioProbe {
             threads: 0,
             seed: 0,
             member_budget: None,
+            preprocess: false,
         }
     }
 }
@@ -260,6 +268,7 @@ fn escalate_probe(
         max_threads: probe.threads,
         stop: smt.control().stop.clone(),
         tracer,
+        preprocess: probe.preprocess,
         ..qca_portfolio::RaceOptions::default()
     };
     let result = qca_portfolio::race(&cnf, &[ge], &configs, &race_opts);
@@ -753,6 +762,41 @@ mod tests {
                 })
                 .sum();
             assert_eq!(races, escalations);
+        }
+    }
+
+    #[test]
+    fn preprocessed_portfolio_probes_stay_exact_and_certified() {
+        // Every probe is decided by a preprocessed race, yet the
+        // certificate must still refute the bound against the RECORDED
+        // shadow CNF — preprocessing the race input must not leak into
+        // certification.
+        for strategy in [Strategy::BinarySearch, Strategy::LinearSearch] {
+            let mut smt = SmtSolver::new();
+            smt.enable_recording();
+            let x: Vec<_> = (0..3).map(|_| smt.new_bool()).collect();
+            let weight = smt.pb_sum(0, &[(3, x[0]), (4, x[1]), (5, x[2])]);
+            let cap = smt.int_const(7);
+            smt.assert_ge(&cap, &weight);
+            let value = smt.pb_sum(0, &[(4, x[0]), (5, x[1]), (6, x[2])]);
+            let opts = OmtOptions {
+                probe_conflict_budget: Some(0),
+                portfolio: Some(PortfolioProbe {
+                    preprocess: true,
+                    ..PortfolioProbe::default()
+                }),
+                certify: true,
+                ..OmtOptions::default()
+            };
+            let best = maximize_with(&mut smt, &value, strategy, opts, &[]).expect("sat");
+            assert_eq!(best.value, 9, "{strategy:?}");
+            assert!(best.optimal, "{strategy:?}");
+            let cert = best.certificate.expect("certificate requested");
+            assert_eq!(cert.refuted_bound, 10);
+            assert!(matches!(
+                cert.steps.last(),
+                Some(ProofStep::Add(c)) if c.is_empty()
+            ));
         }
     }
 

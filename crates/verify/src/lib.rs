@@ -27,4 +27,6 @@ pub use adaptation::{
     AdaptationAuditError, AdaptationAuditStats,
 };
 pub use drat::{check_drat, check_drat_dimacs, DratError, DratStats};
-pub use model::{audit_model, check_certificate, ModelAuditError};
+pub use model::{
+    audit_model, check_certificate, check_reconstruction, ModelAuditError, ReconstructionError,
+};

@@ -10,7 +10,14 @@
 //!
 //! [`check_certificate`] validates an [`OptimalityCertificate`] with the
 //! independent RUP checker from [`crate::drat`].
+//!
+//! [`check_reconstruction`] closes the loop on the `qca_sat::analyze`
+//! preprocessor: it replays a [`Reconstruction`] over a solver model of
+//! the *simplified* formula and confirms the extended total assignment
+//! satisfies the *original* formula, by direct evaluation.
 
+use qca_sat::analyze::Reconstruction;
+use qca_sat::dimacs::Cnf;
 use qca_sat::Lit;
 use qca_smt::omt::OptimalityCertificate;
 use qca_smt::{AuditBundle, IntExpr, RecordedConstraint, SmtModel};
@@ -204,6 +211,61 @@ pub fn check_certificate(cert: &OptimalityCertificate) -> Result<DratStats, Drat
     check_drat(&cert.cnf, &cert.steps)
 }
 
+/// A [`check_reconstruction`] failure: the extended assignment leaves a
+/// clause of the original formula with no true literal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReconstructionError {
+    /// Position of the falsified clause in the original formula.
+    pub clause: usize,
+}
+
+impl std::fmt::Display for ReconstructionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "original clause #{} falsified by the extended model",
+            self.clause
+        )
+    }
+}
+
+impl std::error::Error for ReconstructionError {}
+
+/// Replays `reconstruction` over a model of the simplified formula and
+/// checks the extended assignment satisfies every clause of `original`.
+///
+/// `model` is indexed by variable (the preprocessor preserves the
+/// numbering); entries the solver left unassigned default to `false`, the
+/// same total-assignment semantics [`Reconstruction::extend`] uses
+/// internally. On success the extended **total** assignment is returned,
+/// so callers can reuse it instead of re-deriving the defaulting rules.
+///
+/// # Errors
+///
+/// The first falsified original clause aborts with its index — which
+/// means either the solver's model was wrong or the preprocessor's
+/// reconstruction stack is unsound; both are bugs worth failing loudly
+/// on.
+pub fn check_reconstruction(
+    original: &Cnf,
+    reconstruction: &Reconstruction,
+    model: &[Option<bool>],
+) -> Result<Vec<bool>, ReconstructionError> {
+    let mut extended: Vec<Option<bool>> = model.to_vec();
+    extended.resize(original.num_vars.max(model.len()), None);
+    reconstruction.extend(&mut extended);
+    let total: Vec<bool> = extended.iter().map(|v| v.unwrap_or(false)).collect();
+    for (clause, lits) in original.clauses.iter().enumerate() {
+        let satisfied = lits
+            .iter()
+            .any(|l| total[l.var().index()] == l.is_positive());
+        if !satisfied {
+            return Err(ReconstructionError { clause });
+        }
+    }
+    Ok(total)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -219,6 +281,45 @@ mod tests {
         smt.assert_ge(&cap, &weight);
         let value = smt.pb_sum(0, &[(4, x[0]), (5, x[1]), (6, x[2])]);
         (smt, x, value)
+    }
+
+    #[test]
+    fn reconstruction_check_accepts_extended_models_and_rejects_fakes() {
+        use qca_sat::analyze::{preprocess, PreprocessOptions};
+        use qca_sat::Var;
+        // (x1 ∨ x2) ∧ (¬x2 ∨ x3): x1 is pure and x3 only positive, so the
+        // preprocessor eliminates work the reconstruction must undo.
+        let cnf = Cnf {
+            num_vars: 3,
+            clauses: vec![
+                vec![Var::from_index(0).lit(true), Var::from_index(1).lit(true)],
+                vec![Var::from_index(1).lit(false), Var::from_index(2).lit(true)],
+            ],
+        };
+        let pre = preprocess(&cnf, &PreprocessOptions::default(), None);
+        assert!(!pre.unsat);
+        // The simplified formula is trivially satisfiable — an all-None
+        // partial model is enough once reconstruction replays.
+        let model = vec![None; pre.cnf.num_vars];
+        let total = check_reconstruction(&cnf, &pre.reconstruction, &model)
+            .expect("reconstructed model satisfies the original");
+        assert_eq!(total.len(), 3);
+
+        // A fabricated falsifying assignment must be caught: an empty
+        // reconstruction leaves all-false, which falsifies clause 0.
+        let empty = preprocess(
+            &Cnf {
+                num_vars: 3,
+                clauses: vec![],
+            },
+            &PreprocessOptions::default(),
+            None,
+        )
+        .reconstruction;
+        let err = check_reconstruction(&cnf, &empty, &[None, None, None])
+            .expect_err("all-false assignment falsifies the original");
+        assert_eq!(err.clause, 0);
+        assert!(err.to_string().contains("clause #0"));
     }
 
     #[test]
