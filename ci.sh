@@ -236,6 +236,138 @@ grep -q 'ok200=1' "$trace_dir/load-drain.txt" || {
 grep -q '"server":' "$serve_metrics" || {
   echo "serve gate: final metrics snapshot missing or malformed" >&2; exit 1; }
 
+# Scrapes "listening on <addr>" from a serve log; prints the address.
+wait_for_addr() {
+  local log="$1" addr=""
+  for _ in $(seq 1 50); do
+    addr="$(sed -n 's/^listening on //p' "$log")"
+    [ -n "$addr" ] && break
+    sleep 0.1
+  done
+  echo "$addr"
+}
+
+# One raw keep-alive-less HTTP GET via bash's /dev/tcp; prints the response.
+http_get() {
+  local addr="$1" path="$2"
+  exec 3<>"/dev/tcp/${addr%:*}/${addr##*:}"
+  printf 'GET %s HTTP/1.1\r\nHost: ci\r\nConnection: close\r\n\r\n' "$path" >&3
+  cat <&3
+  exec 3>&- 3<&-
+}
+
+echo "== store gate: warm restart replays persisted adaptations =="
+store_dir="$trace_dir/store"
+warm1_metrics="$trace_dir/warm1-metrics.json"
+warm2_metrics="$trace_dir/warm2-metrics.json"
+target/release/qca-serve --addr 127.0.0.1:0 --workers 1 --queue 4 \
+  --store "$store_dir" --metrics-out "$warm1_metrics" \
+  > "$trace_dir/warm1.log" &
+warm_pid=$!
+warm_addr="$(wait_for_addr "$trace_dir/warm1.log")"
+test -n "$warm_addr" || {
+  echo "store gate: first server never reported its address" >&2
+  kill "$warm_pid" 2>/dev/null; exit 1; }
+# Populate: the first request solves and is appended to the WAL, the
+# second hits the in-memory cache.
+target/release/qca-load --addr "$warm_addr" --connections 1 --requests 2 \
+  > "$trace_dir/load-warm1.txt" || {
+  echo "store gate: populate run failed" >&2
+  cat "$trace_dir/load-warm1.txt" >&2
+  kill "$warm_pid" 2>/dev/null; exit 1
+}
+grep -q 'ok200=2' "$trace_dir/load-warm1.txt" || {
+  echo "store gate: populate run did not get two 200s" >&2
+  cat "$trace_dir/load-warm1.txt" >&2
+  kill "$warm_pid" 2>/dev/null; exit 1
+}
+# Graceful shutdown flushes the WAL...
+kill -TERM "$warm_pid"
+wait "$warm_pid" || {
+  echo "store gate: first server exited non-zero on SIGTERM" >&2; exit 1; }
+# ...and a restart on the same directory must replay the record into the
+# cache, so the same circuit is answered without solving again.
+target/release/qca-serve --addr 127.0.0.1:0 --workers 1 --queue 4 \
+  --store "$store_dir" --metrics-out "$warm2_metrics" \
+  > "$trace_dir/warm2.log" &
+warm_pid=$!
+warm_addr="$(wait_for_addr "$trace_dir/warm2.log")"
+test -n "$warm_addr" || {
+  echo "store gate: restarted server never reported its address" >&2
+  kill "$warm_pid" 2>/dev/null; exit 1; }
+http_get "$warm_addr" /metrics > "$trace_dir/warm-metrics-live.txt" || true
+grep -Eq '"replays":[1-9]' "$trace_dir/warm-metrics-live.txt" || {
+  echo "store gate: /metrics reports no replayed records after restart" >&2
+  cat "$trace_dir/warm-metrics-live.txt" >&2
+  kill "$warm_pid" 2>/dev/null; exit 1
+}
+target/release/qca-load --addr "$warm_addr" --connections 1 --requests 1 \
+  > "$trace_dir/load-warm2.txt" || {
+  echo "store gate: post-restart request failed" >&2
+  kill "$warm_pid" 2>/dev/null; exit 1
+}
+grep -q 'ok200=1' "$trace_dir/load-warm2.txt" || {
+  echo "store gate: post-restart request was not a 200" >&2
+  cat "$trace_dir/load-warm2.txt" >&2
+  kill "$warm_pid" 2>/dev/null; exit 1
+}
+kill -TERM "$warm_pid"
+wait "$warm_pid" || {
+  echo "store gate: restarted server exited non-zero on SIGTERM" >&2; exit 1; }
+# The final snapshot proves the post-restart request was a warm cache hit.
+grep -Eq '"store_replays": [1-9]' "$warm2_metrics" || {
+  echo "store gate: final metrics report no store replays" >&2
+  cat "$warm2_metrics" >&2; exit 1
+}
+grep -Eq '"cache_hits": [1-9]' "$warm2_metrics" || {
+  echo "store gate: post-restart request did not hit the warm cache" >&2
+  cat "$warm2_metrics" >&2; exit 1
+}
+
+echo "== shard gate: two-node ring forwards peer-owned keys =="
+# Node A is a plain server; node B owns slot 1 of a two-slot ring whose
+# slot 0 is A — so any key hashing to slot 0 that lands on B must be
+# answered *through* A, transparently to the client.
+target/release/qca-serve --addr 127.0.0.1:0 --workers 1 --queue 8 \
+  > "$trace_dir/shard-a.log" &
+shard_a_pid=$!
+shard_a_addr="$(wait_for_addr "$trace_dir/shard-a.log")"
+test -n "$shard_a_addr" || {
+  echo "shard gate: node A never reported its address" >&2
+  kill "$shard_a_pid" 2>/dev/null; exit 1; }
+target/release/qca-serve --addr 127.0.0.1:0 --workers 1 --queue 8 \
+  --peers "$shard_a_addr,-" --node-id 1 > "$trace_dir/shard-b.log" &
+shard_b_pid=$!
+shard_b_addr="$(wait_for_addr "$trace_dir/shard-b.log")"
+test -n "$shard_b_addr" || {
+  echo "shard gate: node B never reported its address" >&2
+  kill "$shard_a_pid" "$shard_b_pid" 2>/dev/null; exit 1; }
+# Eight structurally distinct circuits through B: their keys scatter over
+# both ring slots, every answer is a 200 whichever node solved it.
+target/release/qca-load --addr "$shard_b_addr" --connections 1 --requests 8 \
+  --distinct > "$trace_dir/load-shard.txt" || {
+  echo "shard gate: distinct load through node B failed" >&2
+  cat "$trace_dir/load-shard.txt" >&2
+  kill "$shard_a_pid" "$shard_b_pid" 2>/dev/null; exit 1
+}
+grep -q 'ok200=8' "$trace_dir/load-shard.txt" && \
+  grep -q ' errors=0' "$trace_dir/load-shard.txt" || {
+  echo "shard gate: unexpected tally through node B" >&2
+  cat "$trace_dir/load-shard.txt" >&2
+  kill "$shard_a_pid" "$shard_b_pid" 2>/dev/null; exit 1
+}
+http_get "$shard_b_addr" /metrics > "$trace_dir/shard-metrics.txt" || true
+grep -Eq '"forwarded":[1-9]' "$trace_dir/shard-metrics.txt" || {
+  echo "shard gate: node B never forwarded a peer-owned key" >&2
+  cat "$trace_dir/shard-metrics.txt" >&2
+  kill "$shard_a_pid" "$shard_b_pid" 2>/dev/null; exit 1
+}
+kill -TERM "$shard_a_pid" "$shard_b_pid"
+wait "$shard_a_pid" || {
+  echo "shard gate: node A exited non-zero on SIGTERM" >&2; exit 1; }
+wait "$shard_b_pid" || {
+  echo "shard gate: node B exited non-zero on SIGTERM" >&2; exit 1; }
+
 echo "== recalibration gate: qca-engine --recalibrate --perturb 2 on examples/qasm =="
 # Adapt the example corpus, drift every gate fidelity, and walk the cached
 # corpus: nothing may fail, and at least one cached optimum must re-certify
@@ -263,8 +395,8 @@ grep -Eq '^recalib: .*failed=0$' "$trace_dir/recalib.txt" || {
 }
 
 echo "== perf gate: quick suite vs committed BENCH baseline =="
-# The committed baseline must itself be schema-valid and cover all three
-# layers (sat, engine, serve).
+# The committed baseline must itself be schema-valid and cover every
+# measured layer (sat, engine, portfolio, serve, store).
 baseline="$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1)"
 test -n "$baseline" || {
   echo "perf gate: no committed BENCH_*.json baseline" >&2; exit 1; }

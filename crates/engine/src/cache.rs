@@ -159,6 +159,15 @@ impl AdaptCache {
         self.shards.iter().map(|s| s.lock().entries.len()).sum()
     }
 
+    /// Per-shard `(occupancy, capacity)` pairs, in shard order; feeds the
+    /// serve tier's `/metrics` cache section.
+    pub fn shard_stats(&self) -> Vec<(usize, usize)> {
+        self.shards
+            .iter()
+            .map(|s| (s.lock().entries.len(), self.per_shard_capacity))
+            .collect()
+    }
+
     /// `true` when no entry is cached.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
@@ -348,6 +357,24 @@ mod tests {
         cache.insert(1, sample_adaptation());
         assert!(cache.get(1).is_none());
         assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn shard_stats_report_occupancy_and_capacity() {
+        let cache = AdaptCache::new(32); // two slots per shard
+        let stats = cache.shard_stats();
+        assert_eq!(stats.len(), 16);
+        assert!(stats.iter().all(|&(n, cap)| n == 0 && cap == 2));
+        let v = sample_adaptation();
+        cache.insert(0, v.clone()); // shard 0
+        cache.insert(16, v.clone()); // shard 0
+        cache.insert(1, v); // shard 1
+        let stats = cache.shard_stats();
+        assert_eq!(stats[0], (2, 2));
+        assert_eq!(stats[1], (1, 2));
+        assert_eq!(stats[2], (0, 2));
+        let total: usize = stats.iter().map(|&(n, _)| n).sum();
+        assert_eq!(total, cache.len());
     }
 
     #[test]

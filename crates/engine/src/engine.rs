@@ -183,6 +183,14 @@ pub struct EngineConfig {
     /// registry. Only consulted when [`EngineConfig::portfolio_members`]
     /// enables racing.
     pub preprocess: bool,
+    /// Persistent cache tier (`qca-store`). When attached, the engine warm
+    /// restarts by replaying every stored record into the in-memory LRU at
+    /// construction, consults the store after an LRU miss (a disk hit is
+    /// served as a cache hit and promoted back into the LRU), and appends
+    /// every successful solve — fallbacks are never persisted, matching the
+    /// in-memory cache policy. `store.*` counters land in the metrics
+    /// registry.
+    pub store: Option<Arc<qca_store::Store>>,
 }
 
 impl Default for EngineConfig {
@@ -198,6 +206,7 @@ impl Default for EngineConfig {
             deny_warnings: false,
             portfolio_members: 0,
             preprocess: true,
+            store: None,
         }
     }
 }
@@ -297,6 +306,13 @@ impl EngineConfigBuilder {
     /// default).
     pub fn preprocess(mut self, preprocess: bool) -> Self {
         self.config.preprocess = preprocess;
+        self
+    }
+
+    /// Attaches a persistent cache tier: the engine replays it into the
+    /// LRU at construction and appends every successful solve.
+    pub fn store(mut self, store: Arc<qca_store::Store>) -> Self {
+        self.config.store = Some(store);
         self
     }
 
@@ -405,6 +421,10 @@ pub struct Engine {
     /// Jobs currently inside [`Engine::run_job`]; spare-worker accounting
     /// for portfolio escalation.
     inflight: AtomicUsize,
+    /// Stampede protection: concurrent identical jobs (same cache key)
+    /// coalesce onto one in-flight solve; followers reuse the leader's
+    /// result as a cache hit.
+    singleflight: Arc<qca_store::SingleFlight<Arc<Adaptation>>>,
     /// Every successfully solved job, remembered for
     /// [`Engine::recalibrate`]. Bounded by the cache capacity; deduplicated
     /// by cache key.
@@ -460,14 +480,35 @@ impl Engine {
         let cache = AdaptCache::new(config.cache_capacity);
         let metrics = Arc::new(MetricsRegistry::new());
         let tracer = config.tracer.with_extra_sink(metrics.clone());
+        // Warm restart: replay every persisted record into the LRU so a
+        // freshly started engine serves its previous working set as cache
+        // hits instead of re-solving it.
+        if let Some(store) = &config.store {
+            let mut span = tracer.span("store.warm_restart");
+            let mut replayed = 0u64;
+            store.replay(|key, adaptation| {
+                cache.insert(key, adaptation);
+                replayed += 1;
+            });
+            if replayed > 0 {
+                tracer.counter("store.replays", replayed);
+            }
+            span.set_note(format!("replayed={replayed}"));
+        }
         Engine {
             config,
             cache,
             metrics,
             tracer,
             inflight: AtomicUsize::new(0),
+            singleflight: Arc::new(qca_store::SingleFlight::new()),
             corpus: Mutex::new(Vec::new()),
         }
+    }
+
+    /// The attached persistent store, when the engine has one.
+    pub fn store(&self) -> Option<&Arc<qca_store::Store>> {
+        self.config.store.as_ref()
     }
 
     /// The engine's metrics registry (shared across batches).
@@ -694,25 +735,34 @@ impl Engine {
             };
             self.count_status(status);
             job_span.set_note("cache_hit");
-            let mut report = AdaptReport {
-                job: index,
-                status,
-                circuit: hit.circuit.clone(),
-                objective_value: Some(hit.solver.objective_value),
-                cache_hit: true,
-                wall: t0.elapsed(),
-                solver_stats: Some(hit.solver.solver_stats.clone()),
-                error: None,
-                adaptation: Some(hit),
-                audit: None,
-                diagnostics,
-            };
+            let mut report = self.served_report(index, status, hit, t0, diagnostics);
             // Cache hits are audited like fresh solves: a corrupted cache
             // entry must not dodge verification.
             self.audit_report(hw, &job.circuit, &job.options, &mut report, policy);
             return report;
         }
         self.tracer.counter("engine.cache_miss", 1);
+
+        // Second cache tier: the persistent store. A disk hit is promoted
+        // back into the LRU and served exactly like a memory hit.
+        if let Some(store) = &self.config.store {
+            if let Some(hit) = store.get(key) {
+                self.tracer.counter("store.hits", 1);
+                self.tracer.counter("engine.job_completed", 1);
+                let status = if hit.solver.optimal {
+                    AdaptStatus::Optimal
+                } else {
+                    AdaptStatus::Feasible
+                };
+                self.count_status(status);
+                self.cache.insert(key, hit.clone());
+                job_span.set_note("store_hit");
+                let mut report = self.served_report(index, status, hit, t0, diagnostics);
+                self.audit_report(hw, &job.circuit, &job.options, &mut report, policy);
+                return report;
+            }
+            self.tracer.counter("store.misses", 1);
+        }
 
         // Wall-clock deadline (only when the caller didn't install their own
         // cancellation flag — one flag per solve).
@@ -724,6 +774,49 @@ impl Engine {
             wd.register(Instant::now() + timeout, flag.clone());
             cancel = Some(flag);
         }
+
+        // Single-flight: concurrent identical jobs coalesce onto one solve.
+        // The leader carries a guard that publishes its result (or `None`
+        // on failure/panic, via `Drop`); followers block — re-checking
+        // their own cancellation flag — and reuse the leader's adaptation
+        // as a cache hit. A follower woken with `None` solves on its own.
+        let flight_cancel = cancel.clone();
+        let leader_guard = match self.singleflight.join(key, move || {
+            flight_cancel
+                .as_ref()
+                .is_some_and(|f| f.load(Ordering::Relaxed))
+        }) {
+            qca_store::Flight::Leader(guard) => Some(guard),
+            qca_store::Flight::Follower(Some(hit)) => {
+                self.tracer.counter("singleflight.coalesced", 1);
+                self.tracer.counter("engine.job_completed", 1);
+                let status = if hit.solver.optimal {
+                    AdaptStatus::Optimal
+                } else {
+                    AdaptStatus::Feasible
+                };
+                self.count_status(status);
+                job_span.set_note("coalesced");
+                let mut report = self.served_report(index, status, hit, t0, diagnostics);
+                self.audit_report(hw, &job.circuit, &job.options, &mut report, policy);
+                return report;
+            }
+            // The leader failed (or panicked): solve independently rather
+            // than propagating its failure to an unrelated request.
+            qca_store::Flight::Follower(None) => None,
+            qca_store::Flight::Cancelled => {
+                job_span.set_note("cancelled_waiting");
+                return self.fallback_report(
+                    hw,
+                    index,
+                    job,
+                    AdaptError::Cancelled,
+                    diagnostics,
+                    t0,
+                    policy,
+                );
+            }
+        };
 
         // Portfolio escalation rides on spare pool capacity: only when at
         // least two workers are idle do budget-exhausted probes race a
@@ -767,6 +860,10 @@ impl Engine {
                 // the conflict budget, so a budget-degraded incumbent is only
                 // reused for jobs that would re-run the identical search.
                 self.cache.insert(key, adaptation.clone());
+                self.persist(key, &adaptation);
+                if let Some(guard) = leader_guard {
+                    guard.complete(Some(adaptation.clone()));
+                }
                 self.remember(
                     key,
                     &job.circuit,
@@ -789,12 +886,60 @@ impl Engine {
                 }
             }
             Err(error) => {
+                if let Some(guard) = leader_guard {
+                    guard.complete(None);
+                }
                 job_span.set_note("fallback");
                 return self.fallback_report(hw, index, job, error, diagnostics, t0, policy);
             }
         };
         self.audit_report(hw, &job.circuit, &job.options, &mut report, policy);
         report
+    }
+
+    /// Builds the report for a job answered without its own solve — an LRU
+    /// hit, a persistent-store hit, or a coalesced single-flight follower.
+    /// All three present as `cache_hit: true`: the caller got a previously
+    /// solved (or concurrently solved) result at cache-lookup cost.
+    fn served_report(
+        &self,
+        index: usize,
+        status: AdaptStatus,
+        hit: Arc<Adaptation>,
+        t0: Instant,
+        diagnostics: Vec<qca_lint::Diagnostic>,
+    ) -> AdaptReport {
+        AdaptReport {
+            job: index,
+            status,
+            circuit: hit.circuit.clone(),
+            objective_value: Some(hit.solver.objective_value),
+            cache_hit: true,
+            wall: t0.elapsed(),
+            solver_stats: Some(hit.solver.solver_stats.clone()),
+            error: None,
+            adaptation: Some(hit),
+            audit: None,
+            diagnostics,
+        }
+    }
+
+    /// Appends one solved adaptation to the persistent store (when one is
+    /// attached), surfacing any compaction it triggered as a counter. A
+    /// persistence failure is deliberately non-fatal: the solve already
+    /// succeeded and the in-memory cache holds the result.
+    fn persist(&self, key: u64, adaptation: &Arc<Adaptation>) {
+        let Some(store) = &self.config.store else {
+            return;
+        };
+        let before = store.stats().compactions;
+        if store.append(key, adaptation).is_err() {
+            return;
+        }
+        let compacted = store.stats().compactions - before;
+        if compacted > 0 {
+            self.tracer.counter("store.compactions", compacted);
+        }
     }
 
     /// Records a solved job for later recalibration, deduplicating by
@@ -1596,6 +1741,157 @@ mod tests {
         assert_eq!(reports.len(), jobs.len());
         for r in &reports {
             assert!(hw.supports_circuit(&r.circuit));
+        }
+    }
+
+    fn store_dir(tag: &str) -> std::path::PathBuf {
+        static NEXT: AtomicUsize = AtomicUsize::new(0);
+        let n = NEXT.fetch_add(1, Ordering::Relaxed);
+        std::env::temp_dir().join(format!("qca-engine-store-{}-{tag}-{n}", std::process::id()))
+    }
+
+    #[test]
+    fn store_attached_engine_persists_and_warm_restarts() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let dir = store_dir("warm");
+        let jobs = workload(2);
+        let first = {
+            let store = Arc::new(qca_store::Store::open(&dir).unwrap());
+            let engine = Engine::new(EngineConfig {
+                workers: 1,
+                store: Some(store),
+                ..EngineConfig::default()
+            });
+            let reports = engine.adapt_batch(&hw, &jobs);
+            assert!(reports.iter().all(|r| !r.cache_hit));
+            assert_eq!(engine.metrics().store_replays.load(Ordering::Relaxed), 0);
+            reports
+        };
+        // Cold restart: a fresh engine over the same directory replays the
+        // records into its LRU and serves the batch as cache hits with
+        // bit-identical adaptations.
+        let store = Arc::new(qca_store::Store::open(&dir).unwrap());
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            store: Some(store),
+            ..EngineConfig::default()
+        });
+        assert_eq!(engine.metrics().store_replays.load(Ordering::Relaxed), 2);
+        let second = engine.adapt_batch(&hw, &jobs);
+        for (a, b) in first.iter().zip(&second) {
+            assert!(b.cache_hit, "warm-restarted entry must serve as a hit");
+            assert_eq!(a.circuit, b.circuit);
+            assert_eq!(a.objective_value, b.objective_value);
+            let (fa, fb) = (
+                a.adaptation.as_ref().unwrap(),
+                b.adaptation.as_ref().unwrap(),
+            );
+            assert_eq!(
+                qca_store::encode_adaptation(fa),
+                qca_store::encode_adaptation(fb),
+                "replayed adaptation must be bit-identical to the original"
+            );
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn lru_miss_falls_through_to_the_store_tier() {
+        let hw = spin_qubit_model(GateTimes::D0);
+        let dir = store_dir("tier");
+        let jobs = workload(1);
+        {
+            let store = Arc::new(qca_store::Store::open(&dir).unwrap());
+            let engine = Engine::new(EngineConfig {
+                workers: 1,
+                store: Some(store),
+                ..EngineConfig::default()
+            });
+            let _ = engine.adapt_batch(&hw, &jobs);
+        }
+        // Zero LRU capacity: the replay is a no-op and every request misses
+        // memory, so answers must come from disk.
+        let store = Arc::new(qca_store::Store::open(&dir).unwrap());
+        let engine = Engine::new(EngineConfig {
+            workers: 1,
+            cache_capacity: 0,
+            store: Some(store),
+            ..EngineConfig::default()
+        });
+        let reports = engine.adapt_batch(&hw, &jobs);
+        assert!(reports[0].cache_hit, "disk hit presents as a cache hit");
+        assert!(engine.metrics().store_hits.load(Ordering::Relaxed) >= 1);
+        assert_eq!(engine.metrics().cache_hits.load(Ordering::Relaxed), 0);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Holds the single-flight leader inside `smt.encode` until every job
+    /// in the batch has passed the cache-miss point, guaranteeing all of
+    /// them join the leader's flight instead of racing past it.
+    struct SolveGate {
+        expected_jobs: usize,
+        misses: AtomicUsize,
+        encodes: AtomicUsize,
+    }
+
+    impl qca_trace::TraceSink for SolveGate {
+        fn record(&self, event: &qca_trace::TraceEvent) {
+            match event {
+                qca_trace::TraceEvent::Counter { name, .. }
+                    if name.as_ref() == "engine.cache_miss" =>
+                {
+                    self.misses.fetch_add(1, Ordering::SeqCst);
+                }
+                qca_trace::TraceEvent::SpanEnter { name, .. } if name.as_ref() == "smt.encode" => {
+                    self.encodes.fetch_add(1, Ordering::SeqCst);
+                    while self.misses.load(Ordering::SeqCst) < self.expected_jobs {
+                        std::thread::yield_now();
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_identical_jobs_coalesce_onto_one_solve() {
+        const N: usize = 4;
+        let hw = spin_qubit_model(GateTimes::D0);
+        let mut c = Circuit::new(2);
+        c.push(Gate::Cx, &[0, 1]);
+        c.push(Gate::Cx, &[1, 0]);
+        c.push(Gate::Cx, &[0, 1]);
+        let gate = Arc::new(SolveGate {
+            expected_jobs: N,
+            misses: AtomicUsize::new(0),
+            encodes: AtomicUsize::new(0),
+        });
+        let engine = Engine::new(
+            EngineConfig::builder()
+                .workers(N)
+                .tracer(qca_trace::Tracer::new(gate.clone()))
+                .build(),
+        );
+        let jobs: Vec<AdaptJob> = (0..N).map(|_| AdaptJob::new(c.clone())).collect();
+        let reports = engine.adapt_batch(&hw, &jobs);
+        assert_eq!(
+            gate.encodes.load(Ordering::SeqCst),
+            1,
+            "exactly one smt.encode span across {N} identical concurrent jobs"
+        );
+        assert_eq!(
+            engine
+                .metrics()
+                .singleflight_coalesced
+                .load(Ordering::Relaxed),
+            (N - 1) as u64
+        );
+        let solved: Vec<_> = reports.iter().filter(|r| !r.cache_hit).collect();
+        assert_eq!(solved.len(), 1, "one leader solved; followers coalesced");
+        for r in &reports {
+            assert_eq!(r.status, solved[0].status);
+            assert_eq!(r.objective_value, solved[0].objective_value);
+            assert_eq!(r.circuit, solved[0].circuit);
         }
     }
 }

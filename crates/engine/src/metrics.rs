@@ -168,6 +168,16 @@ pub struct MetricsRegistry {
     pub pre_subsumed: AtomicU64,
     /// Variables removed by bounded variable elimination.
     pub pre_eliminated: AtomicU64,
+    /// Jobs answered from the persistent store after missing the LRU.
+    pub store_hits: AtomicU64,
+    /// Lookups that missed both the LRU and the persistent store.
+    pub store_misses: AtomicU64,
+    /// Records replayed from the persistent store on warm restart.
+    pub store_replays: AtomicU64,
+    /// Snapshot compactions performed by the persistent store.
+    pub store_compactions: AtomicU64,
+    /// Concurrent identical jobs coalesced onto one in-flight solve.
+    pub singleflight_coalesced: AtomicU64,
     /// Total SAT conflicts across all solved jobs.
     pub sat_conflicts: AtomicU64,
     /// Total SAT restarts across all solved jobs.
@@ -231,6 +241,11 @@ impl MetricsRegistry {
                 "  \"pre_pures\": {},\n",
                 "  \"pre_subsumed\": {},\n",
                 "  \"pre_eliminated\": {},\n",
+                "  \"store_hits\": {},\n",
+                "  \"store_misses\": {},\n",
+                "  \"store_replays\": {},\n",
+                "  \"store_compactions\": {},\n",
+                "  \"singleflight_coalesced\": {},\n",
                 "  \"sat_conflicts\": {},\n",
                 "  \"sat_restarts\": {},\n",
                 "  \"sat_learnt_clauses\": {},\n",
@@ -264,6 +279,11 @@ impl MetricsRegistry {
             load(&self.pre_pures),
             load(&self.pre_subsumed),
             load(&self.pre_eliminated),
+            load(&self.store_hits),
+            load(&self.store_misses),
+            load(&self.store_replays),
+            load(&self.store_compactions),
+            load(&self.singleflight_coalesced),
             load(&self.sat_conflicts),
             load(&self.sat_restarts),
             load(&self.sat_learnt_clauses),
@@ -307,6 +327,11 @@ impl TraceSink for MetricsRegistry {
             "sat.pre.pures" => &self.pre_pures,
             "sat.pre.subsumed" => &self.pre_subsumed,
             "sat.pre.eliminated" => &self.pre_eliminated,
+            "store.hits" => &self.store_hits,
+            "store.misses" => &self.store_misses,
+            "store.replays" => &self.store_replays,
+            "store.compactions" => &self.store_compactions,
+            "singleflight.coalesced" => &self.singleflight_coalesced,
             "engine.sat_conflicts" => {
                 self.conflicts_per_job.record(*value);
                 &self.sat_conflicts
@@ -471,6 +496,25 @@ mod tests {
         let json = m.to_json();
         assert!(json.contains("\"pre_units\": 3"), "{json}");
         assert!(json.contains("\"pre_eliminated\": 1"), "{json}");
+    }
+
+    #[test]
+    fn store_and_singleflight_counters_land_in_the_registry() {
+        let m = std::sync::Arc::new(MetricsRegistry::new());
+        let tracer = qca_trace::Tracer::new(m.clone());
+        tracer.counter("store.hits", 4);
+        tracer.counter("store.misses", 2);
+        tracer.counter("store.replays", 9);
+        tracer.counter("store.compactions", 1);
+        tracer.counter("singleflight.coalesced", 3);
+        assert_eq!(m.store_hits.load(Ordering::Relaxed), 4);
+        assert_eq!(m.store_misses.load(Ordering::Relaxed), 2);
+        assert_eq!(m.store_replays.load(Ordering::Relaxed), 9);
+        assert_eq!(m.store_compactions.load(Ordering::Relaxed), 1);
+        assert_eq!(m.singleflight_coalesced.load(Ordering::Relaxed), 3);
+        let json = m.to_json();
+        assert!(json.contains("\"store_replays\": 9"), "{json}");
+        assert!(json.contains("\"singleflight_coalesced\": 3"), "{json}");
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub const SCHEMA_VERSION: u64 = 1;
 pub const REPORT_KIND: &str = "qca-bench-report";
 
 /// The measured layers of the stack.
-pub const LAYERS: [&str; 4] = ["sat", "engine", "portfolio", "serve"];
+pub const LAYERS: [&str; 5] = ["sat", "engine", "portfolio", "serve", "store"];
 
 /// Whether a larger or smaller [`BenchResult::value`] is an improvement.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -442,6 +442,7 @@ mod tests {
                 result("engine.batch/w1", "engine", 2.0e8),
                 result("portfolio.race/6", "portfolio", 6.0e5),
                 result("serve.adapt.p50", "serve", 1.1e6),
+                result("store.warm_restart", "store", 3.0e5),
             ],
         }
     }

@@ -3,7 +3,7 @@
 //! ```text
 //! qca-load --addr HOST:PORT [--connections N] [--requests M] [--mixed]
 //!          [--hold-ms N] [--deadline-ms N] [--objective NAME]
-//!          [--timeout-s N] [--json]
+//!          [--timeout-s N] [--json] [--idle] [--get PATH] [--distinct]
 //! ```
 //!
 //! Opens `N` keep-alive connections, issues `M` `POST /v1/adapt` requests
@@ -16,6 +16,19 @@
 //! latency percentiles) so the perf suite and scripts need not scrape
 //! stdout. Exits non-zero only on transport errors — 4xx/5xx responses
 //! are counted, not fatal.
+//!
+//! Event-loop exercises:
+//!
+//! * `--idle` parks all `N` connections open and mostly idle while a hot
+//!   subset (at most 4) runs the request loop on separate connections;
+//!   afterwards every parked connection proves it is still being served
+//!   with one `GET /healthz`. This is the many-idle-keep-alive-sockets
+//!   shape a readiness-polling server must sustain cheaply.
+//! * `--get PATH` issues `GET PATH` instead of `POST /v1/adapt` (e.g.
+//!   `--get /metrics`).
+//! * `--distinct` gives every request a structurally distinct circuit, so
+//!   each one misses the cache (and, under sharding, scatters across the
+//!   ring) instead of collapsing onto one hot key.
 
 use qca_serve::client::Connection;
 use std::net::{SocketAddr, ToSocketAddrs};
@@ -35,12 +48,15 @@ struct Args {
     objective: Option<String>,
     timeout: Duration,
     json: bool,
+    idle: bool,
+    get: Option<String>,
+    distinct: bool,
 }
 
 fn usage() -> &'static str {
     "usage: qca-load --addr HOST:PORT [--connections N] [--requests M] [--mixed]\n\
      \x20               [--hold-ms N] [--deadline-ms N] [--objective NAME] [--timeout-s N]\n\
-     \x20               [--json]"
+     \x20               [--json] [--idle] [--get PATH] [--distinct]"
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -53,6 +69,9 @@ fn parse_args() -> Result<Args, String> {
     let mut objective = None;
     let mut timeout = Duration::from_secs(60);
     let mut json = false;
+    let mut idle = false;
+    let mut get = None;
+    let mut distinct = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -80,6 +99,9 @@ fn parse_args() -> Result<Args, String> {
                 timeout = Duration::from_secs(parse(&value("--timeout-s")?, "--timeout-s")?)
             }
             "--json" => json = true,
+            "--idle" => idle = true,
+            "--get" => get = Some(value("--get")?),
+            "--distinct" => distinct = true,
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
@@ -97,6 +119,9 @@ fn parse_args() -> Result<Args, String> {
         objective,
         timeout,
         json,
+        idle,
+        get,
+        distinct,
     })
 }
 
@@ -107,6 +132,9 @@ fn parse<T: std::str::FromStr>(value: &str, name: &str) -> Result<T, String> {
 }
 
 fn target(args: &Args) -> String {
+    if let Some(path) = &args.get {
+        return path.clone();
+    }
     let mut params = Vec::new();
     if let Some(ms) = args.hold_ms {
         params.push(format!("hold_ms={ms}"));
@@ -122,6 +150,17 @@ fn target(args: &Args) -> String {
     format!("/v1/adapt?{}", params.join("&"))
 }
 
+/// A structurally distinct circuit per `(worker, i)`: the CZ-ladder depth
+/// varies, so structural hashing cannot collapse any two onto one cache
+/// key (eight distinct shapes, cycled).
+fn distinct_qasm(worker: usize, i: usize) -> String {
+    let depth = (worker.wrapping_mul(7) + i) % 8 + 1;
+    format!(
+        "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\ncx q[0], q[1];\n{}",
+        "cz q[0], q[1];\n".repeat(depth)
+    )
+}
+
 #[derive(Default)]
 struct Tally {
     ok200: u64,
@@ -130,6 +169,26 @@ struct Tally {
     other: u64,
     transport_errors: u64,
     latencies: Vec<Duration>,
+}
+
+impl Tally {
+    fn absorb(&mut self, other: Tally) {
+        self.ok200 += other.ok200;
+        self.status400 += other.status400;
+        self.rejected429 += other.rejected429;
+        self.other += other.other;
+        self.transport_errors += other.transport_errors;
+        self.latencies.extend(other.latencies);
+    }
+
+    fn count(&mut self, status: u16) {
+        match status {
+            200 => self.ok200 += 1,
+            400 => self.status400 += 1,
+            429 => self.rejected429 += 1,
+            _ => self.other += 1,
+        }
+    }
 }
 
 fn run_connection(args: &Args, target: &str, worker: usize) -> Tally {
@@ -142,22 +201,22 @@ fn run_connection(args: &Args, target: &str, worker: usize) -> Tally {
             return tally;
         }
     };
+    let method = if args.get.is_some() { "GET" } else { "POST" };
     for i in 0..args.requests {
-        let body = if args.mixed && i % 2 == 1 {
-            BAD_QASM
+        let body = if args.get.is_some() {
+            String::new()
+        } else if args.mixed && i % 2 == 1 {
+            BAD_QASM.to_string()
+        } else if args.distinct {
+            distinct_qasm(worker, i)
         } else {
-            GOOD_QASM
+            GOOD_QASM.to_string()
         };
         let t0 = Instant::now();
-        match connection.request("POST", target, body.as_bytes()) {
+        match connection.request(method, target, body.as_bytes()) {
             Ok(response) => {
                 tally.latencies.push(t0.elapsed());
-                match response.status {
-                    200 => tally.ok200 += 1,
-                    400 => tally.status400 += 1,
-                    429 => tally.rejected429 += 1,
-                    _ => tally.other += 1,
-                }
+                tally.count(response.status);
             }
             Err(e) => {
                 eprintln!("qca-load: connection {worker} request {i}: {e}");
@@ -173,14 +232,79 @@ fn run_connection(args: &Args, target: &str, worker: usize) -> Tally {
     tally
 }
 
-/// Exact percentile by rank over the sorted sample (nearest-rank method).
-fn percentile(sorted: &[Duration], q: f64) -> Duration {
-    if sorted.is_empty() {
-        return Duration::ZERO;
+/// `--idle` mode: park every connection open, run the request loop on a
+/// small hot set of *extra* connections, then have each parked connection
+/// answer one `GET /healthz` — proving the server kept all of them alive
+/// while doing real work. Parked-connection counts fold into the same
+/// tally (their healthz answers are 200s).
+fn run_idle(args: &Args, target: &str) -> Tally {
+    raise_nofile_limit(args.connections as u64 + 64);
+    let mut total = Tally::default();
+    let mut parked = Vec::with_capacity(args.connections);
+    for worker in 0..args.connections {
+        match Connection::connect(args.addr, args.timeout) {
+            Ok(connection) => parked.push(connection),
+            Err(e) => {
+                eprintln!("qca-load: idle connection {worker}: {e}");
+                total.transport_errors += 1;
+            }
+        }
     }
-    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
-    sorted[rank - 1]
+    let hot = args.connections.min(4);
+    let tallies: Vec<Tally> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..hot)
+            .map(|worker| scope.spawn(move || run_connection(args, target, worker)))
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for tally in tallies {
+        total.absorb(tally);
+    }
+    for (worker, mut connection) in parked.into_iter().enumerate() {
+        let t0 = Instant::now();
+        match connection.request("GET", "/healthz", b"") {
+            Ok(response) => {
+                total.latencies.push(t0.elapsed());
+                total.count(response.status);
+            }
+            Err(e) => {
+                eprintln!("qca-load: idle connection {worker} healthz: {e}");
+                total.transport_errors += 1;
+            }
+        }
+    }
+    total
 }
+
+/// Best-effort `RLIMIT_NOFILE` raise so `--idle --connections 5000` can
+/// actually open that many sockets. Failure is fine — the kernel will say
+/// so at `connect` time.
+#[cfg(target_os = "linux")]
+fn raise_nofile_limit(want: u64) {
+    #[repr(C)]
+    struct RLimit {
+        cur: u64,
+        max: u64,
+    }
+    const RLIMIT_NOFILE: i32 = 7;
+    extern "C" {
+        fn getrlimit(resource: i32, rlim: *mut RLimit) -> i32;
+        fn setrlimit(resource: i32, rlim: *const RLimit) -> i32;
+    }
+    unsafe {
+        let mut limit = RLimit { cur: 0, max: 0 };
+        if getrlimit(RLIMIT_NOFILE, &mut limit) != 0 {
+            return;
+        }
+        if limit.cur < want && limit.max >= want {
+            limit.cur = want;
+            let _ = setrlimit(RLIMIT_NOFILE, &limit);
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+fn raise_nofile_limit(_want: u64) {}
 
 fn main() -> ExitCode {
     let args = match parse_args() {
@@ -192,24 +316,23 @@ fn main() -> ExitCode {
     };
     let target = target(&args);
     let t0 = Instant::now();
-    let (args_ref, target_ref) = (&args, &target);
-    let tallies: Vec<Tally> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..args_ref.connections)
-            .map(|worker| scope.spawn(move || run_connection(args_ref, target_ref, worker)))
-            .collect();
-        handles.into_iter().map(|h| h.join().unwrap()).collect()
-    });
+    let mut total = Tally::default();
+    if args.idle {
+        total.absorb(run_idle(&args, &target));
+    } else {
+        let (args_ref, target_ref) = (&args, &target);
+        let tallies: Vec<Tally> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..args_ref.connections)
+                .map(|worker| scope.spawn(move || run_connection(args_ref, target_ref, worker)))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for tally in tallies {
+            total.absorb(tally);
+        }
+    }
     let wall = t0.elapsed();
 
-    let mut total = Tally::default();
-    for tally in tallies {
-        total.ok200 += tally.ok200;
-        total.status400 += tally.status400;
-        total.rejected429 += tally.rejected429;
-        total.other += tally.other;
-        total.transport_errors += tally.transport_errors;
-        total.latencies.extend(tally.latencies);
-    }
     total.latencies.sort();
     let completed = total.latencies.len() as u64;
     let rps = completed as f64 / wall.as_secs_f64().max(1e-9);
@@ -252,4 +375,13 @@ fn main() -> ExitCode {
     } else {
         ExitCode::SUCCESS
     }
+}
+
+/// Exact percentile by rank over the sorted sample (nearest-rank method).
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
 }

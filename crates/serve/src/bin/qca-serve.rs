@@ -5,7 +5,15 @@
 //!           [--verify] [--lint] [--deny-warnings] [--portfolio N]
 //!           [--deadline-ms N] [--request-timeout-s N] [--read-timeout-s N]
 //!           [--trace-capacity N] [--metrics-out PATH]
+//!           [--store DIR] [--peers LIST] [--node-id N]
 //! ```
+//!
+//! `--store DIR` persists adaptations (WAL + snapshot) in `DIR` and
+//! warm-restarts the cache from it at startup. `--peers` takes a
+//! comma-separated shard ring (`host:port,host:port,...`; `-` marks a slot
+//! that is never forwarded to — usually this node's own) and `--node-id`
+//! names this node's slot; single-circuit requests whose cache key is
+//! owned by a peer are proxied to it.
 //!
 //! Prints `listening on <addr>` once the socket is bound (scrape this for
 //! the ephemeral port in scripts), serves until SIGTERM or SIGINT, then
@@ -49,7 +57,8 @@ fn usage() -> &'static str {
     "usage: qca-serve [--addr HOST:PORT] [--workers N] [--queue N] [--cache N]\n\
      \x20                [--verify] [--lint] [--deny-warnings] [--portfolio N]\n\
      \x20                [--deadline-ms N] [--request-timeout-s N] [--read-timeout-s N]\n\
-     \x20                [--trace-capacity N] [--metrics-out PATH]"
+     \x20                [--trace-capacity N] [--metrics-out PATH]\n\
+     \x20                [--store DIR] [--peers LIST] [--node-id N]"
 }
 
 fn parse_args() -> Result<ServeConfig, String> {
@@ -86,12 +95,28 @@ fn parse_args() -> Result<ServeConfig, String> {
                 config.trace_capacity = parse(&value("--trace-capacity")?, "--trace-capacity")?
             }
             "--metrics-out" => config.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
+            "--store" => config.store_dir = Some(PathBuf::from(value("--store")?)),
+            "--peers" => {
+                config.peers = value("--peers")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--node-id" => config.node_id = parse(&value("--node-id")?, "--node-id")?,
             "--help" | "-h" => {
                 println!("{}", usage());
                 std::process::exit(0);
             }
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
+    }
+    if !config.peers.is_empty() && config.node_id >= config.peers.len() {
+        return Err(format!(
+            "--node-id {} is out of range for {} peers",
+            config.node_id,
+            config.peers.len()
+        ));
     }
     Ok(config)
 }

@@ -96,10 +96,23 @@ impl Connection {
         target: &str,
         body: &[u8],
     ) -> Result<HttpResponse, ClientError> {
-        let head = format!(
-            "{method} {target} HTTP/1.1\r\nHost: qca-serve\r\nContent-Length: {}\r\n\r\n",
-            body.len()
-        );
+        self.request_with_headers(method, target, &[], body)
+    }
+
+    /// Like [`Connection::request`], with extra headers (e.g. the
+    /// `X-QCA-Forwarded` hop marker used by shard forwarding).
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        target: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> Result<HttpResponse, ClientError> {
+        let mut head = format!("{method} {target} HTTP/1.1\r\nHost: qca-serve\r\n");
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
         self.stream.write_all(head.as_bytes())?;
         self.stream.write_all(body)?;
         self.read_response()

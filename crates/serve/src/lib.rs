@@ -26,7 +26,8 @@
 //! | Module | Purpose |
 //! |--------|---------|
 //! | [`http`] | Incremental HTTP/1.1 request parser + response writer |
-//! | [`server`] | Routing, admission control, deadlines, drain |
+//! | [`poller`] | Readiness polling (epoll / `poll(2)`) + self-pipe waker |
+//! | [`server`] | Event loop, routing, admission control, sharding, drain |
 //! | [`json`] | Hand-rolled JSON rendering of reports and errors |
 //! | [`client`] | Minimal blocking HTTP client (powers `qca-load`) |
 
@@ -35,6 +36,7 @@
 pub mod client;
 pub mod http;
 pub mod json;
+pub mod poller;
 pub mod server;
 
 pub use client::{ClientError, Connection, HttpResponse};

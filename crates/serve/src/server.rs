@@ -1,4 +1,5 @@
-//! The HTTP server: routing, admission control, deadlines, drain.
+//! The HTTP server: event loop, routing, admission control, deadlines,
+//! sharding, drain.
 //!
 //! # Endpoints
 //!
@@ -6,8 +7,8 @@
 //! |--------|-----------------|-------------------------------------------------|
 //! | POST   | `/v1/adapt`     | Adapt one QASM circuit (body = QASM source)     |
 //! | POST   | `/v1/batch`     | Adapt several circuits (separated by `// ---`)  |
-//! | GET    | `/healthz`      | Liveness + drain state + queue occupancy        |
-//! | GET    | `/metrics`      | Server and engine metrics as JSON               |
+//! | GET    | `/healthz`      | Liveness + drain state + queue/store occupancy  |
+//! | GET    | `/metrics`      | Server, engine, cache, and store metrics (JSON) |
 //! | GET    | `/v1/trace/:id` | Span/event trace of a `?trace=1` request (JSONL)|
 //!
 //! # Query parameters for `/v1/adapt` and `/v1/batch`
@@ -32,43 +33,84 @@
 //! * `hold_ms=N` — hold the worker for N ms before solving (load-testing
 //!   affordance used by `qca-load` and the drain CI gate; capped at 30 s)
 //!
+//! # The event loop
+//!
+//! One thread owns every connection. Sockets are nonblocking and
+//! multiplexed through [`Poller`] (epoll on Linux, `poll(2)` elsewhere);
+//! each connection is a small state machine — *reading* a request
+//! incrementally through [`RequestParser`], *busy* while its jobs run on
+//! the [`EnginePool`] (read interest off, so a slow solver never admits
+//! pipelined work it cannot answer), or *writing* a queued response.
+//! Workers, recalibration threads, and peer-forwarding threads never touch
+//! sockets: they push a `Completion` over a channel and poke a
+//! self-pipe [`Waker`], and the loop marries completions back to
+//! connections by token, ignoring any whose request has since timed out
+//! or vanished. Admission (pool submit) is therefore fully decoupled from
+//! execution — the loop answers `429` from a full queue in microseconds
+//! while thousands of keep-alive connections stay parked at no cost.
+//!
+//! # Sharding and persistence
+//!
+//! With `--peers`, cache keys are partitioned over a [`ShardRing`]; a
+//! single-circuit request whose key belongs to another node is proxied to
+//! it (marked `X-QCA-Forwarded` to stop loops) and the peer's answer is
+//! relayed verbatim; transport failure falls back to solving locally.
+//! With `--store`, the engine persists results through `qca-store` and
+//! warm-restarts from it; the drain path flushes the WAL before exit.
+//!
 //! # Admission control and drain
 //!
 //! The submission queue is bounded. A request that finds it full is
-//! answered `429` immediately — the acceptor never blocks on solver
-//! capacity. The `Retry-After` hint is derived from the current queue
-//! depth and the observed mean per-job wall time (floor 1 s, cap 600 s).
-//! On shutdown the server stops accepting connections, answers new
-//! adaptation requests on live connections with `503`, finishes every job
-//! already admitted, then flushes metrics. See
-//! `DESIGN.md` for the full state machine.
+//! answered `429` immediately — the loop never blocks on solver capacity.
+//! The `Retry-After` hint is derived from the current queue depth and the
+//! observed mean per-job wall time (floor 1 s, cap 600 s). On shutdown
+//! the server drops its listener (new connections are refused at the
+//! kernel), answers new adaptation requests on live connections with
+//! `503`, finishes every job already admitted, flushes the store WAL, and
+//! writes the final metrics. See `DESIGN.md` for the full state machine.
 
-use crate::http::{Request, RequestParser, Response, DEFAULT_MAX_HEAD};
+use crate::client::Connection;
+use crate::http::{ParseError, Request, RequestParser, Response, DEFAULT_MAX_HEAD};
 use crate::json;
+use crate::poller::{Event, Interest, Poller, Waker};
 use qca_adapt::deadline::Watchdog;
 use qca_adapt::AdaptLimits;
 use qca_adapt::Objective;
-use qca_circuit::qasm;
+use qca_circuit::{qasm, Circuit};
+use qca_engine::cache::AdaptCache;
 use qca_engine::{AdaptJob, AdaptReport, Engine, EngineConfig, EnginePool, JobPolicy, SubmitError};
 use qca_hw::{spin_qubit_model, CouplingMap, GateTimes, HardwareModel};
-use qca_trace::{jsonl, MemorySink, ScopeGuard, ScopedSink, Tracer};
-use std::collections::VecDeque;
+use qca_store::{ShardRing, Store};
+use qca_trace::{jsonl, MemorySink, ScopeGuard, ScopedSink, Span, Tracer};
+use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::fd::AsRawFd;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-/// How often blocked socket reads and the acceptor wake up to check the
-/// shutdown flag. Bounds drain latency for idle connections.
-const POLL: Duration = Duration::from_millis(50);
+/// Event-loop tick: the upper bound on how stale the shutdown flag, the
+/// request-timeout scan, and the idle-connection scan can be.
+const TICK: Duration = Duration::from_millis(50);
 
 /// Hard cap on the `hold_ms` load-testing affordance.
 const MAX_HOLD: Duration = Duration::from_secs(30);
 
+/// Keep-alive connections idle longer than this are closed to reclaim
+/// their descriptor.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(300);
+
+/// Poller token of the accept listener.
+const LISTENER_TOKEN: u64 = 0;
+/// Poller token of the completion-channel waker.
+const WAKER_TOKEN: u64 = 1;
+/// First token handed to an accepted connection.
+const FIRST_CONN_TOKEN: u64 = 2;
+
 /// Server configuration. `Default` is suitable for tests and local runs
-/// (ephemeral port, one worker per CPU).
+/// (ephemeral port, one worker per CPU, no persistence, no peers).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Bind address (`127.0.0.1:0` for an ephemeral port).
@@ -87,12 +129,13 @@ pub struct ServeConfig {
     pub deny_warnings: bool,
     /// Deadline applied to requests that do not pass `deadline_ms`.
     pub default_deadline: Option<Duration>,
-    /// Hard cap on how long a connection waits for a pool completion
-    /// before answering `504` and cancelling the job.
+    /// Hard cap on how long a request waits for its pool completions
+    /// before answering `504` and cancelling the jobs.
     pub request_timeout: Duration,
-    /// Budget for reading one request (head + body) off a connection.
+    /// Budget for reading one request (head + body) off a connection,
+    /// measured from its first byte.
     pub read_timeout: Duration,
-    /// Socket write timeout.
+    /// Budget for flushing a response without any write progress.
     pub write_timeout: Duration,
     /// Maximum request body size in bytes.
     pub max_body: usize,
@@ -103,6 +146,15 @@ pub struct ServeConfig {
     /// Racing-portfolio escalation members (see
     /// [`EngineConfig::portfolio_members`]; 0 disables).
     pub portfolio_members: usize,
+    /// Directory for the persistent adaptation store (`None`: in-memory
+    /// cache only). Opened — and warm-replayed into the cache — at bind.
+    pub store_dir: Option<PathBuf>,
+    /// Shard-ring peer addresses, one per node slot, in ring order. Empty
+    /// disables sharding; the slot for this node (or any node that should
+    /// never be forwarded to) may be `"-"`.
+    pub peers: Vec<String>,
+    /// This node's slot in [`ServeConfig::peers`].
+    pub node_id: usize,
 }
 
 impl Default for ServeConfig {
@@ -123,6 +175,9 @@ impl Default for ServeConfig {
             trace_capacity: 64,
             metrics_out: None,
             portfolio_members: 0,
+            store_dir: None,
+            peers: Vec::new(),
+            node_id: 0,
         }
     }
 }
@@ -145,6 +200,8 @@ pub struct ServeMetrics {
     pub timeouts: AtomicU64,
     /// `5xx` responses other than 503/504.
     pub server_errors: AtomicU64,
+    /// Requests proxied to the shard-owning peer.
+    pub forwarded: AtomicU64,
 }
 
 impl ServeMetrics {
@@ -165,7 +222,8 @@ impl ServeMetrics {
         let load = |c: &AtomicU64| c.load(Ordering::Relaxed);
         format!(
             "{{\"requests\":{},\"ok\":{},\"client_errors\":{},\"rejected_429\":{},\
-             \"unavailable_503\":{},\"timeouts_504\":{},\"server_errors\":{}}}",
+             \"unavailable_503\":{},\"timeouts_504\":{},\"server_errors\":{},\
+             \"forwarded\":{}}}",
             load(&self.requests),
             load(&self.ok),
             load(&self.client_errors),
@@ -173,6 +231,7 @@ impl ServeMetrics {
             load(&self.unavailable),
             load(&self.timeouts),
             load(&self.server_errors),
+            load(&self.forwarded),
         )
     }
 }
@@ -233,7 +292,9 @@ impl CouplingKind {
     }
 }
 
-/// Per-request knobs decoded from the query string.
+/// Per-request knobs decoded from the query string. Cloned into the
+/// forwarding fallback so a failed proxy attempt can be re-solved locally.
+#[derive(Clone)]
 struct RequestOptions {
     objective: Objective,
     times: GateTimes,
@@ -247,6 +308,85 @@ struct RequestOptions {
     hold: Duration,
 }
 
+/// One connection's state machine. `busy` means a request is in flight on
+/// the pool (or a peer): read interest is off, so pipelined bytes sit in
+/// the kernel until the response is flushed.
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    /// Serialized response bytes not yet written.
+    out: Vec<u8>,
+    out_pos: usize,
+    busy: bool,
+    /// Monotonic per-connection request number; completions carry it so a
+    /// late completion from a timed-out request cannot answer a newer one.
+    seq: u64,
+    last_activity: Instant,
+    /// Set when the first bytes of a request arrive, cleared when it
+    /// parses; drives the mid-request `408` read timeout.
+    reading_since: Option<Instant>,
+    close_after_write: bool,
+    interest: Interest,
+}
+
+/// An admitted request waiting for its completions, keyed by connection
+/// token (one in-flight request per connection by construction).
+struct Pending {
+    id: String,
+    req_seq: u64,
+    batch: bool,
+    include_circuit: bool,
+    awaiting: usize,
+    reports: Vec<Option<AdaptReport>>,
+    cancels: Vec<Arc<AtomicBool>>,
+    /// `None` while proxied to a peer or recalibrating (the thread bounds
+    /// its own time); `Some` for pool-submitted work.
+    deadline: Option<Instant>,
+    root: Option<Span>,
+    trace_sink: Option<Arc<MemorySink>>,
+    keep_alive: bool,
+    /// Circuits + options kept aside while forwarding, so a transport
+    /// failure can fall back to a local solve.
+    fallback: Option<(Vec<Circuit>, RequestOptions)>,
+}
+
+/// What worker/recalibration/forwarding threads send back to the loop.
+enum Completion {
+    /// One pool job finished.
+    Job {
+        conn: u64,
+        req_seq: u64,
+        index: usize,
+        report: AdaptReport,
+    },
+    /// A whole response is ready (recalibration, or a peer's relayed
+    /// answer).
+    Http {
+        conn: u64,
+        req_seq: u64,
+        response: Response,
+    },
+    /// The proxy attempt failed at the transport level; solve locally.
+    ForwardFailed { conn: u64, req_seq: u64 },
+}
+
+/// Everything the event loop owns. Lives on the stack of [`Server::run`];
+/// helper methods borrow it alongside `&self`.
+struct LoopState {
+    poller: Poller,
+    waker: Arc<Waker>,
+    tx: mpsc::Sender<Completion>,
+    conns: HashMap<u64, Conn>,
+    pending: HashMap<u64, Pending>,
+    next_token: u64,
+}
+
+enum WriteOutcome {
+    Flushed,
+    Blocked,
+    Dead,
+}
+
 /// The adaptation service. Construct with [`Server::bind`], then [`run`]
 /// until a shutdown flag is raised.
 ///
@@ -254,7 +394,9 @@ struct RequestOptions {
 #[derive(Debug)]
 pub struct Server {
     config: ServeConfig,
-    listener: TcpListener,
+    /// Taken (and dropped at drain start, so the kernel refuses new
+    /// connections) by [`Server::run`].
+    listener: Option<TcpListener>,
     engine: Arc<Engine>,
     pool: EnginePool,
     watchdog: Watchdog,
@@ -263,6 +405,7 @@ pub struct Server {
     metrics: Arc<ServeMetrics>,
     traces: TraceStore,
     tracer: Tracer,
+    ring: Option<ShardRing>,
     next_id: AtomicU64,
     draining: AtomicBool,
     /// Total wall time of completed jobs (ms) and their count, feeding the
@@ -272,13 +415,19 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listener and starts the worker pool (idle until requests
-    /// arrive). The engine's tracer is a [`ScopedSink`], so span forests
-    /// land in per-request buffers for `?trace=1` requests and are
-    /// discarded otherwise — while `engine.*`/`serve.*` counters always
-    /// feed the metrics registry.
+    /// Binds the listener, opens the persistent store when configured
+    /// (warm-replaying it into the cache), and starts the worker pool
+    /// (idle until requests arrive). The engine's tracer is a
+    /// [`ScopedSink`], so span forests land in per-request buffers for
+    /// `?trace=1` requests and are discarded otherwise — while
+    /// `engine.*`/`serve.*`/`store.*` counters always feed the metrics
+    /// registry.
     pub fn bind(config: ServeConfig) -> io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
+        let store = match &config.store_dir {
+            Some(dir) => Some(Arc::new(Store::open(dir)?)),
+            None => None,
+        };
         let tracer = Tracer::new(Arc::new(ScopedSink::new()));
         let engine = Arc::new(Engine::new(EngineConfig {
             workers: config.workers,
@@ -291,6 +440,7 @@ impl Server {
             deny_warnings: config.deny_warnings,
             portfolio_members: config.portfolio_members,
             preprocess: true,
+            store,
         }));
         let workers = if config.workers == 0 {
             std::thread::available_parallelism()
@@ -303,10 +453,11 @@ impl Server {
         // serve.request spans go through the engine's teed tracer so the
         // metrics registry sees them alongside engine.* events.
         let tracer = engine.tracer().clone();
+        let ring = (!config.peers.is_empty()).then(|| ShardRing::new(config.peers.len()));
         Ok(Server {
             traces: TraceStore::new(config.trace_capacity),
             config,
-            listener,
+            listener: Some(listener),
             engine,
             pool,
             watchdog: Watchdog::new(),
@@ -314,6 +465,7 @@ impl Server {
             hw_d1: Arc::new(spin_qubit_model(GateTimes::D1)),
             metrics: Arc::new(ServeMetrics::default()),
             tracer,
+            ring,
             next_id: AtomicU64::new(0),
             draining: AtomicBool::new(false),
             job_wall_ms: AtomicU64::new(0),
@@ -323,7 +475,13 @@ impl Server {
 
     /// The bound address (useful with an ephemeral port).
     pub fn local_addr(&self) -> io::Result<SocketAddr> {
-        self.listener.local_addr()
+        match &self.listener {
+            Some(listener) => listener.local_addr(),
+            None => Err(io::Error::new(
+                io::ErrorKind::NotConnected,
+                "listener already taken by run()",
+            )),
+        }
     }
 
     /// The HTTP-layer metrics.
@@ -331,154 +489,404 @@ impl Server {
         &self.metrics
     }
 
-    /// Serves until `shutdown` becomes `true`, then drains: stop accepting,
-    /// let in-flight requests and admitted jobs finish, join the pool, and
-    /// write the final metrics JSON (when configured). Returns once the
-    /// drain is complete.
+    /// Serves until `shutdown` becomes `true`, then drains: drop the
+    /// listener, let in-flight requests and admitted jobs finish, join the
+    /// pool, flush the store WAL, and write the final metrics JSON (when
+    /// configured). Returns once the drain is complete.
     pub fn run(mut self, shutdown: &AtomicBool) -> io::Result<()> {
-        self.listener.set_nonblocking(true)?;
-        let this = &self;
-        std::thread::scope(|scope| {
-            while !shutdown.load(Ordering::SeqCst) {
-                match this.listener.accept() {
-                    Ok((stream, _peer)) => {
-                        scope.spawn(move || this.handle_connection(stream, shutdown));
+        let listener = self.listener.take().ok_or_else(|| {
+            io::Error::new(io::ErrorKind::NotConnected, "run() may only be called once")
+        })?;
+        listener.set_nonblocking(true)?;
+        let waker = Arc::new(Waker::new()?);
+        let mut poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)?;
+        poller.register(waker.fd(), WAKER_TOKEN, Interest::READ)?;
+        let (tx, rx) = mpsc::channel::<Completion>();
+        let mut st = LoopState {
+            poller,
+            waker,
+            tx,
+            conns: HashMap::new(),
+            pending: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+        };
+        let mut listener = Some(listener);
+        let mut events: Vec<Event> = Vec::new();
+
+        loop {
+            st.poller.wait(&mut events, Some(TICK))?;
+            for event in events.drain(..) {
+                match event.token {
+                    LISTENER_TOKEN => {
+                        if let Some(listener) = &listener {
+                            self.accept_ready(&mut st, listener);
+                        }
                     }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(POLL),
-                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
-                    Err(_) => std::thread::sleep(POLL),
+                    WAKER_TOKEN => st.waker.drain(),
+                    token => {
+                        if !st.conns.contains_key(&token) {
+                            continue;
+                        }
+                        if event.writable {
+                            self.drive_write(&mut st, token);
+                        }
+                        if event.readable {
+                            self.drive_read(&mut st, token);
+                        } else if event.hangup {
+                            // ERR/HUP (or RDHUP with nothing readable):
+                            // the peer is gone; cancel whatever it was
+                            // waiting for.
+                            self.close_conn(&mut st, token);
+                        }
+                    }
                 }
             }
-            // Entering drain: connection threads answer new adaptation
-            // requests with 503 from here on, finish their in-flight one,
-            // and exit at the scope join below.
-            this.draining.store(true, Ordering::SeqCst);
-        });
-        // All connections are closed; finish every admitted job.
+            while let Ok(completion) = rx.try_recv() {
+                self.on_completion(&mut st, completion);
+            }
+            self.check_timers(&mut st);
+            if shutdown.load(Ordering::SeqCst) && !self.draining.load(Ordering::SeqCst) {
+                self.draining.store(true, Ordering::SeqCst);
+                // Dropping the listener makes the kernel refuse new
+                // connections immediately (not just leave them unaccepted
+                // in the backlog).
+                let _ = st.poller.deregister(LISTENER_TOKEN);
+                listener = None;
+            }
+            if self.draining.load(Ordering::SeqCst) {
+                let idle: Vec<u64> = st
+                    .conns
+                    .iter()
+                    .filter(|(_, c)| !c.busy && c.out.is_empty() && c.parser.is_idle())
+                    .map(|(&t, _)| t)
+                    .collect();
+                for token in idle {
+                    self.close_conn(&mut st, token);
+                }
+                if st.conns.is_empty() {
+                    break;
+                }
+            }
+        }
+        // Every connection is closed; finish every admitted job, then make
+        // the store durable before reporting final metrics.
         self.pool.drain();
+        if let Some(store) = self.engine.store() {
+            let _ = store.flush();
+        }
         if let Some(path) = &self.config.metrics_out {
             std::fs::write(path, self.metrics_json() + "\n")?;
         }
         Ok(())
     }
 
-    /// The `/metrics` payload: HTTP counters plus the engine registry.
+    /// The `/metrics` payload: HTTP counters, the engine registry, cache
+    /// shard occupancy, and persistent-store statistics.
     pub fn metrics_json(&self) -> String {
         format!(
-            "{{\"server\":{},\"engine\":{}}}",
+            "{{\"server\":{},\"engine\":{},\"cache\":{},\"store\":{}}}",
             self.metrics.to_json(),
-            self.engine.metrics().to_json()
+            self.engine.metrics().to_json(),
+            self.cache_json(),
+            self.store_json(),
         )
     }
 
-    fn handle_connection(&self, mut stream: TcpStream, shutdown: &AtomicBool) {
-        let _ = stream.set_nodelay(true);
-        let _ = stream.set_read_timeout(Some(POLL));
-        let _ = stream.set_write_timeout(Some(self.config.write_timeout));
-        let mut parser = RequestParser::with_limits(DEFAULT_MAX_HEAD, self.config.max_body);
-        loop {
-            let request = match self.read_request(&mut stream, &mut parser, shutdown) {
-                Ok(Some(request)) => request,
-                Ok(None) => return,
-                Err(response) => {
-                    self.metrics.requests.fetch_add(1, Ordering::Relaxed);
-                    self.metrics.record(response.status);
-                    let _ = stream.write_all(&response.serialize(false));
-                    return;
-                }
-            };
-            let keep_alive = request.wants_keep_alive() && !shutdown.load(Ordering::SeqCst);
-            let response = self.dispatch(&request);
-            self.metrics.record(response.status);
-            if stream.write_all(&response.serialize(keep_alive)).is_err() {
-                return;
-            }
-            if !keep_alive {
-                return;
+    fn cache_json(&self) -> String {
+        let shards = self.engine.cache().shard_stats();
+        let entries: usize = shards.iter().map(|(occupancy, _)| occupancy).sum();
+        let capacity: usize = shards.iter().map(|(_, capacity)| capacity).sum();
+        let occupancy: Vec<String> = shards
+            .iter()
+            .map(|(occupancy, _)| occupancy.to_string())
+            .collect();
+        format!(
+            "{{\"entries\":{entries},\"capacity\":{capacity},\"shards\":[{}]}}",
+            occupancy.join(",")
+        )
+    }
+
+    fn store_json(&self) -> String {
+        match self.engine.store() {
+            None => "null".to_string(),
+            Some(store) => {
+                let s = store.stats();
+                format!(
+                    "{{\"hits\":{},\"misses\":{},\"replays\":{},\"compactions\":{},\
+                     \"recovered_dropped_bytes\":{},\"live_records\":{},\
+                     \"wal_records\":{},\"wal_bytes\":{}}}",
+                    s.hits,
+                    s.misses,
+                    s.replays,
+                    s.compactions,
+                    s.recovered_dropped_bytes,
+                    s.live_records,
+                    s.wal_records,
+                    s.wal_bytes,
+                )
             }
         }
     }
 
-    /// Reads one request. `Ok(None)` means the connection should close
-    /// quietly (EOF between requests, peer error, or shutdown while idle);
-    /// `Err(response)` carries the error response to send before closing.
-    fn read_request(
-        &self,
-        stream: &mut TcpStream,
-        parser: &mut RequestParser,
-        shutdown: &AtomicBool,
-    ) -> Result<Option<Request>, Response> {
-        // A pipelined request may already be buffered in full.
-        match parser.feed(&[]) {
-            Ok(Some(request)) => return Ok(Some(request)),
-            Ok(None) => {}
-            Err(e) => return Err(Response::json(e.status(), json::error_body(&e.to_string()))),
-        }
-        let mut buf = [0u8; 8192];
-        let mut started: Option<Instant> = None;
+    // ------------------------------------------------------------------
+    // Event-loop plumbing
+    // ------------------------------------------------------------------
+
+    fn accept_ready(&self, st: &mut LoopState, listener: &TcpListener) {
         loop {
-            if parser.is_idle() && shutdown.load(Ordering::SeqCst) {
-                return Ok(None);
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let token = st.next_token;
+                    st.next_token += 1;
+                    if st
+                        .poller
+                        .register(stream.as_raw_fd(), token, Interest::READ)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    st.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            parser: RequestParser::with_limits(
+                                DEFAULT_MAX_HEAD,
+                                self.config.max_body,
+                            ),
+                            out: Vec::new(),
+                            out_pos: 0,
+                            busy: false,
+                            seq: 0,
+                            last_activity: Instant::now(),
+                            reading_since: None,
+                            close_after_write: false,
+                            interest: Interest::READ,
+                        },
+                    );
+                    self.drive_read(st, token);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return,
             }
-            if let Some(t0) = started {
-                if t0.elapsed() > self.config.read_timeout {
-                    return Err(Response::json(
-                        408,
-                        json::error_body("timed out reading the request"),
-                    ));
+        }
+    }
+
+    /// Parses buffered bytes and reads more until the socket would block,
+    /// handing each complete request to the router. Stops as soon as the
+    /// connection goes busy, starts flushing a response, or closes.
+    fn drive_read(&self, st: &mut LoopState, token: u64) {
+        let mut chunk = [0u8; 16384];
+        loop {
+            let Some(conn) = st.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.busy || !conn.out.is_empty() || conn.close_after_write {
+                return;
+            }
+            // A pipelined request may already be buffered in full.
+            match conn.parser.feed(&[]) {
+                Ok(Some(request)) => {
+                    conn.reading_since = None;
+                    conn.last_activity = Instant::now();
+                    self.on_request(st, token, request);
+                    continue;
+                }
+                Ok(None) => {}
+                Err(e) => {
+                    self.parse_error(st, token, &e);
+                    return;
                 }
             }
-            match stream.read(&mut buf) {
-                Ok(0) => return Ok(None),
+            let Some(conn) = st.conns.get_mut(&token) else {
+                return;
+            };
+            match conn.stream.read(&mut chunk) {
+                Ok(0) => {
+                    self.close_conn(st, token);
+                    return;
+                }
                 Ok(n) => {
-                    started.get_or_insert_with(Instant::now);
-                    match parser.feed(&buf[..n]) {
-                        Ok(Some(request)) => return Ok(Some(request)),
-                        Ok(None) => {}
+                    conn.last_activity = Instant::now();
+                    match conn.parser.feed(&chunk[..n]) {
+                        Ok(Some(request)) => {
+                            conn.reading_since = None;
+                            self.on_request(st, token, request);
+                        }
+                        Ok(None) => {
+                            if !conn.parser.is_idle() {
+                                conn.reading_since.get_or_insert_with(Instant::now);
+                            }
+                        }
                         Err(e) => {
-                            return Err(Response::json(
-                                e.status(),
-                                json::error_body(&e.to_string()),
-                            ))
+                            self.parse_error(st, token, &e);
+                            return;
                         }
                     }
                 }
-                Err(e)
-                    if matches!(
-                        e.kind(),
-                        io::ErrorKind::WouldBlock
-                            | io::ErrorKind::TimedOut
-                            | io::ErrorKind::Interrupted
-                    ) => {}
-                Err(_) => return Ok(None),
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.close_conn(st, token);
+                    return;
+                }
             }
         }
     }
 
-    fn dispatch(&self, request: &Request) -> Response {
+    /// Flushes queued response bytes; arms write interest when the socket
+    /// blocks, resumes reading (including pipelined requests) when done.
+    fn drive_write(&self, st: &mut LoopState, token: u64) {
+        let (outcome, close_after) = {
+            let Some(conn) = st.conns.get_mut(&token) else {
+                return;
+            };
+            let outcome = loop {
+                if conn.out_pos >= conn.out.len() {
+                    conn.out.clear();
+                    conn.out_pos = 0;
+                    break WriteOutcome::Flushed;
+                }
+                match conn.stream.write(&conn.out[conn.out_pos..]) {
+                    Ok(0) => break WriteOutcome::Dead,
+                    Ok(n) => {
+                        conn.out_pos += n;
+                        conn.last_activity = Instant::now();
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        break WriteOutcome::Blocked;
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                    Err(_) => break WriteOutcome::Dead,
+                }
+            };
+            (outcome, conn.close_after_write)
+        };
+        match outcome {
+            WriteOutcome::Dead => self.close_conn(st, token),
+            WriteOutcome::Blocked => self.set_interest(st, token, Interest::WRITE),
+            WriteOutcome::Flushed => {
+                if close_after {
+                    self.close_conn(st, token);
+                } else {
+                    self.set_interest(st, token, Interest::READ);
+                    self.drive_read(st, token);
+                }
+            }
+        }
+    }
+
+    fn set_interest(&self, st: &mut LoopState, token: u64, interest: Interest) {
+        if let Some(conn) = st.conns.get_mut(&token) {
+            if conn.interest != interest {
+                conn.interest = interest;
+                let _ = st.poller.modify(token, interest);
+            }
+        }
+    }
+
+    /// Closes a connection, cancelling any request it was waiting on.
+    fn close_conn(&self, st: &mut LoopState, token: u64) {
+        if let Some(pending) = st.pending.remove(&token) {
+            for flag in &pending.cancels {
+                flag.store(true, Ordering::SeqCst);
+            }
+        }
+        let _ = st.poller.deregister(token);
+        st.conns.remove(&token);
+    }
+
+    fn parse_error(&self, st: &mut LoopState, token: u64, e: &ParseError) {
         self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let response = Response::json(e.status(), json::error_body(&e.to_string()));
+        self.queue_response(st, token, response, false);
+    }
+
+    /// Records, serializes, and starts flushing a response. `keep_alive:
+    /// false` closes the connection once the bytes are out.
+    fn queue_response(&self, st: &mut LoopState, token: u64, response: Response, keep_alive: bool) {
+        self.metrics.record(response.status);
+        let Some(conn) = st.conns.get_mut(&token) else {
+            return;
+        };
+        conn.busy = false;
+        if !keep_alive {
+            conn.close_after_write = true;
+        }
+        let bytes = response.serialize(keep_alive);
+        conn.out.extend_from_slice(&bytes);
+        self.drive_write(st, token);
+    }
+
+    /// Parks a connection while its request runs elsewhere: no read
+    /// interest (pipelined bytes wait in the kernel), but hangups still
+    /// arrive so a dead client cancels its work.
+    fn park_busy(&self, st: &mut LoopState, token: u64) {
+        if let Some(conn) = st.conns.get_mut(&token) {
+            conn.busy = true;
+        }
+        self.set_interest(st, token, Interest::NONE);
+    }
+
+    // ------------------------------------------------------------------
+    // Routing
+    // ------------------------------------------------------------------
+
+    fn on_request(&self, st: &mut LoopState, token: u64, request: Request) {
+        self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+        let keep_alive = request.wants_keep_alive() && !self.draining.load(Ordering::SeqCst);
+        let seq = match st.conns.get_mut(&token) {
+            Some(conn) => {
+                conn.seq += 1;
+                conn.seq
+            }
+            None => return,
+        };
+        let respond = |server: &Server, st: &mut LoopState, response: Response| {
+            server.queue_response(st, token, response, keep_alive);
+        };
         match (request.method.as_str(), request.path()) {
-            ("GET", "/healthz") => self.healthz(),
-            ("GET", "/metrics") => Response::json(200, self.metrics_json() + "\n"),
+            ("GET", "/healthz") => respond(self, st, self.healthz()),
+            ("GET", "/metrics") => {
+                respond(self, st, Response::json(200, self.metrics_json() + "\n"))
+            }
             ("GET", path) if path.starts_with("/v1/trace/") => {
                 let id = &path["/v1/trace/".len()..];
-                match self.traces.get(id) {
+                let response = match self.traces.get(id) {
                     Some(trace) => Response::new(200)
                         .with_header("Content-Type", "application/x-ndjson")
                         .with_body(trace.into_bytes()),
                     None => Response::json(404, json::error_body("no trace for that id")),
-                }
+                };
+                respond(self, st, response);
             }
-            ("POST", "/v1/adapt") => self.adapt(request, false),
-            ("POST", "/v1/batch") => self.adapt(request, true),
-            ("POST", "/v1/recalibrate") => self.recalibrate(request),
+            ("POST", "/v1/adapt") => self.adapt(st, token, seq, &request, false, keep_alive),
+            ("POST", "/v1/batch") => self.adapt(st, token, seq, &request, true, keep_alive),
+            ("POST", "/v1/recalibrate") => self.recalibrate(st, token, seq, &request, keep_alive),
             (_, "/healthz" | "/metrics" | "/v1/adapt" | "/v1/batch" | "/v1/recalibrate") => {
-                Response::json(405, json::error_body("method not allowed"))
+                respond(
+                    self,
+                    st,
+                    Response::json(405, json::error_body("method not allowed")),
+                );
             }
             (_, path) if path.starts_with("/v1/trace/") => {
-                Response::json(405, json::error_body("method not allowed"))
+                respond(
+                    self,
+                    st,
+                    Response::json(405, json::error_body("method not allowed")),
+                );
             }
-            _ => Response::json(404, json::error_body("no such endpoint")),
+            _ => respond(
+                self,
+                st,
+                Response::json(404, json::error_body("no such endpoint")),
+            ),
         }
     }
 
@@ -491,25 +899,46 @@ impl Server {
         Response::json(
             200,
             format!(
-                "{{\"status\":\"ok\",\"state\":\"{state}\",\"queued\":{},\"queue_capacity\":{}}}\n",
+                "{{\"status\":\"ok\",\"state\":\"{state}\",\"queued\":{},\"queue_capacity\":{},\
+                 \"node_id\":{},\"peers\":{},\"store\":{}}}\n",
                 self.pool.queued(),
                 self.pool.capacity(),
+                self.config.node_id,
+                self.config.peers.len(),
+                self.store_json(),
             ),
         )
     }
 
     /// `POST /v1/recalibrate` — walk the engine's cached corpus against a
     /// (possibly perturbed) hardware model, reusing entries whose optimum
-    /// still certifies and warm-re-solving the rest.
-    fn recalibrate(&self, request: &Request) -> Response {
+    /// still certifies and warm-re-solving the rest. Runs on a dedicated
+    /// thread (never competes with adaptation jobs for pool slots, so it
+    /// cannot be starved into a 429) and completes through the loop.
+    fn recalibrate(
+        &self,
+        st: &mut LoopState,
+        token: u64,
+        seq: u64,
+        request: &Request,
+        keep_alive: bool,
+    ) {
         if self.draining.load(Ordering::SeqCst) {
-            return Response::json(503, json::error_body("server is draining"));
+            let response = Response::json(503, json::error_body("server is draining"));
+            return self.queue_response(st, token, response, keep_alive);
         }
         let bad = |msg: String| Response::json(400, json::error_body(&msg));
         let hw = match request.query_param("times") {
             None | Some("d0") => self.hw_d0.clone(),
             Some("d1") => self.hw_d1.clone(),
-            Some(other) => return bad(format!("unknown times column {other:?}")),
+            Some(other) => {
+                return self.queue_response(
+                    st,
+                    token,
+                    bad(format!("unknown times column {other:?}")),
+                    keep_alive,
+                )
+            }
         };
         let hw = match request.query_param("perturb") {
             None => hw,
@@ -517,22 +946,60 @@ impl Server {
                 Ok(factor) if factor.is_finite() && factor >= 0.0 => {
                     Arc::new(hw.with_scaled_infidelity(factor))
                 }
-                _ => return bad(format!("bad perturbation factor {raw:?}")),
+                _ => {
+                    return self.queue_response(
+                        st,
+                        token,
+                        bad(format!("bad perturbation factor {raw:?}")),
+                        keep_alive,
+                    )
+                }
             },
         };
-        let mut root = self.tracer.span("serve.recalibrate");
-        let report = self.engine.recalibrate(&hw);
-        root.set_note(format!(
-            "entries={} reused={} resolved={} failed={}",
-            report.entries, report.reused, report.resolved, report.failed
-        ));
-        Response::json(
-            200,
-            format!(
-                "{{\"entries\":{},\"reused\":{},\"resolved\":{},\"failed\":{}}}\n",
+        st.pending.insert(
+            token,
+            Pending {
+                id: String::new(),
+                req_seq: seq,
+                batch: false,
+                include_circuit: false,
+                awaiting: 0,
+                reports: Vec::new(),
+                cancels: Vec::new(),
+                deadline: None,
+                root: None,
+                trace_sink: None,
+                keep_alive,
+                fallback: None,
+            },
+        );
+        self.park_busy(st, token);
+        let engine = self.engine.clone();
+        let tracer = self.tracer.clone();
+        let tx = st.tx.clone();
+        let waker = st.waker.clone();
+        std::thread::spawn(move || {
+            let mut root = tracer.span("serve.recalibrate");
+            let report = engine.recalibrate(&hw);
+            root.set_note(format!(
+                "entries={} reused={} resolved={} failed={}",
                 report.entries, report.reused, report.resolved, report.failed
-            ),
-        )
+            ));
+            drop(root);
+            let response = Response::json(
+                200,
+                format!(
+                    "{{\"entries\":{},\"reused\":{},\"resolved\":{},\"failed\":{}}}\n",
+                    report.entries, report.reused, report.resolved, report.failed
+                ),
+            );
+            let _ = tx.send(Completion::Http {
+                conn: token,
+                req_seq: seq,
+                response,
+            });
+            waker.wake();
+        });
     }
 
     fn request_options(&self, request: &Request) -> Result<RequestOptions, Response> {
@@ -597,19 +1064,33 @@ impl Server {
         })
     }
 
-    /// `POST /v1/adapt` and `POST /v1/batch`.
-    fn adapt(&self, request: &Request, batch: bool) -> Response {
+    /// `POST /v1/adapt` and `POST /v1/batch`: parse, then either proxy to
+    /// the shard-owning peer or submit to the pool; either way the
+    /// connection parks until a [`Completion`] arrives.
+    fn adapt(
+        &self,
+        st: &mut LoopState,
+        token: u64,
+        seq: u64,
+        request: &Request,
+        batch: bool,
+        keep_alive: bool,
+    ) {
         if self.draining.load(Ordering::SeqCst) {
-            return Response::json(503, json::error_body("server is draining"));
+            let response = Response::json(503, json::error_body("server is draining"));
+            return self.queue_response(st, token, response, keep_alive);
         }
         let id = format!("req-{}", self.next_id.fetch_add(1, Ordering::SeqCst) + 1);
         let options = match self.request_options(request) {
             Ok(options) => options,
-            Err(response) => return response,
+            Err(response) => return self.queue_response(st, token, response, keep_alive),
         };
         let body = match std::str::from_utf8(&request.body) {
             Ok(text) => text,
-            Err(_) => return Response::json(400, json::error_body("body is not UTF-8")),
+            Err(_) => {
+                let response = Response::json(400, json::error_body("body is not UTF-8"));
+                return self.queue_response(st, token, response, keep_alive);
+            }
         };
         let sources: Vec<String> = if batch {
             split_batch(body)
@@ -617,42 +1098,194 @@ impl Server {
             vec![body.to_string()]
         };
         if sources.is_empty() {
-            return Response::json(400, json::error_body("empty request body"));
+            let response = Response::json(400, json::error_body("empty request body"));
+            return self.queue_response(st, token, response, keep_alive);
         }
-        let mut jobs = Vec::with_capacity(sources.len());
+        let mut circuits = Vec::with_capacity(sources.len());
         for (index, source) in sources.iter().enumerate() {
             match qasm::parse_qasm(source) {
-                Ok(circuit) => jobs.push(circuit),
+                Ok(circuit) => circuits.push(circuit),
                 Err(e) => {
                     let msg = if batch {
                         format!("circuit {index}: {e}")
                     } else {
                         e.to_string()
                     };
-                    return Response::json(400, json::error_body(&msg));
+                    let response = Response::json(400, json::error_body(&msg));
+                    return self.queue_response(st, token, response, keep_alive);
                 }
             }
         }
 
         let trace_sink = options.trace.then(|| Arc::new(MemorySink::new()));
-        let response = {
-            // Everything recorded on this thread while the guard lives —
-            // including the serve.request root span dropping — lands in the
-            // request's buffer; counters always reach the metrics registry
-            // through the tracer's tee.
-            let _scope = enter_scope(trace_sink.as_ref());
-            let mut root = self.tracer.span_with("serve.request", || {
-                format!("id={id} path={}", request.path())
-            });
-            self.tracer.counter("serve.requests", 1);
-            let response = self.solve(&id, jobs, &options, batch, trace_sink.as_ref());
-            root.set_note(response.status.to_string());
-            response
-        };
-        if let Some(sink) = trace_sink {
-            self.traces.insert(id, jsonl::to_jsonl_string(&sink.take()));
+        // Everything recorded on this thread while the guard lives —
+        // including the serve.request root span dropping at finish — lands
+        // in the request's buffer; counters always reach the metrics
+        // registry through the tracer's tee.
+        let scope = enter_scope(trace_sink.as_ref());
+        let mut root = self.tracer.span_with("serve.request", || {
+            format!("id={id} path={}", request.path())
+        });
+        self.tracer.counter("serve.requests", 1);
+
+        if !batch {
+            if let Some(peer) = self.forward_target(&circuits[0], &options, request) {
+                self.metrics.forwarded.fetch_add(1, Ordering::Relaxed);
+                root.set_note(format!("forwarded to {peer}"));
+                drop(scope);
+                st.pending.insert(
+                    token,
+                    Pending {
+                        id,
+                        req_seq: seq,
+                        batch,
+                        include_circuit: options.include_circuit,
+                        awaiting: 0,
+                        reports: Vec::new(),
+                        cancels: Vec::new(),
+                        deadline: None,
+                        root: Some(root),
+                        trace_sink,
+                        keep_alive,
+                        fallback: Some((circuits, options)),
+                    },
+                );
+                self.park_busy(st, token);
+                self.spawn_forward(
+                    st,
+                    token,
+                    seq,
+                    peer,
+                    request.target.clone(),
+                    request.body.clone(),
+                );
+                return;
+            }
         }
-        response
+
+        let outcome = self.submit_jobs(
+            st.tx.clone(),
+            st.waker.clone(),
+            token,
+            seq,
+            circuits,
+            &options,
+            batch,
+            trace_sink.as_ref(),
+        );
+        match outcome {
+            Err(response) => {
+                root.set_note(response.status.to_string());
+                drop(root);
+                drop(scope);
+                if let Some(sink) = trace_sink {
+                    self.traces.insert(id, jsonl::to_jsonl_string(&sink.take()));
+                }
+                self.queue_response(st, token, response, keep_alive);
+            }
+            Ok((reports, submitted, cancels)) => {
+                drop(scope);
+                st.pending.insert(
+                    token,
+                    Pending {
+                        id,
+                        req_seq: seq,
+                        batch,
+                        include_circuit: options.include_circuit,
+                        awaiting: submitted,
+                        reports,
+                        cancels,
+                        deadline: Some(Instant::now() + self.config.request_timeout),
+                        root: Some(root),
+                        trace_sink,
+                        keep_alive,
+                        fallback: None,
+                    },
+                );
+                self.park_busy(st, token);
+            }
+        }
+    }
+
+    /// Builds one pool job (without its cancellation flag) exactly as it
+    /// will be solved — also the basis for the shard-routing cache key, so
+    /// every node hashes identical requests identically.
+    fn make_job(&self, circuit: Circuit, options: &RequestOptions) -> AdaptJob {
+        let num_qubits = circuit.num_qubits();
+        let mut job = AdaptJob::new(circuit);
+        job.options.objective = options.objective;
+        job.options.exact = options.exact;
+        job.options.coupling = options.coupling.map(|k| k.build(num_qubits));
+        // Deadline → deterministic conflict budget; an explicit budget
+        // param wins. The wall-clock side is the watchdog-armed flag.
+        job.limits.total_conflicts = match (options.budget, options.deadline) {
+            (Some(budget), _) => Some(budget),
+            (None, Some(deadline)) => AdaptLimits::for_deadline(deadline, None).total_conflicts,
+            (None, None) => None,
+        };
+        job
+    }
+
+    /// Decides whether a single-circuit request belongs to a peer: ring
+    /// configured, key owned by another node with a usable address, and
+    /// not already a forwarded hop (`X-QCA-Forwarded` stops loops).
+    fn forward_target(
+        &self,
+        circuit: &Circuit,
+        options: &RequestOptions,
+        request: &Request,
+    ) -> Option<String> {
+        let ring = self.ring.as_ref()?;
+        if request.header("x-qca-forwarded").is_some() {
+            return None;
+        }
+        let hw = match options.times {
+            GateTimes::D0 => &self.hw_d0,
+            GateTimes::D1 => &self.hw_d1,
+        };
+        let job = self.make_job(circuit.clone(), options);
+        let key = AdaptCache::key(&job.circuit, hw, &job.options, &job.limits);
+        let owner = ring.owner(key);
+        if owner == self.config.node_id {
+            return None;
+        }
+        let peer = self.config.peers.get(owner)?;
+        if peer == "-" {
+            return None;
+        }
+        Some(peer.clone())
+    }
+
+    /// Proxies the raw request to `peer` on a fresh thread; the relayed
+    /// response (or a transport-failure fallback marker) comes back as a
+    /// [`Completion`].
+    fn spawn_forward(
+        &self,
+        st: &LoopState,
+        token: u64,
+        seq: u64,
+        peer: String,
+        target: String,
+        body: Vec<u8>,
+    ) {
+        let tx = st.tx.clone();
+        let waker = st.waker.clone();
+        let read_timeout = self.config.request_timeout;
+        std::thread::spawn(move || {
+            let completion = match forward_once(&peer, &target, &body, read_timeout) {
+                Some(response) => Completion::Http {
+                    conn: token,
+                    req_seq: seq,
+                    response,
+                },
+                None => Completion::ForwardFailed {
+                    conn: token,
+                    req_seq: seq,
+                },
+            };
+            let _ = tx.send(completion);
+            waker.wake();
+        });
     }
 
     /// The `Retry-After` hint for 429 responses: the backlog (at least one
@@ -671,47 +1304,40 @@ impl Server {
         (backlog * avg_ms).div_ceil(1000).clamp(1, 600)
     }
 
-    /// Submits the parsed circuits through the pool and waits for their
-    /// completions (or the request timeout).
-    fn solve(
+    /// Submits the parsed circuits through the pool. Each finished job
+    /// sends a [`Completion::Job`] and wakes the loop. Returns the empty
+    /// report slots, the number admitted, and the cancellation flags —
+    /// or the immediate error response (429 queue-full / 503 draining).
+    #[allow(clippy::too_many_arguments)]
+    #[allow(clippy::type_complexity)]
+    fn submit_jobs(
         &self,
-        id: &str,
-        circuits: Vec<qca_circuit::Circuit>,
+        tx: mpsc::Sender<Completion>,
+        waker: Arc<Waker>,
+        conn: u64,
+        req_seq: u64,
+        circuits: Vec<Circuit>,
         options: &RequestOptions,
         batch: bool,
         trace_sink: Option<&Arc<MemorySink>>,
-    ) -> Response {
+    ) -> Result<(Vec<Option<AdaptReport>>, usize, Vec<Arc<AtomicBool>>), Response> {
         let hw = match options.times {
             GateTimes::D0 => self.hw_d0.clone(),
             GateTimes::D1 => self.hw_d1.clone(),
         };
         let total = circuits.len();
-        let (tx, rx) = mpsc::channel::<(usize, AdaptReport)>();
         let mut cancels: Vec<Arc<AtomicBool>> = Vec::new();
         let mut submitted = 0usize;
         for (index, circuit) in circuits.into_iter().enumerate() {
-            let num_qubits = circuit.num_qubits();
-            let mut job = AdaptJob::new(circuit);
-            job.options.objective = options.objective;
-            job.options.exact = options.exact;
-            job.options.coupling = options.coupling.map(|k| k.build(num_qubits));
-            // Deadline → deterministic conflict budget; an explicit budget
-            // param wins. The wall-clock side is the watchdog-armed flag.
-            job.limits.total_conflicts = match (options.budget, options.deadline) {
-                (Some(budget), _) => Some(budget),
-                (None, Some(deadline)) => AdaptLimits::for_deadline(deadline, None).total_conflicts,
-                (None, None) => None,
+            let mut job = self.make_job(circuit, options);
+            let flag = match options.deadline {
+                Some(deadline) => self.watchdog.arm(Instant::now() + options.hold + deadline),
+                None => Arc::new(AtomicBool::new(false)),
             };
-            if let Some(deadline) = options.deadline {
-                let flag = self.watchdog.arm(Instant::now() + options.hold + deadline);
-                cancels.push(flag.clone());
-                job.cancel = Some(flag);
-            } else {
-                let flag = Arc::new(AtomicBool::new(false));
-                cancels.push(flag.clone());
-                job.cancel = Some(flag);
-            }
+            cancels.push(flag.clone());
+            job.cancel = Some(flag);
             let tx = tx.clone();
+            let waker = waker.clone();
             let hw = hw.clone();
             let policy = options.policy;
             let hold = options.hold;
@@ -724,61 +1350,143 @@ impl Server {
                     std::thread::sleep(hold);
                 }
                 let report = engine.adapt_one_with(&hw, &job, policy);
-                let _ = tx.send((index, report));
+                let _ = tx.send(Completion::Job {
+                    conn,
+                    req_seq,
+                    index,
+                    report,
+                });
+                waker.wake();
             });
             match outcome {
                 Ok(()) => submitted += 1,
                 Err(SubmitError::QueueFull) => {
                     self.tracer.counter("serve.rejected", 1);
                     if !batch {
-                        return Response::json(429, json::error_body("submission queue is full"))
-                            .with_header("Retry-After", &self.retry_after_secs().to_string());
+                        return Err(Response::json(
+                            429,
+                            json::error_body("submission queue is full"),
+                        )
+                        .with_header("Retry-After", &self.retry_after_secs().to_string()));
                     }
                     // Batch: the item keeps its `None` report slot and is
                     // reported as rejected in the results array.
                 }
                 Err(SubmitError::ShuttingDown) => {
-                    return Response::json(503, json::error_body("server is draining"));
+                    return Err(Response::json(503, json::error_body("server is draining")));
                 }
             }
         }
-        drop(tx);
         if batch && submitted == 0 {
-            return Response::json(429, json::error_body("submission queue is full"))
-                .with_header("Retry-After", &self.retry_after_secs().to_string());
+            return Err(
+                Response::json(429, json::error_body("submission queue is full"))
+                    .with_header("Retry-After", &self.retry_after_secs().to_string()),
+            );
         }
+        Ok(((0..total).map(|_| None).collect(), submitted, cancels))
+    }
 
-        let mut reports: Vec<Option<AdaptReport>> = (0..total).map(|_| None).collect();
-        let wait_deadline = Instant::now() + self.config.request_timeout;
-        for _ in 0..submitted {
-            let remaining = wait_deadline.saturating_duration_since(Instant::now());
-            match rx.recv_timeout(remaining) {
-                Ok((index, report)) => {
-                    self.jobs_done.fetch_add(1, Ordering::Relaxed);
-                    self.job_wall_ms
-                        .fetch_add(report.wall.as_millis() as u64, Ordering::Relaxed);
-                    reports[index] = Some(report)
+    // ------------------------------------------------------------------
+    // Completions and timers
+    // ------------------------------------------------------------------
+
+    fn on_completion(&self, st: &mut LoopState, completion: Completion) {
+        match completion {
+            Completion::Job {
+                conn,
+                req_seq,
+                index,
+                report,
+            } => {
+                let Some(pending) = st.pending.get_mut(&conn) else {
+                    return;
+                };
+                if pending.req_seq != req_seq {
+                    return;
                 }
-                Err(_) => {
-                    // Give up on this request: cancel whatever is still
-                    // running or queued so the pool frees up quickly.
-                    for flag in &cancels {
-                        flag.store(true, Ordering::SeqCst);
+                self.jobs_done.fetch_add(1, Ordering::Relaxed);
+                self.job_wall_ms
+                    .fetch_add(report.wall.as_millis() as u64, Ordering::Relaxed);
+                if pending.reports[index].is_none() {
+                    pending.awaiting = pending.awaiting.saturating_sub(1);
+                }
+                pending.reports[index] = Some(report);
+                if pending.awaiting == 0 {
+                    let pending = st.pending.remove(&conn).expect("pending present");
+                    let response = self.render_reports(&pending);
+                    self.finish_request(st, conn, pending, response);
+                }
+            }
+            Completion::Http {
+                conn,
+                req_seq,
+                response,
+            } => {
+                if st
+                    .pending
+                    .get(&conn)
+                    .is_none_or(|pending| pending.req_seq != req_seq)
+                {
+                    return;
+                }
+                let pending = st.pending.remove(&conn).expect("pending present");
+                self.finish_request(st, conn, pending, response);
+            }
+            Completion::ForwardFailed { conn, req_seq } => {
+                let Some(pending) = st.pending.get_mut(&conn) else {
+                    return;
+                };
+                if pending.req_seq != req_seq {
+                    return;
+                }
+                let Some((circuits, options)) = pending.fallback.take() else {
+                    return;
+                };
+                // The peer was unreachable: solve locally instead, inside
+                // the request's trace scope so the spans stay attached.
+                let sink = pending.trace_sink.clone();
+                let outcome = {
+                    let _scope = enter_scope(sink.as_ref());
+                    self.submit_jobs(
+                        st.tx.clone(),
+                        st.waker.clone(),
+                        conn,
+                        req_seq,
+                        circuits,
+                        &options,
+                        false,
+                        sink.as_ref(),
+                    )
+                };
+                match outcome {
+                    Ok((reports, submitted, cancels)) => {
+                        let pending = st.pending.get_mut(&conn).expect("pending present");
+                        pending.reports = reports;
+                        pending.awaiting = submitted;
+                        pending.cancels = cancels;
+                        pending.deadline = Some(Instant::now() + self.config.request_timeout);
                     }
-                    self.tracer.counter("serve.request_timeouts", 1);
-                    return Response::json(504, json::error_body("request timed out"));
+                    Err(response) => {
+                        let pending = st.pending.remove(&conn).expect("pending present");
+                        self.finish_request(st, conn, pending, response);
+                    }
                 }
             }
         }
+    }
 
-        if batch {
-            let mut items = Vec::with_capacity(total);
-            for (index, slot) in reports.into_iter().enumerate() {
+    /// Renders a fully-completed request: batch results array (rejected
+    /// slots carry their own error entries) or the single report.
+    fn render_reports(&self, pending: &Pending) -> Response {
+        if pending.batch {
+            let id = &pending.id;
+            let mut items = Vec::with_capacity(pending.reports.len());
+            for (index, slot) in pending.reports.iter().enumerate() {
                 match slot {
                     Some(report) => items.push(json::report_to_json(
                         &format!("{id}.{index}"),
-                        &report,
-                        options.include_circuit,
+                        report,
+                        pending.include_circuit,
                     )),
                     None => items.push(format!(
                         "{{\"request_id\":\"{id}.{index}\",\"error\":\"submission queue is full\"}}"
@@ -796,13 +1504,110 @@ impl Server {
                 ),
             )
         } else {
-            let report = reports.into_iter().next().flatten().expect("one report");
+            let report = pending.reports[0].as_ref().expect("one report");
             Response::json(
                 200,
-                json::report_to_json(id, &report, options.include_circuit) + "\n",
+                json::report_to_json(&pending.id, report, pending.include_circuit) + "\n",
             )
         }
     }
+
+    /// Ends an async request: closes its span under the trace scope,
+    /// archives the trace, and queues the response.
+    fn finish_request(
+        &self,
+        st: &mut LoopState,
+        token: u64,
+        mut pending: Pending,
+        response: Response,
+    ) {
+        {
+            let _scope = enter_scope(pending.trace_sink.as_ref());
+            if let Some(mut root) = pending.root.take() {
+                root.set_note(response.status.to_string());
+                drop(root);
+            }
+        }
+        if let Some(sink) = pending.trace_sink.take() {
+            self.traces
+                .insert(pending.id.clone(), jsonl::to_jsonl_string(&sink.take()));
+        }
+        let keep = pending.keep_alive && !self.draining.load(Ordering::SeqCst);
+        self.queue_response(st, token, response, keep);
+    }
+
+    /// Per-tick scan: request timeouts (504 + cancel), mid-read timeouts
+    /// (408), stalled writes, and idle keep-alive closes.
+    fn check_timers(&self, st: &mut LoopState) {
+        let now = Instant::now();
+        let expired: Vec<u64> = st
+            .pending
+            .iter()
+            .filter(|(_, p)| p.deadline.is_some_and(|d| now >= d))
+            .map(|(&t, _)| t)
+            .collect();
+        for token in expired {
+            let pending = st.pending.remove(&token).expect("pending present");
+            // Give up on this request: cancel whatever is still running or
+            // queued so the pool frees up quickly.
+            for flag in &pending.cancels {
+                flag.store(true, Ordering::SeqCst);
+            }
+            self.tracer.counter("serve.request_timeouts", 1);
+            let response = Response::json(504, json::error_body("request timed out"));
+            self.finish_request(st, token, pending, response);
+        }
+
+        let mut to_408: Vec<u64> = Vec::new();
+        let mut to_close: Vec<u64> = Vec::new();
+        for (&token, conn) in &st.conns {
+            if conn.busy {
+                continue;
+            }
+            if let Some(t0) = conn.reading_since {
+                if now.duration_since(t0) > self.config.read_timeout {
+                    to_408.push(token);
+                    continue;
+                }
+            }
+            if !conn.out.is_empty() {
+                if now.duration_since(conn.last_activity) > self.config.write_timeout {
+                    to_close.push(token);
+                }
+                continue;
+            }
+            if conn.parser.is_idle() && now.duration_since(conn.last_activity) > IDLE_TIMEOUT {
+                to_close.push(token);
+            }
+        }
+        for token in to_408 {
+            self.metrics.requests.fetch_add(1, Ordering::Relaxed);
+            let response = Response::json(408, json::error_body("timed out reading the request"));
+            self.queue_response(st, token, response, false);
+        }
+        for token in to_close {
+            self.close_conn(st, token);
+        }
+    }
+}
+
+/// One proxy attempt: resolve the peer, relay the request with the
+/// `X-QCA-Forwarded` loop-stopper, and repackage its answer (preserving
+/// `Retry-After`). `None` on any transport failure — the caller solves
+/// locally.
+fn forward_once(peer: &str, target: &str, body: &[u8], read_timeout: Duration) -> Option<Response> {
+    let addr = peer.to_socket_addrs().ok()?.next()?;
+    let mut conn = Connection::connect(addr, Duration::from_secs(10)).ok()?;
+    conn.set_read_timeout(read_timeout).ok()?;
+    let relayed = conn
+        .request_with_headers("POST", target, &[("X-QCA-Forwarded", "1")], body)
+        .ok()?;
+    let mut response =
+        Response::new(relayed.status).with_header("Content-Type", "application/json");
+    if let Some(retry) = relayed.header("retry-after") {
+        response = response.with_header("Retry-After", retry);
+    }
+    Some(response.with_body(relayed.body))
 }
 
 /// Enters the per-request trace scope when the request asked for tracing.
@@ -890,5 +1695,69 @@ mod tests {
         assert!(json.contains("\"unavailable_503\":1"), "{json}");
         assert!(json.contains("\"timeouts_504\":1"), "{json}");
         assert!(json.contains("\"server_errors\":1"), "{json}");
+        assert!(json.contains("\"forwarded\":0"), "{json}");
+    }
+
+    #[test]
+    fn shard_ring_routes_away_from_the_local_node_only() {
+        // Two nodes: some keys are owned remotely; a "-" peer slot or a
+        // forwarded hop never re-forwards.
+        let config = ServeConfig {
+            peers: vec!["-".to_string(), "127.0.0.1:1".to_string()],
+            node_id: 0,
+            ..ServeConfig::default()
+        };
+        let server = Server::bind(config).expect("bind");
+        let ring = server.ring.as_ref().expect("ring configured");
+        assert_eq!(ring.nodes(), 2);
+        // Find a circuit owned by node 1 so forwarding would trigger.
+        let options = RequestOptions {
+            objective: Objective::Fidelity,
+            times: GateTimes::D0,
+            coupling: None,
+            exact: false,
+            budget: None,
+            deadline: None,
+            policy: JobPolicy {
+                verify: false,
+                lint: false,
+                deny_warnings: false,
+            },
+            trace: false,
+            include_circuit: true,
+            hold: Duration::ZERO,
+        };
+        let mut remote_owned = None;
+        for n in 1..32usize {
+            let qasm_src = format!(
+                "OPENQASM 2.0;\ninclude \"qelib1.inc\";\nqreg q[2];\n{}",
+                "cz q[0],q[1];\n".repeat(n)
+            );
+            let circuit = qasm::parse_qasm(&qasm_src).expect("parse");
+            let job = server.make_job(circuit.clone(), &options);
+            let key = AdaptCache::key(&job.circuit, &server.hw_d0, &job.options, &job.limits);
+            if ring.owner(key) == 1 {
+                remote_owned = Some(circuit);
+                break;
+            }
+        }
+        let circuit = remote_owned.expect("some key lands on node 1");
+        let plain = Request {
+            method: "POST".into(),
+            target: "/v1/adapt".into(),
+            version: "HTTP/1.1".into(),
+            headers: vec![],
+            body: vec![],
+        };
+        assert_eq!(
+            server.forward_target(&circuit, &options, &plain).as_deref(),
+            Some("127.0.0.1:1")
+        );
+        // A forwarded hop is always solved locally.
+        let hopped = Request {
+            headers: vec![("X-QCA-Forwarded".into(), "1".into())],
+            ..plain
+        };
+        assert_eq!(server.forward_target(&circuit, &options, &hopped), None);
     }
 }

@@ -213,6 +213,64 @@ fn deadline_degrades_the_answer_instead_of_failing() {
 }
 
 #[test]
+fn concurrent_identical_posts_coalesce_onto_one_solve() {
+    let server = TestServer::start(ServeConfig {
+        workers: 4,
+        queue_capacity: 16,
+        ..ServeConfig::default()
+    });
+    let addr = server.addr;
+    let qasm = big_qasm(7);
+
+    // N identical POSTs in flight at once. Timing-independent invariant:
+    // whatever the interleaving, at any moment a key has at most one
+    // leader actually solving — every other request either coalesces onto
+    // that flight or hits the cache the leader filled. So all N answers
+    // are 200 with the same objective, and exactly one reports a miss.
+    const N: usize = 6;
+    let bodies: Vec<String> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..N)
+            .map(|_| {
+                let qasm = qasm.as_str();
+                scope.spawn(move || {
+                    let mut connection =
+                        Connection::connect(addr, Duration::from_secs(60)).unwrap();
+                    let response = connection
+                        .request("POST", "/v1/adapt?circuit=0", qasm.as_bytes())
+                        .expect("adapt request");
+                    assert_eq!(response.status, 200, "{}", response.body_text());
+                    response.body_text()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let misses = bodies
+        .iter()
+        .filter(|b| b.contains("\"cache_hit\":false"))
+        .count();
+    assert_eq!(misses, 1, "exactly one solve expected: {bodies:#?}");
+
+    // Every answer carries the leader's objective — byte-identical values.
+    let objective = |body: &str| -> String {
+        let start = body
+            .find("\"objective_value\":")
+            .expect("objective_value in response")
+            + "\"objective_value\":".len();
+        body[start..]
+            .chars()
+            .take_while(|c| c.is_ascii_digit())
+            .collect()
+    };
+    let first = objective(&bodies[0]);
+    for body in &bodies[1..] {
+        assert_eq!(objective(body), first, "{body}");
+    }
+    server.stop();
+}
+
+#[test]
 fn trace_records_the_request_span_forest() {
     let server = TestServer::start(small_config());
     let mut connection = server.connect();

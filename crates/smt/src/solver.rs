@@ -31,6 +31,30 @@ pub struct IntExpr {
 }
 
 impl IntExpr {
+    /// Reassembles an expression from its raw parts — the inverse of
+    /// [`IntExpr::bits`]/[`IntExpr::offset`]. Exists for serializers
+    /// (e.g. `qca-store`'s on-disk audit-bundle codec) that must round-trip
+    /// expressions exactly; the parts are not validated, so only feed back
+    /// values previously read from a real expression.
+    pub fn from_parts(bits: Vec<Lit>, offset: i64, lo: i64, hi: i64) -> IntExpr {
+        IntExpr {
+            bits,
+            offset,
+            lo,
+            hi,
+        }
+    }
+
+    /// The expression's bit literals, least-significant first.
+    pub fn bits(&self) -> &[Lit] {
+        &self.bits
+    }
+
+    /// The constant offset added to the unsigned value of the bits.
+    pub fn offset(&self) -> i64 {
+        self.offset
+    }
+
     /// Returns the same expression shifted by a constant (free: only the
     /// offset changes, no new clauses).
     pub fn shifted(&self, delta: i64) -> IntExpr {
@@ -55,6 +79,17 @@ impl SmtModel {
     /// numbering) as a model snapshot.
     pub(crate) fn from_values(values: Vec<Option<bool>>) -> SmtModel {
         SmtModel { values }
+    }
+
+    /// Reassembles a model from raw per-variable values — the inverse of
+    /// [`SmtModel::values`], for serializers that round-trip audit bundles.
+    pub fn from_raw_values(values: Vec<Option<bool>>) -> SmtModel {
+        SmtModel { values }
+    }
+
+    /// The raw per-variable assignment, indexed by variable index.
+    pub fn values(&self) -> &[Option<bool>] {
+        &self.values
     }
 
     /// Truth value of a literal in the model (`false` for unassigned).

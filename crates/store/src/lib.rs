@@ -1,0 +1,48 @@
+//! # qca-store — persistent cache tier for adaptation results
+//!
+//! OMT solves are expensive; their results are tiny. This crate makes them
+//! durable: a [`Store`] persists `(cache key → Adaptation)` records in an
+//! append-only, checksummed write-ahead log with periodic compacted
+//! snapshots, so a restarted `qca-serve` node warms its in-memory LRU from
+//! disk instead of re-solving its whole working set.
+//!
+//! Three independent pieces, no external dependencies:
+//!
+//! * [`Store`] — WAL + snapshot with crash-safe truncated-tail recovery
+//!   and bit-identical round-trips (floats travel as IEEE-754 bit
+//!   patterns). See [`wal`] for the framing and recovery rules.
+//! * [`SingleFlight`] — stampede protection: N concurrent identical
+//!   requests produce exactly one solve, with panic-safe leader handoff
+//!   and cancellation-aware followers.
+//! * [`ShardRing`] — a deterministic consistent-hash ring (virtual nodes)
+//!   that lets several serve nodes split one logical cache and forward
+//!   misses to the owning peer.
+//!
+//! ```
+//! use qca_store::{Store, StoreOptions};
+//! # use qca_adapt::{Adaptation, SmtAdaptation};
+//! # use qca_circuit::{Circuit, Gate};
+//! # fn demo(adaptation: &Adaptation) -> std::io::Result<()> {
+//! let dir = std::env::temp_dir().join("qca-store-demo");
+//! let store = Store::open(&dir)?;
+//! store.append(0xfeed, adaptation)?;
+//! drop(store);
+//! // ... process restarts ...
+//! let store = Store::open(&dir)?;
+//! assert!(store.get(0xfeed).is_some()); // served without re-solving
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod ring;
+pub mod singleflight;
+pub mod store;
+pub mod wal;
+pub mod wire;
+
+pub use ring::{ShardRing, DEFAULT_VNODES};
+pub use singleflight::{Flight, LeaderGuard, SingleFlight};
+pub use store::{Store, StoreOptions, StoreStats, SNAPSHOT_FILE, WAL_FILE};
+pub use wire::{decode_adaptation, encode_adaptation, WireError};

@@ -1,0 +1,131 @@
+//! Consistent-hash shard ring: several qca-serve nodes presenting one
+//! logical cache.
+//!
+//! Each node contributes `vnodes` points on a 64-bit ring, placed at
+//! `Fnv64(node_id, vnode_index)`; a cache key is owned by the node whose
+//! point is the first at or after the key (wrapping at the top of the
+//! range). Because placement depends only on `(node_id, vnode_index)`,
+//! every node that knows the same member list computes the *same* ring —
+//! no coordination, no gossip, just arithmetic.
+//!
+//! Virtual nodes smooth the load split: with the default 64 points per
+//! node, a two-node ring lands within a few percent of 50/50. Adding or
+//! removing a node moves only the keys in that node's arcs, which is the
+//! whole point of consistent hashing.
+
+use qca_circuit::hash::Fnv64;
+
+/// Default virtual nodes per member.
+pub const DEFAULT_VNODES: usize = 64;
+
+/// Deterministic consistent-hash ring over node indices `0..n`.
+#[derive(Debug, Clone)]
+pub struct ShardRing {
+    /// `(point, node)` sorted by point.
+    points: Vec<(u64, usize)>,
+    nodes: usize,
+}
+
+impl ShardRing {
+    /// Builds a ring for `nodes` members with [`DEFAULT_VNODES`] points
+    /// each. A ring of zero or one node owns everything locally.
+    pub fn new(nodes: usize) -> ShardRing {
+        ShardRing::with_vnodes(nodes, DEFAULT_VNODES)
+    }
+
+    /// Builds a ring with an explicit virtual-node count.
+    pub fn with_vnodes(nodes: usize, vnodes: usize) -> ShardRing {
+        let mut points = Vec::with_capacity(nodes * vnodes);
+        for node in 0..nodes {
+            for vnode in 0..vnodes {
+                let mut h = Fnv64::new();
+                h.write_u64(node as u64);
+                h.write_u64(vnode as u64);
+                points.push((h.finish(), node));
+            }
+        }
+        // Sort by point; break the (astronomically unlikely) point
+        // collision by node index so all members agree on the winner.
+        points.sort_unstable();
+        ShardRing { points, nodes }
+    }
+
+    /// Number of member nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The node that owns `key`. Keys are already 64-bit hashes
+    /// (`AdaptCache::key`), so they are used directly as ring positions.
+    pub fn owner(&self, key: u64) -> usize {
+        if self.points.is_empty() {
+            return 0;
+        }
+        let idx = self.points.partition_point(|&(p, _)| p < key);
+        let idx = if idx == self.points.len() { 0 } else { idx };
+        self.points[idx].1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_owns_everything() {
+        let ring = ShardRing::new(1);
+        for key in [0u64, 1, u64::MAX, 0xdead_beef] {
+            assert_eq!(ring.owner(key), 0);
+        }
+        let empty = ShardRing::new(0);
+        assert_eq!(empty.owner(42), 0);
+    }
+
+    #[test]
+    fn every_member_computes_the_same_ring() {
+        let a = ShardRing::new(3);
+        let b = ShardRing::new(3);
+        for key in (0..10_000u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15)) {
+            assert_eq!(a.owner(key), b.owner(key));
+        }
+    }
+
+    #[test]
+    fn vnodes_spread_load_roughly_evenly() {
+        let ring = ShardRing::new(2);
+        let mut counts = [0usize; 2];
+        for i in 0..100_000u64 {
+            // Hash the trial index so positions are uniform, like real keys.
+            let mut h = Fnv64::new();
+            h.write_u64(i);
+            counts[ring.owner(h.finish())] += 1;
+        }
+        let share = counts[0] as f64 / 100_000.0;
+        assert!(
+            (0.3..=0.7).contains(&share),
+            "two-node split too lopsided: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn growing_the_ring_moves_only_some_keys() {
+        let two = ShardRing::new(2);
+        let three = ShardRing::new(3);
+        let mut moved = 0usize;
+        const N: u64 = 10_000;
+        for i in 0..N {
+            let mut h = Fnv64::new();
+            h.write_u64(i);
+            let key = h.finish();
+            if two.owner(key) != three.owner(key) {
+                moved += 1;
+            }
+        }
+        // Consistent hashing moves ~1/3 of keys when going 2 → 3 nodes;
+        // naive modulo hashing would move ~2/3.
+        assert!(
+            moved < (N as usize) / 2,
+            "{moved}/{N} keys moved — not consistent"
+        );
+    }
+}

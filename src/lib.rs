@@ -25,7 +25,8 @@
 //! | [`engine`] | `qca-engine` | parallel batch adaptation, result cache, metrics |
 //! | [`trace`] | `qca-trace` | hierarchical span tracing, JSONL sink, reports |
 //! | [`lint`] | `qca-lint` | static diagnostics: circuit, hardware, rule-coverage, encoding lints |
-//! | [`serve`] | `qca-serve` | HTTP adaptation service: admission control, deadlines, live drain |
+//! | [`serve`] | `qca-serve` | HTTP adaptation service: event loop, admission control, deadlines, sharding, live drain |
+//! | [`store`] | `qca-store` | persistent cache tier: WAL + snapshots, warm restart, single-flight, shard ring |
 //! | [`perf`] | `qca-perf` | benchmark telemetry: measurement harness, `BENCH_<pr>.json`, regression gating |
 //!
 //! # Examples
@@ -63,6 +64,7 @@ pub use qca_sat as sat;
 pub use qca_serve as serve;
 pub use qca_sim as sim;
 pub use qca_smt as smt;
+pub use qca_store as store;
 pub use qca_synth as synth;
 pub use qca_trace as trace;
 pub use qca_workloads as workloads;
